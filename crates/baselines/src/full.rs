@@ -1,0 +1,61 @@
+//! Dense causal attention (the gold baseline).
+
+use sa_kernels::{flash_attention, FlashParams};
+use sa_tensor::{Matrix, TensorError};
+
+use crate::{AttentionMethod, MethodOutput};
+
+/// Full attention via the flash kernel — the paper's accuracy gold
+/// standard and the latency baseline (FlashAttention2).
+#[derive(Debug, Clone, Default)]
+pub struct FullAttention {
+    params: FlashParams,
+}
+
+impl FullAttention {
+    /// Creates the baseline with default tile sizes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the baseline with explicit tile sizes.
+    pub fn with_params(params: FlashParams) -> Self {
+        FullAttention { params }
+    }
+}
+
+impl AttentionMethod for FullAttention {
+    fn name(&self) -> &str {
+        "FullAttention"
+    }
+
+    fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError> {
+        let out = flash_attention(q, k, v, true, self.params)?;
+        Ok(MethodOutput {
+            output: out.output,
+            cost: out.cost,
+            density: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::full_attention;
+    use sa_tensor::{max_abs_diff, DeterministicRng};
+
+    #[test]
+    fn matches_reference() {
+        let mut rng = DeterministicRng::new(1);
+        let q = rng.normal_matrix(32, 8, 1.0);
+        let k = rng.normal_matrix(32, 8, 1.0);
+        let v = rng.normal_matrix(32, 8, 1.0);
+        let m = FullAttention::new();
+        let got = m.forward(&q, &k, &v).unwrap();
+        let want = full_attention(&q, &k, &v, true).unwrap();
+        assert!(max_abs_diff(got.output.as_slice(), want.output.as_slice()) < 1e-4);
+        assert_eq!(got.density, 1.0);
+        assert_eq!(m.name(), "FullAttention");
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared row-gathered attention kernel for the dynamic baselines
+//! (HyperAttention, Hash-Sparse, oracle top-k): each query row attends to
+//! an arbitrary per-row set of key indices.
+
+use sa_kernels::{score_scale, AttentionOutput, CostReport};
+use sa_tensor::{online_softmax_update, Matrix, OnlineSoftmaxState, TensorError};
+
+/// Computes attention where query row `i` attends exactly to
+/// `row_indices(i)` (caller guarantees causality). Rows with an empty
+/// index set produce zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent Q/K/V shapes,
+/// or [`TensorError::IndexOutOfBounds`] if an index exceeds `s_k`.
+pub(crate) fn gathered_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mut row_indices: impl FnMut(usize) -> Vec<usize>,
+) -> Result<(AttentionOutput, u64), TensorError> {
+    if q.cols() != k.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gathered_attention(q,k)",
+            lhs: q.shape(),
+            rhs: k.shape(),
+        });
+    }
+    if k.rows() != v.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "gathered_attention(k,v)",
+            lhs: k.shape(),
+            rhs: v.shape(),
+        });
+    }
+    let (s_q, d) = q.shape();
+    let s_k = k.rows();
+    let dv = v.cols();
+    let scale = score_scale(d);
+
+    let mut output = Matrix::zeros(s_q, dv);
+    let mut live_pairs: u64 = 0;
+    let mut scores = Vec::new();
+
+    for i in 0..s_q {
+        let indices = row_indices(i);
+        if indices.is_empty() {
+            continue;
+        }
+        if let Some(&bad) = indices.iter().find(|&&j| j >= s_k) {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "gathered_attention",
+                index: bad,
+                bound: s_k,
+            });
+        }
+        let q_row = q.row(i);
+        scores.clear();
+        scores.extend(indices.iter().map(|&j| {
+            q_row.iter().zip(k.row(j)).map(|(a, b)| a * b).sum::<f32>() * scale
+        }));
+        let mut state = OnlineSoftmaxState::new(dv);
+        online_softmax_update(&mut state, &scores, |t| v.row(indices[t]));
+        output.row_mut(i).copy_from_slice(&state.finish());
+        live_pairs += indices.len() as u64;
+    }
+
+    let flops = live_pairs * (2 * d as u64 + 4 + 2 * dv as u64);
+    let bytes_read = 4 * (s_q * d) as u64 + 4 * live_pairs * (d + dv) as u64;
+    let bytes_written = 4 * (s_q * dv) as u64;
+    let cost = CostReport::launch(flops, bytes_read, bytes_written);
+    Ok((AttentionOutput { output, cost }, live_pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::full_attention;
+    use sa_tensor::{max_abs_diff, DeterministicRng};
+
+    #[test]
+    fn all_causal_indices_matches_full() {
+        let mut rng = DeterministicRng::new(1);
+        let q = rng.normal_matrix(24, 8, 1.0);
+        let k = rng.normal_matrix(24, 8, 1.0);
+        let v = rng.normal_matrix(24, 8, 1.0);
+        let (got, pairs) = gathered_attention(&q, &k, &v, |i| (0..=i).collect()).unwrap();
+        let want = full_attention(&q, &k, &v, true).unwrap();
+        assert!(max_abs_diff(got.output.as_slice(), want.output.as_slice()) < 1e-4);
+        assert_eq!(pairs, 24 * 25 / 2);
+    }
+
+    #[test]
+    fn empty_rows_are_zero() {
+        let mut rng = DeterministicRng::new(2);
+        let q = rng.normal_matrix(4, 4, 1.0);
+        let k = rng.normal_matrix(4, 4, 1.0);
+        let v = rng.normal_matrix(4, 4, 1.0);
+        let (got, pairs) =
+            gathered_attention(&q, &k, &v, |i| if i == 2 { vec![0, 1] } else { vec![] }).unwrap();
+        assert!(got.output.row(0).iter().all(|&x| x == 0.0));
+        assert!(got.output.row(2).iter().any(|&x| x != 0.0));
+        assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_index_rejected() {
+        let q = Matrix::zeros(2, 4);
+        let k = Matrix::zeros(2, 4);
+        let v = Matrix::zeros(2, 4);
+        assert!(gathered_attention(&q, &k, &v, |_| vec![5]).is_err());
+    }
+}

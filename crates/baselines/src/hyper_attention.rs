@@ -1,0 +1,210 @@
+//! HyperAttention: LSH-identified heavy entries + uniform column sampling.
+//!
+//! Following Han et al. (2023), heavy score entries are located by hashing
+//! queries and keys with a shared sign-random-projection LSH (similar
+//! vectors collide), and the remainder of the softmax mass is estimated
+//! from uniformly sampled columns. The paper's comparison sets both the
+//! bucket size and the number of sampled columns to 256; scaled problems
+//! use proportional values via [`HyperAttention::scaled`].
+
+use sa_kernels::causal_pairs;
+use sa_tensor::{Matrix, TensorError};
+
+use crate::gather::gathered_attention;
+use crate::lsh::SignRandomProjection;
+use crate::{AttentionMethod, MethodOutput};
+
+/// HyperAttention-style sparse attention.
+#[derive(Debug, Clone)]
+pub struct HyperAttention {
+    bucket_size: usize,
+    num_sampled_cols: usize,
+    num_planes: usize,
+    seed: u64,
+}
+
+impl HyperAttention {
+    /// The paper's comparison settings (bucket size 256, 256 sampled
+    /// columns) with 6 hyperplanes.
+    pub fn paper_config(seed: u64) -> Self {
+        HyperAttention {
+            bucket_size: 256,
+            num_sampled_cols: 256,
+            num_planes: 6,
+            seed,
+        }
+    }
+
+    /// Settings scaled to a target sequence length: bucket size and
+    /// sampled columns are `s / 16` (the paper's 256 at 4K), at least 4.
+    pub fn scaled(s: usize, seed: u64) -> Self {
+        let b = (s / 16).max(4);
+        HyperAttention {
+            bucket_size: b,
+            num_sampled_cols: b,
+            num_planes: 6,
+            seed,
+        }
+    }
+
+    /// Creates with explicit settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for zero bucket size or
+    /// an invalid plane count.
+    pub fn new(
+        bucket_size: usize,
+        num_sampled_cols: usize,
+        num_planes: usize,
+        seed: u64,
+    ) -> Result<Self, TensorError> {
+        if bucket_size == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "HyperAttention::new",
+                what: "bucket_size must be >= 1".to_string(),
+            });
+        }
+        if num_planes == 0 || num_planes > 30 {
+            return Err(TensorError::InvalidDimension {
+                op: "HyperAttention::new",
+                what: format!("num_planes must be in 1..=30, got {num_planes}"),
+            });
+        }
+        Ok(HyperAttention {
+            bucket_size,
+            num_sampled_cols,
+            num_planes,
+            seed,
+        })
+    }
+}
+
+impl AttentionMethod for HyperAttention {
+    fn name(&self) -> &str {
+        "HyperAttention"
+    }
+
+    fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError> {
+        if q.cols() != k.cols() {
+            return Err(TensorError::ShapeMismatch {
+                op: "HyperAttention::forward",
+                lhs: q.shape(),
+                rhs: k.shape(),
+            });
+        }
+        let s_q = q.rows();
+        let s_k = k.rows();
+        let hasher = SignRandomProjection::new(q.cols(), self.num_planes, self.seed);
+        let q_hashes = hasher.hash_rows(q);
+        let k_hashes = hasher.hash_rows(k);
+
+        // Per key-bucket row lists (keys sorted ascending already).
+        let mut key_buckets: Vec<Vec<usize>> = vec![Vec::new(); hasher.num_buckets()];
+        for (j, &h) in k_hashes.iter().enumerate() {
+            key_buckets[h].push(j);
+        }
+
+        let diag_off = s_k as isize - s_q as isize;
+        let (out, live_pairs) = gathered_attention(q, k, v, |i| {
+            let end = i as isize + diag_off;
+            if end < 0 {
+                return Vec::new();
+            }
+            let end = (end as usize).min(s_k - 1);
+            let mut indices: Vec<usize> = Vec::new();
+            // Heavy entries: causal keys colliding with this query,
+            // nearest-first, capped at bucket_size.
+            let bucket = &key_buckets[q_hashes[i]];
+            let cut = bucket.partition_point(|&j| j <= end);
+            indices.extend(bucket[..cut].iter().rev().take(self.bucket_size));
+            // Uniformly sampled causal columns for the residual estimate.
+            let n = self.num_sampled_cols.min(end + 1);
+            if n > 0 {
+                let stride = (end + 1) as f64 / n as f64;
+                indices.extend((0..n).map(|t| (t as f64 * stride) as usize));
+            }
+            // Self-attention is always kept.
+            indices.push(end);
+            indices.sort_unstable();
+            indices.dedup();
+            indices
+        })?;
+
+        let causal = causal_pairs(s_q, s_k).max(1);
+        Ok(MethodOutput {
+            output: out.output,
+            cost: out.cost,
+            density: live_pairs as f64 / causal as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::full_attention;
+    use sa_tensor::{cosine_similarity, DeterministicRng};
+
+    fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn forward_shape_and_density() {
+        let (q, k, v) = qkv(128, 8, 1);
+        let m = HyperAttention::new(8, 8, 4, 0).unwrap();
+        let out = m.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.output.shape(), (128, 8));
+        assert!(out.density > 0.0 && out.density < 1.0, "{}", out.density);
+    }
+
+    #[test]
+    fn generous_budget_approaches_full() {
+        let (q, k, v) = qkv(64, 8, 2);
+        let m = HyperAttention::new(64, 64, 4, 0).unwrap();
+        let out = m.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let sim = cosine_similarity(out.output.as_slice(), exact.output.as_slice());
+        assert!(sim > 0.999, "sim {sim}");
+    }
+
+    #[test]
+    fn tight_budget_degrades() {
+        let (q, k, v) = qkv(256, 8, 3);
+        let m = HyperAttention::new(2, 2, 6, 0).unwrap();
+        let out = m.forward(&q, &k, &v).unwrap();
+        assert!(out.density < 0.1);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let (q, k, v) = qkv(64, 8, 4);
+        let m = HyperAttention::paper_config(9);
+        let a = m.forward(&q, &k, &v).unwrap();
+        let b = m.forward(&q, &k, &v).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HyperAttention::new(0, 4, 4, 0).is_err());
+        assert!(HyperAttention::new(4, 4, 0, 0).is_err());
+        let (q, _, v) = qkv(8, 8, 5);
+        let k_bad = Matrix::zeros(8, 6);
+        assert!(HyperAttention::paper_config(0).forward(&q, &k_bad, &v).is_err());
+    }
+
+    #[test]
+    fn scaled_config_tracks_length() {
+        let a = HyperAttention::scaled(4096, 0);
+        assert_eq!(a.bucket_size, 256);
+        let b = HyperAttention::scaled(64, 0);
+        assert_eq!(b.bucket_size, 4);
+    }
+}

@@ -1,0 +1,144 @@
+//! Locality-sensitive hashing utilities shared by [`crate::HyperAttention`]
+//! and [`crate::HashSparse`].
+//!
+//! Sign-random-projection LSH: each row is hashed to a bucket id by the
+//! signs of its dot products with `num_planes` random hyperplanes. Rows
+//! with high cosine similarity collide with high probability.
+
+use sa_tensor::{DeterministicRng, Matrix};
+
+/// A sign-random-projection hasher.
+#[derive(Debug, Clone)]
+pub struct SignRandomProjection {
+    /// `(num_planes, d)` hyperplane normals.
+    planes: Matrix,
+}
+
+impl SignRandomProjection {
+    /// Draws `num_planes` random hyperplanes in dimension `d` from the
+    /// seed. `2^num_planes` buckets result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_planes == 0` or `num_planes > 30`.
+    pub fn new(d: usize, num_planes: usize, seed: u64) -> Self {
+        assert!(
+            num_planes > 0 && num_planes <= 30,
+            "num_planes must be in 1..=30, got {num_planes}"
+        );
+        let mut rng = DeterministicRng::new(seed);
+        SignRandomProjection {
+            planes: rng.normal_matrix(num_planes, d, 1.0),
+        }
+    }
+
+    /// Number of hyperplanes.
+    pub fn num_planes(&self) -> usize {
+        self.planes.rows()
+    }
+
+    /// Number of distinct buckets (`2^num_planes`).
+    pub fn num_buckets(&self) -> usize {
+        1 << self.planes.rows()
+    }
+
+    /// Hashes one vector to its bucket id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the hasher's dimension.
+    pub fn hash(&self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.planes.cols(), "hash dimension mismatch");
+        let mut id = 0usize;
+        for p in 0..self.planes.rows() {
+            let dot: f32 = self.planes.row(p).iter().zip(x).map(|(a, b)| a * b).sum();
+            if dot >= 0.0 {
+                id |= 1 << p;
+            }
+        }
+        id
+    }
+
+    /// Hashes every row of a matrix.
+    pub fn hash_rows(&self, m: &Matrix) -> Vec<usize> {
+        (0..m.rows()).map(|i| self.hash(m.row(i))).collect()
+    }
+}
+
+/// Groups row indices by bucket id: `buckets[b]` lists the rows hashed to
+/// `b`. Buckets are indexed densely `0..num_buckets`.
+pub fn bucketize(hashes: &[usize], num_buckets: usize) -> Vec<Vec<usize>> {
+    let mut buckets = vec![Vec::new(); num_buckets];
+    for (row, &h) in hashes.iter().enumerate() {
+        buckets[h % num_buckets].push(row);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_tensor::DeterministicRng;
+
+    #[test]
+    fn identical_vectors_collide() {
+        let h = SignRandomProjection::new(8, 4, 1);
+        let x = vec![0.3, -1.0, 0.5, 2.0, -0.2, 0.8, 1.1, -0.7];
+        assert_eq!(h.hash(&x), h.hash(&x));
+    }
+
+    #[test]
+    fn opposite_vectors_diverge() {
+        let h = SignRandomProjection::new(8, 6, 2);
+        let x = vec![1.0f32; 8];
+        let y: Vec<f32> = x.iter().map(|v| -v).collect();
+        // Opposite vectors flip every sign → complementary bucket ids.
+        assert_eq!(h.hash(&x) ^ h.hash(&y), h.num_buckets() - 1);
+    }
+
+    #[test]
+    fn similar_vectors_collide_often() {
+        let mut rng = DeterministicRng::new(3);
+        let h = SignRandomProjection::new(16, 4, 4);
+        let mut collisions = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let x: Vec<f32> = (0..16).map(|_| rng.normal()).collect();
+            let y: Vec<f32> = x.iter().map(|v| v + 0.05 * rng.normal()).collect();
+            if h.hash(&x) == h.hash(&y) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions > trials / 2, "only {collisions}/{trials} collisions");
+    }
+
+    #[test]
+    fn bucket_count_and_range() {
+        let h = SignRandomProjection::new(4, 5, 5);
+        assert_eq!(h.num_buckets(), 32);
+        assert_eq!(h.num_planes(), 5);
+        let mut rng = DeterministicRng::new(6);
+        let m = rng.normal_matrix(100, 4, 1.0);
+        for id in h.hash_rows(&m) {
+            assert!(id < 32);
+        }
+    }
+
+    #[test]
+    fn bucketize_partitions_rows() {
+        let hashes = vec![0, 1, 0, 3, 1];
+        let buckets = bucketize(&hashes, 4);
+        assert_eq!(buckets[0], vec![0, 2]);
+        assert_eq!(buckets[1], vec![1, 4]);
+        assert!(buckets[2].is_empty());
+        assert_eq!(buckets[3], vec![3]);
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_planes")]
+    fn zero_planes_panics() {
+        let _ = SignRandomProjection::new(4, 0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! The common interface every attention method implements.
+
+use sa_kernels::CostReport;
+use sa_tensor::{Matrix, TensorError};
+
+/// Output of one attention-method invocation on one head.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    /// The `(S_q, d_v)` attention output.
+    pub output: Matrix,
+    /// Exact algorithmic cost (mask discovery + sparse compute).
+    pub cost: CostReport,
+    /// Fraction of the causal score triangle actually computed
+    /// (1.0 for full attention).
+    pub density: f64,
+}
+
+/// A prefill attention method: maps one head's Q/K/V to an output.
+///
+/// Implementations must be deterministic for a fixed construction (any
+/// randomness — BigBird's random columns, LSH hyperplanes — is drawn at
+/// construction time from a caller-provided seed), so that accuracy
+/// comparisons are reproducible.
+///
+/// The trait is object-safe: the evaluation harnesses iterate over
+/// `Vec<Box<dyn AttentionMethod>>`.
+pub trait AttentionMethod {
+    /// Human-readable method name as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// Computes attention for one head.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatches between `q`, `k`,
+    /// and `v`.
+    fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl AttentionMethod for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn forward(&self, q: &Matrix, _: &Matrix, _: &Matrix) -> Result<MethodOutput, TensorError> {
+            Ok(MethodOutput {
+                output: q.clone(),
+                cost: CostReport::new(),
+                density: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let methods: Vec<Box<dyn AttentionMethod>> = vec![Box::new(Dummy)];
+        let q = Matrix::zeros(2, 2);
+        let out = methods[0].forward(&q, &q, &q).unwrap();
+        assert_eq!(out.output.shape(), (2, 2));
+        assert_eq!(methods[0].name(), "dummy");
+    }
+}

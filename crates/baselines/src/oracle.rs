@@ -1,0 +1,139 @@
+//! Oracle per-row top-k attention (accuracy upper bound).
+//!
+//! Computes the exact probability matrix and keeps, per row, the fewest
+//! highest entries covering the CRA threshold — the unstructured optimum
+//! of Definition 1. Unaffordable at runtime (quadratic memory), but the
+//! analysis benches use it to quantify how close SampleAttention's
+//! structured approximation gets to the information-theoretic best mask.
+
+use sa_kernels::causal_pairs;
+use sa_kernels::attention_probs;
+use sa_tensor::{argsort_desc, Matrix, TensorError};
+
+use crate::gather::gathered_attention;
+use crate::{AttentionMethod, MethodOutput};
+
+/// Oracle top-k sparse attention at a CRA threshold `alpha`.
+#[derive(Debug, Clone)]
+pub struct OracleTopK {
+    alpha: f32,
+}
+
+impl OracleTopK {
+    /// Creates the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `alpha` is not in
+    /// `(0, 1]`.
+    pub fn new(alpha: f32) -> Result<Self, TensorError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(TensorError::InvalidDimension {
+                op: "OracleTopK::new",
+                what: format!("alpha must be in (0, 1], got {alpha}"),
+            });
+        }
+        Ok(OracleTopK { alpha })
+    }
+
+    /// The CRA threshold.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl AttentionMethod for OracleTopK {
+    fn name(&self) -> &str {
+        "OracleTopK"
+    }
+
+    fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError> {
+        let p = attention_probs(q, k, true)?;
+        let s_q = q.rows();
+        let s_k = k.rows();
+        let (out, live_pairs) = gathered_attention(q, k, v, |i| {
+            let row = p.row(i);
+            let total: f32 = row.iter().sum();
+            if total <= 0.0 {
+                return Vec::new();
+            }
+            let target = self.alpha * total;
+            let order = argsort_desc(row);
+            let mut acc = 0.0;
+            let mut picked = Vec::new();
+            for &j in &order {
+                picked.push(j);
+                acc += row[j];
+                if acc >= target {
+                    break;
+                }
+            }
+            picked.sort_unstable();
+            picked
+        })?;
+        // The oracle's cost is dominated by materialising P (full
+        // quadratic work) before the sparse pass; reflect that honestly.
+        let mut cost = out.cost;
+        let d = q.cols() as u64;
+        let pairs = causal_pairs(s_q, s_k);
+        cost.flops += pairs * (2 * d + 4);
+        cost.bytes_read += 4 * pairs;
+        cost.bytes_written += 4 * pairs;
+        cost.kernel_launches += 2;
+        let causal = pairs.max(1);
+        Ok(MethodOutput {
+            output: out.output,
+            cost,
+            density: live_pairs as f64 / causal as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::full_attention;
+    use sa_tensor::{cosine_similarity, DeterministicRng};
+
+    fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn near_lossless_at_high_alpha() {
+        let (q, k, v) = qkv(96, 8, 1);
+        let m = OracleTopK::new(0.99).unwrap();
+        let out = m.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let sim = cosine_similarity(out.output.as_slice(), exact.output.as_slice());
+        assert!(sim > 0.995, "sim {sim}");
+        assert!(out.density < 1.0);
+    }
+
+    #[test]
+    fn lower_alpha_sparser() {
+        let (q, k, v) = qkv(96, 8, 2);
+        let d_lo = OracleTopK::new(0.5).unwrap().forward(&q, &k, &v).unwrap().density;
+        let d_hi = OracleTopK::new(0.95).unwrap().forward(&q, &k, &v).unwrap().density;
+        assert!(d_lo < d_hi, "{d_lo} vs {d_hi}");
+    }
+
+    #[test]
+    fn oracle_cost_includes_quadratic_discovery() {
+        let (q, k, v) = qkv(64, 8, 3);
+        let out = OracleTopK::new(0.5).unwrap().forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        assert!(out.cost.flops > exact.cost.flops / 2);
+    }
+
+    #[test]
+    fn invalid_alpha() {
+        assert!(OracleTopK::new(0.0).is_err());
+        assert!(OracleTopK::new(1.1).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the attention kernels: naive full
+//! attention vs the blocked flash kernel vs the block-sparse kernel at
+//! several densities. The expected shape mirrors the paper's Figure 5(a):
+//! sparse wall-clock scales with mask density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_kernels::{
+    flash_attention, full_attention, sparse_flash_attention, FlashParams, StructuredMask,
+};
+use sa_tensor::{DeterministicRng, Matrix};
+use std::hint::black_box;
+
+fn qkv(s: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DeterministicRng::new(42);
+    (
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+    )
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let d = 64;
+    let mut group = c.benchmark_group("attention_kernels");
+    group.sample_size(10);
+    for &s in &[256usize, 512, 1024] {
+        let (q, k, v) = qkv(s, d);
+        group.bench_with_input(BenchmarkId::new("full", s), &s, |b, _| {
+            b.iter(|| black_box(full_attention(&q, &k, &v, true).unwrap().output))
+        });
+        group.bench_with_input(BenchmarkId::new("flash", s), &s, |b, _| {
+            b.iter(|| {
+                black_box(
+                    flash_attention(&q, &k, &v, true, FlashParams::default())
+                        .unwrap()
+                        .output,
+                )
+            })
+        });
+        for &window_ratio in &[0.05f32, 0.25] {
+            let mask = StructuredMask::builder(s, s)
+                .window_ratio(window_ratio)
+                .sinks(4)
+                .columns((0..s / 64).map(|i| i * 61 % s).collect())
+                .build()
+                .unwrap();
+            let label = format!("sparse_w{:.0}%", window_ratio * 100.0);
+            group.bench_with_input(BenchmarkId::new(label, s), &s, |b, _| {
+                b.iter(|| black_box(sparse_flash_attention(&q, &k, &v, &mask).unwrap().output))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of the full synthetic-transformer prefill with
+//! different attention methods plugged in — the CPU analogue of the
+//! paper's TTFT measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_baselines::{AttentionMethod, FullAttention, SampleAttentionMethod, StreamingLlm};
+use sa_model::{ModelConfig, SyntheticTransformer};
+use std::hint::black_box;
+
+fn bench_prefill(c: &mut Criterion) {
+    let model = SyntheticTransformer::new(ModelConfig::tiny(42)).expect("model");
+    let mut group = c.benchmark_group("prefill_ttft");
+    group.sample_size(10);
+    for &s in &[256usize, 512] {
+        let tokens = model.tokenize_filler(s);
+        let methods: Vec<(&str, Box<dyn AttentionMethod>)> = vec![
+            ("full", Box::new(FullAttention::new())),
+            ("sample_attention", Box::new(SampleAttentionMethod::paper_default())),
+            ("streaming_llm", Box::new(StreamingLlm::paper_config())),
+        ];
+        for (name, m) in &methods {
+            group.bench_with_input(BenchmarkId::new(*name, s), &s, |b, _| {
+                b.iter(|| black_box(model.prefill(&tokens, m.as_ref()).unwrap().hidden));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill);
+criterion_main!(benches);

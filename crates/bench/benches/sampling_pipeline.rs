@@ -1,0 +1,56 @@
+//! Criterion benchmarks of SampleAttention's mask-discovery pipeline:
+//! stage-1 sampling, stage-2 filtering, and the end-to-end operator,
+//! compared against full attention at the same shape. On CPU, as on GPU,
+//! the discovery stages should be a small fraction of the dense
+//! attention cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_core::filtering::{filter_kv_indices, KvRatioSchedule};
+use sa_core::sampling::sample_attention_scores;
+use sa_core::{SampleAttention, SampleAttentionConfig};
+use sa_kernels::full_attention;
+use sa_tensor::{DeterministicRng, Matrix};
+use std::hint::black_box;
+
+fn qkv(s: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DeterministicRng::new(7);
+    (
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let d = 64;
+    let mut group = c.benchmark_group("sampling_pipeline");
+    group.sample_size(10);
+    for &s in &[512usize, 2048] {
+        let (q, k, v) = qkv(s, d);
+        group.bench_with_input(BenchmarkId::new("stage1_sampling", s), &s, |b, _| {
+            b.iter(|| black_box(sample_attention_scores(&q, &k, 0.05).unwrap()))
+        });
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        group.bench_with_input(BenchmarkId::new("stage2_filtering", s), &s, |b, _| {
+            b.iter(|| {
+                black_box(filter_kv_indices(
+                    &sampled.column_scores,
+                    0.95,
+                    1.0,
+                    &KvRatioSchedule::Exact,
+                ))
+            })
+        });
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        group.bench_with_input(BenchmarkId::new("sample_attention_e2e", s), &s, |b, _| {
+            b.iter(|| black_box(attn.forward(&q, &k, &v).unwrap().output))
+        });
+        group.bench_with_input(BenchmarkId::new("full_attention", s), &s, |b, _| {
+            b.iter(|| black_box(full_attention(&q, &k, &v, true).unwrap().output))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

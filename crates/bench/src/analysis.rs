@@ -1,0 +1,61 @@
+//! Shared analysis helpers for the sparsity experiments: per-head
+//! probability matrices and sparsity-degree sweeps over the synthetic
+//! models.
+
+use sa_baselines::FullAttention;
+use sa_kernels::attention_probs;
+use sa_model::{PrefillResult, SyntheticTransformer};
+use sa_tensor::{Matrix, TensorError};
+
+/// Runs a full-attention prefill and returns the result (whose
+/// `layer_inputs` feed per-head score recomputation).
+pub fn reference_prefill(
+    model: &SyntheticTransformer,
+    tokens: &[u32],
+) -> Result<PrefillResult, TensorError> {
+    model.prefill(tokens, &FullAttention::new())
+}
+
+/// Exact probability matrix of head `(layer, head)` given a reference
+/// prefill.
+pub fn head_probs(
+    model: &SyntheticTransformer,
+    reference: &PrefillResult,
+    layer: usize,
+    head: usize,
+) -> Result<Matrix, TensorError> {
+    let hidden = &reference.layer_inputs[layer];
+    let (q, k, _v) = model.layers()[layer].project_head(hidden, head)?;
+    attention_probs(&q, &k, true)
+}
+
+/// Mean optimal sparsity degree `SD(alpha)` across all heads of `layer`.
+pub fn layer_mean_sd(
+    model: &SyntheticTransformer,
+    reference: &PrefillResult,
+    layer: usize,
+    alpha: f32,
+) -> Result<f64, TensorError> {
+    let heads = model.config().num_heads;
+    let mut sum = 0.0;
+    for h in 0..heads {
+        let p = head_probs(model, reference, layer, h)?;
+        let (sd, _) = sa_core::sparsity::optimal_sparsity_degree(&p, alpha);
+        sum += sd;
+    }
+    Ok(sum / heads as f64)
+}
+
+/// Mean SD across every head of every layer.
+pub fn model_mean_sd(
+    model: &SyntheticTransformer,
+    reference: &PrefillResult,
+    alpha: f32,
+) -> Result<f64, TensorError> {
+    let layers = model.config().num_layers;
+    let mut sum = 0.0;
+    for l in 0..layers {
+        sum += layer_mean_sd(model, reference, l, alpha)?;
+    }
+    Ok(sum / layers as f64)
+}

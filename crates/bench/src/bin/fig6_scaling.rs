@@ -1,0 +1,107 @@
+//! Figure 6: attention latency and TTFT scaling from 8K to 1M tokens.
+//!
+//! Paper anchors at 1M: TTFT reductions of 2.27× (α=0.95) and 4.62×
+//! (α=0.80) versus FlashAttention2.
+
+use sa_bench::{f, render_table, write_json, Args};
+use sa_perf::ttft::{AttentionKind, TtftModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    seq_len: usize,
+    attn_flash_ms: f64,
+    attn95_ms: f64,
+    attn80_ms: f64,
+    ttft_flash_ms: f64,
+    ttft95_ms: f64,
+    ttft80_ms: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let model = TtftModel::paper_microbench();
+    let lengths: Vec<usize> = if args.quick {
+        vec![8_192, 131_072, 1_048_576]
+    } else {
+        vec![
+            8_192, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576,
+        ]
+    };
+    let sa95 = AttentionKind::SampleAttention {
+        alpha: 0.95,
+        sample_ratio: 0.05,
+    };
+    let sa80 = AttentionKind::SampleAttention {
+        alpha: 0.80,
+        sample_ratio: 0.05,
+    };
+
+    let rows: Vec<Row> = lengths
+        .iter()
+        .map(|&s| Row {
+            seq_len: s,
+            attn_flash_ms: model.attention_latency(s, AttentionKind::Flash) * 1e3,
+            attn95_ms: model.attention_latency(s, sa95) * 1e3,
+            attn80_ms: model.attention_latency(s, sa80) * 1e3,
+            ttft_flash_ms: model.ttft(s, AttentionKind::Flash).total_s() * 1e3,
+            ttft95_ms: model.ttft(s, sa95).total_s() * 1e3,
+            ttft80_ms: model.ttft(s, sa80).total_s() * 1e3,
+        })
+        .collect();
+
+    let label = |s: usize| {
+        if s >= 1_048_576 {
+            "1M".to_string()
+        } else {
+            format!("{}K", s / 1024)
+        }
+    };
+
+    println!("Figure 6(a): attention latency (ms), speedup vs FlashAttention2\n");
+    let table_a: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                label(r.seq_len),
+                f(r.attn_flash_ms, 0),
+                format!("{} ({}x)", f(r.attn95_ms, 0), f(r.attn_flash_ms / r.attn95_ms, 2)),
+                format!("{} ({}x)", f(r.attn80_ms, 0), f(r.attn_flash_ms / r.attn80_ms, 2)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["S", "FlashAttn2", "SA(a=.95)", "SA(a=.80)"], &table_a)
+    );
+
+    println!("Figure 6(b): TTFT (ms), reduction vs FlashAttention2\n");
+    let table_b: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                label(r.seq_len),
+                f(r.ttft_flash_ms, 0),
+                format!("{} ({}x)", f(r.ttft95_ms, 0), f(r.ttft_flash_ms / r.ttft95_ms, 2)),
+                format!("{} ({}x)", f(r.ttft80_ms, 0), f(r.ttft_flash_ms / r.ttft80_ms, 2)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["S", "TTFT flash", "TTFT SA(.95)", "TTFT SA(.80)"], &table_b)
+    );
+
+    if let Some(last) = rows.last() {
+        println!(
+            "Paper anchors at 1M: TTFT reductions 2.27x (a=.95) and 4.62x (a=.80)."
+        );
+        println!(
+            "This model at {}:  TTFT reductions {}x and {}x.",
+            label(last.seq_len),
+            f(last.ttft_flash_ms / last.ttft95_ms, 2),
+            f(last.ttft_flash_ms / last.ttft80_ms, 2),
+        );
+    }
+    write_json(&args, "fig6_scaling", &rows);
+}

@@ -1,0 +1,48 @@
+//! Table 4: TTFT latency breakdown at the prefill stage (ChatGLM2-6B,
+//! 8×A100, TP=4/PP=2), and the attention share of TTFT from 32K to 1M.
+//!
+//! The published table is reproduced side by side with this roofline
+//! model's prediction; the key reproduced quantity is the attention
+//! *share*, which rises from ~32 % at 32K to ~88 % at 1M and motivates
+//! the whole paper.
+
+use sa_bench::{f, render_table, write_json, Args};
+use sa_perf::calibrate::{attention_share_mae, calibrate_against_table4};
+use sa_perf::ttft::TtftModel;
+
+fn main() {
+    let args = Args::parse();
+    let model = TtftModel::paper_serving();
+    let rows = calibrate_against_table4(&model);
+
+    println!("Table 4: latency breakdown at the prefill stage (ChatGLM2-6B, TP=4 PP=2)\n");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let label = if r.seq_len >= 1_048_576 {
+                "1M".to_string()
+            } else {
+                format!("{}K", r.seq_len / 1024)
+            };
+            vec![
+                label,
+                f(r.paper_ttft_ms, 1),
+                format!("{}%", f(r.paper_attention_share * 100.0, 1)),
+                f(r.model_ttft_ms, 1),
+                format!("{}%", f(r.model_attention_share * 100.0, 1)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["S", "paper TTFT(ms)", "paper attn%", "model TTFT(ms)", "model attn%"],
+            &table
+        )
+    );
+    println!(
+        "Attention-share mean absolute error: {} percentage points",
+        f(attention_share_mae(&rows), 1)
+    );
+    write_json(&args, "table4_breakdown", &rows);
+}

@@ -1,0 +1,381 @@
+//! The end-to-end SampleAttention operator.
+//!
+//! Ties the pipeline together per attention head: stage-1 sampling →
+//! stage-2 filtering → mask merging → block-sparse flash attention
+//! (Algorithm 1, Figure 3).
+
+use sa_kernels::{sparse_flash_attention, CostReport, StructuredMask};
+use sa_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::filtering::{filter_kv_indices, KvRatioSchedule};
+use crate::merge::merge_mask_with_diagonals;
+use crate::sampling::sample_attention_scores;
+use crate::{SampleAttentionConfig, SampleAttentionError};
+
+/// Per-invocation statistics of a SampleAttention forward pass.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SampleAttentionStats {
+    /// Fraction of key columns selected as stripes (`|I_KV| / S_k`).
+    pub kv_ratio: f32,
+    /// Fraction of sampled attention mass covered by the stripe set.
+    pub covered_mass: f32,
+    /// Live fraction of the causal triangle in the merged mask.
+    pub mask_density: f64,
+    /// Cost of stage 1 (fused sampling kernel).
+    pub sampling_cost: CostReport,
+    /// Cost of stage 2 (sort / filter / gather).
+    pub filtering_cost: CostReport,
+    /// Cost of the sparse attention kernel.
+    pub sparse_cost: CostReport,
+}
+
+impl SampleAttentionStats {
+    /// Total cost across all three phases.
+    pub fn total_cost(&self) -> CostReport {
+        self.sampling_cost + self.filtering_cost + self.sparse_cost
+    }
+
+    /// Fraction of total FLOPs spent discovering the mask (stages 1+2) —
+    /// the paper's Figure 5(b) "sampling overhead".
+    pub fn sampling_overhead_fraction(&self) -> f64 {
+        let overhead = self.sampling_cost.flops + self.filtering_cost.flops;
+        let total = overhead + self.sparse_cost.flops;
+        if total == 0 {
+            0.0
+        } else {
+            overhead as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a SampleAttention forward pass.
+#[derive(Debug, Clone)]
+pub struct SampleAttentionOutput {
+    /// The `(S_q, d_v)` attention output.
+    pub output: Matrix,
+    /// The merged structured mask that was executed.
+    pub mask: StructuredMask,
+    /// The selected stripe indices `I_KV`.
+    pub kv_indices: Vec<usize>,
+    /// Pipeline statistics.
+    pub stats: SampleAttentionStats,
+}
+
+/// Adaptive structured sparse attention (the paper's headline operator).
+///
+/// A `SampleAttention` value is a configured, reusable operator: call
+/// [`forward`](Self::forward) per attention head. The discovered mask is
+/// head- and content-specific because stages 1–2 run on the actual Q/K of
+/// the call.
+///
+/// # Example
+///
+/// ```
+/// use sa_core::{SampleAttention, SampleAttentionConfig};
+/// use sa_tensor::DeterministicRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = DeterministicRng::new(1);
+/// let q = rng.normal_matrix(128, 8, 1.0);
+/// let k = rng.normal_matrix(128, 8, 1.0);
+/// let v = rng.normal_matrix(128, 8, 1.0);
+/// let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+/// let out = attn.forward(&q, &k, &v)?;
+/// // Unstructured random heads are the worst case — the adaptive mask
+/// // may legitimately stay dense; structured heads sparsify strongly.
+/// assert!(out.stats.mask_density <= 1.0);
+/// assert!(out.stats.covered_mass >= 0.95);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleAttention {
+    config: SampleAttentionConfig,
+    schedule: KvRatioSchedule,
+}
+
+impl SampleAttention {
+    /// Creates the operator with the paper's Algorithm-1 stage-2 schedule
+    /// (the coarse candidate-ratio list). The coarse schedule's
+    /// overshoot — it keeps the smallest *candidate ratio* clearing `α`,
+    /// not the literal minimum — is a deliberate robustness margin: the
+    /// columns between the minimal set and the candidate ratio absorb
+    /// weak-but-critical stripes (e.g. deep facts seen by few sampled
+    /// rows). Use [`with_schedule`](Self::with_schedule) with
+    /// [`KvRatioSchedule::Exact`] for the minimal-set variant.
+    pub fn new(config: SampleAttentionConfig) -> Self {
+        SampleAttention {
+            config,
+            schedule: KvRatioSchedule::paper_coarse(),
+        }
+    }
+
+    /// Creates the operator with a custom stage-2 schedule (e.g.
+    /// [`KvRatioSchedule::paper_coarse`]).
+    pub fn with_schedule(config: SampleAttentionConfig, schedule: KvRatioSchedule) -> Self {
+        SampleAttention { config, schedule }
+    }
+
+    /// The operator's configuration.
+    pub fn config(&self) -> &SampleAttentionConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on one head's Q/K/V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleAttentionError::Tensor`] on shape mismatches
+    /// between `q`, `k` and `v`.
+    pub fn forward(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<SampleAttentionOutput, SampleAttentionError> {
+        let mask = self.discover_mask(q, k)?;
+        self.forward_with_mask(q, k, v, mask.mask, mask.kv_indices, mask.stats)
+    }
+
+    /// Runs only the mask-discovery stages (1 + 2 + merge) without the
+    /// sparse kernel. Useful for sparsity analysis and for reusing one
+    /// head's mask across a GQA group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleAttentionError::Tensor`] on Q/K shape mismatch.
+    pub fn discover_mask(&self, q: &Matrix, k: &Matrix) -> Result<DiscoveredMask, SampleAttentionError> {
+        let sampled =
+            sample_attention_scores(q, k, self.config.effective_sample_ratio(q.rows()))?;
+        let filtered = filter_kv_indices(
+            &sampled.column_scores,
+            self.config.cra_threshold,
+            self.config.max_kv_ratio,
+            &self.schedule,
+        );
+        // Appendix A.6 extension: select heavy relative diagonals beyond
+        // the window when enabled.
+        let diagonals = if self.config.diagonal_threshold > 0.0 {
+            let total: f32 = sampled.diagonal_scores.iter().sum();
+            let window = self.config.window_size(k.rows());
+            let mut picks: Vec<(usize, f32)> = sampled
+                .diagonal_scores
+                .iter()
+                .enumerate()
+                .skip(window) // the window already covers small offsets
+                .filter(|&(_, &m)| total > 0.0 && m / total >= self.config.diagonal_threshold)
+                .map(|(d, &m)| (d, m))
+                .collect();
+            picks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            picks.truncate(self.config.max_diagonals);
+            picks.into_iter().map(|(d, _)| d).collect()
+        } else {
+            Vec::new()
+        };
+        let mask = merge_mask_with_diagonals(
+            q.rows(),
+            k.rows(),
+            &filtered.indices,
+            &diagonals,
+            &self.config,
+        )?;
+        let stats = SampleAttentionStats {
+            kv_ratio: filtered.kv_ratio,
+            covered_mass: filtered.covered_mass,
+            mask_density: mask.density(),
+            sampling_cost: sampled.cost,
+            filtering_cost: filtered.cost,
+            sparse_cost: CostReport::new(),
+        };
+        Ok(DiscoveredMask {
+            mask,
+            kv_indices: filtered.indices,
+            stats,
+        })
+    }
+
+    fn forward_with_mask(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        mask: StructuredMask,
+        kv_indices: Vec<usize>,
+        mut stats: SampleAttentionStats,
+    ) -> Result<SampleAttentionOutput, SampleAttentionError> {
+        let sparse = sparse_flash_attention(q, k, v, &mask)?;
+        stats.sparse_cost = sparse.cost;
+        Ok(SampleAttentionOutput {
+            output: sparse.output,
+            mask,
+            kv_indices,
+            stats,
+        })
+    }
+}
+
+/// A discovered (but not yet executed) structured mask with its discovery
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct DiscoveredMask {
+    /// The merged mask.
+    pub mask: StructuredMask,
+    /// Selected stripe indices.
+    pub kv_indices: Vec<usize>,
+    /// Stats with `sparse_cost` still zero.
+    pub stats: SampleAttentionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::full_attention;
+    use sa_tensor::{cosine_similarity, DeterministicRng};
+
+    fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    /// Q/K engineered so attention has strong sink + window + stripe
+    /// structure (what real long-context heads look like).
+    fn structured_qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        let mut k = rng.normal_matrix(s, d, 0.3);
+        // Sink: key 0 has a large norm along the queries' shared direction
+        // (strong enough to dominate an S-way softmax).
+        for j in 0..d {
+            let v = k.get(0, j);
+            k.set(0, j, v + 4.0);
+        }
+        // Stripe: key s/2 likewise.
+        for j in 0..d {
+            let v = k.get(s / 2, j);
+            k.set(s / 2, j, v + 4.0);
+        }
+        let q = Matrix::from_fn(s, d, |_, _| 0.5 + 0.1 * rng.normal());
+        let v = rng.normal_matrix(s, d, 1.0);
+        (q, k, v)
+    }
+
+    #[test]
+    fn output_shape_and_mask_validity() {
+        let (q, k, v) = qkv(200, 16, 1);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.output.shape(), (200, 16));
+        assert_eq!(out.mask.s_q(), 200);
+        assert!(out.stats.mask_density > 0.0 && out.stats.mask_density <= 1.0);
+    }
+
+    #[test]
+    fn near_lossless_on_structured_heads() {
+        let (q, k, v) = structured_qkv(256, 16, 2);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let sparse = attn.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let sim = cosine_similarity(sparse.output.as_slice(), exact.output.as_slice());
+        assert!(sim > 0.99, "cosine similarity {sim}");
+        // And it actually sparsified.
+        assert!(sparse.stats.mask_density < 0.6, "density {}", sparse.stats.mask_density);
+    }
+
+    #[test]
+    fn discovers_engineered_stripes() {
+        let (q, k, _) = structured_qkv(256, 16, 3);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let discovered = attn.discover_mask(&q, &k).unwrap();
+        // The sink at 0 and stripe at 128 must be in I_KV.
+        assert!(discovered.kv_indices.contains(&0), "{:?}", &discovered.kv_indices[..8.min(discovered.kv_indices.len())]);
+        assert!(discovered.kv_indices.contains(&128));
+    }
+
+    #[test]
+    fn higher_alpha_gives_denser_mask() {
+        let (q, k, v) = qkv(128, 8, 4);
+        let lo = SampleAttention::new(
+            SampleAttentionConfig::builder().cra_threshold(0.5).build().unwrap(),
+        );
+        let hi = SampleAttention::new(
+            SampleAttentionConfig::builder().cra_threshold(0.99).build().unwrap(),
+        );
+        let dl = lo.forward(&q, &k, &v).unwrap().stats.mask_density;
+        let dh = hi.forward(&q, &k, &v).unwrap().stats.mask_density;
+        assert!(dh >= dl, "{dh} vs {dl}");
+    }
+
+    #[test]
+    fn alpha_one_recovers_exact_output() {
+        let (q, k, v) = qkv(64, 8, 5);
+        let cfg = SampleAttentionConfig::builder()
+            .cra_threshold(1.0)
+            .sample_ratio(1.0)
+            .window_ratio(0.05)
+            .build()
+            .unwrap();
+        let attn = SampleAttention::new(cfg);
+        let sparse = attn.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let diff = sa_tensor::max_abs_diff(sparse.output.as_slice(), exact.output.as_slice());
+        assert!(diff < 1e-3, "max diff {diff}");
+    }
+
+    #[test]
+    fn stats_costs_populated() {
+        let (q, k, v) = qkv(128, 8, 6);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        assert!(out.stats.sampling_cost.flops > 0);
+        assert!(out.stats.sparse_cost.flops > 0);
+        let frac = out.stats.sampling_overhead_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "{frac}");
+        let total = out.stats.total_cost();
+        assert_eq!(
+            total.flops,
+            out.stats.sampling_cost.flops
+                + out.stats.filtering_cost.flops
+                + out.stats.sparse_cost.flops
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let (q, k, _) = qkv(16, 8, 7);
+        let bad_v = Matrix::zeros(8, 8);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        assert!(attn.forward(&q, &k, &bad_v).is_err());
+    }
+
+    #[test]
+    fn coarse_schedule_also_near_lossless() {
+        let (q, k, v) = structured_qkv(256, 16, 8);
+        let attn = SampleAttention::with_schedule(
+            SampleAttentionConfig::paper_default(),
+            KvRatioSchedule::paper_coarse(),
+        );
+        let sparse = attn.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let sim = cosine_similarity(sparse.output.as_slice(), exact.output.as_slice());
+        assert!(sim > 0.99, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn sparse_cheaper_than_full_on_long_sequences() {
+        let (q, k, v) = structured_qkv(512, 16, 9);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let sparse = attn.forward(&q, &k, &v).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let total = sparse.stats.total_cost();
+        assert!(
+            total.flops < exact.cost.flops,
+            "sparse {} vs full {}",
+            total.flops,
+            exact.cost.flops
+        );
+    }
+}

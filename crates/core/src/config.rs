@@ -1,0 +1,275 @@
+use serde::{Deserialize, Serialize};
+
+use crate::SampleAttentionError;
+
+/// Hyper-parameters of SampleAttention (the paper's Table 1).
+///
+/// | field | paper symbol | meaning |
+/// |---|---|---|
+/// | `cra_threshold` | `α` | desired cumulative residual attention |
+/// | `sample_ratio` | `r_row` | fraction of query rows sampled in stage 1 |
+/// | `window_ratio` | `r_w%` | local window size as a fraction of `S_k` |
+///
+/// Additional engineering knobs not in Table 1 but present in the
+/// algorithm / kernel:
+///
+/// - `min_window`: a floor on the absolute window size so very short
+///   sequences still keep a few local tokens;
+/// - `forced_sinks`: key positions `0..forced_sinks` are always retained
+///   (0 by default — the paper notes sinks are *discovered* by stage 2,
+///   but the knob supports the StreamingLLM-style ablation);
+/// - `max_kv_ratio`: a cap on `|I_KV| / S_k` guarding against degenerate
+///   heads selecting everything (1.0 = no cap).
+///
+/// Construct via [`SampleAttentionConfig::builder`]; the defaults are the
+/// paper's tuned operating point (`α = 0.95`, `r_row = 5 %`, `r_w = 8 %`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleAttentionConfig {
+    /// Desired CRA threshold `α` in `(0, 1]`.
+    pub cra_threshold: f32,
+    /// Stage-1 row sampling ratio `r_row` in `(0, 1]`.
+    pub sample_ratio: f32,
+    /// Local window ratio `r_w` in `[0, 1]`.
+    pub window_ratio: f32,
+    /// Minimum absolute window size in tokens.
+    pub min_window: usize,
+    /// Minimum number of sampled query rows in stage 1 (a real fused
+    /// kernel samples at least a tile's worth of rows; this also keeps the
+    /// column-score estimate stable on short prompts, where a bare
+    /// `r_row` fraction would leave late columns covered by only one or
+    /// two sampled rows).
+    pub min_sample_rows: usize,
+    /// Height of the dense "bottom area" (Figure 3): the last rows of the
+    /// score matrix attend densely. They are the rows a decoder generates
+    /// from, and the strided sample cannot judge the most recent keys.
+    pub bottom_area_rows: usize,
+    /// Key positions always kept (0 = rely on discovery).
+    pub forced_sinks: usize,
+    /// Minimum share of sampled mass a relative diagonal must hold to be
+    /// selected (0 = diagonal detection disabled; the paper's main method
+    /// uses only windows + stripes, Appendix A.6 sketches diagonals as
+    /// future work).
+    pub diagonal_threshold: f32,
+    /// Maximum diagonals selected per head when detection is enabled.
+    pub max_diagonals: usize,
+    /// Cap on the selected stripe ratio, in `(0, 1]`.
+    pub max_kv_ratio: f32,
+}
+
+impl SampleAttentionConfig {
+    /// Starts building a config from the paper's defaults.
+    pub fn builder() -> SampleAttentionConfigBuilder {
+        SampleAttentionConfigBuilder::default()
+    }
+
+    /// The paper's tuned operating point: `α=0.95`, `r_row=5 %`, `r_w=8 %`.
+    pub fn paper_default() -> Self {
+        SampleAttentionConfig {
+            cra_threshold: 0.95,
+            sample_ratio: 0.05,
+            window_ratio: 0.08,
+            min_window: 1,
+            min_sample_rows: 32,
+            bottom_area_rows: 32,
+            forced_sinks: 0,
+            diagonal_threshold: 0.0,
+            max_diagonals: 8,
+            max_kv_ratio: 1.0,
+        }
+    }
+
+    /// Effective stage-1 sampling ratio for `s_q` query rows:
+    /// `max(sample_ratio, min_sample_rows / s_q)`, capped at 1.
+    pub fn effective_sample_ratio(&self, s_q: usize) -> f32 {
+        if s_q == 0 {
+            return self.sample_ratio;
+        }
+        self.sample_ratio
+            .max(self.min_sample_rows as f32 / s_q as f32)
+            .min(1.0)
+    }
+
+    /// Absolute window size for a sequence of `s_k` keys:
+    /// `max(min_window, ⌈r_w · S_k⌉)`, clamped to `s_k`.
+    pub fn window_size(&self, s_k: usize) -> usize {
+        let w = (self.window_ratio * s_k as f32).ceil() as usize;
+        w.max(self.min_window).min(s_k)
+    }
+}
+
+impl Default for SampleAttentionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Builder for [`SampleAttentionConfig`], with range validation at
+/// [`build`](SampleAttentionConfigBuilder::build).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SampleAttentionConfigBuilder {
+    config: SampleAttentionConfig,
+}
+
+
+impl SampleAttentionConfigBuilder {
+    /// Sets the CRA threshold `α`.
+    pub fn cra_threshold(mut self, alpha: f32) -> Self {
+        self.config.cra_threshold = alpha;
+        self
+    }
+
+    /// Sets the stage-1 sampling ratio `r_row`.
+    pub fn sample_ratio(mut self, ratio: f32) -> Self {
+        self.config.sample_ratio = ratio;
+        self
+    }
+
+    /// Sets the local window ratio `r_w`.
+    pub fn window_ratio(mut self, ratio: f32) -> Self {
+        self.config.window_ratio = ratio;
+        self
+    }
+
+    /// Sets the minimum absolute window size.
+    pub fn min_window(mut self, tokens: usize) -> Self {
+        self.config.min_window = tokens;
+        self
+    }
+
+    /// Sets the minimum number of sampled rows in stage 1.
+    pub fn min_sample_rows(mut self, rows: usize) -> Self {
+        self.config.min_sample_rows = rows;
+        self
+    }
+
+    /// Sets the dense bottom-area height in rows.
+    pub fn bottom_area_rows(mut self, rows: usize) -> Self {
+        self.config.bottom_area_rows = rows;
+        self
+    }
+
+    /// Enables Appendix A.6 diagonal detection at the given sampled-mass
+    /// share threshold (e.g. 0.02 = diagonals holding >= 2 % each).
+    pub fn diagonal_threshold(mut self, share: f32) -> Self {
+        self.config.diagonal_threshold = share;
+        self
+    }
+
+    /// Caps how many diagonals may be selected per head.
+    pub fn max_diagonals(mut self, n: usize) -> Self {
+        self.config.max_diagonals = n;
+        self
+    }
+
+    /// Forces the first `n` key positions to be retained.
+    pub fn forced_sinks(mut self, n: usize) -> Self {
+        self.config.forced_sinks = n;
+        self
+    }
+
+    /// Caps the stripe ratio selected by stage 2.
+    pub fn max_kv_ratio(mut self, ratio: f32) -> Self {
+        self.config.max_kv_ratio = ratio;
+        self
+    }
+
+    /// Validates and builds the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleAttentionError::InvalidConfig`] if any field is out
+    /// of range: `α ∈ (0, 1]`, `r_row ∈ (0, 1]`, `r_w ∈ [0, 1]`,
+    /// `max_kv_ratio ∈ (0, 1]`, all finite.
+    pub fn build(self) -> Result<SampleAttentionConfig, SampleAttentionError> {
+        let c = self.config;
+        let check_unit = |field: &'static str, v: f32, allow_zero: bool| {
+            let lo_ok = if allow_zero { v >= 0.0 } else { v > 0.0 };
+            if !v.is_finite() || !lo_ok || v > 1.0 {
+                Err(SampleAttentionError::InvalidConfig {
+                    field,
+                    why: format!(
+                        "must be in {}0, 1], got {v}",
+                        if allow_zero { "[" } else { "(" }
+                    ),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check_unit("cra_threshold", c.cra_threshold, false)?;
+        check_unit("diagonal_threshold", c.diagonal_threshold, true)?;
+        check_unit("sample_ratio", c.sample_ratio, false)?;
+        check_unit("window_ratio", c.window_ratio, true)?;
+        check_unit("max_kv_ratio", c.max_kv_ratio, false)?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SampleAttentionConfig::default();
+        assert_eq!(c.cra_threshold, 0.95);
+        assert_eq!(c.sample_ratio, 0.05);
+        assert_eq!(c.window_ratio, 0.08);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let c = SampleAttentionConfig::builder()
+            .cra_threshold(0.8)
+            .sample_ratio(0.02)
+            .window_ratio(0.04)
+            .min_window(8)
+            .min_sample_rows(16)
+            .forced_sinks(4)
+            .max_kv_ratio(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.cra_threshold, 0.8);
+        assert_eq!(c.min_sample_rows, 16);
+        assert_eq!(c.sample_ratio, 0.02);
+        assert_eq!(c.window_ratio, 0.04);
+        assert_eq!(c.min_window, 8);
+        assert_eq!(c.forced_sinks, 4);
+        assert_eq!(c.max_kv_ratio, 0.5);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(SampleAttentionConfig::builder().cra_threshold(0.0).build().is_err());
+        assert!(SampleAttentionConfig::builder().cra_threshold(1.5).build().is_err());
+        assert!(SampleAttentionConfig::builder().sample_ratio(0.0).build().is_err());
+        assert!(SampleAttentionConfig::builder().window_ratio(-0.1).build().is_err());
+        assert!(SampleAttentionConfig::builder().window_ratio(0.0).build().is_ok());
+        assert!(SampleAttentionConfig::builder().max_kv_ratio(0.0).build().is_err());
+        assert!(SampleAttentionConfig::builder().cra_threshold(f32::NAN).build().is_err());
+    }
+
+    #[test]
+    fn window_size_rounds_up_and_clamps() {
+        let c = SampleAttentionConfig::builder().window_ratio(0.08).build().unwrap();
+        assert_eq!(c.window_size(100), 8);
+        assert_eq!(c.window_size(99), 8); // ceil(7.92)
+        assert_eq!(c.window_size(1), 1);
+        let tiny = SampleAttentionConfig::builder()
+            .window_ratio(0.01)
+            .min_window(16)
+            .build()
+            .unwrap();
+        assert_eq!(tiny.window_size(100), 16);
+        assert_eq!(tiny.window_size(8), 8); // clamped to s_k
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SampleAttentionConfig::paper_default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SampleAttentionConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

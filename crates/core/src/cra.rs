@@ -1,0 +1,245 @@
+//! Cumulative residual attention (**CRA**, Definition 2).
+//!
+//! ```text
+//! CRA(M) = min_i Σ_j (M * P)_{ij}
+//! ```
+//!
+//! the minimum over query rows of the attention probability mass retained
+//! after sparsification. The paper uses the minimum (not the mean) so that
+//! even the worst-recovered row stays near-lossless.
+
+use sa_kernels::{DenseMask, StructuredMask};
+use sa_tensor::Matrix;
+
+/// CRA of a dense `{0,1}` mask against a probability matrix `p`.
+///
+/// `p` must already be row-stochastic over the causal region (rows of a
+/// causal softmax). Rows of `p` that carry no mass (fully masked rows in
+/// rectangular problems) are skipped — they constrain nothing.
+///
+/// Returns 1.0 for an empty problem (no constraining rows).
+///
+/// # Panics
+///
+/// Panics if the mask shape differs from `p`'s shape.
+pub fn cra_of_dense_mask(p: &Matrix, mask: &DenseMask) -> f32 {
+    assert_eq!(
+        (mask.s_q(), mask.s_k()),
+        p.shape(),
+        "cra_of_dense_mask shape mismatch"
+    );
+    let mut min = f32::INFINITY;
+    for i in 0..p.rows() {
+        let row = p.row(i);
+        let total: f32 = row.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let kept: f32 = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| mask.get(i, j))
+            .map(|(_, &v)| v)
+            .sum();
+        min = min.min(kept / total);
+    }
+    if min == f32::INFINITY {
+        1.0
+    } else {
+        min
+    }
+}
+
+/// CRA of a [`StructuredMask`] against a probability matrix.
+///
+/// Semantics match [`cra_of_dense_mask`] on the materialised mask, but the
+/// structured form is evaluated directly (window + extras per row) without
+/// allocating the dense mask.
+///
+/// # Panics
+///
+/// Panics if the mask shape differs from `p`'s shape.
+pub fn cra_of_structured_mask(p: &Matrix, mask: &StructuredMask) -> f32 {
+    assert_eq!(
+        (mask.s_q(), mask.s_k()),
+        p.shape(),
+        "cra_of_structured_mask shape mismatch"
+    );
+    let extras = mask.extra_columns();
+    let mut min = f32::INFINITY;
+    for i in 0..p.rows() {
+        let row = p.row(i);
+        let total: f32 = row.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let Some(end) = mask.causal_end(i) else {
+            continue;
+        };
+        let win_start = mask.window_start(i);
+        let mut kept: f32 = row[win_start..=end].iter().sum();
+        for &c in extras.iter().take_while(|&&c| c < win_start) {
+            kept += row[c];
+        }
+        min = min.min(kept / total);
+    }
+    if min == f32::INFINITY {
+        1.0
+    } else {
+        min
+    }
+}
+
+/// One point of the stripe-coverage curve: keeping the top `ratio` of
+/// stripe columns (plus the window) achieves `cra`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripeCoverage {
+    /// Fraction of key columns kept as stripes.
+    pub stripe_ratio: f32,
+    /// Achieved CRA.
+    pub cra: f32,
+}
+
+/// The paper's Figure 2(e) / Table 6 curve: CRA achieved when selecting
+/// the top-`ratio` stripe columns ranked by `column_scores`, merged with a
+/// local window of `window` tokens.
+///
+/// `p` is the exact probability matrix; `column_scores` is the ranking
+/// signal — pass exact column sums for the "100 % sampling" curve and
+/// stage-1 sampled sums for the "5 % sampling" curve.
+///
+/// # Panics
+///
+/// Panics if `column_scores.len() != p.cols()`.
+pub fn stripe_coverage_curve(
+    p: &Matrix,
+    column_scores: &[f32],
+    window: usize,
+    ratios: &[f32],
+) -> Vec<StripeCoverage> {
+    assert_eq!(
+        column_scores.len(),
+        p.cols(),
+        "stripe_coverage_curve column count mismatch"
+    );
+    let s_k = p.cols();
+    let order = sa_tensor::argsort_desc(column_scores);
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let k = ((ratio.clamp(0.0, 1.0) * s_k as f32).round() as usize).min(s_k);
+            let cols: Vec<usize> = order[..k].to_vec();
+            let mask = StructuredMask::builder(p.rows(), s_k)
+                .window(window)
+                .columns(cols)
+                .build()
+                .expect("columns from argsort are in range");
+            StripeCoverage {
+                stripe_ratio: ratio,
+                cra: cra_of_structured_mask(p, &mask),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::attention_probs;
+    use sa_tensor::{col_sum, DeterministicRng};
+
+    fn probs(s: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = DeterministicRng::new(seed);
+        let q = rng.normal_matrix(s, d, 1.0);
+        let k = rng.normal_matrix(s, d, 1.0);
+        attention_probs(&q, &k, true).unwrap()
+    }
+
+    #[test]
+    fn full_mask_has_cra_one() {
+        let p = probs(20, 8, 1);
+        let dense = DenseMask::causal(20, 20);
+        assert!((cra_of_dense_mask(&p, &dense) - 1.0).abs() < 1e-5);
+        let structured = StructuredMask::dense_causal(20, 20);
+        assert!((cra_of_structured_mask(&p, &structured) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_mask_has_cra_zero() {
+        let p = probs(10, 4, 2);
+        let dense = DenseMask::zeros(10, 10);
+        assert_eq!(cra_of_dense_mask(&p, &dense), 0.0);
+        let structured = StructuredMask::builder(10, 10).window(0).build().unwrap();
+        assert_eq!(cra_of_structured_mask(&p, &structured), 0.0);
+    }
+
+    #[test]
+    fn structured_matches_dense_oracle() {
+        let p = probs(32, 8, 3);
+        for (w, sinks, cols) in [
+            (4usize, 0usize, vec![10usize, 20]),
+            (0, 2, vec![]),
+            (8, 1, vec![5, 15, 25]),
+        ] {
+            let m = StructuredMask::builder(32, 32)
+                .window(w)
+                .sinks(sinks)
+                .columns(cols)
+                .build()
+                .unwrap();
+            let a = cra_of_structured_mask(&p, &m);
+            let b = cra_of_dense_mask(&p, &m.to_dense());
+            assert!((a - b).abs() < 1e-6, "w={w}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cra_is_monotone_in_mask() {
+        let p = probs(24, 8, 4);
+        let small = StructuredMask::builder(24, 24).window(2).build().unwrap();
+        let big = StructuredMask::builder(24, 24).window(12).build().unwrap();
+        assert!(cra_of_structured_mask(&p, &big) >= cra_of_structured_mask(&p, &small));
+    }
+
+    #[test]
+    fn cra_uses_minimum_row() {
+        // Construct P manually: row 0 keeps 100 %, row 1 keeps 10 %.
+        let p = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.1, 0.9]]).unwrap();
+        let mut mask = DenseMask::zeros(2, 2);
+        mask.set(0, 0, true);
+        mask.set(1, 0, true); // keeps only the 0.1 entry of row 1
+        let cra = cra_of_dense_mask(&p, &mask);
+        assert!((cra - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_mass_rows_skipped() {
+        // Row 1 has no probability mass at all (fully masked rectangular row).
+        let p = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
+        let mut mask = DenseMask::zeros(2, 2);
+        mask.set(0, 0, true);
+        assert!((cra_of_dense_mask(&p, &mask) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coverage_curve_monotone_and_saturating() {
+        let p = probs(64, 8, 5);
+        let scores = col_sum(&p);
+        let curve = stripe_coverage_curve(&p, &scores, 4, &[0.0, 0.1, 0.25, 0.5, 1.0]);
+        assert_eq!(curve.len(), 5);
+        for w in curve.windows(2) {
+            assert!(w[1].cra >= w[0].cra - 1e-6, "{curve:?}");
+        }
+        assert!((curve.last().unwrap().cra - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn coverage_curve_window_only_floor() {
+        let p = probs(32, 8, 6);
+        let scores = col_sum(&p);
+        let curve = stripe_coverage_curve(&p, &scores, 8, &[0.0]);
+        // Window alone retains some mass on every row.
+        assert!(curve[0].cra > 0.0);
+        assert!(curve[0].cra < 1.0);
+    }
+}

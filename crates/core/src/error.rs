@@ -1,0 +1,63 @@
+use std::fmt;
+
+use sa_tensor::TensorError;
+
+/// Error type for the SampleAttention pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleAttentionError {
+    /// A hyper-parameter was outside its valid range.
+    InvalidConfig {
+        /// Which field was rejected.
+        field: &'static str,
+        /// Why it was rejected.
+        why: String,
+    },
+    /// An underlying tensor/kernel operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for SampleAttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleAttentionError::InvalidConfig { field, why } => {
+                write!(f, "invalid SampleAttention config: {field}: {why}")
+            }
+            SampleAttentionError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleAttentionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SampleAttentionError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SampleAttentionError {
+    fn from(e: TensorError) -> Self {
+        SampleAttentionError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SampleAttentionError::InvalidConfig {
+            field: "cra_threshold",
+            why: "must be in (0, 1]".to_string(),
+        };
+        assert!(e.to_string().contains("cra_threshold"));
+        let t: SampleAttentionError = TensorError::InvalidDimension {
+            op: "x",
+            what: "y".to_string(),
+        }
+        .into();
+        assert!(std::error::Error::source(&t).is_some());
+    }
+}

@@ -1,0 +1,249 @@
+//! Stage 2: **score-based key-value filtering**.
+//!
+//! Given the column-accumulated sampled scores, selects the minimal stripe
+//! set `I_KV` whose mass reaches the CRA threshold `α` (Eq. 6, solved
+//! approximately): sort descending, prefix-sum, `searchsorted` against
+//! `α · total`, gather the winning indices. Attention sinks emerge
+//! naturally — the sink columns carry large accumulated mass and are
+//! selected first.
+//!
+//! Two selection modes are provided:
+//!
+//! - [`KvRatioSchedule::Exact`] — searchsorted over the full prefix sum
+//!   (the minimal `k`);
+//! - [`KvRatioSchedule::Coarse`] — the paper's Algorithm 1 candidate-ratio
+//!   list (`prefixsum_sample_list = [0.0125, 0.025, 0.05, 0.1, 0.2, 0.4,
+//!   0.8, 1.0] · S_k`): evaluate the prefix sum only at those ratios and
+//!   pick the first that clears `α`. Cheaper on hardware, slightly
+//!   over-selects.
+
+use sa_kernels::CostReport;
+use sa_tensor::{argsort_desc, prefix_sum, searchsorted_left};
+
+/// How stage 2 maps the sorted column scores to a kept-KV count.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum KvRatioSchedule {
+    /// Minimal `k` via binary search over the full prefix sum.
+    #[default]
+    Exact,
+    /// The paper's coarse candidate ratios: the first ratio in the list
+    /// whose prefix mass clears `α` is used.
+    Coarse(Vec<f32>),
+}
+
+impl KvRatioSchedule {
+    /// The candidate list from Algorithm 1.
+    pub fn paper_coarse() -> Self {
+        KvRatioSchedule::Coarse(vec![0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0])
+    }
+}
+
+
+/// Result of stage-2 filtering.
+#[derive(Debug, Clone)]
+pub struct KvFilterResult {
+    /// Selected key-value indices `I_KV`, sorted ascending.
+    pub indices: Vec<usize>,
+    /// `|I_KV| / S_k`.
+    pub kv_ratio: f32,
+    /// Fraction of the sampled mass covered by the selection.
+    pub covered_mass: f32,
+    /// Cost of the sort/prefix-sum/searchsorted/gather pipeline.
+    pub cost: CostReport,
+}
+
+/// Selects the minimal stripe set covering `alpha` of the accumulated
+/// column mass.
+///
+/// `max_kv_ratio` caps the selection size (1.0 = no cap). Returns an empty
+/// selection when the scores carry no mass.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1]` or `max_kv_ratio` is not in
+/// `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use sa_core::filtering::{filter_kv_indices, KvRatioSchedule};
+///
+/// // Columns 1 and 3 dominate.
+/// let scores = [0.02, 0.60, 0.03, 0.30, 0.05];
+/// let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact);
+/// assert_eq!(r.indices, vec![1, 3]);
+/// assert!(r.covered_mass >= 0.9);
+/// ```
+pub fn filter_kv_indices(
+    column_scores: &[f32],
+    alpha: f32,
+    max_kv_ratio: f32,
+    schedule: &KvRatioSchedule,
+) -> KvFilterResult {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "alpha must be in (0, 1], got {alpha}"
+    );
+    assert!(
+        max_kv_ratio > 0.0 && max_kv_ratio <= 1.0,
+        "max_kv_ratio must be in (0, 1], got {max_kv_ratio}"
+    );
+    let s_k = column_scores.len();
+    let total: f32 = column_scores.iter().sum();
+    if s_k == 0 || total <= 0.0 {
+        return KvFilterResult {
+            indices: Vec::new(),
+            kv_ratio: 0.0,
+            covered_mass: 0.0,
+            cost: CostReport::launch(0, 0, 0),
+        };
+    }
+
+    // SortedWeight = SampleWeight.sort(dim=-1)  (descending)
+    let order = argsort_desc(column_scores);
+    let sorted: Vec<f32> = order.iter().map(|&j| column_scores[j]).collect();
+    // prefix sums of the sorted weights
+    let prefix = prefix_sum(&sorted);
+    let target = alpha * total;
+
+    let k = match schedule {
+        KvRatioSchedule::Exact => searchsorted_left(&prefix, target) + 1,
+        KvRatioSchedule::Coarse(ratios) => {
+            let mut chosen = s_k;
+            for &r in ratios {
+                let cand = ((r.clamp(0.0, 1.0) * s_k as f32).round() as usize).clamp(1, s_k);
+                if prefix[cand - 1] >= target {
+                    chosen = cand;
+                    break;
+                }
+            }
+            chosen
+        }
+    };
+    let cap = ((max_kv_ratio * s_k as f32).ceil() as usize).max(1);
+    let k = k.min(s_k).min(cap);
+
+    let mut indices: Vec<usize> = order[..k].to_vec();
+    indices.sort_unstable();
+    let covered_mass = prefix[k - 1] / total;
+
+    // Cost model: sort O(S log S) compares, prefix sum + searchsorted,
+    // gather of k indices. All operate on length-S_k vectors.
+    let logn = (s_k as f64).log2().max(1.0) as u64;
+    let flops = (s_k as u64) * (logn + 2);
+    let bytes = 4 * s_k as u64;
+    let cost = CostReport::launch(flops, 2 * bytes, bytes + 8 * k as u64);
+
+    KvFilterResult {
+        indices,
+        kv_ratio: k as f32 / s_k as f32,
+        covered_mass,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_minimal_exact_set() {
+        let scores = [0.1, 0.4, 0.1, 0.3, 0.1];
+        let r = filter_kv_indices(&scores, 0.69, 1.0, &KvRatioSchedule::Exact);
+        assert_eq!(r.indices, vec![1, 3]); // 0.4 + 0.3 = 0.7 ≥ 0.69
+        assert!((r.kv_ratio - 0.4).abs() < 1e-6);
+        assert!((r.covered_mass - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_selects_all_positive_mass() {
+        let scores = [0.2, 0.0, 0.8];
+        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact);
+        // prefix reaches total at k=2 (0.8 + 0.2); the zero column is not needed.
+        assert_eq!(r.indices, vec![0, 2]);
+        assert!((r.covered_mass - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peaked_scores_tiny_selection() {
+        let mut scores = vec![0.001f32; 1000];
+        scores[7] = 10.0;
+        scores[412] = 5.0;
+        let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact);
+        assert!(r.indices.len() <= 3, "selected {}", r.indices.len());
+        assert!(r.indices.contains(&7) && r.indices.contains(&412));
+    }
+
+    #[test]
+    fn uniform_scores_select_alpha_fraction() {
+        let scores = vec![1.0f32; 100];
+        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        assert_eq!(r.indices.len(), 95);
+    }
+
+    #[test]
+    fn cap_limits_selection() {
+        let scores = vec![1.0f32; 100];
+        let r = filter_kv_indices(&scores, 0.95, 0.5, &KvRatioSchedule::Exact);
+        assert_eq!(r.indices.len(), 50);
+        assert!((r.covered_mass - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn coarse_schedule_over_selects() {
+        let scores = vec![1.0f32; 1000];
+        let exact = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::Exact);
+        let coarse = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::paper_coarse());
+        assert_eq!(exact.indices.len(), 300);
+        // First paper ratio clearing 0.3 of uniform mass is 0.4.
+        assert_eq!(coarse.indices.len(), 400);
+        assert!(coarse.covered_mass >= exact.covered_mass);
+    }
+
+    #[test]
+    fn coarse_schedule_exact_when_first_candidate_suffices() {
+        let mut scores = vec![0.0f32; 1000];
+        scores[3] = 1.0;
+        let coarse = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::paper_coarse());
+        // 1.25 % of 1000 = 13 columns (rounded), includes the single hot one.
+        assert!(coarse.indices.contains(&3));
+        assert!(coarse.indices.len() <= 13);
+    }
+
+    #[test]
+    fn empty_and_zero_mass() {
+        let r = filter_kv_indices(&[], 0.9, 1.0, &KvRatioSchedule::Exact);
+        assert!(r.indices.is_empty());
+        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact);
+        assert!(z.indices.is_empty());
+        assert_eq!(z.kv_ratio, 0.0);
+    }
+
+    #[test]
+    fn indices_sorted_ascending() {
+        let scores = [0.5, 0.1, 0.9, 0.3, 0.7];
+        let r = filter_kv_indices(&scores, 0.99, 1.0, &KvRatioSchedule::Exact);
+        assert!(r.indices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = filter_kv_indices(&[1.0], 0.0, 1.0, &KvRatioSchedule::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_kv_ratio")]
+    fn invalid_cap_panics() {
+        let _ = filter_kv_indices(&[1.0], 0.5, 0.0, &KvRatioSchedule::Exact);
+    }
+
+    #[test]
+    fn higher_alpha_selects_no_fewer() {
+        let scores: Vec<f32> = (0..64).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let lo = filter_kv_indices(&scores, 0.5, 1.0, &KvRatioSchedule::Exact);
+        let hi = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        assert!(hi.indices.len() >= lo.indices.len());
+    }
+}

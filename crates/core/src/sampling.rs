@@ -1,0 +1,264 @@
+//! Stage 1: **query-guided attention sampling**.
+//!
+//! Computes exact attention scores for a strided sample of the query rows
+//! and accumulates them along columns — the paper's fused
+//! `sample_bmm_softmax_reduction(Q, K, r_row)`. The column-stripe pattern
+//! (high row-wise similarity of score distributions, Figure 2(e)) is what
+//! makes a small sample representative of all rows.
+
+use sa_kernels::{score_scale, CostReport};
+use sa_tensor::{softmax_row, Matrix, StrideSample, TensorError};
+
+use crate::sparsity::causal_width;
+
+/// Result of stage-1 sampling.
+#[derive(Debug, Clone)]
+pub struct SampledScores {
+    /// Attention probability mass accumulated per key column over the
+    /// sampled rows (the `SampleWeight` reduction of Algorithm 1).
+    pub column_scores: Vec<f32>,
+    /// Attention probability mass accumulated per *relative diagonal*
+    /// offset (0 = the causal end itself). This is the reduction needed
+    /// to detect Appendix A.6's diagonal structures; it reuses the same
+    /// sampled scores, so the extra cost is one more accumulate per live
+    /// pair.
+    pub diagonal_scores: Vec<f32>,
+    /// The sampled query row indices.
+    pub sampled_rows: Vec<usize>,
+    /// Exact cost of the fused sampling kernel.
+    pub cost: CostReport,
+}
+
+impl SampledScores {
+    /// Total accumulated mass (≈ number of sampled rows with nonzero
+    /// causal width, since each sampled row contributes a probability
+    /// distribution).
+    pub fn total_mass(&self) -> f32 {
+        self.column_scores.iter().sum()
+    }
+
+    /// Column scores normalised to sum to 1 (empty if there is no mass).
+    pub fn normalized(&self) -> Vec<f32> {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return vec![0.0; self.column_scores.len()];
+        }
+        self.column_scores.iter().map(|&v| v / total).collect()
+    }
+}
+
+/// Runs stage-1 sampling: strided rows, exact causal softmax per sampled
+/// row, column accumulation.
+///
+/// The kernel is *fused*: scores for one sampled row live only in a
+/// register-sized buffer, so the memory traffic is the Q/K reads plus the
+/// final `S_k` column-score write — this is exactly the IO the paper's
+/// fused `bmm+softmax+reduction` performs and what makes stage 1 cheap.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `q.cols() != k.cols()`, or an
+/// invalid-ratio error from the row sampler.
+///
+/// # Example
+///
+/// ```
+/// use sa_core::sampling::sample_attention_scores;
+/// use sa_tensor::DeterministicRng;
+///
+/// # fn main() -> Result<(), sa_tensor::TensorError> {
+/// let mut rng = DeterministicRng::new(0);
+/// let q = rng.normal_matrix(128, 8, 1.0);
+/// let k = rng.normal_matrix(128, 8, 1.0);
+/// let sampled = sample_attention_scores(&q, &k, 0.05)?;
+/// assert_eq!(sampled.column_scores.len(), 128);
+/// assert!(sampled.sampled_rows.len() < 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sample_attention_scores(
+    q: &Matrix,
+    k: &Matrix,
+    sample_ratio: f32,
+) -> Result<SampledScores, TensorError> {
+    if q.cols() != k.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sample_attention_scores",
+            lhs: q.shape(),
+            rhs: k.shape(),
+        });
+    }
+    let (s_q, d) = q.shape();
+    let s_k = k.rows();
+    let sample = StrideSample::by_ratio(s_q, sample_ratio)?;
+    let scale = score_scale(d);
+
+    let mut column_scores = vec![0.0f32; s_k];
+    let mut diagonal_scores = vec![0.0f32; s_k];
+    let mut scores_buf: Vec<f32> = Vec::with_capacity(s_k);
+    let mut live_pairs: u64 = 0;
+
+    for &i in sample.indices() {
+        let visible = causal_width(i, s_q, s_k);
+        if visible == 0 {
+            continue;
+        }
+        let q_row = q.row(i);
+        scores_buf.clear();
+        scores_buf.extend((0..visible).map(|j| {
+            q_row
+                .iter()
+                .zip(k.row(j))
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+                * scale
+        }));
+        softmax_row(&mut scores_buf);
+        for (j, (acc, &p)) in column_scores.iter_mut().zip(scores_buf.iter()).enumerate() {
+            *acc += p;
+            diagonal_scores[visible - 1 - j] += p;
+        }
+        live_pairs += visible as u64;
+    }
+
+    // Fused kernel cost: Q sample rows + visible K rows read, column
+    // scores written once. (2d for the dot product, ~4 for softmax, 1 for
+    // the accumulate per live pair.) K reads are shared across the
+    // sampled rows of a tile (128-row tiles, as in the sparse kernel).
+    let flops = live_pairs * (2 * d as u64 + 5);
+    let bytes_read =
+        4 * (sample.len() * d) as u64 + (4 * live_pairs * d as u64).div_ceil(128);
+    let bytes_written = 4 * s_k as u64;
+    let cost = CostReport::launch(flops, bytes_read, bytes_written);
+
+    Ok(SampledScores {
+        column_scores,
+        diagonal_scores,
+        sampled_rows: sample.indices().to_vec(),
+        cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::attention_probs;
+    use sa_tensor::{col_sum, cosine_similarity, DeterministicRng};
+
+    fn qk(s: usize, d: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (rng.normal_matrix(s, d, 1.0), rng.normal_matrix(s, d, 1.0))
+    }
+
+    #[test]
+    fn full_ratio_matches_exact_column_sums() {
+        let (q, k) = qk(40, 8, 1);
+        let sampled = sample_attention_scores(&q, &k, 1.0).unwrap();
+        let p = attention_probs(&q, &k, true).unwrap();
+        let exact = col_sum(&p);
+        for (a, b) in sampled.column_scores.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn each_sampled_row_contributes_unit_mass() {
+        let (q, k) = qk(64, 8, 2);
+        let sampled = sample_attention_scores(&q, &k, 0.1).unwrap();
+        let expected = sampled.sampled_rows.len() as f32;
+        assert!((sampled.total_mass() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampled_scores_correlate_with_exact_on_striped_heads() {
+        // The core empirical claim (Appendix A.5): a 5 % sample ranks
+        // columns almost like the full matrix does, because column stripes
+        // are shared across rows.
+        let mut rng = DeterministicRng::new(3);
+        let s = 400;
+        let d = 16;
+        let mut k = rng.normal_matrix(s, d, 0.3);
+        for &hot in &[0usize, 133, 250] {
+            for j in 0..d {
+                let v = k.get(hot, j);
+                k.set(hot, j, v + 3.0);
+            }
+        }
+        let q = Matrix::from_fn(s, d, |_, _| 0.5 + 0.1 * rng.normal());
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        let p = attention_probs(&q, &k, true).unwrap();
+        let exact = col_sum(&p);
+        let total: f32 = exact.iter().sum();
+        let exact_norm: Vec<f32> = exact.iter().map(|v| v / total).collect();
+        let sim = cosine_similarity(&sampled.normalized(), &exact_norm);
+        assert!(sim > 0.95, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn sampled_scores_roughly_track_exact_even_on_random_heads() {
+        // Random (worst-case, unstructured) heads: the sample still
+        // captures the causal column-mass ramp, just less sharply.
+        let (q, k) = qk(400, 16, 3);
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        let p = attention_probs(&q, &k, true).unwrap();
+        let exact = col_sum(&p);
+        let total: f32 = exact.iter().sum();
+        let exact_norm: Vec<f32> = exact.iter().map(|v| v / total).collect();
+        let sim = cosine_similarity(&sampled.normalized(), &exact_norm);
+        assert!(sim > 0.7, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn sampling_cost_much_cheaper_than_full() {
+        let (q, k) = qk(256, 16, 4);
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        let full = sample_attention_scores(&q, &k, 1.0).unwrap();
+        assert!(sampled.cost.flops * 10 < full.cost.flops);
+        assert_eq!(sampled.cost.kernel_launches, 1); // fused
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (q, _) = qk(8, 4, 5);
+        let k = Matrix::zeros(8, 6);
+        assert!(sample_attention_scores(&q, &k, 0.5).is_err());
+    }
+
+    #[test]
+    fn invalid_ratio_rejected() {
+        let (q, k) = qk(8, 4, 6);
+        assert!(sample_attention_scores(&q, &k, 0.0).is_err());
+    }
+
+    #[test]
+    fn rectangular_kv_longer() {
+        let mut rng = DeterministicRng::new(7);
+        let q = rng.normal_matrix(8, 4, 1.0);
+        let k = rng.normal_matrix(32, 4, 1.0);
+        let sampled = sample_attention_scores(&q, &k, 1.0).unwrap();
+        assert_eq!(sampled.column_scores.len(), 32);
+        let p = attention_probs(&q, &k, true).unwrap();
+        let exact = col_sum(&p);
+        for (a, b) in sampled.column_scores.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let (q, k) = qk(32, 8, 8);
+        let s = sample_attention_scores(&q, &k, 0.2).unwrap();
+        let n = s.normalized();
+        assert!((n.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_rows_yield_empty_scores() {
+        let q = Matrix::zeros(0, 4);
+        let k = Matrix::zeros(16, 4);
+        let s = sample_attention_scores(&q, &k, 0.5).unwrap();
+        assert!(s.sampled_rows.is_empty());
+        assert_eq!(s.total_mass(), 0.0);
+        assert!(s.normalized().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Numeric verification of the paper's theory (Appendix A.1).
+//!
+//! - **Theorem 1** (near-lossless sparse attention): if
+//!   `‖P̃ − P‖₁ ≤ ε/R` with `R ≥ max_j ‖V_j‖₁` then `‖Õ − O‖₁ ≤ ε`.
+//! - **Lemma 1**: `CRA(M) ≥ 1 − ε/R` for such a mask, since
+//!   `‖P̃ − P‖₁ = 1 − CRA(M)` row-wise.
+//!
+//! These checkers evaluate both sides of the inequalities on concrete
+//! matrices so the property tests can assert the bounds hold for every
+//! random instance.
+//!
+//! Norm convention: the paper's proof uses the row-wise induced form
+//! `‖AB‖₁ ≤ ‖A‖₁·‖B‖₁` with `‖·‖₁` the maximum row L1 norm for the
+//! score-difference factor and the maximum column-sum-compatible bound
+//! `R` on `V`. We implement exactly that: per-row L1 of the score
+//! difference, `R = max_k ‖V row k‖₁`.
+
+use sa_kernels::{DenseMask, StructuredMask};
+use sa_tensor::{matmul, Matrix};
+
+/// The measured quantities of a Theorem-1 check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoremCheck {
+    /// `max_i ‖P̃_i − P_i‖₁` — the score-matrix perturbation.
+    pub score_error: f32,
+    /// `R = max_k ‖V_k‖₁` — the value-row norm bound.
+    pub value_bound: f32,
+    /// `max_i ‖Õ_i − O_i‖₁` — the observed output perturbation.
+    pub output_error: f32,
+    /// The theorem's bound `score_error * value_bound`.
+    pub bound: f32,
+}
+
+impl TheoremCheck {
+    /// Whether the observed output error respects the bound (with a small
+    /// floating-point slack).
+    pub fn holds(&self) -> bool {
+        self.output_error <= self.bound + 1e-4 * self.bound.max(1.0)
+    }
+}
+
+/// Evaluates Theorem 1 on a probability matrix `p`, mask `mask`, and
+/// values `v`: compares `‖Õ − O‖₁` against `‖P̃ − P‖₁ · R`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent (`p` is `S_q x S_k`, `v` is
+/// `S_k x d`, mask matches `p`).
+pub fn check_theorem1(p: &Matrix, mask: &DenseMask, v: &Matrix) -> TheoremCheck {
+    assert_eq!((mask.s_q(), mask.s_k()), p.shape(), "mask/p shape mismatch");
+    assert_eq!(p.cols(), v.rows(), "p/v shape mismatch");
+
+    // P̃ = M * P (element-wise product, Eq. 2).
+    let p_tilde = Matrix::from_fn(p.rows(), p.cols(), |i, j| {
+        if mask.get(i, j) {
+            p.get(i, j)
+        } else {
+            0.0
+        }
+    });
+
+    let o = matmul(p, v).expect("shapes validated");
+    let o_tilde = matmul(&p_tilde, v).expect("shapes validated");
+
+    let mut score_error = 0.0f32;
+    let mut output_error = 0.0f32;
+    for i in 0..p.rows() {
+        let se: f32 = p
+            .row(i)
+            .iter()
+            .zip(p_tilde.row(i))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        score_error = score_error.max(se);
+        let oe: f32 = o
+            .row(i)
+            .iter()
+            .zip(o_tilde.row(i))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        output_error = output_error.max(oe);
+    }
+    let value_bound = (0..v.rows())
+        .map(|k| v.row(k).iter().map(|x| x.abs()).sum::<f32>())
+        .fold(0.0f32, f32::max);
+
+    TheoremCheck {
+        score_error,
+        value_bound,
+        output_error,
+        bound: score_error * value_bound,
+    }
+}
+
+/// Evaluates Lemma 1: for a row-stochastic `p`, verifies
+/// `CRA(M) = 1 − max_i ‖P̃_i − P_i‖₁` and returns
+/// `(cra, one_minus_score_error)`.
+///
+/// The two values agree exactly for row-stochastic `p` (each row of
+/// `P̃ − P` is the dropped probability mass).
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `p` and `mask`.
+pub fn check_lemma1(p: &Matrix, mask: &StructuredMask) -> (f32, f32) {
+    assert_eq!((mask.s_q(), mask.s_k()), p.shape(), "mask/p shape mismatch");
+    let cra = crate::cra::cra_of_structured_mask(p, mask);
+    let mut max_dropped = 0.0f32;
+    for i in 0..p.rows() {
+        let total: f32 = p.row(i).iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let dropped: f32 = p
+            .row(i)
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !mask.is_allowed(i, j))
+            .map(|(_, &v)| v)
+            .sum();
+        max_dropped = max_dropped.max(dropped / total);
+    }
+    (cra, 1.0 - max_dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::attention_probs;
+    use sa_tensor::DeterministicRng;
+
+    fn setup(s: usize, d: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        let q = rng.normal_matrix(s, d, 1.0);
+        let k = rng.normal_matrix(s, d, 1.0);
+        let p = attention_probs(&q, &k, true).unwrap();
+        let v = rng.normal_matrix(s, d, 1.0);
+        (p, v)
+    }
+
+    #[test]
+    fn theorem1_holds_for_random_masks() {
+        let (p, v) = setup(32, 8, 1);
+        let mut rng = DeterministicRng::new(2);
+        for _ in 0..10 {
+            let mut mask = DenseMask::zeros(32, 32);
+            for i in 0..32 {
+                for j in 0..=i {
+                    if rng.chance(0.5) {
+                        mask.set(i, j, true);
+                    }
+                }
+            }
+            let check = check_theorem1(&p, &mask, &v);
+            assert!(check.holds(), "{check:?}");
+        }
+    }
+
+    #[test]
+    fn full_mask_zero_error() {
+        let (p, v) = setup(16, 4, 3);
+        let check = check_theorem1(&p, &DenseMask::causal(16, 16), &v);
+        assert_eq!(check.score_error, 0.0);
+        assert_eq!(check.output_error, 0.0);
+        assert!(check.holds());
+    }
+
+    #[test]
+    fn empty_mask_score_error_is_one() {
+        let (p, v) = setup(16, 4, 4);
+        let check = check_theorem1(&p, &DenseMask::zeros(16, 16), &v);
+        assert!((check.score_error - 1.0).abs() < 1e-4);
+        assert!(check.holds());
+    }
+
+    #[test]
+    fn bound_is_tightish_for_aligned_values() {
+        // With all value rows equal to a constant positive vector, dropping
+        // mass m loses exactly m * ||v||_1: the bound is met with equality.
+        let s = 8;
+        let p = Matrix::from_fn(s, s, |i, j| {
+            if j <= i {
+                1.0 / (i + 1) as f32
+            } else {
+                0.0
+            }
+        });
+        let v = Matrix::full(s, 3, 1.0);
+        let mut mask = DenseMask::causal(s, s);
+        mask.set(s - 1, 0, false); // drop one entry from the last row
+        let check = check_theorem1(&p, &mask, &v);
+        assert!(check.holds());
+        assert!(check.output_error > 0.5 * check.bound, "{check:?}");
+    }
+
+    #[test]
+    fn lemma1_equality() {
+        let (p, _) = setup(24, 8, 5);
+        for window in [2usize, 6, 12] {
+            let mask = StructuredMask::builder(24, 24)
+                .window(window)
+                .sinks(1)
+                .build()
+                .unwrap();
+            let (cra, one_minus_err) = check_lemma1(&p, &mask);
+            assert!((cra - one_minus_err).abs() < 1e-5, "w={window}: {cra} vs {one_minus_err}");
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_direction() {
+        // CRA >= 1 - eps/R  with eps/R = max dropped mass: equality here,
+        // so any mask keeping everything trivially has CRA = 1.
+        let (p, _) = setup(16, 4, 6);
+        let full = StructuredMask::dense_causal(16, 16);
+        let (cra, om) = check_lemma1(&p, &full);
+        assert!((cra - 1.0).abs() < 1e-5);
+        assert!((om - 1.0).abs() < 1e-5);
+    }
+}

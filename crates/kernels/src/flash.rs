@@ -1,0 +1,266 @@
+//! FlashAttention-style blocked kernel.
+//!
+//! Processes the score matrix in `Br x Bc` tiles with an online softmax, so
+//! the full `S_q x S_k` matrix is never materialised. This is the paper's
+//! dense baseline (FlashAttention2 in §5.4) and the template the sparse
+//! kernel modifies.
+//!
+//! Exactness: the online softmax recurrence is algebraically identical to
+//! the two-pass softmax, so outputs match [`crate::full_attention`] to
+//! floating-point round-off.
+
+use sa_tensor::{matmul_transb, Matrix, OnlineSoftmaxState, TensorError};
+
+use crate::cost::f32_bytes;
+use crate::full::causal_pairs;
+use crate::{score_scale, AttentionOutput, CostReport};
+
+/// Tile sizes for the blocked kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashParams {
+    /// Query-block rows (`Br`).
+    pub block_rows: usize,
+    /// Key-block columns (`Bc`).
+    pub block_cols: usize,
+}
+
+impl Default for FlashParams {
+    fn default() -> Self {
+        FlashParams {
+            block_rows: 64,
+            block_cols: 64,
+        }
+    }
+}
+
+/// FlashAttention-style causal attention.
+///
+/// Computes `softmax(Q K^T / sqrt(d)) V` tile by tile with online softmax;
+/// O(S) auxiliary memory.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on inconsistent Q/K/V shapes or
+/// [`TensorError::InvalidDimension`] for zero tile sizes.
+///
+/// # Example
+///
+/// ```
+/// use sa_tensor::DeterministicRng;
+/// use sa_kernels::{flash_attention, full_attention, FlashParams};
+///
+/// # fn main() -> Result<(), sa_kernels::KernelError> {
+/// let mut rng = DeterministicRng::new(0);
+/// let (q, k, v) = (
+///     rng.normal_matrix(100, 16, 1.0),
+///     rng.normal_matrix(100, 16, 1.0),
+///     rng.normal_matrix(100, 16, 1.0),
+/// );
+/// let flash = flash_attention(&q, &k, &v, true, FlashParams::default())?;
+/// let exact = full_attention(&q, &k, &v, true)?;
+/// let diff = flash
+///     .output
+///     .as_slice()
+///     .iter()
+///     .zip(exact.output.as_slice())
+///     .map(|(a, b)| (a - b).abs())
+///     .fold(0.0f32, f32::max);
+/// assert!(diff < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn flash_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    causal: bool,
+    params: FlashParams,
+) -> Result<AttentionOutput, TensorError> {
+    if q.cols() != k.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "flash_attention(q,k)",
+            lhs: q.shape(),
+            rhs: k.shape(),
+        });
+    }
+    if k.rows() != v.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "flash_attention(k,v)",
+            lhs: k.shape(),
+            rhs: v.shape(),
+        });
+    }
+    if params.block_rows == 0 || params.block_cols == 0 {
+        return Err(TensorError::InvalidDimension {
+            op: "flash_attention",
+            what: "tile sizes must be nonzero".to_string(),
+        });
+    }
+
+    let (s_q, d) = q.shape();
+    let s_k = k.rows();
+    let dv = v.cols();
+    let scale = score_scale(d);
+    let off = s_k as isize - s_q as isize;
+
+    let mut output = Matrix::zeros(s_q, dv);
+    let mut kv_block_reads: u64 = 0;
+
+    for q0 in (0..s_q).step_by(params.block_rows) {
+        let q1 = (q0 + params.block_rows).min(s_q);
+        let q_block = q.slice_rows(q0, q1)?;
+        let mut states: Vec<OnlineSoftmaxState> =
+            (q0..q1).map(|_| OnlineSoftmaxState::new(dv)).collect();
+
+        // Last key this query block can causally see.
+        let block_key_end = if causal {
+            let e = (q1 - 1) as isize + off;
+            if e < 0 {
+                // Entire block is fully masked.
+                continue;
+            }
+            (e as usize).min(s_k.saturating_sub(1))
+        } else {
+            s_k.saturating_sub(1)
+        };
+        if s_k == 0 {
+            continue;
+        }
+
+        for k0 in (0..=block_key_end).step_by(params.block_cols) {
+            let k1 = (k0 + params.block_cols).min(block_key_end + 1);
+            let k_block = k.slice_rows(k0, k1)?;
+            kv_block_reads += ((k1 - k0) * (d + dv)) as u64;
+
+            // Br x Bc raw scores for this tile.
+            let mut scores = matmul_transb(&q_block, &k_block)?;
+            scores.scale_in_place(scale);
+            if causal {
+                for (local_i, i) in (q0..q1).enumerate() {
+                    let end = i as isize + off;
+                    let row = scores.row_mut(local_i);
+                    for (local_j, x) in row.iter_mut().enumerate() {
+                        let j = (k0 + local_j) as isize;
+                        if j > end {
+                            *x = f32::NEG_INFINITY;
+                        }
+                    }
+                }
+            }
+            for (local_i, state) in states.iter_mut().enumerate() {
+                sa_tensor::online_softmax_update(state, scores.row(local_i), |t| v.row(k0 + t));
+            }
+        }
+
+        for (local_i, state) in states.into_iter().enumerate() {
+            output.row_mut(q0 + local_i).copy_from_slice(&state.finish());
+        }
+    }
+
+    let pairs = if causal {
+        causal_pairs(s_q, s_k)
+    } else {
+        (s_q * s_k) as u64
+    };
+    // Same arithmetic as full attention but fused into a single kernel:
+    // no score-matrix traffic; K/V tiles are re-read once per query block.
+    let flops = pairs * (2 * d as u64 + 4 + 2 * dv as u64);
+    let bytes_read = f32_bytes((s_q * d) as u64) + f32_bytes(kv_block_reads);
+    let bytes_written = f32_bytes((s_q * dv) as u64);
+    let cost = CostReport::launch(flops, bytes_read, bytes_written);
+
+    Ok(AttentionOutput { output, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_attention;
+    use sa_tensor::{max_abs_diff, DeterministicRng};
+
+    fn random_qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn matches_full_attention_causal() {
+        let (q, k, v) = random_qkv(97, 16, 7);
+        let flash = flash_attention(&q, &k, &v, true, FlashParams { block_rows: 16, block_cols: 16 }).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        assert!(max_abs_diff(flash.output.as_slice(), exact.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn matches_full_attention_non_causal() {
+        let (q, k, v) = random_qkv(50, 8, 8);
+        let flash = flash_attention(&q, &k, &v, false, FlashParams { block_rows: 7, block_cols: 13 }).unwrap();
+        let exact = full_attention(&q, &k, &v, false).unwrap();
+        assert!(max_abs_diff(flash.output.as_slice(), exact.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn tile_size_invariance() {
+        let (q, k, v) = random_qkv(65, 8, 9);
+        let a = flash_attention(&q, &k, &v, true, FlashParams { block_rows: 64, block_cols: 64 }).unwrap();
+        let b = flash_attention(&q, &k, &v, true, FlashParams { block_rows: 1, block_cols: 3 }).unwrap();
+        assert!(max_abs_diff(a.output.as_slice(), b.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn rectangular_decode_shape() {
+        // Decode-like: 1 query against a long KV.
+        let mut rng = DeterministicRng::new(10);
+        let q = rng.normal_matrix(1, 8, 1.0);
+        let k = rng.normal_matrix(40, 8, 1.0);
+        let v = rng.normal_matrix(40, 8, 1.0);
+        let flash = flash_attention(&q, &k, &v, true, FlashParams::default()).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        assert!(max_abs_diff(flash.output.as_slice(), exact.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn fully_masked_rows_zero() {
+        // q longer than k: early query rows see no keys.
+        let mut rng = DeterministicRng::new(11);
+        let q = rng.normal_matrix(5, 4, 1.0);
+        let k = rng.normal_matrix(2, 4, 1.0);
+        let v = rng.normal_matrix(2, 4, 1.0);
+        let flash = flash_attention(&q, &k, &v, true, FlashParams { block_rows: 2, block_cols: 2 }).unwrap();
+        for i in 0..3 {
+            assert!(flash.output.row(i).iter().all(|&x| x == 0.0), "row {i}");
+        }
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        assert!(max_abs_diff(flash.output.as_slice(), exact.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let (q, k, v) = random_qkv(4, 4, 12);
+        assert!(flash_attention(&q, &k, &v, true, FlashParams { block_rows: 0, block_cols: 4 }).is_err());
+        assert!(flash_attention(&q, &k, &v, true, FlashParams { block_rows: 4, block_cols: 0 }).is_err());
+    }
+
+    #[test]
+    fn flash_cost_has_no_score_traffic() {
+        let (q, k, v) = random_qkv(128, 16, 13);
+        let flash = flash_attention(&q, &k, &v, true, FlashParams::default()).unwrap();
+        let full = full_attention(&q, &k, &v, true).unwrap();
+        assert_eq!(flash.cost.flops, full.cost.flops);
+        assert!(flash.cost.bytes_total() < full.cost.bytes_total());
+        assert_eq!(flash.cost.kernel_launches, 1);
+    }
+
+    #[test]
+    fn empty_kv() {
+        let q = Matrix::zeros(3, 4);
+        let k = Matrix::zeros(0, 4);
+        let v = Matrix::zeros(0, 4);
+        let out = flash_attention(&q, &k, &v, true, FlashParams::default()).unwrap();
+        assert!(out.output.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,132 @@
+//! Grouped-query attention (GQA) head mapping.
+//!
+//! Both backbones use GQA: several query heads share one key/value head.
+//! This module provides the index arithmetic (which KV head serves which
+//! query head) that `sa-model` uses when assembling per-head Q/K/V, and
+//! that the perf model uses to count KV bytes correctly (GQA reduces KV
+//! traffic by the group factor).
+
+use sa_tensor::TensorError;
+
+/// A grouped-query attention layout: `num_q_heads` query heads sharing
+/// `num_kv_heads` key/value heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GqaLayout {
+    num_q_heads: usize,
+    num_kv_heads: usize,
+}
+
+impl GqaLayout {
+    /// Creates a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] unless
+    /// `num_q_heads` is a positive multiple of `num_kv_heads`.
+    pub fn new(num_q_heads: usize, num_kv_heads: usize) -> Result<Self, TensorError> {
+        if num_q_heads == 0 || num_kv_heads == 0 || !num_q_heads.is_multiple_of(num_kv_heads) {
+            return Err(TensorError::InvalidDimension {
+                op: "GqaLayout::new",
+                what: format!(
+                    "num_q_heads ({num_q_heads}) must be a positive multiple of num_kv_heads ({num_kv_heads})"
+                ),
+            });
+        }
+        Ok(GqaLayout {
+            num_q_heads,
+            num_kv_heads,
+        })
+    }
+
+    /// Multi-head attention layout (one KV head per query head).
+    pub fn mha(num_heads: usize) -> Result<Self, TensorError> {
+        Self::new(num_heads, num_heads)
+    }
+
+    /// Number of query heads.
+    pub fn num_q_heads(&self) -> usize {
+        self.num_q_heads
+    }
+
+    /// Number of key/value heads.
+    pub fn num_kv_heads(&self) -> usize {
+        self.num_kv_heads
+    }
+
+    /// Query heads per KV head (the GQA group size).
+    pub fn group_size(&self) -> usize {
+        self.num_q_heads / self.num_kv_heads
+    }
+
+    /// The KV head serving query head `q_head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_head >= num_q_heads`.
+    pub fn kv_head_for(&self, q_head: usize) -> usize {
+        assert!(
+            q_head < self.num_q_heads,
+            "query head {q_head} out of range (< {})",
+            self.num_q_heads
+        );
+        q_head / self.group_size()
+    }
+
+    /// Iterator over `(q_head, kv_head)` pairs.
+    pub fn head_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_q_heads).map(move |q| (q, self.kv_head_for(q)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_layouts() {
+        let g = GqaLayout::new(32, 8).unwrap();
+        assert_eq!(g.group_size(), 4);
+        assert_eq!(g.kv_head_for(0), 0);
+        assert_eq!(g.kv_head_for(3), 0);
+        assert_eq!(g.kv_head_for(4), 1);
+        assert_eq!(g.kv_head_for(31), 7);
+    }
+
+    #[test]
+    fn mha_is_identity_mapping() {
+        let g = GqaLayout::mha(4).unwrap();
+        for q in 0..4 {
+            assert_eq!(g.kv_head_for(q), q);
+        }
+        assert_eq!(g.group_size(), 1);
+    }
+
+    #[test]
+    fn mqa_single_kv_head() {
+        let g = GqaLayout::new(8, 1).unwrap();
+        assert!(g.head_pairs().all(|(_, kv)| kv == 0));
+    }
+
+    #[test]
+    fn invalid_layouts_rejected() {
+        assert!(GqaLayout::new(0, 1).is_err());
+        assert!(GqaLayout::new(4, 0).is_err());
+        assert!(GqaLayout::new(6, 4).is_err());
+    }
+
+    #[test]
+    fn head_pairs_cover_all_heads() {
+        let g = GqaLayout::new(8, 2).unwrap();
+        let pairs: Vec<_> = g.head_pairs().collect();
+        assert_eq!(pairs.len(), 8);
+        assert_eq!(pairs[0], (0, 0));
+        assert_eq!(pairs[7], (7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kv_head_for_out_of_range() {
+        let g = GqaLayout::new(4, 2).unwrap();
+        let _ = g.kv_head_for(4);
+    }
+}

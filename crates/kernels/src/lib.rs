@@ -1,0 +1,52 @@
+//! # sa-kernels
+//!
+//! Attention kernels for the SampleAttention reproduction.
+//!
+//! Three kernels cover the space the paper benchmarks:
+//!
+//! - [`full_attention`] — the naive reference: materialises the full
+//!   `S_q x S_k` score matrix `P = softmax(Q K^T / sqrt(d))` (PyTorch
+//!   "SDPA" in the paper's benchmarks). Exact but O(S²) memory.
+//! - [`flash_attention`] — a FlashAttention-style blocked kernel with
+//!   online softmax: exact output, O(S) memory, the paper's dense
+//!   baseline.
+//! - [`sparse_flash_attention`] — the block-sparse kernel consuming a
+//!   [`StructuredMask`] (local window + attention sinks + column stripes),
+//!   the execution engine of SampleAttention and of the structured
+//!   baselines.
+//!
+//! Every kernel reports a [`CostReport`] with exact FLOP and byte counts so
+//! the `sa-perf` roofline model can translate algorithmic work into A100
+//! latency.
+//!
+//! The crate also provides [`rope::apply_rope`] rotary position embeddings
+//! and [`gqa`] grouped-query-attention head mapping, which the synthetic
+//! transformer substrate (`sa-model`) uses to mirror the ChatGLM2 /
+//! InternLM2 architectures.
+
+mod cost;
+mod flash;
+mod full;
+pub mod gqa;
+mod mask;
+pub mod rope;
+mod sparse_flash;
+
+pub use cost::CostReport;
+pub use flash::{flash_attention, FlashParams};
+pub use full::{
+    attention_probs, attention_scores_raw, causal_pairs, full_attention, masked_attention_dense,
+    AttentionOutput,
+};
+pub use mask::{DenseMask, StructuredMask, StructuredMaskBuilder};
+pub use sparse_flash::sparse_flash_attention;
+
+/// Scale factor `1 / sqrt(d)` applied to raw scores, as in Eq. (1).
+#[inline]
+pub fn score_scale(d: usize) -> f32 {
+    1.0 / (d as f32).sqrt()
+}
+
+/// Kernel-level error type (re-exported tensor errors plus mask/shape
+/// validation).
+pub type KernelError = sa_tensor::TensorError;

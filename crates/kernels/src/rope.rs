@@ -1,0 +1,276 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! Both backbone models in the paper (ChatGLM2, InternLM2) use rotary
+//! positional encoding; the synthetic transformer substrate applies the
+//! same transform so positional structure (local windows, long-range
+//! stripes) interacts with attention scores the way it does in the real
+//! models. Supports the linear "rope scaling" used by InternLM2-style
+//! length extrapolation.
+
+use sa_tensor::{Matrix, TensorError};
+
+/// RoPE configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RopeConfig {
+    /// Base for the inverse-frequency geometric series (10000.0 in the
+    /// original RoFormer and both backbones).
+    pub base: f32,
+    /// Linear position scaling factor (1.0 = none; >1 stretches positions,
+    /// the "rope scaling" extrapolation trick).
+    pub scaling: f32,
+}
+
+impl Default for RopeConfig {
+    fn default() -> Self {
+        RopeConfig {
+            base: 10_000.0,
+            scaling: 1.0,
+        }
+    }
+}
+
+/// Applies rotary embeddings in place to an `(S, d)` matrix whose row `i`
+/// is the vector at absolute position `position_offset + i`.
+///
+/// Pairs dimensions `(2t, 2t+1)` and rotates each by
+/// `theta_t = (pos / scaling) * base^(-2t/d)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] if `d` is odd or the scaling
+/// is not positive.
+pub fn apply_rope(
+    x: &mut Matrix,
+    position_offset: usize,
+    config: RopeConfig,
+) -> Result<(), TensorError> {
+    let d = x.cols();
+    if !d.is_multiple_of(2) {
+        return Err(TensorError::InvalidDimension {
+            op: "apply_rope",
+            what: format!("head dimension must be even, got {d}"),
+        });
+    }
+    if !(config.scaling > 0.0) || !(config.base > 0.0) {
+        return Err(TensorError::InvalidDimension {
+            op: "apply_rope",
+            what: format!(
+                "base and scaling must be positive (base={}, scaling={})",
+                config.base, config.scaling
+            ),
+        });
+    }
+    let half = d / 2;
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|t| config.base.powf(-2.0 * t as f32 / d as f32))
+        .collect();
+    for i in 0..x.rows() {
+        let pos = (position_offset + i) as f32 / config.scaling;
+        let row = x.row_mut(i);
+        for t in 0..half {
+            let theta = pos * inv_freq[t];
+            let (sin, cos) = theta.sin_cos();
+            let a = row[2 * t];
+            let b = row[2 * t + 1];
+            row[2 * t] = a * cos - b * sin;
+            row[2 * t + 1] = a * sin + b * cos;
+        }
+    }
+    Ok(())
+}
+
+/// Applies rotary embeddings to only the first `rotary_dims` columns of
+/// `x` (partial rotary, as in ChatGLM's 2D-RoPE): dimensions beyond
+/// `rotary_dims` pass through untouched, so content carried there matches
+/// position-independently.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidDimension`] if `rotary_dims` is odd,
+/// exceeds `x.cols()`, or the config is invalid.
+pub fn apply_rope_partial(
+    x: &mut Matrix,
+    rotary_dims: usize,
+    position_offset: usize,
+    config: RopeConfig,
+) -> Result<(), TensorError> {
+    if rotary_dims > x.cols() {
+        return Err(TensorError::InvalidDimension {
+            op: "apply_rope_partial",
+            what: format!(
+                "rotary_dims {rotary_dims} exceeds matrix width {}",
+                x.cols()
+            ),
+        });
+    }
+    if !rotary_dims.is_multiple_of(2) {
+        return Err(TensorError::InvalidDimension {
+            op: "apply_rope_partial",
+            what: format!("rotary_dims must be even, got {rotary_dims}"),
+        });
+    }
+    if rotary_dims == 0 {
+        return Ok(());
+    }
+    if !(config.scaling > 0.0) || !(config.base > 0.0) {
+        return Err(TensorError::InvalidDimension {
+            op: "apply_rope_partial",
+            what: format!(
+                "base and scaling must be positive (base={}, scaling={})",
+                config.base, config.scaling
+            ),
+        });
+    }
+    let half = rotary_dims / 2;
+    let inv_freq: Vec<f32> = (0..half)
+        .map(|t| config.base.powf(-2.0 * t as f32 / rotary_dims as f32))
+        .collect();
+    for i in 0..x.rows() {
+        let pos = (position_offset + i) as f32 / config.scaling;
+        let row = x.row_mut(i);
+        for t in 0..half {
+            let theta = pos * inv_freq[t];
+            let (sin, cos) = theta.sin_cos();
+            let a = row[2 * t];
+            let b = row[2 * t + 1];
+            row[2 * t] = a * cos - b * sin;
+            row[2 * t + 1] = a * sin + b * cos;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_tensor::{matmul_transb, DeterministicRng};
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut rng = DeterministicRng::new(1);
+        let orig = rng.normal_matrix(1, 8, 1.0);
+        let mut x = orig.clone();
+        apply_rope(&mut x, 0, RopeConfig::default()).unwrap();
+        for (a, b) in x.as_slice().iter().zip(orig.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut rng = DeterministicRng::new(2);
+        let orig = rng.normal_matrix(10, 16, 1.0);
+        let mut x = orig.clone();
+        apply_rope(&mut x, 100, RopeConfig::default()).unwrap();
+        for i in 0..10 {
+            let n0: f32 = orig.row(i).iter().map(|v| v * v).sum();
+            let n1: f32 = x.row(i).iter().map(|v| v * v).sum();
+            assert!((n0 - n1).abs() < 1e-3, "row {i}: {n0} vs {n1}");
+        }
+    }
+
+    #[test]
+    fn dot_products_depend_only_on_relative_position() {
+        // The defining property of RoPE: <R_m q, R_n k> depends on (m - n).
+        let mut rng = DeterministicRng::new(3);
+        let q = rng.normal_matrix(1, 8, 1.0);
+        let k = rng.normal_matrix(1, 8, 1.0);
+        let cfg = RopeConfig::default();
+
+        let score = |m: usize, n: usize| {
+            let mut qr = q.clone();
+            let mut kr = k.clone();
+            apply_rope(&mut qr, m, cfg).unwrap();
+            apply_rope(&mut kr, n, cfg).unwrap();
+            matmul_transb(&qr, &kr).unwrap().get(0, 0)
+        };
+        let a = score(5, 2);
+        let b = score(105, 102);
+        assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+    }
+
+    #[test]
+    fn scaling_compresses_rotation() {
+        // With scaling = 2, position 10 rotates like position 5 unscaled.
+        let mut rng = DeterministicRng::new(4);
+        let base = rng.normal_matrix(1, 8, 1.0);
+        let mut scaled = base.clone();
+        apply_rope(
+            &mut scaled,
+            10,
+            RopeConfig {
+                scaling: 2.0,
+                ..RopeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut unscaled = base.clone();
+        apply_rope(&mut unscaled, 5, RopeConfig::default()).unwrap();
+        for (a, b) in scaled.as_slice().iter().zip(unscaled.as_slice()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn position_offset_matches_absolute() {
+        let mut rng = DeterministicRng::new(5);
+        let block = rng.normal_matrix(4, 8, 1.0);
+        // Apply as one block at offset 0 vs two blocks at offsets 0 and 2.
+        let mut whole = block.clone();
+        apply_rope(&mut whole, 0, RopeConfig::default()).unwrap();
+        let mut first = block.slice_rows(0, 2).unwrap();
+        let mut second = block.slice_rows(2, 4).unwrap();
+        apply_rope(&mut first, 0, RopeConfig::default()).unwrap();
+        apply_rope(&mut second, 2, RopeConfig::default()).unwrap();
+        for j in 0..8 {
+            assert!((whole.get(2, j) - second.get(0, j)).abs() < 1e-5);
+            assert!((whole.get(0, j) - first.get(0, j)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn partial_rope_leaves_tail_untouched() {
+        let mut rng = DeterministicRng::new(6);
+        let orig = rng.normal_matrix(5, 12, 1.0);
+        let mut x = orig.clone();
+        apply_rope_partial(&mut x, 6, 40, RopeConfig::default()).unwrap();
+        for i in 0..5 {
+            // rotated head changed (position 40+ is far from identity)
+            assert!(x.row(i)[..6] != orig.row(i)[..6]);
+            // tail identical
+            assert_eq!(&x.row(i)[6..], &orig.row(i)[6..]);
+        }
+    }
+
+    #[test]
+    fn partial_rope_full_width_matches_apply_rope() {
+        let mut rng = DeterministicRng::new(7);
+        let orig = rng.normal_matrix(3, 8, 1.0);
+        let mut a = orig.clone();
+        let mut b = orig;
+        apply_rope(&mut a, 11, RopeConfig::default()).unwrap();
+        apply_rope_partial(&mut b, 8, 11, RopeConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_rope_validation() {
+        let mut x = Matrix::zeros(2, 8);
+        assert!(apply_rope_partial(&mut x, 10, 0, RopeConfig::default()).is_err());
+        assert!(apply_rope_partial(&mut x, 3, 0, RopeConfig::default()).is_err());
+        assert!(apply_rope_partial(&mut x, 0, 0, RopeConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn odd_dimension_rejected() {
+        let mut x = Matrix::zeros(2, 7);
+        assert!(apply_rope(&mut x, 0, RopeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut x = Matrix::zeros(2, 8);
+        assert!(apply_rope(&mut x, 0, RopeConfig { base: 10_000.0, scaling: 0.0 }).is_err());
+        assert!(apply_rope(&mut x, 0, RopeConfig { base: -1.0, scaling: 1.0 }).is_err());
+    }
+}

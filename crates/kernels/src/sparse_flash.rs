@@ -1,0 +1,291 @@
+//! Block-sparse FlashAttention over a [`StructuredMask`].
+//!
+//! This is the kernel that turns a discovered sparse pattern into wall-
+//! clock savings: for each query row it touches only (a) the extra columns
+//! (sinks + stripes) below the local window and (b) the contiguous local
+//! window itself, using the same online softmax as the dense flash kernel.
+//! Work and memory traffic are therefore proportional to `mask.nnz()`
+//! instead of the full causal triangle — exactly the paper's
+//! `sparse_flash_attn(Q, K, V, M_Merged)`.
+
+use sa_tensor::{online_softmax_update, Matrix, OnlineSoftmaxState, TensorError};
+
+use crate::cost::f32_bytes;
+use crate::{score_scale, AttentionOutput, CostReport, StructuredMask};
+
+/// Query rows per tile sharing one K/V load in the (simulated) fused
+/// kernel.
+pub(crate) const KV_TILE_REUSE: u64 = 128;
+
+/// Structured-sparse causal attention.
+///
+/// Computes exactly `softmax(masked scores) V` where masked scores keep
+/// only entries live under `mask` (causal ∩ (window ∪ sinks ∪ stripes)).
+/// Rows with no live entry produce zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the Q/K/V shapes disagree
+/// with each other or with the mask dimensions.
+///
+/// # Example
+///
+/// ```
+/// use sa_tensor::DeterministicRng;
+/// use sa_kernels::{sparse_flash_attention, StructuredMask};
+///
+/// # fn main() -> Result<(), sa_kernels::KernelError> {
+/// let mut rng = DeterministicRng::new(0);
+/// let (q, k, v) = (
+///     rng.normal_matrix(64, 8, 1.0),
+///     rng.normal_matrix(64, 8, 1.0),
+///     rng.normal_matrix(64, 8, 1.0),
+/// );
+/// let mask = StructuredMask::builder(64, 64)
+///     .window(8)
+///     .sinks(2)
+///     .columns(vec![20, 33])
+///     .build()?;
+/// let out = sparse_flash_attention(&q, &k, &v, &mask)?;
+/// assert_eq!(out.output.shape(), (64, 8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn sparse_flash_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    mask: &StructuredMask,
+) -> Result<AttentionOutput, TensorError> {
+    if q.cols() != k.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention(q,k)",
+            lhs: q.shape(),
+            rhs: k.shape(),
+        });
+    }
+    if k.rows() != v.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention(k,v)",
+            lhs: k.shape(),
+            rhs: v.shape(),
+        });
+    }
+    if mask.s_q() != q.rows() || mask.s_k() != k.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention(mask)",
+            lhs: (mask.s_q(), mask.s_k()),
+            rhs: (q.rows(), k.rows()),
+        });
+    }
+
+    let (s_q, d) = q.shape();
+    let dv = v.cols();
+    let scale = score_scale(d);
+    let extras = mask.extra_columns();
+
+    let mut output = Matrix::zeros(s_q, dv);
+    let mut live_pairs: u64 = 0;
+    let mut scores_buf: Vec<f32> = Vec::new();
+    let mut cols_buf: Vec<usize> = Vec::new();
+
+    for i in 0..s_q {
+        let Some(end) = mask.causal_end(i) else {
+            continue;
+        };
+        let win_start = mask.window_start(i);
+        let q_row = q.row(i);
+        let mut state = OnlineSoftmaxState::new(dv);
+
+        // Extra columns strictly below the window (sinks + stripes +
+        // diagonal keys).
+        cols_buf.clear();
+        cols_buf.extend(extras.iter().copied().take_while(|&c| c < win_start));
+        cols_buf.extend(mask.diagonal_keys(i));
+        if !cols_buf.is_empty() {
+            scores_buf.clear();
+            scores_buf.extend(
+                cols_buf
+                    .iter()
+                    .map(|&c| dot(q_row, k.row(c)) * scale),
+            );
+            let cols = &cols_buf;
+            online_softmax_update(&mut state, &scores_buf, |t| v.row(cols[t]));
+        }
+
+        // Contiguous local window win_start ..= end.
+        if win_start <= end {
+            scores_buf.clear();
+            scores_buf.extend((win_start..=end).map(|c| dot(q_row, k.row(c)) * scale));
+            online_softmax_update(&mut state, &scores_buf, |t| v.row(win_start + t));
+        }
+
+        live_pairs += (cols_buf.len() + (end + 1 - win_start)) as u64;
+        output.row_mut(i).copy_from_slice(&state.finish());
+    }
+
+    // Fused single kernel: reads Q once, gathers the live K/V rows, and
+    // writes O. K/V reads are shared across the KV_TILE_REUSE query rows
+    // of a tile (stripe columns are global, so a tile loads each selected
+    // K/V row once) — this is the paper's "savings in KV
+    // memory-transfers".
+    let flops = live_pairs * (2 * d as u64 + 4 + 2 * dv as u64);
+    let kv_bytes = f32_bytes(live_pairs * (d + dv) as u64).div_ceil(KV_TILE_REUSE);
+    let bytes_read = f32_bytes((s_q * d) as u64) + kv_bytes;
+    let bytes_written = f32_bytes((s_q * dv) as u64);
+    let cost = CostReport::launch(flops, bytes_read, bytes_written);
+
+    Ok(AttentionOutput { output, cost })
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flash_attention, full_attention, masked_attention_dense, FlashParams};
+    use sa_tensor::{max_abs_diff, DeterministicRng};
+
+    fn random_qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn dense_mask_reduces_to_flash() {
+        let (q, k, v) = random_qkv(80, 8, 20);
+        let mask = StructuredMask::dense_causal(80, 80);
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let flash = flash_attention(&q, &k, &v, true, FlashParams::default()).unwrap();
+        assert!(max_abs_diff(sparse.output.as_slice(), flash.output.as_slice()) < 1e-4);
+    }
+
+    #[test]
+    fn matches_dense_reference_on_structured_mask() {
+        let (q, k, v) = random_qkv(60, 8, 21);
+        let mask = StructuredMask::builder(60, 60)
+            .window(6)
+            .sinks(3)
+            .columns(vec![10, 25, 40])
+            .build()
+            .unwrap();
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
+        assert!(
+            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
+        );
+    }
+
+    #[test]
+    fn stripe_inside_window_not_double_counted() {
+        let (q, k, v) = random_qkv(30, 4, 22);
+        // Column 28 falls inside most rows' windows near the end.
+        let mask = StructuredMask::builder(30, 30)
+            .window(5)
+            .columns(vec![28, 2])
+            .build()
+            .unwrap();
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
+        assert!(
+            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
+        );
+    }
+
+    #[test]
+    fn zero_window_pure_stripes() {
+        let (q, k, v) = random_qkv(20, 4, 23);
+        let mask = StructuredMask::builder(20, 20)
+            .window(0)
+            .sinks(1)
+            .columns(vec![5])
+            .build()
+            .unwrap();
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
+        assert!(
+            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
+        );
+        // Row 0 sees nothing (window 0, no extras ≤ causal end except col 0 sink).
+        // Actually sink column 0 is causally visible to row 0... window_start(0) = 1
+        // with window 0, so col 0 is an extra below the window → live.
+        assert!(sparse.output.row(0).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn fully_empty_mask_rows_are_zero() {
+        let (q, k, v) = random_qkv(6, 4, 24);
+        let mask = StructuredMask::builder(6, 6).window(0).build().unwrap();
+        let out = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        assert!(out.output.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rectangular_kv_longer_than_q() {
+        let mut rng = DeterministicRng::new(25);
+        let q = rng.normal_matrix(8, 4, 1.0);
+        let k = rng.normal_matrix(24, 4, 1.0);
+        let v = rng.normal_matrix(24, 4, 1.0);
+        let mask = StructuredMask::builder(8, 24)
+            .window(4)
+            .sinks(2)
+            .columns(vec![10])
+            .build()
+            .unwrap();
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
+        assert!(
+            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
+        );
+    }
+
+    #[test]
+    fn cost_proportional_to_nnz() {
+        let (q, k, v) = random_qkv(128, 8, 26);
+        let sparse_mask = StructuredMask::builder(128, 128).window(8).build().unwrap();
+        let dense_mask = StructuredMask::dense_causal(128, 128);
+        let a = sparse_flash_attention(&q, &k, &v, &sparse_mask).unwrap();
+        let b = sparse_flash_attention(&q, &k, &v, &dense_mask).unwrap();
+        let flops_ratio = b.cost.flops as f64 / a.cost.flops as f64;
+        let nnz_ratio = dense_mask.nnz() as f64 / sparse_mask.nnz() as f64;
+        assert!((flops_ratio - nnz_ratio).abs() / nnz_ratio < 1e-9);
+        assert!(a.cost.bytes_total() < b.cost.bytes_total());
+    }
+
+    #[test]
+    fn near_lossless_with_high_density_mask() {
+        // With a generous window the sparse output should be very close to
+        // exact full attention even without stripes.
+        let (q, k, v) = random_qkv(100, 8, 27);
+        let mask = StructuredMask::builder(100, 100)
+            .window(90)
+            .sinks(4)
+            .build()
+            .unwrap();
+        let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        // Not exactly equal (some entries dropped) but close in L1.
+        let diff = sa_tensor::l1_distance(sparse.output.as_slice(), exact.output.as_slice())
+            / exact.output.len() as f32;
+        assert!(diff < 0.05, "mean L1 diff {diff}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (q, k, v) = random_qkv(8, 4, 28);
+        let mask = StructuredMask::dense_causal(9, 9);
+        assert!(sparse_flash_attention(&q, &k, &v, &mask).is_err());
+        let k_bad = Matrix::zeros(8, 5);
+        let mask8 = StructuredMask::dense_causal(8, 8);
+        assert!(sparse_flash_attention(&q, &k_bad, &v, &mask8).is_err());
+        let v_bad = Matrix::zeros(7, 4);
+        assert!(sparse_flash_attention(&q, &k, &v_bad, &mask8).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-layer key/value caches for incremental (chunked prefill and
+//! decode) execution.
+//!
+//! The paper replaces attention only at the prefill stage and keeps "an
+//! uncompressed KV cache in the decode phase" (§5.1); its serving stack
+//! additionally chunks prefill along the sequence (Appendix A.6). Both
+//! modes need the same machinery: per-(layer, kv-head) K/V matrices that
+//! grow as rows arrive.
+
+use sa_tensor::{Matrix, TensorError};
+
+/// The K/V cache of one layer: one `(K, V)` pair per KV head.
+#[derive(Debug, Clone)]
+pub struct LayerKvCache {
+    entries: Vec<(Matrix, Matrix)>,
+    head_dim: usize,
+    /// Absolute positions appended so far (monotone; unaffected by
+    /// eviction, so RoPE offsets stay correct).
+    seen: usize,
+}
+
+impl LayerKvCache {
+    /// An empty cache for `num_kv_heads` heads of dimension `head_dim`.
+    pub fn new(num_kv_heads: usize, head_dim: usize) -> Self {
+        LayerKvCache {
+            entries: (0..num_kv_heads)
+                .map(|_| (Matrix::zeros(0, head_dim), Matrix::zeros(0, head_dim)))
+                .collect(),
+            head_dim,
+            seen: 0,
+        }
+    }
+
+    /// Total positions ever appended (the next row's absolute position).
+    /// Unlike [`len`](Self::len), eviction does not reduce this.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Number of currently cached entries in head 0 (heads may diverge
+    /// after per-head eviction; see [`head_len`](Self::head_len)).
+    pub fn len(&self) -> usize {
+        self.entries.first().map_or(0, |(k, _)| k.rows())
+    }
+
+    /// Number of currently cached entries in a specific head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_head` is out of range.
+    pub fn head_len(&self, kv_head: usize) -> usize {
+        self.entries[kv_head].0.rows()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of KV heads.
+    pub fn num_kv_heads(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The cached `(K, V)` of a KV head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_head` is out of range.
+    pub fn head(&self, kv_head: usize) -> (&Matrix, &Matrix) {
+        let (k, v) = &self.entries[kv_head];
+        (k, v)
+    }
+
+    /// Replaces a head's cached `(K, V)` wholesale (used by eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_head` is out of range or the widths disagree with
+    /// the cache's head dimension.
+    pub(crate) fn replace(&mut self, kv_head: usize, k: Matrix, v: Matrix) {
+        assert_eq!(k.cols(), self.head_dim, "replace width mismatch");
+        assert_eq!(v.cols(), self.head_dim, "replace width mismatch");
+        assert_eq!(k.rows(), v.rows(), "replace row mismatch");
+        self.entries[kv_head] = (k, v);
+    }
+
+    /// Appends new rows for a KV head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the row widths disagree
+    /// with the cache's head dimension or `k`/`v` row counts differ.
+    pub fn append(&mut self, kv_head: usize, k_new: &Matrix, v_new: &Matrix) -> Result<(), TensorError> {
+        if k_new.cols() != self.head_dim || v_new.cols() != self.head_dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "LayerKvCache::append",
+                lhs: k_new.shape(),
+                rhs: (self.head_dim, self.head_dim),
+            });
+        }
+        if k_new.rows() != v_new.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "LayerKvCache::append(k,v)",
+                lhs: k_new.shape(),
+                rhs: v_new.shape(),
+            });
+        }
+        let head_dim = self.head_dim;
+        let grow = |dst: &mut Matrix, src: &Matrix| {
+            let old_rows = dst.rows();
+            let mut data = std::mem::take(dst).into_vec();
+            data.extend_from_slice(src.as_slice());
+            *dst = Matrix::from_vec(old_rows + src.rows(), head_dim, data)
+                .expect("dimensions consistent by construction");
+        };
+        if kv_head == 0 {
+            self.seen += k_new.rows();
+        }
+        let (k, v) = &mut self.entries[kv_head];
+        grow(k, k_new);
+        grow(v, v_new);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_grows_rows() {
+        let mut c = LayerKvCache::new(2, 4);
+        assert!(c.is_empty());
+        let k = Matrix::from_fn(3, 4, |i, j| (i + j) as f32);
+        let v = Matrix::from_fn(3, 4, |i, j| (i * j) as f32);
+        c.append(0, &k, &v).unwrap();
+        c.append(1, &k, &v).unwrap();
+        assert_eq!(c.len(), 3);
+        let (ck, cv) = c.head(0);
+        assert_eq!(ck.shape(), (3, 4));
+        assert_eq!(cv.get(2, 3), 6.0);
+        c.append(0, &k, &v).unwrap();
+        let (ck, _) = c.head(0);
+        assert_eq!(ck.rows(), 6);
+        assert_eq!(ck.get(4, 1), k.get(1, 1));
+    }
+
+    #[test]
+    fn append_validates_shapes() {
+        let mut c = LayerKvCache::new(1, 4);
+        let bad = Matrix::zeros(2, 5);
+        let ok = Matrix::zeros(2, 4);
+        assert!(c.append(0, &bad, &ok).is_err());
+        let mismatched = Matrix::zeros(3, 4);
+        assert!(c.append(0, &ok, &mismatched).is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! Chunked prefill and the decode phase.
+//!
+//! The paper only replaces *prefill* attention; generation proceeds with
+//! full attention over an uncompressed KV cache (§5.1), and its serving
+//! stack chunks long prefills along the sequence (Appendix A.6). This
+//! module provides both on top of [`crate::AttentionLayer::forward_incremental`]:
+//!
+//! - [`SyntheticTransformer::prefill_chunked`] — process the prompt in
+//!   chunks with per-layer KV caches. For a causal transformer this is
+//!   *exactly* equivalent to monolithic prefill (a property the tests
+//!   assert), but bounds peak memory like the paper's serving setup.
+//! - [`DecodeSession`] — autoregressive generation after a prefill: each
+//!   step embeds the newest token, runs it through every layer with full
+//!   attention over the caches, and decodes the retrieval heads' output
+//!   into the next token.
+
+use sa_baselines::{AttentionMethod, FullAttention};
+use sa_kernels::{attention_scores_raw, CostReport};
+use sa_tensor::{softmax_rows_in_place, Matrix, TensorError};
+
+use crate::{
+    EvictionConfig, HeadReport, LayerKvCache, PrefillResult, Readout, SyntheticTransformer,
+};
+
+impl SyntheticTransformer {
+    /// Prefills in chunks of `chunk_size` rows (the last chunk may be
+    /// shorter), maintaining per-layer KV caches. Returns the same
+    /// [`PrefillResult`] as [`prefill`](Self::prefill) plus the caches,
+    /// ready for decoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for a zero chunk size, or
+    /// propagates kernel errors.
+    pub fn prefill_chunked(
+        &self,
+        tokens: &[u32],
+        chunk_size: usize,
+        method: &dyn AttentionMethod,
+    ) -> Result<(PrefillResult, Vec<LayerKvCache>), TensorError> {
+        if chunk_size == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "prefill_chunked",
+                what: "chunk_size must be >= 1".to_string(),
+            });
+        }
+        let s = tokens.len();
+        let num_layers = self.config().num_layers;
+        let num_heads = self.config().num_heads;
+        let hidden_full = self.embedder().embed(tokens);
+
+        let mut caches: Vec<LayerKvCache> = self
+            .layers()
+            .iter()
+            .map(|l| l.new_cache(self.config().head_dim))
+            .collect();
+        let mut layer_inputs: Vec<Matrix> =
+            (0..num_layers).map(|_| Matrix::zeros(0, hidden_full.cols())).collect();
+        let mut head_contents: Vec<Matrix> = (0..num_layers * num_heads)
+            .map(|_| Matrix::zeros(0, self.config().content_dim))
+            .collect();
+        let mut head_reports: Vec<Option<HeadReport>> = vec![None; num_layers * num_heads];
+        let mut total_cost = CostReport::new();
+        let mut final_hidden = Matrix::zeros(0, hidden_full.cols());
+
+        let mut start = 0;
+        while start < s {
+            let end = (start + chunk_size).min(s);
+            let mut rows = hidden_full.slice_rows(start, end)?;
+            for (l, layer) in self.layers().iter().enumerate() {
+                append_rows(&mut layer_inputs[l], &rows)?;
+                let out = layer.forward_incremental(&rows, &mut caches[l], method)?;
+                for (h, content) in out.head_contents.iter().enumerate() {
+                    append_rows(&mut head_contents[l * num_heads + h], content)?;
+                }
+                for r in out.head_reports {
+                    let slot = &mut head_reports[r.layer * num_heads + r.head];
+                    match slot {
+                        Some(existing) => {
+                            existing.cost.merge(&r.cost);
+                            existing.density = (existing.density + r.density) / 2.0;
+                        }
+                        None => *slot = Some(r),
+                    }
+                }
+                total_cost.merge(&out.cost);
+                rows = out.hidden;
+            }
+            append_rows(&mut final_hidden, &rows)?;
+            start = end;
+        }
+
+        let head_reports: Vec<HeadReport> = head_reports
+            .into_iter()
+            .map(|r| r.expect("every head ran at least once"))
+            .collect();
+        Ok((
+            PrefillResult {
+                hidden: final_hidden,
+                layer_inputs,
+                head_contents,
+                head_reports,
+                total_cost,
+            },
+            caches,
+        ))
+    }
+
+    /// Starts a decode session: chunked prefill with `method`, then
+    /// generation with full attention over the caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prefill errors.
+    pub fn begin_decode(
+        &self,
+        tokens: &[u32],
+        prefill_method: &dyn AttentionMethod,
+    ) -> Result<DecodeSession<'_>, TensorError> {
+        self.begin_decode_with(tokens, prefill_method, EvictionConfig::none())
+    }
+
+    /// Like [`begin_decode`](Self::begin_decode) with a decode-phase
+    /// KV-cache eviction policy — the "combined with KV cache eviction"
+    /// deployment the paper describes as orthogonal to SampleAttention.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prefill errors.
+    pub fn begin_decode_with(
+        &self,
+        tokens: &[u32],
+        prefill_method: &dyn AttentionMethod,
+        eviction: EvictionConfig,
+    ) -> Result<DecodeSession<'_>, TensorError> {
+        let (result, caches) = self.prefill_chunked(tokens, tokens.len().max(1), prefill_method)?;
+        let readout = Readout::from_reports(&result.head_reports);
+        // Last row's content output per head.
+        let last = result.hidden.rows().saturating_sub(1);
+        let last_contents: Vec<Matrix> = result
+            .head_contents
+            .iter()
+            .map(|m| m.slice_rows(last, last + 1))
+            .collect::<Result<_, _>>()?;
+        let scores = caches
+            .iter()
+            .map(|c| vec![vec![0.0f64; c.len()]; c.num_kv_heads()])
+            .collect();
+        Ok(DecodeSession {
+            model: self,
+            tokens: tokens.to_vec(),
+            caches,
+            readout,
+            last_contents,
+            prefill: result,
+            eviction,
+            scores,
+        })
+    }
+}
+
+fn append_rows(dst: &mut Matrix, src: &Matrix) -> Result<(), TensorError> {
+    let cols = src.cols();
+    let rows = dst.rows() + src.rows();
+    let mut data = std::mem::take(dst).into_vec();
+    data.extend_from_slice(src.as_slice());
+    *dst = Matrix::from_vec(rows, cols, data)?;
+    Ok(())
+}
+
+/// An autoregressive decoding session over uncompressed KV caches.
+#[derive(Debug)]
+pub struct DecodeSession<'m> {
+    model: &'m SyntheticTransformer,
+    tokens: Vec<u32>,
+    caches: Vec<LayerKvCache>,
+    readout: Readout,
+    /// One `(1, content_dim)` matrix per head: the newest position's
+    /// retrieval output.
+    last_contents: Vec<Matrix>,
+    prefill: PrefillResult,
+    eviction: EvictionConfig,
+    /// Accumulated attention mass per (layer, kv-head, cache entry) —
+    /// the H2O heavy-hitter statistic, observed during decoding.
+    scores: Vec<Vec<Vec<f64>>>,
+}
+
+impl<'m> DecodeSession<'m> {
+    /// The token stream so far (prompt + generated).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The prefill result the session started from.
+    pub fn prefill_result(&self) -> &PrefillResult {
+        &self.prefill
+    }
+
+    /// Predicts the next token (restricted to `range`), appends it, and
+    /// advances the caches by one position using full attention.
+    ///
+    /// Returns `(token, confidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the single-row forward.
+    pub fn step_in(&mut self, range: std::ops::Range<u32>) -> Result<(u32, f32), TensorError> {
+        let (token, confidence) = self.peek_in(range);
+        self.push(token)?;
+        Ok((token, confidence))
+    }
+
+    /// Predicts the next token over the whole vocabulary, appends it, and
+    /// advances the caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the single-row forward.
+    pub fn step(&mut self) -> Result<(u32, f32), TensorError> {
+        let vocab = self.model.config().vocab_size as u32;
+        self.step_in(0..vocab)
+    }
+
+    /// The next-token prediction without advancing.
+    pub fn peek_in(&self, range: std::ops::Range<u32>) -> (u32, f32) {
+        match self.readout.answer_vector(&self.last_contents, 0) {
+            Some(v) => self.model.embedder().nearest_token_in(&v, range),
+            None => (crate::BOS_TOKEN, 0.0),
+        }
+    }
+
+    /// Appends an externally chosen token (teacher forcing) and advances
+    /// the caches by one position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the single-row forward.
+    pub fn push(&mut self, token: u32) -> Result<(), TensorError> {
+        self.tokens.push(token);
+        // Embed the full stream (the AR(1) positional track is
+        // sequential) and take the newest row.
+        let hidden = self.model.embedder().embed(&self.tokens);
+        let mut rows = hidden.slice_rows(hidden.rows() - 1, hidden.rows())?;
+        let full = FullAttention::new();
+        let num_heads = self.model.config().num_heads;
+        let track = self.eviction.budget > 0;
+        for (l, layer) in self.model.layers().iter().enumerate() {
+            let offset = self.caches[l].seen();
+            if track {
+                // The new entry starts with zero accumulated mass.
+                for head_scores in &mut self.scores[l] {
+                    head_scores.push(0.0);
+                }
+            }
+            let out = layer.forward_incremental(&rows, &mut self.caches[l], &full)?;
+            if track {
+                for head in 0..num_heads {
+                    let q = layer.project_q(&rows, head, offset)?;
+                    let kv = layer.gqa().kv_head_for(head);
+                    let (k_all, _) = self.caches[l].head(kv);
+                    let mut p = attention_scores_raw(&q, k_all, false)?;
+                    softmax_rows_in_place(&mut p);
+                    for (j, &m) in p.row(0).iter().enumerate() {
+                        self.scores[l][kv][j] += m as f64;
+                    }
+                }
+                for kv in 0..self.caches[l].num_kv_heads() {
+                    let len = self.caches[l].head_len(kv);
+                    if let Some(keep) = self.eviction.keep_indices(len, &self.scores[l][kv]) {
+                        self.caches[l].retain_head(kv, &keep)?;
+                        self.scores[l][kv] = keep
+                            .iter()
+                            .map(|&i| self.scores[l][kv][i])
+                            .collect();
+                    }
+                }
+            }
+            for (h, content) in out.head_contents.into_iter().enumerate() {
+                self.last_contents[l * num_heads + h] = content;
+            }
+            rows = out.hidden;
+        }
+        Ok(())
+    }
+
+    /// Current cache occupancy of layer 0, KV head 0 (for
+    /// eviction-behaviour inspection).
+    pub fn cache_len(&self) -> usize {
+        self.caches.first().map_or(0, |c| c.head_len(0))
+    }
+
+    /// Generates `n` tokens restricted to `range`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn generate_in(
+        &mut self,
+        n: usize,
+        range: std::ops::Range<u32>,
+    ) -> Result<Vec<u32>, TensorError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (t, _) = self.step_in(range.clone())?;
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, VocabLayout};
+    use sa_baselines::SampleAttentionMethod;
+    use sa_tensor::max_abs_diff;
+
+    fn model() -> SyntheticTransformer {
+        SyntheticTransformer::new(ModelConfig::tiny(77)).unwrap()
+    }
+
+    #[test]
+    fn chunked_prefill_matches_monolithic() {
+        let m = model();
+        let tokens = m.tokenize_filler(90);
+        let mono = m.prefill(&tokens, &FullAttention::new()).unwrap();
+        for chunk in [1usize, 7, 32, 90, 200] {
+            let (chunked, caches) = m
+                .prefill_chunked(&tokens, chunk, &FullAttention::new())
+                .unwrap();
+            assert_eq!(chunked.hidden.shape(), mono.hidden.shape());
+            let diff = max_abs_diff(chunked.hidden.as_slice(), mono.hidden.as_slice());
+            assert!(diff < 1e-4, "chunk {chunk}: diff {diff}");
+            assert_eq!(caches[0].len(), 90);
+            // head contents align too
+            let d0 = max_abs_diff(
+                chunked.head_contents[3].as_slice(),
+                mono.head_contents[3].as_slice(),
+            );
+            assert!(d0 < 1e-4, "chunk {chunk}: head diff {d0}");
+        }
+    }
+
+    #[test]
+    fn decode_recovers_needle_answer() {
+        let m = model();
+        let layout = *m.embedder().layout();
+        let marker = layout.marker(4);
+        let payload = layout.payload(9);
+        let mut tokens = m.tokenize_filler(200);
+        tokens[80] = marker;
+        tokens[81] = payload;
+        let last = tokens.len() - 1;
+        tokens[last] = marker;
+
+        let mut session = m.begin_decode(&tokens, &FullAttention::new()).unwrap();
+        let (answer, confidence) = session.step_in(layout.payload_range()).unwrap();
+        assert_eq!(answer, payload, "confidence {confidence}");
+        assert_eq!(session.tokens().len(), 201);
+    }
+
+    #[test]
+    fn decode_after_sample_attention_prefill() {
+        // The paper's deployment: SampleAttention at prefill, full
+        // attention at decode.
+        let m = model();
+        let layout = *m.embedder().layout();
+        let marker = layout.marker(2);
+        let payload = layout.payload(3);
+        let mut tokens = m.tokenize_filler(240);
+        tokens[100] = marker;
+        tokens[101] = payload;
+        let last = tokens.len() - 1;
+        tokens[last] = marker;
+        let mut session = m
+            .begin_decode(&tokens, &SampleAttentionMethod::paper_default())
+            .unwrap();
+        let (answer, _) = session.step_in(layout.payload_range()).unwrap();
+        assert_eq!(answer, payload);
+    }
+
+    #[test]
+    fn teacher_forcing_and_generate() {
+        let m = model();
+        let tokens = m.tokenize_filler(60);
+        let mut session = m.begin_decode(&tokens, &FullAttention::new()).unwrap();
+        session.push(5).unwrap();
+        assert_eq!(*session.tokens().last().unwrap(), 5);
+        let vocab = m.config().vocab_size as u32;
+        let generated = session.generate_in(3, 0..vocab).unwrap();
+        assert_eq!(generated.len(), 3);
+        assert_eq!(session.tokens().len(), 64);
+    }
+
+    #[test]
+    fn h2o_eviction_bounds_cache_and_keeps_answers() {
+        // SampleAttention prefill + H2O decode: the paper's "orthogonal,
+        // can be combined" deployment. The heavy-hitter statistic keeps
+        // the needle KV because decode queries keep attending to it.
+        let m = model();
+        let layout = *m.embedder().layout();
+        let marker = layout.marker(6);
+        let payload = layout.payload(11);
+        let mut tokens = m.tokenize_filler(160);
+        tokens[60] = marker;
+        tokens[61] = payload;
+        let last = tokens.len() - 1;
+        tokens[last] = marker;
+
+        let budget = 120;
+        let mut session = m
+            .begin_decode_with(
+                &tokens,
+                &SampleAttentionMethod::paper_default(),
+                crate::EvictionConfig::h2o(budget),
+            )
+            .unwrap();
+        // First prediction happens before any eviction: must be right.
+        let (answer, _) = session.step_in(layout.payload_range()).unwrap();
+        assert_eq!(answer, payload);
+        // Keep decoding: cache must stay bounded.
+        for _ in 0..12 {
+            session.step().unwrap();
+        }
+        assert!(session.cache_len() <= budget, "cache {} > {budget}", session.cache_len());
+    }
+
+    #[test]
+    fn streaming_eviction_loses_mid_context_under_tight_budget() {
+        // Sink+recent eviction drops mid-context entries; asking the
+        // question again after eviction fails, while H2O's heavy-hitter
+        // tracking keeps the payload alive.
+        let m = model();
+        let layout = *m.embedder().layout();
+        let marker = layout.marker(1);
+        let payload = layout.payload(2);
+        let mut tokens = m.tokenize_filler(200);
+        tokens[90] = marker;
+        tokens[91] = payload;
+        let last = tokens.len() - 1;
+        tokens[last] = marker;
+
+        let run = |eviction: crate::EvictionConfig| -> u32 {
+            let mut session = m
+                .begin_decode_with(&tokens, &FullAttention::new(), eviction)
+                .unwrap();
+            // Teacher-force fillers (never emit the answer, so it cannot
+            // leak into recent context), letting eviction run, then ask.
+            for i in 0..8 {
+                session.push(layout.filler(i)).unwrap();
+            }
+            session.push(marker).unwrap();
+            session.peek_in(layout.payload_range()).0
+        };
+        let h2o_answer = run(crate::EvictionConfig::h2o(60));
+        let streaming_answer = run(crate::EvictionConfig::streaming(60));
+        assert_eq!(h2o_answer, payload, "H2O should keep the heavy-hitter payload");
+        assert_ne!(
+            streaming_answer, payload,
+            "sink+recent eviction should lose a mid-context payload"
+        );
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        let m = model();
+        let tokens = m.tokenize_filler(10);
+        assert!(m.prefill_chunked(&tokens, 0, &FullAttention::new()).is_err());
+    }
+
+    #[test]
+    fn vocab_layout_reexport_smoke() {
+        // VocabLayout is reachable from the model crate for decode users.
+        let l = VocabLayout::for_vocab(128);
+        assert!(l.payload_range().len() > 4);
+    }
+}

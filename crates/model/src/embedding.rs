@@ -1,0 +1,332 @@
+//! Structured token embeddings.
+//!
+//! Hidden layout per position:
+//! `[content | prev-salient-content | salient-content | positional | flags]`
+//!
+//! - **content**: a deterministic unit vector per token id (hash-seeded) —
+//!   the associative-recall payload space;
+//! - **prev-content**: the previous position's content vector, recorded
+//!   only when the previous token is *salient* — the substrate's stand-in
+//!   for a layer-1 "previous token" head, enabling the induction-style
+//!   retrieval circuit in a single attention layer. Gating by salience
+//!   mirrors real retrieval heads, which fire on semantically distinctive
+//!   tokens rather than on every filler word (an ungated version would
+//!   let random filler repetitions dominate the attention mass);
+//! - **salient-content**: the position's own content vector when the
+//!   token is salient, zero otherwise — retrieval heads issue content
+//!   *queries* from this slot, so only distinctive tokens retrieve. This
+//!   keeps every ordinary row's stripe distribution identical (pure
+//!   salience), which is precisely the high row-wise similarity the
+//!   paper's stage-1 sampling relies on;
+//! - **positional**: an AR(1) random-walk track whose autocorrelation
+//!   decays as `pos_decay^|i-j|`, giving local heads their diagonal
+//!   window;
+//! - **flags**: `[bos, 1, salience]` — the BOS indicator (sink heads key
+//!   on it), a constant bias channel, and a *salience* indicator set for
+//!   rare/special tokens (the marker and payload vocabulary bands).
+//!   Salient tokens attract elevated attention from every query in
+//!   retrieval heads — mirroring the well-documented behaviour of real
+//!   LLMs, where semantically anomalous tokens become attention magnets.
+//!   This is what gives attention stripes their high *row-wise
+//!   similarity*, the empirical premise of the paper's stage-1 sampling.
+
+use sa_tensor::{DeterministicRng, Matrix};
+
+use crate::{ModelConfig, VocabLayout};
+
+/// The reserved beginning-of-sequence token id.
+pub const BOS_TOKEN: u32 = 0;
+
+/// Deterministic token embedder for the synthetic transformer.
+#[derive(Debug)]
+pub struct TokenEmbedder {
+    config: ModelConfig,
+    /// `(vocab, content_dim)` unit content vectors.
+    vocab_content: Matrix,
+    /// Band structure used to mark salient tokens.
+    layout: VocabLayout,
+}
+
+impl TokenEmbedder {
+    /// Maximum pairwise cosine similarity tolerated inside the marker and
+    /// payload bands. Distinct markers/answers in real vocabularies are
+    /// well-separated words; without this, two random markers can be
+    /// nearly collinear and retrieval confuses their facts.
+    const BAND_MAX_COSINE: f32 = 0.55;
+
+    /// Builds the embedder's vocabulary from the model seed.
+    pub fn new(config: ModelConfig) -> Self {
+        let mut rng = DeterministicRng::new(config.seed ^ 0x5eed_e4b);
+        let layout = VocabLayout::for_vocab(config.vocab_size);
+        let mut vocab_content = Matrix::zeros(config.vocab_size, config.content_dim);
+        let mut band_members: Vec<usize> = Vec::new();
+        for t in 0..config.vocab_size {
+            let banded = layout.is_salient(t as u32);
+            let mut best: Option<(f32, Vec<f32>)> = None;
+            for _attempt in 0..48 {
+                let v = sa_tensor::unit_vector(&mut rng, config.content_dim);
+                if !banded {
+                    best = Some((0.0, v));
+                    break;
+                }
+                let worst = band_members
+                    .iter()
+                    .map(|&m| sa_tensor::cosine_similarity(&v, vocab_content.row(m)).abs())
+                    .fold(0.0f32, f32::max);
+                if best.as_ref().is_none_or(|(b, _)| worst < *b) {
+                    let done = worst < Self::BAND_MAX_COSINE;
+                    best = Some((worst, v));
+                    if done {
+                        break;
+                    }
+                }
+            }
+            let (_, v) = best.expect("at least one candidate drawn");
+            vocab_content.row_mut(t).copy_from_slice(&v);
+            if banded {
+                band_members.push(t);
+            }
+        }
+        TokenEmbedder {
+            config,
+            vocab_content,
+            layout,
+        }
+    }
+
+    /// The vocabulary band layout.
+    pub fn layout(&self) -> &VocabLayout {
+        &self.layout
+    }
+
+    /// Whether `token` is salient (marker or payload band).
+    pub fn is_salient(&self, token: u32) -> bool {
+        self.layout.is_salient(token)
+    }
+
+    /// The model configuration this embedder was built for.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Content vector of a token id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is outside the vocabulary.
+    pub fn content(&self, token: u32) -> &[f32] {
+        assert!(
+            (token as usize) < self.config.vocab_size,
+            "token {token} outside vocabulary ({})",
+            self.config.vocab_size
+        );
+        self.vocab_content.row(token as usize)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.config.vocab_size
+    }
+
+    /// Embeds a token sequence into the structured hidden matrix
+    /// `(S, hidden_dim)`.
+    ///
+    /// The positional AR(1) track is re-seeded per call from the model
+    /// seed (not the tokens), so positional geometry is shared across
+    /// prompts while content varies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is outside the vocabulary.
+    pub fn embed(&self, tokens: &[u32]) -> Matrix {
+        let c = &self.config;
+        let dc = c.content_dim;
+        let dp = c.pos_dim;
+        let mut hidden = Matrix::zeros(tokens.len(), c.hidden_dim());
+        let mut rng = DeterministicRng::new(c.seed ^ 0x9e37_79b9);
+        let mut pos_track = vec![0.0f32; dp];
+        // Innovation scale keeps the AR(1) track at unit stationary
+        // variance: x_i = a x_{i-1} + sqrt(1-a^2) n_i.
+        let a = c.pos_decay;
+        let innov = (1.0 - a * a).sqrt();
+
+        for (i, &tok) in tokens.iter().enumerate() {
+            for v in pos_track.iter_mut() {
+                *v = a * *v + innov * rng.normal();
+            }
+            let row = hidden.row_mut(i);
+            let content = self.content(tok).to_vec();
+            row[..dc].copy_from_slice(&content);
+            if i > 0 && self.layout.is_salient(tokens[i - 1]) {
+                let prev = self.content(tokens[i - 1]).to_vec();
+                row[dc..2 * dc].copy_from_slice(&prev);
+            }
+            let salient = self.layout.is_salient(tok);
+            if salient {
+                row[2 * dc..3 * dc].copy_from_slice(&content);
+            }
+            row[3 * dc..3 * dc + dp].copy_from_slice(&pos_track);
+            row[3 * dc + dp] = if i == 0 || tok == BOS_TOKEN { 1.0 } else { 0.0 };
+            row[3 * dc + dp + 1] = 1.0;
+            row[3 * dc + dp + 2] = if salient { 1.0 } else { 0.0 };
+            // Positions following a salient token are induction targets
+            // (fact payloads): the most anomalous positions in the
+            // stream, attracting even more attention than lone salient
+            // tokens — so stage-2 ranks true facts above decoys at any
+            // depth.
+            row[3 * dc + dp + 3] =
+                if i > 0 && self.layout.is_salient(tokens[i - 1]) { 1.0 } else { 0.0 };
+        }
+        hidden
+    }
+
+    /// Nearest vocabulary token to a content vector, by cosine similarity.
+    ///
+    /// Returns `(token, similarity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != content_dim`.
+    pub fn nearest_token(&self, v: &[f32]) -> (u32, f32) {
+        self.nearest_token_in(v, 0..self.config.vocab_size as u32)
+    }
+
+    /// Nearest token within a candidate id range (constrained decoding, as
+    /// benchmark scorers restrict answers to the valid-answer set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != content_dim`, the range is empty, or it
+    /// exceeds the vocabulary.
+    pub fn nearest_token_in(&self, v: &[f32], range: std::ops::Range<u32>) -> (u32, f32) {
+        assert_eq!(v.len(), self.config.content_dim, "content dim mismatch");
+        assert!(
+            !range.is_empty() && range.end as usize <= self.config.vocab_size,
+            "invalid candidate range {range:?} for vocab {}",
+            self.config.vocab_size
+        );
+        let mut best = (range.start, f32::NEG_INFINITY);
+        for t in range {
+            let sim = sa_tensor::cosine_similarity(v, self.vocab_content.row(t as usize));
+            if sim > best.1 {
+                best = (t, sim);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> TokenEmbedder {
+        TokenEmbedder::new(ModelConfig::tiny(42))
+    }
+
+    #[test]
+    fn content_vectors_are_unit_and_distinct() {
+        let e = embedder();
+        let a = e.content(1);
+        let b = e.content(2);
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((na - 1.0).abs() < 1e-5);
+        assert!(sa_tensor::cosine_similarity(a, b).abs() < 0.9);
+    }
+
+    #[test]
+    fn embed_layout() {
+        let e = embedder();
+        let dc = e.config().content_dim;
+        let dp = e.config().pos_dim;
+        let layout = *e.layout();
+        let marker = layout.marker(2);
+        let filler = layout.filler(0);
+        let h = e.embed(&[BOS_TOKEN, marker, filler, filler]);
+        assert_eq!(h.shape(), (4, e.config().hidden_dim()));
+        // content slot matches vocab
+        assert_eq!(&h.row(1)[..dc], e.content(marker));
+        // prev slot of position 2 records the salient marker
+        assert_eq!(&h.row(2)[dc..2 * dc], e.content(marker));
+        // prev slot after a non-salient filler stays zero
+        assert!(h.row(3)[dc..2 * dc].iter().all(|&x| x == 0.0));
+        // prev slot of position 0 is zero
+        assert!(h.row(0)[dc..2 * dc].iter().all(|&x| x == 0.0));
+        // salient-content slot: set on the marker row, zero on fillers
+        assert_eq!(&h.row(1)[2 * dc..3 * dc], e.content(marker));
+        assert!(h.row(2)[2 * dc..3 * dc].iter().all(|&x| x == 0.0));
+        // BOS flag set only at position 0
+        assert_eq!(h.row(0)[3 * dc + dp], 1.0);
+        assert_eq!(h.row(1)[3 * dc + dp], 0.0);
+        // bias channel always 1; salience flag set on the marker
+        assert!(h.row(2)[3 * dc + dp + 1] == 1.0);
+        assert_eq!(h.row(1)[3 * dc + dp + 2], 1.0);
+        assert_eq!(h.row(2)[3 * dc + dp + 2], 0.0);
+        // prev-salience flag: set right after the marker only
+        assert_eq!(h.row(2)[3 * dc + dp + 3], 1.0);
+        assert_eq!(h.row(3)[3 * dc + dp + 3], 0.0);
+    }
+
+    #[test]
+    fn positional_track_locally_correlated() {
+        let e = embedder();
+        let dc = e.config().content_dim;
+        let dp = e.config().pos_dim;
+        let tokens: Vec<u32> = (0..200).map(|i| (i % 50 + 1) as u32).collect();
+        let h = e.embed(&tokens);
+        let pos = |i: usize| &h.row(i)[3 * dc..3 * dc + dp];
+        let near = sa_tensor::cosine_similarity(pos(100), pos(101));
+        let far = sa_tensor::cosine_similarity(pos(100), pos(180));
+        assert!(near > 0.6, "near correlation {near}");
+        assert!(far.abs() < near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn nearest_token_round_trips() {
+        let e = embedder();
+        for t in [1u32, 7, 100] {
+            let (got, sim) = e.nearest_token(e.content(t));
+            assert_eq!(got, t);
+            assert!(sim > 0.999);
+        }
+    }
+
+    #[test]
+    fn banded_tokens_are_well_separated() {
+        let e = embedder();
+        let layout = *e.layout();
+        let mut worst = 0.0f32;
+        for i in 0..layout.num_markers() {
+            for j in 0..layout.num_payloads() {
+                let a = e.content(layout.marker(i));
+                let b = e.content(layout.payload(j));
+                worst = worst.max(sa_tensor::cosine_similarity(a, b).abs());
+            }
+        }
+        for i in 0..layout.num_markers() {
+            for j in (i + 1)..layout.num_markers() {
+                let a = e.content(layout.marker(i));
+                let b = e.content(layout.marker(j));
+                worst = worst.max(sa_tensor::cosine_similarity(a, b).abs());
+            }
+        }
+        // Rejection sampling keeps band members below ~0.55 + slack for
+        // the occasional best-effort fallback.
+        assert!(worst < 0.70, "worst in-band cosine {worst}");
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e1 = embedder();
+        let e2 = embedder();
+        let t = [1u32, 2, 3, 4];
+        assert_eq!(e1.embed(&t), e2.embed(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn out_of_vocab_panics() {
+        let e = embedder();
+        let _ = e.content(100_000);
+    }
+}

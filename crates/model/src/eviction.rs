@@ -1,0 +1,216 @@
+//! Decode-phase KV-cache eviction policies.
+//!
+//! The paper positions SampleAttention as *orthogonal* to KV-cache
+//! eviction: "SampleAttention aims to reduce the computation overhead of
+//! attention, and is orthogonal and can be combined with existing KV
+//! cache eviction approaches [H2O, SparQ, gist tokens] to further reduce
+//! memory consumption" (§1). This module implements the two classic
+//! eviction families so the combination can actually be exercised:
+//!
+//! - [`EvictionPolicy::H2o`] — heavy-hitter oracle (Zhang et al., 2024):
+//!   keep the `recent` newest entries plus the highest-accumulated-score
+//!   "heavy hitters" up to the budget;
+//! - [`EvictionPolicy::StreamingSinks`] — StreamingLLM-style: keep the
+//!   first `sinks` entries and the newest remainder of the budget.
+//!
+//! Policies act on a [`crate::LayerKvCache`] per (layer, KV head), using
+//! attention scores accumulated during decoding.
+
+use sa_tensor::{Matrix, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::LayerKvCache;
+
+/// Which entries to keep when the cache exceeds its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Never evict (the paper's evaluation setting: uncompressed cache).
+    None,
+    /// H2O: `recent` newest entries + heavy hitters by accumulated score.
+    H2o {
+        /// Number of newest entries always kept.
+        recent: usize,
+    },
+    /// StreamingLLM: `sinks` oldest entries + newest remainder.
+    StreamingSinks {
+        /// Number of initial (sink) entries always kept.
+        sinks: usize,
+    },
+}
+
+/// Eviction configuration: policy + cache budget in entries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictionConfig {
+    /// The policy to apply.
+    pub policy: EvictionPolicy,
+    /// Maximum cached entries per (layer, KV head); 0 = unlimited.
+    pub budget: usize,
+}
+
+impl EvictionConfig {
+    /// The paper's setting: no eviction.
+    pub fn none() -> Self {
+        EvictionConfig {
+            policy: EvictionPolicy::None,
+            budget: 0,
+        }
+    }
+
+    /// H2O with the given budget, keeping 25 % of it as recency.
+    pub fn h2o(budget: usize) -> Self {
+        EvictionConfig {
+            policy: EvictionPolicy::H2o {
+                recent: (budget / 4).max(1),
+            },
+            budget,
+        }
+    }
+
+    /// StreamingLLM-style with the given budget and 4 sinks.
+    pub fn streaming(budget: usize) -> Self {
+        EvictionConfig {
+            policy: EvictionPolicy::StreamingSinks { sinks: 4 },
+            budget,
+        }
+    }
+
+    /// Computes the keep-set (sorted cache indices) for a cache of `len`
+    /// entries with per-entry accumulated attention `scores`.
+    ///
+    /// Returns `None` when nothing needs evicting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != len`.
+    pub fn keep_indices(&self, len: usize, scores: &[f64]) -> Option<Vec<usize>> {
+        assert_eq!(scores.len(), len, "score/cache length mismatch");
+        if self.budget == 0 || len <= self.budget {
+            return None;
+        }
+        match self.policy {
+            EvictionPolicy::None => None,
+            EvictionPolicy::H2o { recent } => {
+                let recent = recent.min(self.budget);
+                let heavy_quota = self.budget - recent;
+                let recent_start = len - recent;
+                // Rank the non-recent entries by accumulated score.
+                let mut older: Vec<usize> = (0..recent_start).collect();
+                older.sort_by(|&a, &b| {
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut keep: Vec<usize> = older.into_iter().take(heavy_quota).collect();
+                keep.extend(recent_start..len);
+                keep.sort_unstable();
+                Some(keep)
+            }
+            EvictionPolicy::StreamingSinks { sinks } => {
+                let sinks = sinks.min(self.budget);
+                let recent = self.budget - sinks;
+                let mut keep: Vec<usize> = (0..sinks.min(len)).collect();
+                keep.extend((len - recent.min(len))..len);
+                keep.sort_unstable();
+                keep.dedup();
+                Some(keep)
+            }
+        }
+    }
+}
+
+impl LayerKvCache {
+    /// Retains only the given (sorted, in-range) entries in every head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the
+    /// cache length.
+    pub fn retain(&mut self, keep: &[usize]) -> Result<(), TensorError> {
+        for h in 0..self.num_kv_heads() {
+            self.retain_head(h, keep)?;
+        }
+        Ok(())
+    }
+
+    /// Retains only the given entries in one head (H2O evicts per head;
+    /// head lengths may diverge afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the
+    /// head's cache length.
+    pub fn retain_head(&mut self, kv_head: usize, keep: &[usize]) -> Result<(), TensorError> {
+        let len = self.head_len(kv_head);
+        if let Some(&bad) = keep.iter().find(|&&i| i >= len) {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "LayerKvCache::retain_head",
+                index: bad,
+                bound: len,
+            });
+        }
+        let (k, v) = self.head(kv_head);
+        let k_new = gather_rows(k, keep);
+        let v_new = gather_rows(v, keep);
+        self.replace(kv_head, k_new, v_new);
+        Ok(())
+    }
+}
+
+fn gather_rows(m: &Matrix, idx: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(idx.len(), m.cols());
+    for (dst, &src) in idx.iter().enumerate() {
+        out.row_mut(dst).copy_from_slice(m.row(src));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_eviction_below_budget() {
+        let cfg = EvictionConfig::h2o(10);
+        assert!(cfg.keep_indices(10, &vec![0.0; 10]).is_none());
+        assert!(cfg.keep_indices(5, &vec![0.0; 5]).is_none());
+        assert!(EvictionConfig::none().keep_indices(100, &vec![0.0; 100]).is_none());
+    }
+
+    #[test]
+    fn h2o_keeps_heavy_hitters_and_recents() {
+        let cfg = EvictionConfig {
+            policy: EvictionPolicy::H2o { recent: 2 },
+            budget: 4,
+        };
+        // entry 1 is the heavy hitter; 8, 9 are recent.
+        let mut scores = vec![0.1; 10];
+        scores[1] = 9.0;
+        scores[5] = 3.0;
+        let keep = cfg.keep_indices(10, &scores).unwrap();
+        assert_eq!(keep, vec![1, 5, 8, 9]);
+    }
+
+    #[test]
+    fn streaming_keeps_sinks_and_recents() {
+        let cfg = EvictionConfig {
+            policy: EvictionPolicy::StreamingSinks { sinks: 2 },
+            budget: 5,
+        };
+        let keep = cfg.keep_indices(10, &vec![0.0; 10]).unwrap();
+        assert_eq!(keep, vec![0, 1, 7, 8, 9]);
+    }
+
+    #[test]
+    fn retain_gathers_rows() {
+        let mut c = LayerKvCache::new(1, 2);
+        let k = Matrix::from_fn(4, 2, |i, _| i as f32);
+        let v = Matrix::from_fn(4, 2, |i, _| (10 + i) as f32);
+        c.append(0, &k, &v).unwrap();
+        c.retain(&[0, 3]).unwrap();
+        assert_eq!(c.len(), 2);
+        let (ck, cv) = c.head(0);
+        assert_eq!(ck.get(1, 0), 3.0);
+        assert_eq!(cv.get(0, 0), 10.0);
+        assert!(c.retain(&[5]).is_err());
+    }
+}

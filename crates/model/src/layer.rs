@@ -1,0 +1,424 @@
+//! One transformer layer: GQA attention (pluggable method) + SwiGLU MLP
+//! on a residual stream.
+
+use sa_baselines::AttentionMethod;
+use sa_kernels::gqa::GqaLayout;
+use sa_kernels::rope::{apply_rope_partial, RopeConfig};
+use sa_kernels::CostReport;
+use sa_tensor::{matmul, DeterministicRng, Matrix, TensorError};
+
+use crate::{GroupProjections, HeadArchetype, LayerKvCache, ModelConfig, RmsNorm, SwigluMlp};
+
+/// Per-head diagnostics from one prefill forward.
+#[derive(Debug, Clone)]
+pub struct HeadReport {
+    /// Layer index.
+    pub layer: usize,
+    /// Query-head index within the layer.
+    pub head: usize,
+    /// The head's archetype mix.
+    pub archetype: HeadArchetype,
+    /// Live fraction of the causal triangle the method computed.
+    pub density: f64,
+    /// Attention cost for this head (discovery + sparse compute).
+    pub cost: CostReport,
+}
+
+/// Result of one layer's prefill forward.
+#[derive(Debug, Clone)]
+pub struct LayerForwardResult {
+    /// Updated residual stream `(S, hidden_dim)`.
+    pub hidden: Matrix,
+    /// Content-space output `(S, content_dim)` of each query head.
+    pub head_contents: Vec<Matrix>,
+    /// Per-head diagnostics.
+    pub head_reports: Vec<HeadReport>,
+    /// Total cost of the layer (projections + attention + MLP).
+    pub cost: CostReport,
+}
+
+/// One synthetic transformer layer.
+#[derive(Debug)]
+pub struct AttentionLayer {
+    layer_index: usize,
+    archetypes: Vec<HeadArchetype>,
+    groups: Vec<GroupProjections>,
+    gqa: GqaLayout,
+    rope: RopeConfig,
+    rotary_dims: usize,
+    residual_gain: f32,
+    pre_mlp_norm: RmsNorm,
+    mlp: SwigluMlp,
+    content_dim: usize,
+}
+
+impl AttentionLayer {
+    /// Builds layer `layer_index` of a model, drawing weights from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if the config fails
+    /// validation.
+    pub fn generate(
+        config: &ModelConfig,
+        layer_index: usize,
+        rng: &mut DeterministicRng,
+    ) -> Result<Self, TensorError> {
+        config.validate()?;
+        let gqa = GqaLayout::new(config.num_heads, config.num_kv_heads)?;
+        let archetypes: Vec<HeadArchetype> = (0..config.num_heads)
+            .map(|h| HeadArchetype::from_weights(config.archetype_weights(layer_index, h)))
+            .collect();
+        let group_size = gqa.group_size();
+        let groups = (0..config.num_kv_heads)
+            .map(|g| {
+                let slice = &archetypes[g * group_size..(g + 1) * group_size];
+                GroupProjections::generate(config, slice, rng)
+            })
+            .collect();
+        let hidden = config.hidden_dim();
+        Ok(AttentionLayer {
+            layer_index,
+            archetypes,
+            groups,
+            gqa,
+            rope: config.preset.rope(),
+            rotary_dims: config.head_dim / 2,
+            residual_gain: config.residual_gain,
+            pre_mlp_norm: RmsNorm::jittered(hidden, rng),
+            mlp: SwigluMlp::generate(hidden, 2 * hidden, rng),
+            content_dim: config.content_dim,
+        })
+    }
+
+    /// The layer's index in the model.
+    pub fn layer_index(&self) -> usize {
+        self.layer_index
+    }
+
+    /// Archetype of query head `head`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is out of range.
+    pub fn archetype(&self, head: usize) -> HeadArchetype {
+        self.archetypes[head]
+    }
+
+    /// Number of query heads.
+    pub fn num_heads(&self) -> usize {
+        self.archetypes.len()
+    }
+
+    /// Projects the layer input into one head's RoPE-applied Q/K and V —
+    /// the tensors an attention method sees. Exposed for the sparsity
+    /// analyses (Figure 2, Tables 5/6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on shape problems (cannot happen for
+    /// matrices produced by this model's embedder).
+    pub fn project_head(
+        &self,
+        hidden: &Matrix,
+        head: usize,
+    ) -> Result<(Matrix, Matrix, Matrix), TensorError> {
+        let group = &self.groups[self.gqa.kv_head_for(head)];
+        let wq = &group.wqs[head % self.gqa.group_size()];
+        let mut q = matmul(hidden, wq)?;
+        let mut k = matmul(hidden, &group.wk)?;
+        let v = matmul(hidden, &group.wv)?;
+        apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
+        apply_rope_partial(&mut k, self.rotary_dims, 0, self.rope)?;
+        Ok((q, k, v))
+    }
+
+    /// An empty K/V cache sized for this layer.
+    pub fn new_cache(&self, head_dim: usize) -> LayerKvCache {
+        LayerKvCache::new(self.groups.len(), head_dim)
+    }
+
+    /// Runs the layer *incrementally*: `hidden_rows` are the residual-
+    /// stream rows of the new positions (`cache.len()..cache.len()+n`),
+    /// whose K/V are appended to `cache`; attention runs over the full
+    /// cached history. With a chunk equal to the whole prompt this is
+    /// exactly [`forward_prefill`](Self::forward_prefill); with single
+    /// rows it is the decode phase over an uncompressed KV cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/kernel errors from projections or the method.
+    pub fn forward_incremental(
+        &self,
+        hidden_rows: &Matrix,
+        cache: &mut LayerKvCache,
+        method: &dyn AttentionMethod,
+    ) -> Result<LayerForwardResult, TensorError> {
+        let n = hidden_rows.rows();
+        let dc = self.content_dim;
+        let offset = cache.seen();
+        let mut cost = CostReport::new();
+        let mut head_contents = Vec::with_capacity(self.num_heads());
+        let mut head_reports = Vec::with_capacity(self.num_heads());
+        let mut content_update = Matrix::zeros(n, dc);
+
+        for g in 0..self.groups.len() {
+            let group = &self.groups[g];
+            let mut k_new = matmul(hidden_rows, &group.wk)?;
+            let v_new = matmul(hidden_rows, &group.wv)?;
+            apply_rope_partial(&mut k_new, self.rotary_dims, offset, self.rope)?;
+            cache.append(g, &k_new, &v_new)?;
+            cost.merge(&projection_cost(n, hidden_rows.cols(), k_new.cols(), 2));
+            let (k_all, v_all) = cache.head(g);
+
+            for local in 0..self.gqa.group_size() {
+                let head = g * self.gqa.group_size() + local;
+                let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
+                apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
+                cost.merge(&projection_cost(n, hidden_rows.cols(), q_new.cols(), 1));
+
+                let out = method.forward(&q_new, k_all, v_all)?;
+                cost.merge(&out.cost);
+                let content = Matrix::from_fn(n, dc, |i, j| out.output.get(i, j));
+                for i in 0..n {
+                    let upd = content_update.row_mut(i);
+                    for (u, &c) in upd.iter_mut().zip(content.row(i)) {
+                        *u += c;
+                    }
+                }
+                head_reports.push(HeadReport {
+                    layer: self.layer_index,
+                    head,
+                    archetype: self.archetypes[head],
+                    density: out.density,
+                    cost: out.cost,
+                });
+                head_contents.push(content);
+            }
+        }
+
+        let hidden = self.apply_residual_and_mlp(hidden_rows, &content_update, &mut cost)?;
+        Ok(LayerForwardResult {
+            hidden,
+            head_contents,
+            head_reports,
+            cost,
+        })
+    }
+
+    /// Residual update + pre-norm SwiGLU MLP on a block of rows.
+    fn apply_residual_and_mlp(
+        &self,
+        hidden_rows: &Matrix,
+        content_update: &Matrix,
+        cost: &mut CostReport,
+    ) -> Result<Matrix, TensorError> {
+        let n = hidden_rows.rows();
+        let mut new_hidden = hidden_rows.clone();
+        let scale = self.residual_gain / self.num_heads() as f32;
+        for i in 0..n {
+            let row = new_hidden.row_mut(i);
+            for (j, &u) in content_update.row(i).iter().enumerate() {
+                row[j] += scale * u;
+            }
+        }
+        let normed = self.pre_mlp_norm.forward(&new_hidden);
+        let (mlp_out, mlp_cost) = self.mlp.forward(&normed)?;
+        cost.merge(&mlp_cost);
+        for i in 0..n {
+            let row = new_hidden.row_mut(i);
+            for (j, &m) in mlp_out.row(i).iter().enumerate() {
+                row[j] += self.residual_gain * 0.1 * m;
+            }
+        }
+        Ok(new_hidden)
+    }
+
+    /// Projects rows into one head's RoPE-applied query at an absolute
+    /// position offset (used by decode-time score tracking).
+    ///
+    /// # Errors
+    ///
+    /// Returns tensor errors on shape problems.
+    pub fn project_q(
+        &self,
+        hidden_rows: &Matrix,
+        head: usize,
+        position_offset: usize,
+    ) -> Result<Matrix, TensorError> {
+        let group = &self.groups[self.gqa.kv_head_for(head)];
+        let wq = &group.wqs[head % self.gqa.group_size()];
+        let mut q = matmul(hidden_rows, wq)?;
+        apply_rope_partial(&mut q, self.rotary_dims, position_offset, self.rope)?;
+        Ok(q)
+    }
+
+    /// The layer's GQA layout (KV head serving each query head).
+    pub fn gqa(&self) -> &GqaLayout {
+        &self.gqa
+    }
+
+    /// Runs the layer at prefill with `method` substituted for every
+    /// head's attention (the paper's drop-in replacement setup).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/kernel errors from projections or the method.
+    pub fn forward_prefill(
+        &self,
+        hidden: &Matrix,
+        method: &dyn AttentionMethod,
+    ) -> Result<LayerForwardResult, TensorError> {
+        let s = hidden.rows();
+        let dc = self.content_dim;
+        let mut cost = CostReport::new();
+        let mut head_contents = Vec::with_capacity(self.num_heads());
+        let mut head_reports = Vec::with_capacity(self.num_heads());
+        let mut content_update = Matrix::zeros(s, dc);
+
+        for g in 0..self.groups.len() {
+            let group = &self.groups[g];
+            let mut k = matmul(hidden, &group.wk)?;
+            let v = matmul(hidden, &group.wv)?;
+            apply_rope_partial(&mut k, self.rotary_dims, 0, self.rope)?;
+            cost.merge(&projection_cost(s, hidden.cols(), k.cols(), 2));
+
+            for local in 0..self.gqa.group_size() {
+                let head = g * self.gqa.group_size() + local;
+                let mut q = matmul(hidden, &group.wqs[local])?;
+                apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
+                cost.merge(&projection_cost(s, hidden.cols(), q.cols(), 1));
+
+                let out = method.forward(&q, &k, &v)?;
+                cost.merge(&out.cost);
+
+                // Content lives in the first dc output dims.
+                let content = Matrix::from_fn(s, dc, |i, j| out.output.get(i, j));
+                for i in 0..s {
+                    let upd = content_update.row_mut(i);
+                    for (u, &c) in upd.iter_mut().zip(content.row(i)) {
+                        *u += c;
+                    }
+                }
+                head_reports.push(HeadReport {
+                    layer: self.layer_index,
+                    head,
+                    archetype: self.archetypes[head],
+                    density: out.density,
+                    cost: out.cost,
+                });
+                head_contents.push(content);
+            }
+        }
+
+        // Residual update: attention writes (scaled) into the content
+        // slot; the MLP perturbs the whole stream.
+        let new_hidden = self.apply_residual_and_mlp(hidden, &content_update, &mut cost)?;
+        Ok(LayerForwardResult {
+            hidden: new_hidden,
+            head_contents,
+            head_reports,
+            cost,
+        })
+    }
+}
+
+/// Cost of `n_mats` dense `(s x d_in) x (d_in x d_out)` projections.
+fn projection_cost(s: usize, d_in: usize, d_out: usize, n_mats: u64) -> CostReport {
+    let flops = n_mats * 2 * (s * d_in * d_out) as u64;
+    let bytes_read = n_mats * 4 * (s * d_in + d_in * d_out) as u64;
+    let bytes_written = n_mats * 4 * (s * d_out) as u64;
+    let mut c = CostReport::launch(flops, bytes_read, bytes_written);
+    c.kernel_launches = n_mats;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, TokenEmbedder, BOS_TOKEN};
+    use sa_baselines::FullAttention;
+
+    fn layer_and_hidden(seed: u64) -> (AttentionLayer, Matrix, ModelConfig) {
+        let config = ModelConfig::tiny(seed);
+        let embedder = TokenEmbedder::new(config);
+        let tokens: Vec<u32> = std::iter::once(BOS_TOKEN)
+            .chain((0..100).map(|i| (i % 30 + 2) as u32))
+            .collect();
+        let hidden = embedder.embed(&tokens);
+        let mut rng = DeterministicRng::new(seed);
+        let layer = AttentionLayer::generate(&config, 1, &mut rng).unwrap();
+        (layer, hidden, config)
+    }
+
+    #[test]
+    fn forward_shapes_and_reports() {
+        let (layer, hidden, config) = layer_and_hidden(1);
+        let result = layer.forward_prefill(&hidden, &FullAttention::new()).unwrap();
+        assert_eq!(result.hidden.shape(), hidden.shape());
+        assert_eq!(result.head_contents.len(), config.num_heads);
+        assert_eq!(result.head_reports.len(), config.num_heads);
+        for (h, report) in result.head_reports.iter().enumerate() {
+            assert_eq!(report.head, h);
+            assert_eq!(report.layer, 1);
+            assert_eq!(report.density, 1.0);
+        }
+        assert_eq!(result.head_contents[0].shape(), (hidden.rows(), config.content_dim));
+        assert!(result.cost.flops > 0);
+    }
+
+    #[test]
+    fn residual_stream_changes_but_stays_close() {
+        let (layer, hidden, _) = layer_and_hidden(2);
+        let result = layer.forward_prefill(&hidden, &FullAttention::new()).unwrap();
+        assert_ne!(result.hidden, hidden);
+        let diff: f32 = result
+            .hidden
+            .as_slice()
+            .iter()
+            .zip(hidden.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / hidden.len() as f32;
+        assert!(diff < 0.2, "mean residual perturbation {diff}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (l1, hidden, _) = layer_and_hidden(3);
+        let (l2, _, _) = layer_and_hidden(3);
+        let a = l1.forward_prefill(&hidden, &FullAttention::new()).unwrap();
+        let b = l2.forward_prefill(&hidden, &FullAttention::new()).unwrap();
+        assert_eq!(a.hidden, b.hidden);
+    }
+
+    #[test]
+    fn project_head_shapes() {
+        let (layer, hidden, config) = layer_and_hidden(4);
+        let (q, k, v) = layer.project_head(&hidden, 2).unwrap();
+        assert_eq!(q.shape(), (hidden.rows(), config.head_dim));
+        assert_eq!(k.shape(), q.shape());
+        assert_eq!(v.shape(), q.shape());
+    }
+
+    #[test]
+    fn heads_in_same_group_share_keys() {
+        let (layer, hidden, _) = layer_and_hidden(5);
+        // heads 0 and 1 share kv head 0 in tiny config (4 q heads, 2 kv).
+        let (_, k0, v0) = layer.project_head(&hidden, 0).unwrap();
+        let (_, k1, v1) = layer.project_head(&hidden, 1).unwrap();
+        assert_eq!(k0, k1);
+        assert_eq!(v0, v1);
+        let (_, k2, _) = layer.project_head(&hidden, 2).unwrap();
+        assert_ne!(k0, k2);
+    }
+
+    #[test]
+    fn archetypes_follow_config() {
+        let (layer, _, config) = layer_and_hidden(6);
+        for h in 0..config.num_heads {
+            let want = HeadArchetype::from_weights(config.archetype_weights(1, h));
+            assert_eq!(layer.archetype(h), want);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # sa-model
+//!
+//! Synthetic decoder-only transformer substrate.
+//!
+//! The paper evaluates SampleAttention inside ChatGLM2-6B and InternLM2-7B.
+//! Neither model's weights (nor a GPU to run them) is available here, so
+//! this crate builds the closest synthetic equivalent: a from-scratch
+//! transformer whose attention heads are *constructed* — not trained — to
+//! exhibit the head archetypes the paper documents (Figure 2, Appendix
+//! A.3):
+//!
+//! - **local heads**: scores concentrated in a diagonal window (built from
+//!   an AR(1) positional track whose correlation decays with distance);
+//! - **sink heads**: a dominant stripe on the BOS position;
+//! - **retrieval heads**: content-aware stripes — an induction-style
+//!   circuit (query content matched against each position's
+//!   *previous-token* record) puts a stripe wherever the prompt plants a
+//!   matching marker, so the stripe location is content-dependent exactly
+//!   like in real LLMs;
+//! - **mixed heads**: weighted combinations;
+//! - **dispersed heads**: low-sparsity heads (the paper's 27 % SD outlier
+//!   heads).
+//!
+//! The model supports prefill with *any* [`sa_baselines::AttentionMethod`]
+//! plugged into every head (mirroring the paper's setup: only prefill
+//! attention is replaced), applies RMSNorm / RoPE / GQA / a SwiGLU MLP for
+//! architectural fidelity and cost accounting, and exposes an
+//! associative-recall readout: tasks plant `marker → payload` pairs in the
+//! token stream and ask the model to produce the payload embedding at the
+//! question position. A sparse-attention method that drops the payload's
+//! KV entry fails the task — the same failure mode the paper's benchmarks
+//! measure.
+
+mod archetype;
+mod cache;
+mod config;
+mod decode;
+mod eviction;
+mod embedding;
+mod layer;
+mod mlp;
+mod norm;
+mod readout;
+mod transformer;
+mod vocab;
+
+pub use archetype::{GroupProjections, HeadArchetype, HeadProjections};
+pub use cache::LayerKvCache;
+pub use decode::DecodeSession;
+pub use eviction::{EvictionConfig, EvictionPolicy};
+pub use config::{ModelConfig, ModelPreset};
+pub use embedding::{TokenEmbedder, BOS_TOKEN};
+pub use layer::{AttentionLayer, LayerForwardResult};
+pub use mlp::SwigluMlp;
+pub use norm::RmsNorm;
+pub use readout::{decode_nearest_token, Readout};
+pub use vocab::{VocabLayout, BLANK_TOKEN};
+pub use transformer::{HeadReport, PrefillResult, SyntheticTransformer};

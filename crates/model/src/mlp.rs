@@ -1,0 +1,133 @@
+//! SwiGLU feed-forward block (the MLP both backbones use).
+//!
+//! Present for architectural fidelity and — more importantly — for cost
+//! accounting: TTFT is attention + MLP + norms, and the paper's Table 4
+//! latency breakdown depends on the MLP's FLOP share. Weights are random
+//! and small-scaled so the block perturbs rather than destroys the
+//! residual stream.
+
+use sa_kernels::CostReport;
+use sa_tensor::{matmul, DeterministicRng, Matrix, TensorError};
+
+/// SwiGLU MLP: `down( silu(gate(x)) * up(x) )`.
+#[derive(Debug, Clone)]
+pub struct SwigluMlp {
+    w_gate: Matrix,
+    w_up: Matrix,
+    w_down: Matrix,
+}
+
+impl SwigluMlp {
+    /// Builds a `(dim → ffn_dim → dim)` block with small random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn generate(dim: usize, ffn_dim: usize, rng: &mut DeterministicRng) -> Self {
+        assert!(dim > 0 && ffn_dim > 0, "MLP dims must be nonzero");
+        let s_in = 1.0 / (dim as f32).sqrt();
+        let s_out = 1.0 / (ffn_dim as f32).sqrt();
+        SwigluMlp {
+            w_gate: rng.normal_matrix(dim, ffn_dim, s_in),
+            w_up: rng.normal_matrix(dim, ffn_dim, s_in),
+            w_down: rng.normal_matrix(ffn_dim, dim, s_out),
+        }
+    }
+
+    /// Input/output width.
+    pub fn dim(&self) -> usize {
+        self.w_gate.rows()
+    }
+
+    /// Hidden (FFN) width.
+    pub fn ffn_dim(&self) -> usize {
+        self.w_gate.cols()
+    }
+
+    /// Forward pass with exact cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.cols() != dim()`.
+    pub fn forward(&self, x: &Matrix) -> Result<(Matrix, CostReport), TensorError> {
+        let mut gate = matmul(x, &self.w_gate)?;
+        let up = matmul(x, &self.w_up)?;
+        for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+            *g = silu(*g) * u;
+        }
+        let out = matmul(&gate, &self.w_down)?;
+
+        let s = x.rows() as u64;
+        let d = self.dim() as u64;
+        let f = self.ffn_dim() as u64;
+        // 3 GEMMs + elementwise silu*mul (~5 flops/elem).
+        let flops = s * (2 * d * f * 3 + 5 * f);
+        let bytes_read = 4 * (s * d + (d * f * 3));
+        let bytes_written = 4 * s * d;
+        let mut cost = CostReport::launch(flops, bytes_read, bytes_written);
+        cost.kernel_launches = 4;
+        Ok((out, cost))
+    }
+}
+
+#[inline]
+fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_cost() {
+        let mut rng = DeterministicRng::new(1);
+        let mlp = SwigluMlp::generate(16, 48, &mut rng);
+        assert_eq!(mlp.dim(), 16);
+        assert_eq!(mlp.ffn_dim(), 48);
+        let x = rng.normal_matrix(10, 16, 1.0);
+        let (out, cost) = mlp.forward(&x).unwrap();
+        assert_eq!(out.shape(), (10, 16));
+        assert!(cost.flops > 0);
+        assert_eq!(cost.kernel_launches, 4);
+    }
+
+    #[test]
+    fn output_bounded_relative_to_input() {
+        // Small random weights → output norm comparable to input norm.
+        let mut rng = DeterministicRng::new(2);
+        let mlp = SwigluMlp::generate(32, 96, &mut rng);
+        let x = rng.normal_matrix(20, 32, 1.0);
+        let (out, _) = mlp.forward(&x).unwrap();
+        let rx = x.frobenius_norm();
+        let ro = out.frobenius_norm();
+        assert!(ro < 4.0 * rx, "output norm {ro} vs input {rx}");
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn silu_properties() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.9);
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_rows() {
+        let mut rng = DeterministicRng::new(3);
+        let mlp = SwigluMlp::generate(8, 16, &mut rng);
+        let x1 = rng.normal_matrix(5, 8, 1.0);
+        let x2 = rng.normal_matrix(10, 8, 1.0);
+        let (_, c1) = mlp.forward(&x1).unwrap();
+        let (_, c2) = mlp.forward(&x2).unwrap();
+        assert_eq!(c2.flops, 2 * c1.flops);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut rng = DeterministicRng::new(4);
+        let mlp = SwigluMlp::generate(8, 16, &mut rng);
+        let x = Matrix::zeros(3, 9);
+        assert!(mlp.forward(&x).is_err());
+    }
+}

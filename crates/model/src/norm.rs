@@ -1,0 +1,109 @@
+//! RMSNorm, the normalisation both backbones use.
+
+use sa_tensor::{DeterministicRng, Matrix};
+
+/// Root-mean-square layer normalisation with a learned (here: constructed)
+/// per-channel gain.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    gain: Vec<f32>,
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Unit-gain RMSNorm of width `dim`.
+    pub fn identity(dim: usize) -> Self {
+        RmsNorm {
+            gain: vec![1.0; dim],
+            eps: 1e-6,
+        }
+    }
+
+    /// RMSNorm with gains jittered around 1 (as trained norms look).
+    pub fn jittered(dim: usize, rng: &mut DeterministicRng) -> Self {
+        RmsNorm {
+            gain: (0..dim).map(|_| 1.0 + 0.05 * rng.normal()).collect(),
+            eps: 1e-6,
+        }
+    }
+
+    /// Channel width.
+    pub fn dim(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Applies the norm row-wise, returning a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim()`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.gain.len(), "RmsNorm width mismatch");
+        let mut out = x.clone();
+        self.forward_in_place(&mut out);
+        out
+    }
+
+    /// Applies the norm row-wise in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != dim()`.
+    pub fn forward_in_place(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.gain.len(), "RmsNorm width mismatch");
+        let d = self.gain.len();
+        for i in 0..x.rows() {
+            let row = x.row_mut(i);
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let inv = 1.0 / (ms + self.eps).sqrt();
+            for (v, &g) in row.iter_mut().zip(&self.gain) {
+                *v *= inv * g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_gain_normalises_rms_to_one() {
+        let x = Matrix::from_rows(&[vec![3.0, 4.0], vec![0.5, -0.5]]).unwrap();
+        let out = RmsNorm::identity(2).forward(&x);
+        for i in 0..2 {
+            let ms: f32 = out.row(i).iter().map(|v| v * v).sum::<f32>() / 2.0;
+            assert!((ms - 1.0).abs() < 1e-4, "row {i} rms {ms}");
+        }
+    }
+
+    #[test]
+    fn zero_row_stays_finite() {
+        let x = Matrix::zeros(1, 4);
+        let out = RmsNorm::identity(4).forward(&x);
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn preserves_direction() {
+        let x = Matrix::from_rows(&[vec![2.0, -2.0, 4.0]]).unwrap();
+        let out = RmsNorm::identity(3).forward(&x);
+        let sim = sa_tensor::cosine_similarity(x.row(0), out.row(0));
+        assert!((sim - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jittered_gains_near_one() {
+        let mut rng = DeterministicRng::new(1);
+        let n = RmsNorm::jittered(64, &mut rng);
+        assert_eq!(n.dim(), 64);
+        assert!(n.gain.iter().all(|&g| (g - 1.0).abs() < 0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let x = Matrix::zeros(1, 3);
+        let _ = RmsNorm::identity(4).forward(&x);
+    }
+}

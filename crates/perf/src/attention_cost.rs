@@ -1,0 +1,197 @@
+//! Closed-form attention cost functions.
+//!
+//! These mirror, formula for formula, the counts instrumented in the
+//! `sa-kernels` implementations — so they can be evaluated at shapes far
+//! too large to execute (the paper's 1M-token points) while agreeing
+//! exactly with measured `CostReport`s at small shapes (a property the
+//! tests check).
+
+use sa_kernels::CostReport;
+
+/// Live causal pairs for a square `s x s` problem.
+fn causal_pairs(s: u64) -> u64 {
+    s * (s + 1) / 2
+}
+
+/// Per-head cost of the naive SDPA kernel (materialises the score
+/// matrix; 3 unfused kernels). Mirrors `sa_kernels::full_attention`.
+pub fn sdpa_cost(s: usize, d: usize) -> CostReport {
+    let s = s as u64;
+    let d = d as u64;
+    let pairs = causal_pairs(s);
+    let flops = pairs * (2 * d + 4 + 2 * d);
+    let bytes_read = 4 * (s * d * 3) + 2 * 4 * pairs;
+    let bytes_written = 4 * pairs + 4 * s * d;
+    let mut c = CostReport::launch(flops, bytes_read, bytes_written);
+    c.kernel_launches = 3;
+    c
+}
+
+/// Per-head cost of the FlashAttention-style fused kernel with tile size
+/// `block_rows`. Mirrors `sa_kernels::flash_attention` (K/V tiles re-read
+/// once per query block).
+pub fn flash_cost(s: usize, d: usize, block_rows: usize) -> CostReport {
+    let s_u = s as u64;
+    let d_u = d as u64;
+    let pairs = causal_pairs(s_u);
+    let flops = pairs * (2 * d_u + 4 + 2 * d_u);
+    // Sum over query blocks of the causally visible K/V rows.
+    let mut kv_reads: u64 = 0;
+    let mut q0 = 0usize;
+    while q0 < s {
+        let q1 = (q0 + block_rows).min(s);
+        let visible = q1 as u64; // block sees keys 0..q1
+        kv_reads += visible * 2 * d_u;
+        q0 = q1;
+    }
+    let bytes_read = 4 * (s_u * d_u) + 4 * kv_reads;
+    let bytes_written = 4 * s_u * d_u;
+    CostReport::launch(flops, bytes_read, bytes_written)
+}
+
+/// Per-head cost of SampleAttention's stage-1 fused sampling kernel at
+/// sampling ratio `r_row`. Mirrors `sa_core::sampling`.
+pub fn sampling_cost(s: usize, d: usize, r_row: f64) -> CostReport {
+    let s_u = s as u64;
+    let d_u = d as u64;
+    let sampled_rows = ((s as f64 * r_row).ceil() as u64).clamp(1, s_u);
+    // Strided rows are uniformly spread: visible ≈ mean of causal widths.
+    let live_pairs = sampled_rows * (s_u + 1) / 2;
+    let flops = live_pairs * (2 * d_u + 5);
+    let bytes_read = 4 * sampled_rows * d_u + (4 * live_pairs * d_u).div_ceil(128);
+    let bytes_written = 4 * s_u;
+    CostReport::launch(flops, bytes_read, bytes_written)
+}
+
+/// Per-head cost of SampleAttention's stage-2 filtering (sort /
+/// prefix-sum / searchsorted / gather). Mirrors `sa_core::filtering`,
+/// plus the latency floor of the small-operator pipeline: sort passes,
+/// top-k, `searchsorted`, and index gather are launch/sync-latency-bound
+/// on a GPU (the paper's §4.3 motivates fusing stage 1 precisely because
+/// "a series of small operators" dominates at short lengths — stage 2's
+/// remaining small ops keep a fixed cost of a few hundred microseconds
+/// per layer, which is why Figure 5(b)'s sampling share *decreases* with
+/// sequence length).
+pub fn filtering_cost(s: usize) -> CostReport {
+    let s_u = s as u64;
+    let logn = (s as f64).log2().max(1.0) as u64;
+    let flops = s_u * (logn + 2);
+    let bytes = 4 * s_u;
+    let mut c = CostReport::launch(flops, 2 * bytes, bytes);
+    // ~8 small ops, each with several launch/sync latencies.
+    c.kernel_launches = 40;
+    c
+}
+
+/// Per-head cost of the block-sparse kernel at mask density `density`
+/// (live fraction of the causal triangle). Mirrors
+/// `sa_kernels::sparse_flash_attention`.
+pub fn sparse_flash_cost(s: usize, d: usize, density: f64) -> CostReport {
+    let s_u = s as u64;
+    let d_u = d as u64;
+    let live_pairs = (causal_pairs(s_u) as f64 * density.clamp(0.0, 1.0)).round() as u64;
+    let flops = live_pairs * (2 * d_u + 4 + 2 * d_u);
+    let bytes_read = 4 * s_u * d_u + (4 * live_pairs * 2 * d_u).div_ceil(128);
+    let bytes_written = 4 * s_u * d_u;
+    CostReport::launch(flops, bytes_read, bytes_written)
+}
+
+/// Full SampleAttention per-head cost: sampling + filtering + sparse
+/// compute.
+pub fn sample_attention_cost(s: usize, d: usize, density: f64, r_row: f64) -> CostReport {
+    sampling_cost(s, d, r_row) + filtering_cost(s) + sparse_flash_cost(s, d, density)
+}
+
+/// Scales a per-head cost to `heads` heads (one fused launch in practice;
+/// launches are not multiplied).
+pub fn scale_heads(cost: CostReport, heads: usize) -> CostReport {
+    CostReport {
+        flops: cost.flops * heads as u64,
+        bytes_read: cost.bytes_read * heads as u64,
+        bytes_written: cost.bytes_written * heads as u64,
+        kernel_launches: cost.kernel_launches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_kernels::{flash_attention, full_attention, sparse_flash_attention, FlashParams, StructuredMask};
+    use sa_tensor::DeterministicRng;
+
+    fn qkv(s: usize, d: usize) -> (sa_tensor::Matrix, sa_tensor::Matrix, sa_tensor::Matrix) {
+        let mut rng = DeterministicRng::new(1);
+        (
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+            rng.normal_matrix(s, d, 1.0),
+        )
+    }
+
+    #[test]
+    fn sdpa_matches_measured() {
+        let (q, k, v) = qkv(100, 16);
+        let measured = full_attention(&q, &k, &v, true).unwrap().cost;
+        let analytic = sdpa_cost(100, 16);
+        assert_eq!(analytic.flops, measured.flops);
+        assert_eq!(analytic.bytes_read, measured.bytes_read);
+        assert_eq!(analytic.bytes_written, measured.bytes_written);
+    }
+
+    #[test]
+    fn flash_matches_measured() {
+        let (q, k, v) = qkv(130, 8);
+        let params = FlashParams { block_rows: 32, block_cols: 32 };
+        let measured = flash_attention(&q, &k, &v, true, params).unwrap().cost;
+        let analytic = flash_cost(130, 8, 32);
+        assert_eq!(analytic.flops, measured.flops);
+        // KV tile reads: the kernel reads ceil(visible/bc)*bc... our
+        // analytic uses exact visible; allow small slack from tile
+        // rounding.
+        let rel = (analytic.bytes_read as f64 - measured.bytes_read as f64).abs()
+            / measured.bytes_read as f64;
+        assert!(rel < 0.15, "relative byte error {rel}");
+    }
+
+    #[test]
+    fn sparse_matches_measured_dense_case() {
+        let (q, k, v) = qkv(90, 8);
+        let mask = StructuredMask::dense_causal(90, 90);
+        let measured = sparse_flash_attention(&q, &k, &v, &mask).unwrap().cost;
+        let analytic = sparse_flash_cost(90, 8, 1.0);
+        assert_eq!(analytic.flops, measured.flops);
+        assert_eq!(analytic.bytes_read, measured.bytes_read);
+    }
+
+    #[test]
+    fn sample_attention_cheaper_than_flash_when_sparse() {
+        let flash = flash_cost(100_000, 128, 128);
+        let sample = sample_attention_cost(100_000, 128, 0.05, 0.05);
+        assert!(sample.flops < flash.flops / 3);
+        assert!(sample.bytes_total() < flash.bytes_total());
+    }
+
+    #[test]
+    fn sampling_is_r_row_fraction_of_full_scores() {
+        // Stage 1 computes ~r_row of the full score matrix's work.
+        let full = sampling_cost(8_192, 128, 1.0).flops as f64;
+        let sampled = sampling_cost(8_192, 128, 0.05).flops as f64;
+        let ratio = sampled / full;
+        assert!((ratio - 0.05).abs() < 0.005, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scale_heads_multiplies_work_not_launches() {
+        let c = sdpa_cost(64, 16);
+        let scaled = scale_heads(c, 32);
+        assert_eq!(scaled.flops, c.flops * 32);
+        assert_eq!(scaled.kernel_launches, c.kernel_launches);
+    }
+
+    #[test]
+    fn density_clamped() {
+        let a = sparse_flash_cost(64, 8, 2.0);
+        let b = sparse_flash_cost(64, 8, 1.0);
+        assert_eq!(a.flops, b.flops);
+    }
+}

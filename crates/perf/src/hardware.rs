@@ -1,0 +1,112 @@
+use serde::{Deserialize, Serialize};
+
+/// A GPU hardware description for the roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareModel {
+    /// Peak dense fp16 tensor-core throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// Achievable fraction of peak FLOPs for attention-like kernels.
+    pub compute_efficiency: f64,
+    /// Achievable fraction of peak bandwidth.
+    pub memory_efficiency: f64,
+    /// Per-kernel launch overhead in seconds.
+    pub kernel_launch_s: f64,
+}
+
+impl HardwareModel {
+    /// An NVIDIA A100-SXM4-80GB: 312 TFLOP/s fp16, 2039 GB/s HBM2e.
+    ///
+    /// Efficiency factors reflect well-tuned fused kernels
+    /// (FlashAttention-class) rather than theoretical peaks.
+    pub fn a100_80gb() -> Self {
+        HardwareModel {
+            peak_flops: 312e12,
+            hbm_bandwidth: 2.039e12,
+            compute_efficiency: 0.55,
+            memory_efficiency: 0.80,
+            kernel_launch_s: 6e-6,
+        }
+    }
+
+    /// Effective compute throughput (FLOP/s).
+    pub fn effective_flops(&self) -> f64 {
+        self.peak_flops * self.compute_efficiency
+    }
+
+    /// Effective memory bandwidth (bytes/s).
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.hbm_bandwidth * self.memory_efficiency
+    }
+}
+
+/// Tensor/pipeline parallel configuration (the paper's Table 4 uses
+/// TP=4, PP=2 over 8 GPUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Tensor-parallel degree (splits each layer's work).
+    pub tensor_parallel: usize,
+    /// Pipeline-parallel degree (splits layers into stages).
+    pub pipeline_parallel: usize,
+}
+
+impl Parallelism {
+    /// Single-GPU execution.
+    pub fn single() -> Self {
+        Parallelism {
+            tensor_parallel: 1,
+            pipeline_parallel: 1,
+        }
+    }
+
+    /// The paper's serving configuration: TP=4, PP=2.
+    pub fn paper_serving() -> Self {
+        Parallelism {
+            tensor_parallel: 4,
+            pipeline_parallel: 2,
+        }
+    }
+
+    /// Total GPUs used.
+    pub fn num_gpus(&self) -> usize {
+        self.tensor_parallel * self.pipeline_parallel
+    }
+
+    /// Effective per-layer speedup factor (TP splits each layer; PP does
+    /// not speed up a single request's prefill latency beyond overlap,
+    /// which we conservatively ignore — matching the paper's observation
+    /// that TTFT is dominated by per-layer compute).
+    pub fn per_layer_speedup(&self) -> f64 {
+        self.tensor_parallel as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_sane() {
+        let hw = HardwareModel::a100_80gb();
+        assert!(hw.effective_flops() > 1e14);
+        assert!(hw.effective_bandwidth() > 1e12);
+        assert!(hw.effective_flops() < hw.peak_flops);
+    }
+
+    #[test]
+    fn parallelism() {
+        assert_eq!(Parallelism::single().num_gpus(), 1);
+        let p = Parallelism::paper_serving();
+        assert_eq!(p.num_gpus(), 8);
+        assert_eq!(p.per_layer_speedup(), 4.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hw = HardwareModel::a100_80gb();
+        let s = serde_json::to_string(&hw).unwrap();
+        let back: HardwareModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(hw, back);
+    }
+}

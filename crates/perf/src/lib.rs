@@ -1,0 +1,41 @@
+//! # sa-perf
+//!
+//! Analytical A100 performance model for the latency reproductions.
+//!
+//! The paper's §5.4 latency results (Figures 5–6, Table 4) were measured
+//! on NVIDIA A100 GPUs running fused CUDA/Triton kernels. No GPU exists in
+//! this environment, so latency is reproduced the way the paper itself
+//! extrapolates beyond 128K: analytically. The model is a classic
+//! roofline —
+//!
+//! ```text
+//! t_kernel = max(flops / (peak_flops · eff), bytes / (hbm_bw · eff_mem))
+//!            + launches · t_launch
+//! ```
+//!
+//! — fed with the *exact* FLOP/byte counts that the CPU kernels in
+//! `sa-kernels` report ([`sa_kernels::CostReport`]), or with closed-form
+//! cost functions ([`attention_cost`]) when evaluating shapes too large to
+//! run (1M tokens). Because every method's cost is counted by the same
+//! rules, latency *ratios* (speedups, crossover points, the attention
+//! share of TTFT) are faithful even though absolute milliseconds differ
+//! from the authors' testbed.
+//!
+//! [`ttft`] assembles whole-model prefill latency (attention + GEMMs +
+//! MLP + norms, with tensor/pipeline parallelism) for the Table 4
+//! breakdown, and [`calibrate`] checks the model's attention-share curve
+//! against the paper's published Table 4 anchors.
+
+pub mod attention_cost;
+pub mod calibrate;
+mod hardware;
+pub mod memory;
+mod roofline;
+pub mod sparsity_trend;
+pub mod ttft;
+
+pub use hardware::{HardwareModel, Parallelism};
+pub use memory::{max_context, prefill_footprint, MemoryFootprint, PrefillStyle};
+pub use roofline::{kernel_time, Precision};
+pub use sparsity_trend::SparsityTrend;
+pub use ttft::{TtftBreakdown, TtftModel};

@@ -1,0 +1,177 @@
+//! Serving-memory model (Appendix A.6).
+//!
+//! The paper reports that "requests with ultra-long sequences (>=128K) or
+//! large batch sizes will cause memory issues" in its serving integration,
+//! and that a chunked prefill was used for memory efficiency. This module
+//! quantifies exactly that: per-request activation and KV-cache footprints
+//! against the A100's 80 GB, for monolithic vs. chunked prefill and for
+//! dense vs. SDPA-style attention (whose quadratic score matrix is the
+//! first thing to blow up).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ttft::ModelGeometry;
+
+/// Byte-level memory footprint of one prefill request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Model weights (fp16).
+    pub weights_bytes: u64,
+    /// KV cache for the full sequence (fp16, all layers).
+    pub kv_cache_bytes: u64,
+    /// Peak activation bytes during prefill.
+    pub activation_bytes: u64,
+    /// Score-matrix bytes (0 for flash/chunked kernels).
+    pub score_matrix_bytes: u64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.weights_bytes + self.kv_cache_bytes + self.activation_bytes + self.score_matrix_bytes
+    }
+
+    /// Whether the request fits in `capacity_bytes` of device memory.
+    pub fn fits(&self, capacity_bytes: u64) -> bool {
+        self.total_bytes() <= capacity_bytes
+    }
+}
+
+/// Prefill execution styles with different memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefillStyle {
+    /// Unfused attention materialising the `S x S` score matrix per head.
+    SdpaMonolithic,
+    /// Fused flash-style attention, whole prompt at once.
+    FlashMonolithic,
+    /// Fused attention in sequence chunks of the given size.
+    Chunked(usize),
+}
+
+/// Computes the footprint of a `batch x seq_len` prefill for `geometry`
+/// on a single device holding `1/tensor_parallel` of the model.
+pub fn prefill_footprint(
+    geometry: &ModelGeometry,
+    seq_len: usize,
+    batch: usize,
+    tensor_parallel: usize,
+    style: PrefillStyle,
+) -> MemoryFootprint {
+    let tp = tensor_parallel.max(1) as u64;
+    let hidden = geometry.hidden() as u64;
+    let layers = geometry.layers as u64;
+    let ffn = geometry.ffn_dim as u64;
+    let kv_dim = (geometry.kv_heads * geometry.head_dim) as u64;
+    let s = seq_len as u64;
+    let b = batch as u64;
+    let fp16 = 2u64;
+
+    // Weights: qkv + out + 3 MLP mats per layer (+ embeddings ignored).
+    let per_layer_weights = hidden * (hidden + 2 * kv_dim) + hidden * hidden + 3 * hidden * ffn;
+    let weights_bytes = layers * per_layer_weights * fp16 / tp;
+
+    // KV cache: 2 (K and V) per layer per position.
+    let kv_cache_bytes = 2 * layers * b * s * kv_dim * fp16 / tp;
+
+    // Activations: residual stream + the widest intermediate (FFN) for the
+    // rows being processed at once.
+    let rows = match style {
+        PrefillStyle::Chunked(c) => (c as u64).min(s),
+        _ => s,
+    };
+    let activation_bytes = b * rows * (hidden + ffn) * fp16 / tp;
+
+    // SDPA materialises per-head S x visible scores (batch x heads).
+    let score_matrix_bytes = match style {
+        PrefillStyle::SdpaMonolithic => {
+            b * (geometry.q_heads as u64 / tp) * s * s * fp16
+        }
+        _ => 0,
+    };
+
+    MemoryFootprint {
+        weights_bytes,
+        kv_cache_bytes,
+        activation_bytes,
+        score_matrix_bytes,
+    }
+}
+
+/// The longest power-of-two sequence that fits in `capacity_bytes` under
+/// the given style (batch 1). Returns `None` if even 1K does not fit.
+pub fn max_context(
+    geometry: &ModelGeometry,
+    tensor_parallel: usize,
+    capacity_bytes: u64,
+    style: PrefillStyle,
+) -> Option<usize> {
+    let mut best = None;
+    let mut s = 1024usize;
+    while s <= 16 * 1024 * 1024 {
+        let fp = prefill_footprint(geometry, s, 1, tensor_parallel, style);
+        if fp.fits(capacity_bytes) {
+            best = Some(s);
+        } else {
+            break;
+        }
+        s *= 2;
+    }
+    best
+}
+
+/// A100-80GB capacity in bytes.
+pub const A100_BYTES: u64 = 80 * 1024 * 1024 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> ModelGeometry {
+        ModelGeometry::chatglm2_6b()
+    }
+
+    #[test]
+    fn sdpa_blows_up_before_flash() {
+        // The appendix's ">=128K causes memory issues": SDPA's quadratic
+        // score matrix exhausts 80 GB far earlier than flash attention.
+        let sdpa = max_context(&geo(), 1, A100_BYTES, PrefillStyle::SdpaMonolithic).unwrap();
+        let flash = max_context(&geo(), 1, A100_BYTES, PrefillStyle::FlashMonolithic).unwrap();
+        assert!(sdpa < flash, "sdpa {sdpa} vs flash {flash}");
+        assert!(sdpa <= 65_536, "sdpa fits {sdpa} — should OOM early");
+    }
+
+    #[test]
+    fn chunking_extends_max_context() {
+        let mono = max_context(&geo(), 4, A100_BYTES, PrefillStyle::FlashMonolithic).unwrap();
+        let chunked = max_context(&geo(), 4, A100_BYTES, PrefillStyle::Chunked(8192)).unwrap();
+        assert!(chunked >= mono);
+        // With TP=4 and chunking, 1M tokens are reachable (the paper's
+        // Table 4 runs 1M on 8 GPUs with chunking).
+        assert!(chunked >= 1_048_576, "chunked max {chunked}");
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly() {
+        let a = prefill_footprint(&geo(), 32_768, 1, 1, PrefillStyle::FlashMonolithic);
+        let b = prefill_footprint(&geo(), 65_536, 1, 1, PrefillStyle::FlashMonolithic);
+        assert_eq!(b.kv_cache_bytes, 2 * a.kv_cache_bytes);
+    }
+
+    #[test]
+    fn batch_scales_kv_and_activations() {
+        let b1 = prefill_footprint(&geo(), 16_384, 1, 1, PrefillStyle::FlashMonolithic);
+        let b4 = prefill_footprint(&geo(), 16_384, 4, 1, PrefillStyle::FlashMonolithic);
+        assert_eq!(b4.kv_cache_bytes, 4 * b1.kv_cache_bytes);
+        assert_eq!(b4.weights_bytes, b1.weights_bytes);
+        assert!(!b4.fits(b1.total_bytes()));
+    }
+
+    #[test]
+    fn weights_order_of_magnitude() {
+        // ChatGLM2-6B weights ≈ 12 GB in fp16 (6B params x 2 bytes);
+        // our per-layer accounting covers the transformer blocks (~11 GB).
+        let fp = prefill_footprint(&geo(), 1024, 1, 1, PrefillStyle::FlashMonolithic);
+        let gb = fp.weights_bytes as f64 / 1e9;
+        assert!((8.0..14.0).contains(&gb), "weights {gb} GB");
+    }
+}

@@ -1,0 +1,85 @@
+use sa_kernels::CostReport;
+
+use crate::HardwareModel;
+
+/// Numeric precision the (simulated) GPU kernel runs in.
+///
+/// `CostReport` byte counts are in f32 units (the CPU element size);
+/// the roofline rescales traffic for the GPU precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 16-bit floats (the paper's models run fp16/bf16).
+    Fp16,
+    /// 32-bit floats.
+    Fp32,
+}
+
+impl Precision {
+    /// Traffic scale factor relative to the f32-denominated counts.
+    pub fn byte_scale(&self) -> f64 {
+        match self {
+            Precision::Fp16 => 0.5,
+            Precision::Fp32 => 1.0,
+        }
+    }
+}
+
+/// Roofline execution time of a kernel (or a fused sequence of kernels)
+/// described by `cost`, in seconds.
+///
+/// `max(compute time, memory time) + launch overheads`.
+pub fn kernel_time(cost: &CostReport, hw: &HardwareModel, precision: Precision) -> f64 {
+    let compute = cost.flops as f64 / hw.effective_flops();
+    let memory = cost.bytes_total() as f64 * precision.byte_scale() / hw.effective_bandwidth();
+    compute.max(memory) + cost.kernel_launches as f64 * hw.kernel_launch_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareModel {
+        HardwareModel::a100_80gb()
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        // High arithmetic intensity: time set by FLOPs.
+        let cost = CostReport::launch(1_000_000_000_000, 1_000_000, 1_000_000);
+        let t = kernel_time(&cost, &hw(), Precision::Fp16);
+        let expect = 1e12 / hw().effective_flops() + hw().kernel_launch_s;
+        assert!((t - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        // Low intensity: time set by bytes.
+        let cost = CostReport::launch(1_000, 4_000_000_000, 0);
+        let t = kernel_time(&cost, &hw(), Precision::Fp16);
+        let expect = 2e9 / hw().effective_bandwidth() + hw().kernel_launch_s;
+        assert!((t - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn fp32_doubles_memory_time() {
+        let cost = CostReport::launch(0, 4_000_000_000, 0);
+        let t16 = kernel_time(&cost, &hw(), Precision::Fp16);
+        let t32 = kernel_time(&cost, &hw(), Precision::Fp32);
+        let l = hw().kernel_launch_s;
+        assert!(((t32 - l) / (t16 - l) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn launch_overhead_counts() {
+        let mut cost = CostReport::launch(0, 0, 0);
+        cost.kernel_launches = 100;
+        let t = kernel_time(&cost, &hw(), Precision::Fp16);
+        assert!((t - 100.0 * hw().kernel_launch_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cost_zero_time() {
+        let cost = CostReport::new();
+        assert_eq!(kernel_time(&cost, &hw(), Precision::Fp16), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sparsity-vs-length trend (the paper's Table 5), with interpolation and
+//! extrapolation for the latency projections.
+//!
+//! The paper measures the average sparsity degree `SD(α)` of ChatGLM2-6B
+//! on Needle-in-a-Haystack prompts from 4K to 128K, and notes that each
+//! doubling of length drops the *density* (`1 − SD`) by roughly 20 %.
+//! Figures 5–6 implicitly use this trend when extrapolating to 1M. This
+//! module encodes the published table and provides `density(alpha, s)`:
+//!
+//! - in-range lengths: log₂-linear interpolation between table rows;
+//! - beyond 128K: geometric extrapolation with the per-doubling ratio
+//!   observed in the table's last rows;
+//! - off-grid `α`: power-law interpolation in `(1 − α)` (the table's
+//!   columns are well fit by `density ∝ (1 − α)^0.68`).
+
+use serde::{Deserialize, Serialize};
+
+/// Published Table 5 rows: `(sequence length, SD at α = 0.90, 0.95, 0.98)`
+/// in percent.
+pub const PAPER_TABLE5: [(usize, f64, f64, f64); 6] = [
+    (4_096, 91.27, 88.00, 79.17),
+    (8_192, 93.68, 90.74, 83.43),
+    (16_384, 95.84, 92.52, 86.37),
+    (32_768, 96.34, 93.88, 88.68),
+    (65_536, 96.91, 94.89, 90.70),
+    (131_072, 97.44, 95.84, 92.43),
+];
+
+/// The α grid of [`PAPER_TABLE5`].
+pub const TABLE5_ALPHAS: [f64; 3] = [0.90, 0.95, 0.98];
+
+/// Sparsity/density trend model derived from Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparsityTrend;
+
+impl SparsityTrend {
+    /// Creates the trend model (stateless; the data is the published
+    /// table).
+    pub fn paper() -> Self {
+        SparsityTrend
+    }
+
+    /// Mask density (live fraction of the causal triangle, in `[0, 1]`)
+    /// for CRA threshold `alpha` at sequence length `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1)` or `s == 0`.
+    pub fn density(&self, alpha: f64, s: usize) -> f64 {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1), got {alpha}");
+        assert!(s > 0, "sequence length must be nonzero");
+        // Column densities at the three published alphas.
+        let cols: Vec<f64> = (0..3).map(|c| density_at_length(c, s)).collect();
+        interp_alpha(alpha, &cols)
+    }
+
+    /// Sparsity degree `SD(alpha) = 1 - density` at length `s`.
+    pub fn sparsity_degree(&self, alpha: f64, s: usize) -> f64 {
+        1.0 - self.density(alpha, s)
+    }
+}
+
+/// Density for table column `col` (0 → α=.90, 1 → .95, 2 → .98) at
+/// length `s`, interpolating/extrapolating in log₂(s).
+fn density_at_length(col: usize, s: usize) -> f64 {
+    let sd = |row: &(usize, f64, f64, f64)| match col {
+        0 => row.1,
+        1 => row.2,
+        _ => row.3,
+    };
+    let density = |row: &(usize, f64, f64, f64)| (100.0 - sd(row)) / 100.0;
+    let x = (s as f64).log2();
+    let first = &PAPER_TABLE5[0];
+    let last = &PAPER_TABLE5[PAPER_TABLE5.len() - 1];
+    if s <= first.0 {
+        // Below the table: extrapolate the first interval's slope upward
+        // (denser at shorter lengths), clamped to 1.
+        let second = &PAPER_TABLE5[1];
+        let ratio = density(first) / density(second); // > 1 per octave
+        let octaves = (first.0 as f64).log2() - x;
+        return (density(first) * ratio.powf(octaves)).min(1.0);
+    }
+    if s >= last.0 {
+        // Beyond 128K: geometric extrapolation with the mean per-doubling
+        // ratio of the last two intervals.
+        let n = PAPER_TABLE5.len();
+        let r1 = density(&PAPER_TABLE5[n - 1]) / density(&PAPER_TABLE5[n - 2]);
+        let r2 = density(&PAPER_TABLE5[n - 2]) / density(&PAPER_TABLE5[n - 3]);
+        let ratio = ((r1 * r2).sqrt()).clamp(0.5, 1.0);
+        let octaves = x - (last.0 as f64).log2();
+        return density(last) * ratio.powf(octaves);
+    }
+    // In-range: log2-linear interpolation.
+    for w in PAPER_TABLE5.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if s >= a.0 && s <= b.0 {
+            let xa = (a.0 as f64).log2();
+            let xb = (b.0 as f64).log2();
+            let t = (x - xa) / (xb - xa);
+            return density(a) * (1.0 - t) + density(b) * t;
+        }
+    }
+    unreachable!("length {s} not covered by interpolation");
+}
+
+/// Power-law interpolation across α: fit `ln density` linearly in
+/// `ln(1 - α)` through the three published columns (least squares), then
+/// evaluate at the requested α.
+fn interp_alpha(alpha: f64, col_densities: &[f64]) -> f64 {
+    let xs: Vec<f64> = TABLE5_ALPHAS.iter().map(|&a| (1.0 - a).ln()).collect();
+    let ys: Vec<f64> = col_densities.iter().map(|&d| d.max(1e-6).ln()).collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let x = (1.0 - alpha).ln();
+    (intercept + slope * x).exp().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_rows_closely() {
+        let t = SparsityTrend::paper();
+        // At grid alphas/lengths the power-law fit should land within
+        // ~15% relative of the published densities.
+        for &(s, sd90, sd95, sd98) in &PAPER_TABLE5 {
+            for (alpha, sd) in [(0.90, sd90), (0.95, sd95), (0.98, sd98)] {
+                let want = (100.0 - sd) / 100.0;
+                let got = t.density(alpha, s);
+                let rel = (got - want).abs() / want;
+                assert!(rel < 0.15, "alpha {alpha} s {s}: got {got}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn density_decreases_with_length() {
+        let t = SparsityTrend::paper();
+        let mut prev = f64::INFINITY;
+        for s in [4_096, 16_384, 131_072, 524_288, 1_048_576] {
+            let d = t.density(0.95, s);
+            assert!(d < prev, "density not decreasing at {s}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn density_increases_with_alpha() {
+        let t = SparsityTrend::paper();
+        let d80 = t.density(0.80, 98_304);
+        let d95 = t.density(0.95, 98_304);
+        let d99 = t.density(0.99, 98_304);
+        assert!(d80 < d95 && d95 < d99, "{d80} {d95} {d99}");
+    }
+
+    #[test]
+    fn one_million_extrapolation_sane() {
+        let t = SparsityTrend::paper();
+        let d = t.density(0.95, 1_048_576);
+        // 128K density is 4.16 %; 3 more doublings at ~0.8 → ~2.1 %.
+        assert!(d > 0.005 && d < 0.04, "1M density {d}");
+    }
+
+    #[test]
+    fn short_lengths_denser() {
+        let t = SparsityTrend::paper();
+        let d = t.density(0.95, 1024);
+        assert!(d > t.density(0.95, 4096));
+        assert!(d <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_one_rejected() {
+        let _ = SparsityTrend::paper().density(1.0, 4096);
+    }
+}

@@ -1,0 +1,343 @@
+//! Whole-model prefill latency (TTFT) model.
+//!
+//! Assembles per-layer costs — QKV/output projections, attention
+//! (pluggable kind), SwiGLU MLP, norms, TP collectives — into the
+//! time-to-first-token for a full forward pass, reproducing the paper's
+//! Figure 5(c), Figure 6(b) and Table 4.
+
+use sa_kernels::CostReport;
+use serde::{Deserialize, Serialize};
+
+use crate::attention_cost::{
+    filtering_cost, sample_attention_cost, sampling_cost, scale_heads, flash_cost, sdpa_cost,
+    sparse_flash_cost,
+};
+
+/// Effective-work multiplier for the block-sparse kernel relative to the
+/// dense flash kernel's per-element efficiency. Gathered (non-contiguous)
+/// K/V access, per-head variable stripe counts, and small irregular tiles
+/// keep real sparse kernels well below dense throughput; the value is
+/// calibrated so the attention speedup at 96K/α=0.95 lands at the paper's
+/// measured 2.20× (Figure 5a).
+const SPARSE_KERNEL_INEFFICIENCY: f64 = 8.0;
+use crate::{kernel_time, HardwareModel, Parallelism, Precision, SparsityTrend};
+
+/// Full-scale transformer geometry for latency modelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelGeometry {
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Query heads per layer.
+    pub q_heads: usize,
+    /// Key/value heads (GQA/MQA).
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// FFN inner width.
+    pub ffn_dim: usize,
+}
+
+impl ModelGeometry {
+    /// ChatGLM2-6B: 28 layers × 32 heads × d128 (hidden 4096),
+    /// multi-query attention with 2 KV heads, FFN 13696.
+    pub fn chatglm2_6b() -> Self {
+        ModelGeometry {
+            layers: 28,
+            q_heads: 32,
+            kv_heads: 2,
+            head_dim: 128,
+            ffn_dim: 13_696,
+        }
+    }
+
+    /// InternLM2-7B: 32 layers × 32 heads × d128, 8 KV heads, FFN 14336.
+    pub fn internlm2_7b() -> Self {
+        ModelGeometry {
+            layers: 32,
+            q_heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            ffn_dim: 14_336,
+        }
+    }
+
+    /// Hidden width (`q_heads * head_dim`).
+    pub fn hidden(&self) -> usize {
+        self.q_heads * self.head_dim
+    }
+}
+
+/// Which attention implementation the prefill uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// PyTorch-style unfused scaled-dot-product attention.
+    Sdpa,
+    /// FlashAttention-style fused kernel.
+    Flash,
+    /// SampleAttention at the given CRA threshold (density follows the
+    /// paper's Table 5 trend).
+    SampleAttention {
+        /// CRA threshold `α`.
+        alpha: f64,
+        /// Stage-1 sampling ratio.
+        sample_ratio: f64,
+    },
+}
+
+/// TTFT decomposition in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtftBreakdown {
+    /// Total attention time (incl. mask discovery for SampleAttention).
+    pub attention_s: f64,
+    /// SampleAttention mask-discovery share of `attention_s` (0 for dense
+    /// kinds) — the Figure 5(b) quantity.
+    pub sampling_s: f64,
+    /// QKV + output projections.
+    pub projections_s: f64,
+    /// SwiGLU MLP.
+    pub mlp_s: f64,
+    /// Norms, residual adds, TP collectives.
+    pub other_s: f64,
+}
+
+impl TtftBreakdown {
+    /// Total TTFT.
+    pub fn total_s(&self) -> f64 {
+        self.attention_s + self.projections_s + self.mlp_s + self.other_s
+    }
+
+    /// Attention share of total (the paper's Table 4 "Percent" column).
+    pub fn attention_share(&self) -> f64 {
+        self.attention_s / self.total_s()
+    }
+}
+
+/// The TTFT model: geometry + hardware + parallelism.
+#[derive(Debug, Clone, Copy)]
+pub struct TtftModel {
+    geometry: ModelGeometry,
+    hardware: HardwareModel,
+    parallelism: Parallelism,
+    trend: SparsityTrend,
+}
+
+impl TtftModel {
+    /// Creates the model.
+    pub fn new(geometry: ModelGeometry, hardware: HardwareModel, parallelism: Parallelism) -> Self {
+        TtftModel {
+            geometry,
+            hardware,
+            parallelism,
+            trend: SparsityTrend::paper(),
+        }
+    }
+
+    /// The paper's micro-benchmark setup: ChatGLM2-6B on one A100.
+    pub fn paper_microbench() -> Self {
+        Self::new(
+            ModelGeometry::chatglm2_6b(),
+            HardwareModel::a100_80gb(),
+            Parallelism::single(),
+        )
+    }
+
+    /// The paper's serving setup: ChatGLM2-6B on 8×A100, TP=4/PP=2.
+    pub fn paper_serving() -> Self {
+        Self::new(
+            ModelGeometry::chatglm2_6b(),
+            HardwareModel::a100_80gb(),
+            Parallelism::paper_serving(),
+        )
+    }
+
+    /// The model geometry.
+    pub fn geometry(&self) -> &ModelGeometry {
+        &self.geometry
+    }
+
+    /// Per-layer attention cost for `kind` at sequence length `s`
+    /// (all heads), plus the discovery-overhead sub-cost.
+    pub fn attention_cost(&self, s: usize, kind: AttentionKind) -> (CostReport, CostReport) {
+        let d = self.geometry.head_dim;
+        let h = self.geometry.q_heads;
+        match kind {
+            AttentionKind::Sdpa => (scale_heads(sdpa_cost(s, d), h), CostReport::new()),
+            AttentionKind::Flash => (scale_heads(flash_cost(s, d, 128), h), CostReport::new()),
+            AttentionKind::SampleAttention { alpha, sample_ratio } => {
+                let density = self.trend.density(alpha, s);
+                // Effective density folds in the sparse kernel's gather
+                // inefficiency (but never exceeds dense work).
+                let effective = (density * SPARSE_KERNEL_INEFFICIENCY).min(1.0);
+                let sparse = sparse_flash_cost(s, d, effective);
+                let overhead = sampling_cost(s, d, sample_ratio) + filtering_cost(s);
+                let _ = sample_attention_cost; // exact-cost variant kept for analysis
+                (scale_heads(sparse + overhead, h), scale_heads(overhead, h))
+            }
+        }
+    }
+
+    /// Attention-only latency for one full forward (all layers), seconds.
+    pub fn attention_latency(&self, s: usize, kind: AttentionKind) -> f64 {
+        let (cost, _) = self.attention_cost(s, kind);
+        let per_layer =
+            kernel_time(&cost, &self.hardware, Precision::Fp16) / self.parallelism.per_layer_speedup();
+        per_layer * self.geometry.layers as f64
+    }
+
+    /// Full TTFT breakdown at sequence length `s`.
+    pub fn ttft(&self, s: usize, kind: AttentionKind) -> TtftBreakdown {
+        let g = &self.geometry;
+        let hidden = g.hidden() as u64;
+        let kv_dim = (g.kv_heads * g.head_dim) as u64;
+        let s_u = s as u64;
+        let tp = self.parallelism.per_layer_speedup();
+
+        // Attention (+ discovery overhead).
+        let (attn_cost, overhead_cost) = self.attention_cost(s, kind);
+        let attention_s =
+            kernel_time(&attn_cost, &self.hardware, Precision::Fp16) / tp * g.layers as f64;
+        let sampling_s =
+            kernel_time(&overhead_cost, &self.hardware, Precision::Fp16) / tp * g.layers as f64;
+
+        // Projections: QKV (hidden → hidden + 2·kv_dim) and output
+        // (hidden → hidden).
+        let proj_flops = 2 * s_u * hidden * (hidden + 2 * kv_dim) + 2 * s_u * hidden * hidden;
+        let proj_bytes = 4 * (s_u * hidden * 2 + hidden * (hidden + 2 * kv_dim) + hidden * hidden);
+        let proj = CostReport::launch(proj_flops, proj_bytes, 4 * s_u * hidden);
+        let projections_s =
+            kernel_time(&proj, &self.hardware, Precision::Fp16) / tp * g.layers as f64;
+
+        // SwiGLU MLP: three GEMMs hidden↔ffn.
+        let ffn = g.ffn_dim as u64;
+        let mlp_flops = 2 * s_u * hidden * ffn * 3 + 5 * s_u * ffn;
+        let mlp_bytes = 4 * (s_u * hidden * 2 + 3 * hidden * ffn);
+        let mlp = CostReport::launch(mlp_flops, mlp_bytes, 4 * s_u * hidden);
+        let mlp_s = kernel_time(&mlp, &self.hardware, Precision::Fp16) / tp * g.layers as f64;
+
+        // Other: 2 RMSNorms + residual adds (memory-bound sweeps of the
+        // activations) and, under TP, 2 all-reduces of s×hidden per layer
+        // over NVLink (~300 GB/s effective per GPU pair).
+        let norm_bytes = 4 * s_u * hidden * 6;
+        let norms = CostReport::launch(10 * s_u * hidden, norm_bytes, 4 * s_u * hidden);
+        let mut other_s = kernel_time(&norms, &self.hardware, Precision::Fp16) / tp;
+        if self.parallelism.tensor_parallel > 1 {
+            let allreduce_bytes = 2.0 * (s_u * hidden) as f64 * 2.0; // fp16, 2 collectives
+            other_s += 2.0 * allreduce_bytes / 300e9;
+        }
+        other_s *= g.layers as f64;
+
+        TtftBreakdown {
+            attention_s,
+            sampling_s,
+            projections_s,
+            mlp_s,
+            other_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attention_share_grows_with_length() {
+        let m = TtftModel::paper_serving();
+        let shares: Vec<f64> = [32_768usize, 131_072, 1_048_576]
+            .iter()
+            .map(|&s| m.ttft(s, AttentionKind::Flash).attention_share())
+            .collect();
+        assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+        // Table 4: ~32 % at 32K, ~88 % at 1M (SDPA-style full attention in
+        // TGI). Our fused flash baseline stays in the same regime.
+        assert!(shares[0] > 0.1 && shares[0] < 0.6, "{shares:?}");
+        assert!(shares[2] > 0.7, "{shares:?}");
+    }
+
+    #[test]
+    fn sample_attention_beats_flash_at_long_lengths() {
+        let m = TtftModel::paper_microbench();
+        let kind = AttentionKind::SampleAttention { alpha: 0.95, sample_ratio: 0.05 };
+        let s = 98_304; // 96K
+        let flash = m.attention_latency(s, AttentionKind::Flash);
+        let sample = m.attention_latency(s, kind);
+        let speedup = flash / sample;
+        // Paper: 2.20× at 96K for alpha=0.95.
+        assert!(speedup > 1.5 && speedup < 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn lower_alpha_faster() {
+        let m = TtftModel::paper_microbench();
+        let s = 98_304;
+        let a95 = m.attention_latency(s, AttentionKind::SampleAttention { alpha: 0.95, sample_ratio: 0.05 });
+        let a80 = m.attention_latency(s, AttentionKind::SampleAttention { alpha: 0.80, sample_ratio: 0.05 });
+        assert!(a80 < a95);
+    }
+
+    #[test]
+    fn short_sequences_no_advantage() {
+        // Figure 5(a): no speedup at short lengths (sampling overhead).
+        let m = TtftModel::paper_microbench();
+        let s = 4_096;
+        let flash = m.attention_latency(s, AttentionKind::Flash);
+        let sample = m.attention_latency(
+            s,
+            AttentionKind::SampleAttention { alpha: 0.95, sample_ratio: 0.05 },
+        );
+        let speedup = flash / sample;
+        assert!(speedup < 1.7, "unexpectedly large speedup {speedup} at 4K");
+    }
+
+    #[test]
+    fn sdpa_slower_than_flash() {
+        let m = TtftModel::paper_microbench();
+        let s = 65_536;
+        assert!(m.attention_latency(s, AttentionKind::Sdpa) > m.attention_latency(s, AttentionKind::Flash));
+    }
+
+    #[test]
+    fn breakdown_components_positive() {
+        let m = TtftModel::paper_serving();
+        let b = m.ttft(32_768, AttentionKind::Flash);
+        assert!(b.attention_s > 0.0);
+        assert!(b.projections_s > 0.0);
+        assert!(b.mlp_s > 0.0);
+        assert!(b.other_s > 0.0);
+        assert_eq!(b.sampling_s, 0.0);
+        assert!(b.total_s() > b.attention_s);
+    }
+
+    #[test]
+    fn sampling_share_shrinks_with_length() {
+        // Figure 5(b): the proportion of time spent on sampling decreases
+        // as sequences grow.
+        let m = TtftModel::paper_microbench();
+        let kind = AttentionKind::SampleAttention { alpha: 0.95, sample_ratio: 0.05 };
+        let share = |s: usize| {
+            let b = m.ttft(s, kind);
+            b.sampling_s / b.attention_s
+        };
+        let s8k = share(8_192);
+        let s96k = share(98_304);
+        assert!(s8k > s96k, "share at 8K {s8k} vs 96K {s96k}");
+        assert!(s8k < 1.0 && s96k > 0.0);
+    }
+
+    #[test]
+    fn sampling_overhead_positive_for_sample_attention() {
+        let m = TtftModel::paper_microbench();
+        let b = m.ttft(
+            32_768,
+            AttentionKind::SampleAttention { alpha: 0.95, sample_ratio: 0.05 },
+        );
+        assert!(b.sampling_s > 0.0);
+        assert!(b.sampling_s < b.attention_s);
+    }
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(ModelGeometry::chatglm2_6b().hidden(), 4096);
+        assert_eq!(ModelGeometry::internlm2_7b().layers, 32);
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Error type for shape and argument validation in `sa-tensor`.
+///
+/// All fallible public functions in this crate return
+/// `Result<_, TensorError>`; the error carries enough context to state
+/// which operation rejected which shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// The operation being performed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A dimension argument was zero or otherwise out of the valid range.
+    InvalidDimension {
+        /// The operation being performed.
+        op: &'static str,
+        /// Human-readable description of the offending argument.
+        what: String,
+    },
+    /// An index was out of bounds for the matrix it addressed.
+    IndexOutOfBounds {
+        /// The operation being performed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay under.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::InvalidDimension { op, what } => {
+                write!(f, "invalid dimension in {op}: {what}")
+            }
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound}) in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: lhs is 2x3, rhs is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_invalid_dimension() {
+        let e = TensorError::InvalidDimension {
+            op: "softmax",
+            what: "zero columns".to_string(),
+        };
+        assert!(e.to_string().contains("softmax"));
+        assert!(e.to_string().contains("zero columns"));
+    }
+
+    #[test]
+    fn display_index_oob() {
+        let e = TensorError::IndexOutOfBounds {
+            op: "row",
+            index: 9,
+            bound: 4,
+        };
+        assert_eq!(e.to_string(), "index 9 out of bounds (< 4) in row");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! # sa-tensor
+//!
+//! Dense math substrate for the SampleAttention reproduction.
+//!
+//! This crate provides the small set of numerical primitives every other
+//! crate in the workspace builds on: a row-major [`Matrix`] of `f32`,
+//! blocked matrix multiplication, numerically stable (and *online*)
+//! softmax, row/column reductions, selection primitives (arg-sort, top-k,
+//! `searchsorted`), strided row sampling, and deterministic random
+//! generation helpers.
+//!
+//! Everything is single-threaded and allocation-conscious: the attention
+//! kernels in `sa-kernels` call into these routines in inner loops.
+//!
+//! ## Example
+//!
+//! ```
+//! use sa_tensor::{Matrix, matmul_transb, softmax_rows_in_place};
+//!
+//! # fn main() -> Result<(), sa_tensor::TensorError> {
+//! let q = Matrix::from_fn(2, 4, |i, j| (i + j) as f32 * 0.1);
+//! let k = Matrix::from_fn(3, 4, |i, j| (i * j) as f32 * 0.1);
+//! let mut scores = matmul_transb(&q, &k)?; // 2x3 = Q K^T
+//! softmax_rows_in_place(&mut scores);
+//! assert!((scores.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod matrix;
+mod matmul;
+mod reduce;
+mod rng;
+mod sample;
+mod select;
+mod softmax;
+mod stats;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use matmul::{matmul, matmul_transb, matvec, GEMM_BLOCK};
+pub use reduce::{
+    col_mean, col_sum, row_l1_norms, row_max, row_min, row_sum, scale_rows_in_place,
+};
+pub use rng::{random_orthonormal_rows, seeded_rng, unit_vector, DeterministicRng};
+pub use sample::{stride_sample_indices, StrideSample};
+pub use select::{
+    argsort_desc, prefix_sum, searchsorted_left, searchsorted_right, top_k_indices,
+    top_k_threshold_count,
+};
+pub use softmax::{
+    log_sum_exp, online_softmax_update, softmax_row, softmax_rows, softmax_rows_in_place,
+    OnlineSoftmaxState,
+};
+pub use stats::{cosine_similarity, l1_distance, l1_norm, max_abs_diff, mean, mse, variance};

@@ -1,0 +1,118 @@
+use crate::Matrix;
+
+/// Sum of each row; returns a vector of length `rows`.
+pub fn row_sum(m: &Matrix) -> Vec<f32> {
+    (0..m.rows()).map(|i| m.row(i).iter().sum()).collect()
+}
+
+/// Maximum of each row (`-inf` for zero-column matrices).
+pub fn row_max(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        .collect()
+}
+
+/// Minimum of each row (`+inf` for zero-column matrices).
+pub fn row_min(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().copied().fold(f32::INFINITY, f32::min))
+        .collect()
+}
+
+/// L1 norm (sum of absolute values) of each row.
+pub fn row_l1_norms(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|v| v.abs()).sum())
+        .collect()
+}
+
+/// Sum of each column; returns a vector of length `cols`.
+///
+/// This is the *column-wise reduction* at the heart of SampleAttention's
+/// stage-2 filtering: accumulated attention mass per key position.
+pub fn col_sum(m: &Matrix) -> Vec<f32> {
+    let mut out = vec![0.0f32; m.cols()];
+    for i in 0..m.rows() {
+        for (o, &v) in out.iter_mut().zip(m.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Mean of each column; returns zeros for an empty (0-row) matrix.
+pub fn col_mean(m: &Matrix) -> Vec<f32> {
+    let mut s = col_sum(m);
+    if m.rows() > 0 {
+        let inv = 1.0 / m.rows() as f32;
+        for v in &mut s {
+            *v *= inv;
+        }
+    }
+    s
+}
+
+/// Multiplies each row `i` of `m` by `scales[i]` in place.
+///
+/// # Panics
+///
+/// Panics if `scales.len() != m.rows()`.
+pub fn scale_rows_in_place(m: &mut Matrix, scales: &[f32]) {
+    assert_eq!(scales.len(), m.rows(), "scale_rows_in_place length mismatch");
+    for (i, &s) in scales.iter().enumerate() {
+        for v in m.row_mut(i) {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, -2.0, 3.0], vec![0.5, 0.5, -1.0]]).unwrap()
+    }
+
+    #[test]
+    fn row_reductions() {
+        let m = sample();
+        assert_eq!(row_sum(&m), vec![2.0, 0.0]);
+        assert_eq!(row_max(&m), vec![3.0, 0.5]);
+        assert_eq!(row_min(&m), vec![-2.0, -1.0]);
+        assert_eq!(row_l1_norms(&m), vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn col_reductions() {
+        let m = sample();
+        assert_eq!(col_sum(&m), vec![1.5, -1.5, 2.0]);
+        assert_eq!(col_mean(&m), vec![0.75, -0.75, 1.0]);
+    }
+
+    #[test]
+    fn empty_matrix_reductions() {
+        let m = Matrix::zeros(0, 3);
+        assert!(row_sum(&m).is_empty());
+        assert_eq!(col_sum(&m), vec![0.0; 3]);
+        assert_eq!(col_mean(&m), vec![0.0; 3]);
+        let z = Matrix::zeros(2, 0);
+        assert_eq!(row_max(&z), vec![f32::NEG_INFINITY; 2]);
+        assert_eq!(row_min(&z), vec![f32::INFINITY; 2]);
+    }
+
+    #[test]
+    fn scale_rows() {
+        let mut m = sample();
+        scale_rows_in_place(&mut m, &[2.0, -1.0]);
+        assert_eq!(m.row(0), &[2.0, -4.0, 6.0]);
+        assert_eq!(m.row(1), &[-0.5, -0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scale_rows_wrong_len() {
+        let mut m = sample();
+        scale_rows_in_place(&mut m, &[1.0]);
+    }
+}

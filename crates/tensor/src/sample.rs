@@ -1,0 +1,203 @@
+//! Strided row sampling (the paper's stage-1 *query-guided attention
+//! sampling* selects query rows this way).
+
+use crate::TensorError;
+
+/// A strided sample of row indices drawn from `0..n`.
+///
+/// Construct with [`StrideSample::by_ratio`] or [`StrideSample::by_count`].
+/// The paper samples `r_row` of all query rows with a uniform stride; the
+/// last row is always included because in causal attention it is the only
+/// row that has seen every key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrideSample {
+    indices: Vec<usize>,
+    population: usize,
+}
+
+impl StrideSample {
+    /// Samples approximately `ratio * n` rows with a uniform stride.
+    ///
+    /// `ratio` is clamped to `(0, 1]`; at least one row is always sampled
+    /// when `n > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `ratio` is not finite
+    /// or is `<= 0`.
+    pub fn by_ratio(n: usize, ratio: f32) -> Result<Self, TensorError> {
+        if !ratio.is_finite() || ratio <= 0.0 {
+            return Err(TensorError::InvalidDimension {
+                op: "StrideSample::by_ratio",
+                what: format!("ratio must be in (0, 1], got {ratio}"),
+            });
+        }
+        let ratio = ratio.min(1.0);
+        let count = ((n as f32 * ratio).ceil() as usize).clamp(usize::from(n > 0), n.max(1));
+        Self::by_count(n, count)
+    }
+
+    /// Samples exactly `count` rows (clamped to `n`) with a uniform stride,
+    /// always including the last row when `n > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `count == 0` while
+    /// `n > 0`.
+    pub fn by_count(n: usize, count: usize) -> Result<Self, TensorError> {
+        if n == 0 {
+            return Ok(StrideSample {
+                indices: Vec::new(),
+                population: 0,
+            });
+        }
+        if count == 0 {
+            return Err(TensorError::InvalidDimension {
+                op: "StrideSample::by_count",
+                what: "count must be >= 1 for a non-empty population".to_string(),
+            });
+        }
+        let count = count.min(n);
+        let mut indices: Vec<usize> = if count == 1 {
+            vec![n - 1]
+        } else {
+            // Evenly spaced across [0, n-1], inclusive of the final row.
+            (0..count)
+                .map(|i| (i as f64 * (n - 1) as f64 / (count - 1) as f64).round() as usize)
+                .collect()
+        };
+        indices.dedup();
+        Ok(StrideSample {
+            indices,
+            population: n,
+        })
+    }
+
+    /// The sampled row indices, strictly increasing.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when nothing was sampled (empty population).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Size of the population the sample was drawn from.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Achieved sampling ratio `len / population` (0 for an empty
+    /// population).
+    pub fn ratio(&self) -> f32 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.indices.len() as f32 / self.population as f32
+        }
+    }
+}
+
+/// Convenience wrapper: the strided indices for sampling `ratio` of `n`
+/// rows.
+///
+/// # Errors
+///
+/// Propagates errors from [`StrideSample::by_ratio`].
+pub fn stride_sample_indices(n: usize, ratio: f32) -> Result<Vec<usize>, TensorError> {
+    Ok(StrideSample::by_ratio(n, ratio)?.indices().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_sampling_includes_last_row() {
+        for n in [1usize, 2, 7, 100, 1023] {
+            let s = StrideSample::by_ratio(n, 0.05).unwrap();
+            assert_eq!(*s.indices().last().unwrap(), n - 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ratio_one_samples_everything() {
+        let s = StrideSample::by_ratio(10, 1.0).unwrap();
+        assert_eq!(s.indices(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(s.ratio(), 1.0);
+    }
+
+    #[test]
+    fn ratio_above_one_is_clamped() {
+        let s = StrideSample::by_ratio(4, 3.0).unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn ratio_rejects_invalid() {
+        assert!(StrideSample::by_ratio(10, 0.0).is_err());
+        assert!(StrideSample::by_ratio(10, -0.5).is_err());
+        assert!(StrideSample::by_ratio(10, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn count_sampling_even_spread() {
+        let s = StrideSample::by_count(101, 5).unwrap();
+        assert_eq!(s.indices(), &[0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn count_one_takes_last() {
+        let s = StrideSample::by_count(10, 1).unwrap();
+        assert_eq!(s.indices(), &[9]);
+    }
+
+    #[test]
+    fn count_clamped_to_population() {
+        let s = StrideSample::by_count(3, 10).unwrap();
+        assert_eq!(s.indices(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let s = StrideSample::by_ratio(0, 0.5).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.ratio(), 0.0);
+        let c = StrideSample::by_count(0, 0).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn zero_count_nonempty_population_errors() {
+        assert!(StrideSample::by_count(5, 0).is_err());
+    }
+
+    #[test]
+    fn indices_strictly_increasing() {
+        for n in [5usize, 17, 256, 999] {
+            for ratio in [0.01f32, 0.05, 0.33, 0.9] {
+                let s = StrideSample::by_ratio(n, ratio).unwrap();
+                assert!(s.indices().windows(2).all(|w| w[0] < w[1]), "n={n} r={ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn achieved_ratio_close_to_requested() {
+        let s = StrideSample::by_ratio(1000, 0.05).unwrap();
+        assert!((s.ratio() - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn helper_matches_struct() {
+        let v = stride_sample_indices(50, 0.1).unwrap();
+        let s = StrideSample::by_ratio(50, 0.1).unwrap();
+        assert_eq!(v, s.indices());
+    }
+}

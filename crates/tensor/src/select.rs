@@ -1,0 +1,173 @@
+//! Selection primitives: arg-sort, top-k, prefix sums and `searchsorted`.
+//!
+//! These mirror the tensor ops in the paper's Algorithm 1
+//! (`sort`, `top-k`, `searchsorted`, `gather`).
+
+/// Indices that sort `xs` in descending order (stable for ties).
+///
+/// NaNs, if present, sort last.
+pub fn argsort_desc(xs: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+///
+/// Uses a partial selection (`select_nth_unstable`) so the cost is
+/// `O(n + k log k)` rather than a full sort. `k` larger than `xs.len()`
+/// is clamped.
+pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(xs.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    if k < xs.len() {
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            xs[b].partial_cmp(&xs[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+    }
+    idx.sort_by(|&a, &b| {
+        xs[b].partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Smallest number of top elements of `xs` whose sum reaches
+/// `threshold * sum(xs)`.
+///
+/// This is the "how many stripes do we need for CRA ≥ α" primitive: sort
+/// descending, prefix-sum, count until coverage. Returns `xs.len()` when
+/// the threshold cannot be met (e.g. `threshold > 1`) and 0 for an empty
+/// slice or non-positive total.
+pub fn top_k_threshold_count(xs: &[f32], threshold: f32) -> usize {
+    let total: f32 = xs.iter().sum();
+    if xs.is_empty() || total <= 0.0 {
+        return 0;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let target = threshold * total;
+    let mut acc = 0.0;
+    for (i, v) in sorted.iter().enumerate() {
+        acc += v;
+        if acc >= target {
+            return i + 1;
+        }
+    }
+    xs.len()
+}
+
+/// Inclusive prefix sum: `out[i] = xs[0] + ... + xs[i]`.
+pub fn prefix_sum(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// First index `i` in non-decreasing `sorted` with `sorted[i] >= value`.
+///
+/// Equivalent to `numpy.searchsorted(..., side='left')`. Returns
+/// `sorted.len()` if every element is smaller.
+pub fn searchsorted_left(sorted: &[f32], value: f32) -> usize {
+    sorted.partition_point(|&x| x < value)
+}
+
+/// First index `i` in non-decreasing `sorted` with `sorted[i] > value`.
+///
+/// Equivalent to `numpy.searchsorted(..., side='right')`.
+pub fn searchsorted_right(sorted: &[f32], value: f32) -> usize {
+    sorted.partition_point(|&x| x <= value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_desc_basic() {
+        let xs = [0.1, 3.0, -1.0, 3.0, 2.0];
+        let idx = argsort_desc(&xs);
+        assert_eq!(idx[0], 1); // stable: first 3.0 first
+        assert_eq!(idx[1], 3);
+        assert_eq!(idx[2], 4);
+        assert_eq!(*idx.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn argsort_empty_and_single() {
+        assert!(argsort_desc(&[]).is_empty());
+        assert_eq!(argsort_desc(&[5.0]), vec![0]);
+    }
+
+    #[test]
+    fn top_k_matches_argsort_prefix() {
+        let xs: Vec<f32> = (0..50).map(|i| ((i * 37) % 50) as f32).collect();
+        for k in [0, 1, 5, 49, 50, 100] {
+            let got = top_k_indices(&xs, k);
+            let want: Vec<usize> = argsort_desc(&xs).into_iter().take(k).collect();
+            let gv: Vec<f32> = got.iter().map(|&i| xs[i]).collect();
+            let wv: Vec<f32> = want.iter().map(|&i| xs[i]).collect();
+            assert_eq!(gv, wv, "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_descending_order() {
+        let xs = [1.0, 5.0, 3.0, 2.0, 4.0];
+        let idx = top_k_indices(&xs, 3);
+        assert_eq!(idx, vec![1, 4, 2]);
+    }
+
+    #[test]
+    fn threshold_count_covers_mass() {
+        // mass: [0.5, 0.3, 0.1, 0.1]
+        let xs = [0.1, 0.5, 0.1, 0.3];
+        assert_eq!(top_k_threshold_count(&xs, 0.5), 1);
+        assert_eq!(top_k_threshold_count(&xs, 0.79), 2);
+        assert_eq!(top_k_threshold_count(&xs, 0.81), 3);
+        assert_eq!(top_k_threshold_count(&xs, 1.0), 4);
+        assert_eq!(top_k_threshold_count(&xs, 0.0), 1);
+    }
+
+    #[test]
+    fn threshold_count_edge_cases() {
+        assert_eq!(top_k_threshold_count(&[], 0.9), 0);
+        assert_eq!(top_k_threshold_count(&[0.0, 0.0], 0.9), 0);
+        // threshold > 1 cannot be met
+        assert_eq!(top_k_threshold_count(&[1.0, 1.0], 1.5), 2);
+    }
+
+    #[test]
+    fn prefix_sum_basic() {
+        assert_eq!(prefix_sum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+        assert!(prefix_sum(&[]).is_empty());
+    }
+
+    #[test]
+    fn searchsorted_sides() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(searchsorted_left(&xs, 2.0), 1);
+        assert_eq!(searchsorted_right(&xs, 2.0), 3);
+        assert_eq!(searchsorted_left(&xs, 0.0), 0);
+        assert_eq!(searchsorted_left(&xs, 9.0), 4);
+        assert_eq!(searchsorted_right(&xs, 3.0), 4);
+    }
+
+    #[test]
+    fn searchsorted_empty() {
+        assert_eq!(searchsorted_left(&[], 1.0), 0);
+        assert_eq!(searchsorted_right(&[], 1.0), 0);
+    }
+}

@@ -1,0 +1,282 @@
+use crate::Matrix;
+
+/// Numerically stable softmax of a single row, written in place.
+///
+/// Subtracts the row maximum before exponentiating. An empty slice is a
+/// no-op. A row of all `-inf` (fully masked) becomes all zeros rather than
+/// NaN, which is the convention the masked attention kernels rely on.
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Applies [`softmax_row`] to every row of `m` in place.
+pub fn softmax_rows_in_place(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        softmax_row(m.row_mut(i));
+    }
+}
+
+/// Returns a new matrix with row-wise softmax applied.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// Stable `log(sum(exp(x)))` of a slice.
+///
+/// Returns `-inf` for an empty slice or a slice of all `-inf`.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Running state for the *online softmax* used by the FlashAttention-style
+/// blocked kernels.
+///
+/// The kernel visits key blocks left to right; for each block it calls
+/// [`online_softmax_update`], which rescales the partial output accumulator
+/// so that after the final block the accumulator equals the exact softmax-
+/// weighted sum.
+#[derive(Debug, Clone)]
+pub struct OnlineSoftmaxState {
+    /// Running row maximum of the raw scores seen so far.
+    pub row_max: f32,
+    /// Running sum of `exp(score - row_max)` under the current `row_max`.
+    pub row_sum: f32,
+    /// Partial output accumulator, one value per head dimension.
+    pub acc: Vec<f32>,
+}
+
+impl OnlineSoftmaxState {
+    /// Creates a fresh state for a head dimension of `d`.
+    pub fn new(d: usize) -> Self {
+        OnlineSoftmaxState {
+            row_max: f32::NEG_INFINITY,
+            row_sum: 0.0,
+            acc: vec![0.0; d],
+        }
+    }
+
+    /// Finalises the state into the attention output row.
+    ///
+    /// A row that never saw an unmasked key yields all zeros.
+    pub fn finish(mut self) -> Vec<f32> {
+        if self.row_sum > 0.0 {
+            let inv = 1.0 / self.row_sum;
+            for v in &mut self.acc {
+                *v *= inv;
+            }
+        } else {
+            self.acc.fill(0.0);
+        }
+        self.acc
+    }
+}
+
+/// Folds one block of raw scores and their value rows into the online
+/// softmax state.
+///
+/// `scores[t]` is the raw (pre-softmax) logit for the `t`-th key of the
+/// block and `values(t)` returns that key's value row (length `d`).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a value row length differs from the state's
+/// accumulator length.
+pub fn online_softmax_update<'a>(
+    state: &mut OnlineSoftmaxState,
+    scores: &[f32],
+    mut values: impl FnMut(usize) -> &'a [f32],
+) {
+    if scores.is_empty() {
+        return;
+    }
+    let block_max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if block_max == f32::NEG_INFINITY {
+        return; // fully masked block
+    }
+    let new_max = state.row_max.max(block_max);
+    let correction = if state.row_max == f32::NEG_INFINITY {
+        0.0
+    } else {
+        (state.row_max - new_max).exp()
+    };
+    state.row_sum *= correction;
+    for v in &mut state.acc {
+        *v *= correction;
+    }
+    for (t, &s) in scores.iter().enumerate() {
+        if s == f32::NEG_INFINITY {
+            continue;
+        }
+        let w = (s - new_max).exp();
+        state.row_sum += w;
+        let val = values(t);
+        debug_assert_eq!(val.len(), state.acc.len());
+        for (a, &x) in state.acc.iter_mut().zip(val.iter()) {
+            *a += w * x;
+        }
+    }
+    state.row_max = new_max;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut r = vec![1.0, 2.0, 3.0];
+        softmax_row(&mut r);
+        assert!((r.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(r[2] > r[1] && r[1] > r[0]);
+    }
+
+    #[test]
+    fn softmax_row_is_shift_invariant() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let mut b = vec![1001.0, 1002.0, 1003.0];
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_magnitudes() {
+        let mut r = vec![1e4, -1e4, 0.0];
+        softmax_row(&mut r);
+        assert!(r.iter().all(|v| v.is_finite()));
+        assert!((r[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_zero() {
+        let mut r = vec![f32::NEG_INFINITY; 4];
+        softmax_row(&mut r);
+        assert_eq!(r, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn softmax_empty_row_noop() {
+        let mut r: Vec<f32> = vec![];
+        softmax_row(&mut r);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn softmax_partially_masked_row() {
+        let mut r = vec![0.0, f32::NEG_INFINITY, 0.0];
+        softmax_row(&mut r);
+        assert!((r[0] - 0.5).abs() < 1e-6);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn softmax_rows_matches_per_row() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * j) as f32 * 0.3);
+        let out = softmax_rows(&m);
+        for i in 0..3 {
+            let mut want: Vec<f32> = m.row(i).to_vec();
+            softmax_row(&mut want);
+            for (g, w) in out.row(i).iter().zip(&want) {
+                assert!((g - w).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_naive() {
+        let xs = [0.1f32, -0.5, 2.0, 1.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn online_softmax_matches_exact_single_pass() {
+        // One row of attention: scores over 6 keys, values in R^3.
+        let scores = [0.5, -1.0, 2.0, 0.0, 1.5, -0.5];
+        let values: Vec<Vec<f32>> = (0..6)
+            .map(|t| vec![t as f32, (t * t) as f32 * 0.1, 1.0 - t as f32 * 0.2])
+            .collect();
+
+        // exact
+        let mut p = scores.to_vec();
+        softmax_row(&mut p);
+        let mut want = vec![0.0; 3];
+        for (t, v) in values.iter().enumerate() {
+            for (w, x) in want.iter_mut().zip(v) {
+                *w += p[t] * x;
+            }
+        }
+
+        // online, in two blocks of 3
+        let mut st = OnlineSoftmaxState::new(3);
+        online_softmax_update(&mut st, &scores[0..3], |t| &values[t]);
+        online_softmax_update(&mut st, &scores[3..6], |t| &values[3 + t]);
+        let got = st.finish();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn online_softmax_block_order_invariant() {
+        let scores = [3.0, -2.0, 0.7, 1.1];
+        let values: Vec<Vec<f32>> = (0..4).map(|t| vec![(t as f32).sin(), 1.0]).collect();
+        let run = |order: &[(usize, usize)]| {
+            let mut st = OnlineSoftmaxState::new(2);
+            for &(a, b) in order {
+                online_softmax_update(&mut st, &scores[a..b], |t| &values[a + t]);
+            }
+            st.finish()
+        };
+        let x = run(&[(0, 2), (2, 4)]);
+        let y = run(&[(0, 1), (1, 4)]);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn online_softmax_masked_entries_skipped() {
+        let scores = [1.0, f32::NEG_INFINITY, 1.0];
+        let values = [vec![1.0], vec![100.0], vec![3.0]];
+        let mut st = OnlineSoftmaxState::new(1);
+        online_softmax_update(&mut st, &scores, |t| &values[t]);
+        let out = st.finish();
+        assert!((out[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn online_softmax_all_masked_yields_zero() {
+        let mut st = OnlineSoftmaxState::new(2);
+        online_softmax_update(&mut st, &[f32::NEG_INFINITY; 3], |_| &[0.0, 0.0]);
+        assert_eq!(st.finish(), vec![0.0, 0.0]);
+    }
+}

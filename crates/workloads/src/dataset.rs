@@ -1,0 +1,103 @@
+//! The offline profiling dataset.
+//!
+//! The paper tunes its hyper-parameters on "a small dataset that contains
+//! 22 requests ranging from 25K–96K context length". This module builds
+//! the CPU-scale analogue: 22 per-head Q/K/V requests extracted from
+//! needle prompts of mixed lengths, ready for
+//! [`sa_core::tuner::HyperParamTuner`].
+
+use sa_core::tuner::ProfilingRequest;
+use sa_model::SyntheticTransformer;
+use sa_tensor::TensorError;
+
+use crate::needle::{needle_grid, NeedleConfig};
+
+/// Default request count, matching the paper.
+pub const PROFILING_REQUESTS: usize = 22;
+
+/// Builds `count` profiling requests from needle prompts of the given
+/// lengths, cycling through the model's (layer, head) pairs so the set
+/// covers the head-archetype mix.
+///
+/// # Errors
+///
+/// Propagates projection errors (cannot occur for a validated model).
+///
+/// # Panics
+///
+/// Panics if `lengths` is empty or `count == 0`.
+pub fn profiling_requests(
+    model: &SyntheticTransformer,
+    lengths: &[usize],
+    count: usize,
+    seed: u64,
+) -> Result<Vec<ProfilingRequest>, TensorError> {
+    assert!(!lengths.is_empty(), "need at least one length");
+    assert!(count > 0, "need at least one request");
+    let cells = needle_grid(
+        model.config().vocab_size,
+        &NeedleConfig {
+            lengths: lengths.to_vec(),
+            depth_intervals: count.div_ceil(lengths.len()),
+            seed,
+        },
+    );
+    let num_layers = model.config().num_layers;
+    let num_heads = model.config().num_heads;
+    let mut requests = Vec::with_capacity(count);
+    for (i, cell) in cells.iter().take(count).enumerate() {
+        // Skip layer 0 (deliberately dense) so the tuner sees the
+        // sparsity regime SampleAttention actually targets.
+        let layer = 1 + (i % (num_layers - 1).max(1));
+        let head = (i * 3) % num_heads;
+        let hidden = model.embedder().embed(&cell.task.tokens);
+        let (q, k, v) = model.layers()[layer.min(num_layers - 1)].project_head(&hidden, head)?;
+        requests.push(ProfilingRequest::new(q, k, v).map_err(|e| match e {
+            sa_core::SampleAttentionError::Tensor(t) => t,
+            other => TensorError::InvalidDimension {
+                op: "profiling_requests",
+                what: other.to_string(),
+            },
+        })?);
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::tuner::{HyperParamTuner, TunerGrid};
+    use sa_model::ModelConfig;
+
+    #[test]
+    fn builds_requested_count() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(71)).unwrap();
+        let reqs = profiling_requests(&model, &[96, 128], 6, 71).unwrap();
+        assert_eq!(reqs.len(), 6);
+        for r in &reqs {
+            assert_eq!(r.q.cols(), model.config().head_dim);
+            assert_eq!(r.q.rows(), r.k.rows());
+        }
+    }
+
+    #[test]
+    fn feeds_the_tuner() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(72)).unwrap();
+        let reqs = profiling_requests(&model, &[128], 3, 72).unwrap();
+        let grid = TunerGrid {
+            cra_thresholds: vec![0.95],
+            sample_ratios: vec![0.1],
+            window_ratios: vec![0.08],
+        };
+        let tuner = HyperParamTuner::new(grid, 0.9).unwrap();
+        let report = tuner.tune(&reqs).unwrap();
+        assert_eq!(report.entries.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one length")]
+    fn empty_lengths_panics() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(73)).unwrap();
+        let _ = profiling_requests(&model, &[], 3, 0);
+    }
+}

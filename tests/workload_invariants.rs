@@ -1,0 +1,96 @@
+//! Property-based invariants of the workload generators: every generated
+//! task must be internally consistent (questions reference real planted
+//! facts, answers are in the declared range, prompts are well-formed).
+
+use proptest::prelude::*;
+use sample_attention::model::{VocabLayout, BOS_TOKEN};
+use sample_attention::workloads::{
+    babilong_suite, longbench_suite, needle_grid, NeedleConfig, Task,
+};
+
+fn check_task(t: &Task, vocab_size: usize) -> Result<(), TestCaseError> {
+    let layout = VocabLayout::for_vocab(vocab_size);
+    prop_assert_eq!(t.tokens[0], BOS_TOKEN, "{} must start with BOS", t.name);
+    prop_assert!(!t.questions.is_empty(), "{} has no questions", t.name);
+    for q in &t.questions {
+        prop_assert!(q.position < t.tokens.len());
+        prop_assert!(
+            t.answer_range.contains(&q.expected),
+            "{}: answer {} outside range",
+            t.name,
+            q.expected
+        );
+        // The question position holds a marker whose fact exists: some
+        // earlier position has this marker immediately followed by the
+        // expected payload.
+        let marker = t.tokens[q.position];
+        prop_assert!(
+            (layout.marker(0)..layout.payload(0)).contains(&marker),
+            "{}: question token {} is not a marker",
+            t.name,
+            marker
+        );
+        let supported = t.tokens[..q.position]
+            .windows(2)
+            .any(|w| w[0] == marker && w[1] == q.expected);
+        prop_assert!(supported, "{}: no supporting fact for q@{}", t.name, q.position);
+    }
+    // All tokens in vocabulary.
+    prop_assert!(t.tokens.iter().all(|&tok| (tok as usize) < vocab_size));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn longbench_tasks_are_consistent(
+        length in 128usize..512,
+        seed in 0u64..10_000,
+    ) {
+        for t in longbench_suite(512, length, 1, seed) {
+            check_task(&t, 512)?;
+        }
+    }
+
+    #[test]
+    fn babilong_tasks_are_consistent(
+        length in 96usize..512,
+        seed in 0u64..10_000,
+    ) {
+        for t in babilong_suite(512, &[length], seed) {
+            check_task(&t, 512)?;
+        }
+    }
+
+    #[test]
+    fn needle_cells_are_consistent(
+        length in 64usize..512,
+        depths in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let cells = needle_grid(
+            512,
+            &NeedleConfig {
+                lengths: vec![length],
+                depth_intervals: depths,
+                seed,
+            },
+        );
+        prop_assert_eq!(cells.len(), depths);
+        for c in cells {
+            check_task(&c.task, 512)?;
+            prop_assert!((0.0..=1.0).contains(&c.depth_fraction));
+        }
+    }
+
+    #[test]
+    fn tasks_are_deterministic_per_seed(seed in 0u64..10_000) {
+        let a = longbench_suite(512, 160, 1, seed);
+        let b = longbench_suite(512, 160, 1, seed);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.tokens, &y.tokens);
+            prop_assert_eq!(&x.questions, &y.questions);
+        }
+    }
+}
