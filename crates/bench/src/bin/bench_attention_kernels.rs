@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the attention kernels: naive full attention vs
+//! the blocked flash kernel vs the block-sparse kernel at several
+//! densities. The expected shape mirrors the paper's Figure 5(a): sparse
+//! wall-clock scales with mask density.
+//!
+//! Run with `cargo run -p sa-bench --release --bin bench_attention_kernels`
+//! (`--quick` shrinks the size sweep and trial count).
+
+use sa_bench::timing::Bench;
+use sa_bench::Args;
+use sa_kernels::{
+    flash_attention, full_attention, sparse_flash_attention, FlashParams, StructuredMask,
+};
+use sa_tensor::{DeterministicRng, Matrix};
+
+fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DeterministicRng::new(seed);
+    (
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let d = 64;
+    let sizes: &[usize] = if args.quick { &[256] } else { &[256, 512, 1024] };
+    let mut bench = Bench::new("attention_kernels").trials(if args.quick { 5 } else { 10 });
+    for &s in sizes {
+        let (q, k, v) = qkv(s, d, args.seed);
+        bench.run(&format!("full/s{s}"), || {
+            full_attention(&q, &k, &v, true).unwrap().output
+        });
+        bench.run(&format!("flash/s{s}"), || {
+            flash_attention(&q, &k, &v, true, FlashParams::default())
+                .unwrap()
+                .output
+        });
+        for &window_ratio in &[0.05f32, 0.25] {
+            let mask = StructuredMask::builder(s, s)
+                .window_ratio(window_ratio)
+                .sinks(4)
+                .columns((0..s / 64).map(|i| i * 61 % s).collect())
+                .build()
+                .unwrap();
+            bench.run(
+                &format!("sparse_w{:.0}%/s{s}", window_ratio * 100.0),
+                || sparse_flash_attention(&q, &k, &v, &mask).unwrap().output,
+            );
+        }
+    }
+    print!("{}", bench.report());
+}

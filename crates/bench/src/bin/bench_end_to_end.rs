@@ -1,0 +1,35 @@
+//! Benchmark of the full synthetic-transformer prefill with different
+//! attention methods plugged in — the CPU analogue of the paper's TTFT
+//! measurement.
+//!
+//! Run with `cargo run -p sa-bench --release --bin bench_end_to_end`
+//! (`--quick` shrinks the size sweep and trial count).
+
+use sa_baselines::{AttentionMethod, FullAttention, SampleAttentionMethod, StreamingLlm};
+use sa_bench::timing::Bench;
+use sa_bench::Args;
+use sa_model::{ModelConfig, SyntheticTransformer};
+
+fn main() {
+    let args = Args::parse();
+    let model = SyntheticTransformer::new(ModelConfig::tiny(args.seed)).expect("model");
+    let sizes: &[usize] = if args.quick { &[256] } else { &[256, 512] };
+    let mut bench = Bench::new("prefill_ttft").trials(if args.quick { 5 } else { 10 });
+    for &s in sizes {
+        let tokens = model.tokenize_filler(s);
+        let methods: Vec<(&str, Box<dyn AttentionMethod>)> = vec![
+            ("full", Box::new(FullAttention::new())),
+            (
+                "sample_attention",
+                Box::new(SampleAttentionMethod::paper_default()),
+            ),
+            ("streaming_llm", Box::new(StreamingLlm::paper_config())),
+        ];
+        for (name, m) in &methods {
+            bench.run(&format!("{name}/s{s}"), || {
+                model.prefill(&tokens, m.as_ref()).unwrap().hidden
+            });
+        }
+    }
+    print!("{}", bench.report());
+}

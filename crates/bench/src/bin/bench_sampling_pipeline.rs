@@ -1,0 +1,50 @@
+//! Micro-benchmarks of SampleAttention's mask-discovery pipeline:
+//! stage-1 sampling, stage-2 filtering, and the end-to-end operator,
+//! compared against full attention at the same shape. On CPU, as on GPU,
+//! the discovery stages should be a small fraction of the dense
+//! attention cost.
+//!
+//! Run with `cargo run -p sa-bench --release --bin bench_sampling_pipeline`
+//! (`--quick` shrinks the size sweep and trial count).
+
+use sa_bench::timing::Bench;
+use sa_bench::Args;
+use sa_core::filtering::{filter_kv_indices, KvRatioSchedule};
+use sa_core::sampling::sample_attention_scores;
+use sa_core::{SampleAttention, SampleAttentionConfig};
+use sa_kernels::full_attention;
+use sa_tensor::{DeterministicRng, Matrix};
+
+fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DeterministicRng::new(seed);
+    (
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let d = 64;
+    let sizes: &[usize] = if args.quick { &[512] } else { &[512, 2048] };
+    let mut bench = Bench::new("sampling_pipeline").trials(if args.quick { 5 } else { 10 });
+    for &s in sizes {
+        let (q, k, v) = qkv(s, d, args.seed);
+        bench.run(&format!("stage1_sampling/s{s}"), || {
+            sample_attention_scores(&q, &k, 0.05).unwrap()
+        });
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        bench.run(&format!("stage2_filtering/s{s}"), || {
+            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact)
+        });
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        bench.run(&format!("sample_attention_e2e/s{s}"), || {
+            attn.forward(&q, &k, &v).unwrap().output
+        });
+        bench.run(&format!("full_attention/s{s}"), || {
+            full_attention(&q, &k, &v, true).unwrap().output
+        });
+    }
+    print!("{}", bench.report());
+}

@@ -12,15 +12,19 @@ use sa_bench::{f, render_table, write_json, Args};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_perf::ttft::{AttentionKind, TtftModel};
 use sa_workloads::{evaluate_method, longbench_suite, normalize_to_full};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Overview {
     densities: Vec<(String, f64)>,
     accuracy_pct_of_full: Vec<(String, f32)>,
     ttft_speedup_96k: f64,
     ttft_speedup_1m: f64,
 }
+
+sa_json::impl_json_struct!(Overview {
+    densities,
+    accuracy_pct_of_full,
+    ttft_speedup_96k,
+    ttft_speedup_1m
+});
 
 fn main() {
     let args = Args::parse();
@@ -88,4 +92,22 @@ fn main() {
         ttft_speedup_1m: s1m,
     };
     write_json(&args, "fig1_overview", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = Overview {
+            densities: vec![("full".into(), 1.0), ("sample".into(), 0.6)],
+            accuracy_pct_of_full: vec![("full".into(), 100.0)],
+            ttft_speedup_96k: 2.1,
+            ttft_speedup_1m: 2.4,
+        };
+        let text = sa_json::to_string(&p);
+        let back: Overview = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -17,9 +17,7 @@ use sa_core::sparsity::{optimal_sparsity_degree, pattern_summary};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_tensor::col_sum;
 use sa_workloads::{needle_grid, NeedleConfig};
-use serde::Serialize;
-
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Fig2Payload {
     per_layer_sd: Vec<(String, usize, Vec<f64>)>,
     sd_vs_length: Vec<(usize, f64)>,
@@ -28,6 +26,15 @@ struct Fig2Payload {
     coverage: Vec<(f32, f32, f32)>,
     stripe_positions: Vec<(String, Vec<usize>)>,
 }
+
+sa_json::impl_json_struct!(Fig2Payload {
+    per_layer_sd,
+    sd_vs_length,
+    per_head_sd,
+    pattern_rows,
+    coverage,
+    stripe_positions
+});
 
 fn needle_tokens(vocab: usize, length: usize, seed: u64) -> Vec<u32> {
     let cells = needle_grid(
@@ -223,4 +230,24 @@ fn main() {
     println!("(expected: small ratios already reach high CRA; sampled ranking tracks exact)");
 
     write_json(&args, "fig2_sparsity", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = Fig2Payload {
+            per_layer_sd: vec![("tiny".into(), 2, vec![0.1, 0.2])],
+            sd_vs_length: vec![(256, 0.5), (512, 0.4)],
+            per_head_sd: vec![(0, 1, 0.35)],
+            pattern_rows: vec![(0, 0, "local".into(), 0.9, 0.05, 0.02)],
+            coverage: vec![(0.95, 0.6, 0.4)],
+            stripe_positions: vec![("h0".into(), vec![0, 17, 33])],
+        };
+        let text = sa_json::to_string(&p);
+        let back: Fig2Payload = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

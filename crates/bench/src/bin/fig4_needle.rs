@@ -13,9 +13,6 @@ use sa_baselines::{
 use sa_bench::{f, write_json, Args};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_workloads::{needle_grid, NeedleCell, NeedleConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct MethodGrid {
     method: String,
     lengths: Vec<usize>,
@@ -24,6 +21,14 @@ struct MethodGrid {
     scores: Vec<Vec<f32>>,
     total: f32,
 }
+
+sa_json::impl_json_struct!(MethodGrid {
+    method,
+    lengths,
+    depths,
+    scores,
+    total
+});
 
 fn main() {
     let args = Args::parse();
@@ -98,4 +103,23 @@ fn main() {
     }
     println!("\nPaper shape: FullAttention and SampleAttention near-perfect across the grid;\nStreamingLLM only at depth~0 (sinks) and depth~1 (window); others patchy.");
     write_json(&args, "fig4_needle", &grids);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = MethodGrid {
+            method: "sample_attention".into(),
+            lengths: vec![256, 512],
+            depths: vec![0.0, 0.5, 1.0],
+            scores: vec![vec![100.0, 100.0], vec![99.0, 98.0], vec![100.0, 97.0]],
+            total: 99.0,
+        };
+        let text = sa_json::to_string(&p);
+        let back: MethodGrid = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -9,9 +9,6 @@
 
 use sa_bench::{f, render_table, write_json, Args};
 use sa_perf::ttft::{AttentionKind, TtftModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Row {
     seq_len: usize,
     sdpa_ms: f64,
@@ -25,6 +22,20 @@ struct Row {
     ttft95_ms: f64,
     ttft80_ms: f64,
 }
+
+sa_json::impl_json_struct!(Row {
+    seq_len,
+    sdpa_ms,
+    flash_ms,
+    sample95_ms,
+    sample80_ms,
+    speedup95,
+    speedup80,
+    sampling_share95,
+    ttft_flash_ms,
+    ttft95_ms,
+    ttft80_ms
+});
 
 fn main() {
     let args = Args::parse();
@@ -143,4 +154,29 @@ fn main() {
         );
     }
     write_json(&args, "fig5_speedup", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = Row {
+            seq_len: 98_304,
+            sdpa_ms: 900.0,
+            flash_ms: 300.0,
+            sample95_ms: 130.0,
+            sample80_ms: 110.0,
+            speedup95: 2.3,
+            speedup80: 2.7,
+            sampling_share95: 0.12,
+            ttft_flash_ms: 5000.0,
+            ttft95_ms: 2400.0,
+            ttft80_ms: 2100.0,
+        };
+        let text = sa_json::to_string(&vec![p]);
+        let back: Vec<Row> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -5,9 +5,6 @@
 
 use sa_bench::{f, render_table, write_json, Args};
 use sa_perf::ttft::{AttentionKind, TtftModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Row {
     seq_len: usize,
     attn_flash_ms: f64,
@@ -17,6 +14,16 @@ struct Row {
     ttft95_ms: f64,
     ttft80_ms: f64,
 }
+
+sa_json::impl_json_struct!(Row {
+    seq_len,
+    attn_flash_ms,
+    attn95_ms,
+    attn80_ms,
+    ttft_flash_ms,
+    ttft95_ms,
+    ttft80_ms
+});
 
 fn main() {
     let args = Args::parse();
@@ -104,4 +111,25 @@ fn main() {
         );
     }
     write_json(&args, "fig6_scaling", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = Row {
+            seq_len: 1_048_576,
+            attn_flash_ms: 9000.0,
+            attn95_ms: 3600.0,
+            attn80_ms: 3000.0,
+            ttft_flash_ms: 60_000.0,
+            ttft95_ms: 25_000.0,
+            ttft80_ms: 22_000.0,
+        };
+        let text = sa_json::to_string(&vec![p]);
+        let back: Vec<Row> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -12,9 +12,6 @@ use sa_baselines::{
 use sa_bench::{f, render_table, write_json, Args};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_workloads::{babilong_suite, TaskFamily};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Cell {
     model: String,
     method: String,
@@ -22,6 +19,14 @@ struct Cell {
     qa_type: u8,
     score: f32,
 }
+
+sa_json::impl_json_struct!(Cell {
+    model,
+    method,
+    length,
+    qa_type,
+    score
+});
 
 fn main() {
     let args = Args::parse();
@@ -80,4 +85,23 @@ fn main() {
         "Paper shape (Fig. 7): SampleAttention tracks full attention at every\nlength/type; StreamingLLM and hash/LSH methods sit far below."
     );
     write_json(&args, "fig7_babilong", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let c = Cell {
+            model: "chatglm2".into(),
+            method: "sample_attention".into(),
+            length: 512,
+            qa_type: 2,
+            score: 87.5,
+        };
+        let text = sa_json::to_string(&vec![c]);
+        let back: Vec<Cell> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -13,15 +13,19 @@ use sa_baselines::{
 use sa_bench::{f, render_table, write_json, Args};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_workloads::{babilong_suite, evaluate_method, longbench_suite, normalize_to_full, Task};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct ModelReport {
     model: String,
     methods: Vec<sa_workloads::MethodReport>,
     babilong: Vec<(String, f32)>,
     pct_of_full: Vec<(String, f32)>,
 }
+
+sa_json::impl_json_struct!(ModelReport {
+    model,
+    methods,
+    babilong,
+    pct_of_full
+});
 
 fn methods(seed: u64, s: usize) -> Vec<Box<dyn AttentionMethod>> {
     vec![
@@ -106,4 +110,32 @@ fn main() {
         "Paper shape: SampleAttention >= 99% of full; BigBird ~91%; StreamingLLM /\nHyperAttention / Hash-Sparse degrade sharply."
     );
     write_json(&args, "table2_accuracy", &payloads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_workloads::{FamilyScore, MethodReport};
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = ModelReport {
+            model: "chatglm2-like".into(),
+            methods: vec![MethodReport {
+                method: "sample_attention".into(),
+                family_scores: vec![FamilyScore {
+                    family: "SingleDoc QA".into(),
+                    score: 40.5,
+                    n_tasks: 4,
+                }],
+                total: 40.5,
+                mean_density: 0.6,
+            }],
+            babilong: vec![("sample_attention".into(), 61.0)],
+            pct_of_full: vec![("sample_attention".into(), 99.2)],
+        };
+        let text = sa_json::to_string(&vec![p]);
+        let back: Vec<ModelReport> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

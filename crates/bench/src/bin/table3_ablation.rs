@@ -13,9 +13,6 @@ use sa_bench::{f, render_table, write_json, Args};
 use sa_core::{KvRatioSchedule, SampleAttention, SampleAttentionConfig};
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_workloads::{babilong_suite, evaluate_method, longbench_suite, needle_grid, NeedleConfig, Task};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct AblationRow {
     variant: String,
     longbench: f32,
@@ -23,6 +20,14 @@ struct AblationRow {
     needle: f32,
     density: f64,
 }
+
+sa_json::impl_json_struct!(AblationRow {
+    variant,
+    longbench,
+    babilong,
+    needle,
+    density
+});
 
 /// SampleAttention with an explicit config + schedule behind the method
 /// interface.
@@ -169,4 +174,23 @@ fn main() {
         "Paper shape: scores dip at alpha=0.80, r_w=4%, r_row=2%, and saturate at the\ndefaults (alpha=0.95, r_w=8%, r_row=5%); density falls with alpha."
     );
     write_json(&args, "table3_ablation", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let r = AblationRow {
+            variant: "full pipeline".into(),
+            longbench: 41.0,
+            babilong: 62.0,
+            needle: 99.0,
+            density: 0.61,
+        };
+        let text = sa_json::to_string(&vec![r]);
+        let back: Vec<AblationRow> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -19,13 +19,16 @@ use sa_core::sparsity::optimal_sparsity_degree;
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_perf::sparsity_trend::{SparsityTrend, PAPER_TABLE5};
 use sa_workloads::{needle_grid, NeedleConfig};
-use serde::Serialize;
-
-#[derive(Serialize, Default)]
+#[derive(Default)]
 struct Payload {
     measured: Vec<(usize, f64, f64, f64)>,
     trend: Vec<(usize, f64, f64, f64)>,
 }
+
+sa_json::impl_json_struct!(Payload {
+    measured,
+    trend
+});
 
 fn main() {
     let args = Args::parse();
@@ -139,4 +142,20 @@ fn main() {
     }
 
     write_json(&args, "table5_sd_scaling", &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let p = Payload {
+            measured: vec![(256, 0.5, 0.4, 0.3)],
+            trend: vec![(1024, 0.7, 0.6, 0.5)],
+        };
+        let text = sa_json::to_string(&p);
+        let back: Payload = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

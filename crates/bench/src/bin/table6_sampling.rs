@@ -14,15 +14,19 @@ use sa_kernels::attention_probs;
 use sa_model::{ModelConfig, SyntheticTransformer};
 use sa_tensor::col_sum;
 use sa_workloads::{needle_grid, NeedleConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct HeadCurve {
     head: String,
     ratios: Vec<f32>,
     cra_exact: Vec<f32>,
     cra_sampled: Vec<f32>,
 }
+
+sa_json::impl_json_struct!(HeadCurve {
+    head,
+    ratios,
+    cra_exact,
+    cra_sampled
+});
 
 fn main() {
     let args = Args::parse();
@@ -89,4 +93,22 @@ fn main() {
         "(paper shape: sampled CRA within ~a few points of exact at every ratio;\n high-sparsity heads reach ~98% CRA from tiny ratios)"
     );
     write_json(&args, "table6_sampling", &curves);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_json_round_trip() {
+        let h = HeadCurve {
+            head: "retrieval".into(),
+            ratios: vec![0.01, 0.05, 0.2],
+            cra_exact: vec![0.99, 0.99, 0.99],
+            cra_sampled: vec![0.93, 0.97, 0.99],
+        };
+        let text = sa_json::to_string(&vec![h]);
+        let back: Vec<HeadCurve> = sa_json::from_str(&text).unwrap();
+        assert_eq!(sa_json::to_string(&back), text);
+    }
 }

@@ -1,7 +1,8 @@
 //! # sa-bench
 //!
 //! The benchmark harness: one binary per table/figure of the paper, plus
-//! Criterion micro-benchmarks of the kernels.
+//! std-only timing binaries for the kernels (`bench_*`, see
+//! [`crate::timing`]).
 //!
 //! Run an experiment with, e.g.:
 //!
@@ -29,8 +30,9 @@
 //! | `table6_sampling` | Table 6 / Appendix A.5 sampling effectiveness |
 
 pub mod analysis;
+pub mod timing;
 
-use serde::Serialize;
+use sa_json::ToJson;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -88,13 +90,12 @@ impl Args {
 /// Writes an experiment's JSON payload to `<out>/<name>.json` and returns
 /// the path. Errors are reported but non-fatal (the table already went to
 /// stdout).
-pub fn write_json<T: Serialize>(args: &Args, name: &str, payload: &T) -> Option<PathBuf> {
+pub fn write_json<T: ToJson>(args: &Args, name: &str, payload: &T) -> Option<PathBuf> {
     let path = args.out_dir.join(format!("{name}.json"));
     let run = || -> std::io::Result<()> {
         std::fs::create_dir_all(&args.out_dir)?;
         let mut f = std::fs::File::create(&path)?;
-        let s = serde_json::to_string_pretty(payload)
-            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let s = sa_json::to_string_pretty(payload);
         f.write_all(s.as_bytes())
     };
     match run() {

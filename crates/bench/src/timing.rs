@@ -1,0 +1,172 @@
+//! A std-only micro-benchmark harness: the hermetic replacement for the
+//! former Criterion benches (see DESIGN.md, "Hermetic build policy").
+//!
+//! Each former bench target is now a `cargo run --release` binary
+//! (`bench_attention_kernels`, `bench_sampling_pipeline`,
+//! `bench_end_to_end`) built on this module: a [`Bench`] runs each
+//! measured closure for a warmup phase followed by `trials` timed
+//! iterations and reports min / median / p90 wall-clock times.
+//!
+//! This is deliberately simpler than Criterion — no outlier rejection or
+//! statistical regression — but it is dependency-free, deterministic in
+//! shape, and good enough to compare kernel variants at the factor-of-two
+//! granularity the experiments discuss.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary of one measured case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label (e.g. `"flash/s1024"`).
+    pub label: String,
+    /// Number of timed trials.
+    pub trials: usize,
+    /// Fastest trial.
+    pub min: Duration,
+    /// Median trial.
+    pub median: Duration,
+    /// 90th-percentile trial.
+    pub p90: Duration,
+}
+
+impl Measurement {
+    /// Formats as a fixed-width report row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<40} {:>12} {:>12} {:>12}   ({} trials)",
+            self.label,
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.p90),
+            self.trials,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of timed cases with shared warmup/trial settings.
+#[derive(Debug)]
+pub struct Bench {
+    name: String,
+    warmup: usize,
+    trials: usize,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// A bench group with the default 3 warmup + 15 timed trials.
+    pub fn new(name: &str) -> Self {
+        Bench {
+            name: name.to_string(),
+            warmup: 3,
+            trials: 15,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the warmup iteration count.
+    pub fn warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the timed trial count (clamped to at least 1).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Times `f` (warmup runs, then `trials` timed runs) and records the
+    /// measurement. The closure's return value is passed through
+    /// [`black_box`] so the optimiser cannot elide the work.
+    pub fn run<T>(&mut self, label: &str, mut f: impl FnMut() -> T) -> &Measurement {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.trials);
+        for _ in 0..self.trials {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        let m = Measurement {
+            label: label.to_string(),
+            trials: self.trials,
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            p90: samples[((samples.len() * 9) / 10).min(samples.len() - 1)],
+        };
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All measurements so far, in run order.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Renders the full report (header + one row per measurement).
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "## {}\n{:<40} {:>12} {:>12} {:>12}\n",
+            self.name, "case", "min", "median", "p90"
+        );
+        for m in &self.results {
+            out.push_str(&m.row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let mut b = Bench::new("unit").warmup(1).trials(9);
+        let m = b.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(m.trials, 9);
+        assert!(m.min <= m.median && m.median <= m.p90);
+    }
+
+    #[test]
+    fn report_contains_all_rows() {
+        let mut b = Bench::new("group").warmup(0).trials(2);
+        b.run("a", || 1);
+        b.run("b", || 2);
+        let r = b.report();
+        assert!(r.contains("## group"));
+        assert!(r.contains("a") && r.contains("b"));
+        assert_eq!(b.results().len(), 2);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

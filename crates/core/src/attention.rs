@@ -6,7 +6,6 @@
 
 use sa_kernels::{sparse_flash_attention, CostReport, StructuredMask};
 use sa_tensor::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::filtering::{filter_kv_indices, KvRatioSchedule};
 use crate::merge::merge_mask_with_diagonals;
@@ -14,7 +13,7 @@ use crate::sampling::sample_attention_scores;
 use crate::{SampleAttentionConfig, SampleAttentionError};
 
 /// Per-invocation statistics of a SampleAttention forward pass.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SampleAttentionStats {
     /// Fraction of key columns selected as stripes (`|I_KV| / S_k`).
     pub kv_ratio: f32,
@@ -29,6 +28,15 @@ pub struct SampleAttentionStats {
     /// Cost of the sparse attention kernel.
     pub sparse_cost: CostReport,
 }
+
+sa_json::impl_json_struct!(SampleAttentionStats {
+    kv_ratio,
+    covered_mass,
+    mask_density,
+    sampling_cost,
+    filtering_cost,
+    sparse_cost
+});
 
 impl SampleAttentionStats {
     /// Total cost across all three phases.

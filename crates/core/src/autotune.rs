@@ -13,7 +13,6 @@
 //! controller in the loop.
 
 use sa_tensor::{Matrix, TensorError};
-use serde::{Deserialize, Serialize};
 
 use crate::{
     SampleAttention, SampleAttentionConfig, SampleAttentionError, SampleAttentionOutput,
@@ -21,7 +20,7 @@ use crate::{
 };
 
 /// Configuration of the runtime `α` controller.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AutotuneConfig {
     /// Mask-density budget the controller steers towards (latency SLO
     /// proxy; e.g. 0.3 = at most 30 % of the causal triangle computed).
@@ -35,6 +34,14 @@ pub struct AutotuneConfig {
     /// Observations between adjustments (smoothing window).
     pub window: usize,
 }
+
+sa_json::impl_json_struct!(AutotuneConfig {
+    density_budget,
+    min_alpha,
+    max_alpha,
+    step,
+    window
+});
 
 impl Default for AutotuneConfig {
     fn default() -> Self {

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::SampleAttentionError;
 
 /// Hyper-parameters of SampleAttention (the paper's Table 1).
@@ -23,7 +21,7 @@ use crate::SampleAttentionError;
 ///
 /// Construct via [`SampleAttentionConfig::builder`]; the defaults are the
 /// paper's tuned operating point (`α = 0.95`, `r_row = 5 %`, `r_w = 8 %`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SampleAttentionConfig {
     /// Desired CRA threshold `α` in `(0, 1]`.
     pub cra_threshold: f32,
@@ -55,6 +53,19 @@ pub struct SampleAttentionConfig {
     /// Cap on the selected stripe ratio, in `(0, 1]`.
     pub max_kv_ratio: f32,
 }
+
+sa_json::impl_json_struct!(SampleAttentionConfig {
+    cra_threshold,
+    sample_ratio,
+    window_ratio,
+    min_window,
+    min_sample_rows,
+    bottom_area_rows,
+    forced_sinks,
+    diagonal_threshold,
+    max_diagonals,
+    max_kv_ratio
+});
 
 impl SampleAttentionConfig {
     /// Starts building a config from the paper's defaults.
@@ -266,10 +277,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = SampleAttentionConfig::paper_default();
-        let s = serde_json::to_string(&c).unwrap();
-        let back: SampleAttentionConfig = serde_json::from_str(&s).unwrap();
+        let s = sa_json::to_string(&c);
+        let back: SampleAttentionConfig = sa_json::from_str(&s).unwrap();
         assert_eq!(c, back);
     }
 }

@@ -12,7 +12,6 @@
 
 use sa_kernels::DenseMask;
 use sa_tensor::{argsort_desc, Matrix};
-use serde::{Deserialize, Serialize};
 
 /// The optimal (unstructured) sparsity degree `SD(α)` of a probability
 /// matrix, together with the witnessing mask.
@@ -169,7 +168,7 @@ pub fn structured_sparsity_degree(p: &Matrix, alpha: f32, window: usize) -> (f64
 /// Decomposition of a head's attention mass into the paper's two
 /// significant patterns (Figure 2(d)): local window vs. column stripes,
 /// plus the unexplained remainder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PatternSummary {
     /// Mean fraction of row mass inside the local window.
     pub window_mass: f32,
@@ -182,6 +181,13 @@ pub struct PatternSummary {
     /// Remaining dispersed mass (`1 - window - stripe`).
     pub residual_mass: f32,
 }
+
+sa_json::impl_json_struct!(PatternSummary {
+    window_mass,
+    stripe_mass,
+    sink_mass,
+    residual_mass
+});
 
 /// Computes a [`PatternSummary`] for a probability matrix using a window
 /// of `window` tokens, the top `num_stripes` columns, and `sinks` sink

@@ -9,7 +9,6 @@
 
 use sa_kernels::full_attention;
 use sa_tensor::{cosine_similarity, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::{SampleAttention, SampleAttentionConfig, SampleAttentionError};
 
@@ -46,7 +45,7 @@ impl ProfilingRequest {
 }
 
 /// The hyper-parameter grid to sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TunerGrid {
     /// Candidate CRA thresholds `α`.
     pub cra_thresholds: Vec<f32>,
@@ -55,6 +54,12 @@ pub struct TunerGrid {
     /// Candidate window ratios `r_w`.
     pub window_ratios: Vec<f32>,
 }
+
+sa_json::impl_json_struct!(TunerGrid {
+    cra_thresholds,
+    sample_ratios,
+    window_ratios
+});
 
 impl TunerGrid {
     /// The grid from the paper's ablation (Table 3):
@@ -104,7 +109,7 @@ impl TunerGrid {
 }
 
 /// Measured quality/cost of one configuration over the profiling set.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TunerEntry {
     /// The configuration evaluated.
     pub config: SampleAttentionConfig,
@@ -117,8 +122,15 @@ pub struct TunerEntry {
     pub total_flops: u64,
 }
 
+sa_json::impl_json_struct!(TunerEntry {
+    config,
+    fidelity,
+    mean_density,
+    total_flops
+});
+
 /// The chosen configuration and why.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TunerSelection {
     /// The winning entry.
     pub entry: TunerEntry,
@@ -127,14 +139,18 @@ pub struct TunerSelection {
     pub met_target: bool,
 }
 
+sa_json::impl_json_struct!(TunerSelection { entry, met_target });
+
 /// Full tuning report: every evaluated point plus the selection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TunerReport {
     /// All grid entries, in grid order.
     pub entries: Vec<TunerEntry>,
     /// The selected configuration.
     pub selection: TunerSelection,
 }
+
+sa_json::impl_json_struct!(TunerReport { entries, selection });
 
 /// Offline profiler: sweeps a [`TunerGrid`] over profiling requests and
 /// picks the cheapest near-lossless configuration.

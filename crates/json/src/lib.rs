@@ -1,0 +1,246 @@
+//! # sa-json
+//!
+//! A minimal, std-only JSON module: the hermetic replacement for
+//! `serde`/`serde_json` in this workspace. The build must succeed with
+//! the registry unreachable (see DESIGN.md, "Hermetic build policy"), so
+//! serialization is provided in-repo:
+//!
+//! - [`Json`] — an owned JSON value tree;
+//! - [`parse`] — a strict parser ([RFC 8259] syntax) with position-
+//!   annotated errors;
+//! - [`to_string`] / [`to_string_pretty`] — compact and 2-space-indented
+//!   writers (the pretty style matches what `serde_json` produced for the
+//!   checked-in `results/*.json`);
+//! - [`ToJson`] / [`FromJson`] — conversion traits implemented for the
+//!   primitives, `Vec`, `Option`, tuples, and `Range`;
+//! - [`impl_json_struct!`] / [`impl_json_enum!`] — macros standing in for
+//!   `#[derive(Serialize, Deserialize)]` on structs with named fields and
+//!   on unit-variant enums. Enums with payload variants implement the
+//!   traits by hand, following serde's externally-tagged convention
+//!   (`"Variant"` for unit variants, `{"Variant": payload}` otherwise) so
+//!   any previously written files keep parsing.
+//!
+//! [RFC 8259]: https://www.rfc-editor.org/rfc/rfc8259
+
+mod convert;
+mod fmt;
+mod parse;
+mod value;
+
+pub use convert::{FromJson, ToJson};
+pub use parse::parse;
+pub use value::{Json, JsonError};
+
+/// Serializes a value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render(None)
+}
+
+/// Serializes a value with 2-space indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render(Some(2))
+}
+
+/// Parses a JSON document straight into a [`FromJson`] type.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(s)?)
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a struct with named fields,
+/// mirroring `#[derive(Serialize, Deserialize)]`.
+///
+/// Must be invoked in the module that defines the struct (it accesses the
+/// fields directly). Suffix a field with `: default` to mirror
+/// `#[serde(default)]`: the field falls back to `Default::default()` when
+/// the key is missing.
+///
+/// ```
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Point { x: f64, y: f64, label: String }
+/// sa_json::impl_json_struct!(Point { x, y, label: default });
+///
+/// let p = Point { x: 1.0, y: 2.0, label: String::new() };
+/// let s = sa_json::to_string(&p);
+/// assert_eq!(sa_json::from_str::<Point>(&s).unwrap(), p);
+/// assert_eq!(sa_json::from_str::<Point>(r#"{"x":1.0,"y":2.0}"#).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident $(: $kind:ident)?),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)*
+                ])
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                if !matches!(v, $crate::Json::Object(_)) {
+                    return Err($crate::JsonError::new(format!(
+                        concat!(stringify!($ty), ": expected object, got {}"),
+                        v.kind()
+                    )));
+                }
+                Ok($ty {
+                    $($field: $crate::impl_json_struct!(@field $ty, v, $field $(: $kind)?),)*
+                })
+            }
+        }
+    };
+    (@field $ty:ident, $v:ident, $field:ident) => {
+        match $v.get(stringify!($field)) {
+            Some(fv) => $crate::FromJson::from_json(fv)
+                .map_err(|e| e.in_context(concat!(stringify!($ty), ".", stringify!($field))))?,
+            None => {
+                return Err($crate::JsonError::new(concat!(
+                    stringify!($ty),
+                    ": missing field `",
+                    stringify!($field),
+                    "`"
+                )))
+            }
+        }
+    };
+    (@field $ty:ident, $v:ident, $field:ident: default) => {
+        match $v.get(stringify!($field)) {
+            Some(fv) => $crate::FromJson::from_json(fv)
+                .map_err(|e| e.in_context(concat!(stringify!($ty), ".", stringify!($field))))?,
+            None => Default::default(),
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for an enum whose variants all
+/// carry no data, serialized as the bare variant-name string (serde's
+/// externally-tagged convention for unit variants).
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// enum Mode { Fast, Exact }
+/// sa_json::impl_json_enum!(Mode { Fast, Exact });
+///
+/// assert_eq!(sa_json::to_string(&Mode::Fast), "\"Fast\"");
+/// assert_eq!(sa_json::from_str::<Mode>("\"Exact\"").unwrap(), Mode::Exact);
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Str(
+                    match self {
+                        $($ty::$variant => stringify!($variant),)*
+                    }
+                    .to_string(),
+                )
+            }
+        }
+
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)*
+                    Some(other) => Err($crate::JsonError::new(format!(
+                        concat!(stringify!($ty), ": unknown variant `{}`"),
+                        other
+                    ))),
+                    None => Err($crate::JsonError::new(format!(
+                        concat!(stringify!($ty), ": expected string, got {}"),
+                        v.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Inner {
+        id: usize,
+        ratio: f32,
+    }
+    impl_json_struct!(Inner { id, ratio });
+
+    #[derive(Debug, PartialEq, Default)]
+    struct Outer {
+        name: String,
+        items: Vec<Inner>,
+        tags: Vec<(String, f64)>,
+        note: Option<String>,
+        extra: usize,
+    }
+    impl_json_struct!(Outer {
+        name,
+        items,
+        tags,
+        note,
+        extra: default
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_json_enum!(Color { Red, Green });
+
+    fn sample() -> Outer {
+        Outer {
+            name: "run".to_string(),
+            items: vec![
+                Inner { id: 0, ratio: 0.5 },
+                Inner {
+                    id: 7,
+                    ratio: 0.125,
+                },
+            ],
+            tags: vec![("a".to_string(), 1.5), ("b".to_string(), -2.0)],
+            note: None,
+            extra: 3,
+        }
+    }
+
+    #[test]
+    fn struct_round_trip_compact_and_pretty() {
+        let v = sample();
+        assert_eq!(from_str::<Outer>(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str::<Outer>(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn defaulted_field_optional() {
+        let parsed: Outer =
+            from_str(r#"{"name":"x","items":[],"tags":[],"note":"hi"}"#).unwrap();
+        assert_eq!(parsed.extra, 0);
+        assert_eq!(parsed.note.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let e = from_str::<Inner>(r#"{"id":1}"#).unwrap_err();
+        assert!(e.to_string().contains("ratio"), "{e}");
+    }
+
+    #[test]
+    fn enum_round_trip_and_unknown_variant() {
+        assert_eq!(from_str::<Color>(&to_string(&Color::Green)).unwrap(), Color::Green);
+        assert!(from_str::<Color>("\"Blue\"").is_err());
+        assert!(from_str::<Color>("3").is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reports_context() {
+        let e = from_str::<Inner>(r#"{"id":"oops","ratio":1.0}"#).unwrap_err();
+        assert!(e.to_string().contains("Inner.id"), "{e}");
+    }
+}

@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// Exact algorithmic work performed by a kernel invocation.
 ///
 /// The counts are *logical*: they describe the arithmetic and memory
 /// traffic a GPU implementation of the same algorithm would perform, not
 /// the host CPU's incidental bookkeeping. `sa-perf` feeds these into an
 /// A100 roofline model to reproduce the paper's latency figures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostReport {
     /// Floating-point operations (multiply-adds count as 2).
     pub flops: u64,
@@ -75,6 +73,13 @@ impl std::iter::Sum for CostReport {
     }
 }
 
+sa_json::impl_json_struct!(CostReport {
+    flops,
+    bytes_read,
+    bytes_written,
+    kernel_launches
+});
+
 /// Bytes occupied by `n` f32 elements (the workspace-wide element size;
 /// the perf model separately rescales for fp16 GPU execution).
 #[inline]
@@ -113,10 +118,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = CostReport::launch(7, 8, 9);
-        let s = serde_json::to_string(&r).unwrap();
-        let back: CostReport = serde_json::from_str(&s).unwrap();
+        let s = sa_json::to_string(&r);
+        let back: CostReport = sa_json::from_str(&s).unwrap();
         assert_eq!(r, back);
     }
 }

@@ -14,7 +14,6 @@
 //! oracle used only in tests and small-scale analysis.
 
 use sa_tensor::TensorError;
-use serde::{Deserialize, Serialize};
 
 /// A structured sparse attention mask: causal ∩ (window ∪ sinks ∪ columns).
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// An entry is live iff it is causal **and** (in the window **or** an
 /// extra column).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructuredMask {
     s_q: usize,
     s_k: usize,
@@ -40,15 +39,24 @@ pub struct StructuredMask {
     /// (the paper's Figure 3 "bottom area": the final rows cannot be
     /// judged from strided samples and are generation-critical, so they
     /// are computed densely).
-    #[serde(default)]
     dense_tail_rows: usize,
     /// Sorted relative *diagonal* offsets: offset `Δ` keeps, on every row,
     /// the single key exactly `Δ` positions before the causal end. The
     /// paper's Appendix A.6 identifies such "additional diagonal
     /// structures" in low-sparsity heads as a future-work pattern.
-    #[serde(default)]
     diagonals: Vec<usize>,
 }
+
+// `dense_tail_rows` and `diagonals` default to empty when absent, so mask
+// payloads written before those features existed keep parsing.
+sa_json::impl_json_struct!(StructuredMask {
+    s_q,
+    s_k,
+    window,
+    extras,
+    dense_tail_rows: default,
+    diagonals: default
+});
 
 impl StructuredMask {
     /// Starts building a mask for an `s_q x s_k` attention problem.
@@ -655,10 +663,14 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let m = small_mask();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: StructuredMask = serde_json::from_str(&s).unwrap();
+        let s = sa_json::to_string(&m);
+        let back: StructuredMask = sa_json::from_str(&s).unwrap();
         assert_eq!(m, back);
+        // Older payloads without the defaulted fields keep parsing.
+        let legacy: StructuredMask =
+            sa_json::from_str(r#"{"s_q":4,"s_k":4,"window":2,"extras":[0]}"#).unwrap();
+        assert_eq!(legacy.dense_tail_rows(), 0);
     }
 }

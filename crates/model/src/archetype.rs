@@ -25,7 +25,6 @@
 //! mixtures of token embeddings.
 
 use sa_tensor::{DeterministicRng, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::ModelConfig;
 
@@ -53,7 +52,7 @@ const PREV_SALIENCE_GAIN: f32 = 2.0;
 const DISPERSED_GAIN: f32 = 1.0;
 
 /// The mixing weights of one head's archetype.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeadArchetype {
     /// Weight of the local-window component.
     pub local: f32,
@@ -64,6 +63,13 @@ pub struct HeadArchetype {
     /// Weight of the dispersed (low-sparsity) component.
     pub dispersed: f32,
 }
+
+sa_json::impl_json_struct!(HeadArchetype {
+    local,
+    sink,
+    retrieval,
+    dispersed
+});
 
 impl HeadArchetype {
     /// Builds from a `(local, sink, retrieval, dispersed)` tuple.

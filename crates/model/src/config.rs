@@ -1,10 +1,9 @@
 use sa_kernels::rope::RopeConfig;
 use sa_tensor::TensorError;
-use serde::{Deserialize, Serialize};
 
 /// Which published backbone a config mirrors (controls head-archetype
 /// mix, RoPE scaling, and the geometry the perf model reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelPreset {
     /// ChatGLM2-6B-like: 96K context via continued training, 28 layers ×
     /// 32 heads at full scale.
@@ -13,6 +12,11 @@ pub enum ModelPreset {
     /// heads at full scale.
     InternLm2Like,
 }
+
+sa_json::impl_json_enum!(ModelPreset {
+    ChatGlm2Like,
+    InternLm2Like
+});
 
 impl ModelPreset {
     /// Full-scale geometry `(layers, q_heads, kv_heads, head_dim)` of the
@@ -43,7 +47,7 @@ impl ModelPreset {
 /// controls architectural flavour. Head archetypes are assigned
 /// deterministically per (layer, head) by
 /// [`ModelConfig::archetype_weights`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelConfig {
     /// Which backbone this model mirrors.
     pub preset: ModelPreset,
@@ -71,6 +75,20 @@ pub struct ModelConfig {
     /// Master seed for all constructed weights.
     pub seed: u64,
 }
+
+sa_json::impl_json_struct!(ModelConfig {
+    preset,
+    num_layers,
+    num_heads,
+    num_kv_heads,
+    head_dim,
+    content_dim,
+    pos_dim,
+    vocab_size,
+    pos_decay,
+    residual_gain,
+    seed
+});
 
 impl ModelConfig {
     /// CPU-scale ChatGLM2-like model: 4 layers × 8 heads (2 KV heads),
@@ -267,10 +285,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = ModelConfig::chatglm2_like(3);
-        let s = serde_json::to_string(&c).unwrap();
-        let back: ModelConfig = serde_json::from_str(&s).unwrap();
+        let s = sa_json::to_string(&c);
+        let back: ModelConfig = sa_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+        // The preset is a bare variant-name string, as before.
+        assert!(s.contains("\"ChatGlm2Like\""), "{s}");
     }
 }

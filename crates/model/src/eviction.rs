@@ -17,12 +17,12 @@
 //! attention scores accumulated during decoding.
 
 use sa_tensor::{Matrix, TensorError};
-use serde::{Deserialize, Serialize};
+use sa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::LayerKvCache;
 
 /// Which entries to keep when the cache exceeds its budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EvictionPolicy {
     /// Never evict (the paper's evaluation setting: uncompressed cache).
     None,
@@ -38,14 +38,66 @@ pub enum EvictionPolicy {
     },
 }
 
+// Externally tagged, matching the previous derive: `"None"` for the unit
+// variant, `{"H2o":{"recent":n}}` / `{"StreamingSinks":{"sinks":n}}` for
+// the payload variants.
+impl ToJson for EvictionPolicy {
+    fn to_json(&self) -> Json {
+        match self {
+            EvictionPolicy::None => Json::Str("None".to_string()),
+            EvictionPolicy::H2o { recent } => Json::Object(vec![(
+                "H2o".to_string(),
+                Json::Object(vec![("recent".to_string(), recent.to_json())]),
+            )]),
+            EvictionPolicy::StreamingSinks { sinks } => Json::Object(vec![(
+                "StreamingSinks".to_string(),
+                Json::Object(vec![("sinks".to_string(), sinks.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for EvictionPolicy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some("None") = v.as_str() {
+            return Ok(EvictionPolicy::None);
+        }
+        let fields = match v {
+            Json::Object(fields) if fields.len() == 1 => fields,
+            _ => {
+                return Err(JsonError::new(format!(
+                    "EvictionPolicy: expected \"None\" or single-variant object, got {}",
+                    v.kind()
+                )))
+            }
+        };
+        let (tag, payload) = &fields[0];
+        let field = |name: &str| {
+            payload
+                .get(name)
+                .ok_or_else(|| JsonError::new(format!("EvictionPolicy::{tag}: missing `{name}`")))
+                .and_then(usize::from_json)
+        };
+        match tag.as_str() {
+            "H2o" => Ok(EvictionPolicy::H2o { recent: field("recent")? }),
+            "StreamingSinks" => Ok(EvictionPolicy::StreamingSinks { sinks: field("sinks")? }),
+            other => Err(JsonError::new(format!(
+                "EvictionPolicy: unknown variant `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Eviction configuration: policy + cache budget in entries.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvictionConfig {
     /// The policy to apply.
     pub policy: EvictionPolicy,
     /// Maximum cached entries per (layer, KV head); 0 = unlimited.
     pub budget: usize,
 }
+
+sa_json::impl_json_struct!(EvictionConfig { policy, budget });
 
 impl EvictionConfig {
     /// The paper's setting: no eviction.

@@ -6,7 +6,6 @@
 //! the *attention share* of TTFT — the quantity the paper uses Table 4 to
 //! argue — is a stack-independent ratio our roofline should reproduce.
 
-use serde::{Deserialize, Serialize};
 
 use crate::ttft::{AttentionKind, TtftModel};
 
@@ -21,7 +20,7 @@ pub const PAPER_TABLE4: [(usize, f64, f64); 6] = [
 ];
 
 /// One calibration row: paper vs. model.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CalibrationRow {
     /// Sequence length.
     pub seq_len: usize,
@@ -34,6 +33,14 @@ pub struct CalibrationRow {
     /// Model attention share of TTFT.
     pub model_attention_share: f64,
 }
+
+sa_json::impl_json_struct!(CalibrationRow {
+    seq_len,
+    paper_ttft_ms,
+    paper_attention_share,
+    model_ttft_ms,
+    model_attention_share
+});
 
 /// Runs the calibration: evaluates the TTFT model at each Table 4 length
 /// and pairs it with the published numbers.

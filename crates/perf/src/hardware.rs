@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// A GPU hardware description for the roofline model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareModel {
     /// Peak dense fp16 tensor-core throughput in FLOP/s.
     pub peak_flops: f64,
@@ -14,6 +12,14 @@ pub struct HardwareModel {
     /// Per-kernel launch overhead in seconds.
     pub kernel_launch_s: f64,
 }
+
+sa_json::impl_json_struct!(HardwareModel {
+    peak_flops,
+    hbm_bandwidth,
+    compute_efficiency,
+    memory_efficiency,
+    kernel_launch_s
+});
 
 impl HardwareModel {
     /// An NVIDIA A100-SXM4-80GB: 312 TFLOP/s fp16, 2039 GB/s HBM2e.
@@ -43,13 +49,18 @@ impl HardwareModel {
 
 /// Tensor/pipeline parallel configuration (the paper's Table 4 uses
 /// TP=4, PP=2 over 8 GPUs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
     /// Tensor-parallel degree (splits each layer's work).
     pub tensor_parallel: usize,
     /// Pipeline-parallel degree (splits layers into stages).
     pub pipeline_parallel: usize,
 }
+
+sa_json::impl_json_struct!(Parallelism {
+    tensor_parallel,
+    pipeline_parallel
+});
 
 impl Parallelism {
     /// Single-GPU execution.
@@ -103,10 +114,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let hw = HardwareModel::a100_80gb();
-        let s = serde_json::to_string(&hw).unwrap();
-        let back: HardwareModel = serde_json::from_str(&s).unwrap();
+        let s = sa_json::to_string(&hw);
+        let back: HardwareModel = sa_json::from_str(&s).unwrap();
         assert_eq!(hw, back);
     }
 }

@@ -8,12 +8,12 @@
 //! dense vs. SDPA-style attention (whose quadratic score matrix is the
 //! first thing to blow up).
 
-use serde::{Deserialize, Serialize};
+use sa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::ttft::ModelGeometry;
 
 /// Byte-level memory footprint of one prefill request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryFootprint {
     /// Model weights (fp16).
     pub weights_bytes: u64,
@@ -24,6 +24,13 @@ pub struct MemoryFootprint {
     /// Score-matrix bytes (0 for flash/chunked kernels).
     pub score_matrix_bytes: u64,
 }
+
+sa_json::impl_json_struct!(MemoryFootprint {
+    weights_bytes,
+    kv_cache_bytes,
+    activation_bytes,
+    score_matrix_bytes
+});
 
 impl MemoryFootprint {
     /// Total bytes.
@@ -38,7 +45,7 @@ impl MemoryFootprint {
 }
 
 /// Prefill execution styles with different memory behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PrefillStyle {
     /// Unfused attention materialising the `S x S` score matrix per head.
     SdpaMonolithic,
@@ -46,6 +53,44 @@ pub enum PrefillStyle {
     FlashMonolithic,
     /// Fused attention in sequence chunks of the given size.
     Chunked(usize),
+}
+
+// Externally tagged, matching the previous derive: unit variants are bare
+// strings, the newtype variant is `{"Chunked": n}`.
+impl ToJson for PrefillStyle {
+    fn to_json(&self) -> Json {
+        match self {
+            PrefillStyle::SdpaMonolithic => Json::Str("SdpaMonolithic".to_string()),
+            PrefillStyle::FlashMonolithic => Json::Str("FlashMonolithic".to_string()),
+            PrefillStyle::Chunked(n) => {
+                Json::Object(vec![("Chunked".to_string(), n.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for PrefillStyle {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("SdpaMonolithic") => return Ok(PrefillStyle::SdpaMonolithic),
+            Some("FlashMonolithic") => return Ok(PrefillStyle::FlashMonolithic),
+            Some(other) => {
+                return Err(JsonError::new(format!(
+                    "PrefillStyle: unknown variant `{other}`"
+                )))
+            }
+            None => {}
+        }
+        match v.get("Chunked") {
+            Some(n) => Ok(PrefillStyle::Chunked(
+                usize::from_json(n).map_err(|e| e.in_context("PrefillStyle::Chunked"))?,
+            )),
+            None => Err(JsonError::new(format!(
+                "PrefillStyle: expected variant string or {{\"Chunked\": n}}, got {}",
+                v.kind()
+            ))),
+        }
+    }
 }
 
 /// Computes the footprint of a `batch x seq_len` prefill for `geometry`

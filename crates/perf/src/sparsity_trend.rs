@@ -13,7 +13,7 @@
 //! - off-grid `α`: power-law interpolation in `(1 − α)` (the table's
 //!   columns are well fit by `density ∝ (1 − α)^0.68`).
 
-use serde::{Deserialize, Serialize};
+use sa_json::{FromJson, Json, JsonError, ToJson};
 
 /// Published Table 5 rows: `(sequence length, SD at α = 0.90, 0.95, 0.98)`
 /// in percent.
@@ -30,8 +30,27 @@ pub const PAPER_TABLE5: [(usize, f64, f64, f64); 6] = [
 pub const TABLE5_ALPHAS: [f64; 3] = [0.90, 0.95, 0.98];
 
 /// Sparsity/density trend model derived from Table 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SparsityTrend;
+
+// A fieldless struct serializes as `null`, matching the previous derive.
+impl ToJson for SparsityTrend {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl FromJson for SparsityTrend {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(SparsityTrend),
+            other => Err(JsonError::new(format!(
+                "SparsityTrend: expected null, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
 
 impl SparsityTrend {
     /// Creates the trend model (stateless; the data is the published

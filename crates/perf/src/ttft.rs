@@ -6,7 +6,7 @@
 //! Figure 5(c), Figure 6(b) and Table 4.
 
 use sa_kernels::CostReport;
-use serde::{Deserialize, Serialize};
+use sa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::attention_cost::{
     filtering_cost, sample_attention_cost, sampling_cost, scale_heads, flash_cost, sdpa_cost,
@@ -23,7 +23,7 @@ const SPARSE_KERNEL_INEFFICIENCY: f64 = 8.0;
 use crate::{kernel_time, HardwareModel, Parallelism, Precision, SparsityTrend};
 
 /// Full-scale transformer geometry for latency modelling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelGeometry {
     /// Number of transformer layers.
     pub layers: usize,
@@ -36,6 +36,14 @@ pub struct ModelGeometry {
     /// FFN inner width.
     pub ffn_dim: usize,
 }
+
+sa_json::impl_json_struct!(ModelGeometry {
+    layers,
+    q_heads,
+    kv_heads,
+    head_dim,
+    ffn_dim
+});
 
 impl ModelGeometry {
     /// ChatGLM2-6B: 28 layers × 32 heads × d128 (hidden 4096),
@@ -68,7 +76,7 @@ impl ModelGeometry {
 }
 
 /// Which attention implementation the prefill uses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AttentionKind {
     /// PyTorch-style unfused scaled-dot-product attention.
     Sdpa,
@@ -84,8 +92,60 @@ pub enum AttentionKind {
     },
 }
 
+// Externally tagged, matching the previous derive: `"Sdpa"`/`"Flash"` for
+// the unit variants, `{"SampleAttention":{"alpha":..,"sample_ratio":..}}`
+// for the struct variant.
+impl ToJson for AttentionKind {
+    fn to_json(&self) -> Json {
+        match self {
+            AttentionKind::Sdpa => Json::Str("Sdpa".to_string()),
+            AttentionKind::Flash => Json::Str("Flash".to_string()),
+            AttentionKind::SampleAttention { alpha, sample_ratio } => Json::Object(vec![(
+                "SampleAttention".to_string(),
+                Json::Object(vec![
+                    ("alpha".to_string(), alpha.to_json()),
+                    ("sample_ratio".to_string(), sample_ratio.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for AttentionKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("Sdpa") => return Ok(AttentionKind::Sdpa),
+            Some("Flash") => return Ok(AttentionKind::Flash),
+            Some(other) => {
+                return Err(JsonError::new(format!(
+                    "AttentionKind: unknown variant `{other}`"
+                )))
+            }
+            None => {}
+        }
+        let payload = v.get("SampleAttention").ok_or_else(|| {
+            JsonError::new(format!(
+                "AttentionKind: expected variant string or SampleAttention object, got {}",
+                v.kind()
+            ))
+        })?;
+        let field = |name: &str| {
+            payload
+                .get(name)
+                .ok_or_else(|| {
+                    JsonError::new(format!("AttentionKind::SampleAttention: missing `{name}`"))
+                })
+                .and_then(f64::from_json)
+        };
+        Ok(AttentionKind::SampleAttention {
+            alpha: field("alpha")?,
+            sample_ratio: field("sample_ratio")?,
+        })
+    }
+}
+
 /// TTFT decomposition in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TtftBreakdown {
     /// Total attention time (incl. mask discovery for SampleAttention).
     pub attention_s: f64,
@@ -99,6 +159,14 @@ pub struct TtftBreakdown {
     /// Norms, residual adds, TP collectives.
     pub other_s: f64,
 }
+
+sa_json::impl_json_struct!(TtftBreakdown {
+    attention_s,
+    sampling_s,
+    projections_s,
+    mlp_s,
+    other_s
+});
 
 impl TtftBreakdown {
     /// Total TTFT.

@@ -27,6 +27,7 @@
 //! # }
 //! ```
 
+pub mod check;
 mod error;
 mod matrix;
 mod matmul;
@@ -36,6 +37,7 @@ mod sample;
 mod select;
 mod softmax;
 mod stats;
+pub mod xoshiro;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
@@ -44,6 +46,7 @@ pub use reduce::{
     col_mean, col_sum, row_l1_norms, row_max, row_min, row_sum, scale_rows_in_place,
 };
 pub use rng::{random_orthonormal_rows, seeded_rng, unit_vector, DeterministicRng};
+pub use xoshiro::{splitmix64, Xoshiro256PlusPlus};
 pub use sample::{stride_sample_indices, StrideSample};
 pub use select::{
     argsort_desc, prefix_sum, searchsorted_left, searchsorted_right, top_k_indices,

@@ -2,18 +2,19 @@
 //!
 //! Every experiment in this workspace is seeded; all randomness flows
 //! through [`DeterministicRng`] so that tables and figures are exactly
-//! reproducible run-to-run.
+//! reproducible run-to-run. The generator is the in-repo
+//! [`Xoshiro256PlusPlus`] (seeded via `splitmix64`, see
+//! [`crate::xoshiro`]), and the exact stream is pinned by golden tests —
+//! platform- and dependency-independent by construction.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
+use crate::xoshiro::Xoshiro256PlusPlus;
 use crate::Matrix;
 
 /// A seeded random generator with the handful of distributions the
 /// workspace needs (uniform, standard normal via Box–Muller, choices).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    rng: StdRng,
+    rng: Xoshiro256PlusPlus,
     /// Cached second Box–Muller variate.
     spare_normal: Option<f32>,
 }
@@ -22,14 +23,20 @@ impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         DeterministicRng {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256PlusPlus::from_seed(seed),
             spare_normal: None,
         }
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.rng.random::<f32>()
+        self.rng.next_f32()
+    }
+
+    /// The next 64 uniformly random bits (escape hatch for callers that
+    /// need raw integers rather than a distribution).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -49,7 +56,7 @@ impl DeterministicRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.rng.random_range(0..n)
+        self.rng.next_below(n as u64) as usize
     }
 
     /// Standard normal sample (Box–Muller).
@@ -108,9 +115,10 @@ impl DeterministicRng {
     }
 }
 
-/// Convenience constructor for a raw seeded [`StdRng`].
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// Convenience constructor for a raw seeded [`Xoshiro256PlusPlus`], for
+/// callers that want the bit stream without the distribution helpers.
+pub fn seeded_rng(seed: u64) -> Xoshiro256PlusPlus {
+    Xoshiro256PlusPlus::from_seed(seed)
 }
 
 /// A random matrix with orthonormal rows (`rows <= cols` required):

@@ -1,6 +1,7 @@
-//! Property-based tests of the tensor substrate's algebraic invariants.
+//! Property-based tests of the tensor substrate's algebraic invariants,
+//! driven by the in-repo harness ([`sa_tensor::check`]).
 
-use proptest::prelude::*;
+use sa_tensor::check::run_cases;
 use sa_tensor::{
     argsort_desc, matmul, matmul_transb, prefix_sum, searchsorted_left, searchsorted_right,
     softmax_row, softmax_rows, top_k_indices, top_k_threshold_count, DeterministicRng, Matrix,
@@ -12,179 +13,196 @@ fn small_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     rng.normal_matrix(rows, cols, 1.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// (A B)ᵀ = Bᵀ Aᵀ.
-    #[test]
-    fn matmul_transpose_identity(
-        m in 1usize..12,
-        k in 1usize..12,
-        n in 1usize..12,
-        seed in 0u64..1000,
-    ) {
+/// (A B)ᵀ = Bᵀ Aᵀ.
+#[test]
+fn matmul_transpose_identity() {
+    run_cases("matmul_transpose_identity", |g| {
+        let (m, k, n) = (g.usize_in(1, 12), g.usize_in(1, 12), g.usize_in(1, 12));
+        let seed = g.u64_in(0, 1000);
         let a = small_matrix(m, k, seed);
         let b = small_matrix(k, n, seed ^ 1);
         let left = matmul(&a, &b).unwrap().transpose();
         let right = matmul(&b.transpose(), &a.transpose()).unwrap();
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    /// A Bᵀ computed by matmul_transb equals the explicit transpose path.
-    #[test]
-    fn transb_equals_explicit(
-        m in 1usize..12,
-        k in 1usize..12,
-        n in 1usize..12,
-        seed in 0u64..1000,
-    ) {
+/// A Bᵀ computed by matmul_transb equals the explicit transpose path.
+#[test]
+fn transb_equals_explicit() {
+    run_cases("transb_equals_explicit", |g| {
+        let (m, k, n) = (g.usize_in(1, 12), g.usize_in(1, 12), g.usize_in(1, 12));
+        let seed = g.u64_in(0, 1000);
         let a = small_matrix(m, k, seed);
         let b = small_matrix(n, k, seed ^ 2);
         let fast = matmul_transb(&a, &b).unwrap();
         let slow = matmul(&a, &b.transpose()).unwrap();
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    /// Transpose is an involution.
-    #[test]
-    fn transpose_involution(m in 0usize..16, n in 0usize..16, seed in 0u64..1000) {
-        let a = small_matrix(m, n, seed);
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+/// Transpose is an involution.
+#[test]
+fn transpose_involution() {
+    run_cases("transpose_involution", |g| {
+        let (m, n) = (g.usize_in(0, 16), g.usize_in(0, 16));
+        let a = small_matrix(m, n, g.u64_in(0, 1000));
+        assert_eq!(a.transpose().transpose(), a);
+    });
+}
 
-    /// Softmax rows are probability distributions, invariant to shifts,
-    /// and monotone in the inputs.
-    #[test]
-    fn softmax_row_properties(
-        mut xs in proptest::collection::vec(-30.0f32..30.0, 1..40),
-        shift in -100.0f32..100.0,
-    ) {
+/// Softmax rows are probability distributions, invariant to shifts,
+/// and monotone in the inputs.
+#[test]
+fn softmax_row_properties() {
+    run_cases("softmax_row_properties", |g| {
+        let mut xs = g.vec_f32(-30.0, 30.0, 1, 40);
+        let shift = g.f32_in(-100.0, 100.0);
         let mut shifted: Vec<f32> = xs.iter().map(|x| x + shift).collect();
         softmax_row(&mut xs);
         softmax_row(&mut shifted);
         let sum: f32 = xs.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(xs.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(xs.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
         for (a, b) in xs.iter().zip(&shifted) {
-            prop_assert!((a - b).abs() < 1e-4);
+            assert!((a - b).abs() < 1e-4);
         }
-    }
+    });
+}
 
-    /// Row softmax of a matrix treats rows independently.
-    #[test]
-    fn softmax_rows_independent(rows in 1usize..8, cols in 1usize..12, seed in 0u64..1000) {
-        let m = small_matrix(rows, cols, seed);
+/// Row softmax of a matrix treats rows independently.
+#[test]
+fn softmax_rows_independent() {
+    run_cases("softmax_rows_independent", |g| {
+        let (rows, cols) = (g.usize_in(1, 8), g.usize_in(1, 12));
+        let m = small_matrix(rows, cols, g.u64_in(0, 1000));
         let whole = softmax_rows(&m);
         for i in 0..rows {
             let mut row = m.row(i).to_vec();
             softmax_row(&mut row);
             for (a, b) in whole.row(i).iter().zip(&row) {
-                prop_assert!((a - b).abs() < 1e-6);
+                assert!((a - b).abs() < 1e-6);
             }
         }
-    }
+    });
+}
 
-    /// argsort produces a permutation sorted descending.
-    #[test]
-    fn argsort_is_sorted_permutation(xs in proptest::collection::vec(-50.0f32..50.0, 0..60)) {
+/// argsort produces a permutation sorted descending.
+#[test]
+fn argsort_is_sorted_permutation() {
+    run_cases("argsort_is_sorted_permutation", |g| {
+        let xs = g.vec_f32(-50.0, 50.0, 0, 60);
         let idx = argsort_desc(&xs);
-        prop_assert_eq!(idx.len(), xs.len());
+        assert_eq!(idx.len(), xs.len());
         let mut seen = idx.clone();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..xs.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..xs.len()).collect::<Vec<_>>());
         for w in idx.windows(2) {
-            prop_assert!(xs[w[0]] >= xs[w[1]]);
+            assert!(xs[w[0]] >= xs[w[1]]);
         }
-    }
+    });
+}
 
-    /// top-k agrees with the argsort prefix as a multiset of values.
-    #[test]
-    fn top_k_matches_sort_prefix(
-        xs in proptest::collection::vec(-50.0f32..50.0, 0..60),
-        k in 0usize..70,
-    ) {
+/// top-k agrees with the argsort prefix as a multiset of values.
+#[test]
+fn top_k_matches_sort_prefix() {
+    run_cases("top_k_matches_sort_prefix", |g| {
+        let xs = g.vec_f32(-50.0, 50.0, 0, 60);
+        let k = g.usize_in(0, 70);
         let got: Vec<f32> = top_k_indices(&xs, k).iter().map(|&i| xs[i]).collect();
         let want: Vec<f32> = argsort_desc(&xs).iter().take(k).map(|&i| xs[i]).collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Threshold count: the top-count sum reaches the target, and one
-    /// fewer element would not.
-    #[test]
-    fn threshold_count_minimal(
-        xs in proptest::collection::vec(0.0f32..10.0, 1..50),
-        threshold in 0.05f32..0.999,
-    ) {
+/// Threshold count: the top-count sum reaches the target, and one
+/// fewer element would not.
+#[test]
+fn threshold_count_minimal() {
+    run_cases("threshold_count_minimal", |g| {
+        let xs = g.vec_f32(0.0, 10.0, 1, 50);
+        let threshold = g.f32_in(0.05, 0.999);
         let count = top_k_threshold_count(&xs, threshold);
         let total: f32 = xs.iter().sum();
         if total > 0.0 {
             let order = argsort_desc(&xs);
             let top_sum: f32 = order.iter().take(count).map(|&i| xs[i]).sum();
-            prop_assert!(top_sum >= threshold * total - 1e-3);
+            assert!(top_sum >= threshold * total - 1e-3);
             if count > 1 {
                 let smaller: f32 = order.iter().take(count - 1).map(|&i| xs[i]).sum();
-                prop_assert!(smaller < threshold * total + 1e-3);
+                assert!(smaller < threshold * total + 1e-3);
             }
         }
-    }
+    });
+}
 
-    /// Prefix sums are monotone for non-negative inputs and end at the
-    /// total.
-    #[test]
-    fn prefix_sum_monotone(xs in proptest::collection::vec(0.0f32..5.0, 0..50)) {
+/// Prefix sums are monotone for non-negative inputs and end at the
+/// total.
+#[test]
+fn prefix_sum_monotone() {
+    run_cases("prefix_sum_monotone", |g| {
+        let xs = g.vec_f32(0.0, 5.0, 0, 50);
         let ps = prefix_sum(&xs);
-        prop_assert_eq!(ps.len(), xs.len());
+        assert_eq!(ps.len(), xs.len());
         for w in ps.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-6);
+            assert!(w[1] >= w[0] - 1e-6);
         }
         if let Some(&last) = ps.last() {
             let total: f32 = xs.iter().sum();
-            prop_assert!((last - total).abs() < 1e-3);
+            assert!((last - total).abs() < 1e-3);
         }
-    }
+    });
+}
 
-    /// searchsorted returns the partition points it promises.
-    #[test]
-    fn searchsorted_partition_points(
-        mut xs in proptest::collection::vec(-20.0f32..20.0, 0..40),
-        value in -25.0f32..25.0,
-    ) {
+/// searchsorted returns the partition points it promises.
+#[test]
+fn searchsorted_partition_points() {
+    run_cases("searchsorted_partition_points", |g| {
+        let mut xs = g.vec_f32(-20.0, 20.0, 0, 40);
+        let value = g.f32_in(-25.0, 25.0);
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let l = searchsorted_left(&xs, value);
         let r = searchsorted_right(&xs, value);
-        prop_assert!(l <= r);
-        prop_assert!(xs[..l].iter().all(|&x| x < value));
-        prop_assert!(xs[l..].iter().all(|&x| x >= value));
-        prop_assert!(xs[..r].iter().all(|&x| x <= value));
-        prop_assert!(xs[r..].iter().all(|&x| x > value));
-    }
+        assert!(l <= r);
+        assert!(xs[..l].iter().all(|&x| x < value));
+        assert!(xs[l..].iter().all(|&x| x >= value));
+        assert!(xs[..r].iter().all(|&x| x <= value));
+        assert!(xs[r..].iter().all(|&x| x > value));
+    });
+}
 
-    /// Stride samples are strictly increasing, in range, include the last
-    /// row, and hit the requested ratio approximately.
-    #[test]
-    fn stride_sample_invariants(n in 1usize..2000, ratio in 0.001f32..1.0) {
+/// Stride samples are strictly increasing, in range, include the last
+/// row, and hit the requested ratio approximately.
+#[test]
+fn stride_sample_invariants() {
+    run_cases("stride_sample_invariants", |g| {
+        let n = g.usize_in(1, 2000);
+        let ratio = g.f32_in(0.001, 1.0);
         let s = StrideSample::by_ratio(n, ratio).unwrap();
-        prop_assert!(!s.is_empty());
-        prop_assert!(s.indices().windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(s.indices().iter().all(|&i| i < n));
-        prop_assert_eq!(*s.indices().last().unwrap(), n - 1);
+        assert!(!s.is_empty());
+        assert!(s.indices().windows(2).all(|w| w[0] < w[1]));
+        assert!(s.indices().iter().all(|&i| i < n));
+        assert_eq!(*s.indices().last().unwrap(), n - 1);
         let achieved = s.ratio();
-        prop_assert!(achieved + 1e-6 >= ratio.min(1.0) - 2.0 / n as f32);
-    }
+        assert!(achieved + 1e-6 >= ratio.min(1.0) - 2.0 / n as f32);
+    });
+}
 
-    /// gather_rows + slice_rows round-trip.
-    #[test]
-    fn gather_slice_consistency(rows in 1usize..20, cols in 1usize..8, seed in 0u64..1000) {
-        let m = small_matrix(rows, cols, seed);
+/// gather_rows + slice_rows round-trip.
+#[test]
+fn gather_slice_consistency() {
+    run_cases("gather_slice_consistency", |g| {
+        let (rows, cols) = (g.usize_in(1, 20), g.usize_in(1, 8));
+        let m = small_matrix(rows, cols, g.u64_in(0, 1000));
         let all: Vec<usize> = (0..rows).collect();
-        prop_assert_eq!(m.gather_rows(&all).unwrap(), m.clone());
+        assert_eq!(m.gather_rows(&all).unwrap(), m.clone());
         let half = rows / 2;
         let s = m.slice_rows(0, half).unwrap();
-        let g = m.gather_rows(&(0..half).collect::<Vec<_>>()).unwrap();
-        prop_assert_eq!(s, g);
-    }
+        let g2 = m.gather_rows(&(0..half).collect::<Vec<_>>()).unwrap();
+        assert_eq!(s, g2);
+    });
 }

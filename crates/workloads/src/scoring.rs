@@ -3,12 +3,11 @@
 use sa_baselines::AttentionMethod;
 use sa_model::SyntheticTransformer;
 use sa_tensor::TensorError;
-use serde::{Deserialize, Serialize};
 
 use crate::{Task, TaskFamily};
 
 /// Mean score of one family under one method.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FamilyScore {
     /// The family label (as in the paper's table header).
     pub family: String,
@@ -18,8 +17,10 @@ pub struct FamilyScore {
     pub n_tasks: usize,
 }
 
+sa_json::impl_json_struct!(FamilyScore { family, score, n_tasks });
+
 /// One method's full evaluation report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodReport {
     /// Method name.
     pub method: String,
@@ -30,6 +31,13 @@ pub struct MethodReport {
     /// Mean attention density across all evaluated prefills.
     pub mean_density: f64,
 }
+
+sa_json::impl_json_struct!(MethodReport {
+    method,
+    family_scores,
+    total,
+    mean_density
+});
 
 /// Evaluates `method` on `tasks`, aggregating by family.
 ///

@@ -3,10 +3,10 @@
 use sa_baselines::AttentionMethod;
 use sa_model::SyntheticTransformer;
 use sa_tensor::TensorError;
-use serde::{Deserialize, Serialize};
+use sa_json::{FromJson, Json, JsonError, ToJson};
 
 /// Which benchmark family a task belongs to (drives Table 2's columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskFamily {
     /// LongBench: single-document QA.
     SingleDocQa,
@@ -24,6 +24,54 @@ pub enum TaskFamily {
     BabiLong(u8),
     /// Needle-in-a-Haystack cell.
     Needle,
+}
+
+// Externally tagged, matching the previous derive: unit variants are bare
+// strings, the newtype variant is `{"BabiLong": n}`.
+impl ToJson for TaskFamily {
+    fn to_json(&self) -> Json {
+        let unit = |name: &str| Json::Str(name.to_string());
+        match self {
+            TaskFamily::SingleDocQa => unit("SingleDocQa"),
+            TaskFamily::MultiDocQa => unit("MultiDocQa"),
+            TaskFamily::Summarization => unit("Summarization"),
+            TaskFamily::FewShotLearning => unit("FewShotLearning"),
+            TaskFamily::SyntheticTasks => unit("SyntheticTasks"),
+            TaskFamily::CodeCompletion => unit("CodeCompletion"),
+            TaskFamily::Needle => unit("Needle"),
+            TaskFamily::BabiLong(n) => {
+                Json::Object(vec![("BabiLong".to_string(), n.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for TaskFamily {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if let Some(name) = v.as_str() {
+            return match name {
+                "SingleDocQa" => Ok(TaskFamily::SingleDocQa),
+                "MultiDocQa" => Ok(TaskFamily::MultiDocQa),
+                "Summarization" => Ok(TaskFamily::Summarization),
+                "FewShotLearning" => Ok(TaskFamily::FewShotLearning),
+                "SyntheticTasks" => Ok(TaskFamily::SyntheticTasks),
+                "CodeCompletion" => Ok(TaskFamily::CodeCompletion),
+                "Needle" => Ok(TaskFamily::Needle),
+                other => Err(JsonError::new(format!(
+                    "TaskFamily: unknown variant `{other}`"
+                ))),
+            };
+        }
+        match v.get("BabiLong") {
+            Some(n) => Ok(TaskFamily::BabiLong(u8::from_json(n).map_err(|e| {
+                e.in_context("TaskFamily::BabiLong")
+            })?)),
+            None => Err(JsonError::new(format!(
+                "TaskFamily: expected variant string or {{\"BabiLong\": n}}, got {}",
+                v.kind()
+            ))),
+        }
+    }
 }
 
 impl TaskFamily {
@@ -55,7 +103,7 @@ impl TaskFamily {
 }
 
 /// One question: read the model's answer at `position`, expect `expected`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Question {
     /// Sequence position whose retrieval output is read.
     pub position: usize,
@@ -63,8 +111,10 @@ pub struct Question {
     pub expected: u32,
 }
 
+sa_json::impl_json_struct!(Question { position, expected });
+
 /// A synthetic long-context task instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Task {
     /// Unique instance name (e.g. `"niah_len512_depth0.25"`).
     pub name: String,
@@ -77,6 +127,14 @@ pub struct Task {
     /// Valid-answer token range for constrained decoding.
     pub answer_range: std::ops::Range<u32>,
 }
+
+sa_json::impl_json_struct!(Task {
+    name,
+    family,
+    tokens,
+    questions,
+    answer_range
+});
 
 impl Task {
     /// Prompt length in tokens.

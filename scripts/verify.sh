@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline tier-1 gate for the SampleAttention reproduction.
+#
+# Runs the hermetic build + test cycle exactly as CI would, then smokes
+# one figure binary and one example end to end. Everything runs with
+# --offline: the workspace has no external crate dependencies (see
+# DESIGN.md, "Hermetic build policy"), so a network-less build must
+# succeed from a cold checkout.
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> tier 1: cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> smoke: fig1_overview --quick (figure binary)"
+smoke_out="$(mktemp -d)"
+trap 'rm -rf "$smoke_out"' EXIT
+cargo run -q --release --offline -p sa-bench --bin fig1_overview -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/fig1_overview.json" || {
+    echo "fig1_overview did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: quickstart example"
+cargo run -q --release --offline --example quickstart
+
+echo "verify: OK"

@@ -7,6 +7,7 @@
 //! This crate re-exports the whole workspace under one roof so examples,
 //! integration tests, and downstream users can depend on a single name:
 //!
+//! - [`json`] — minimal std-only JSON encode/parse ([`sa_json`])
 //! - [`tensor`] — dense math substrate ([`sa_tensor`])
 //! - [`kernels`] — full / flash / block-sparse attention kernels
 //!   ([`sa_kernels`])
@@ -47,6 +48,7 @@
 //! ```
 
 pub use sa_baselines as baselines;
+pub use sa_json as json;
 pub use sa_core as core;
 pub use sa_kernels as kernels;
 pub use sa_model as model;

@@ -1,14 +1,15 @@
 //! Property-based invariants of the SampleAttention pipeline and the
 //! paper's theory (CRA/SD definitions, Theorem 1, Lemma 1, stage-2
-//! coverage guarantees).
+//! coverage guarantees). Driven by the in-repo harness
+//! ([`sample_attention::tensor::check`]).
 
-use proptest::prelude::*;
 use sample_attention::core::cra::{cra_of_dense_mask, cra_of_structured_mask};
 use sample_attention::core::filtering::{filter_kv_indices, KvRatioSchedule};
 use sample_attention::core::sparsity::optimal_sparsity_degree;
 use sample_attention::core::theory::{check_lemma1, check_theorem1};
 use sample_attention::core::{SampleAttention, SampleAttentionConfig};
 use sample_attention::kernels::{attention_probs, DenseMask, StructuredMask};
+use sample_attention::tensor::check::run_cases;
 use sample_attention::tensor::{DeterministicRng, Matrix};
 
 fn probs(s: usize, d: usize, seed: u64) -> Matrix {
@@ -18,35 +19,33 @@ fn probs(s: usize, d: usize, seed: u64) -> Matrix {
     attention_probs(&q, &k, true).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The optimal mask of Definition 1 always meets its CRA constraint,
-    /// and SD decreases monotonically in alpha.
-    #[test]
-    fn optimal_sd_meets_alpha(
-        s in 4usize..48,
-        d in (1usize..5).prop_map(|x| x * 2),
-        seed in 0u64..500,
-        alpha in 0.5f32..0.99,
-    ) {
+/// The optimal mask of Definition 1 always meets its CRA constraint,
+/// and SD decreases monotonically in alpha.
+#[test]
+fn optimal_sd_meets_alpha() {
+    run_cases("optimal_sd_meets_alpha", |g| {
+        let s = g.usize_in(4, 48);
+        let d = g.even_in(2, 10);
+        let seed = g.u64_in(0, 500);
+        let alpha = g.f32_in(0.5, 0.99);
         let p = probs(s, d, seed);
         let (sd, mask) = optimal_sparsity_degree(&p, alpha);
-        prop_assert!(cra_of_dense_mask(&p, &mask) >= alpha - 1e-4);
-        prop_assert!((0.0..=1.0).contains(&sd));
+        assert!(cra_of_dense_mask(&p, &mask) >= alpha - 1e-4);
+        assert!((0.0..=1.0).contains(&sd));
         // Monotonicity in alpha.
         let (sd_hi, _) = optimal_sparsity_degree(&p, (alpha + 0.01).min(1.0));
-        prop_assert!(sd_hi <= sd + 1e-9);
-    }
+        assert!(sd_hi <= sd + 1e-9);
+    });
+}
 
-    /// Theorem 1's bound holds for arbitrary random masks.
-    #[test]
-    fn theorem1_bound_holds(
-        s in 2usize..32,
-        d in (1usize..5).prop_map(|x| x * 2),
-        seed in 0u64..500,
-        keep_prob in 0.0f32..1.0,
-    ) {
+/// Theorem 1's bound holds for arbitrary random masks.
+#[test]
+fn theorem1_bound_holds() {
+    run_cases("theorem1_bound_holds", |g| {
+        let s = g.usize_in(2, 32);
+        let d = g.even_in(2, 10);
+        let seed = g.u64_in(0, 500);
+        let keep_prob = g.f32_in(0.0, 1.0);
         let p = probs(s, d, seed);
         let mut rng = DeterministicRng::new(seed ^ 0xabcdef);
         let v = rng.normal_matrix(s, d, 1.0);
@@ -59,18 +58,19 @@ proptest! {
             }
         }
         let check = check_theorem1(&p, &mask, &v);
-        prop_assert!(check.holds(), "{check:?}");
-    }
+        assert!(check.holds(), "{check:?}");
+    });
+}
 
-    /// Lemma 1: CRA equals one minus the max dropped row mass for any
-    /// structured mask.
-    #[test]
-    fn lemma1_equality(
-        s in 2usize..40,
-        window in 0usize..16,
-        sinks in 0usize..4,
-        seed in 0u64..500,
-    ) {
+/// Lemma 1: CRA equals one minus the max dropped row mass for any
+/// structured mask.
+#[test]
+fn lemma1_equality() {
+    run_cases("lemma1_equality", |g| {
+        let s = g.usize_in(2, 40);
+        let window = g.usize_in(0, 16);
+        let sinks = g.usize_in(0, 4);
+        let seed = g.u64_in(0, 500);
         let p = probs(s, 8, seed);
         let mask = StructuredMask::builder(s, s)
             .window(window)
@@ -78,41 +78,39 @@ proptest! {
             .build()
             .unwrap();
         let (cra, one_minus_err) = check_lemma1(&p, &mask);
-        prop_assert!((cra - one_minus_err).abs() < 1e-4);
+        assert!((cra - one_minus_err).abs() < 1e-4);
         // And the structured CRA matches the dense-oracle CRA.
         let dense_cra = cra_of_dense_mask(&p, &mask.to_dense());
-        prop_assert!((cra - dense_cra).abs() < 1e-5);
-    }
+        assert!((cra - dense_cra).abs() < 1e-5);
+    });
+}
 
-    /// Stage-2 filtering always covers at least alpha of the mass (when
-    /// uncapped) and returns sorted, unique, in-range indices.
-    #[test]
-    fn filtering_covers_alpha(
-        scores in proptest::collection::vec(0.0f32..10.0, 1..200),
-        alpha in 0.1f32..1.0,
-    ) {
+/// Stage-2 filtering always covers at least alpha of the mass (when
+/// uncapped) and returns sorted, unique, in-range indices.
+#[test]
+fn filtering_covers_alpha() {
+    run_cases("filtering_covers_alpha", |g| {
+        let len = g.usize_in(1, 200);
+        let scores: Vec<f32> = (0..len).map(|_| g.f32_in(0.0, 10.0)).collect();
+        let alpha = g.f32_in(0.1, 1.0);
         let r = filter_kv_indices(&scores, alpha, 1.0, &KvRatioSchedule::Exact);
         let total: f32 = scores.iter().sum();
         if total > 0.0 {
-            prop_assert!(r.covered_mass >= alpha - 1e-4, "covered {}", r.covered_mass);
+            assert!(r.covered_mass >= alpha - 1e-4, "covered {}", r.covered_mass);
         }
-        prop_assert!(r.indices.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(r.indices.iter().all(|&i| i < scores.len()));
-        // Minimality: dropping the last selected index breaks coverage.
-        if total > 0.0 && r.indices.len() > 1 && r.covered_mass > alpha {
-            // (only check when strictly above: ties make the minimal set
-            // non-unique)
-        }
-    }
+        assert!(r.indices.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.indices.iter().all(|&i| i < scores.len()));
+    });
+}
 
-    /// The end-to-end operator: valid mask, near-exact at alpha = 1 with
-    /// full sampling, and CRA of the discovered mask is high on the true
-    /// probabilities when sampling is exact.
-    #[test]
-    fn pipeline_discovers_high_cra_masks(
-        s in 24usize..96,
-        seed in 0u64..200,
-    ) {
+/// The end-to-end operator: valid mask, near-exact at alpha = 1 with
+/// full sampling, and CRA of the discovered mask is high on the true
+/// probabilities when sampling is exact.
+#[test]
+fn pipeline_discovers_high_cra_masks() {
+    run_cases("pipeline_discovers_high_cra_masks", |g| {
+        let s = g.usize_in(24, 96);
+        let seed = g.u64_in(0, 200);
         let mut rng = DeterministicRng::new(seed);
         let d = 16;
         let q = rng.normal_matrix(s, d, 1.0);
@@ -130,8 +128,8 @@ proptest! {
         // Column accumulation guarantees *average* coverage >= alpha; the
         // row minimum can be lower, but the window + bottom area keep it
         // from collapsing.
-        prop_assert!(cra > 0.25, "cra {cra}");
+        assert!(cra > 0.25, "cra {cra}");
         // Aggregate (mean) coverage honours the threshold.
-        prop_assert!(discovered.stats.covered_mass >= 0.9 - 1e-4);
-    }
+        assert!(discovered.stats.covered_mass >= 0.9 - 1e-4);
+    });
 }

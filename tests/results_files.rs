@@ -1,0 +1,62 @@
+//! Smoke test over the checked-in `results/*.json` artifacts: every file
+//! must parse with the in-repo JSON module and survive a
+//! parse → serialize → parse round trip unchanged. This guards both the
+//! artifacts (no hand-edit can corrupt them silently) and the parser
+//! (it accepts everything the figure/table binaries emit).
+
+use sample_attention::json::{self, Json};
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+fn json_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(results_dir())
+        .expect("results/ directory")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_checked_in_result_parses() {
+    let files = json_files();
+    assert!(
+        files.len() >= 11,
+        "expected the full figure/table set, found {} json files",
+        files.len()
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: Json = json::parse(&text)
+            .unwrap_or_else(|e| panic!("{} failed to parse: {e}", path.display()));
+        // Every artifact is a non-trivial object or array, never a bare
+        // scalar.
+        match &value {
+            Json::Object(fields) => assert!(!fields.is_empty(), "{} is empty", path.display()),
+            Json::Array(items) => assert!(!items.is_empty(), "{} is empty", path.display()),
+            other => panic!("{} has scalar top level: {other:?}", path.display()),
+        }
+    }
+}
+
+#[test]
+fn results_round_trip_through_sa_json() {
+    for path in json_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: Json = json::parse(&text).unwrap();
+        let reserialized = value.render(None);
+        let reparsed: Json = json::parse(&reserialized)
+            .unwrap_or_else(|e| panic!("{} re-parse failed: {e}", path.display()));
+        assert_eq!(
+            value,
+            reparsed,
+            "{} not stable under round trip",
+            path.display()
+        );
+    }
+}

@@ -1,20 +1,26 @@
 //! Property-based invariants of the workload generators: every generated
 //! task must be internally consistent (questions reference real planted
 //! facts, answers are in the declared range, prompts are well-formed).
+//! Driven by the in-repo harness ([`sample_attention::tensor::check`]).
 
-use proptest::prelude::*;
 use sample_attention::model::{VocabLayout, BOS_TOKEN};
+use sample_attention::tensor::check::{run_cases_n, CASES};
 use sample_attention::workloads::{
     babilong_suite, longbench_suite, needle_grid, NeedleConfig, Task,
 };
 
-fn check_task(t: &Task, vocab_size: usize) -> Result<(), TestCaseError> {
+/// The workload suites are more expensive to generate than the kernel
+/// shapes, so run a reduced case count (matching the old 12-case
+/// configuration).
+const WORKLOAD_CASES: usize = CASES / 2;
+
+fn check_task(t: &Task, vocab_size: usize) {
     let layout = VocabLayout::for_vocab(vocab_size);
-    prop_assert_eq!(t.tokens[0], BOS_TOKEN, "{} must start with BOS", t.name);
-    prop_assert!(!t.questions.is_empty(), "{} has no questions", t.name);
+    assert_eq!(t.tokens[0], BOS_TOKEN, "{} must start with BOS", t.name);
+    assert!(!t.questions.is_empty(), "{} has no questions", t.name);
     for q in &t.questions {
-        prop_assert!(q.position < t.tokens.len());
-        prop_assert!(
+        assert!(q.position < t.tokens.len());
+        assert!(
             t.answer_range.contains(&q.expected),
             "{}: answer {} outside range",
             t.name,
@@ -24,7 +30,7 @@ fn check_task(t: &Task, vocab_size: usize) -> Result<(), TestCaseError> {
         // earlier position has this marker immediately followed by the
         // expected payload.
         let marker = t.tokens[q.position];
-        prop_assert!(
+        assert!(
             (layout.marker(0)..layout.payload(0)).contains(&marker),
             "{}: question token {} is not a marker",
             t.name,
@@ -33,42 +39,40 @@ fn check_task(t: &Task, vocab_size: usize) -> Result<(), TestCaseError> {
         let supported = t.tokens[..q.position]
             .windows(2)
             .any(|w| w[0] == marker && w[1] == q.expected);
-        prop_assert!(supported, "{}: no supporting fact for q@{}", t.name, q.position);
+        assert!(supported, "{}: no supporting fact for q@{}", t.name, q.position);
     }
     // All tokens in vocabulary.
-    prop_assert!(t.tokens.iter().all(|&tok| (tok as usize) < vocab_size));
-    Ok(())
+    assert!(t.tokens.iter().all(|&tok| (tok as usize) < vocab_size));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn longbench_tasks_are_consistent(
-        length in 128usize..512,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn longbench_tasks_are_consistent() {
+    run_cases_n("longbench_tasks_are_consistent", WORKLOAD_CASES, |g| {
+        let length = g.usize_in(128, 512);
+        let seed = g.u64_in(0, 10_000);
         for t in longbench_suite(512, length, 1, seed) {
-            check_task(&t, 512)?;
+            check_task(&t, 512);
         }
-    }
+    });
+}
 
-    #[test]
-    fn babilong_tasks_are_consistent(
-        length in 96usize..512,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn babilong_tasks_are_consistent() {
+    run_cases_n("babilong_tasks_are_consistent", WORKLOAD_CASES, |g| {
+        let length = g.usize_in(96, 512);
+        let seed = g.u64_in(0, 10_000);
         for t in babilong_suite(512, &[length], seed) {
-            check_task(&t, 512)?;
+            check_task(&t, 512);
         }
-    }
+    });
+}
 
-    #[test]
-    fn needle_cells_are_consistent(
-        length in 64usize..512,
-        depths in 1usize..9,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn needle_cells_are_consistent() {
+    run_cases_n("needle_cells_are_consistent", WORKLOAD_CASES, |g| {
+        let length = g.usize_in(64, 512);
+        let depths = g.usize_in(1, 9);
+        let seed = g.u64_in(0, 10_000);
         let cells = needle_grid(
             512,
             &NeedleConfig {
@@ -77,20 +81,23 @@ proptest! {
                 seed,
             },
         );
-        prop_assert_eq!(cells.len(), depths);
+        assert_eq!(cells.len(), depths);
         for c in cells {
-            check_task(&c.task, 512)?;
-            prop_assert!((0.0..=1.0).contains(&c.depth_fraction));
+            check_task(&c.task, 512);
+            assert!((0.0..=1.0).contains(&c.depth_fraction));
         }
-    }
+    });
+}
 
-    #[test]
-    fn tasks_are_deterministic_per_seed(seed in 0u64..10_000) {
+#[test]
+fn tasks_are_deterministic_per_seed() {
+    run_cases_n("tasks_are_deterministic_per_seed", WORKLOAD_CASES, |g| {
+        let seed = g.u64_in(0, 10_000);
         let a = longbench_suite(512, 160, 1, seed);
         let b = longbench_suite(512, 160, 1, seed);
         for (x, y) in a.iter().zip(&b) {
-            prop_assert_eq!(&x.tokens, &y.tokens);
-            prop_assert_eq!(&x.questions, &y.questions);
+            assert_eq!(&x.tokens, &y.tokens);
+            assert_eq!(&x.questions, &y.questions);
         }
-    }
+    });
 }
