@@ -24,7 +24,12 @@ pub struct MethodOutput {
 ///
 /// The trait is object-safe: the evaluation harnesses iterate over
 /// `Vec<Box<dyn AttentionMethod>>`.
-pub trait AttentionMethod {
+///
+/// `Send + Sync` is a supertrait so the model layers can fan one method
+/// out across per-head worker threads (all state is fixed at
+/// construction, so implementations are shared-reference safe by
+/// design).
+pub trait AttentionMethod: Send + Sync {
     /// Human-readable method name as used in the paper's tables.
     fn name(&self) -> &str;
 

@@ -3,6 +3,11 @@
 //! densities. The expected shape mirrors the paper's Figure 5(a): sparse
 //! wall-clock scales with mask density.
 //!
+//! Every case is timed twice — pinned to one worker (`SA_THREADS=1`)
+//! and at the session's default worker count — so the report and the
+//! emitted JSON carry a serial-vs-parallel speedup column. The pool's
+//! contract guarantees both legs compute bit-identical outputs.
+//!
 //! Run with `cargo run -p sa-bench --release --bin bench_attention_kernels`
 //! (`--quick` shrinks the size sweep and trial count).
 
@@ -25,14 +30,20 @@ fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
 fn main() {
     let args = Args::parse();
     let d = 64;
-    let sizes: &[usize] = if args.quick { &[256] } else { &[256, 512, 1024] };
+    // 4096 exercises the parallel split well past the per-chunk grain;
+    // on a multi-core host the pool should win ≥ 2x there.
+    let sizes: &[usize] = if args.quick {
+        &[256]
+    } else {
+        &[256, 512, 1024, 4096]
+    };
     let mut bench = Bench::new("attention_kernels").trials(if args.quick { 5 } else { 10 });
     for &s in sizes {
         let (q, k, v) = qkv(s, d, args.seed);
-        bench.run(&format!("full/s{s}"), || {
+        bench.run_serial_parallel(&format!("full/s{s}"), || {
             full_attention(&q, &k, &v, true).unwrap().output
         });
-        bench.run(&format!("flash/s{s}"), || {
+        bench.run_serial_parallel(&format!("flash/s{s}"), || {
             flash_attention(&q, &k, &v, true, FlashParams::default())
                 .unwrap()
                 .output
@@ -44,11 +55,12 @@ fn main() {
                 .columns((0..s / 64).map(|i| i * 61 % s).collect())
                 .build()
                 .unwrap();
-            bench.run(
+            bench.run_serial_parallel(
                 &format!("sparse_w{:.0}%/s{s}", window_ratio * 100.0),
                 || sparse_flash_attention(&q, &k, &v, &mask).unwrap().output,
             );
         }
     }
     print!("{}", bench.report());
+    sa_bench::write_json(&args, "bench_attention_kernels", &bench);
 }

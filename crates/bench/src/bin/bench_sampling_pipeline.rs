@@ -4,6 +4,12 @@
 //! the discovery stages should be a small fraction of the dense
 //! attention cost.
 //!
+//! Every case is timed twice — pinned to one worker (`SA_THREADS=1`)
+//! and at the session's default worker count — so the report and the
+//! emitted JSON carry a serial-vs-parallel speedup column. Stage-2
+//! filtering is intentionally serial (a scalar prefix scan), so its
+//! pair documents that the pool adds no overhead to serial code.
+//!
 //! Run with `cargo run -p sa-bench --release --bin bench_sampling_pipeline`
 //! (`--quick` shrinks the size sweep and trial count).
 
@@ -27,24 +33,31 @@ fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
 fn main() {
     let args = Args::parse();
     let d = 64;
-    let sizes: &[usize] = if args.quick { &[512] } else { &[512, 2048] };
+    // 4096 exercises the parallel split well past the per-chunk grain;
+    // on a multi-core host the pool should win ≥ 2x there.
+    let sizes: &[usize] = if args.quick {
+        &[512]
+    } else {
+        &[512, 2048, 4096]
+    };
     let mut bench = Bench::new("sampling_pipeline").trials(if args.quick { 5 } else { 10 });
     for &s in sizes {
         let (q, k, v) = qkv(s, d, args.seed);
-        bench.run(&format!("stage1_sampling/s{s}"), || {
+        bench.run_serial_parallel(&format!("stage1_sampling/s{s}"), || {
             sample_attention_scores(&q, &k, 0.05).unwrap()
         });
         let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
-        bench.run(&format!("stage2_filtering/s{s}"), || {
+        bench.run_serial_parallel(&format!("stage2_filtering/s{s}"), || {
             filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact)
         });
         let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
-        bench.run(&format!("sample_attention_e2e/s{s}"), || {
+        bench.run_serial_parallel(&format!("sample_attention_e2e/s{s}"), || {
             attn.forward(&q, &k, &v).unwrap().output
         });
-        bench.run(&format!("full_attention/s{s}"), || {
+        bench.run_serial_parallel(&format!("full_attention/s{s}"), || {
             full_attention(&q, &k, &v, true).unwrap().output
         });
     }
     print!("{}", bench.report());
+    sa_bench::write_json(&args, "bench_sampling_pipeline", &bench);
 }

@@ -15,6 +15,9 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use sa_json::{Json, ToJson};
+use sa_tensor::pool;
+
 /// Timing summary of one measured case.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -44,6 +47,48 @@ impl Measurement {
     }
 }
 
+impl ToJson for Measurement {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("label".to_string(), self.label.to_json()),
+            ("trials".to_string(), (self.trials as u64).to_json()),
+            ("min_ns".to_string(), (self.min.as_nanos() as u64).to_json()),
+            (
+                "median_ns".to_string(),
+                (self.median.as_nanos() as u64).to_json(),
+            ),
+            ("p90_ns".to_string(), (self.p90.as_nanos() as u64).to_json()),
+        ])
+    }
+}
+
+/// A serial-vs-parallel pair measured by
+/// [`Bench::run_serial_parallel`]: the same closure timed under
+/// `SA_THREADS=1` and at the session's default worker count.
+#[derive(Debug, Clone)]
+pub struct SerialParallelPair {
+    /// The serial (1-thread) measurement.
+    pub serial: Measurement,
+    /// The parallel (default-thread-count) measurement.
+    pub parallel: Measurement,
+    /// Worker count used for the parallel run.
+    pub threads: usize,
+    /// `serial.median / parallel.median` (1.0 when the pool has a single
+    /// worker, since both runs are then the same configuration).
+    pub speedup: f64,
+}
+
+impl ToJson for SerialParallelPair {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("serial".to_string(), self.serial.to_json()),
+            ("parallel".to_string(), self.parallel.to_json()),
+            ("threads".to_string(), (self.threads as u64).to_json()),
+            ("speedup".to_string(), self.speedup.to_json()),
+        ])
+    }
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns < 10_000 {
@@ -64,6 +109,7 @@ pub struct Bench {
     warmup: usize,
     trials: usize,
     results: Vec<Measurement>,
+    pairs: Vec<SerialParallelPair>,
 }
 
 impl Bench {
@@ -74,6 +120,7 @@ impl Bench {
             warmup: 3,
             trials: 15,
             results: Vec::new(),
+            pairs: Vec::new(),
         }
     }
 
@@ -114,9 +161,48 @@ impl Bench {
         self.results.last().expect("just pushed")
     }
 
+    /// Times `f` twice — pinned to one worker (the `SA_THREADS=1`
+    /// configuration) and at the session's default worker count — and
+    /// records a [`SerialParallelPair`] with the median-based speedup.
+    ///
+    /// Both runs execute identical arithmetic (the pool contract is
+    /// bit-determinism across thread counts), so the pair isolates pure
+    /// scheduling overhead/benefit. On a single-core host both legs are
+    /// the same configuration and the speedup hovers around 1.0.
+    pub fn run_serial_parallel<T>(
+        &mut self,
+        label: &str,
+        mut f: impl FnMut() -> T,
+    ) -> &SerialParallelPair {
+        let serial = pool::with_threads(1, || {
+            self.run(&format!("{label}/serial"), &mut f).clone()
+        });
+        let threads = pool::current_threads();
+        let parallel = self
+            .run(&format!("{label}/par{threads}"), &mut f)
+            .clone();
+        let speedup = if parallel.median.as_nanos() == 0 {
+            1.0
+        } else {
+            serial.median.as_nanos() as f64 / parallel.median.as_nanos() as f64
+        };
+        self.pairs.push(SerialParallelPair {
+            serial,
+            parallel,
+            threads,
+            speedup,
+        });
+        self.pairs.last().expect("just pushed")
+    }
+
     /// All measurements so far, in run order.
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// All serial-vs-parallel pairs recorded so far, in run order.
+    pub fn pairs(&self) -> &[SerialParallelPair] {
+        &self.pairs
     }
 
     /// Renders the full report (header + one row per measurement).
@@ -129,7 +215,40 @@ impl Bench {
             out.push_str(&m.row());
             out.push('\n');
         }
+        if !self.pairs.is_empty() {
+            out.push_str(&format!(
+                "{:<40} {:>12} {:>12} {:>9}\n",
+                "serial vs parallel", "serial", "parallel", "speedup"
+            ));
+            for p in &self.pairs {
+                let label = p
+                    .serial
+                    .label
+                    .strip_suffix("/serial")
+                    .unwrap_or(&p.serial.label);
+                out.push_str(&format!(
+                    "{:<40} {:>12} {:>12} {:>8.2}x   ({} threads)\n",
+                    label,
+                    fmt_duration(p.serial.median),
+                    fmt_duration(p.parallel.median),
+                    p.speedup,
+                    p.threads,
+                ));
+            }
+        }
         out
+    }
+}
+
+impl ToJson for Bench {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), self.name.to_json()),
+            ("warmup".to_string(), (self.warmup as u64).to_json()),
+            ("trials".to_string(), (self.trials as u64).to_json()),
+            ("results".to_string(), self.results.to_json()),
+            ("serial_vs_parallel".to_string(), self.pairs.to_json()),
+        ])
     }
 }
 
@@ -160,6 +279,36 @@ mod tests {
         assert!(r.contains("## group"));
         assert!(r.contains("a") && r.contains("b"));
         assert_eq!(b.results().len(), 2);
+    }
+
+    #[test]
+    fn serial_parallel_pair_records_both_legs() {
+        let mut b = Bench::new("pairs").warmup(0).trials(3);
+        let p = b.run_serial_parallel("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(p.serial.label.ends_with("/serial"));
+        assert!(p.threads >= 1);
+        assert!(p.speedup.is_finite() && p.speedup > 0.0);
+        assert_eq!(b.pairs().len(), 1);
+        // Both legs also land in the flat results list.
+        assert_eq!(b.results().len(), 2);
+        assert!(b.report().contains("speedup"));
+    }
+
+    #[test]
+    fn bench_serializes_to_json() {
+        let mut b = Bench::new("json").warmup(0).trials(1);
+        b.run("a", || 1);
+        b.run_serial_parallel("b", || 2);
+        let text = b.to_json().render(None);
+        assert!(text.contains("\"serial_vs_parallel\""));
+        assert!(text.contains("median_ns"));
+        assert!(text.contains("speedup"));
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct SampleAttentionStats {
     pub kv_ratio: f32,
     /// Fraction of sampled attention mass covered by the stripe set.
     pub covered_mass: f32,
+    /// Whether stage-2 actually reached the configured α coverage (false
+    /// when the `max_kv_ratio` cap truncated the stripe set short of it).
+    pub alpha_satisfied: bool,
     /// Live fraction of the causal triangle in the merged mask.
     pub mask_density: f64,
     /// Cost of stage 1 (fused sampling kernel).
@@ -32,6 +35,7 @@ pub struct SampleAttentionStats {
 sa_json::impl_json_struct!(SampleAttentionStats {
     kv_ratio,
     covered_mass,
+    alpha_satisfied,
     mask_density,
     sampling_cost,
     filtering_cost,
@@ -191,6 +195,7 @@ impl SampleAttention {
         let stats = SampleAttentionStats {
             kv_ratio: filtered.kv_ratio,
             covered_mass: filtered.covered_mass,
+            alpha_satisfied: filtered.alpha_satisfied,
             mask_density: mask.density(),
             sampling_cost: sampled.cost,
             filtering_cost: filtered.cost,

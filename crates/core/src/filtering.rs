@@ -47,8 +47,15 @@ pub struct KvFilterResult {
     pub indices: Vec<usize>,
     /// `|I_KV| / S_k`.
     pub kv_ratio: f32,
-    /// Fraction of the sampled mass covered by the selection.
+    /// Fraction of the sampled mass covered by the selection, clamped to
+    /// `[0, 1]` (the raw prefix/total ratio can exceed 1 under fp
+    /// rounding).
     pub covered_mass: f32,
+    /// Whether the selection actually reaches the requested `α` coverage.
+    /// `false` when the `max_kv_ratio` cap truncated the selection below
+    /// the α point (silent under-coverage otherwise), and for an empty /
+    /// zero-mass input.
+    pub alpha_satisfied: bool,
     /// Cost of the sort/prefix-sum/searchsorted/gather pipeline.
     pub cost: CostReport,
 }
@@ -96,6 +103,7 @@ pub fn filter_kv_indices(
             indices: Vec::new(),
             kv_ratio: 0.0,
             covered_mass: 0.0,
+            alpha_satisfied: false,
             cost: CostReport::launch(0, 0, 0),
         };
     }
@@ -126,7 +134,12 @@ pub fn filter_kv_indices(
 
     let mut indices: Vec<usize> = order[..k].to_vec();
     indices.sort_unstable();
-    let covered_mass = prefix[k - 1] / total;
+    // Same comparison the selection itself uses: reports false exactly
+    // when the kept prefix mass falls short of α·total — most commonly
+    // because the `max_kv_ratio` cap truncated the selection below the α
+    // point.
+    let alpha_satisfied = prefix[k - 1] >= target;
+    let covered_mass = (prefix[k - 1] / total).clamp(0.0, 1.0);
 
     // Cost model: sort O(S log S) compares, prefix sum + searchsorted,
     // gather of k indices. All operate on length-S_k vectors.
@@ -139,6 +152,7 @@ pub fn filter_kv_indices(
         indices,
         kv_ratio: k as f32 / s_k as f32,
         covered_mass,
+        alpha_satisfied,
         cost,
     }
 }
@@ -188,6 +202,43 @@ mod tests {
         let r = filter_kv_indices(&scores, 0.95, 0.5, &KvRatioSchedule::Exact);
         assert_eq!(r.indices.len(), 50);
         assert!((r.covered_mass - 0.5).abs() < 1e-4);
+        // The cap truncated the selection below the α point: this must be
+        // reported, not silently under-covered.
+        assert!(!r.alpha_satisfied);
+    }
+
+    #[test]
+    fn uncapped_selection_reports_alpha_satisfied() {
+        let scores = vec![1.0f32; 100];
+        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        assert!(r.alpha_satisfied);
+        assert!(r.covered_mass >= 0.95);
+        // A cap that still leaves room for the α point also satisfies.
+        let roomy = filter_kv_indices(&scores, 0.5, 0.8, &KvRatioSchedule::Exact);
+        assert!(roomy.alpha_satisfied);
+    }
+
+    #[test]
+    fn capped_coarse_schedule_reports_unsatisfied() {
+        let scores = vec![1.0f32; 1000];
+        let r = filter_kv_indices(&scores, 0.9, 0.1, &KvRatioSchedule::paper_coarse());
+        assert_eq!(r.indices.len(), 100);
+        assert!(!r.alpha_satisfied);
+        assert!((r.covered_mass - 0.1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn covered_mass_clamped_to_unit_interval() {
+        // Many near-equal tiny values: the f32 prefix/total ratio is prone
+        // to landing a hair above 1.0 at full coverage.
+        let scores = vec![0.1f32; 10_000];
+        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact);
+        assert!(r.covered_mass <= 1.0, "covered_mass {}", r.covered_mass);
+        assert!(r.covered_mass >= 0.0);
+        // Zero-mass input reports unsatisfied, zero coverage.
+        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact);
+        assert!(!z.alpha_satisfied);
+        assert_eq!(z.covered_mass, 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! makes a small sample representative of all rows.
 
 use sa_kernels::{score_scale, CostReport};
-use sa_tensor::{softmax_row, Matrix, StrideSample, TensorError};
+use sa_tensor::{pool, softmax_row, Matrix, StrideSample, TensorError};
 
 use crate::sparsity::causal_width;
 
@@ -93,33 +93,56 @@ pub fn sample_attention_scores(
     let sample = StrideSample::by_ratio(s_q, sample_ratio)?;
     let scale = score_scale(d);
 
-    let mut column_scores = vec![0.0f32; s_k];
-    let mut diagonal_scores = vec![0.0f32; s_k];
-    let mut scores_buf: Vec<f32> = Vec::with_capacity(s_k);
+    // Parallel schedule with a serial reduction: sampled rows are
+    // processed in fixed batches of SAMPLE_BATCH rows. Within a batch the
+    // per-row probability vectors are computed on the worker pool
+    // (per-row arithmetic identical to the serial loop, rows are
+    // independent); the batch is then folded into the accumulators
+    // strictly in sampled-row order. The batch size — and hence every
+    // addition's position in the reduction — is independent of the thread
+    // count, so the result is bit-identical under any `SA_THREADS`.
+    // Memory stays bounded at SAMPLE_BATCH probability vectors.
+    //
+    // The accumulators are f64 (output stays f32): thousands of sampled
+    // rows each add ~`visible` tiny probabilities, the same long-sum
+    // regime that moves stage-2's α-threshold under f32 drift.
+    const SAMPLE_BATCH: usize = 64;
+    let mut column_acc = vec![0.0f64; s_k];
+    let mut diagonal_acc = vec![0.0f64; s_k];
     let mut live_pairs: u64 = 0;
 
-    for &i in sample.indices() {
+    let row_probs = |i: usize| -> Option<(usize, Vec<f32>)> {
         let visible = causal_width(i, s_q, s_k);
         if visible == 0 {
-            continue;
+            return None;
         }
         let q_row = q.row(i);
-        scores_buf.clear();
-        scores_buf.extend((0..visible).map(|j| {
-            q_row
-                .iter()
-                .zip(k.row(j))
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
-                * scale
-        }));
-        softmax_row(&mut scores_buf);
-        for (j, (acc, &p)) in column_scores.iter_mut().zip(scores_buf.iter()).enumerate() {
-            *acc += p;
-            diagonal_scores[visible - 1 - j] += p;
+        let mut probs: Vec<f32> = (0..visible)
+            .map(|j| {
+                q_row
+                    .iter()
+                    .zip(k.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+                    * scale
+            })
+            .collect();
+        softmax_row(&mut probs);
+        Some((visible, probs))
+    };
+    let grain = pool::row_grain(s_k.max(1) * d.max(1));
+    for batch in sample.indices().chunks(SAMPLE_BATCH) {
+        let computed = pool::parallel_map(batch.len(), grain, |b| row_probs(batch[b]));
+        for (visible, probs) in computed.into_iter().flatten() {
+            for (j, (acc, &p)) in column_acc.iter_mut().zip(probs.iter()).enumerate() {
+                *acc += f64::from(p);
+                diagonal_acc[visible - 1 - j] += f64::from(p);
+            }
+            live_pairs += visible as u64;
         }
-        live_pairs += visible as u64;
     }
+    let column_scores: Vec<f32> = column_acc.into_iter().map(|v| v as f32).collect();
+    let diagonal_scores: Vec<f32> = diagonal_acc.into_iter().map(|v| v as f32).collect();
 
     // Fused kernel cost: Q sample rows + visible K rows read, column
     // scores written once. (2d for the dot product, ~4 for softmax, 1 for

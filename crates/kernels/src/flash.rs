@@ -9,7 +9,9 @@
 //! the two-pass softmax, so outputs match [`crate::full_attention`] to
 //! floating-point round-off.
 
-use sa_tensor::{matmul_transb, Matrix, OnlineSoftmaxState, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sa_tensor::{matmul_transb, pool, Matrix, OnlineSoftmaxState, TensorError};
 
 use crate::cost::f32_bytes;
 use crate::full::causal_pairs;
@@ -104,58 +106,80 @@ pub fn flash_attention(
     let off = s_k as isize - s_q as isize;
 
     let mut output = Matrix::zeros(s_q, dv);
-    let mut kv_block_reads: u64 = 0;
+    let kv_block_reads = AtomicU64::new(0);
 
-    for q0 in (0..s_q).step_by(params.block_rows) {
-        let q1 = (q0 + params.block_rows).min(s_q);
-        let q_block = q.slice_rows(q0, q1)?;
-        let mut states: Vec<OnlineSoftmaxState> =
-            (q0..q1).map(|_| OnlineSoftmaxState::new(dv)).collect();
+    // Query blocks are independent, so they run as chunks on the worker
+    // pool. Bit-determinism: the chunk grain is rounded to a multiple of
+    // `block_rows`, so every worker sees the same query-block grid as the
+    // serial loop. Within a block, key-tile boundaries are multiples of
+    // `block_cols` (only the final, causally clamped tile varies with the
+    // block end), and the online softmax skips `-inf` entries, so each
+    // row folds exactly the same live-score segments in the same order
+    // regardless of which q-block — or thread — processes it.
+    // `kv_block_reads` is an integer tally, order-independent by nature.
+    if s_q > 0 && dv > 0 && s_k > 0 {
+        let grain_rows = pool::row_grain(s_k * (d + dv))
+            .div_ceil(params.block_rows)
+            * params.block_rows;
+        pool::parallel_for_rows(output.as_mut_slice(), dv, grain_rows, |row0, chunk| {
+            // row0 is a multiple of grain_rows, hence of block_rows: the
+            // chunk starts on a global q-block boundary.
+            let chunk_rows = chunk.len() / dv;
+            for q0 in (row0..row0 + chunk_rows).step_by(params.block_rows) {
+                let q1 = (q0 + params.block_rows).min(row0 + chunk_rows);
+                let q_block = q.slice_rows(q0, q1).expect("q block in range");
+                let mut states: Vec<OnlineSoftmaxState> =
+                    (q0..q1).map(|_| OnlineSoftmaxState::new(dv)).collect();
 
-        // Last key this query block can causally see.
-        let block_key_end = if causal {
-            let e = (q1 - 1) as isize + off;
-            if e < 0 {
-                // Entire block is fully masked.
-                continue;
-            }
-            (e as usize).min(s_k.saturating_sub(1))
-        } else {
-            s_k.saturating_sub(1)
-        };
-        if s_k == 0 {
-            continue;
-        }
+                // Last key this query block can causally see.
+                let block_key_end = if causal {
+                    let e = (q1 - 1) as isize + off;
+                    if e < 0 {
+                        // Entire block is fully masked.
+                        continue;
+                    }
+                    (e as usize).min(s_k - 1)
+                } else {
+                    s_k - 1
+                };
 
-        for k0 in (0..=block_key_end).step_by(params.block_cols) {
-            let k1 = (k0 + params.block_cols).min(block_key_end + 1);
-            let k_block = k.slice_rows(k0, k1)?;
-            kv_block_reads += ((k1 - k0) * (d + dv)) as u64;
+                for k0 in (0..=block_key_end).step_by(params.block_cols) {
+                    let k1 = (k0 + params.block_cols).min(block_key_end + 1);
+                    let k_block = k.slice_rows(k0, k1).expect("k block in range");
+                    kv_block_reads
+                        .fetch_add(((k1 - k0) * (d + dv)) as u64, Ordering::Relaxed);
 
-            // Br x Bc raw scores for this tile.
-            let mut scores = matmul_transb(&q_block, &k_block)?;
-            scores.scale_in_place(scale);
-            if causal {
-                for (local_i, i) in (q0..q1).enumerate() {
-                    let end = i as isize + off;
-                    let row = scores.row_mut(local_i);
-                    for (local_j, x) in row.iter_mut().enumerate() {
-                        let j = (k0 + local_j) as isize;
-                        if j > end {
-                            *x = f32::NEG_INFINITY;
+                    // Br x Bc raw scores for this tile.
+                    let mut scores =
+                        matmul_transb(&q_block, &k_block).expect("tile shapes agree");
+                    scores.scale_in_place(scale);
+                    if causal {
+                        for (local_i, i) in (q0..q1).enumerate() {
+                            let end = i as isize + off;
+                            let row = scores.row_mut(local_i);
+                            for (local_j, x) in row.iter_mut().enumerate() {
+                                let j = (k0 + local_j) as isize;
+                                if j > end {
+                                    *x = f32::NEG_INFINITY;
+                                }
+                            }
                         }
                     }
+                    for (local_i, state) in states.iter_mut().enumerate() {
+                        sa_tensor::online_softmax_update(state, scores.row(local_i), |t| {
+                            v.row(k0 + t)
+                        });
+                    }
+                }
+
+                for (local_i, state) in states.into_iter().enumerate() {
+                    let at = (q0 - row0 + local_i) * dv;
+                    chunk[at..at + dv].copy_from_slice(&state.finish());
                 }
             }
-            for (local_i, state) in states.iter_mut().enumerate() {
-                sa_tensor::online_softmax_update(state, scores.row(local_i), |t| v.row(k0 + t));
-            }
-        }
-
-        for (local_i, state) in states.into_iter().enumerate() {
-            output.row_mut(q0 + local_i).copy_from_slice(&state.finish());
-        }
+        });
     }
+    let kv_block_reads = kv_block_reads.into_inner();
 
     let pairs = if causal {
         causal_pairs(s_q, s_k)

@@ -8,7 +8,9 @@
 //! instead of the full causal triangle — exactly the paper's
 //! `sparse_flash_attn(Q, K, V, M_Merged)`.
 
-use sa_tensor::{online_softmax_update, Matrix, OnlineSoftmaxState, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sa_tensor::{online_softmax_update, pool, Matrix, OnlineSoftmaxState, TensorError};
 
 use crate::cost::f32_bytes;
 use crate::{score_scale, AttentionOutput, CostReport, StructuredMask};
@@ -85,44 +87,59 @@ pub fn sparse_flash_attention(
     let extras = mask.extra_columns();
 
     let mut output = Matrix::zeros(s_q, dv);
-    let mut live_pairs: u64 = 0;
-    let mut scores_buf: Vec<f32> = Vec::new();
-    let mut cols_buf: Vec<usize> = Vec::new();
+    let live_pairs = AtomicU64::new(0);
 
-    for i in 0..s_q {
-        let Some(end) = mask.causal_end(i) else {
-            continue;
-        };
-        let win_start = mask.window_start(i);
-        let q_row = q.row(i);
-        let mut state = OnlineSoftmaxState::new(dv);
+    // Rows are fully independent (each folds only its own live columns),
+    // so row chunks run on the worker pool with bit-identical per-row
+    // arithmetic. The score/column scratch buffers become per-chunk
+    // locals; `live_pairs` is an integer tally, order-independent.
+    if s_q > 0 && dv > 0 {
+        let avg_live = (mask.nnz() / s_q).max(1);
+        let grain_rows = pool::row_grain(avg_live * (d + dv));
+        pool::parallel_for_rows(output.as_mut_slice(), dv, grain_rows, |row0, chunk| {
+            let mut scores_buf: Vec<f32> = Vec::new();
+            let mut cols_buf: Vec<usize> = Vec::new();
+            let mut chunk_pairs: u64 = 0;
 
-        // Extra columns strictly below the window (sinks + stripes +
-        // diagonal keys).
-        cols_buf.clear();
-        cols_buf.extend(extras.iter().copied().take_while(|&c| c < win_start));
-        cols_buf.extend(mask.diagonal_keys(i));
-        if !cols_buf.is_empty() {
-            scores_buf.clear();
-            scores_buf.extend(
-                cols_buf
-                    .iter()
-                    .map(|&c| dot(q_row, k.row(c)) * scale),
-            );
-            let cols = &cols_buf;
-            online_softmax_update(&mut state, &scores_buf, |t| v.row(cols[t]));
-        }
+            for (local_i, out_row) in chunk.chunks_mut(dv).enumerate() {
+                let i = row0 + local_i;
+                let Some(end) = mask.causal_end(i) else {
+                    continue;
+                };
+                let win_start = mask.window_start(i);
+                let q_row = q.row(i);
+                let mut state = OnlineSoftmaxState::new(dv);
 
-        // Contiguous local window win_start ..= end.
-        if win_start <= end {
-            scores_buf.clear();
-            scores_buf.extend((win_start..=end).map(|c| dot(q_row, k.row(c)) * scale));
-            online_softmax_update(&mut state, &scores_buf, |t| v.row(win_start + t));
-        }
+                // Extra columns strictly below the window (sinks + stripes +
+                // diagonal keys).
+                cols_buf.clear();
+                cols_buf.extend(extras.iter().copied().take_while(|&c| c < win_start));
+                cols_buf.extend(mask.diagonal_keys(i));
+                if !cols_buf.is_empty() {
+                    scores_buf.clear();
+                    scores_buf.extend(
+                        cols_buf
+                            .iter()
+                            .map(|&c| dot(q_row, k.row(c)) * scale),
+                    );
+                    let cols = &cols_buf;
+                    online_softmax_update(&mut state, &scores_buf, |t| v.row(cols[t]));
+                }
 
-        live_pairs += (cols_buf.len() + (end + 1 - win_start)) as u64;
-        output.row_mut(i).copy_from_slice(&state.finish());
+                // Contiguous local window win_start ..= end.
+                if win_start <= end {
+                    scores_buf.clear();
+                    scores_buf.extend((win_start..=end).map(|c| dot(q_row, k.row(c)) * scale));
+                    online_softmax_update(&mut state, &scores_buf, |t| v.row(win_start + t));
+                }
+
+                chunk_pairs += (cols_buf.len() + (end + 1 - win_start)) as u64;
+                out_row.copy_from_slice(&state.finish());
+            }
+            live_pairs.fetch_add(chunk_pairs, Ordering::Relaxed);
+        });
     }
+    let live_pairs = live_pairs.into_inner();
 
     // Fused single kernel: reads Q once, gathers the live K/V rows, and
     // writes O. K/V reads are shared across the KV_TILE_REUSE query rows

@@ -5,7 +5,7 @@ use sa_baselines::AttentionMethod;
 use sa_kernels::gqa::GqaLayout;
 use sa_kernels::rope::{apply_rope_partial, RopeConfig};
 use sa_kernels::CostReport;
-use sa_tensor::{matmul, DeterministicRng, Matrix, TensorError};
+use sa_tensor::{matmul, pool, DeterministicRng, Matrix, TensorError};
 
 use crate::{GroupProjections, HeadArchetype, LayerKvCache, ModelConfig, RmsNorm, SwigluMlp};
 
@@ -171,15 +171,23 @@ impl AttentionLayer {
             cost.merge(&projection_cost(n, hidden_rows.cols(), k_new.cols(), 2));
             let (k_all, v_all) = cache.head(g);
 
-            for local in 0..self.gqa.group_size() {
-                let head = g * self.gqa.group_size() + local;
+            // Heads of a group are independent given the shared K/V, so
+            // they run on the worker pool; the fold below stays serial
+            // and in head order, keeping the f32 accumulation into
+            // `content_update` bit-identical to the serial loop.
+            let head_outputs = pool::parallel_map(self.gqa.group_size(), 1, |local| {
                 let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
                 apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
-                cost.merge(&projection_cost(n, hidden_rows.cols(), q_new.cols(), 1));
-
+                let proj = projection_cost(n, hidden_rows.cols(), q_new.cols(), 1);
                 let out = method.forward(&q_new, k_all, v_all)?;
-                cost.merge(&out.cost);
                 let content = Matrix::from_fn(n, dc, |i, j| out.output.get(i, j));
+                Ok::<_, TensorError>((proj, out, content))
+            });
+            for (local, result) in head_outputs.into_iter().enumerate() {
+                let head = g * self.gqa.group_size() + local;
+                let (proj, out, content) = result?;
+                cost.merge(&proj);
+                cost.merge(&out.cost);
                 for i in 0..n {
                     let upd = content_update.row_mut(i);
                     for (u, &c) in upd.iter_mut().zip(content.row(i)) {
@@ -283,17 +291,22 @@ impl AttentionLayer {
             apply_rope_partial(&mut k, self.rotary_dims, 0, self.rope)?;
             cost.merge(&projection_cost(s, hidden.cols(), k.cols(), 2));
 
-            for local in 0..self.gqa.group_size() {
-                let head = g * self.gqa.group_size() + local;
+            // Per-head fan-out on the worker pool; serial in-order fold
+            // (see forward_incremental) keeps results bit-identical.
+            let head_outputs = pool::parallel_map(self.gqa.group_size(), 1, |local| {
                 let mut q = matmul(hidden, &group.wqs[local])?;
                 apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
-                cost.merge(&projection_cost(s, hidden.cols(), q.cols(), 1));
-
+                let proj = projection_cost(s, hidden.cols(), q.cols(), 1);
                 let out = method.forward(&q, &k, &v)?;
-                cost.merge(&out.cost);
-
                 // Content lives in the first dc output dims.
                 let content = Matrix::from_fn(s, dc, |i, j| out.output.get(i, j));
+                Ok::<_, TensorError>((proj, out, content))
+            });
+            for (local, result) in head_outputs.into_iter().enumerate() {
+                let head = g * self.gqa.group_size() + local;
+                let (proj, out, content) = result?;
+                cost.merge(&proj);
+                cost.merge(&out.cost);
                 for i in 0..s {
                     let upd = content_update.row_mut(i);
                     for (u, &c) in upd.iter_mut().zip(content.row(i)) {

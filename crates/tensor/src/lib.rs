@@ -9,8 +9,13 @@
 //! `searchsorted`), strided row sampling, and deterministic random
 //! generation helpers.
 //!
-//! Everything is single-threaded and allocation-conscious: the attention
-//! kernels in `sa-kernels` call into these routines in inner loops.
+//! Everything is allocation-conscious, and the large-matrix entry points
+//! (`matmul`, `matmul_transb`, `softmax_rows_in_place`, `col_sum`) are
+//! data-parallel over independent rows/columns via the hermetic scoped
+//! worker pool in [`pool`]. Parallel execution is bit-deterministic with
+//! respect to the serial path — see the [`pool`] module docs for the
+//! contract — and the worker count is controlled by the `SA_THREADS`
+//! environment variable (default: `std::thread::available_parallelism`).
 //!
 //! ## Example
 //!
@@ -31,6 +36,7 @@ pub mod check;
 mod error;
 mod matrix;
 mod matmul;
+pub mod pool;
 mod reduce;
 mod rng;
 mod sample;

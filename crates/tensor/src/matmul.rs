@@ -1,4 +1,4 @@
-use crate::{Matrix, TensorError};
+use crate::{pool, Matrix, TensorError};
 
 /// Cache-blocking tile size used by [`matmul`] and [`matmul_transb`].
 ///
@@ -34,14 +34,34 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
+    if n == 0 {
+        return Ok(out);
+    }
     let bd = b.as_slice();
-    for i0 in (0..m).step_by(GEMM_BLOCK) {
-        let i1 = (i0 + GEMM_BLOCK).min(m);
+    // Each output row is an independent accumulation over k, so
+    // partitioning across row chunks leaves per-row arithmetic (and hence
+    // the result bits) identical to the serial path.
+    pool::parallel_for_rows(
+        out.as_mut_slice(),
+        n,
+        pool::row_grain(k * n),
+        |row0, chunk| matmul_rows(a, bd, k, n, row0, chunk),
+    );
+    Ok(out)
+}
+
+/// Cache-blocked `A * B` restricted to output rows
+/// `row0 .. row0 + chunk.len() / n`; `chunk` is that row range of the
+/// output buffer. Arithmetic per row matches the full serial loop.
+fn matmul_rows(a: &Matrix, bd: &[f32], k: usize, n: usize, row0: usize, chunk: &mut [f32]) {
+    let rows = chunk.len() / n;
+    for c0 in (0..rows).step_by(GEMM_BLOCK) {
+        let c1 = (c0 + GEMM_BLOCK).min(rows);
         for k0 in (0..k).step_by(GEMM_BLOCK) {
             let k1 = (k0 + GEMM_BLOCK).min(k);
-            for i in i0..i1 {
-                let arow = a.row(i);
-                let orow = out.row_mut(i);
+            for c in c0..c1 {
+                let arow = a.row(row0 + c);
+                let orow = &mut chunk[c * n..(c + 1) * n];
                 for kk in k0..k1 {
                     let av = arow[kk];
                     if av == 0.0 {
@@ -55,7 +75,6 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
             }
         }
     }
-    Ok(out)
 }
 
 /// Computes `A * B^T` without materialising the transpose.
@@ -77,20 +96,34 @@ pub fn matmul_transb(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
     }
     let m = a.rows();
     let n = b.rows();
+    let d = a.cols();
     let mut out = Matrix::zeros(m, n);
-    for i0 in (0..m).step_by(GEMM_BLOCK) {
-        let i1 = (i0 + GEMM_BLOCK).min(m);
-        for j0 in (0..n).step_by(GEMM_BLOCK) {
-            let j1 = (j0 + GEMM_BLOCK).min(n);
-            for i in i0..i1 {
-                let arow = a.row(i);
-                let orow = out.row_mut(i);
-                for j in j0..j1 {
-                    orow[j] = dot(arow, b.row(j));
+    if n == 0 {
+        return Ok(out);
+    }
+    // Every output element is an isolated dot product, so row-chunk
+    // partitioning is trivially bit-deterministic.
+    pool::parallel_for_rows(
+        out.as_mut_slice(),
+        n,
+        pool::row_grain(d * n),
+        |row0, chunk| {
+            let rows = chunk.len() / n;
+            for c0 in (0..rows).step_by(GEMM_BLOCK) {
+                let c1 = (c0 + GEMM_BLOCK).min(rows);
+                for j0 in (0..n).step_by(GEMM_BLOCK) {
+                    let j1 = (j0 + GEMM_BLOCK).min(n);
+                    for c in c0..c1 {
+                        let arow = a.row(row0 + c);
+                        let orow = &mut chunk[c * n..(c + 1) * n];
+                        for j in j0..j1 {
+                            orow[j] = dot(arow, b.row(j));
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
 

@@ -1,0 +1,412 @@
+//! Hermetic scoped-thread worker pool.
+//!
+//! Zero-dependency data parallelism for the numeric hot paths: each
+//! parallel call spawns up to `threads - 1` scoped `std::thread` workers
+//! (the caller participates as the last worker), partitions the index
+//! space into fixed-size chunks, and lets workers claim chunks
+//! dynamically. Scoped threads keep the primitives 100 % safe Rust —
+//! borrowed closures and slices flow straight into the workers, and the
+//! scope guarantees they are joined before the call returns.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive here is **bit-deterministic with respect to the serial
+//! path** as long as the body treats chunks independently:
+//!
+//! - [`parallel_for`] / [`parallel_for_rows`] partition only across
+//!   independent indices/rows; each index is processed exactly once by
+//!   exactly one worker, with the body's own (serial) per-index
+//!   arithmetic untouched. Which *thread* runs a chunk is scheduling
+//!   noise; the result is not.
+//! - [`parallel_map`] returns results in index order regardless of
+//!   claiming order.
+//! - Chunk sizes are chosen by the *caller* and must not depend on the
+//!   thread count. Callers that reduce across chunks (e.g. stage-1
+//!   sampling) therefore combine partials in chunk-index order, which
+//!   makes the reduction independent of `SA_THREADS`.
+//!
+//! ## Thread-count resolution
+//!
+//! `SA_THREADS` (env, read once) overrides
+//! [`std::thread::available_parallelism`]. [`with_threads`] installs a
+//! thread-local override for the duration of a closure — the equivalence
+//! tests and the `bench_*` serial-vs-parallel columns use it to compare
+//! `SA_THREADS=1` against the default within one process.
+//!
+//! Nested parallelism is suppressed: a pool worker that calls back into a
+//! parallel primitive runs it serially (the outer partition already owns
+//! the hardware). This is what lets `sa-model` parallelize over heads
+//! while the kernels inside each head keep their own parallel entry
+//! points.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static HARDWARE_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores a thread-local `Cell` on drop (unwind-safe flag handling).
+struct RestoreCell<T: Copy + 'static> {
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> Drop for RestoreCell<T> {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        self.cell.with(|c| c.set(prev));
+    }
+}
+
+fn mark_in_worker() -> RestoreCell<bool> {
+    let prev = IN_WORKER.with(|c| c.replace(true));
+    RestoreCell {
+        cell: &IN_WORKER,
+        prev,
+    }
+}
+
+/// The process-wide worker count: `SA_THREADS` if set and valid, else
+/// [`std::thread::available_parallelism`], else 1. Read once and cached.
+pub fn hardware_threads() -> usize {
+    *HARDWARE_THREADS.get_or_init(|| {
+        match std::env::var("SA_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => eprintln!("warning: ignoring invalid SA_THREADS={s:?} (want integer >= 1)"),
+            },
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => eprintln!("warning: ignoring unreadable SA_THREADS: {e}"),
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The worker count in effect for parallel calls issued from the current
+/// thread: 1 inside a pool worker (no nesting), then any [`with_threads`]
+/// override, then [`hardware_threads`].
+pub fn current_threads() -> usize {
+    if IN_WORKER.with(|c| c.get()) {
+        return 1;
+    }
+    THREAD_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Runs `f` with the calling thread's worker count pinned to `n`
+/// (clamped to at least 1). Restores the previous setting afterwards,
+/// including on unwind.
+///
+/// This is the in-process equivalent of setting `SA_THREADS=n`: the
+/// equivalence tests compare `with_threads(1, ..)` against
+/// `with_threads(2, ..)` and the default, and the bench binaries use it
+/// for their serial-vs-parallel columns.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = RestoreCell {
+        cell: &THREAD_OVERRIDE,
+        prev,
+    };
+    f()
+}
+
+/// Minimum scalar operations a chunk should carry before parallel
+/// dispatch pays for itself (thread spawn + claim overhead is on the
+/// order of tens of microseconds per call).
+pub const MIN_CHUNK_OPS: usize = 1 << 15;
+
+/// Rows per chunk so that one chunk carries roughly [`MIN_CHUNK_OPS`]
+/// scalar operations, given the per-row cost. Never returns 0.
+///
+/// The result depends only on the workload shape — never on the thread
+/// count — so chunk boundaries (and therefore any chunk-ordered
+/// reduction) are identical under every `SA_THREADS` setting.
+pub fn row_grain(work_per_row: usize) -> usize {
+    MIN_CHUNK_OPS.div_ceil(work_per_row.max(1)).max(1)
+}
+
+/// Applies `body` to every sub-range of `0..n`, partitioned into chunks
+/// of `grain` indices, possibly on multiple threads.
+///
+/// Each index lands in exactly one chunk and each chunk is processed by
+/// exactly one worker, so bodies that only touch per-index state are
+/// bit-deterministic regardless of the thread count. Runs serially (one
+/// `body(0..n)` call) when the pool is effectively single-threaded or
+/// the range fits in one chunk.
+pub fn parallel_for<F>(n: usize, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let threads = current_threads();
+    if threads == 1 || n <= grain {
+        body(0..n);
+        return;
+    }
+    let chunks = n.div_ceil(grain);
+    let next = AtomicUsize::new(0);
+    let run = || loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks {
+            break;
+        }
+        body(c * grain..((c + 1) * grain).min(n));
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunks) - 1 {
+            scope.spawn(|| {
+                let _worker = mark_in_worker();
+                run();
+            });
+        }
+        let _worker = mark_in_worker();
+        run();
+    });
+}
+
+/// Maps `f` over `0..n` and returns the results **in index order**,
+/// regardless of which worker computed which chunk.
+///
+/// `grain` is the chunk size in indices (as in [`parallel_for`]).
+pub fn parallel_map<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let grain = grain.max(1);
+    let threads = current_threads();
+    if threads == 1 || n <= grain {
+        return (0..n).map(f).collect();
+    }
+    let chunks = n.div_ceil(grain);
+    let next = AtomicUsize::new(0);
+    let run = || {
+        let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+        loop {
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= chunks {
+                break;
+            }
+            let range = c * grain..((c + 1) * grain).min(n);
+            parts.push((c, range.map(&f).collect()));
+        }
+        parts
+    };
+    let mut parts = std::thread::scope(|scope| {
+        let helpers: Vec<_> = (0..threads.min(chunks) - 1)
+            .map(|_| {
+                scope.spawn(|| {
+                    let _worker = mark_in_worker();
+                    run()
+                })
+            })
+            .collect();
+        let mine = {
+            let _worker = mark_in_worker();
+            run()
+        };
+        let mut all = mine;
+        for h in helpers {
+            all.extend(h.join().expect("pool worker panicked"));
+        }
+        all
+    });
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Splits a row-major buffer (`rows * width` elements) into chunks of
+/// `grain_rows` consecutive rows and hands each chunk, with its first
+/// row's index, to `body` — possibly on multiple threads.
+///
+/// This is the mutable-output primitive: the kernels pass a matrix's
+/// backing slice and write disjoint row blocks concurrently, with no
+/// `unsafe` (the chunks are real `split_at_mut` sub-slices). Runs
+/// serially (one `body(0, data)` call) when the pool is effectively
+/// single-threaded or everything fits in one chunk.
+///
+/// # Panics
+///
+/// Panics if `width == 0` while `data` is non-empty, or if `data.len()`
+/// is not a multiple of `width`.
+pub fn parallel_for_rows<T, F>(data: &mut [T], width: usize, grain_rows: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(width > 0, "parallel_for_rows: zero width with non-empty data");
+    assert_eq!(
+        data.len() % width,
+        0,
+        "parallel_for_rows: data length {} not a multiple of width {width}",
+        data.len()
+    );
+    let rows = data.len() / width;
+    let grain = grain_rows.max(1);
+    let threads = current_threads();
+    if threads == 1 || rows <= grain {
+        body(0, data);
+        return;
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(grain));
+    let mut rest = data;
+    let mut row0 = 0usize;
+    while !rest.is_empty() {
+        let take_rows = grain.min(rows - row0);
+        let (head, tail) = rest.split_at_mut(take_rows * width);
+        chunks.push((row0, head));
+        row0 += take_rows;
+        rest = tail;
+    }
+    let n_chunks = chunks.len();
+    let queue = Mutex::new(chunks);
+    let run = || loop {
+        let item = queue.lock().expect("pool queue poisoned").pop();
+        match item {
+            Some((first_row, chunk)) => body(first_row, chunk),
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..current_threads().min(n_chunks) - 1 {
+            scope.spawn(|| {
+                let _worker = mark_in_worker();
+                run();
+            });
+        }
+        let _worker = mark_in_worker();
+        run();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn hardware_threads_at_least_one() {
+        assert!(hardware_threads() >= 1);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = current_threads();
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(1, || assert_eq!(current_threads(), 1));
+            assert_eq!(current_threads(), 3);
+        });
+        assert_eq!(current_threads(), outer);
+        // Clamped to >= 1.
+        with_threads(0, || assert_eq!(current_threads(), 1));
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        for threads in [1, 2, 4] {
+            with_threads(threads, || {
+                let n = 103;
+                let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                parallel_for(n, 7, |range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} threads {threads}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_and_single_chunk() {
+        parallel_for(0, 4, |_| panic!("must not run on empty range"));
+        let count = AtomicU64::new(0);
+        parallel_for(3, 100, |r| {
+            assert_eq!(r, 0..3);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 5] {
+            let got = with_threads(threads, || parallel_map(100, 3, |i| i * i));
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads {threads}");
+        }
+        assert!(parallel_map(0, 1, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_for_rows_writes_disjoint_chunks() {
+        for threads in [1, 2, 4] {
+            with_threads(threads, || {
+                let rows = 33;
+                let width = 5;
+                let mut data = vec![0.0f32; rows * width];
+                parallel_for_rows(&mut data, width, 4, |row0, chunk| {
+                    for (local, row) in chunk.chunks_mut(width).enumerate() {
+                        for v in row.iter_mut() {
+                            *v += (row0 + local) as f32;
+                        }
+                    }
+                });
+                for i in 0..rows {
+                    for j in 0..width {
+                        assert_eq!(data[i * width + j], i as f32, "({i},{j}) threads {threads}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_for_rows_empty_is_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        parallel_for_rows(&mut data, 4, 2, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn nested_parallel_calls_degrade_to_serial() {
+        with_threads(4, || {
+            parallel_for(8, 1, |_outer| {
+                // Inside a worker the pool must report a single thread,
+                // so nested calls cannot oversubscribe or deadlock.
+                assert_eq!(current_threads(), 1);
+                parallel_for(4, 1, |_inner| {});
+            });
+        });
+    }
+
+    #[test]
+    fn row_grain_scales_inversely_with_row_cost() {
+        assert_eq!(row_grain(MIN_CHUNK_OPS), 1);
+        assert!(row_grain(1) >= MIN_CHUNK_OPS);
+        assert!(row_grain(0) >= 1);
+        assert!(row_grain(usize::MAX) >= 1);
+    }
+}

@@ -1,4 +1,4 @@
-use crate::Matrix;
+use crate::{pool, Matrix};
 
 /// Sum of each row; returns a vector of length `rows`.
 pub fn row_sum(m: &Matrix) -> Vec<f32> {
@@ -30,13 +30,28 @@ pub fn row_l1_norms(m: &Matrix) -> Vec<f32> {
 ///
 /// This is the *column-wise reduction* at the heart of SampleAttention's
 /// stage-2 filtering: accumulated attention mass per key position.
+/// Accumulation is in f64 (output stays f32): at paper-scale row counts
+/// (S ≥ 128k) f32 running sums drift enough to move the stage-2
+/// `searchsorted` α-threshold. Columns are independent, so the column
+/// chunks run on the worker pool with bit-identical results.
 pub fn col_sum(m: &Matrix) -> Vec<f32> {
-    let mut out = vec![0.0f32; m.cols()];
-    for i in 0..m.rows() {
-        for (o, &v) in out.iter_mut().zip(m.row(i)) {
-            *o += v;
-        }
+    let cols = m.cols();
+    let mut out = vec![0.0f32; cols];
+    if cols == 0 {
+        return out;
     }
+    pool::parallel_for_rows(&mut out, 1, pool::row_grain(m.rows()), |col0, chunk| {
+        let mut acc = vec![0.0f64; chunk.len()];
+        for i in 0..m.rows() {
+            let row = &m.row(i)[col0..col0 + chunk.len()];
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a += f64::from(v);
+            }
+        }
+        for (o, &a) in chunk.iter_mut().zip(&acc) {
+            *o = a as f32;
+        }
+    });
     out
 }
 

@@ -58,15 +58,29 @@ impl StrideSample {
             });
         }
         let count = count.min(n);
-        let mut indices: Vec<usize> = if count == 1 {
+        let indices: Vec<usize> = if count == 1 {
             vec![n - 1]
         } else {
             // Evenly spaced across [0, n-1], inclusive of the final row.
+            //
+            // Collision-free by construction, so the result has exactly
+            // `count` strictly increasing indices: with `count <= n` the
+            // stride `(n-1)/(count-1)` is >= 1 (it is exactly 1 when
+            // `count == n`, where the division is exact), so consecutive
+            // exact quotients differ by >= 1 and `round` — which is
+            // monotone and satisfies `round(x + 1) = round(x) + 1` —
+            // maps them to strictly increasing integers. When
+            // `count < n` the stride exceeds 1 by at least `1/(n-2)`,
+            // which dwarfs the f64 division's rounding error for any
+            // population below ~2^26 rows, far above paper-scale S.
             (0..count)
                 .map(|i| (i as f64 * (n - 1) as f64 / (count - 1) as f64).round() as usize)
                 .collect()
         };
-        indices.dedup();
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "StrideSample::by_count produced a collision (n={n}, count={count})"
+        );
         Ok(StrideSample {
             indices,
             population: n,
@@ -184,6 +198,31 @@ mod tests {
             for ratio in [0.01f32, 0.05, 0.33, 0.9] {
                 let s = StrideSample::by_ratio(n, ratio).unwrap();
                 assert!(s.indices().windows(2).all(|w| w[0] < w[1]), "n={n} r={ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn by_count_yields_exactly_min_count_n_rows() {
+        // The "exactly `count` rows" contract: the strided construction
+        // is collision-free, so no dedup is needed and the sample size
+        // is min(count, n) for every n, count >= 1.
+        crate::check::run_cases("by_count_exact_size", |g| {
+            let n = g.usize_in(1, 5000);
+            let count = g.usize_in(1, 5000);
+            let s = StrideSample::by_count(n, count).unwrap();
+            assert_eq!(s.len(), count.min(n), "n={n} count={count}");
+            assert!(
+                s.indices().windows(2).all(|w| w[0] < w[1]),
+                "collision at n={n} count={count}"
+            );
+            assert_eq!(*s.indices().last().unwrap(), n - 1);
+        });
+        // Exhaustive over the small corner where collisions would bite.
+        for n in 1..=64usize {
+            for count in 1..=64usize {
+                let s = StrideSample::by_count(n, count).unwrap();
+                assert_eq!(s.len(), count.min(n), "n={n} count={count}");
             }
         }
     }

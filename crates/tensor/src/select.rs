@@ -66,12 +66,17 @@ pub fn top_k_threshold_count(xs: &[f32], threshold: f32) -> usize {
 }
 
 /// Inclusive prefix sum: `out[i] = xs[0] + ... + xs[i]`.
+///
+/// The running accumulator is f64 (output stays f32): stage-2 filtering
+/// searches this prefix for the α-coverage point, and at paper-scale
+/// lengths (S ≥ 128k) an f32 running sum drifts enough to move the
+/// `searchsorted` result.
 pub fn prefix_sum(xs: &[f32]) -> Vec<f32> {
     let mut out = Vec::with_capacity(xs.len());
-    let mut acc = 0.0;
+    let mut acc = 0.0f64;
     for &x in xs {
-        acc += x;
-        out.push(acc);
+        acc += f64::from(x);
+        out.push(acc as f32);
     }
     out
 }

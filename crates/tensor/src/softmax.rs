@@ -1,10 +1,15 @@
-use crate::Matrix;
+use crate::{pool, Matrix};
 
 /// Numerically stable softmax of a single row, written in place.
 ///
 /// Subtracts the row maximum before exponentiating. An empty slice is a
 /// no-op. A row of all `-inf` (fully masked) becomes all zeros rather than
 /// NaN, which is the convention the masked attention kernels rely on.
+///
+/// The normaliser accumulates in f64: for rows of paper-scale length
+/// (S ≥ 128k) an f32 running sum loses enough low-order mass to shift the
+/// stage-2 coverage threshold. Each weight is still computed and stored
+/// as f32.
 pub fn softmax_row(row: &mut [f32]) {
     if row.is_empty() {
         return;
@@ -14,13 +19,13 @@ pub fn softmax_row(row: &mut [f32]) {
         row.fill(0.0);
         return;
     }
-    let mut sum = 0.0;
+    let mut sum = 0.0f64;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
-        sum += *v;
+        sum += f64::from(*v);
     }
     if sum > 0.0 {
-        let inv = 1.0 / sum;
+        let inv = (1.0 / sum) as f32;
         for v in row.iter_mut() {
             *v *= inv;
         }
@@ -28,10 +33,24 @@ pub fn softmax_row(row: &mut [f32]) {
 }
 
 /// Applies [`softmax_row`] to every row of `m` in place.
+///
+/// Rows are independent, so they run as chunks on the worker pool with
+/// bit-identical results to the serial loop.
 pub fn softmax_rows_in_place(m: &mut Matrix) {
-    for i in 0..m.rows() {
-        softmax_row(m.row_mut(i));
+    let cols = m.cols();
+    if cols == 0 || m.rows() == 0 {
+        return;
     }
+    pool::parallel_for_rows(
+        m.as_mut_slice(),
+        cols,
+        pool::row_grain(cols),
+        |_row0, chunk| {
+            for row in chunk.chunks_mut(cols) {
+                softmax_row(row);
+            }
+        },
+    );
 }
 
 /// Returns a new matrix with row-wise softmax applied.
@@ -43,14 +62,16 @@ pub fn softmax_rows(m: &Matrix) -> Matrix {
 
 /// Stable `log(sum(exp(x)))` of a slice.
 ///
-/// Returns `-inf` for an empty slice or a slice of all `-inf`.
+/// Returns `-inf` for an empty slice or a slice of all `-inf`. The sum
+/// accumulates in f64 so long slices (S ≥ 128k) don't lose low-order
+/// mass; the result is still f32.
 pub fn log_sum_exp(xs: &[f32]) -> f32 {
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     if max == f32::NEG_INFINITY {
         return f32::NEG_INFINITY;
     }
-    let sum: f32 = xs.iter().map(|&x| (x - max).exp()).sum();
-    max + sum.ln()
+    let sum: f64 = xs.iter().map(|&x| f64::from((x - max).exp())).sum();
+    (f64::from(max) + sum.ln()) as f32
 }
 
 /// Running state for the *online softmax* used by the FlashAttention-style

@@ -1,0 +1,103 @@
+//! Long-length accumulation regression tests.
+//!
+//! At paper-scale S (≥ 128k) an f32 running sum loses low-order mass —
+//! enough to move stage-2's `searchsorted` α-threshold. These tests pin
+//! the fix: `col_sum`, `prefix_sum`, `softmax_row`'s normaliser, and
+//! `log_sum_exp` accumulate in f64 (outputs stay f32), so at long
+//! lengths they must agree with an f64 reference to f32 round-off —
+//! tolerances a serial f32 accumulator demonstrably violates.
+
+use sa_tensor::{col_sum, log_sum_exp, prefix_sum, softmax_row, DeterministicRng, Matrix};
+
+/// Long enough that sequential f32 accumulation drifts well past 1e-6
+/// relative error on same-sign inputs.
+const LONG: usize = 200_000;
+
+fn long_values() -> Vec<f32> {
+    let mut rng = DeterministicRng::new(0x10ac);
+    (0..LONG).map(|_| rng.uniform_range(0.05, 0.15)).collect()
+}
+
+/// Demonstrates the bug class: naive f32 accumulation of the same data
+/// diverges from the f64 reference by orders of magnitude more than the
+/// tolerance the fixed routines are held to below.
+#[test]
+fn f32_reference_accumulator_actually_drifts() {
+    let xs = long_values();
+    let f64_sum: f64 = xs.iter().map(|&x| f64::from(x)).sum();
+    let f32_sum: f32 = xs.iter().sum();
+    let drift = (f64::from(f32_sum) - f64_sum).abs() / f64_sum;
+    assert!(
+        drift > 1e-6,
+        "expected visible f32 drift at n={LONG}, got {drift:e}"
+    );
+}
+
+#[test]
+fn col_sum_matches_f64_reference_at_long_length() {
+    let cols = 3;
+    let xs = long_values();
+    let m = Matrix::from_fn(LONG, cols, |i, j| xs[i] * (j + 1) as f32);
+    let got = col_sum(&m);
+    for (j, &g) in got.iter().enumerate() {
+        let want: f64 = (0..LONG).map(|i| f64::from(m.get(i, j))).sum();
+        let rel = (f64::from(g) - want).abs() / want;
+        assert!(rel < 1e-6, "col {j}: rel error {rel:e}");
+    }
+}
+
+#[test]
+fn prefix_sum_matches_f64_reference_at_long_length() {
+    let xs = long_values();
+    let got = prefix_sum(&xs);
+    assert_eq!(got.len(), LONG);
+    // Check the tail (where drift accumulates) and a few interior points.
+    let mut acc = 0.0f64;
+    let mut reference = Vec::with_capacity(LONG);
+    for &x in &xs {
+        acc += f64::from(x);
+        reference.push(acc);
+    }
+    for &i in &[LONG / 4, LONG / 2, LONG - 1] {
+        let rel = (f64::from(got[i]) - reference[i]).abs() / reference[i];
+        assert!(rel < 1e-6, "prefix[{i}]: rel error {rel:e}");
+    }
+}
+
+#[test]
+fn softmax_row_normaliser_matches_f64_reference_at_long_length() {
+    // Equal logits: every probability must be 1/n to f32 round-off. An
+    // f32 normaliser sum mis-sizes the denominator at this length.
+    let mut row = vec![0.5f32; LONG];
+    softmax_row(&mut row);
+    let uniform = 1.0 / LONG as f64;
+    for (i, &p) in row.iter().enumerate() {
+        let rel = (f64::from(p) - uniform).abs() / uniform;
+        assert!(rel < 1e-6, "p[{i}] = {p:e}, rel error {rel:e}");
+    }
+    // And the distribution still sums to 1 (checked in f64).
+    let total: f64 = row.iter().map(|&p| f64::from(p)).sum();
+    assert!((total - 1.0).abs() < 1e-4, "total {total}");
+}
+
+#[test]
+fn log_sum_exp_matches_f64_reference_at_long_length() {
+    // All-zero logits: exact answer is ln(n).
+    let xs = vec![0.0f32; LONG];
+    let got = log_sum_exp(&xs);
+    let want = (LONG as f64).ln();
+    let rel = (f64::from(got) - want).abs() / want;
+    assert!(rel < 1e-6, "got {got}, want {want}, rel error {rel:e}");
+
+    // Mixed-magnitude logits against a full f64 recomputation.
+    let mut rng = DeterministicRng::new(0x15e);
+    let ys: Vec<f32> = (0..LONG).map(|_| rng.uniform_range(-3.0, 3.0)).collect();
+    let got = log_sum_exp(&ys);
+    let max = ys.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let sum: f64 = ys.iter().map(|&y| f64::from(y - max).exp()).sum();
+    let want = f64::from(max) + sum.ln();
+    assert!(
+        (f64::from(got) - want).abs() / want.abs() < 1e-6,
+        "got {got}, want {want}"
+    );
+}

@@ -15,7 +15,10 @@ cd "$(dirname "$0")/.."
 echo "==> tier 1: cargo build --workspace --release --offline"
 cargo build --workspace --release --offline
 
-echo "==> tier 1: cargo test --workspace -q --offline"
+echo "==> tier 1: cargo test --workspace -q --offline (SA_THREADS=1)"
+SA_THREADS=1 cargo test --workspace -q --offline
+
+echo "==> tier 1: cargo test --workspace -q --offline (default threads)"
 cargo test --workspace -q --offline
 
 echo "==> smoke: fig1_overview --quick (figure binary)"

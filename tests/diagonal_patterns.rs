@@ -9,7 +9,7 @@
 use sample_attention::core::{SampleAttention, SampleAttentionConfig};
 use sample_attention::core::sampling::sample_attention_scores;
 use sample_attention::kernels::{
-    attention_probs, full_attention, masked_attention_dense, sparse_flash_attention,
+    full_attention, masked_attention_dense, sparse_flash_attention,
     StructuredMask,
 };
 use sample_attention::tensor::{cosine_similarity, max_abs_diff, DeterministicRng, Matrix};

@@ -1,0 +1,124 @@
+//! Parallel-determinism equivalence suite.
+//!
+//! The worker pool's contract (see `sa_tensor::pool`) is that every
+//! parallelised hot path is **bit-identical** to the serial execution:
+//! work is partitioned only across independent rows/heads/columns and
+//! any reduction folds in a thread-count-independent order. These tests
+//! pin that contract by running each pipeline stage under a thread count
+//! of 1, 2, and the session default (`pool::with_threads` is the
+//! in-process equivalent of setting `SA_THREADS`) and asserting exact
+//! `==` on the f32 outputs — no tolerances.
+
+use sa_core::filtering::{filter_kv_indices, KvRatioSchedule};
+use sa_core::sampling::sample_attention_scores;
+use sa_core::{SampleAttention, SampleAttentionConfig};
+use sa_kernels::{
+    flash_attention, full_attention, sparse_flash_attention, FlashParams, StructuredMask,
+};
+use sa_tensor::pool::with_threads;
+use sa_tensor::{col_sum, matmul, matmul_transb, softmax_rows_in_place, DeterministicRng, Matrix};
+
+fn qkv(s: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+    let mut rng = DeterministicRng::new(seed);
+    (
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+        rng.normal_matrix(s, d, 1.0),
+    )
+}
+
+/// Runs `f` serially, at 2 threads, at 3 threads, and at the session
+/// default, asserting every result is bitwise equal to the serial one.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let serial = with_threads(1, &f);
+    for threads in [2usize, 3] {
+        let parallel = with_threads(threads, &f);
+        assert_eq!(serial, parallel, "{label}: threads=1 vs threads={threads}");
+    }
+    let default = f();
+    assert_eq!(serial, default, "{label}: threads=1 vs session default");
+}
+
+#[test]
+fn tensor_primitives_are_thread_invariant() {
+    let mut rng = DeterministicRng::new(0xA11);
+    let a = rng.normal_matrix(150, 96, 1.0);
+    let b = rng.normal_matrix(96, 130, 1.0);
+    let c = rng.normal_matrix(140, 96, 1.0);
+    assert_thread_invariant("matmul", || matmul(&a, &b).unwrap());
+    assert_thread_invariant("matmul_transb", || matmul_transb(&a, &c).unwrap());
+    assert_thread_invariant("col_sum", || col_sum(&a));
+    assert_thread_invariant("softmax_rows_in_place", || {
+        let mut m = a.clone();
+        softmax_rows_in_place(&mut m);
+        m
+    });
+}
+
+#[test]
+fn flash_attention_is_thread_invariant() {
+    let (q, k, v) = qkv(257, 32, 0xF1a);
+    // Small tiles so several query blocks land in each chunk and the
+    // chunk grain actually splits the work.
+    let params = FlashParams {
+        block_rows: 16,
+        block_cols: 16,
+    };
+    assert_thread_invariant("flash_attention causal", || {
+        flash_attention(&q, &k, &v, true, params).unwrap().output
+    });
+    assert_thread_invariant("flash_attention non-causal", || {
+        flash_attention(&q, &k, &v, false, params).unwrap().output
+    });
+    assert_thread_invariant("full_attention", || {
+        full_attention(&q, &k, &v, true).unwrap().output
+    });
+}
+
+#[test]
+fn sparse_flash_attention_is_thread_invariant() {
+    let s = 256;
+    let (q, k, v) = qkv(s, 32, 0x5Fa);
+    let mask = StructuredMask::builder(s, s)
+        .window_ratio(0.1)
+        .sinks(4)
+        .columns((0..s / 32).map(|i| i * 29 % s).collect())
+        .build()
+        .unwrap();
+    assert_thread_invariant("sparse_flash_attention", || {
+        let out = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        // The live-pair tally feeds the cost model; it must also be
+        // scheduling-independent.
+        (out.output, out.cost.flops)
+    });
+}
+
+#[test]
+fn stage1_sampling_is_thread_invariant() {
+    let (q, k, _) = qkv(300, 32, 0x5a1);
+    assert_thread_invariant("sample_attention_scores", || {
+        let s = sample_attention_scores(&q, &k, 0.1).unwrap();
+        (s.column_scores, s.diagonal_scores, s.sampled_rows)
+    });
+}
+
+#[test]
+fn end_to_end_pipeline_is_thread_invariant() {
+    let (q, k, v) = qkv(256, 32, 0xE2E);
+    assert_thread_invariant("sample_attention e2e", || {
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        (
+            out.output,
+            out.stats.kv_ratio.to_bits(),
+            out.stats.covered_mass.to_bits(),
+        )
+    });
+    // Stage 2 is serial but consumes stage-1 output; pin the combination.
+    assert_thread_invariant("stage1+stage2", || {
+        let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
+        let filtered =
+            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        (filtered.indices, filtered.covered_mass.to_bits())
+    });
+}
