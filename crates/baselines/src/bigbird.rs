@@ -92,6 +92,8 @@ impl AttentionMethod for BigBird {
             output: out.output,
             cost: out.cost,
             density: mask.density(),
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -35,6 +35,8 @@ impl AttentionMethod for FullAttention {
             output: out.output,
             cost: out.cost,
             density: 1.0,
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

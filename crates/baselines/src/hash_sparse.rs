@@ -100,6 +100,8 @@ impl AttentionMethod for HashSparse {
             output: out.output,
             cost: out.cost,
             density: live_pairs as f64 / causal as f64,
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -136,6 +136,8 @@ impl AttentionMethod for HyperAttention {
             output: out.output,
             cost: out.cost,
             density: live_pairs as f64 / causal as f64,
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -13,6 +13,16 @@ pub struct MethodOutput {
     /// Fraction of the causal score triangle actually computed
     /// (1.0 for full attention).
     pub density: f64,
+    /// Whether the method reached its configured coverage target.
+    /// Baselines with no coverage notion report `true`; SampleAttention
+    /// reports stage-2's `alpha_satisfied`.
+    pub alpha_satisfied: bool,
+    /// Whether the head transparently degraded to a dense fallback
+    /// (SampleAttention's [`HealthPolicy::FallbackDense`] path; always
+    /// `false` for the fixed-pattern baselines).
+    ///
+    /// [`HealthPolicy::FallbackDense`]: sa_core::HealthPolicy::FallbackDense
+    pub fell_back: bool,
 }
 
 /// A prefill attention method: maps one head's Q/K/V to an output.
@@ -56,6 +66,8 @@ mod tests {
                 output: q.clone(),
                 cost: CostReport::new(),
                 density: 0.0,
+                alpha_satisfied: true,
+                fell_back: false,
             })
         }
     }

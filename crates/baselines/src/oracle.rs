@@ -85,6 +85,8 @@ impl AttentionMethod for OracleTopK {
             output: out.output,
             cost,
             density: live_pairs as f64 / causal as f64,
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -52,6 +52,8 @@ impl AttentionMethod for SampleAttentionMethod {
             output: out.output,
             cost: out.stats.total_cost(),
             density: out.stats.mask_density,
+            alpha_satisfied: out.stats.alpha_satisfied,
+            fell_back: out.stats.fell_back(),
         })
     }
 }

@@ -67,6 +67,8 @@ impl AttentionMethod for StreamingLlm {
             output: out.output,
             cost: out.cost,
             density: mask.density(),
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -51,6 +51,8 @@ impl AttentionMethod for WindowOnly {
             output: out.output,
             cost: out.cost,
             density: mask.density(),
+            alpha_satisfied: true,
+            fell_back: false,
         })
     }
 }

@@ -48,7 +48,7 @@ fn main() {
         });
         let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
         bench.run_serial_parallel(&format!("stage2_filtering/s{s}"), || {
-            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact)
+            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact).unwrap()
         });
         let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
         bench.run_serial_parallel(&format!("sample_attention_e2e/s{s}"), || {

@@ -69,6 +69,8 @@ impl AttentionMethod for ScheduledSa {
             output: out.output,
             cost: out.stats.total_cost(),
             density: out.stats.mask_density,
+            alpha_satisfied: out.stats.alpha_satisfied,
+            fell_back: out.stats.fell_back(),
         })
     }
 }

@@ -32,9 +32,9 @@
 pub mod analysis;
 pub mod timing;
 
-use sa_json::ToJson;
+use sa_json::{FromJson, ToJson};
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Common command-line arguments of the experiment binaries.
 #[derive(Debug, Clone)]
@@ -107,6 +107,46 @@ pub fn write_json<T: ToJson>(args: &Args, name: &str, payload: &T) -> Option<Pat
     }
 }
 
+/// Reads `<path>` and parses it into a [`FromJson`] type.
+///
+/// Replaces the `read_to_string(..).unwrap()` + `from_str(..).unwrap()`
+/// idiom: every failure names the offending file, parse errors carry the
+/// byte offset / line / column where the input broke, and schema
+/// mismatches carry the `Type.field` path that failed validation.
+///
+/// # Errors
+///
+/// Returns a human-readable `"<file>: <what failed>"` string on I/O,
+/// parse, or schema failure.
+pub fn load_json<T: FromJson>(path: &Path) -> Result<T, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    sa_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `*.json` artifact under `dir` (sorted by name) as a raw
+/// value tree.
+///
+/// # Errors
+///
+/// Returns the first failure as `"<file>: <message with location>"` — the
+/// caller learns exactly which artifact and which byte is corrupt instead
+/// of a bare unwrap panic.
+pub fn load_results_dir(dir: &Path) -> Result<Vec<(PathBuf, sa_json::Json)>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| load_json::<sa_json::Json>(&p).map(|v| (p, v)))
+        .collect()
+}
+
 /// Renders a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -166,6 +206,38 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(2.0, 0), "2");
+    }
+
+    #[test]
+    fn loader_reports_file_and_location_on_corruption() {
+        let dir = std::env::temp_dir().join(format!("sa_bench_load_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, "{\"rows\": [1, 2, 3]}").unwrap();
+        let loaded = load_results_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0, good);
+
+        // Truncated artifact (what a killed bench run leaves behind): the
+        // error must name the file and the byte where the input ended.
+        let bad = dir.join("truncated.json");
+        std::fs::write(&bad, "{\"rows\": [1, 2,").unwrap();
+        let err = load_results_dir(&dir).unwrap_err();
+        assert!(err.contains("truncated.json"), "{err}");
+        assert!(err.contains("byte 15"), "{err}");
+
+        // Schema mismatch: the typed loader names file and field path.
+        #[derive(Debug, PartialEq)]
+        struct Row {
+            size: usize,
+        }
+        sa_json::impl_json_struct!(Row { size });
+        std::fs::write(&bad, "{\"size\": \"oops\"}").unwrap();
+        let err = load_json::<Row>(&bad).unwrap_err();
+        assert!(err.contains("truncated.json"), "{err}");
+        assert!(err.contains("Row.size"), "{err}");
+        assert_eq!(load_json::<Row>(&good.with_file_name("missing.json")).ok(), None);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

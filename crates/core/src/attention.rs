@@ -3,14 +3,85 @@
 //! Ties the pipeline together per attention head: stage-1 sampling →
 //! stage-2 filtering → mask merging → block-sparse flash attention
 //! (Algorithm 1, Figure 3).
+//!
+//! Numerical-health sentinels guard the stage boundaries (inputs, sampled
+//! scores, merged mask, attention output). When one trips, the configured
+//! [`HealthPolicy`] decides between propagating the typed error,
+//! transparently degrading the head to dense [`flash_attention`], or
+//! aborting. See DESIGN.md, "Failure model & degradation policy".
 
-use sa_kernels::{sparse_flash_attention, CostReport, StructuredMask};
-use sa_tensor::Matrix;
+use sa_kernels::{
+    flash_attention, sparse_flash_attention, CostReport, FlashParams, StructuredMask,
+};
+use sa_tensor::{Matrix, SaError};
 
 use crate::filtering::{filter_kv_indices, KvRatioSchedule};
 use crate::merge::merge_mask_with_diagonals;
 use crate::sampling::sample_attention_scores;
-use crate::{SampleAttentionConfig, SampleAttentionError};
+use crate::sparsity::causal_width;
+use crate::{HealthPolicy, SampleAttentionConfig, SampleAttentionError};
+
+/// Why a head's forward pass degraded to dense attention
+/// ([`FallbackReason::None`] = the sparse pipeline ran healthily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackReason {
+    /// No fallback: the sparse pipeline completed.
+    #[default]
+    None,
+    /// Non-finite values in Q/K/V (sentinel A).
+    NonFiniteInputs,
+    /// Non-finite stage-1 column scores (sentinel B).
+    NonFiniteScores,
+    /// Stage-1 sampling accumulated no mass despite live causal rows
+    /// (sentinel B).
+    ZeroSampledMass,
+    /// The merged mask kept nothing of a non-empty causal triangle
+    /// (sentinel C).
+    DegenerateMask,
+    /// Stage-2 coverage fell below `α` by more than the configured
+    /// tolerance (sentinel C).
+    AlphaUnsatisfied,
+    /// A worker panicked inside one of the pipeline's kernels.
+    WorkerPanic,
+    /// The sparse kernel produced non-finite output values (sentinel D).
+    NonFiniteOutput,
+}
+
+sa_json::impl_json_enum!(FallbackReason {
+    None,
+    NonFiniteInputs,
+    NonFiniteScores,
+    ZeroSampledMass,
+    DegenerateMask,
+    AlphaUnsatisfied,
+    WorkerPanic,
+    NonFiniteOutput
+});
+
+impl FallbackReason {
+    /// Maps a tripped health sentinel to its reason. Only health errors
+    /// ([`SaError::is_health_error`]) take the fallback path, so the
+    /// non-health arms never materialise as a recorded reason.
+    fn from_error(e: &SaError) -> Self {
+        match e {
+            SaError::NonFinite { stage, .. } => match *stage {
+                "inputs" => FallbackReason::NonFiniteInputs,
+                "attention_output" => FallbackReason::NonFiniteOutput,
+                _ => FallbackReason::NonFiniteScores,
+            },
+            SaError::DegenerateMask { stage, .. } => {
+                if *stage == "stage1_scores" {
+                    FallbackReason::ZeroSampledMass
+                } else {
+                    FallbackReason::DegenerateMask
+                }
+            }
+            SaError::AlphaUnsatisfied { .. } => FallbackReason::AlphaUnsatisfied,
+            SaError::WorkerPanic { .. } => FallbackReason::WorkerPanic,
+            _ => FallbackReason::None,
+        }
+    }
+}
 
 /// Per-invocation statistics of a SampleAttention forward pass.
 #[derive(Debug, Clone, Copy)]
@@ -24,11 +95,15 @@ pub struct SampleAttentionStats {
     pub alpha_satisfied: bool,
     /// Live fraction of the causal triangle in the merged mask.
     pub mask_density: f64,
+    /// Why this head degraded to dense attention
+    /// ([`FallbackReason::None`] when the sparse pipeline ran).
+    pub fallback_reason: FallbackReason,
     /// Cost of stage 1 (fused sampling kernel).
     pub sampling_cost: CostReport,
     /// Cost of stage 2 (sort / filter / gather).
     pub filtering_cost: CostReport,
-    /// Cost of the sparse attention kernel.
+    /// Cost of the sparse attention kernel (the dense kernel's cost when
+    /// the head fell back).
     pub sparse_cost: CostReport,
 }
 
@@ -37,12 +112,18 @@ sa_json::impl_json_struct!(SampleAttentionStats {
     covered_mass,
     alpha_satisfied,
     mask_density,
+    fallback_reason: default,
     sampling_cost,
     filtering_cost,
     sparse_cost
 });
 
 impl SampleAttentionStats {
+    /// Whether the head degraded to dense attention.
+    pub fn fell_back(&self) -> bool {
+        self.fallback_reason != FallbackReason::None
+    }
+
     /// Total cost across all three phases.
     pub fn total_cost(&self) -> CostReport {
         self.sampling_cost + self.filtering_cost + self.sparse_cost
@@ -136,18 +217,113 @@ impl SampleAttention {
 
     /// Runs the full pipeline on one head's Q/K/V.
     ///
+    /// Numerical-health sentinels run at every stage boundary; when one
+    /// trips, the configured [`HealthPolicy`] applies. Under the default
+    /// [`HealthPolicy::FallbackDense`], the head transparently re-runs
+    /// dense [`flash_attention`] (non-finite inputs sanitised to zero) and
+    /// `stats.fallback_reason` records why.
+    ///
     /// # Errors
     ///
     /// Returns [`SampleAttentionError::Tensor`] on shape mismatches
-    /// between `q`, `k` and `v`.
+    /// between `q`, `k` and `v` (under every policy), and on tripped
+    /// health sentinels under [`HealthPolicy::Propagate`].
+    ///
+    /// # Panics
+    ///
+    /// Under [`HealthPolicy::Abort`], a tripped health sentinel raises a
+    /// panic carrying the sentinel's message.
     pub fn forward(
         &self,
         q: &Matrix,
         k: &Matrix,
         v: &Matrix,
     ) -> Result<SampleAttentionOutput, SampleAttentionError> {
+        match self.try_sparse_forward(q, k, v) {
+            Ok(out) => Ok(out),
+            Err(SampleAttentionError::Tensor(e)) if e.is_health_error() => {
+                match self.config.health_policy {
+                    HealthPolicy::Propagate => Err(SampleAttentionError::Tensor(e)),
+                    HealthPolicy::Abort => {
+                        std::panic::panic_any(format!("SampleAttention abort policy: {e}"))
+                    }
+                    HealthPolicy::FallbackDense => self
+                        .dense_fallback(q, k, v, FallbackReason::from_error(&e))
+                        .map_err(SampleAttentionError::Tensor),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The sparse pipeline with all sentinels armed; health errors are
+    /// returned to [`forward`](Self::forward) for policy dispatch.
+    fn try_sparse_forward(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<SampleAttentionOutput, SampleAttentionError> {
+        // Sentinel A: non-finite Q/K/V poison every later stage (NaN is
+        // silently swallowed by `f32::max` inside the softmaxes, so it
+        // must be caught here, before it folds into zeros downstream).
+        let bad =
+            count_nonfinite(q.as_slice()) + count_nonfinite(k.as_slice()) + count_nonfinite(v.as_slice());
+        if bad > 0 {
+            return Err(SaError::NonFinite {
+                stage: "inputs",
+                head: None,
+                count: bad,
+            }
+            .into());
+        }
         let mask = self.discover_mask(q, k)?;
         self.forward_with_mask(q, k, v, mask.mask, mask.kv_indices, mask.stats)
+    }
+
+    /// Dense degradation path: sanitise non-finite inputs to zero, run the
+    /// dense flash kernel, and report full-coverage stats tagged with the
+    /// triggering `reason`.
+    fn dense_fallback(
+        &self,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        reason: FallbackReason,
+    ) -> Result<SampleAttentionOutput, SaError> {
+        let dense = flash_attention(
+            &sanitized(q),
+            &sanitized(k),
+            &sanitized(v),
+            true,
+            FlashParams::default(),
+        )?;
+        let mut output = dense.output;
+        // The dense kernel on sanitised inputs is finite by construction,
+        // but a belt-and-braces scrub keeps the no-NaN-escape guarantee
+        // unconditional.
+        for x in output.as_mut_slice() {
+            if !x.is_finite() {
+                *x = 0.0;
+            }
+        }
+        let mask = StructuredMask::dense_causal(q.rows(), k.rows());
+        let stats = SampleAttentionStats {
+            kv_ratio: 1.0,
+            covered_mass: 1.0,
+            alpha_satisfied: true,
+            mask_density: 1.0,
+            fallback_reason: reason,
+            sampling_cost: CostReport::new(),
+            filtering_cost: CostReport::new(),
+            sparse_cost: dense.cost,
+        };
+        Ok(SampleAttentionOutput {
+            output,
+            mask,
+            kv_indices: (0..k.rows()).collect(),
+            stats,
+        })
     }
 
     /// Runs only the mask-discovery stages (1 + 2 + merge) without the
@@ -156,16 +332,60 @@ impl SampleAttention {
     ///
     /// # Errors
     ///
-    /// Returns [`SampleAttentionError::Tensor`] on Q/K shape mismatch.
+    /// Returns [`SampleAttentionError::Tensor`] on Q/K shape mismatch, and
+    /// on tripped discovery-stage health sentinels: non-finite or
+    /// zero-mass sampled scores, α coverage short of the configured
+    /// tolerance, or a degenerate merged mask. (Policy dispatch happens in
+    /// [`forward`](Self::forward); this method always propagates.)
     pub fn discover_mask(&self, q: &Matrix, k: &Matrix) -> Result<DiscoveredMask, SampleAttentionError> {
         let sampled =
             sample_attention_scores(q, k, self.config.effective_sample_ratio(q.rows()))?;
+        // Sentinel B: the stage-1 reduction must produce finite scores
+        // with mass whenever any sampled row has live causal keys.
+        let bad = count_nonfinite(&sampled.column_scores);
+        if bad > 0 {
+            return Err(SaError::NonFinite {
+                stage: "sampled_scores",
+                head: None,
+                count: bad,
+            }
+            .into());
+        }
+        let live_rows = sampled
+            .sampled_rows
+            .iter()
+            .any(|&i| causal_width(i, q.rows(), k.rows()) > 0);
+        if live_rows && sampled.total_mass() <= 0.0 {
+            return Err(SaError::DegenerateMask {
+                stage: "stage1_scores",
+                what: format!(
+                    "zero sampled mass over {} sampled rows",
+                    sampled.sampled_rows.len()
+                ),
+            }
+            .into());
+        }
         let filtered = filter_kv_indices(
             &sampled.column_scores,
             self.config.cra_threshold,
             self.config.max_kv_ratio,
             &self.schedule,
-        );
+        )?;
+        // Sentinel C (α half): only under a positive tolerance — a
+        // deliberate `max_kv_ratio` cap legitimately under-covers, so the
+        // default (0.0) keeps capped configs working unchanged.
+        let tolerance = self.config.alpha_fallback_tolerance;
+        if tolerance > 0.0
+            && !filtered.alpha_satisfied
+            && self.config.cra_threshold - filtered.covered_mass > tolerance
+        {
+            return Err(SaError::AlphaUnsatisfied {
+                covered: filtered.covered_mass,
+                alpha: self.config.cra_threshold,
+                head: None,
+            }
+            .into());
+        }
         // Appendix A.6 extension: select heavy relative diagonals beyond
         // the window when enabled.
         let diagonals = if self.config.diagonal_threshold > 0.0 {
@@ -192,11 +412,22 @@ impl SampleAttention {
             &diagonals,
             &self.config,
         )?;
+        // Sentinel C (mask half): the merge always includes the local
+        // window, so an empty mask over a non-empty causal triangle means
+        // the discovery stages collapsed.
+        if mask.nnz() == 0 && mask.causal_nnz() > 0 {
+            return Err(SaError::DegenerateMask {
+                stage: "mask_merge",
+                what: "merged mask kept nothing of a non-empty causal triangle".to_string(),
+            }
+            .into());
+        }
         let stats = SampleAttentionStats {
             kv_ratio: filtered.kv_ratio,
             covered_mass: filtered.covered_mass,
             alpha_satisfied: filtered.alpha_satisfied,
             mask_density: mask.density(),
+            fallback_reason: FallbackReason::None,
             sampling_cost: sampled.cost,
             filtering_cost: filtered.cost,
             sparse_cost: CostReport::new(),
@@ -218,6 +449,16 @@ impl SampleAttention {
         mut stats: SampleAttentionStats,
     ) -> Result<SampleAttentionOutput, SampleAttentionError> {
         let sparse = sparse_flash_attention(q, k, v, &mask)?;
+        // Sentinel D: no non-finite value may escape the kernel.
+        let bad = count_nonfinite(sparse.output.as_slice());
+        if bad > 0 {
+            return Err(SaError::NonFinite {
+                stage: "attention_output",
+                head: None,
+                count: bad,
+            }
+            .into());
+        }
         stats.sparse_cost = sparse.cost;
         Ok(SampleAttentionOutput {
             output: sparse.output,
@@ -226,6 +467,22 @@ impl SampleAttention {
             stats,
         })
     }
+}
+
+fn count_nonfinite(xs: &[f32]) -> usize {
+    xs.iter().filter(|x| !x.is_finite()).count()
+}
+
+/// A copy with non-finite entries replaced by zero (the dense-fallback
+/// input sanitiser).
+fn sanitized(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for x in out.as_mut_slice() {
+        if !x.is_finite() {
+            *x = 0.0;
+        }
+    }
+    out
 }
 
 /// A discovered (but not yet executed) structured mask with its discovery
@@ -362,6 +619,112 @@ mod tests {
         let bad_v = Matrix::zeros(8, 8);
         let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
         assert!(attn.forward(&q, &k, &bad_v).is_err());
+    }
+
+    #[test]
+    fn nan_inputs_fall_back_to_dense() {
+        let (mut q, k, v) = qkv(96, 8, 20);
+        q.set(10, 3, f32::NAN);
+        q.set(40, 0, f32::INFINITY);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.stats.fallback_reason, FallbackReason::NonFiniteInputs);
+        assert!(out.stats.fell_back());
+        assert!(out.output.as_slice().iter().all(|x| x.is_finite()));
+        // The fallback equals dense attention on the sanitised inputs.
+        let exact = full_attention(&sanitized(&q), &k, &v, true).unwrap();
+        let diff = sa_tensor::max_abs_diff(out.output.as_slice(), exact.output.as_slice());
+        assert!(diff < 1e-4, "max diff {diff}");
+        // Fallback stats report full coverage.
+        assert_eq!(out.stats.kv_ratio, 1.0);
+        assert!(out.stats.alpha_satisfied);
+        assert_eq!(out.kv_indices.len(), k.rows());
+    }
+
+    #[test]
+    fn propagate_policy_surfaces_typed_error() {
+        let (mut q, k, v) = qkv(64, 8, 21);
+        q.set(0, 0, f32::NAN);
+        let cfg = SampleAttentionConfig::builder()
+            .health_policy(crate::HealthPolicy::Propagate)
+            .build()
+            .unwrap();
+        let attn = SampleAttention::new(cfg);
+        match attn.forward(&q, &k, &v) {
+            Err(SampleAttentionError::Tensor(SaError::NonFinite { stage, count, .. })) => {
+                assert_eq!(stage, "inputs");
+                assert_eq!(count, 1);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_heads_record_no_fallback() {
+        let (q, k, v) = structured_qkv(128, 8, 22);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.stats.fallback_reason, FallbackReason::None);
+        assert!(!out.stats.fell_back());
+    }
+
+    #[test]
+    fn alpha_tolerance_triggers_fallback_when_enabled() {
+        // A hard cap under-covers on random heads; with the α sentinel
+        // enabled the head degrades to dense instead.
+        let (q, k, v) = qkv(256, 8, 23);
+        let capped = SampleAttentionConfig::builder()
+            .cra_threshold(0.95)
+            .max_kv_ratio(0.05)
+            .window_ratio(0.01)
+            .build()
+            .unwrap();
+        let strict = SampleAttentionConfig::builder()
+            .cra_threshold(0.95)
+            .max_kv_ratio(0.05)
+            .window_ratio(0.01)
+            .alpha_fallback_tolerance(0.01)
+            .build()
+            .unwrap();
+        let plain = SampleAttention::new(capped).forward(&q, &k, &v).unwrap();
+        // Precondition: the cap really does truncate coverage below α.
+        assert!(!plain.stats.alpha_satisfied);
+        assert!(plain.stats.covered_mass < 0.94);
+        let fell = SampleAttention::new(strict).forward(&q, &k, &v).unwrap();
+        assert_eq!(fell.stats.fallback_reason, FallbackReason::AlphaUnsatisfied);
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let diff = sa_tensor::max_abs_diff(fell.output.as_slice(), exact.output.as_slice());
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_gracefully() {
+        let (q, k, v) = structured_qkv(128, 8, 24);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let plan = sa_tensor::fault::FaultPlan::new(7).worker_panic("sparse_flash_attention");
+        let guard = sa_tensor::fault::install(plan);
+        let out = attn.forward(&q, &k, &v).unwrap();
+        drop(guard);
+        assert_eq!(out.stats.fallback_reason, FallbackReason::WorkerPanic);
+        assert!(out.output.as_slice().iter().all(|x| x.is_finite()));
+        let exact = full_attention(&q, &k, &v, true).unwrap();
+        let diff = sa_tensor::max_abs_diff(out.output.as_slice(), exact.output.as_slice());
+        assert!(diff < 1e-4, "max diff {diff}");
+    }
+
+    #[test]
+    fn stats_json_round_trip_with_fallback_reason() {
+        let (q, k, v) = qkv(64, 8, 25);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let stats = attn.forward(&q, &k, &v).unwrap().stats;
+        let s = sa_json::to_string(&stats);
+        let back: SampleAttentionStats = sa_json::from_str(&s).unwrap();
+        assert_eq!(back.fallback_reason, stats.fallback_reason);
+        // Legacy payloads without the field parse with `None`.
+        let legacy = s.replace(",\"fallback_reason\":\"None\"", "");
+        assert!(!legacy.contains("fallback_reason"));
+        let old: SampleAttentionStats = sa_json::from_str(&legacy).unwrap();
+        assert_eq!(old.fallback_reason, FallbackReason::None);
     }
 
     #[test]

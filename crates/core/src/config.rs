@@ -1,5 +1,34 @@
 use crate::SampleAttentionError;
 
+/// What [`SampleAttention::forward`](crate::SampleAttention::forward) does
+/// when a numerical-health sentinel trips (non-finite values, degenerate
+/// masks, zero sampled mass, α shortfall beyond the configured tolerance,
+/// or a worker panic inside a kernel).
+///
+/// See DESIGN.md, "Failure model & degradation policy".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthPolicy {
+    /// Return the typed [`SaError`](sa_tensor::SaError) to the caller.
+    Propagate,
+    /// Transparently re-run the head with dense [`flash_attention`]
+    /// (non-finite inputs sanitised to 0.0 first) and record the fallback
+    /// in the stats. The default: a single sick head degrades to the
+    /// dense baseline instead of poisoning the forward pass.
+    ///
+    /// [`flash_attention`]: sa_kernels::flash_attention
+    #[default]
+    FallbackDense,
+    /// Fail-stop: raise a panic carrying the sentinel's message. For
+    /// harnesses that want corrupt state to be loud and immediate.
+    Abort,
+}
+
+sa_json::impl_json_enum!(HealthPolicy {
+    Propagate,
+    FallbackDense,
+    Abort
+});
+
 /// Hyper-parameters of SampleAttention (the paper's Table 1).
 ///
 /// | field | paper symbol | meaning |
@@ -52,6 +81,14 @@ pub struct SampleAttentionConfig {
     pub max_diagonals: usize,
     /// Cap on the selected stripe ratio, in `(0, 1]`.
     pub max_kv_ratio: f32,
+    /// What to do when a numerical-health sentinel trips
+    /// ([`HealthPolicy::FallbackDense`] by default).
+    pub health_policy: HealthPolicy,
+    /// How far `covered_mass` may fall below `α` before the head is
+    /// treated as unhealthy (only under a positive tolerance; `0.0` — the
+    /// default — disables the α sentinel entirely, since a deliberate
+    /// `max_kv_ratio` cap legitimately leaves `alpha_satisfied == false`).
+    pub alpha_fallback_tolerance: f32,
 }
 
 sa_json::impl_json_struct!(SampleAttentionConfig {
@@ -64,7 +101,9 @@ sa_json::impl_json_struct!(SampleAttentionConfig {
     forced_sinks,
     diagonal_threshold,
     max_diagonals,
-    max_kv_ratio
+    max_kv_ratio,
+    health_policy: default,
+    alpha_fallback_tolerance: default
 });
 
 impl SampleAttentionConfig {
@@ -86,6 +125,8 @@ impl SampleAttentionConfig {
             diagonal_threshold: 0.0,
             max_diagonals: 8,
             max_kv_ratio: 1.0,
+            health_policy: HealthPolicy::FallbackDense,
+            alpha_fallback_tolerance: 0.0,
         }
     }
 
@@ -185,6 +226,19 @@ impl SampleAttentionConfigBuilder {
         self
     }
 
+    /// Sets the response to a tripped numerical-health sentinel.
+    pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.config.health_policy = policy;
+        self
+    }
+
+    /// Sets how far `covered_mass` may fall below `α` before the head is
+    /// treated as unhealthy (0.0 disables the α sentinel).
+    pub fn alpha_fallback_tolerance(mut self, tolerance: f32) -> Self {
+        self.config.alpha_fallback_tolerance = tolerance;
+        self
+    }
+
     /// Validates and builds the config.
     ///
     /// # Errors
@@ -213,6 +267,7 @@ impl SampleAttentionConfigBuilder {
         check_unit("sample_ratio", c.sample_ratio, false)?;
         check_unit("window_ratio", c.window_ratio, true)?;
         check_unit("max_kv_ratio", c.max_kv_ratio, false)?;
+        check_unit("alpha_fallback_tolerance", c.alpha_fallback_tolerance, true)?;
         Ok(c)
     }
 }
@@ -282,5 +337,41 @@ mod tests {
         let s = sa_json::to_string(&c);
         let back: SampleAttentionConfig = sa_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn health_fields_default_and_validate() {
+        let c = SampleAttentionConfig::paper_default();
+        assert_eq!(c.health_policy, HealthPolicy::FallbackDense);
+        assert_eq!(c.alpha_fallback_tolerance, 0.0);
+        let c = SampleAttentionConfig::builder()
+            .health_policy(HealthPolicy::Propagate)
+            .alpha_fallback_tolerance(0.1)
+            .build()
+            .unwrap();
+        assert_eq!(c.health_policy, HealthPolicy::Propagate);
+        assert_eq!(c.alpha_fallback_tolerance, 0.1);
+        assert!(SampleAttentionConfig::builder()
+            .alpha_fallback_tolerance(-0.5)
+            .build()
+            .is_err());
+        assert!(SampleAttentionConfig::builder()
+            .alpha_fallback_tolerance(f32::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn old_json_without_health_fields_still_parses() {
+        // Pre-health-policy payloads lack the two new keys: they must
+        // parse with the defaults (FallbackDense, tolerance 0).
+        let c = SampleAttentionConfig::paper_default();
+        let s = sa_json::to_string(&c);
+        let legacy = s
+            .replace(",\"health_policy\":\"FallbackDense\"", "")
+            .replace(",\"alpha_fallback_tolerance\":0.0", "");
+        assert!(!legacy.contains("health_policy"), "{legacy}");
+        let back: SampleAttentionConfig = sa_json::from_str(&legacy).unwrap();
+        assert_eq!(back, c);
     }
 }

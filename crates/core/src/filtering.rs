@@ -18,7 +18,7 @@
 //!   over-selects.
 
 use sa_kernels::CostReport;
-use sa_tensor::{argsort_desc, prefix_sum, searchsorted_left};
+use sa_tensor::{argsort_desc, prefix_sum, searchsorted_left, TensorError};
 
 /// How stage 2 maps the sorted column scores to a kept-KV count.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,46 +66,53 @@ pub struct KvFilterResult {
 /// `max_kv_ratio` caps the selection size (1.0 = no cap). Returns an empty
 /// selection when the scores carry no mass.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `alpha` is not in `(0, 1]` or `max_kv_ratio` is not in
-/// `(0, 1]`.
+/// Returns [`TensorError::InvalidDimension`] if `alpha` is not in `(0, 1]`
+/// or `max_kv_ratio` is not in `(0, 1]` (including NaN).
 ///
 /// # Example
 ///
 /// ```
 /// use sa_core::filtering::{filter_kv_indices, KvRatioSchedule};
 ///
+/// # fn main() -> Result<(), sa_tensor::TensorError> {
 /// // Columns 1 and 3 dominate.
 /// let scores = [0.02, 0.60, 0.03, 0.30, 0.05];
-/// let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact);
+/// let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact)?;
 /// assert_eq!(r.indices, vec![1, 3]);
 /// assert!(r.covered_mass >= 0.9);
+/// # Ok(())
+/// # }
 /// ```
 pub fn filter_kv_indices(
     column_scores: &[f32],
     alpha: f32,
     max_kv_ratio: f32,
     schedule: &KvRatioSchedule,
-) -> KvFilterResult {
-    assert!(
-        alpha > 0.0 && alpha <= 1.0,
-        "alpha must be in (0, 1], got {alpha}"
-    );
-    assert!(
-        max_kv_ratio > 0.0 && max_kv_ratio <= 1.0,
-        "max_kv_ratio must be in (0, 1], got {max_kv_ratio}"
-    );
+) -> Result<KvFilterResult, TensorError> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(TensorError::InvalidDimension {
+            op: "filter_kv_indices",
+            what: format!("alpha must be in (0, 1], got {alpha}"),
+        });
+    }
+    if !(max_kv_ratio > 0.0 && max_kv_ratio <= 1.0) {
+        return Err(TensorError::InvalidDimension {
+            op: "filter_kv_indices",
+            what: format!("max_kv_ratio must be in (0, 1], got {max_kv_ratio}"),
+        });
+    }
     let s_k = column_scores.len();
     let total: f32 = column_scores.iter().sum();
     if s_k == 0 || total <= 0.0 {
-        return KvFilterResult {
+        return Ok(KvFilterResult {
             indices: Vec::new(),
             kv_ratio: 0.0,
             covered_mass: 0.0,
             alpha_satisfied: false,
             cost: CostReport::launch(0, 0, 0),
-        };
+        });
     }
 
     // SortedWeight = SampleWeight.sort(dim=-1)  (descending)
@@ -148,13 +155,13 @@ pub fn filter_kv_indices(
     let bytes = 4 * s_k as u64;
     let cost = CostReport::launch(flops, 2 * bytes, bytes + 8 * k as u64);
 
-    KvFilterResult {
+    Ok(KvFilterResult {
         indices,
         kv_ratio: k as f32 / s_k as f32,
         covered_mass,
         alpha_satisfied,
         cost,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -164,7 +171,7 @@ mod tests {
     #[test]
     fn selects_minimal_exact_set() {
         let scores = [0.1, 0.4, 0.1, 0.3, 0.1];
-        let r = filter_kv_indices(&scores, 0.69, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.69, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert_eq!(r.indices, vec![1, 3]); // 0.4 + 0.3 = 0.7 ≥ 0.69
         assert!((r.kv_ratio - 0.4).abs() < 1e-6);
         assert!((r.covered_mass - 0.7).abs() < 1e-6);
@@ -173,7 +180,7 @@ mod tests {
     #[test]
     fn alpha_one_selects_all_positive_mass() {
         let scores = [0.2, 0.0, 0.8];
-        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact).unwrap();
         // prefix reaches total at k=2 (0.8 + 0.2); the zero column is not needed.
         assert_eq!(r.indices, vec![0, 2]);
         assert!((r.covered_mass - 1.0).abs() < 1e-6);
@@ -184,7 +191,7 @@ mod tests {
         let mut scores = vec![0.001f32; 1000];
         scores[7] = 10.0;
         scores[412] = 5.0;
-        let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(r.indices.len() <= 3, "selected {}", r.indices.len());
         assert!(r.indices.contains(&7) && r.indices.contains(&412));
     }
@@ -192,14 +199,14 @@ mod tests {
     #[test]
     fn uniform_scores_select_alpha_fraction() {
         let scores = vec![1.0f32; 100];
-        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert_eq!(r.indices.len(), 95);
     }
 
     #[test]
     fn cap_limits_selection() {
         let scores = vec![1.0f32; 100];
-        let r = filter_kv_indices(&scores, 0.95, 0.5, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.95, 0.5, &KvRatioSchedule::Exact).unwrap();
         assert_eq!(r.indices.len(), 50);
         assert!((r.covered_mass - 0.5).abs() < 1e-4);
         // The cap truncated the selection below the α point: this must be
@@ -210,18 +217,18 @@ mod tests {
     #[test]
     fn uncapped_selection_reports_alpha_satisfied() {
         let scores = vec![1.0f32; 100];
-        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(r.alpha_satisfied);
         assert!(r.covered_mass >= 0.95);
         // A cap that still leaves room for the α point also satisfies.
-        let roomy = filter_kv_indices(&scores, 0.5, 0.8, &KvRatioSchedule::Exact);
+        let roomy = filter_kv_indices(&scores, 0.5, 0.8, &KvRatioSchedule::Exact).unwrap();
         assert!(roomy.alpha_satisfied);
     }
 
     #[test]
     fn capped_coarse_schedule_reports_unsatisfied() {
         let scores = vec![1.0f32; 1000];
-        let r = filter_kv_indices(&scores, 0.9, 0.1, &KvRatioSchedule::paper_coarse());
+        let r = filter_kv_indices(&scores, 0.9, 0.1, &KvRatioSchedule::paper_coarse()).unwrap();
         assert_eq!(r.indices.len(), 100);
         assert!(!r.alpha_satisfied);
         assert!((r.covered_mass - 0.1).abs() < 1e-4);
@@ -232,11 +239,11 @@ mod tests {
         // Many near-equal tiny values: the f32 prefix/total ratio is prone
         // to landing a hair above 1.0 at full coverage.
         let scores = vec![0.1f32; 10_000];
-        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 1.0, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(r.covered_mass <= 1.0, "covered_mass {}", r.covered_mass);
         assert!(r.covered_mass >= 0.0);
         // Zero-mass input reports unsatisfied, zero coverage.
-        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact);
+        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(!z.alpha_satisfied);
         assert_eq!(z.covered_mass, 0.0);
     }
@@ -244,8 +251,8 @@ mod tests {
     #[test]
     fn coarse_schedule_over_selects() {
         let scores = vec![1.0f32; 1000];
-        let exact = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::Exact);
-        let coarse = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::paper_coarse());
+        let exact = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::Exact).unwrap();
+        let coarse = filter_kv_indices(&scores, 0.3, 1.0, &KvRatioSchedule::paper_coarse()).unwrap();
         assert_eq!(exact.indices.len(), 300);
         // First paper ratio clearing 0.3 of uniform mass is 0.4.
         assert_eq!(coarse.indices.len(), 400);
@@ -256,7 +263,7 @@ mod tests {
     fn coarse_schedule_exact_when_first_candidate_suffices() {
         let mut scores = vec![0.0f32; 1000];
         scores[3] = 1.0;
-        let coarse = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::paper_coarse());
+        let coarse = filter_kv_indices(&scores, 0.9, 1.0, &KvRatioSchedule::paper_coarse()).unwrap();
         // 1.25 % of 1000 = 13 columns (rounded), includes the single hot one.
         assert!(coarse.indices.contains(&3));
         assert!(coarse.indices.len() <= 13);
@@ -264,9 +271,9 @@ mod tests {
 
     #[test]
     fn empty_and_zero_mass() {
-        let r = filter_kv_indices(&[], 0.9, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&[], 0.9, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(r.indices.is_empty());
-        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact);
+        let z = filter_kv_indices(&[0.0, 0.0], 0.9, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(z.indices.is_empty());
         assert_eq!(z.kv_ratio, 0.0);
     }
@@ -274,27 +281,31 @@ mod tests {
     #[test]
     fn indices_sorted_ascending() {
         let scores = [0.5, 0.1, 0.9, 0.3, 0.7];
-        let r = filter_kv_indices(&scores, 0.99, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, 0.99, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(r.indices.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
-    #[should_panic(expected = "alpha")]
-    fn invalid_alpha_panics() {
-        let _ = filter_kv_indices(&[1.0], 0.0, 1.0, &KvRatioSchedule::Exact);
+    fn invalid_alpha_errors() {
+        for alpha in [0.0, -0.5, 1.5, f32::NAN] {
+            let e = filter_kv_indices(&[1.0], alpha, 1.0, &KvRatioSchedule::Exact).unwrap_err();
+            assert!(e.to_string().contains("alpha"), "{e}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "max_kv_ratio")]
-    fn invalid_cap_panics() {
-        let _ = filter_kv_indices(&[1.0], 0.5, 0.0, &KvRatioSchedule::Exact);
+    fn invalid_cap_errors() {
+        for cap in [0.0, -1.0, 2.0, f32::NAN] {
+            let e = filter_kv_indices(&[1.0], 0.5, cap, &KvRatioSchedule::Exact).unwrap_err();
+            assert!(e.to_string().contains("max_kv_ratio"), "{e}");
+        }
     }
 
     #[test]
     fn higher_alpha_selects_no_fewer() {
         let scores: Vec<f32> = (0..64).map(|i| 1.0 / (1.0 + i as f32)).collect();
-        let lo = filter_kv_indices(&scores, 0.5, 1.0, &KvRatioSchedule::Exact);
-        let hi = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+        let lo = filter_kv_indices(&scores, 0.5, 1.0, &KvRatioSchedule::Exact).unwrap();
+        let hi = filter_kv_indices(&scores, 0.95, 1.0, &KvRatioSchedule::Exact).unwrap();
         assert!(hi.indices.len() >= lo.indices.len());
     }
 }

@@ -63,9 +63,11 @@ pub mod sparsity;
 pub mod theory;
 pub mod tuner;
 
-pub use attention::{DiscoveredMask, SampleAttention, SampleAttentionOutput, SampleAttentionStats};
+pub use attention::{
+    DiscoveredMask, FallbackReason, SampleAttention, SampleAttentionOutput, SampleAttentionStats,
+};
 pub use autotune::{AdaptiveSampleAttention, AutotuneConfig, RuntimeAutotuner};
-pub use config::{SampleAttentionConfig, SampleAttentionConfigBuilder};
+pub use config::{HealthPolicy, SampleAttentionConfig, SampleAttentionConfigBuilder};
 pub use cra::{cra_of_dense_mask, cra_of_structured_mask, stripe_coverage_curve, StripeCoverage};
 pub use error::SampleAttentionError;
 pub use filtering::{filter_kv_indices, KvFilterResult, KvRatioSchedule};

@@ -7,7 +7,7 @@
 //! makes a small sample representative of all rows.
 
 use sa_kernels::{score_scale, CostReport};
-use sa_tensor::{pool, softmax_row, Matrix, StrideSample, TensorError};
+use sa_tensor::{fault, pool, softmax_row, Matrix, StrideSample, TensorError};
 
 use crate::sparsity::causal_width;
 
@@ -132,7 +132,8 @@ pub fn sample_attention_scores(
     };
     let grain = pool::row_grain(s_k.max(1) * d.max(1));
     for batch in sample.indices().chunks(SAMPLE_BATCH) {
-        let computed = pool::parallel_map(batch.len(), grain, |b| row_probs(batch[b]));
+        let computed =
+            pool::try_parallel_map("stage1_sampling", batch.len(), grain, |b| row_probs(batch[b]))?;
         for (visible, probs) in computed.into_iter().flatten() {
             for (j, (acc, &p)) in column_acc.iter_mut().zip(probs.iter()).enumerate() {
                 *acc += f64::from(p);
@@ -141,8 +142,12 @@ pub fn sample_attention_scores(
             live_pairs += visible as u64;
         }
     }
-    let column_scores: Vec<f32> = column_acc.into_iter().map(|v| v as f32).collect();
+    let mut column_scores: Vec<f32> = column_acc.into_iter().map(|v| v as f32).collect();
     let diagonal_scores: Vec<f32> = diagonal_acc.into_iter().map(|v| v as f32).collect();
+    // Fault-injection hook: an installed plan with `zero_mass` wipes the
+    // accumulated column scores here, exercising the zero-mass sentinel
+    // downstream. Inert (a single atomic load) unless a plan is installed.
+    fault::tamper_scores("stage1_scores", &mut column_scores);
 
     // Fused kernel cost: Q sample rows + visible K rows read, column
     // scores written once. (2d for the dot product, ~4 for softmax, 1 for

@@ -29,7 +29,7 @@ mod value;
 
 pub use convert::{FromJson, ToJson};
 pub use parse::parse;
-pub use value::{Json, JsonError};
+pub use value::{Json, JsonError, JsonLocation};
 
 /// Serializes a value compactly.
 pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {

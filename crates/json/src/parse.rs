@@ -1,6 +1,6 @@
 //! A strict recursive-descent JSON parser.
 
-use crate::value::{Json, JsonError};
+use crate::value::{Json, JsonError, JsonLocation};
 
 /// Maximum nesting depth (arrays + objects) before the parser bails,
 /// guarding the recursion against stack exhaustion on adversarial input.
@@ -10,7 +10,8 @@ const MAX_DEPTH: usize = 256;
 ///
 /// # Errors
 ///
-/// Returns a [`JsonError`] naming the byte offset of the first problem.
+/// Returns a [`JsonError`] carrying the byte offset and 1-based
+/// line/column of the first problem (see [`JsonError::location`]).
 pub fn parse(s: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
@@ -34,7 +35,19 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError::new(format!("{msg} at byte {}", self.pos))
+        // Recover line/column from the offset only on the error path, so
+        // the happy path never pays for position tracking.
+        let upto = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let column = 1 + upto
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(upto.len(), |nl| upto.len() - nl - 1);
+        JsonError::new(msg).at(JsonLocation {
+            offset: self.pos,
+            line,
+            column,
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -343,6 +356,25 @@ mod tests {
         assert!(parse(&s).is_err());
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offset_line_and_column() {
+        // The `tru` on line 3 (1-based), column 8, byte 19.
+        let doc = "{\n  \"a\": 1,\n  \"b\": tru\n}";
+        let err = parse(doc).expect_err("malformed literal");
+        let loc = err.location().expect("parser errors carry a location");
+        assert_eq!(loc.line, 3);
+        assert_eq!(loc.column, 8);
+        assert_eq!(loc.offset, 19);
+        let rendered = err.to_string();
+        assert!(rendered.contains("byte 19"), "{rendered}");
+        assert!(rendered.contains("line 3"), "{rendered}");
+        assert!(rendered.contains("column 8"), "{rendered}");
+        // Single-line input: column == offset + 1.
+        let err = parse("[1,]").expect_err("trailing comma");
+        let loc = err.location().expect("location");
+        assert_eq!((loc.line, loc.column, loc.offset), (1, 4, 3));
     }
 
     #[test]

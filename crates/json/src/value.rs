@@ -114,31 +114,68 @@ impl PartialEq for Json {
     }
 }
 
+/// Byte offset plus 1-based line/column of a parse failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonLocation {
+    /// Byte offset into the input where the problem was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes from the start of the line).
+    pub column: usize,
+}
+
 /// Error from parsing or from a [`crate::FromJson`] conversion.
+///
+/// Parser-produced errors carry a [`JsonLocation`] (byte offset +
+/// line/column); conversion errors accumulate a `Type.field` context
+/// chain via [`JsonError::in_context`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     message: String,
+    location: Option<JsonLocation>,
 }
 
 impl JsonError {
-    /// Creates an error with the given message.
+    /// Creates an error with the given message and no input location.
     pub fn new(message: impl Into<String>) -> Self {
         JsonError {
             message: message.into(),
+            location: None,
         }
     }
 
-    /// Prefixes the error with a location context (e.g. `Type.field`).
+    /// Attaches the input location where the problem was detected.
+    pub fn at(mut self, location: JsonLocation) -> Self {
+        self.location = Some(location);
+        self
+    }
+
+    /// The input location, when the error came from the parser.
+    pub fn location(&self) -> Option<JsonLocation> {
+        self.location
+    }
+
+    /// Prefixes the error with a location context (e.g. `Type.field`),
+    /// preserving any input location.
     pub fn in_context(self, context: &str) -> Self {
         JsonError {
             message: format!("{context}: {}", self.message),
+            location: self.location,
         }
     }
 }
 
 impl std::fmt::Display for JsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.message)
+        match self.location {
+            Some(loc) => write!(
+                f,
+                "{} at byte {} (line {}, column {})",
+                self.message, loc.offset, loc.line, loc.column
+            ),
+            None => write!(f, "{}", self.message),
+        }
     }
 }
 

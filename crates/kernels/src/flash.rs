@@ -121,7 +121,7 @@ pub fn flash_attention(
         let grain_rows = pool::row_grain(s_k * (d + dv))
             .div_ceil(params.block_rows)
             * params.block_rows;
-        pool::parallel_for_rows(output.as_mut_slice(), dv, grain_rows, |row0, chunk| {
+        pool::try_parallel_for_rows("flash_attention", output.as_mut_slice(), dv, grain_rows, |row0, chunk| {
             // row0 is a multiple of grain_rows, hence of block_rows: the
             // chunk starts on a global q-block boundary.
             let chunk_rows = chunk.len() / dv;
@@ -177,7 +177,7 @@ pub fn flash_attention(
                     chunk[at..at + dv].copy_from_slice(&state.finish());
                 }
             }
-        });
+        })?;
     }
     let kv_block_reads = kv_block_reads.into_inner();
 

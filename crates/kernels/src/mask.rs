@@ -438,16 +438,18 @@ impl DenseMask {
 
     /// Element-wise AND with another mask.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if shapes differ.
-    pub fn and(&self, other: &DenseMask) -> DenseMask {
-        assert_eq!(
-            (self.s_q, self.s_k),
-            (other.s_q, other.s_k),
-            "DenseMask::and shape mismatch"
-        );
-        DenseMask {
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn and(&self, other: &DenseMask) -> Result<DenseMask, TensorError> {
+        if (self.s_q, self.s_k) != (other.s_q, other.s_k) {
+            return Err(TensorError::ShapeMismatch {
+                op: "DenseMask::and",
+                lhs: (self.s_q, self.s_k),
+                rhs: (other.s_q, other.s_k),
+            });
+        }
+        Ok(DenseMask {
             s_q: self.s_q,
             s_k: self.s_k,
             bits: self
@@ -456,21 +458,23 @@ impl DenseMask {
                 .zip(&other.bits)
                 .map(|(&a, &b)| a && b)
                 .collect(),
-        }
+        })
     }
 
     /// Element-wise OR with another mask.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if shapes differ.
-    pub fn or(&self, other: &DenseMask) -> DenseMask {
-        assert_eq!(
-            (self.s_q, self.s_k),
-            (other.s_q, other.s_k),
-            "DenseMask::or shape mismatch"
-        );
-        DenseMask {
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn or(&self, other: &DenseMask) -> Result<DenseMask, TensorError> {
+        if (self.s_q, self.s_k) != (other.s_q, other.s_k) {
+            return Err(TensorError::ShapeMismatch {
+                op: "DenseMask::or",
+                lhs: (self.s_q, self.s_k),
+                rhs: (other.s_q, other.s_k),
+            });
+        }
+        Ok(DenseMask {
             s_q: self.s_q,
             s_k: self.s_k,
             bits: self
@@ -479,7 +483,7 @@ impl DenseMask {
                 .zip(&other.bits)
                 .map(|(&a, &b)| a || b)
                 .collect(),
-        }
+        })
     }
 }
 
@@ -644,12 +648,16 @@ mod tests {
         b.set(0, 0, true);
         b.set(2, 1, true);
         b.set(0, 2, true); // non-causal
-        let and = a.and(&b);
+        let and = a.and(&b).unwrap();
         assert_eq!(and.nnz(), 2);
-        let or = a.or(&b);
+        let or = a.or(&b).unwrap();
         assert_eq!(or.nnz(), 7);
         assert_eq!(a.s_q(), 3);
         assert_eq!(a.s_k(), 3);
+        // Shape mismatches are recoverable errors, not panics.
+        let wide = DenseMask::zeros(3, 4);
+        assert!(a.and(&wide).is_err());
+        assert!(a.or(&wide).is_err());
     }
 
     #[test]

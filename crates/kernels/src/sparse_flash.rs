@@ -92,52 +92,56 @@ pub fn sparse_flash_attention(
     // Rows are fully independent (each folds only its own live columns),
     // so row chunks run on the worker pool with bit-identical per-row
     // arithmetic. The score/column scratch buffers become per-chunk
-    // locals; `live_pairs` is an integer tally, order-independent.
+    // locals; `live_pairs` is an integer tally, order-independent. A
+    // panicking worker (or an injected fault) surfaces as
+    // `SaError::WorkerPanic` instead of aborting the process.
     if s_q > 0 && dv > 0 {
         let avg_live = (mask.nnz() / s_q).max(1);
         let grain_rows = pool::row_grain(avg_live * (d + dv));
-        pool::parallel_for_rows(output.as_mut_slice(), dv, grain_rows, |row0, chunk| {
-            let mut scores_buf: Vec<f32> = Vec::new();
-            let mut cols_buf: Vec<usize> = Vec::new();
-            let mut chunk_pairs: u64 = 0;
+        pool::try_parallel_for_rows(
+            "sparse_flash_attention",
+            output.as_mut_slice(),
+            dv,
+            grain_rows,
+            |row0, chunk| {
+                let mut scores_buf: Vec<f32> = Vec::new();
+                let mut cols_buf: Vec<usize> = Vec::new();
+                let mut chunk_pairs: u64 = 0;
 
-            for (local_i, out_row) in chunk.chunks_mut(dv).enumerate() {
-                let i = row0 + local_i;
-                let Some(end) = mask.causal_end(i) else {
-                    continue;
-                };
-                let win_start = mask.window_start(i);
-                let q_row = q.row(i);
-                let mut state = OnlineSoftmaxState::new(dv);
+                for (local_i, out_row) in chunk.chunks_mut(dv).enumerate() {
+                    let i = row0 + local_i;
+                    let Some(end) = mask.causal_end(i) else {
+                        continue;
+                    };
+                    let win_start = mask.window_start(i);
+                    let q_row = q.row(i);
+                    let mut state = OnlineSoftmaxState::new(dv);
 
-                // Extra columns strictly below the window (sinks + stripes +
-                // diagonal keys).
-                cols_buf.clear();
-                cols_buf.extend(extras.iter().copied().take_while(|&c| c < win_start));
-                cols_buf.extend(mask.diagonal_keys(i));
-                if !cols_buf.is_empty() {
-                    scores_buf.clear();
-                    scores_buf.extend(
-                        cols_buf
-                            .iter()
-                            .map(|&c| dot(q_row, k.row(c)) * scale),
-                    );
-                    let cols = &cols_buf;
-                    online_softmax_update(&mut state, &scores_buf, |t| v.row(cols[t]));
+                    // Extra columns strictly below the window (sinks + stripes +
+                    // diagonal keys).
+                    cols_buf.clear();
+                    cols_buf.extend(extras.iter().copied().take_while(|&c| c < win_start));
+                    cols_buf.extend(mask.diagonal_keys(i));
+                    if !cols_buf.is_empty() {
+                        scores_buf.clear();
+                        scores_buf.extend(cols_buf.iter().map(|&c| dot(q_row, k.row(c)) * scale));
+                        let cols = &cols_buf;
+                        online_softmax_update(&mut state, &scores_buf, |t| v.row(cols[t]));
+                    }
+
+                    // Contiguous local window win_start ..= end.
+                    if win_start <= end {
+                        scores_buf.clear();
+                        scores_buf.extend((win_start..=end).map(|c| dot(q_row, k.row(c)) * scale));
+                        online_softmax_update(&mut state, &scores_buf, |t| v.row(win_start + t));
+                    }
+
+                    chunk_pairs += (cols_buf.len() + (end + 1 - win_start)) as u64;
+                    out_row.copy_from_slice(&state.finish());
                 }
-
-                // Contiguous local window win_start ..= end.
-                if win_start <= end {
-                    scores_buf.clear();
-                    scores_buf.extend((win_start..=end).map(|c| dot(q_row, k.row(c)) * scale));
-                    online_softmax_update(&mut state, &scores_buf, |t| v.row(win_start + t));
-                }
-
-                chunk_pairs += (cols_buf.len() + (end + 1 - win_start)) as u64;
-                out_row.copy_from_slice(&state.finish());
-            }
-            live_pairs.fetch_add(chunk_pairs, Ordering::Relaxed);
-        });
+                live_pairs.fetch_add(chunk_pairs, Ordering::Relaxed);
+            },
+        )?;
     }
     let live_pairs = live_pairs.into_inner();
 
@@ -195,9 +199,7 @@ mod tests {
             .unwrap();
         let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
         let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
-        assert!(
-            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
-        );
+        assert!(max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4);
     }
 
     #[test]
@@ -211,9 +213,7 @@ mod tests {
             .unwrap();
         let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
         let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
-        assert!(
-            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
-        );
+        assert!(max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4);
     }
 
     #[test]
@@ -227,9 +227,7 @@ mod tests {
             .unwrap();
         let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
         let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
-        assert!(
-            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
-        );
+        assert!(max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4);
         // Row 0 sees nothing (window 0, no extras ≤ causal end except col 0 sink).
         // Actually sink column 0 is causally visible to row 0... window_start(0) = 1
         // with window 0, so col 0 is an extra below the window → live.
@@ -258,9 +256,7 @@ mod tests {
             .unwrap();
         let sparse = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
         let reference = masked_attention_dense(&q, &k, &v, &mask.to_dense()).unwrap();
-        assert!(
-            max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4
-        );
+        assert!(max_abs_diff(sparse.output.as_slice(), reference.output.as_slice()) < 1e-4);
     }
 
     #[test]

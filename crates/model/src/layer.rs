@@ -20,6 +20,12 @@ pub struct HeadReport {
     pub archetype: HeadArchetype,
     /// Live fraction of the causal triangle the method computed.
     pub density: f64,
+    /// Whether the method reached its coverage target on this head
+    /// (stage-2 `alpha_satisfied` for SampleAttention; `true` for
+    /// baselines with no coverage notion).
+    pub alpha_satisfied: bool,
+    /// Whether this head transparently degraded to a dense fallback.
+    pub fell_back: bool,
     /// Attention cost for this head (discovery + sparse compute).
     pub cost: CostReport,
 }
@@ -175,14 +181,15 @@ impl AttentionLayer {
             // they run on the worker pool; the fold below stays serial
             // and in head order, keeping the f32 accumulation into
             // `content_update` bit-identical to the serial loop.
-            let head_outputs = pool::parallel_map(self.gqa.group_size(), 1, |local| {
-                let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
-                apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
-                let proj = projection_cost(n, hidden_rows.cols(), q_new.cols(), 1);
-                let out = method.forward(&q_new, k_all, v_all)?;
-                let content = Matrix::from_fn(n, dc, |i, j| out.output.get(i, j));
-                Ok::<_, TensorError>((proj, out, content))
-            });
+            let head_outputs =
+                pool::try_parallel_map("layer_heads", self.gqa.group_size(), 1, |local| {
+                    let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
+                    apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
+                    let proj = projection_cost(n, hidden_rows.cols(), q_new.cols(), 1);
+                    let out = method.forward(&q_new, k_all, v_all)?;
+                    let content = Matrix::from_fn(n, dc, |i, j| out.output.get(i, j));
+                    Ok::<_, TensorError>((proj, out, content))
+                })?;
             for (local, result) in head_outputs.into_iter().enumerate() {
                 let head = g * self.gqa.group_size() + local;
                 let (proj, out, content) = result?;
@@ -199,6 +206,8 @@ impl AttentionLayer {
                     head,
                     archetype: self.archetypes[head],
                     density: out.density,
+                    alpha_satisfied: out.alpha_satisfied,
+                    fell_back: out.fell_back,
                     cost: out.cost,
                 });
                 head_contents.push(content);
@@ -293,15 +302,16 @@ impl AttentionLayer {
 
             // Per-head fan-out on the worker pool; serial in-order fold
             // (see forward_incremental) keeps results bit-identical.
-            let head_outputs = pool::parallel_map(self.gqa.group_size(), 1, |local| {
-                let mut q = matmul(hidden, &group.wqs[local])?;
-                apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
-                let proj = projection_cost(s, hidden.cols(), q.cols(), 1);
-                let out = method.forward(&q, &k, &v)?;
-                // Content lives in the first dc output dims.
-                let content = Matrix::from_fn(s, dc, |i, j| out.output.get(i, j));
-                Ok::<_, TensorError>((proj, out, content))
-            });
+            let head_outputs =
+                pool::try_parallel_map("layer_heads", self.gqa.group_size(), 1, |local| {
+                    let mut q = matmul(hidden, &group.wqs[local])?;
+                    apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
+                    let proj = projection_cost(s, hidden.cols(), q.cols(), 1);
+                    let out = method.forward(&q, &k, &v)?;
+                    // Content lives in the first dc output dims.
+                    let content = Matrix::from_fn(s, dc, |i, j| out.output.get(i, j));
+                    Ok::<_, TensorError>((proj, out, content))
+                })?;
             for (local, result) in head_outputs.into_iter().enumerate() {
                 let head = g * self.gqa.group_size() + local;
                 let (proj, out, content) = result?;
@@ -318,6 +328,8 @@ impl AttentionLayer {
                     head,
                     archetype: self.archetypes[head],
                     density: out.density,
+                    alpha_satisfied: out.alpha_satisfied,
+                    fell_back: out.fell_back,
                     cost: out.cost,
                 });
                 head_contents.push(content);

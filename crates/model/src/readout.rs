@@ -88,6 +88,8 @@ mod tests {
             head,
             archetype: HeadArchetype::from_weights((0.1, 0.1, retrieval, 0.1)),
             density: 1.0,
+            alpha_satisfied: true,
+            fell_back: false,
             cost: CostReport::new(),
         }
     }

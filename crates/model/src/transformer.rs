@@ -34,6 +34,18 @@ impl PrefillResult {
         }
         self.head_reports.iter().map(|r| r.density).sum::<f64>() / self.head_reports.len() as f64
     }
+
+    /// Number of heads (across all layers) whose stage-2 selection fell
+    /// short of the configured α coverage.
+    pub fn heads_alpha_unsatisfied(&self) -> usize {
+        self.head_reports.iter().filter(|r| !r.alpha_satisfied).count()
+    }
+
+    /// Number of heads (across all layers) that transparently degraded to
+    /// the dense fallback.
+    pub fn fallback_heads(&self) -> usize {
+        self.head_reports.iter().filter(|r| r.fell_back).count()
+    }
 }
 
 /// A constructed decoder-only transformer with archetype-designed heads.
@@ -251,6 +263,48 @@ mod tests {
         assert_eq!(r.layer_inputs.len(), model.config().num_layers);
         assert_eq!(r.mean_density(), 1.0);
         assert!(r.total_cost.flops > 0);
+    }
+
+    #[test]
+    fn healthy_prefill_reports_no_fallbacks() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(18)).unwrap();
+        let tokens = model.tokenize_filler(80);
+        let full = model.prefill(&tokens, &FullAttention::new()).unwrap();
+        assert_eq!(full.fallback_heads(), 0);
+        assert_eq!(full.heads_alpha_unsatisfied(), 0);
+        let sample = model
+            .prefill(&tokens, &SampleAttentionMethod::paper_default())
+            .unwrap();
+        assert_eq!(sample.fallback_heads(), 0);
+        // Uncapped paper default reaches α on every head.
+        assert_eq!(sample.heads_alpha_unsatisfied(), 0);
+    }
+
+    #[test]
+    fn capped_alpha_shortfall_visible_per_head_at_top_level() {
+        // A tight max_kv_ratio cap plus a tiny window forces stage-2
+        // under-coverage; each affected head must be observable from the
+        // transformer-level aggregate, not just the last one.
+        let model = SyntheticTransformer::new(ModelConfig::tiny(19)).unwrap();
+        let tokens = model.tokenize_filler(200);
+        let cfg = sa_core::SampleAttentionConfig::builder()
+            .cra_threshold(0.99)
+            .max_kv_ratio(0.02)
+            .window_ratio(0.01)
+            .bottom_area_rows(0)
+            .build()
+            .unwrap();
+        let result = model
+            .prefill(&tokens, &SampleAttentionMethod::new(cfg))
+            .unwrap();
+        let unsatisfied = result.heads_alpha_unsatisfied();
+        assert!(unsatisfied > 1, "expected several capped heads, got {unsatisfied}");
+        assert_eq!(
+            unsatisfied,
+            result.head_reports.iter().filter(|r| !r.alpha_satisfied).count()
+        );
+        // The cap degrades coverage but is not a health fault by default.
+        assert_eq!(result.fallback_heads(), 0);
     }
 
     #[test]

@@ -143,7 +143,11 @@ fn env_u64(name: &str) -> Option<u64> {
     };
     match parsed {
         Ok(v) => Some(v),
-        Err(_) => panic!("{name} must be a u64 (decimal or 0x-hex), got {raw:?}"),
+        // Failing the test run loudly is the point: a malformed repro
+        // seed must never silently fall back to the full case sweep.
+        Err(_) => std::panic::panic_any(format!(
+            "{name} must be a u64 (decimal or 0x-hex), got {raw:?}"
+        )),
     }
 }
 

@@ -1,12 +1,16 @@
 use std::fmt;
 
-/// Error type for shape and argument validation in `sa-tensor`.
+/// Unified error taxonomy for the attention pipeline.
 ///
-/// All fallible public functions in this crate return
-/// `Result<_, TensorError>`; the error carries enough context to state
-/// which operation rejected which shapes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TensorError {
+/// All fallible public functions in `sa-tensor` (and, via the
+/// `TensorError` / `KernelError` aliases, in `sa-kernels` and the
+/// pipeline crates above) return `Result<_, SaError>`. The first three
+/// variants are argument-validation errors; the last four are
+/// *health* errors raised by the numerical sentinels and the worker
+/// pool, and are the inputs to the graceful-degradation policy (see
+/// `sa-core`'s `HealthPolicy`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaError {
     /// Two operands had incompatible shapes for the requested operation.
     ShapeMismatch {
         /// The operation being performed (e.g. `"matmul"`).
@@ -32,27 +36,119 @@ pub enum TensorError {
         /// The exclusive bound the index must stay under.
         bound: usize,
     },
+    /// A numerical-health sentinel found NaN/Inf values at a stage
+    /// boundary.
+    NonFinite {
+        /// The pipeline stage where the values were observed
+        /// (e.g. `"inputs"`, `"sampled_scores"`, `"attention_output"`).
+        stage: &'static str,
+        /// The head index, when the failure is attributed to one head.
+        head: Option<usize>,
+        /// Number of non-finite entries observed.
+        count: usize,
+    },
+    /// A discovered or merged sparsity mask was unusable (e.g. zero
+    /// live entries while the causal region is non-empty, or zero
+    /// stage-1 score mass).
+    DegenerateMask {
+        /// The pipeline stage that produced the mask.
+        stage: &'static str,
+        /// Human-readable description of the degeneracy.
+        what: String,
+    },
+    /// Stage 2 could not cover the requested CRA threshold `alpha`
+    /// within the configured tolerance (Def. 2 in the paper).
+    AlphaUnsatisfied {
+        /// Attention mass actually covered by the selected KV set.
+        covered: f32,
+        /// The configured CRA threshold.
+        alpha: f32,
+        /// The head index, when attributed to one head.
+        head: Option<usize>,
+    },
+    /// A worker thread panicked inside a pool primitive; the panic was
+    /// caught at the chunk boundary instead of aborting the process.
+    WorkerPanic {
+        /// The pool call site (e.g. `"sparse_flash_attention"`).
+        site: &'static str,
+        /// The panic payload rendered as a string.
+        message: String,
+    },
 }
 
-impl fmt::Display for TensorError {
+/// Historical name for [`SaError`]; kept so every pre-existing
+/// `Result<_, TensorError>` signature keeps compiling unchanged.
+pub type TensorError = SaError;
+
+impl SaError {
+    /// True for the health-sentinel variants that the degradation
+    /// policy may convert into a dense per-head fallback; false for
+    /// argument-validation errors, which always propagate.
+    pub fn is_health_error(&self) -> bool {
+        matches!(
+            self,
+            SaError::NonFinite { .. }
+                | SaError::DegenerateMask { .. }
+                | SaError::AlphaUnsatisfied { .. }
+                | SaError::WorkerPanic { .. }
+        )
+    }
+
+    /// Attributes the error to `head`, for variants that carry a head
+    /// index; other variants pass through unchanged.
+    pub fn with_head(self, h: usize) -> Self {
+        match self {
+            SaError::NonFinite { stage, count, .. } => SaError::NonFinite {
+                stage,
+                head: Some(h),
+                count,
+            },
+            SaError::AlphaUnsatisfied { covered, alpha, .. } => SaError::AlphaUnsatisfied {
+                covered,
+                alpha,
+                head: Some(h),
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for SaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+            SaError::ShapeMismatch { op, lhs, rhs } => write!(
                 f,
                 "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
-            TensorError::InvalidDimension { op, what } => {
+            SaError::InvalidDimension { op, what } => {
                 write!(f, "invalid dimension in {op}: {what}")
             }
-            TensorError::IndexOutOfBounds { op, index, bound } => {
+            SaError::IndexOutOfBounds { op, index, bound } => {
                 write!(f, "index {index} out of bounds (< {bound}) in {op}")
+            }
+            SaError::NonFinite { stage, head, count } => match head {
+                Some(h) => write!(f, "{count} non-finite value(s) at {stage} (head {h})"),
+                None => write!(f, "{count} non-finite value(s) at {stage}"),
+            },
+            SaError::DegenerateMask { stage, what } => {
+                write!(f, "degenerate mask at {stage}: {what}")
+            }
+            SaError::AlphaUnsatisfied { covered, alpha, head } => match head {
+                Some(h) => write!(
+                    f,
+                    "CRA {covered} below alpha {alpha} beyond tolerance (head {h})"
+                ),
+                None => write!(f, "CRA {covered} below alpha {alpha} beyond tolerance"),
+            },
+            SaError::WorkerPanic { site, message } => {
+                write!(f, "worker panicked in {site}: {message}")
             }
         }
     }
 }
 
-impl std::error::Error for TensorError {}
+impl std::error::Error for SaError {}
 
 #[cfg(test)]
 mod tests {
@@ -89,6 +185,84 @@ mod tests {
             bound: 4,
         };
         assert_eq!(e.to_string(), "index 9 out of bounds (< 4) in row");
+    }
+
+    #[test]
+    fn display_health_variants() {
+        let e = SaError::NonFinite {
+            stage: "sampled_scores",
+            head: Some(3),
+            count: 7,
+        };
+        assert_eq!(e.to_string(), "7 non-finite value(s) at sampled_scores (head 3)");
+        let e = SaError::DegenerateMask {
+            stage: "mask_merge",
+            what: "zero live entries".to_string(),
+        };
+        assert!(e.to_string().contains("mask_merge"));
+        let e = SaError::AlphaUnsatisfied {
+            covered: 0.5,
+            alpha: 0.95,
+            head: None,
+        };
+        assert!(e.to_string().contains("0.95"));
+        let e = SaError::WorkerPanic {
+            site: "flash_attention",
+            message: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("flash_attention"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn health_classification() {
+        assert!(!SaError::InvalidDimension {
+            op: "x",
+            what: String::new()
+        }
+        .is_health_error());
+        assert!(SaError::NonFinite {
+            stage: "s",
+            head: None,
+            count: 1
+        }
+        .is_health_error());
+        assert!(SaError::WorkerPanic {
+            site: "s",
+            message: String::new()
+        }
+        .is_health_error());
+    }
+
+    #[test]
+    fn with_head_attributes_where_supported() {
+        let e = SaError::NonFinite {
+            stage: "s",
+            head: None,
+            count: 2,
+        }
+        .with_head(4);
+        assert_eq!(
+            e,
+            SaError::NonFinite {
+                stage: "s",
+                head: Some(4),
+                count: 2
+            }
+        );
+        let e = SaError::AlphaUnsatisfied {
+            covered: 0.1,
+            alpha: 0.9,
+            head: None,
+        }
+        .with_head(1);
+        assert!(matches!(e, SaError::AlphaUnsatisfied { head: Some(1), .. }));
+        let e = SaError::IndexOutOfBounds {
+            op: "row",
+            index: 1,
+            bound: 2,
+        };
+        assert_eq!(e.clone().with_head(9), e);
     }
 
     #[test]

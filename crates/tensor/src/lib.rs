@@ -34,6 +34,7 @@
 
 pub mod check;
 mod error;
+pub mod fault;
 mod matrix;
 mod matmul;
 pub mod pool;
@@ -45,7 +46,7 @@ mod softmax;
 mod stats;
 pub mod xoshiro;
 
-pub use error::TensorError;
+pub use error::{SaError, TensorError};
 pub use matrix::Matrix;
 pub use matmul::{matmul, matmul_transb, matvec, GEMM_BLOCK};
 pub use reduce::{

@@ -25,6 +25,19 @@
 //!   sampling) therefore combine partials in chunk-index order, which
 //!   makes the reduction independent of `SA_THREADS`.
 //!
+//! ## Panic containment
+//!
+//! The `try_*` variants ([`try_parallel_for`], [`try_parallel_map`],
+//! [`try_parallel_for_rows`]) wrap every chunk execution — including the
+//! single-threaded shortcut — in `catch_unwind`, so a panicking body (or
+//! an injected fault from [`crate::fault`]) surfaces as
+//! [`SaError::WorkerPanic`] carrying the call-site name and the panic
+//! message instead of aborting the process. The first panic wins;
+//! remaining chunks are skipped. Because the fault hook and the catch
+//! run on the serial shortcut too, the *outcome* (error vs. success) is
+//! thread-count independent. The non-`try` wrappers keep the historical
+//! contract by re-raising the panic.
+//!
 //! ## Thread-count resolution
 //!
 //! `SA_THREADS` (env, read once) overrides
@@ -41,8 +54,12 @@
 
 use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+use crate::error::SaError;
+use crate::fault;
 
 static HARDWARE_THREADS: OnceLock<usize> = OnceLock::new();
 
@@ -134,35 +151,121 @@ pub fn row_grain(work_per_row: usize) -> usize {
     MIN_CHUNK_OPS.div_ceil(work_per_row.max(1)).max(1)
 }
 
+/// Renders a caught panic payload for [`SaError::WorkerPanic`].
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// First-panic slot shared by the workers of one pool call.
+struct FailureSlot(Mutex<Option<String>>);
+
+impl FailureSlot {
+    fn new() -> Self {
+        FailureSlot(Mutex::new(None))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<String>> {
+        match self.0.lock() {
+            Ok(g) => g,
+            // Panics are caught before they can poison this mutex, but a
+            // poisoned slot must still drain rather than wedge the pool.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.lock();
+        if slot.is_none() {
+            *slot = Some(payload_message(payload));
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.lock().is_some()
+    }
+
+    fn finish(self, site: &'static str) -> Result<(), SaError> {
+        let message = match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match message {
+            Some(message) => Err(SaError::WorkerPanic { site, message }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Raises the injected-fault panic for `site` when a [`crate::fault`]
+/// plan targets it. Must run *inside* the catch region.
+fn maybe_injected_panic(site: &'static str) {
+    if fault::should_panic(site) {
+        std::panic::panic_any(format!("injected fault: forced worker panic at {site}"));
+    }
+}
+
+/// Re-raises a pool error from an infallible legacy wrapper.
+fn repanic(e: SaError) -> ! {
+    match e {
+        SaError::WorkerPanic { message, .. } => std::panic::resume_unwind(Box::new(message)),
+        other => std::panic::panic_any(other.to_string()),
+    }
+}
+
 /// Applies `body` to every sub-range of `0..n`, partitioned into chunks
-/// of `grain` indices, possibly on multiple threads.
+/// of `grain` indices, possibly on multiple threads, containing panics.
 ///
-/// Each index lands in exactly one chunk and each chunk is processed by
-/// exactly one worker, so bodies that only touch per-index state are
-/// bit-deterministic regardless of the thread count. Runs serially (one
-/// `body(0..n)` call) when the pool is effectively single-threaded or
-/// the range fits in one chunk.
-pub fn parallel_for<F>(n: usize, grain: usize, body: F)
+/// Identical partitioning to [`parallel_for`]; additionally, every chunk
+/// execution (including the single-chunk serial shortcut) runs under
+/// `catch_unwind` and consults the installed fault plan, so a panicking
+/// body returns [`SaError::WorkerPanic`] tagged with `site` instead of
+/// unwinding through the caller. After the first panic, unclaimed chunks
+/// are skipped — callers must treat any partially written output as
+/// garbage on `Err`.
+pub fn try_parallel_for<F>(
+    site: &'static str,
+    n: usize,
+    grain: usize,
+    body: F,
+) -> Result<(), SaError>
 where
     F: Fn(Range<usize>) + Sync,
 {
     if n == 0 {
-        return;
+        return Ok(());
     }
     let grain = grain.max(1);
     let threads = current_threads();
+    let failure = FailureSlot::new();
+    let guarded = |range: Range<usize>| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            maybe_injected_panic(site);
+            body(range);
+        })) {
+            failure.record(payload);
+        }
+    };
     if threads == 1 || n <= grain {
-        body(0..n);
-        return;
+        guarded(0..n);
+        return failure.finish(site);
     }
     let chunks = n.div_ceil(grain);
     let next = AtomicUsize::new(0);
     let run = || loop {
+        if failure.failed() {
+            break;
+        }
         let c = next.fetch_add(1, Ordering::Relaxed);
         if c >= chunks {
             break;
         }
-        body(c * grain..((c + 1) * grain).min(n));
+        guarded(c * grain..((c + 1) * grain).min(n));
     };
     std::thread::scope(|scope| {
         for _ in 0..threads.min(chunks) - 1 {
@@ -174,61 +277,228 @@ where
         let _worker = mark_in_worker();
         run();
     });
+    failure.finish(site)
 }
 
-/// Maps `f` over `0..n` and returns the results **in index order**,
-/// regardless of which worker computed which chunk.
+/// Maps `f` over `0..n` in index order, containing panics.
 ///
-/// `grain` is the chunk size in indices (as in [`parallel_for`]).
-pub fn parallel_map<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+/// The panic-containment counterpart of [`parallel_map`]: chunk bodies
+/// run under `catch_unwind` with the fault hook, and a panic anywhere
+/// yields [`SaError::WorkerPanic`] (partial results are discarded).
+pub fn try_parallel_map<T, F>(
+    site: &'static str,
+    n: usize,
+    grain: usize,
+    f: F,
+) -> Result<Vec<T>, SaError>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
     let grain = grain.max(1);
     let threads = current_threads();
-    if threads == 1 || n <= grain {
-        return (0..n).map(f).collect();
-    }
-    let chunks = n.div_ceil(grain);
-    let next = AtomicUsize::new(0);
-    let run = || {
-        let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
-        loop {
-            let c = next.fetch_add(1, Ordering::Relaxed);
-            if c >= chunks {
-                break;
+    let failure = FailureSlot::new();
+    let guarded_chunk = |c: usize| -> Option<(usize, Vec<T>)> {
+        let range = c * grain..((c + 1) * grain).min(n);
+        match catch_unwind(AssertUnwindSafe(|| {
+            maybe_injected_panic(site);
+            range.map(&f).collect::<Vec<T>>()
+        })) {
+            Ok(part) => Some((c, part)),
+            Err(payload) => {
+                failure.record(payload);
+                None
             }
-            let range = c * grain..((c + 1) * grain).min(n);
-            parts.push((c, range.map(&f).collect()));
         }
-        parts
     };
-    let mut parts = std::thread::scope(|scope| {
-        let helpers: Vec<_> = (0..threads.min(chunks) - 1)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _worker = mark_in_worker();
-                    run()
-                })
-            })
-            .collect();
-        let mine = {
-            let _worker = mark_in_worker();
-            run()
-        };
-        let mut all = mine;
-        for h in helpers {
-            all.extend(h.join().expect("pool worker panicked"));
+    let chunks = n.div_ceil(grain);
+    let mut parts: Vec<(usize, Vec<T>)>;
+    if threads == 1 || chunks == 1 {
+        parts = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            match guarded_chunk(c) {
+                Some(part) => parts.push(part),
+                // First panic wins; skip the remaining chunks.
+                None => break,
+            }
         }
-        all
-    });
+    } else {
+        let next = AtomicUsize::new(0);
+        let run = || {
+            let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
+            loop {
+                if failure.failed() {
+                    break;
+                }
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    break;
+                }
+                if let Some(part) = guarded_chunk(c) {
+                    mine.push(part);
+                }
+            }
+            mine
+        };
+        parts = std::thread::scope(|scope| {
+            let helpers: Vec<_> = (0..threads.min(chunks) - 1)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let _worker = mark_in_worker();
+                        run()
+                    })
+                })
+                .collect();
+            let mine = {
+                let _worker = mark_in_worker();
+                run()
+            };
+            let mut all = mine;
+            for h in helpers {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => failure.record(payload),
+                }
+            }
+            all
+        });
+    }
+    failure.finish(site)?;
     parts.sort_unstable_by_key(|&(c, _)| c);
     let mut out = Vec::with_capacity(n);
     for (_, mut part) in parts {
         out.append(&mut part);
     }
-    out
+    Ok(out)
+}
+
+/// Splits a row-major buffer into row chunks as [`parallel_for_rows`],
+/// containing panics and validating arguments as errors.
+///
+/// Returns [`SaError::InvalidDimension`] (instead of panicking) when
+/// `width == 0` with non-empty data or `data.len()` is not a multiple of
+/// `width`, and [`SaError::WorkerPanic`] when a chunk body panics. On
+/// `Err`, the buffer may be partially written and must be discarded.
+pub fn try_parallel_for_rows<T, F>(
+    site: &'static str,
+    data: &mut [T],
+    width: usize,
+    grain_rows: usize,
+    body: F,
+) -> Result<(), SaError>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return Ok(());
+    }
+    if width == 0 {
+        return Err(SaError::InvalidDimension {
+            op: site,
+            what: "zero row width with non-empty data".to_string(),
+        });
+    }
+    if data.len() % width != 0 {
+        return Err(SaError::InvalidDimension {
+            op: site,
+            what: format!(
+                "data length {} not a multiple of row width {width}",
+                data.len()
+            ),
+        });
+    }
+    let rows = data.len() / width;
+    let grain = grain_rows.max(1);
+    let threads = current_threads();
+    let failure = FailureSlot::new();
+    let guarded = |row0: usize, chunk: &mut [T]| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            maybe_injected_panic(site);
+            body(row0, chunk);
+        })) {
+            failure.record(payload);
+        }
+    };
+    if threads == 1 || rows <= grain {
+        guarded(0, data);
+        return failure.finish(site);
+    }
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(grain));
+    let mut rest = data;
+    let mut row0 = 0usize;
+    while !rest.is_empty() {
+        let take_rows = grain.min(rows - row0);
+        let (head, tail) = rest.split_at_mut(take_rows * width);
+        chunks.push((row0, head));
+        row0 += take_rows;
+        rest = tail;
+    }
+    let n_chunks = chunks.len();
+    let queue = Mutex::new(chunks);
+    let pop = || match queue.lock() {
+        Ok(mut q) => q.pop(),
+        Err(poisoned) => poisoned.into_inner().pop(),
+    };
+    let run = || loop {
+        if failure.failed() {
+            break;
+        }
+        match pop() {
+            Some((first_row, chunk)) => guarded(first_row, chunk),
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_chunks) - 1 {
+            scope.spawn(|| {
+                let _worker = mark_in_worker();
+                run();
+            });
+        }
+        let _worker = mark_in_worker();
+        run();
+    });
+    failure.finish(site)
+}
+
+/// Applies `body` to every sub-range of `0..n`, partitioned into chunks
+/// of `grain` indices, possibly on multiple threads.
+///
+/// Each index lands in exactly one chunk and each chunk is processed by
+/// exactly one worker, so bodies that only touch per-index state are
+/// bit-deterministic regardless of the thread count. Runs serially (one
+/// `body(0..n)` call) when the pool is effectively single-threaded or
+/// the range fits in one chunk.
+///
+/// A panicking body re-raises after all workers stop (see
+/// [`try_parallel_for`] for the error-returning variant).
+pub fn parallel_for<F>(n: usize, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if let Err(e) = try_parallel_for("parallel_for", n, grain, body) {
+        repanic(e);
+    }
+}
+
+/// Maps `f` over `0..n` and returns the results **in index order**,
+/// regardless of which worker computed which chunk.
+///
+/// `grain` is the chunk size in indices (as in [`parallel_for`]). A
+/// panicking body re-raises (see [`try_parallel_map`]).
+pub fn parallel_map<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_parallel_map("parallel_map", n, grain, f) {
+        Ok(out) => out,
+        Err(e) => repanic(e),
+    }
 }
 
 /// Splits a row-major buffer (`rows * width` elements) into chunks of
@@ -244,63 +514,22 @@ where
 /// # Panics
 ///
 /// Panics if `width == 0` while `data` is non-empty, or if `data.len()`
-/// is not a multiple of `width`.
+/// is not a multiple of `width` (see [`try_parallel_for_rows`] for the
+/// error-returning variant). A panicking body re-raises.
 pub fn parallel_for_rows<T, F>(data: &mut [T], width: usize, grain_rows: usize, body: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    if data.is_empty() {
-        return;
+    if let Err(e) = try_parallel_for_rows("parallel_for_rows", data, width, grain_rows, body) {
+        repanic(e);
     }
-    assert!(width > 0, "parallel_for_rows: zero width with non-empty data");
-    assert_eq!(
-        data.len() % width,
-        0,
-        "parallel_for_rows: data length {} not a multiple of width {width}",
-        data.len()
-    );
-    let rows = data.len() / width;
-    let grain = grain_rows.max(1);
-    let threads = current_threads();
-    if threads == 1 || rows <= grain {
-        body(0, data);
-        return;
-    }
-    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(grain));
-    let mut rest = data;
-    let mut row0 = 0usize;
-    while !rest.is_empty() {
-        let take_rows = grain.min(rows - row0);
-        let (head, tail) = rest.split_at_mut(take_rows * width);
-        chunks.push((row0, head));
-        row0 += take_rows;
-        rest = tail;
-    }
-    let n_chunks = chunks.len();
-    let queue = Mutex::new(chunks);
-    let run = || loop {
-        let item = queue.lock().expect("pool queue poisoned").pop();
-        match item {
-            Some((first_row, chunk)) => body(first_row, chunk),
-            None => break,
-        }
-    };
-    std::thread::scope(|scope| {
-        for _ in 0..current_threads().min(n_chunks) - 1 {
-            scope.spawn(|| {
-                let _worker = mark_in_worker();
-                run();
-            });
-        }
-        let _worker = mark_in_worker();
-        run();
-    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use std::sync::atomic::AtomicU64;
 
     #[test]
@@ -408,5 +637,90 @@ mod tests {
         assert!(row_grain(1) >= MIN_CHUNK_OPS);
         assert!(row_grain(0) >= 1);
         assert!(row_grain(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn try_parallel_for_catches_body_panic() {
+        for threads in [1, 2, 4] {
+            let err = with_threads(threads, || {
+                try_parallel_for("site_x", 64, 4, |range| {
+                    if range.contains(&17) {
+                        panic!("chunk blew up");
+                    }
+                })
+            })
+            .expect_err("must surface the panic");
+            match err {
+                SaError::WorkerPanic { site, message } => {
+                    assert_eq!(site, "site_x");
+                    assert!(message.contains("chunk blew up"), "{message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_matches_plain_map_on_success() {
+        for threads in [1, 3] {
+            let got = with_threads(threads, || {
+                try_parallel_map("site_m", 50, 4, |i| i * 3).expect("no faults")
+            });
+            let want: Vec<usize> = (0..50).map(|i| i * 3).collect();
+            assert_eq!(got, want);
+        }
+        let err = try_parallel_map("site_m", 10, 2, |i| {
+            if i == 5 {
+                panic!("map body panic")
+            }
+            i
+        });
+        assert!(matches!(err, Err(SaError::WorkerPanic { .. })));
+    }
+
+    #[test]
+    fn try_parallel_for_rows_validates_arguments() {
+        let mut data = vec![0.0f32; 6];
+        let err = try_parallel_for_rows("site_r", &mut data, 0, 1, |_, _| {});
+        assert!(matches!(err, Err(SaError::InvalidDimension { .. })));
+        let err = try_parallel_for_rows("site_r", &mut data, 4, 1, |_, _| {});
+        assert!(matches!(err, Err(SaError::InvalidDimension { .. })));
+        try_parallel_for_rows("site_r", &mut data, 3, 1, |_, chunk| {
+            chunk.fill(1.0);
+        })
+        .expect("valid arguments");
+        assert!(data.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn injected_fault_fires_at_every_thread_count() {
+        let _guard = crate::fault::install(FaultPlan::new(1).worker_panic("faulty_site"));
+        for threads in [1, 2, 4] {
+            let err = with_threads(threads, || {
+                try_parallel_for("faulty_site", 128, 8, |_range| {})
+            })
+            .expect_err("fault plan must force a panic");
+            match err {
+                SaError::WorkerPanic { site, message } => {
+                    assert_eq!(site, "faulty_site");
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            // Other sites are untouched.
+            let ok = with_threads(threads, || {
+                try_parallel_for("healthy_site", 128, 8, |_range| {})
+            });
+            assert!(ok.is_ok());
+        }
+    }
+
+    #[test]
+    fn legacy_wrappers_repanic() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_for(8, 2, |_| panic!("legacy panic"));
+        });
+        let payload = caught.expect_err("must panic");
+        assert!(payload_message(payload).contains("legacy panic"));
     }
 }

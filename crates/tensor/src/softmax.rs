@@ -231,6 +231,68 @@ mod tests {
     }
 
     #[test]
+    fn softmax_fully_masked_rows_zero_serial_and_parallel() {
+        // A tall matrix (many pool chunks) where every third row is fully
+        // masked. The masked rows must come back exactly zero — not NaN —
+        // on the serial path and on every parallel thread count, with
+        // bit-identical results.
+        let rows = 64;
+        let cols = 16;
+        let build = || {
+            Matrix::from_fn(rows, cols, |i, j| {
+                if i % 3 == 0 {
+                    f32::NEG_INFINITY
+                } else {
+                    ((i * cols + j) as f32 * 0.37).sin()
+                }
+            })
+        };
+        let serial = crate::pool::with_threads(1, || {
+            let mut m = build();
+            // Grain of 1 row forces the chunked path even at small sizes.
+            pool::parallel_for_rows(m.as_mut_slice(), cols, 1, |_row0, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    softmax_row(row);
+                }
+            });
+            m
+        });
+        for threads in [2usize, 4] {
+            let parallel = crate::pool::with_threads(threads, || {
+                let mut m = build();
+                pool::parallel_for_rows(m.as_mut_slice(), cols, 1, |_row0, chunk| {
+                    for row in chunk.chunks_mut(cols) {
+                        softmax_row(row);
+                    }
+                });
+                m
+            });
+            for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads {threads}");
+            }
+        }
+        for i in 0..rows {
+            if i % 3 == 0 {
+                assert!(
+                    serial.row(i).iter().all(|&x| x == 0.0),
+                    "masked row {i} must be all-zero, got {:?}",
+                    serial.row(i)
+                );
+            } else {
+                let sum: f32 = serial.row(i).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "live row {i} sums to {sum}");
+                assert!(serial.row(i).iter().all(|x| x.is_finite()));
+            }
+        }
+        // The public entry point agrees with the forced-chunk runs.
+        let mut via_api = build();
+        softmax_rows_in_place(&mut via_api);
+        for (a, b) in serial.as_slice().iter().zip(via_api.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn log_sum_exp_matches_naive() {
         let xs = [0.1f32, -0.5, 2.0, 1.3];
         let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();

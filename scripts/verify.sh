@@ -21,6 +21,32 @@ SA_THREADS=1 cargo test --workspace -q --offline
 echo "==> tier 1: cargo test --workspace -q --offline (default threads)"
 cargo test --workspace -q --offline
 
+echo "==> fault injection: SA_FAULT=smoke (SA_THREADS=1, then default)"
+SA_FAULT=smoke SA_THREADS=1 cargo test -q --offline --test fault_injection
+SA_FAULT=smoke cargo test -q --offline --test fault_injection
+
+echo "==> lint: no unwrap()/panic! in non-test pipeline sources"
+# The panic-free contract (DESIGN.md 5d) bans unwrap()/expect-free
+# panics from the production sources of the pipeline crates. Doc
+# comments, doctest lines, and everything at/after a #[cfg(test)]
+# module are exempt; awk strips those before grepping.
+lint_fail=0
+for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs; do
+    hits="$(awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /\.unwrap\(\)|panic!\(/ { print FILENAME ":" FNR ": " $0 }
+    ' "$f")"
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        lint_fail=1
+    fi
+done
+if [ "$lint_fail" -ne 0 ]; then
+    echo "lint: unwrap()/panic! found in non-test pipeline code" >&2
+    exit 1
+fi
+
 echo "==> smoke: fig1_overview --quick (figure binary)"
 smoke_out="$(mktemp -d)"
 trap 'rm -rf "$smoke_out"' EXIT

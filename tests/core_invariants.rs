@@ -93,7 +93,7 @@ fn filtering_covers_alpha() {
         let len = g.usize_in(1, 200);
         let scores: Vec<f32> = (0..len).map(|_| g.f32_in(0.0, 10.0)).collect();
         let alpha = g.f32_in(0.1, 1.0);
-        let r = filter_kv_indices(&scores, alpha, 1.0, &KvRatioSchedule::Exact);
+        let r = filter_kv_indices(&scores, alpha, 1.0, &KvRatioSchedule::Exact).unwrap();
         let total: f32 = scores.iter().sum();
         if total > 0.0 {
             assert!(r.covered_mass >= alpha - 1e-4, "covered {}", r.covered_mass);

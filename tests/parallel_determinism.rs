@@ -102,6 +102,58 @@ fn stage1_sampling_is_thread_invariant() {
     });
 }
 
+/// Graceful degradation must not cost determinism: for any seeded fault
+/// mix — NaN stripes, `±inf` entries, zeroed rows, zero-mass sampled
+/// scores, forced worker panics — the final attention output (including
+/// the per-head dense-fallback path) and the recorded fallback reason
+/// are bitwise identical across `SA_THREADS=1`, 2, 3, and the session
+/// default. Reproduce a single case with `SA_PROP_SEED=<seed>`.
+#[test]
+fn seeded_fault_mixes_are_thread_invariant() {
+    use sa_core::HealthPolicy;
+    use sa_tensor::check::run_cases;
+    use sa_tensor::fault::{self, FaultPlan};
+
+    run_cases("faulty_pipeline_thread_invariance", |g| {
+        let s = g.usize_in(96, 192);
+        let (mut q, mut k, v) = qkv(s, 16, g.seed());
+        let mut plan = FaultPlan::new(g.seed() ^ 0xFA17);
+        if g.chance(0.4) {
+            plan = plan.nan_stripes(g.usize_in(1, 3));
+        }
+        if g.chance(0.4) {
+            plan = plan.inf_logits(g.usize_in(1, 4));
+        }
+        if g.chance(0.3) {
+            plan = plan.zero_rows(g.usize_in(1, 3));
+        }
+        if g.chance(0.3) {
+            plan = plan.zero_mass();
+        }
+        if g.chance(0.3) {
+            plan = plan.worker_panic("sparse_flash_attention");
+        }
+        plan.corrupt_matrix(&mut q, 0);
+        plan.corrupt_matrix(&mut k, 1);
+        let _guard = fault::install(plan);
+        let cfg = SampleAttentionConfig::builder()
+            .health_policy(HealthPolicy::FallbackDense)
+            .build()
+            .unwrap();
+        assert_thread_invariant("faulty pipeline", || {
+            let out = SampleAttention::new(cfg.clone())
+                .forward(&q, &k, &v)
+                .unwrap();
+            assert!(
+                out.output.as_slice().iter().all(|x| x.is_finite()),
+                "non-finite output escaped (case seed {:#x})",
+                g.seed()
+            );
+            (out.output, out.stats.fallback_reason)
+        });
+    });
+}
+
 #[test]
 fn end_to_end_pipeline_is_thread_invariant() {
     let (q, k, v) = qkv(256, 32, 0xE2E);
@@ -118,7 +170,7 @@ fn end_to_end_pipeline_is_thread_invariant() {
     assert_thread_invariant("stage1+stage2", || {
         let sampled = sample_attention_scores(&q, &k, 0.05).unwrap();
         let filtered =
-            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact);
+            filter_kv_indices(&sampled.column_scores, 0.95, 1.0, &KvRatioSchedule::Exact).unwrap();
         (filtered.indices, filtered.covered_mass.to_bits())
     });
 }

@@ -45,6 +45,28 @@ fn every_checked_in_result_parses() {
 }
 
 #[test]
+fn corrupted_results_report_byte_offset_and_line() {
+    // Truncate a real artifact the way the fault plan does and check the
+    // parse error pinpoints the failure: byte offset + 1-based line and
+    // column, so a broken `results/*.json` names the exact spot instead
+    // of panicking opaquely.
+    let plan = sample_attention::tensor::fault::FaultPlan::new(0xBAD).truncate_json(200);
+    for path in json_files().into_iter().take(3) {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let broken = plan.corrupt_json(&text);
+        assert!(broken.len() < text.len(), "{} too short to truncate", path.display());
+        let err = json::parse(&broken).unwrap_err();
+        let loc = err
+            .location()
+            .unwrap_or_else(|| panic!("{}: error carries no location: {err}", path.display()));
+        assert!(loc.offset <= broken.len(), "{}: offset {}", path.display(), loc.offset);
+        assert!(loc.line >= 1 && loc.column >= 1);
+        let msg = err.to_string();
+        assert!(msg.contains("byte") && msg.contains("line"), "{msg}");
+    }
+}
+
+#[test]
 fn results_round_trip_through_sa_json() {
     for path in json_files() {
         let text = std::fs::read_to_string(&path).unwrap();
