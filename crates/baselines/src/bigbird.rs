@@ -94,6 +94,7 @@ impl AttentionMethod for BigBird {
             density: mask.density(),
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
         })
     }
 }

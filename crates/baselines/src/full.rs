@@ -37,6 +37,7 @@ impl AttentionMethod for FullAttention {
             density: 1.0,
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
         })
     }
 }

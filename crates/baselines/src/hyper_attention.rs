@@ -138,6 +138,7 @@ impl AttentionMethod for HyperAttention {
             density: live_pairs as f64 / causal as f64,
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
         })
     }
 }

@@ -23,6 +23,11 @@ pub struct MethodOutput {
     ///
     /// [`HealthPolicy::FallbackDense`]: sa_core::HealthPolicy::FallbackDense
     pub fell_back: bool,
+    /// Why the head degraded ([`FallbackReason::None`] when it did not;
+    /// always `None` for the fixed-pattern baselines).
+    ///
+    /// [`FallbackReason::None`]: sa_core::FallbackReason::None
+    pub fallback_reason: sa_core::FallbackReason,
 }
 
 /// A prefill attention method: maps one head's Q/K/V to an output.
@@ -68,6 +73,7 @@ mod tests {
                 density: 0.0,
                 alpha_satisfied: true,
                 fell_back: false,
+                fallback_reason: sa_core::FallbackReason::None,
             })
         }
     }

@@ -54,6 +54,7 @@ impl AttentionMethod for SampleAttentionMethod {
             density: out.stats.mask_density,
             alpha_satisfied: out.stats.alpha_satisfied,
             fell_back: out.stats.fell_back(),
+            fallback_reason: out.stats.fallback_reason,
         })
     }
 }

@@ -69,6 +69,7 @@ impl AttentionMethod for StreamingLlm {
             density: mask.density(),
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
         })
     }
 }

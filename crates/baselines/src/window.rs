@@ -53,6 +53,7 @@ impl AttentionMethod for WindowOnly {
             density: mask.density(),
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
         })
     }
 }

@@ -71,6 +71,7 @@ impl AttentionMethod for ScheduledSa {
             density: out.stats.mask_density,
             alpha_satisfied: out.stats.alpha_satisfied,
             fell_back: out.stats.fell_back(),
+            fallback_reason: out.stats.fallback_reason,
         })
     }
 }

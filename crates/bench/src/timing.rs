@@ -5,7 +5,9 @@
 //! (`bench_attention_kernels`, `bench_sampling_pipeline`,
 //! `bench_end_to_end`) built on this module: a [`Bench`] runs each
 //! measured closure for a warmup phase followed by `trials` timed
-//! iterations and reports min / median / p90 wall-clock times.
+//! iterations and reports min / mean / median / p90 / p95 / p99 / max
+//! wall-clock times (tail percentiles clamp to the slowest trial when
+//! the trial count is small).
 //!
 //! This is deliberately simpler than Criterion — no outlier rejection or
 //! statistical regression — but it is dependency-free, deterministic in
@@ -27,21 +29,51 @@ pub struct Measurement {
     pub trials: usize,
     /// Fastest trial.
     pub min: Duration,
-    /// Median trial.
+    /// Mean trial time.
+    pub mean: Duration,
+    /// Median trial (alias of `p50`).
     pub median: Duration,
     /// 90th-percentile trial.
     pub p90: Duration,
+    /// 95th-percentile trial.
+    pub p95: Duration,
+    /// 99th-percentile trial (the slowest trial for small trial counts).
+    pub p99: Duration,
+    /// Slowest trial.
+    pub max: Duration,
 }
 
 impl Measurement {
+    /// Builds the summary from raw trial samples (sorted internally).
+    fn from_samples(label: &str, mut samples: Vec<Duration>) -> Self {
+        samples.sort_unstable();
+        let n = samples.len();
+        let total: Duration = samples.iter().sum();
+        let pick = |q: f64| samples[(((n as f64) * q) as usize).min(n - 1)];
+        Measurement {
+            label: label.to_string(),
+            trials: n,
+            min: samples[0],
+            mean: total / n as u32,
+            median: pick(0.50),
+            p90: pick(0.90),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: samples[n - 1],
+        }
+    }
+
     /// Formats as a fixed-width report row.
     pub fn row(&self) -> String {
         format!(
-            "{:<40} {:>12} {:>12} {:>12}   ({} trials)",
+            "{:<40} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}   ({} trials)",
             self.label,
             fmt_duration(self.min),
+            fmt_duration(self.mean),
             fmt_duration(self.median),
-            fmt_duration(self.p90),
+            fmt_duration(self.p95),
+            fmt_duration(self.p99),
+            fmt_duration(self.max),
             self.trials,
         )
     }
@@ -49,15 +81,18 @@ impl Measurement {
 
 impl ToJson for Measurement {
     fn to_json(&self) -> Json {
+        let ns = |d: Duration| (d.as_nanos() as u64).to_json();
         Json::Object(vec![
             ("label".to_string(), self.label.to_json()),
             ("trials".to_string(), (self.trials as u64).to_json()),
-            ("min_ns".to_string(), (self.min.as_nanos() as u64).to_json()),
-            (
-                "median_ns".to_string(),
-                (self.median.as_nanos() as u64).to_json(),
-            ),
-            ("p90_ns".to_string(), (self.p90.as_nanos() as u64).to_json()),
+            ("min_ns".to_string(), ns(self.min)),
+            ("mean_ns".to_string(), ns(self.mean)),
+            ("median_ns".to_string(), ns(self.median)),
+            ("p50_ns".to_string(), ns(self.median)),
+            ("p90_ns".to_string(), ns(self.p90)),
+            ("p95_ns".to_string(), ns(self.p95)),
+            ("p99_ns".to_string(), ns(self.p99)),
+            ("max_ns".to_string(), ns(self.max)),
         ])
     }
 }
@@ -149,15 +184,7 @@ impl Bench {
             black_box(f());
             samples.push(start.elapsed());
         }
-        samples.sort_unstable();
-        let m = Measurement {
-            label: label.to_string(),
-            trials: self.trials,
-            min: samples[0],
-            median: samples[samples.len() / 2],
-            p90: samples[((samples.len() * 9) / 10).min(samples.len() - 1)],
-        };
-        self.results.push(m);
+        self.results.push(Measurement::from_samples(label, samples));
         self.results.last().expect("just pushed")
     }
 
@@ -208,8 +235,8 @@ impl Bench {
     /// Renders the full report (header + one row per measurement).
     pub fn report(&self) -> String {
         let mut out = format!(
-            "## {}\n{:<40} {:>12} {:>12} {:>12}\n",
-            self.name, "case", "min", "median", "p90"
+            "## {}\n{:<40} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            self.name, "case", "min", "mean", "median", "p95", "p99", "max"
         );
         for m in &self.results {
             out.push_str(&m.row());
@@ -268,6 +295,20 @@ mod tests {
         });
         assert_eq!(m.trials, 9);
         assert!(m.min <= m.median && m.median <= m.p90);
+        assert!(m.p90 <= m.p95 && m.p95 <= m.p99 && m.p99 <= m.max);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+
+    #[test]
+    fn from_samples_statistics_are_exact() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
+        let m = Measurement::from_samples("exact", samples);
+        assert_eq!(m.min, Duration::from_nanos(1));
+        assert_eq!(m.max, Duration::from_nanos(100));
+        assert_eq!(m.median, Duration::from_nanos(51));
+        assert_eq!(m.p95, Duration::from_nanos(96));
+        assert_eq!(m.p99, Duration::from_nanos(100));
+        assert_eq!(m.mean, Duration::from_nanos(50)); // 5050/100 truncated
     }
 
     #[test]
@@ -309,6 +350,9 @@ mod tests {
         assert!(text.contains("\"serial_vs_parallel\""));
         assert!(text.contains("median_ns"));
         assert!(text.contains("speedup"));
+        for key in ["mean_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+            assert!(text.contains(key), "missing {key} in BENCH json");
+        }
     }
 
     #[test]

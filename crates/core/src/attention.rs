@@ -9,6 +9,13 @@
 //! [`HealthPolicy`] decides between propagating the typed error,
 //! transparently degrading the head to dense [`flash_attention`], or
 //! aborting. See DESIGN.md, "Failure model & degradation policy".
+//!
+//! When `sa_trace` is enabled, each pipeline stage opens a span in the
+//! `core` category (`stage1_sampling`, `stage2_filtering`, `mask_merge`,
+//! `sparse_kernel`, `dense_fallback`) — the instrumented ground truth
+//! behind the paper's Table 4 stage breakdown — and the health machinery
+//! feeds counters: `core.sentinel_trips`, `core.alpha_miss`,
+//! `core.fallback.<reason>`, plus the `core.mask_nnz` histogram.
 
 use sa_kernels::{
     flash_attention, sparse_flash_attention, CostReport, FlashParams, StructuredMask,
@@ -59,6 +66,49 @@ sa_json::impl_json_enum!(FallbackReason {
 });
 
 impl FallbackReason {
+    /// The variant name, matching its JSON encoding (used as the key in
+    /// fallback tallies and trace summaries).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::None => "None",
+            FallbackReason::NonFiniteInputs => "NonFiniteInputs",
+            FallbackReason::NonFiniteScores => "NonFiniteScores",
+            FallbackReason::ZeroSampledMass => "ZeroSampledMass",
+            FallbackReason::DegenerateMask => "DegenerateMask",
+            FallbackReason::AlphaUnsatisfied => "AlphaUnsatisfied",
+            FallbackReason::WorkerPanic => "WorkerPanic",
+            FallbackReason::NonFiniteOutput => "NonFiniteOutput",
+        }
+    }
+
+    /// All variants that name an actual degradation (everything but
+    /// [`FallbackReason::None`]), in declaration order — the stable key
+    /// set for fallback tallies.
+    pub const DEGRADATIONS: [FallbackReason; 7] = [
+        FallbackReason::NonFiniteInputs,
+        FallbackReason::NonFiniteScores,
+        FallbackReason::ZeroSampledMass,
+        FallbackReason::DegenerateMask,
+        FallbackReason::AlphaUnsatisfied,
+        FallbackReason::WorkerPanic,
+        FallbackReason::NonFiniteOutput,
+    ];
+
+    /// Registry counter name for this fallback reason (static so hot
+    /// paths can record without formatting).
+    fn counter_name(self) -> &'static str {
+        match self {
+            FallbackReason::None => "core.fallback.None",
+            FallbackReason::NonFiniteInputs => "core.fallback.NonFiniteInputs",
+            FallbackReason::NonFiniteScores => "core.fallback.NonFiniteScores",
+            FallbackReason::ZeroSampledMass => "core.fallback.ZeroSampledMass",
+            FallbackReason::DegenerateMask => "core.fallback.DegenerateMask",
+            FallbackReason::AlphaUnsatisfied => "core.fallback.AlphaUnsatisfied",
+            FallbackReason::WorkerPanic => "core.fallback.WorkerPanic",
+            FallbackReason::NonFiniteOutput => "core.fallback.NonFiniteOutput",
+        }
+    }
+
     /// Maps a tripped health sentinel to its reason. Only health errors
     /// ([`SaError::is_health_error`]) take the fallback path, so the
     /// non-health arms never materialise as a recorded reason.
@@ -270,6 +320,7 @@ impl SampleAttention {
         let bad =
             count_nonfinite(q.as_slice()) + count_nonfinite(k.as_slice()) + count_nonfinite(v.as_slice());
         if bad > 0 {
+            sentinel_trip();
             return Err(SaError::NonFinite {
                 stage: "inputs",
                 head: None,
@@ -291,6 +342,10 @@ impl SampleAttention {
         v: &Matrix,
         reason: FallbackReason,
     ) -> Result<SampleAttentionOutput, SaError> {
+        let _span = sa_trace::span_in("core", "dense_fallback");
+        if sa_trace::enabled() {
+            sa_trace::metrics::counter(reason.counter_name()).add(1);
+        }
         let dense = flash_attention(
             &sanitized(q),
             &sanitized(k),
@@ -338,12 +393,14 @@ impl SampleAttention {
     /// tolerance, or a degenerate merged mask. (Policy dispatch happens in
     /// [`forward`](Self::forward); this method always propagates.)
     pub fn discover_mask(&self, q: &Matrix, k: &Matrix) -> Result<DiscoveredMask, SampleAttentionError> {
+        let stage1 = sa_trace::span_in("core", "stage1_sampling");
         let sampled =
             sample_attention_scores(q, k, self.config.effective_sample_ratio(q.rows()))?;
         // Sentinel B: the stage-1 reduction must produce finite scores
         // with mass whenever any sampled row has live causal keys.
         let bad = count_nonfinite(&sampled.column_scores);
         if bad > 0 {
+            sentinel_trip();
             return Err(SaError::NonFinite {
                 stage: "sampled_scores",
                 head: None,
@@ -356,6 +413,7 @@ impl SampleAttention {
             .iter()
             .any(|&i| causal_width(i, q.rows(), k.rows()) > 0);
         if live_rows && sampled.total_mass() <= 0.0 {
+            sentinel_trip();
             return Err(SaError::DegenerateMask {
                 stage: "stage1_scores",
                 what: format!(
@@ -365,12 +423,17 @@ impl SampleAttention {
             }
             .into());
         }
+        drop(stage1);
+        let stage2 = sa_trace::span_in("core", "stage2_filtering");
         let filtered = filter_kv_indices(
             &sampled.column_scores,
             self.config.cra_threshold,
             self.config.max_kv_ratio,
             &self.schedule,
         )?;
+        if !filtered.alpha_satisfied {
+            sa_trace::counter_add!("core.alpha_miss", 1);
+        }
         // Sentinel C (α half): only under a positive tolerance — a
         // deliberate `max_kv_ratio` cap legitimately under-covers, so the
         // default (0.0) keeps capped configs working unchanged.
@@ -379,6 +442,7 @@ impl SampleAttention {
             && !filtered.alpha_satisfied
             && self.config.cra_threshold - filtered.covered_mass > tolerance
         {
+            sentinel_trip();
             return Err(SaError::AlphaUnsatisfied {
                 covered: filtered.covered_mass,
                 alpha: self.config.cra_threshold,
@@ -405,6 +469,8 @@ impl SampleAttention {
         } else {
             Vec::new()
         };
+        drop(stage2);
+        let _merge = sa_trace::span_in("core", "mask_merge");
         let mask = merge_mask_with_diagonals(
             q.rows(),
             k.rows(),
@@ -416,12 +482,14 @@ impl SampleAttention {
         // window, so an empty mask over a non-empty causal triangle means
         // the discovery stages collapsed.
         if mask.nnz() == 0 && mask.causal_nnz() > 0 {
+            sentinel_trip();
             return Err(SaError::DegenerateMask {
                 stage: "mask_merge",
                 what: "merged mask kept nothing of a non-empty causal triangle".to_string(),
             }
             .into());
         }
+        sa_trace::histogram_record!("core.mask_nnz", mask.nnz() as u64);
         let stats = SampleAttentionStats {
             kv_ratio: filtered.kv_ratio,
             covered_mass: filtered.covered_mass,
@@ -448,10 +516,12 @@ impl SampleAttention {
         kv_indices: Vec<usize>,
         mut stats: SampleAttentionStats,
     ) -> Result<SampleAttentionOutput, SampleAttentionError> {
+        let _span = sa_trace::span_in("core", "sparse_kernel");
         let sparse = sparse_flash_attention(q, k, v, &mask)?;
         // Sentinel D: no non-finite value may escape the kernel.
         let bad = count_nonfinite(sparse.output.as_slice());
         if bad > 0 {
+            sentinel_trip();
             return Err(SaError::NonFinite {
                 stage: "attention_output",
                 head: None,
@@ -471,6 +541,11 @@ impl SampleAttention {
 
 fn count_nonfinite(xs: &[f32]) -> usize {
     xs.iter().filter(|x| !x.is_finite()).count()
+}
+
+/// Records one tripped health sentinel in the trace registry.
+fn sentinel_trip() {
+    sa_trace::counter_add!("core.sentinel_trips", 1);
 }
 
 /// A copy with non-finite entries replaced by zero (the dense-fallback
@@ -738,6 +813,56 @@ mod tests {
         let exact = full_attention(&q, &k, &v, true).unwrap();
         let sim = cosine_similarity(sparse.output.as_slice(), exact.output.as_slice());
         assert!(sim > 0.99, "cosine similarity {sim}");
+    }
+
+    #[test]
+    fn traced_forward_emits_stage_spans() {
+        let _session = sa_trace::scoped();
+        let (q, k, v) = structured_qkv(128, 8, 30);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        attn.forward(&q, &k, &v).unwrap();
+        let events = sa_trace::drain();
+        let has = |name: &str| events.iter().any(|e| e.cat == "core" && e.name == name);
+        for stage in ["stage1_sampling", "stage2_filtering", "mask_merge", "sparse_kernel"] {
+            assert!(has(stage), "missing {stage} span");
+        }
+        assert!(!has("dense_fallback"), "healthy head must not fall back");
+        let snap = sa_trace::metrics::snapshot();
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "core.mask_nnz")
+            .expect("mask nnz histogram");
+        assert_eq!(hist.count, 1);
+        assert!(hist.max > 0);
+    }
+
+    #[test]
+    fn traced_fallback_counts_reason_and_sentinel() {
+        let _session = sa_trace::scoped();
+        let (mut q, k, v) = qkv(96, 8, 31);
+        q.set(5, 5, f32::NAN);
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.stats.fallback_reason, FallbackReason::NonFiniteInputs);
+        assert_eq!(
+            sa_trace::metrics::counter("core.fallback.NonFiniteInputs").get(),
+            1
+        );
+        assert_eq!(sa_trace::metrics::counter("core.sentinel_trips").get(), 1);
+        let events = sa_trace::drain();
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "core" && e.name == "dense_fallback"));
+    }
+
+    #[test]
+    fn fallback_reason_as_str_matches_json_encoding() {
+        for reason in FallbackReason::DEGRADATIONS {
+            let json = sa_json::to_string(&sa_json::ToJson::to_json(&reason));
+            assert_eq!(json, format!("\"{}\"", reason.as_str()));
+        }
+        assert_eq!(FallbackReason::None.as_str(), "None");
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct HeadReport {
     pub alpha_satisfied: bool,
     /// Whether this head transparently degraded to a dense fallback.
     pub fell_back: bool,
+    /// Why this head degraded ([`FallbackReason::None`] when it did not).
+    ///
+    /// [`FallbackReason::None`]: sa_core::FallbackReason::None
+    pub fallback_reason: sa_core::FallbackReason,
     /// Attention cost for this head (discovery + sparse compute).
     pub cost: CostReport,
 }
@@ -183,6 +187,10 @@ impl AttentionLayer {
             // `content_update` bit-identical to the serial loop.
             let head_outputs =
                 pool::try_parallel_map("layer_heads", self.gqa.group_size(), 1, |local| {
+                    let head = g * self.gqa.group_size() + local;
+                    let _span = sa_trace::span_labeled("model", "head", || {
+                        format!("L{}.H{head}", self.layer_index)
+                    });
                     let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
                     apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
                     let proj = projection_cost(n, hidden_rows.cols(), q_new.cols(), 1);
@@ -208,6 +216,7 @@ impl AttentionLayer {
                     density: out.density,
                     alpha_satisfied: out.alpha_satisfied,
                     fell_back: out.fell_back,
+                    fallback_reason: out.fallback_reason,
                     cost: out.cost,
                 });
                 head_contents.push(content);
@@ -304,6 +313,10 @@ impl AttentionLayer {
             // (see forward_incremental) keeps results bit-identical.
             let head_outputs =
                 pool::try_parallel_map("layer_heads", self.gqa.group_size(), 1, |local| {
+                    let head = g * self.gqa.group_size() + local;
+                    let _span = sa_trace::span_labeled("model", "head", || {
+                        format!("L{}.H{head}", self.layer_index)
+                    });
                     let mut q = matmul(hidden, &group.wqs[local])?;
                     apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
                     let proj = projection_cost(s, hidden.cols(), q.cols(), 1);
@@ -330,6 +343,7 @@ impl AttentionLayer {
                     density: out.density,
                     alpha_satisfied: out.alpha_satisfied,
                     fell_back: out.fell_back,
+                    fallback_reason: out.fallback_reason,
                     cost: out.cost,
                 });
                 head_contents.push(content);

@@ -90,6 +90,7 @@ mod tests {
             density: 1.0,
             alpha_satisfied: true,
             fell_back: false,
+            fallback_reason: sa_core::FallbackReason::None,
             cost: CostReport::new(),
         }
     }

@@ -46,6 +46,25 @@ impl PrefillResult {
     pub fn fallback_heads(&self) -> usize {
         self.head_reports.iter().filter(|r| r.fell_back).count()
     }
+
+    /// Dense-fallback tally by reason across all heads and layers, in
+    /// [`FallbackReason::DEGRADATIONS`] order, zero-count reasons
+    /// omitted. Empty on a healthy prefill.
+    ///
+    /// [`FallbackReason::DEGRADATIONS`]: sa_core::FallbackReason::DEGRADATIONS
+    pub fn fallback_tally(&self) -> Vec<(sa_core::FallbackReason, usize)> {
+        sa_core::FallbackReason::DEGRADATIONS
+            .iter()
+            .filter_map(|&reason| {
+                let n = self
+                    .head_reports
+                    .iter()
+                    .filter(|r| r.fallback_reason == reason)
+                    .count();
+                (n > 0).then_some((reason, n))
+            })
+            .collect()
+    }
 }
 
 /// A constructed decoder-only transformer with archetype-designed heads.
@@ -127,12 +146,16 @@ impl SyntheticTransformer {
         tokens: &[u32],
         method: &dyn AttentionMethod,
     ) -> Result<PrefillResult, TensorError> {
+        let _span = sa_trace::span_in("model", "prefill");
         let mut hidden = self.embedder.embed(tokens);
         let mut layer_inputs = Vec::with_capacity(self.layers.len());
         let mut head_contents = Vec::new();
         let mut head_reports = Vec::new();
         let mut total_cost = CostReport::new();
         for layer in &self.layers {
+            let _layer_span = sa_trace::span_labeled("model", "layer", || {
+                format!("L{}", layer.layer_index())
+            });
             layer_inputs.push(hidden.clone());
             let out = layer.forward_prefill(&hidden, method)?;
             hidden = out.hidden;
@@ -305,6 +328,60 @@ mod tests {
         );
         // The cap degrades coverage but is not a health fault by default.
         assert_eq!(result.fallback_heads(), 0);
+    }
+
+    #[test]
+    fn fallback_tally_aggregates_reasons_across_heads() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(20)).unwrap();
+        let tokens = model.tokenize_filler(80);
+        let healthy = model
+            .prefill(&tokens, &SampleAttentionMethod::paper_default())
+            .unwrap();
+        assert!(healthy.fallback_tally().is_empty(), "healthy prefill tallies nothing");
+        // Force every head down the dense path with an injected kernel
+        // panic; the tally must account for all of them.
+        let plan = sa_tensor::fault::FaultPlan::new(3).worker_panic("sparse_flash_attention");
+        let guard = sa_tensor::fault::install(plan);
+        let degraded = model
+            .prefill(&tokens, &SampleAttentionMethod::paper_default())
+            .unwrap();
+        drop(guard);
+        let tally = degraded.fallback_tally();
+        assert_eq!(tally.len(), 1, "single reason expected: {tally:?}");
+        assert_eq!(tally[0].0, sa_core::FallbackReason::WorkerPanic);
+        assert_eq!(tally[0].1, degraded.fallback_heads());
+        assert!(tally[0].1 > 0);
+    }
+
+    #[test]
+    fn traced_prefill_emits_model_span_hierarchy() {
+        let _session = sa_trace::scoped();
+        let model = SyntheticTransformer::new(ModelConfig::tiny(21)).unwrap();
+        let tokens = model.tokenize_filler(64);
+        model
+            .prefill(&tokens, &SampleAttentionMethod::paper_default())
+            .unwrap();
+        let events = sa_trace::drain();
+        let count = |name: &str| {
+            events
+                .iter()
+                .filter(|e| e.cat == "model" && e.name == name)
+                .count()
+        };
+        assert_eq!(count("prefill"), 1);
+        assert_eq!(count("layer"), model.config().num_layers);
+        assert_eq!(
+            count("head"),
+            model.config().num_layers * model.config().num_heads
+        );
+        // Head spans carry their layer/head label.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "head" && e.label.as_deref() == Some("L0.H0")));
+        // The stage spans from sa-core nest under the model spans.
+        assert!(events
+            .iter()
+            .any(|e| e.cat == "core" && e.name == "stage1_sampling"));
     }
 
     #[test]

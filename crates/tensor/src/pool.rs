@@ -51,6 +51,18 @@
 //! the hardware). This is what lets `sa-model` parallelize over heads
 //! while the kernels inside each head keep their own parallel entry
 //! points.
+//!
+//! ## Observability
+//!
+//! When `sa_trace` is enabled, every pool call opens a span (category
+//! `pool`, name = the call site) and each worker meters itself:
+//! `pool.chunks` counts chunk executions, `pool.chunk_ns` is the
+//! chunk-duration histogram, `pool.busy_ns` / `pool.idle_ns` split each
+//! worker's lifetime into executing-chunks vs. waiting-for-work, and
+//! `pool.panics_caught` counts contained panics. All probes are behind
+//! [`sa_trace::enabled`] (one relaxed atomic load when disabled) and
+//! none of them touch computed values, so the determinism contract above
+//! is unaffected by tracing.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -180,6 +192,7 @@ impl FailureSlot {
     }
 
     fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        sa_trace::counter_add!("pool.panics_caught", 1);
         let mut slot = self.lock();
         if slot.is_none() {
             *slot = Some(payload_message(payload));
@@ -198,6 +211,52 @@ impl FailureSlot {
         match message {
             Some(message) => Err(SaError::WorkerPanic { site, message }),
             None => Ok(()),
+        }
+    }
+}
+
+/// Per-worker utilization meter: times each chunk execution and, on
+/// drop, splits the worker's lifetime into busy (executing chunks) and
+/// idle (claiming/waiting) counters. Inert unless tracing was enabled
+/// when the worker started.
+struct WorkerMeter {
+    traced: bool,
+    start_ns: u64,
+    busy_ns: u64,
+}
+
+impl WorkerMeter {
+    fn new() -> Self {
+        let traced = sa_trace::enabled();
+        WorkerMeter {
+            traced,
+            start_ns: if traced { sa_trace::clock::now_ns() } else { 0 },
+            busy_ns: 0,
+        }
+    }
+
+    /// Runs one chunk, attributing its wall time to this worker's busy
+    /// span and the global chunk histogram.
+    fn chunk<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        if !self.traced {
+            return f();
+        }
+        let t0 = sa_trace::clock::now_ns();
+        let out = f();
+        let dur = sa_trace::clock::now_ns().saturating_sub(t0);
+        self.busy_ns += dur;
+        sa_trace::counter_add!("pool.chunks", 1);
+        sa_trace::histogram_record!("pool.chunk_ns", dur);
+        out
+    }
+}
+
+impl Drop for WorkerMeter {
+    fn drop(&mut self) {
+        if self.traced {
+            let total = sa_trace::clock::now_ns().saturating_sub(self.start_ns);
+            sa_trace::counter_add!("pool.busy_ns", self.busy_ns);
+            sa_trace::counter_add!("pool.idle_ns", total.saturating_sub(self.busy_ns));
         }
     }
 }
@@ -240,6 +299,7 @@ where
     if n == 0 {
         return Ok(());
     }
+    let _call = sa_trace::span_in("pool", site);
     let grain = grain.max(1);
     let threads = current_threads();
     let failure = FailureSlot::new();
@@ -252,26 +312,33 @@ where
         }
     };
     if threads == 1 || n <= grain {
-        guarded(0..n);
+        WorkerMeter::new().chunk(|| guarded(0..n));
         return failure.finish(site);
     }
     let chunks = n.div_ceil(grain);
     let next = AtomicUsize::new(0);
-    let run = || loop {
-        if failure.failed() {
-            break;
+    let run = || {
+        let mut meter = WorkerMeter::new();
+        loop {
+            if failure.failed() {
+                break;
+            }
+            let c = next.fetch_add(1, Ordering::Relaxed);
+            if c >= chunks {
+                break;
+            }
+            meter.chunk(|| guarded(c * grain..((c + 1) * grain).min(n)));
         }
-        let c = next.fetch_add(1, Ordering::Relaxed);
-        if c >= chunks {
-            break;
-        }
-        guarded(c * grain..((c + 1) * grain).min(n));
     };
     std::thread::scope(|scope| {
         for _ in 0..threads.min(chunks) - 1 {
             scope.spawn(|| {
                 let _worker = mark_in_worker();
                 run();
+                // Flush trace events before the scope observes this
+                // thread as finished: thread::scope can return before
+                // the TLS destructors that would otherwise flush run.
+                sa_trace::flush_thread();
             });
         }
         let _worker = mark_in_worker();
@@ -298,6 +365,7 @@ where
     if n == 0 {
         return Ok(Vec::new());
     }
+    let _call = sa_trace::span_in("pool", site);
     let grain = grain.max(1);
     let threads = current_threads();
     let failure = FailureSlot::new();
@@ -317,9 +385,10 @@ where
     let chunks = n.div_ceil(grain);
     let mut parts: Vec<(usize, Vec<T>)>;
     if threads == 1 || chunks == 1 {
+        let mut meter = WorkerMeter::new();
         parts = Vec::with_capacity(chunks);
         for c in 0..chunks {
-            match guarded_chunk(c) {
+            match meter.chunk(|| guarded_chunk(c)) {
                 Some(part) => parts.push(part),
                 // First panic wins; skip the remaining chunks.
                 None => break,
@@ -328,6 +397,7 @@ where
     } else {
         let next = AtomicUsize::new(0);
         let run = || {
+            let mut meter = WorkerMeter::new();
             let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
             loop {
                 if failure.failed() {
@@ -337,7 +407,7 @@ where
                 if c >= chunks {
                     break;
                 }
-                if let Some(part) = guarded_chunk(c) {
+                if let Some(part) = meter.chunk(|| guarded_chunk(c)) {
                     mine.push(part);
                 }
             }
@@ -348,7 +418,11 @@ where
                 .map(|_| {
                     scope.spawn(|| {
                         let _worker = mark_in_worker();
-                        run()
+                        let mine = run();
+                        // See try_parallel_for: flush before the scope
+                        // can observe this thread as finished.
+                        sa_trace::flush_thread();
+                        mine
                     })
                 })
                 .collect();
@@ -411,6 +485,7 @@ where
             ),
         });
     }
+    let _call = sa_trace::span_in("pool", site);
     let rows = data.len() / width;
     let grain = grain_rows.max(1);
     let threads = current_threads();
@@ -424,7 +499,7 @@ where
         }
     };
     if threads == 1 || rows <= grain {
-        guarded(0, data);
+        WorkerMeter::new().chunk(|| guarded(0, data));
         return failure.finish(site);
     }
     let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(grain));
@@ -443,13 +518,16 @@ where
         Ok(mut q) => q.pop(),
         Err(poisoned) => poisoned.into_inner().pop(),
     };
-    let run = || loop {
-        if failure.failed() {
-            break;
-        }
-        match pop() {
-            Some((first_row, chunk)) => guarded(first_row, chunk),
-            None => break,
+    let run = || {
+        let mut meter = WorkerMeter::new();
+        loop {
+            if failure.failed() {
+                break;
+            }
+            match pop() {
+                Some((first_row, chunk)) => meter.chunk(|| guarded(first_row, chunk)),
+                None => break,
+            }
         }
     };
     std::thread::scope(|scope| {
@@ -457,6 +535,9 @@ where
             scope.spawn(|| {
                 let _worker = mark_in_worker();
                 run();
+                // See try_parallel_for: flush before the scope can
+                // observe this thread as finished.
+                sa_trace::flush_thread();
             });
         }
         let _worker = mark_in_worker();
@@ -713,6 +794,51 @@ mod tests {
             });
             assert!(ok.is_ok());
         }
+    }
+
+    #[test]
+    fn traced_pool_calls_record_spans_and_utilization() {
+        let _session = sa_trace::scoped();
+        with_threads(2, || {
+            parallel_for(64, 4, |_range| {
+                std::hint::black_box(0u64);
+            });
+        });
+        let snap = sa_trace::metrics::snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("pool.chunks"), 16, "64 indices / grain 4");
+        assert!(counter("pool.busy_ns") > 0, "workers must report busy time");
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "pool.chunk_ns")
+            .expect("chunk histogram registered");
+        assert_eq!(hist.count, 16);
+        let events = sa_trace::drain();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.cat == "pool" && e.name == "parallel_for"),
+            "pool call span missing"
+        );
+    }
+
+    #[test]
+    fn caught_panics_are_counted() {
+        let _session = sa_trace::scoped();
+        let err = try_parallel_for("count_site", 8, 2, |range| {
+            if range.contains(&3) {
+                panic!("boom");
+            }
+        });
+        assert!(matches!(err, Err(SaError::WorkerPanic { .. })));
+        assert_eq!(sa_trace::metrics::counter("pool.panics_caught").get(), 1);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! The workspace's single timing authority.
+//!
+//! All pipeline timestamps are monotonic nanoseconds since a lazily
+//! initialized process-wide epoch. Centralizing the clock here (rather
+//! than scattering `Instant::now()` calls) keeps the hot-path crates
+//! free of timing code when tracing is disabled and gives every span a
+//! shared timebase, so cross-thread events interleave correctly in the
+//! exported trace. `scripts/verify.sh` enforces the authority: no
+//! `Instant::now` outside `sa-trace`/`sa-bench`.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Pins the epoch now (idempotent). Binaries call this at startup so
+/// trace timestamps start near zero; otherwise the epoch is the first
+/// [`now_ns`] call.
+pub fn init() {
+    let _ = EPOCH.get_or_init(Instant::now);
+}
+
+/// Monotonic nanoseconds since the process epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_nonzero_after_work() {
+        init();
+        let a = now_ns();
+        // Some real work so the clock visibly advances even at coarse
+        // timer granularity.
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        std::hint::black_box(acc);
+        let b = now_ns();
+        assert!(b >= a, "clock went backwards: {a} -> {b}");
+    }
+}

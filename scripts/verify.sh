@@ -31,7 +31,7 @@ echo "==> lint: no unwrap()/panic! in non-test pipeline sources"
 # comments, doctest lines, and everything at/after a #[cfg(test)]
 # module are exempt; awk strips those before grepping.
 lint_fail=0
-for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs; do
+for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs; do
     hits="$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
@@ -47,6 +47,19 @@ if [ "$lint_fail" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> lint: single timing authority (no Instant::now outside sa-trace/sa-bench)"
+# All pipeline wall-clock reads go through sa_trace::clock::now_ns
+# (DESIGN.md 5e); sa-bench keeps its own closure-timing harness.
+instant_hits="$(grep -rn 'Instant::now' \
+    crates/tensor/src crates/kernels/src crates/core/src \
+    crates/baselines/src crates/model/src crates/workloads/src \
+    crates/perf/src src/ 2>/dev/null || true)"
+if [ -n "$instant_hits" ]; then
+    echo "$instant_hits"
+    echo "lint: Instant::now in a pipeline crate — use sa_trace::clock::now_ns" >&2
+    exit 1
+fi
+
 echo "==> smoke: fig1_overview --quick (figure binary)"
 smoke_out="$(mktemp -d)"
 trap 'rm -rf "$smoke_out"' EXIT
@@ -54,6 +67,22 @@ cargo run -q --release --offline -p sa-bench --bin fig1_overview -- \
     --quick --out "$smoke_out"
 test -s "$smoke_out/fig1_overview.json" || {
     echo "fig1_overview did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: trace_report --quick with SA_TRACE export"
+# The binary schema-checks both artifacts itself (trace_summary.json and
+# the Chrome trace) and asserts the Table-4 stage ordering; a non-empty
+# trace file is all that is left to verify here.
+SA_TRACE="$smoke_out/trace_chrome.json" \
+    cargo run -q --release --offline -p sa-bench --bin trace_report -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/trace_chrome.json" || {
+    echo "trace_report did not emit a Chrome trace" >&2
+    exit 1
+}
+test -s "$smoke_out/trace_summary.json" || {
+    echo "trace_report did not emit trace_summary.json" >&2
     exit 1
 }
 

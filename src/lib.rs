@@ -8,6 +8,8 @@
 //! integration tests, and downstream users can depend on a single name:
 //!
 //! - [`json`] — minimal std-only JSON encode/parse ([`sa_json`])
+//! - [`trace`] — hierarchical span tracing, metrics registry,
+//!   Chrome-trace export ([`sa_trace`])
 //! - [`tensor`] — dense math substrate ([`sa_tensor`])
 //! - [`kernels`] — full / flash / block-sparse attention kernels
 //!   ([`sa_kernels`])
@@ -54,4 +56,5 @@ pub use sa_kernels as kernels;
 pub use sa_model as model;
 pub use sa_perf as perf;
 pub use sa_tensor as tensor;
+pub use sa_trace as trace;
 pub use sa_workloads as workloads;

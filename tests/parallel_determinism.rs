@@ -154,6 +154,39 @@ fn seeded_fault_mixes_are_thread_invariant() {
     });
 }
 
+/// Observability must be free of observer effects: with tracing enabled
+/// the pipeline output is bitwise identical to the untraced run, at
+/// `SA_THREADS=1` and at the session default. The traced run must still
+/// record the full stage taxonomy — a trace that went silent would make
+/// this test vacuous.
+#[test]
+fn tracing_does_not_perturb_pipeline_outputs() {
+    let (q, k, v) = qkv(224, 32, 0x712a_ce);
+    let run = || {
+        let attn = SampleAttention::new(SampleAttentionConfig::paper_default());
+        let out = attn.forward(&q, &k, &v).unwrap();
+        (out.output, out.stats.kv_ratio.to_bits())
+    };
+    let untraced = run();
+    let untraced_serial = with_threads(1, run);
+    assert_eq!(untraced, untraced_serial, "baseline thread invariance");
+
+    let session = sa_trace::scoped();
+    let traced = run();
+    let traced_serial = with_threads(1, run);
+    let events = sa_trace::drain();
+    drop(session);
+
+    assert_eq!(untraced, traced, "tracing on vs off at default threads");
+    assert_eq!(untraced_serial, traced_serial, "tracing on vs off at SA_THREADS=1");
+    for stage in ["stage1_sampling", "stage2_filtering", "mask_merge", "sparse_kernel"] {
+        assert!(
+            events.iter().any(|e| e.cat == "core" && e.name == stage),
+            "traced run is missing core/{stage}"
+        );
+    }
+}
+
 #[test]
 fn end_to_end_pipeline_is_thread_invariant() {
     let (q, k, v) = qkv(256, 32, 0xE2E);

@@ -66,6 +66,72 @@ fn corrupted_results_report_byte_offset_and_line() {
     }
 }
 
+/// Generates a fresh trace from a live traced forward pass, exports it
+/// through both sinks (Chrome trace-event JSON and the
+/// `trace_summary.json` schema), and proves each survives a
+/// serialize → parse → validate round trip through `sa-json`.
+#[test]
+fn generated_trace_artifacts_round_trip_and_validate() {
+    use sample_attention::core::{SampleAttention, SampleAttentionConfig};
+    use sample_attention::tensor::DeterministicRng;
+    use sample_attention::trace;
+
+    let session = trace::scoped();
+    let mut rng = DeterministicRng::new(0x7E57);
+    let s = 128;
+    let q = rng.normal_matrix(s, 32, 1.0);
+    let k = rng.normal_matrix(s, 32, 1.0);
+    let v = rng.normal_matrix(s, 32, 1.0);
+    SampleAttention::new(SampleAttentionConfig::paper_default())
+        .forward(&q, &k, &v)
+        .expect("traced forward succeeds");
+    let metrics = trace::metrics::snapshot();
+    let events = trace::drain();
+    drop(session);
+    assert!(!events.is_empty(), "traced forward recorded no spans");
+
+    // Chrome trace-event export round trip.
+    let chrome = trace::chrome_trace(&events);
+    let n = trace::validate_chrome_trace(&chrome).expect("fresh chrome trace validates");
+    assert_eq!(n, events.len());
+    let text = json::to_string_pretty(&chrome);
+    let reparsed = json::parse(&text).expect("chrome trace reparses");
+    assert_eq!(chrome, reparsed, "chrome trace not stable under round trip");
+    assert_eq!(trace::validate_chrome_trace(&reparsed), Ok(events.len()));
+
+    // trace_summary.json schema round trip.
+    let summary = trace::TraceSummary {
+        seq_len: s,
+        threads: sample_attention::tensor::pool::current_threads(),
+        stages: trace::summarize(&events),
+        counters: metrics.counters,
+        fallbacks: vec![],
+        heads_alpha_unsatisfied: 0,
+        fallback_heads: 0,
+    };
+    let text = json::to_string_pretty(&json::ToJson::to_json(&summary));
+    let doc = json::parse(&text).expect("summary parses");
+    let stages = trace::summary::validate_summary(&doc).expect("summary validates");
+    assert!(stages >= 4, "expected the full stage taxonomy, got {stages} stages");
+    let back: trace::TraceSummary = json::from_str(&text).expect("summary round-trips");
+    assert_eq!(back, summary);
+}
+
+/// The checked-in `results/trace_summary.json` must satisfy the same
+/// schema authority the `trace_report` binary checks on write.
+#[test]
+fn checked_in_trace_summary_validates() {
+    let path = results_dir().join("trace_summary.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    let stages = sample_attention::trace::summary::validate_summary(&doc)
+        .expect("checked-in trace_summary.json validates");
+    assert!(stages >= 4, "expected the full stage taxonomy, got {stages}");
+    let seq_len = doc.get("seq_len").and_then(Json::as_i64).unwrap();
+    assert!(seq_len >= 2048, "committed summary must come from a >=2048-token prefill");
+}
+
 #[test]
 fn results_round_trip_through_sa_json() {
     for path in json_files() {
