@@ -1,0 +1,218 @@
+//! chaos_soak: replays a seeded adversarial serving workload through
+//! the `sa-serve` scheduler at several `SA_THREADS` settings and
+//! asserts the robustness contract end to end:
+//!
+//! - **zero panics** — every injected worker fault, cancellation, and
+//!   rejection surfaces as a typed outcome in the ledger;
+//! - **zero lost requests** — the ledger accounts for every submitted
+//!   request exactly once ([`Ledger::validate`]);
+//! - **deterministic ledger** — the serialized outcome ledger is
+//!   bit-identical at 1, 2, and the default number of worker threads;
+//! - **no silent degradation** — any request served below the CRA α
+//!   target carries `alpha_satisfied = false` in its report.
+//!
+//! The workload ([`sa_serve::mixed_workload`]) blends chunked prefills
+//! and decode sessions with deadline tiers from generous to brutal,
+//! caller cancellations, transient worker faults (retried with seeded
+//! backoff), and permanent faults (retry budget exhausted).
+//!
+//! Outputs:
+//! - stdout: outcome tally per thread count and the `serve.*` counters;
+//! - `results/chaos_soak.json`: the full ledger plus soak verdicts.
+//!
+//! Flags: `--seed <u64>`, `--quick` (12 requests instead of 48),
+//! `--out <dir>`.
+
+use sa_bench::{render_table, write_json, Args};
+use sa_serve::{mixed_workload, Ledger, Outcome, Scheduler, ServeConfig};
+use sa_tensor::pool;
+use sa_trace::metrics;
+
+/// The soak's results-file payload.
+#[derive(Debug, Clone, PartialEq)]
+struct ChaosSoakReport {
+    /// Results-file schema tag.
+    schema: String,
+    /// Workload and scheduler seed.
+    seed: u64,
+    /// Requests in the replayed batch.
+    requests: u64,
+    /// Worker-thread counts the batch was replayed at.
+    thread_counts: Vec<u64>,
+    /// Whether every replay produced a bit-identical ledger.
+    identical_across_threads: bool,
+    /// Outcome tally, name → count (sorted by name).
+    outcome_counts: Vec<(String, u64)>,
+    /// Requests that ran below full attention.
+    degraded: u64,
+    /// Requests served with the α target certified.
+    alpha_certified: u64,
+    /// Total retries across the batch.
+    retries: u64,
+    /// The canonical ledger (from the single-threaded replay).
+    ledger: Ledger,
+}
+
+sa_json::impl_json_struct!(ChaosSoakReport {
+    schema,
+    seed,
+    requests,
+    thread_counts,
+    identical_across_threads,
+    outcome_counts,
+    degraded,
+    alpha_certified,
+    retries,
+    ledger
+});
+
+/// Schema tag of `results/chaos_soak.json`.
+const SCHEMA: &str = "sa.chaos_soak.v1";
+
+fn outcome_name(o: Outcome) -> &'static str {
+    match o {
+        Outcome::Served => "served",
+        Outcome::RejectedOverloaded => "rejected_overloaded",
+        Outcome::RejectedBudget => "rejected_budget",
+        Outcome::ExpiredInQueue => "expired_in_queue",
+        Outcome::DeadlineExceeded => "deadline_exceeded",
+        Outcome::Cancelled => "cancelled",
+        Outcome::Failed => "failed",
+    }
+}
+
+const ALL_OUTCOMES: [Outcome; 7] = [
+    Outcome::Served,
+    Outcome::RejectedOverloaded,
+    Outcome::RejectedBudget,
+    Outcome::ExpiredInQueue,
+    Outcome::DeadlineExceeded,
+    Outcome::Cancelled,
+    Outcome::Failed,
+];
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.quick { 12 } else { 48 };
+    // Counters are gated on the tracing switch; the soak wants them live.
+    sa_trace::set_enabled(true);
+    metrics::reset();
+
+    // Injected worker faults are *expected* to panic inside the pool's
+    // containment; keep their backtraces off the soak's output while
+    // leaving any unexpected panic loudly visible.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let cfg = ServeConfig {
+        seed: args.seed,
+        // Shallow queue so the soak exercises Overloaded rejections as
+        // well as queue expiries (the default queue is deep enough that
+        // this workload never overflows it).
+        max_queue: 3,
+        ..ServeConfig::default()
+    }
+    .from_env();
+    let scheduler = Scheduler::new(cfg).expect("tiny model config is valid");
+    let requests = mixed_workload(args.seed, n);
+
+    let default_threads = pool::current_threads();
+    let mut thread_counts: Vec<usize> = Vec::new();
+    for t in [1, 2, default_threads] {
+        if !thread_counts.contains(&t) {
+            thread_counts.push(t);
+        }
+    }
+
+    let mut ledgers: Vec<Ledger> = Vec::new();
+    for &t in &thread_counts {
+        let ledger = pool::with_threads(t, || scheduler.run(&requests))
+            .expect("scheduler batch never fails");
+        ledger
+            .validate(&requests)
+            .expect("ledger accounts for every request");
+        ledgers.push(ledger);
+    }
+
+    let canonical = &ledgers[0];
+    let identical = ledgers.iter().all(|l| l == canonical);
+
+    // Outcome tally + soak verdict table.
+    let mut rows = Vec::new();
+    for (t, ledger) in thread_counts.iter().zip(&ledgers) {
+        let mut row = vec![t.to_string()];
+        for o in ALL_OUTCOMES {
+            row.push(ledger.count(o).to_string());
+        }
+        row.push(if ledger == canonical { "yes" } else { "NO" }.to_string());
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("threads")
+        .chain(ALL_OUTCOMES.iter().map(|&o| outcome_name(o)))
+        .chain(std::iter::once("identical"))
+        .collect();
+    println!("chaos soak: {n} requests, seed {}\n", args.seed);
+    println!("{}", render_table(&headers, &rows));
+
+    let snap = metrics::snapshot();
+    let serve_counters: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .filter(|c| c.name.starts_with("serve."))
+        .map(|c| vec![c.name.clone(), c.value.to_string()])
+        .collect();
+    println!("{}", render_table(&["counter", "value"], &serve_counters));
+
+    assert!(identical, "outcome ledger differs across thread counts");
+    let degraded = canonical.records.iter().filter(|r| r.degraded).count() as u64;
+    let alpha_certified = canonical
+        .records
+        .iter()
+        .filter(|r| r.alpha_satisfied)
+        .count() as u64;
+    let retries: u64 = canonical.records.iter().map(|r| r.retries).sum();
+    // A seeded mixed workload must actually exercise the machinery.
+    assert!(canonical.count(Outcome::Served) > 0, "nothing was served");
+    assert!(
+        canonical.count(Outcome::Served) < n,
+        "no adversity was exercised"
+    );
+    for rec in &canonical.records {
+        assert!(
+            !(rec.rung == "window_only" && rec.alpha_satisfied),
+            "request {} dropped below alpha silently",
+            rec.id
+        );
+    }
+
+    let report = ChaosSoakReport {
+        schema: SCHEMA.to_string(),
+        seed: args.seed,
+        requests: n as u64,
+        thread_counts: thread_counts.iter().map(|&t| t as u64).collect(),
+        identical_across_threads: identical,
+        outcome_counts: ALL_OUTCOMES
+            .iter()
+            .map(|&o| (outcome_name(o).to_string(), canonical.count(o) as u64))
+            .collect(),
+        degraded,
+        alpha_certified,
+        retries,
+        ledger: canonical.clone(),
+    };
+    if let Some(path) = write_json(&args, "chaos_soak", &report) {
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "verdict: {} requests, 0 lost, 0 panics, ledger identical at threads {:?}",
+        n, thread_counts
+    );
+}

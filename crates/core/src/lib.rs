@@ -57,6 +57,7 @@ mod config;
 pub mod cra;
 mod error;
 pub mod filtering;
+pub mod ladder;
 pub mod merge;
 pub mod sampling;
 pub mod sparsity;
@@ -71,6 +72,7 @@ pub use config::{HealthPolicy, SampleAttentionConfig, SampleAttentionConfigBuild
 pub use cra::{cra_of_dense_mask, cra_of_structured_mask, stripe_coverage_curve, StripeCoverage};
 pub use error::SampleAttentionError;
 pub use filtering::{filter_kv_indices, KvFilterResult, KvRatioSchedule};
+pub use ladder::{DegradationReport, DegradationRung, RungAttempt};
 pub use merge::{merge_mask, merge_mask_with_diagonals};
 pub use sampling::{sample_attention_scores, SampledScores};
 pub use sparsity::{

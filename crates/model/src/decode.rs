@@ -16,7 +16,7 @@
 
 use sa_baselines::{AttentionMethod, FullAttention};
 use sa_kernels::{attention_scores_raw, CostReport};
-use sa_tensor::{softmax_rows_in_place, Matrix, TensorError};
+use sa_tensor::{cancel, softmax_rows_in_place, CancelToken, Matrix, TensorError};
 
 use crate::{
     EvictionConfig, HeadReport, LayerKvCache, PrefillResult, Readout, SyntheticTransformer,
@@ -38,13 +38,40 @@ impl SyntheticTransformer {
         chunk_size: usize,
         method: &dyn AttentionMethod,
     ) -> Result<(PrefillResult, Vec<LayerKvCache>), TensorError> {
+        self.prefill_chunked_with(tokens, chunk_size, method, &CancelToken::new())
+    }
+
+    /// [`prefill_chunked`](Self::prefill_chunked) with cooperative
+    /// cancellation: `cancel` is checked before every sequence chunk
+    /// (and, through the scoped install, before every worker-pool chunk
+    /// inside the forward passes), so a tripped token stops the prefill
+    /// within one chunk. The returned error carries the chunk-progress
+    /// counters; any partial work is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::Cancelled`] / [`TensorError::DeadlineExceeded`]
+    /// when the token trips, [`TensorError::InvalidDimension`] for a
+    /// zero chunk size, or propagated kernel errors.
+    pub fn prefill_chunked_with(
+        &self,
+        tokens: &[u32],
+        chunk_size: usize,
+        method: &dyn AttentionMethod,
+        cancel: &CancelToken,
+    ) -> Result<(PrefillResult, Vec<LayerKvCache>), TensorError> {
         if chunk_size == 0 {
             return Err(TensorError::InvalidDimension {
                 op: "prefill_chunked",
                 what: "chunk_size must be >= 1".to_string(),
             });
         }
+        // Make the token visible to the worker pool for the duration of
+        // this prefill, so pool-level chunk boundaries check it too.
+        let _cancel_scope = cancel::install(cancel);
         let s = tokens.len();
+        let total_chunks = s.div_ceil(chunk_size);
+        let mut chunks_done = 0usize;
         let num_layers = self.config().num_layers;
         let num_heads = self.config().num_heads;
         let hidden_full = self.embedder().embed(tokens);
@@ -65,6 +92,7 @@ impl SyntheticTransformer {
 
         let mut start = 0;
         while start < s {
+            cancel.check("prefill_chunked", chunks_done, total_chunks)?;
             let end = (start + chunk_size).min(s);
             let mut rows = hidden_full.slice_rows(start, end)?;
             for (l, layer) in self.layers().iter().enumerate() {
@@ -88,6 +116,7 @@ impl SyntheticTransformer {
             }
             append_rows(&mut final_hidden, &rows)?;
             start = end;
+            chunks_done += 1;
         }
 
         let head_reports: Vec<HeadReport> = head_reports
@@ -155,6 +184,7 @@ impl SyntheticTransformer {
             prefill: result,
             eviction,
             scores,
+            cancel: None,
         })
     }
 }
@@ -183,6 +213,8 @@ pub struct DecodeSession<'m> {
     /// Accumulated attention mass per (layer, kv-head, cache entry) —
     /// the H2O heavy-hitter statistic, observed during decoding.
     scores: Vec<Vec<Vec<f64>>>,
+    /// Cooperative cancellation token checked before every decode step.
+    cancel: Option<CancelToken>,
 }
 
 impl<'m> DecodeSession<'m> {
@@ -194,6 +226,17 @@ impl<'m> DecodeSession<'m> {
     /// The prefill result the session started from.
     pub fn prefill_result(&self) -> &PrefillResult {
         &self.prefill
+    }
+
+    /// Installs a cancellation token checked before every decode step
+    /// ([`step`](Self::step) / [`push`](Self::push) /
+    /// [`generate_in`](Self::generate_in)) and, through the scoped
+    /// install, at every worker-pool chunk boundary inside the step. A
+    /// step interrupted *before* it starts leaves the session state
+    /// untouched; an error raised mid-step (pool-level) may leave the
+    /// caches partially advanced, so the session must be discarded then.
+    pub fn install_cancel(&mut self, token: &CancelToken) {
+        self.cancel = Some(token.clone());
     }
 
     /// Predicts the next token (restricted to `range`), appends it, and
@@ -236,6 +279,12 @@ impl<'m> DecodeSession<'m> {
     ///
     /// Propagates kernel errors from the single-row forward.
     pub fn push(&mut self, token: u32) -> Result<(), TensorError> {
+        // Check *before* mutating any state: a cancelled step must leave
+        // the session exactly as it was.
+        if let Some(tok) = &self.cancel {
+            tok.check("decode_step", 0, 1)?;
+        }
+        let _cancel_scope = self.cancel.as_ref().map(cancel::install);
         self.tokens.push(token);
         // Embed the full stream (the AR(1) positional track is
         // sequential) and take the newest row.
@@ -266,7 +315,7 @@ impl<'m> DecodeSession<'m> {
                 }
                 for kv in 0..self.caches[l].num_kv_heads() {
                     let len = self.caches[l].head_len(kv);
-                    if let Some(keep) = self.eviction.keep_indices(len, &self.scores[l][kv]) {
+                    if let Some(keep) = self.eviction.keep_indices(len, &self.scores[l][kv])? {
                         self.caches[l].retain_head(kv, &keep)?;
                         self.scores[l][kv] = keep
                             .iter()
@@ -293,14 +342,21 @@ impl<'m> DecodeSession<'m> {
     ///
     /// # Errors
     ///
-    /// Propagates kernel errors.
+    /// Propagates kernel errors. With an installed cancellation token, a
+    /// trip between steps surfaces as [`TensorError::Cancelled`] /
+    /// [`TensorError::DeadlineExceeded`] carrying the step progress
+    /// (`completed` steps out of `n`); tokens generated before the trip
+    /// are already appended to [`tokens`](Self::tokens).
     pub fn generate_in(
         &mut self,
         n: usize,
         range: std::ops::Range<u32>,
     ) -> Result<Vec<u32>, TensorError> {
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
+            if let Some(tok) = &self.cancel {
+                tok.check("generate", i, n)?;
+            }
             let (t, _) = self.step_in(range.clone())?;
             out.push(t);
         }
@@ -473,5 +529,127 @@ mod tests {
         // VocabLayout is reachable from the model crate for decode users.
         let l = VocabLayout::for_vocab(128);
         assert!(l.payload_range().len() > 4);
+    }
+
+    #[test]
+    fn chunked_prefill_matches_monolithic_under_sample_attention() {
+        // SampleAttention re-runs stage-1 sampling per chunk, so chunked
+        // and monolithic prefills discover slightly different stripe sets
+        // — the hidden states must still agree within a loose tolerance,
+        // and both runs must recover the needle.
+        let m = model();
+        let method = SampleAttentionMethod::paper_default();
+        let tokens = m.tokenize_filler(192);
+        let mono = m.prefill(&tokens, &method).unwrap();
+        for chunk in [48usize, 96] {
+            let (chunked, caches) = m.prefill_chunked(&tokens, chunk, &method).unwrap();
+            assert_eq!(chunked.hidden.shape(), mono.hidden.shape());
+            assert_eq!(caches[0].len(), tokens.len());
+            let diff = max_abs_diff(chunked.hidden.as_slice(), mono.hidden.as_slice());
+            assert!(diff < 5e-2, "chunk {chunk}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_cancels_prefill_before_any_chunk() {
+        let m = model();
+        let tokens = m.tokenize_filler(64);
+        let token = CancelToken::with_deadline_ns(1); // epoch + 1ns: long past
+        let err = m
+            .prefill_chunked_with(&tokens, 16, &FullAttention::new(), &token)
+            .unwrap_err();
+        match err {
+            TensorError::DeadlineExceeded { site, completed, total } => {
+                assert_eq!(site, "prefill_chunked");
+                assert_eq!(completed, 0, "no chunk may run past an expired deadline");
+                assert_eq!(total, 4);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    /// Wraps an inner method and trips the token after `limit` head calls.
+    struct CancelAfter<M> {
+        inner: M,
+        token: CancelToken,
+        calls: std::sync::atomic::AtomicUsize,
+        limit: usize,
+    }
+
+    impl<M: AttentionMethod> AttentionMethod for CancelAfter<M> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn forward(
+            &self,
+            q: &Matrix,
+            k: &Matrix,
+            v: &Matrix,
+        ) -> Result<sa_baselines::MethodOutput, TensorError> {
+            let n = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n + 1 >= self.limit {
+                self.token.cancel();
+            }
+            self.inner.forward(q, k, v)
+        }
+    }
+
+    #[test]
+    fn mid_flight_cancel_stops_prefill_within_one_chunk() {
+        // The acceptance bound: once the token trips, the prefill stops
+        // at the next chunk boundary — partial progress is reported and
+        // no further chunks run.
+        let m = model();
+        let tokens = m.tokenize_filler(160);
+        let token = CancelToken::new();
+        // 2 layers × 4 heads = 8 head calls per chunk: trip mid-chunk 2.
+        let wrapper = CancelAfter {
+            inner: FullAttention::new(),
+            token: token.clone(),
+            calls: std::sync::atomic::AtomicUsize::new(0),
+            limit: 12,
+        };
+        let err = m
+            .prefill_chunked_with(&tokens, 16, &wrapper, &token)
+            .unwrap_err();
+        // The trip is detected either at the prefill's chunk boundary or
+        // inside the current chunk's per-head pool loop — both surface as
+        // a typed Cancelled with partial progress, never a panic.
+        match err {
+            TensorError::Cancelled { completed, total, .. } => {
+                assert!(completed < total, "partial progress: {completed}/{total}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let calls = wrapper.calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(calls <= 16, "no further chunk may start; saw {calls} head calls");
+    }
+
+    #[test]
+    fn decode_session_honours_installed_cancel_token() {
+        let m = model();
+        let tokens = m.tokenize_filler(40);
+        let mut session = m.begin_decode(&tokens, &FullAttention::new()).unwrap();
+        let token = CancelToken::new();
+        session.install_cancel(&token);
+        session.step().unwrap(); // not yet tripped: steps run normally
+        token.cancel();
+        let err = session.step().unwrap_err();
+        assert!(
+            matches!(err, TensorError::Cancelled { site: "decode_step", .. }),
+            "{err:?}"
+        );
+        // generate_in reports per-step progress when cancelled mid-run.
+        let err = session.generate_in(5, 0..10).unwrap_err();
+        match err {
+            TensorError::Cancelled { site, completed, total } => {
+                assert_eq!(site, "generate");
+                assert_eq!(completed, 0);
+                assert_eq!(total, 5);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

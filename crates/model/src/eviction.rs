@@ -129,17 +129,28 @@ impl EvictionConfig {
     /// Computes the keep-set (sorted cache indices) for a cache of `len`
     /// entries with per-entry accumulated attention `scores`.
     ///
-    /// Returns `None` when nothing needs evicting.
+    /// Returns `Ok(None)` when nothing needs evicting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `scores.len() != len`.
-    pub fn keep_indices(&self, len: usize, scores: &[f64]) -> Option<Vec<usize>> {
-        assert_eq!(scores.len(), len, "score/cache length mismatch");
-        if self.budget == 0 || len <= self.budget {
-            return None;
+    /// Returns [`TensorError::InvalidDimension`] when `scores.len()`
+    /// disagrees with `len` — a desynchronized score track would
+    /// otherwise rank entries by another head's statistics and corrupt
+    /// the cache silently.
+    pub fn keep_indices(&self, len: usize, scores: &[f64]) -> Result<Option<Vec<usize>>, TensorError> {
+        if scores.len() != len {
+            return Err(TensorError::InvalidDimension {
+                op: "EvictionConfig::keep_indices",
+                what: format!(
+                    "score track has {} entries for a cache of {len}",
+                    scores.len()
+                ),
+            });
         }
-        match self.policy {
+        if self.budget == 0 || len <= self.budget {
+            return Ok(None);
+        }
+        Ok(match self.policy {
             EvictionPolicy::None => None,
             EvictionPolicy::H2o { recent } => {
                 let recent = recent.min(self.budget);
@@ -166,17 +177,20 @@ impl EvictionConfig {
                 keep.dedup();
                 Some(keep)
             }
-        }
+        })
     }
 }
 
 impl LayerKvCache {
-    /// Retains only the given (sorted, in-range) entries in every head.
+    /// Retains only the given (strictly increasing, in-range) entries in
+    /// every head.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the
-    /// cache length.
+    /// cache length, or [`TensorError::InvalidDimension`] when the
+    /// keep-set is not strictly increasing (duplicate or out-of-order
+    /// indices).
     pub fn retain(&mut self, keep: &[usize]) -> Result<(), TensorError> {
         for h in 0..self.num_kv_heads() {
             self.retain_head(h, keep)?;
@@ -187,10 +201,17 @@ impl LayerKvCache {
     /// Retains only the given entries in one head (H2O evicts per head;
     /// head lengths may diverge afterwards).
     ///
+    /// The keep-set must be strictly increasing: a duplicated index would
+    /// silently double a KV entry (and desynchronize the position-score
+    /// bookkeeping above it), and an out-of-order set would reorder the
+    /// cache against RoPE positions — both corruptions used to slip
+    /// through and are now typed errors.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the
-    /// head's cache length.
+    /// head's cache length, or [`TensorError::InvalidDimension`] for
+    /// duplicate or out-of-order indices.
     pub fn retain_head(&mut self, kv_head: usize, keep: &[usize]) -> Result<(), TensorError> {
         let len = self.head_len(kv_head);
         if let Some(&bad) = keep.iter().find(|&&i| i >= len) {
@@ -198,6 +219,17 @@ impl LayerKvCache {
                 op: "LayerKvCache::retain_head",
                 index: bad,
                 bound: len,
+            });
+        }
+        if let Some(w) = keep.windows(2).find(|w| w[0] >= w[1]) {
+            let what = if w[0] == w[1] {
+                format!("duplicate keep index {}", w[0])
+            } else {
+                format!("keep indices out of order: {} before {}", w[0], w[1])
+            };
+            return Err(TensorError::InvalidDimension {
+                op: "LayerKvCache::retain_head",
+                what,
             });
         }
         let (k, v) = self.head(kv_head);
@@ -223,9 +255,12 @@ mod tests {
     #[test]
     fn no_eviction_below_budget() {
         let cfg = EvictionConfig::h2o(10);
-        assert!(cfg.keep_indices(10, &vec![0.0; 10]).is_none());
-        assert!(cfg.keep_indices(5, &vec![0.0; 5]).is_none());
-        assert!(EvictionConfig::none().keep_indices(100, &vec![0.0; 100]).is_none());
+        assert!(cfg.keep_indices(10, &vec![0.0; 10]).unwrap().is_none());
+        assert!(cfg.keep_indices(5, &vec![0.0; 5]).unwrap().is_none());
+        assert!(EvictionConfig::none()
+            .keep_indices(100, &vec![0.0; 100])
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -238,7 +273,7 @@ mod tests {
         let mut scores = vec![0.1; 10];
         scores[1] = 9.0;
         scores[5] = 3.0;
-        let keep = cfg.keep_indices(10, &scores).unwrap();
+        let keep = cfg.keep_indices(10, &scores).unwrap().unwrap();
         assert_eq!(keep, vec![1, 5, 8, 9]);
     }
 
@@ -248,8 +283,46 @@ mod tests {
             policy: EvictionPolicy::StreamingSinks { sinks: 2 },
             budget: 5,
         };
-        let keep = cfg.keep_indices(10, &vec![0.0; 10]).unwrap();
+        let keep = cfg.keep_indices(10, &vec![0.0; 10]).unwrap().unwrap();
         assert_eq!(keep, vec![0, 1, 7, 8, 9]);
+    }
+
+    #[test]
+    fn mismatched_score_track_is_a_typed_error() {
+        // Historically an assert!: a desynchronized score track must
+        // surface as a typed error, not a panic.
+        let cfg = EvictionConfig::h2o(4);
+        let err = cfg.keep_indices(10, &vec![0.0; 9]).unwrap_err();
+        match err {
+            TensorError::InvalidDimension { op, what } => {
+                assert_eq!(op, "EvictionConfig::keep_indices");
+                assert!(what.contains('9') && what.contains("10"), "{what}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn keep_sets_from_policies_are_strictly_increasing() {
+        // The sets the policies emit always satisfy retain_head's
+        // contract, across budgets and score shapes.
+        let mut scores: Vec<f64> = (0..50).map(|i| ((i * 37) % 17) as f64).collect();
+        scores[13] = 100.0;
+        for cfg in [
+            EvictionConfig::h2o(8),
+            EvictionConfig::h2o(49),
+            EvictionConfig::streaming(8),
+            EvictionConfig::streaming(3),
+        ] {
+            if let Some(keep) = cfg.keep_indices(50, &scores).unwrap() {
+                assert!(
+                    keep.windows(2).all(|w| w[0] < w[1]),
+                    "{cfg:?} emitted {keep:?}"
+                );
+                assert!(keep.len() <= cfg.budget);
+                assert!(*keep.last().unwrap() < 50);
+            }
+        }
     }
 
     #[test]
@@ -264,5 +337,72 @@ mod tests {
         assert_eq!(ck.get(1, 0), 3.0);
         assert_eq!(cv.get(0, 0), 10.0);
         assert!(c.retain(&[5]).is_err());
+    }
+
+    fn four_entry_cache() -> LayerKvCache {
+        let mut c = LayerKvCache::new(1, 2);
+        let k = Matrix::from_fn(4, 2, |i, _| i as f32);
+        let v = Matrix::from_fn(4, 2, |i, _| (10 + i) as f32);
+        c.append(0, &k, &v).unwrap();
+        c
+    }
+
+    #[test]
+    fn duplicate_keep_indices_rejected_not_applied() {
+        // A duplicated index would silently double a KV entry. The cache
+        // must reject it *and* stay untouched.
+        let mut c = four_entry_cache();
+        let err = c.retain_head(0, &[1, 1, 3]).unwrap_err();
+        match err {
+            TensorError::InvalidDimension { op, what } => {
+                assert_eq!(op, "LayerKvCache::retain_head");
+                assert!(what.contains("duplicate"), "{what}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(c.head_len(0), 4, "cache must be untouched on error");
+        assert_eq!(c.head(0).0.get(2, 0), 2.0);
+    }
+
+    #[test]
+    fn out_of_order_keep_indices_rejected_not_applied() {
+        // Out-of-order indices would reorder KV entries against their
+        // RoPE positions.
+        let mut c = four_entry_cache();
+        let err = c.retain_head(0, &[3, 0]).unwrap_err();
+        match err {
+            TensorError::InvalidDimension { op, what } => {
+                assert_eq!(op, "LayerKvCache::retain_head");
+                assert!(what.contains("out of order"), "{what}");
+                assert!(what.contains('3') && what.contains('0'), "{what}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(c.head_len(0), 4);
+    }
+
+    #[test]
+    fn out_of_range_keep_indices_rejected_not_applied() {
+        let mut c = four_entry_cache();
+        let err = c.retain_head(0, &[0, 4]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TensorError::IndexOutOfBounds {
+                    op: "LayerKvCache::retain_head",
+                    index: 4,
+                    bound: 4
+                }
+            ),
+            "{err:?}"
+        );
+        assert_eq!(c.head_len(0), 4);
+    }
+
+    #[test]
+    fn empty_keep_set_empties_the_head() {
+        let mut c = four_entry_cache();
+        c.retain_head(0, &[]).unwrap();
+        assert_eq!(c.head_len(0), 0);
     }
 }

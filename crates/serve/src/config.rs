@@ -1,0 +1,154 @@
+//! Scheduler configuration and its environment overrides.
+//!
+//! Three knobs are operator-facing and overridable from the
+//! environment (mirroring `SA_THREADS` / `SA_FAULT` / `SA_TRACE`):
+//!
+//! | variable | meaning | accepted values |
+//! |---|---|---|
+//! | `SA_DEADLINE_MS` | default per-request deadline | integer milliseconds |
+//! | `SA_MEM_BUDGET` | device memory budget for admission | bytes, with optional `K`/`M`/`G` suffix |
+//! | `SA_MAX_INFLIGHT` | concurrent-request slots | integer ≥ 1 |
+//!
+//! Everything else (retry policy, backoff shape, chunk size, the virtual
+//! token scale) is code-level configuration on [`ServeConfig`].
+
+use sa_perf::memory::A100_BYTES;
+
+/// All tunables of the [`Scheduler`](crate::Scheduler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for every scheduler-internal random draw (backoff jitter)
+    /// and for the synthetic model weights.
+    pub seed: u64,
+    /// Concurrent-request slots (`SA_MAX_INFLIGHT`). Clamped to ≥ 1.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot before new arrivals are
+    /// rejected with [`Overloaded`](sa_tensor::SaError::Overloaded).
+    pub max_queue: usize,
+    /// Device memory budget in bytes for admission control
+    /// (`SA_MEM_BUDGET`). Defaults to one A100-80GB.
+    pub mem_budget_bytes: u64,
+    /// Deadline applied to requests that do not carry their own
+    /// (`SA_DEADLINE_MS`), in virtual milliseconds after arrival.
+    pub default_deadline_ms: u64,
+    /// Sequence chunk size for chunked prefill — also the cancellation
+    /// granularity: a tripped token stops a prefill within one chunk.
+    pub chunk_size: usize,
+    /// Maximum retry attempts after a transient worker fault.
+    pub max_retries: usize,
+    /// First-retry backoff, virtual milliseconds.
+    pub backoff_base_ms: u64,
+    /// Cap on the exponential backoff, virtual milliseconds.
+    pub backoff_cap_ms: u64,
+    /// The near-lossless CRA target recorded in every
+    /// [`DegradationReport`](sa_core::DegradationReport).
+    pub alpha_target: f32,
+    /// How many real-model tokens one synthetic token stands for in the
+    /// memory model (the synthetic transformer runs tiny sequences; the
+    /// admission footprint scales them up to paper-sized contexts).
+    pub tokens_per_synthetic: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 0x5EED_5EED,
+            max_inflight: 4,
+            max_queue: 8,
+            mem_budget_bytes: A100_BYTES,
+            default_deadline_ms: 400,
+            chunk_size: 32,
+            max_retries: 2,
+            backoff_base_ms: 8,
+            backoff_cap_ms: 64,
+            alpha_target: 0.95,
+            tokens_per_synthetic: 2048,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Applies the `SA_DEADLINE_MS` / `SA_MEM_BUDGET` / `SA_MAX_INFLIGHT`
+    /// environment overrides on top of `self`. Unset or unparseable
+    /// variables leave the corresponding field untouched.
+    #[must_use]
+    pub fn from_env(mut self) -> Self {
+        if let Some(ms) = env_u64("SA_DEADLINE_MS") {
+            self.default_deadline_ms = ms;
+        }
+        if let Some(bytes) = env_bytes("SA_MEM_BUDGET") {
+            self.mem_budget_bytes = bytes;
+        }
+        if let Some(n) = env_u64("SA_MAX_INFLIGHT") {
+            self.max_inflight = (n as usize).max(1);
+        }
+        self
+    }
+
+    /// `max_inflight` with the ≥ 1 clamp applied.
+    pub fn slots(&self) -> usize {
+        self.max_inflight.max(1)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Parses a byte count with an optional binary suffix: `123456`,
+/// `512M`, `48G`, `100K` (case-insensitive).
+pub(crate) fn parse_bytes(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, mult) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&raw[..raw.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&raw[..raw.len() - 1], 1u64 << 30),
+        _ => (raw, 1),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+fn env_bytes(name: &str) -> Option<u64> {
+    parse_bytes(&std::env::var(name).ok()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.slots() >= 1);
+        assert_eq!(c.mem_budget_bytes, A100_BYTES);
+        assert!(c.backoff_base_ms <= c.backoff_cap_ms);
+        assert!(c.alpha_target > 0.0 && c.alpha_target <= 1.0);
+    }
+
+    #[test]
+    fn byte_suffixes_parse() {
+        assert_eq!(parse_bytes("123456"), Some(123_456));
+        assert_eq!(parse_bytes("100K"), Some(100 << 10));
+        assert_eq!(parse_bytes("512m"), Some(512 << 20));
+        assert_eq!(parse_bytes("48G"), Some(48 << 30));
+        assert_eq!(parse_bytes(" 2 G "), Some(2 << 30));
+        assert_eq!(parse_bytes("oops"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+
+    #[test]
+    fn env_overrides_apply() {
+        // Distinct names to avoid cross-test env races.
+        std::env::set_var("SA_DEADLINE_MS", "123");
+        std::env::set_var("SA_MEM_BUDGET", "2G");
+        std::env::set_var("SA_MAX_INFLIGHT", "0");
+        let c = ServeConfig::default().from_env();
+        std::env::remove_var("SA_DEADLINE_MS");
+        std::env::remove_var("SA_MEM_BUDGET");
+        std::env::remove_var("SA_MAX_INFLIGHT");
+        assert_eq!(c.default_deadline_ms, 123);
+        assert_eq!(c.mem_budget_bytes, 2 << 30);
+        assert_eq!(c.max_inflight, 1, "inflight is clamped to >= 1");
+    }
+}

@@ -1,0 +1,288 @@
+//! The outcome ledger: one auditable record per request.
+//!
+//! The ledger is the scheduler's accountability artifact. Its
+//! guarantees, asserted by [`Ledger::validate`] and the chaos soak:
+//!
+//! - **total**: every submitted request appears exactly once — none is
+//!   ever lost, whatever mix of overload, faults, cancellations, and
+//!   deadline expiries the batch hits;
+//! - **deterministic**: records carry only virtual-clock times and
+//!   bit-deterministic measurements, so the serialized ledger is
+//!   byte-identical at every `SA_THREADS` setting;
+//! - **honest about degradation**: a request served below the
+//!   [`Full`](sa_core::DegradationRung::Full) rung carries its
+//!   [`DegradationReport`], and the window-only rung can never report
+//!   `alpha_satisfied = true` (the ladder's core invariant).
+
+use crate::request::RequestKind;
+use crate::Request;
+use sa_core::DegradationReport;
+
+/// Terminal state of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion (possibly after retries, possibly degraded).
+    Served,
+    /// Rejected at arrival: all slots and queue positions taken.
+    RejectedOverloaded,
+    /// Rejected at start: projected memory exceeded `SA_MEM_BUDGET`.
+    RejectedBudget,
+    /// Deadline expired while waiting for a slot; never ran.
+    ExpiredInQueue,
+    /// Deadline expired mid-run; cooperatively cancelled within one chunk.
+    DeadlineExceeded,
+    /// Caller cancelled mid-run; cooperatively cancelled within one chunk.
+    Cancelled,
+    /// Transient faults outlasted the retry budget.
+    Failed,
+}
+
+sa_json::impl_json_enum!(Outcome {
+    Served,
+    RejectedOverloaded,
+    RejectedBudget,
+    ExpiredInQueue,
+    DeadlineExceeded,
+    Cancelled,
+    Failed
+});
+
+/// One request's full audit record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Request id (ledger is sorted by it).
+    pub id: u64,
+    /// Prefill or decode.
+    pub kind: RequestKind,
+    /// Prompt length in synthetic tokens.
+    pub seq_len: u64,
+    /// Virtual arrival time.
+    pub arrival_ms: u64,
+    /// Virtual execution start (== finish when never started).
+    pub start_ms: u64,
+    /// Virtual completion / rejection / cancellation time.
+    pub finish_ms: u64,
+    /// Virtual time spent waiting for a slot.
+    pub queue_wait_ms: u64,
+    /// Terminal state.
+    pub outcome: Outcome,
+    /// Final degradation rung (`""` when no model work ran).
+    pub rung: String,
+    /// Whether the final rung measured/certified the CRA α target.
+    /// `false` by construction for the window-only rung and for every
+    /// non-served outcome.
+    pub alpha_satisfied: bool,
+    /// Whether the request ran below the full-attention rung.
+    pub degraded: bool,
+    /// Retries performed.
+    pub retries: u64,
+    /// Total virtual backoff between attempts.
+    pub backoff_ms: u64,
+    /// Chunk progress reported by a cooperative cancellation (0/0 when
+    /// not cancelled).
+    pub chunks_completed: u64,
+    /// Chunk total reported by a cooperative cancellation.
+    pub chunks_total: u64,
+    /// Display of the final error (`""` when served).
+    pub error: String,
+    /// The rung-by-rung degradation audit trail.
+    pub report: DegradationReport,
+}
+
+sa_json::impl_json_struct!(RequestRecord {
+    id,
+    kind,
+    seq_len,
+    arrival_ms,
+    start_ms,
+    finish_ms,
+    queue_wait_ms,
+    outcome,
+    rung,
+    alpha_satisfied,
+    degraded,
+    retries,
+    backoff_ms,
+    chunks_completed,
+    chunks_total,
+    error,
+    report
+});
+
+/// The batch outcome ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    /// Schema tag for the results file.
+    pub schema: String,
+    /// Workload / scheduler seed.
+    pub seed: u64,
+    /// Records sorted by request id, one per submitted request.
+    pub records: Vec<RequestRecord>,
+}
+
+sa_json::impl_json_struct!(Ledger {
+    schema,
+    seed,
+    records
+});
+
+/// Schema tag written by [`Scheduler::run`](crate::Scheduler::run).
+pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v1";
+
+impl Ledger {
+    /// Counts records with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Checks the ledger's accountability invariants against the batch
+    /// it came from. Returns the first violation as a message.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn validate(&self, requests: &[Request]) -> Result<(), String> {
+        if self.records.len() != requests.len() {
+            return Err(format!(
+                "ledger has {} records for {} requests — requests were lost or duplicated",
+                self.records.len(),
+                requests.len()
+            ));
+        }
+        let mut expected: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        expected.sort_unstable();
+        let got: Vec<u64> = self.records.iter().map(|r| r.id).collect();
+        if got != expected {
+            return Err(format!(
+                "ledger ids {got:?} do not match submitted ids {expected:?}"
+            ));
+        }
+        for rec in &self.records {
+            let ran_model = !matches!(
+                rec.outcome,
+                Outcome::RejectedOverloaded | Outcome::RejectedBudget | Outcome::ExpiredInQueue
+            );
+            if ran_model == rec.rung.is_empty() {
+                return Err(format!(
+                    "request {}: outcome {:?} inconsistent with rung {:?}",
+                    rec.id, rec.outcome, rec.rung
+                ));
+            }
+            if rec.rung == "window_only" && rec.alpha_satisfied {
+                return Err(format!(
+                    "request {}: window-only rung can never certify alpha",
+                    rec.id
+                ));
+            }
+            if rec.alpha_satisfied && rec.outcome != Outcome::Served {
+                return Err(format!(
+                    "request {}: alpha_satisfied on non-served outcome {:?}",
+                    rec.id, rec.outcome
+                ));
+            }
+            if rec.outcome == Outcome::Served && !rec.error.is_empty() {
+                return Err(format!(
+                    "request {}: served but carries error {:?}",
+                    rec.id, rec.error
+                ));
+            }
+            if rec.outcome != Outcome::Served && ran_model && rec.error.is_empty() {
+                return Err(format!(
+                    "request {}: outcome {:?} without an error message",
+                    rec.id, rec.outcome
+                ));
+            }
+            if rec.degraded != rec.report.degraded() {
+                return Err(format!(
+                    "request {}: degraded flag disagrees with report",
+                    rec.id
+                ));
+            }
+            if let Some(last) = rec.report.attempts.last() {
+                if ran_model && last.alpha_satisfied != rec.alpha_satisfied {
+                    return Err(format!(
+                        "request {}: alpha flag disagrees with report tail",
+                        rec.id
+                    ));
+                }
+            }
+            if rec.finish_ms < rec.start_ms || rec.start_ms < rec.arrival_ms {
+                return Err(format!("request {}: time went backwards", rec.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_json::{FromJson, ToJson};
+
+    fn record(id: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            kind: RequestKind::Prefill,
+            seq_len: 64,
+            arrival_ms: 0,
+            start_ms: 0,
+            finish_ms: 64,
+            queue_wait_ms: 0,
+            outcome: Outcome::Served,
+            rung: "full".to_string(),
+            alpha_satisfied: true,
+            degraded: false,
+            retries: 0,
+            backoff_ms: 0,
+            chunks_completed: 0,
+            chunks_total: 0,
+            error: String::new(),
+            report: {
+                let mut r = DegradationReport::new(0.95);
+                r.record(sa_core::DegradationRung::Full, true, "served");
+                r
+            },
+        }
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let ledger = Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: 7,
+            records: vec![record(0), record(1)],
+        };
+        let s = sa_json::to_string(&ledger.to_json());
+        let back = Ledger::from_json(&sa_json::from_str::<sa_json::Json>(&s).unwrap()).unwrap();
+        assert_eq!(back, ledger);
+    }
+
+    #[test]
+    fn validate_catches_lost_and_inconsistent_records() {
+        let reqs = vec![
+            crate::Request::prefill(0, 64, 0, 100),
+            crate::Request::prefill(1, 64, 0, 100),
+        ];
+        let good = Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: 0,
+            records: vec![record(0), record(1)],
+        };
+        assert!(good.validate(&reqs).is_ok());
+
+        let mut lost = good.clone();
+        lost.records.pop();
+        assert!(lost.validate(&reqs).unwrap_err().contains("lost"));
+
+        let mut bad_alpha = good.clone();
+        bad_alpha.records[0].rung = "window_only".to_string();
+        assert!(bad_alpha
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("never certify"));
+
+        let mut bad_err = good.clone();
+        bad_err.records[1].error = "boom".to_string();
+        assert!(bad_err.validate(&reqs).unwrap_err().contains("carries error"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # sa-serve
+//!
+//! Deadline-aware request scheduling for the SampleAttention serving
+//! stack: admission control, cooperative cancellation, retry with
+//! deterministic backoff, and an adaptive degradation ladder — all on a
+//! virtual clock, so every scheduling decision is reproducible and the
+//! batch ledger is bit-identical at every `SA_THREADS` setting.
+//!
+//! ## Architecture
+//!
+//! - [`ServeConfig`] ([`config`]) — tunables plus the `SA_DEADLINE_MS`,
+//!   `SA_MEM_BUDGET`, `SA_MAX_INFLIGHT` environment knobs.
+//! - [`Request`] / [`mixed_workload`] ([`request`]) — what arrives:
+//!   prefills and decodes with deadlines, caller cancellations, and
+//!   transient-fault scripts.
+//! - [`sim`] — the virtual-time admission simulation: slots, a bounded
+//!   FIFO queue, the scaled ChatGLM2-6B memory model, the degradation
+//!   ladder walk, and retry/backoff/cancellation arbitration.
+//! - [`Scheduler`] ([`scheduler`]) — executes admitted requests in
+//!   parallel on the worker pool: chunked prefills and decode sessions
+//!   under per-request [`CancelToken`](sa_tensor::CancelToken)s, with
+//!   thread-local fault injection per retry attempt.
+//! - [`Ledger`] ([`ledger`]) — one audit record per request; validated
+//!   for totality (no request ever lost) and honesty (no silent drop
+//!   below the CRA α target).
+//!
+//! ## Failure taxonomy
+//!
+//! | condition | surfaces as | ledger outcome |
+//! |---|---|---|
+//! | slots + queue full | [`SaError::Overloaded`] | `RejectedOverloaded` |
+//! | memory budget exceeded | [`SaError::BudgetExceeded`] | `RejectedBudget` |
+//! | deadline expires queued | — | `ExpiredInQueue` |
+//! | deadline expires mid-run | [`SaError::DeadlineExceeded`] | `DeadlineExceeded` |
+//! | caller cancels | [`SaError::Cancelled`] | `Cancelled` |
+//! | transient worker fault | [`SaError::WorkerPanic`], retried | `Served` (after retries) |
+//! | fault outlasts retries | [`SaError::WorkerPanic`] | `Failed` |
+//!
+//! [`SaError::Overloaded`]: sa_tensor::SaError::Overloaded
+//! [`SaError::BudgetExceeded`]: sa_tensor::SaError::BudgetExceeded
+//! [`SaError::DeadlineExceeded`]: sa_tensor::SaError::DeadlineExceeded
+//! [`SaError::Cancelled`]: sa_tensor::SaError::Cancelled
+//! [`SaError::WorkerPanic`]: sa_tensor::SaError::WorkerPanic
+//!
+//! ## Example
+//!
+//! ```
+//! use sa_serve::{mixed_workload, Scheduler, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scheduler = Scheduler::new(ServeConfig::default())?;
+//! let requests = mixed_workload(7, 8);
+//! let ledger = scheduler.run(&requests)?;
+//! ledger.validate(&requests).map_err(std::io::Error::other)?;
+//! assert_eq!(ledger.records.len(), requests.len()); // nothing lost
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod ledger;
+pub mod request;
+pub mod scheduler;
+pub mod sim;
+
+pub use config::ServeConfig;
+pub use ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
+pub use request::{mixed_workload, Request, RequestKind, FAULT_SITE};
+pub use scheduler::Scheduler;
+pub use sim::{plan_batch, Plan, Planned};

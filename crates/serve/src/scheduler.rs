@@ -1,0 +1,404 @@
+//! The deadline-aware request scheduler.
+//!
+//! [`Scheduler::run`] processes a batch in two phases:
+//!
+//! 1. **Plan** ([`sim::plan_batch`]): a serial virtual-time simulation
+//!    decides every scheduling outcome — admission, queueing, the
+//!    degradation rung, retry counts, backoff, and which cancellation
+//!    (caller or deadline) wins. Deterministic by construction.
+//! 2. **Execute**: the admitted requests run their *real* model work in
+//!    parallel on the worker pool. Each request's execution is
+//!    panic-free end to end: injected worker faults surface as typed
+//!    [`WorkerPanic`](sa_tensor::SaError::WorkerPanic) errors (retried
+//!    with the planned backoff), and cancellations surface as typed
+//!    [`Cancelled`](sa_tensor::SaError::Cancelled) /
+//!    [`DeadlineExceeded`](sa_tensor::SaError::DeadlineExceeded) within
+//!    one chunk of work. Execution contributes only bit-deterministic
+//!    data (the measured CRA α flags) to the ledger.
+//!
+//! Fault plans are installed **thread-locally** per attempt
+//! ([`sa_tensor::fault::install_local`]), so concurrent requests never
+//! see each other's injected faults: the top-level pool fan-out marks
+//! its workers, nested pool calls inside a request run serially on the
+//! same worker thread, and the plan is dropped when the attempt ends.
+
+use crate::ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
+use crate::sim::{self, Plan, Planned};
+use crate::{Request, RequestKind, ServeConfig};
+use sa_baselines::{AttentionMethod, FullAttention, SampleAttentionMethod, WindowOnly};
+use sa_core::{DegradationReport, DegradationRung};
+use sa_model::{ModelConfig, SyntheticTransformer};
+use sa_tensor::fault::FaultPlan;
+use sa_tensor::{fault, pool, CancelToken, SaError, TensorError};
+use sa_trace::metrics;
+
+/// The scheduler: a synthetic-transformer serving stack with admission
+/// control, cooperative cancellation, retry, and the degradation ladder.
+pub struct Scheduler {
+    cfg: ServeConfig,
+    model: SyntheticTransformer,
+}
+
+impl Scheduler {
+    /// Builds a scheduler (and its synthetic model) from `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn new(cfg: ServeConfig) -> Result<Self, TensorError> {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(cfg.seed))?;
+        Ok(Scheduler { cfg, model })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Runs a batch: plans every request on the virtual clock, executes
+    /// the admitted ones in parallel, and returns the sorted ledger.
+    ///
+    /// # Errors
+    ///
+    /// Only scheduler-level pool failures propagate; per-request faults,
+    /// cancellations, and rejections are *outcomes* in the ledger, never
+    /// errors of `run` itself.
+    pub fn run(&self, requests: &[Request]) -> Result<Ledger, TensorError> {
+        let _span = sa_trace::span_in("serve", "batch");
+        let plans = sim::plan_batch(&self.cfg, requests);
+        let mut records = pool::try_parallel_map("serve_batch", requests.len(), 1, |i| {
+            self.execute(&requests[i], &plans[i])
+        })?;
+        records.sort_by_key(|r| r.id);
+        record_metrics(&records);
+        Ok(Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: self.cfg.seed,
+            records,
+        })
+    }
+
+    /// Executes one planned request. Never panics and never fails: every
+    /// error becomes a ledger outcome.
+    fn execute(&self, req: &Request, plan: &Plan) -> RequestRecord {
+        let mut report = DegradationReport::new(self.cfg.alpha_target);
+        for (rung, why) in &plan.skipped {
+            report.record(*rung, false, why);
+        }
+        let mut rec = RequestRecord {
+            id: req.id,
+            kind: req.kind,
+            seq_len: req.seq_len as u64,
+            arrival_ms: req.arrival_ms,
+            start_ms: plan.start_ms,
+            finish_ms: plan.finish_ms,
+            queue_wait_ms: plan.queue_wait_ms,
+            outcome: Outcome::Served,
+            rung: String::new(),
+            alpha_satisfied: false,
+            degraded: false,
+            retries: plan.retries,
+            backoff_ms: plan.backoff_ms,
+            chunks_completed: 0,
+            chunks_total: 0,
+            error: String::new(),
+            report: DegradationReport::new(self.cfg.alpha_target),
+        };
+
+        match plan.planned {
+            Planned::RejectOverloaded { inflight } => {
+                rec.outcome = Outcome::RejectedOverloaded;
+                rec.error = SaError::Overloaded {
+                    inflight,
+                    max_inflight: self.cfg.slots(),
+                }
+                .to_string();
+            }
+            Planned::RejectBudget { required_bytes } => {
+                rec.outcome = Outcome::RejectedBudget;
+                rec.error = SaError::BudgetExceeded {
+                    required_bytes,
+                    budget_bytes: self.cfg.mem_budget_bytes,
+                }
+                .to_string();
+            }
+            Planned::ExpireInQueue => {
+                rec.outcome = Outcome::ExpiredInQueue;
+                rec.error = SaError::DeadlineExceeded {
+                    site: "serve_queue",
+                    completed: 0,
+                    total: 0,
+                }
+                .to_string();
+            }
+            Planned::CancelCaller | Planned::CancelDeadline => {
+                let token = CancelToken::new();
+                let expect_deadline = matches!(plan.planned, Planned::CancelDeadline);
+                let token = if expect_deadline {
+                    // Already-expired deadline on the trace clock: trips
+                    // deterministically before the first chunk.
+                    CancelToken::with_deadline_ns(0)
+                } else {
+                    token.cancel();
+                    token
+                };
+                match self.run_model(req, plan.rung, &token) {
+                    Err(e) if e.is_cancellation() => {
+                        rec.outcome = if matches!(e, SaError::DeadlineExceeded { .. }) {
+                            Outcome::DeadlineExceeded
+                        } else {
+                            Outcome::Cancelled
+                        };
+                        if let SaError::Cancelled { completed, total, .. }
+                        | SaError::DeadlineExceeded { completed, total, .. } = &e
+                        {
+                            rec.chunks_completed = *completed as u64;
+                            rec.chunks_total = *total as u64;
+                        }
+                        rec.error = e.to_string();
+                        report.record(plan.rung, false, "cancelled before completion");
+                    }
+                    Err(e) => {
+                        rec.outcome = Outcome::Failed;
+                        rec.error = e.to_string();
+                        report.record(plan.rung, false, "error before cancellation");
+                    }
+                    Ok(_) => {
+                        // A pre-tripped token cannot complete; record the
+                        // inconsistency loudly rather than panicking.
+                        rec.outcome = Outcome::Failed;
+                        rec.error = "planned cancellation but run completed".to_string();
+                        report.record(plan.rung, false, "planned cancellation not observed");
+                    }
+                }
+                rec.rung = plan.rung.as_str().to_string();
+            }
+            Planned::Serve { fails } | Planned::FailPermanent { fails } => {
+                let attempts = match plan.planned {
+                    Planned::FailPermanent { .. } => fails,
+                    _ => fails + 1,
+                };
+                let mut outcome = None;
+                for attempt in 0..attempts {
+                    let _fault_guard = (attempt < fails).then(|| {
+                        fault::install_local(
+                            FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
+                        )
+                    });
+                    let token = CancelToken::new();
+                    match self.run_model(req, plan.rung, &token) {
+                        Ok(alpha_ok) => {
+                            outcome = Some(Ok(alpha_ok));
+                            break;
+                        }
+                        Err(e) => {
+                            let transient = matches!(e, SaError::WorkerPanic { .. });
+                            outcome = Some(Err(e));
+                            if !transient {
+                                break;
+                            }
+                        }
+                    }
+                }
+                match outcome {
+                    Some(Ok(alpha_ok)) => {
+                        rec.outcome = Outcome::Served;
+                        report.record(plan.rung, alpha_ok, "served");
+                    }
+                    Some(Err(e)) => {
+                        rec.outcome = Outcome::Failed;
+                        rec.error = e.to_string();
+                        report.record(plan.rung, false, "retry_exhausted");
+                    }
+                    None => {
+                        rec.outcome = Outcome::Failed;
+                        rec.error = "no attempt ran".to_string();
+                        report.record(plan.rung, false, "no attempt ran");
+                    }
+                }
+                rec.rung = plan.rung.as_str().to_string();
+            }
+        }
+
+        rec.alpha_satisfied = rec.outcome == Outcome::Served && report.final_alpha_satisfied();
+        rec.degraded = report.degraded();
+        rec.report = report;
+        rec
+    }
+
+    /// Runs the real model work for one attempt. Returns whether every
+    /// head's measured stage-2 coverage met the α target.
+    fn run_model(
+        &self,
+        req: &Request,
+        rung: DegradationRung,
+        token: &CancelToken,
+    ) -> Result<bool, TensorError> {
+        let method = method_for(rung).map_err(|what| TensorError::InvalidDimension {
+            op: "Scheduler::run_model",
+            what,
+        })?;
+        let tokens = self.model.tokenize_filler(req.seq_len);
+        match req.kind {
+            RequestKind::Prefill => {
+                let (result, _caches) = self.model.prefill_chunked_with(
+                    &tokens,
+                    self.cfg.chunk_size.max(1),
+                    method.as_ref(),
+                    token,
+                )?;
+                Ok(result.heads_alpha_unsatisfied() == 0)
+            }
+            RequestKind::Decode => {
+                let mut session = self.model.begin_decode(&tokens, method.as_ref())?;
+                session.install_cancel(token);
+                let vocab = self.model.config().vocab_size as u32;
+                session.generate_in(req.new_tokens, 0..vocab)?;
+                Ok(session.prefill_result().heads_alpha_unsatisfied() == 0)
+            }
+        }
+    }
+}
+
+/// The attention method each rung runs.
+fn method_for(rung: DegradationRung) -> Result<Box<dyn AttentionMethod>, String> {
+    match rung {
+        DegradationRung::Full => Ok(Box::new(FullAttention::new())),
+        DegradationRung::WindowOnly => WindowOnly::new(DegradationRung::TIGHT_WINDOW_RATIO)
+            .map(|w| Box::new(w) as Box<dyn AttentionMethod>)
+            .map_err(|e| e.to_string()),
+        DegradationRung::PaperDefault | DegradationRung::Tight => rung
+            .sample_config()
+            .map_err(|e| e.to_string())?
+            .map(|c| Box::new(SampleAttentionMethod::new(c)) as Box<dyn AttentionMethod>)
+            .ok_or_else(|| format!("rung {rung} has no SampleAttention config")),
+    }
+}
+
+/// Publishes batch outcomes to the global `serve.*` metrics.
+fn record_metrics(records: &[RequestRecord]) {
+    metrics::counter("serve.requests").add(records.len() as u64);
+    for rec in records {
+        let c = match rec.outcome {
+            Outcome::Served => "serve.served",
+            Outcome::RejectedOverloaded => "serve.rejected_overloaded",
+            Outcome::RejectedBudget => "serve.rejected_budget",
+            Outcome::ExpiredInQueue => "serve.expired_in_queue",
+            Outcome::DeadlineExceeded => "serve.deadline_exceeded",
+            Outcome::Cancelled => "serve.cancelled",
+            Outcome::Failed => "serve.failed",
+        };
+        metrics::counter(c).add(1);
+        if !rec.rung.is_empty() {
+            metrics::histogram("serve.queue_wait_ms").record(rec.queue_wait_ms);
+            if let Some(rung) = rec.report.final_rung() {
+                metrics::histogram("serve.final_rung").record(rung.index() as u64);
+            }
+        }
+        if rec.retries > 0 {
+            metrics::counter("serve.retried").add(rec.retries);
+            metrics::histogram("serve.backoff_ms").record(rec.backoff_ms);
+        }
+        if rec.degraded {
+            metrics::counter("serve.degraded").add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixed_workload;
+
+    fn scheduler() -> Scheduler {
+        Scheduler::new(ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn healthy_batch_serves_everything() {
+        let s = scheduler();
+        let reqs: Vec<Request> = (0..3)
+            .map(|id| Request::prefill(id, 64, id * 500, 1_000_000))
+            .collect();
+        let ledger = s.run(&reqs).unwrap();
+        ledger.validate(&reqs).unwrap();
+        assert_eq!(ledger.count(Outcome::Served), 3);
+        assert!(ledger.records.iter().all(|r| r.rung == "full"));
+        assert!(ledger.records.iter().all(|r| r.alpha_satisfied));
+    }
+
+    #[test]
+    fn transient_fault_is_retried_to_success() {
+        let s = scheduler();
+        let mut req = Request::prefill(0, 64, 0, 1_000_000);
+        req.fault_fails = 2;
+        req.fault_site = crate::request::FAULT_SITE.to_string();
+        let ledger = s.run(std::slice::from_ref(&req)).unwrap();
+        ledger.validate(std::slice::from_ref(&req)).unwrap();
+        let rec = &ledger.records[0];
+        assert_eq!(rec.outcome, Outcome::Served);
+        assert_eq!(rec.retries, 2);
+        assert!(rec.backoff_ms > 0);
+    }
+
+    #[test]
+    fn permanent_fault_fails_with_typed_error() {
+        let s = scheduler();
+        let mut req = Request::prefill(0, 64, 0, 1_000_000);
+        req.fault_fails = 99;
+        req.fault_site = crate::request::FAULT_SITE.to_string();
+        let ledger = s.run(std::slice::from_ref(&req)).unwrap();
+        let rec = &ledger.records[0];
+        assert_eq!(rec.outcome, Outcome::Failed);
+        assert!(rec.error.contains("worker panic"), "{}", rec.error);
+        assert!(!rec.alpha_satisfied);
+    }
+
+    #[test]
+    fn deadline_cancellation_reports_chunk_progress() {
+        let s = scheduler();
+        // Brutal deadline: nothing fits, mid-run expiry planned.
+        let req = Request::prefill(0, 224, 0, 2);
+        let ledger = s.run(std::slice::from_ref(&req)).unwrap();
+        let rec = &ledger.records[0];
+        assert_eq!(rec.outcome, Outcome::DeadlineExceeded);
+        assert_eq!(rec.rung, "window_only", "brutal deadline bottoms the ladder");
+        assert_eq!(rec.chunks_completed, 0, "pre-expired token stops chunk 0");
+        assert!(rec.chunks_total > 0);
+        assert!(!rec.alpha_satisfied, "window-only can never certify alpha");
+        assert!(rec.degraded);
+    }
+
+    #[test]
+    fn decode_requests_serve_and_cancel() {
+        let s = scheduler();
+        let mut served = Request::prefill(0, 48, 0, 1_000_000);
+        served.kind = RequestKind::Decode;
+        served.new_tokens = 4;
+        let mut cancelled = served.clone();
+        cancelled.id = 1;
+        cancelled.arrival_ms = 10_000;
+        cancelled.cancel_after_ms = 1;
+        let reqs = vec![served, cancelled];
+        let ledger = s.run(&reqs).unwrap();
+        ledger.validate(&reqs).unwrap();
+        assert_eq!(ledger.records[0].outcome, Outcome::Served);
+        assert_eq!(ledger.records[1].outcome, Outcome::Cancelled);
+        assert!(ledger.records[1].error.contains("cancelled"));
+    }
+
+    #[test]
+    fn mixed_ledger_is_identical_across_thread_counts() {
+        let s = scheduler();
+        let reqs = mixed_workload(5, 16);
+        let baseline = pool::with_threads(1, || s.run(&reqs)).unwrap();
+        baseline.validate(&reqs).unwrap();
+        for threads in [2, 4] {
+            let ledger = pool::with_threads(threads, || s.run(&reqs)).unwrap();
+            assert_eq!(
+                ledger, baseline,
+                "ledger must be bit-identical at {threads} threads"
+            );
+        }
+    }
+}

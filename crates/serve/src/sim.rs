@@ -1,0 +1,515 @@
+//! Virtual-time admission simulation.
+//!
+//! All *scheduling* decisions — admission, queueing, the degradation
+//! rung, retries, backoff, and which cancellation (if any) wins — are
+//! made here on a deterministic virtual clock, **before** any model
+//! work runs. The real execution phase then runs the admitted requests
+//! in parallel on the worker pool and only fills in bit-deterministic
+//! measurements (the CRA α flags). Real wall-clock time never
+//! influences an outcome, so the ledger is bit-identical at every
+//! `SA_THREADS` setting — the property the chaos soak asserts.
+//!
+//! The simulated server has [`slots`](crate::ServeConfig::slots)
+//! concurrent-execution slots and a bounded FIFO queue. Per arrival:
+//!
+//! 1. free every slot whose occupant finished by now, handing freed
+//!    slots to queued requests (FIFO, at the freeing instant);
+//! 2. a free slot starts the request, a full queue rejects it with
+//!    [`Overloaded`](sa_tensor::SaError::Overloaded);
+//! 3. at start, the degradation ladder picks the highest rung whose
+//!    projected cost fits the remaining deadline budget, and the
+//!    admission memory model (scaled ChatGLM2-6B footprints against
+//!    `SA_MEM_BUDGET`) either admits or rejects with
+//!    [`BudgetExceeded`](sa_tensor::SaError::BudgetExceeded);
+//! 4. transient faults cost failed attempts plus seeded-jitter
+//!    exponential backoff; the earliest of caller-cancel, deadline,
+//!    and completion decides the planned outcome.
+
+use crate::{Request, ServeConfig};
+use sa_core::DegradationRung;
+use sa_perf::memory::{prefill_footprint, PrefillStyle};
+use sa_perf::ttft::ModelGeometry;
+use sa_tensor::splitmix64;
+use std::collections::VecDeque;
+
+/// What the simulation decided should happen to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Planned {
+    /// Runs to completion after `fails` failed attempts (0 = first try).
+    Serve { fails: u64 },
+    /// Every attempt up to the retry budget fails; the request errors out.
+    FailPermanent { fails: u64 },
+    /// The caller cancels before completion.
+    CancelCaller,
+    /// The deadline expires mid-run.
+    CancelDeadline,
+    /// The deadline expires while still queued — no slot ever ran it.
+    ExpireInQueue,
+    /// Rejected at arrival: slots and queue both full.
+    RejectOverloaded { inflight: usize },
+    /// Rejected at start: projected memory exceeds the budget.
+    RejectBudget { required_bytes: u64 },
+}
+
+/// One request's simulated schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The planned outcome category.
+    pub planned: Planned,
+    /// Chosen degradation rung (meaningful only when model work runs).
+    pub rung: DegradationRung,
+    /// Rungs the ladder walked past, with the reason each was skipped.
+    pub skipped: Vec<(DegradationRung, String)>,
+    /// Virtual start time (== finish for never-started requests).
+    pub start_ms: u64,
+    /// Virtual completion / cancellation / rejection time.
+    pub finish_ms: u64,
+    /// Time spent waiting for a slot.
+    pub queue_wait_ms: u64,
+    /// Retries performed (failed attempts that were followed by another).
+    pub retries: u64,
+    /// Total virtual backoff slept between attempts.
+    pub backoff_ms: u64,
+}
+
+impl Plan {
+    /// Whether the plan involves running the model at all.
+    pub fn runs_model(&self) -> bool {
+        !matches!(
+            self.planned,
+            Planned::RejectOverloaded { .. }
+                | Planned::RejectBudget { .. }
+                | Planned::ExpireInQueue
+        )
+    }
+}
+
+/// Per-rung projected service time: the prefill part scales with the
+/// rung's cost factor, the decode tail does not (decode always runs
+/// full attention over the caches).
+pub fn service_ms(req: &Request, rung: DegradationRung) -> u64 {
+    let permille = (rung.cost_factor() * 1000.0) as u64;
+    let prefill = (req.prefill_service_ms() * permille / 1000).max(1);
+    prefill + (req.base_service_ms() - req.prefill_service_ms())
+}
+
+/// Exponential backoff with deterministic jitter for attempt `attempt`
+/// of request `id` (virtual milliseconds; nothing sleeps).
+pub fn backoff_ms(cfg: &ServeConfig, id: u64, attempt: u64) -> u64 {
+    let shift = attempt.min(16) as u32;
+    let exp = cfg
+        .backoff_base_ms
+        .saturating_mul(1u64 << shift)
+        .min(cfg.backoff_cap_ms);
+    let jitter = if cfg.backoff_base_ms == 0 {
+        0
+    } else {
+        let mut state = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt;
+        splitmix64(&mut state) % cfg.backoff_base_ms
+    };
+    exp + jitter
+}
+
+/// The per-request device bytes of the admission memory model: KV cache
+/// plus peak activations for a chunked prefill of the scaled-up request
+/// on ChatGLM2-6B. Weights are shared and counted once, by the caller.
+pub fn request_bytes(cfg: &ServeConfig, req: &Request) -> u64 {
+    let scale = cfg.tokens_per_synthetic.max(1) as usize;
+    let fp = prefill_footprint(
+        &ModelGeometry::chatglm2_6b(),
+        req.seq_len.saturating_mul(scale),
+        1,
+        1,
+        PrefillStyle::Chunked(cfg.chunk_size.max(1) * scale),
+    );
+    fp.kv_cache_bytes + fp.activation_bytes + fp.score_matrix_bytes
+}
+
+/// The shared weight bytes of the admission memory model.
+pub fn weight_bytes() -> u64 {
+    prefill_footprint(
+        &ModelGeometry::chatglm2_6b(),
+        1024,
+        1,
+        1,
+        PrefillStyle::Chunked(1024),
+    )
+    .weights_bytes
+}
+
+/// Walks the ladder top-down and returns the highest rung whose
+/// projected cost fits `remaining_ms`, plus the skipped rungs. When
+/// even the bottom rung does not fit, the bottom rung is chosen anyway
+/// (the deadline will then expire mid-run — explicitly, in the plan).
+pub fn choose_rung(
+    req: &Request,
+    remaining_ms: u64,
+) -> (DegradationRung, Vec<(DegradationRung, String)>) {
+    let mut skipped = Vec::new();
+    for rung in DegradationRung::ALL {
+        let cost = service_ms(req, rung);
+        if cost <= remaining_ms {
+            return (rung, skipped);
+        }
+        skipped.push((
+            rung,
+            format!("projected {cost} ms exceeds remaining {remaining_ms} ms"),
+        ));
+    }
+    // Bottom rung still runs; drop its "skipped" entry.
+    skipped.pop();
+    (DegradationRung::WindowOnly, skipped)
+}
+
+struct Active {
+    finish_ms: u64,
+    id: u64,
+    bytes: u64,
+}
+
+enum StartResult {
+    /// Slot consumed until `finish_ms`.
+    Started(Plan, u64 /* bytes */),
+    /// Plan resolved without consuming the slot.
+    Resolved(Plan),
+}
+
+/// Simulates the whole batch and returns one [`Plan`] per request,
+/// aligned with the input order.
+pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
+    let weights = weight_bytes();
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (requests[i].arrival_ms, requests[i].id));
+
+    let mut active: Vec<Active> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut plans: Vec<Option<Plan>> = vec![None; requests.len()];
+
+    let drain_to = |upto: u64,
+                    active: &mut Vec<Active>,
+                    queue: &mut VecDeque<usize>,
+                    plans: &mut Vec<Option<Plan>>| {
+        loop {
+            let Some(pos) = active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.finish_ms <= upto)
+                .min_by_key(|(_, a)| (a.finish_ms, a.id))
+                .map(|(p, _)| p)
+            else {
+                break;
+            };
+            let freed_at = active.swap_remove(pos).finish_ms;
+            // The freed slot serves the queue head; requests that
+            // resolve without running (expired, budget-rejected) keep
+            // the slot free for the next in line.
+            while let Some(qi) = queue.pop_front() {
+                let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
+                match try_start(cfg, &requests[qi], freed_at, in_use, cfg.mem_budget_bytes) {
+                    StartResult::Started(plan, bytes) => {
+                        active.push(Active {
+                            finish_ms: plan.finish_ms,
+                            id: requests[qi].id,
+                            bytes,
+                        });
+                        plans[qi] = Some(plan);
+                        break;
+                    }
+                    StartResult::Resolved(plan) => {
+                        plans[qi] = Some(plan);
+                    }
+                }
+            }
+        }
+    };
+
+    for &i in &order {
+        let req = &requests[i];
+        let now = req.arrival_ms;
+        drain_to(now, &mut active, &mut queue, &mut plans);
+        if active.len() < cfg.slots() {
+            let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
+            match try_start(cfg, req, now, in_use, cfg.mem_budget_bytes) {
+                StartResult::Started(plan, bytes) => {
+                    active.push(Active {
+                        finish_ms: plan.finish_ms,
+                        id: req.id,
+                        bytes,
+                    });
+                    plans[i] = Some(plan);
+                }
+                StartResult::Resolved(plan) => plans[i] = Some(plan),
+            }
+        } else if queue.len() < cfg.max_queue {
+            queue.push_back(i);
+        } else {
+            plans[i] = Some(Plan {
+                planned: Planned::RejectOverloaded {
+                    inflight: active.len() + queue.len(),
+                },
+                rung: DegradationRung::Full,
+                skipped: Vec::new(),
+                start_ms: now,
+                finish_ms: now,
+                queue_wait_ms: 0,
+                retries: 0,
+                backoff_ms: 0,
+            });
+        }
+    }
+    drain_to(u64::MAX, &mut active, &mut queue, &mut plans);
+
+    plans
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| match p {
+            Some(p) => p,
+            // Unreachable by construction: every request either starts,
+            // queues (drained at the end), or is rejected. Resolve
+            // defensively rather than panicking.
+            None => Plan {
+                planned: Planned::ExpireInQueue,
+                rung: DegradationRung::Full,
+                skipped: Vec::new(),
+                start_ms: requests[i].arrival_ms,
+                finish_ms: requests[i].arrival_ms,
+                queue_wait_ms: 0,
+                retries: 0,
+                backoff_ms: 0,
+            },
+        })
+        .collect()
+}
+
+fn try_start(
+    cfg: &ServeConfig,
+    req: &Request,
+    start_ms: u64,
+    in_use_bytes: u64,
+    budget: u64,
+) -> StartResult {
+    let deadline_t = req.arrival_ms + req.deadline_ms;
+    let cancel_t = if req.cancel_after_ms > 0 {
+        req.arrival_ms + req.cancel_after_ms
+    } else {
+        u64::MAX
+    };
+    let queue_wait_ms = start_ms - req.arrival_ms;
+    let resolved = |planned: Planned, finish: u64| {
+        StartResult::Resolved(Plan {
+            planned,
+            rung: DegradationRung::Full,
+            skipped: Vec::new(),
+            start_ms,
+            finish_ms: finish,
+            queue_wait_ms,
+            retries: 0,
+            backoff_ms: 0,
+        })
+    };
+
+    if cancel_t <= start_ms {
+        // Cancelled while still queued.
+        return resolved(Planned::CancelCaller, start_ms);
+    }
+    if start_ms >= deadline_t {
+        return resolved(Planned::ExpireInQueue, start_ms);
+    }
+
+    let remaining = deadline_t - start_ms;
+    let (rung, skipped) = choose_rung(req, remaining);
+
+    let bytes = request_bytes(cfg, req);
+    if in_use_bytes + bytes > budget {
+        return resolved(
+            Planned::RejectBudget {
+                required_bytes: in_use_bytes + bytes,
+            },
+            start_ms,
+        );
+    }
+
+    let service = service_ms(req, rung);
+    let fail_ms = (service / 8).max(1);
+    let attempts_budget = cfg.max_retries as u64 + 1;
+    let (planned, retries, backoff_total, duration) = if req.fault_fails >= attempts_budget {
+        // Permanent: every attempt in the budget fails; backoff between
+        // attempts, none after the last.
+        let fails = attempts_budget;
+        let backoff: u64 = (0..fails - 1).map(|a| backoff_ms(cfg, req.id, a)).sum();
+        (
+            Planned::FailPermanent { fails },
+            fails - 1,
+            backoff,
+            fails * fail_ms + backoff,
+        )
+    } else if req.fault_fails > 0 {
+        let fails = req.fault_fails;
+        let backoff: u64 = (0..fails).map(|a| backoff_ms(cfg, req.id, a)).sum();
+        (
+            Planned::Serve { fails },
+            fails,
+            backoff,
+            fails * fail_ms + backoff + service,
+        )
+    } else {
+        (Planned::Serve { fails: 0 }, 0, 0, service)
+    };
+
+    let projected = start_ms + duration;
+    let (planned, finish, retries, backoff_total) =
+        if cancel_t < projected && cancel_t < deadline_t {
+            (Planned::CancelCaller, cancel_t, 0, 0)
+        } else if projected > deadline_t {
+            (Planned::CancelDeadline, deadline_t, 0, 0)
+        } else {
+            (planned, projected, retries, backoff_total)
+        };
+
+    StartResult::Started(
+        Plan {
+            planned,
+            rung,
+            skipped,
+            start_ms,
+            finish_ms: finish,
+            queue_wait_ms,
+            retries,
+            backoff_ms: backoff_total,
+        },
+        bytes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixed_workload;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    #[test]
+    fn ladder_degrades_with_deadline_pressure() {
+        let req = Request::prefill(0, 128, 0, 0);
+        let base = req.base_service_ms();
+        let (r, skipped) = choose_rung(&req, 2 * base);
+        assert_eq!(r, DegradationRung::Full);
+        assert!(skipped.is_empty());
+        let (r, skipped) = choose_rung(&req, base / 3);
+        assert_eq!(r, DegradationRung::PaperDefault);
+        assert_eq!(skipped.len(), 1);
+        let (r, _) = choose_rung(&req, base / 8);
+        assert_eq!(r, DegradationRung::Tight);
+        let (r, skipped) = choose_rung(&req, 1);
+        assert_eq!(r, DegradationRung::WindowOnly, "bottom rung always runs");
+        assert_eq!(skipped.len(), 3);
+    }
+
+    #[test]
+    fn overload_rejects_when_slots_and_queue_full() {
+        let c = ServeConfig {
+            max_inflight: 1,
+            max_queue: 1,
+            ..cfg()
+        };
+        // Three simultaneous arrivals: one runs, one queues, one bounces.
+        let reqs: Vec<Request> = (0..3)
+            .map(|id| Request::prefill(id, 128, 0, 100_000))
+            .collect();
+        let plans = plan_batch(&c, &reqs);
+        assert!(matches!(plans[0].planned, Planned::Serve { .. }));
+        assert!(matches!(plans[1].planned, Planned::Serve { .. }));
+        assert!(plans[1].queue_wait_ms > 0, "second request waited");
+        assert!(matches!(
+            plans[2].planned,
+            Planned::RejectOverloaded { inflight: 2 }
+        ));
+    }
+
+    #[test]
+    fn budget_rejects_oversized_concurrency() {
+        // Two scaled 1M-token prefills fit next to the weights on one
+        // A100-80GB; a third concurrent one does not.
+        let c = cfg();
+        let one = request_bytes(&c, &Request::prefill(0, 512, 0, 0));
+        assert!(weight_bytes() + 3 * one > c.mem_budget_bytes);
+        assert!(weight_bytes() + 2 * one <= c.mem_budget_bytes);
+        let reqs: Vec<Request> = (0..3)
+            .map(|id| Request::prefill(id, 512, 0, 100_000))
+            .collect();
+        let plans = plan_batch(&c, &reqs);
+        assert!(matches!(plans[0].planned, Planned::Serve { .. }));
+        assert!(matches!(plans[1].planned, Planned::Serve { .. }));
+        assert!(
+            matches!(plans[2].planned, Planned::RejectBudget { required_bytes }
+                if required_bytes > c.mem_budget_bytes)
+        );
+    }
+
+    #[test]
+    fn deadline_expires_in_queue() {
+        let c = ServeConfig {
+            max_inflight: 1,
+            ..cfg()
+        };
+        let mut long = Request::prefill(0, 512, 0, 1_000_000);
+        long.fault_fails = 0;
+        // Arrives immediately behind, deadline far shorter than the
+        // first request's service time.
+        let short = Request::prefill(1, 48, 1, 3);
+        let plans = plan_batch(&c, &[long, short]);
+        assert!(matches!(plans[1].planned, Planned::ExpireInQueue));
+    }
+
+    #[test]
+    fn transient_fault_retries_then_serves_with_backoff() {
+        let c = cfg();
+        let mut req = Request::prefill(3, 64, 0, 1_000_000);
+        req.fault_fails = 2;
+        let plans = plan_batch(&c, &[req]);
+        assert!(matches!(plans[0].planned, Planned::Serve { fails: 2 }));
+        assert_eq!(plans[0].retries, 2);
+        assert!(plans[0].backoff_ms >= 2 * c.backoff_base_ms);
+        // Jitter is deterministic in (seed, id, attempt).
+        assert_eq!(backoff_ms(&c, 3, 0), backoff_ms(&c, 3, 0));
+        assert_ne!(backoff_ms(&c, 3, 0), backoff_ms(&c, 4, 0));
+    }
+
+    #[test]
+    fn permanent_fault_exhausts_retry_budget() {
+        let c = cfg();
+        let mut req = Request::prefill(0, 64, 0, 1_000_000);
+        req.fault_fails = 99;
+        let plans = plan_batch(&c, &[req]);
+        assert!(
+            matches!(plans[0].planned, Planned::FailPermanent { fails }
+                if fails == c.max_retries as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn caller_cancel_beats_completion() {
+        let c = cfg();
+        let mut req = Request::prefill(0, 512, 0, 1_000_000);
+        req.cancel_after_ms = 10;
+        let plans = plan_batch(&c, &[req]);
+        assert!(matches!(plans[0].planned, Planned::CancelCaller));
+        assert_eq!(plans[0].finish_ms, 10);
+    }
+
+    #[test]
+    fn plan_batch_is_deterministic_and_total() {
+        let c = cfg();
+        let reqs = mixed_workload(11, 48);
+        let a = plan_batch(&c, &reqs);
+        let b = plan_batch(&c, &reqs);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), reqs.len());
+        // Every planned category that the chaos soak exercises shows up.
+        assert!(a.iter().any(|p| matches!(p.planned, Planned::Serve { fails: 0 })));
+        assert!(a.iter().any(|p| matches!(p.planned, Planned::Serve { fails } if fails > 0)));
+        assert!(a.iter().any(|p| matches!(p.planned, Planned::CancelDeadline)));
+    }
+}

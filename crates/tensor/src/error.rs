@@ -5,10 +5,16 @@ use std::fmt;
 /// All fallible public functions in `sa-tensor` (and, via the
 /// `TensorError` / `KernelError` aliases, in `sa-kernels` and the
 /// pipeline crates above) return `Result<_, SaError>`. The first three
-/// variants are argument-validation errors; the last four are
-/// *health* errors raised by the numerical sentinels and the worker
-/// pool, and are the inputs to the graceful-degradation policy (see
-/// `sa-core`'s `HealthPolicy`).
+/// variants are argument-validation errors; `NonFinite`,
+/// `DegenerateMask`, `AlphaUnsatisfied` and `WorkerPanic` are *health*
+/// errors raised by the numerical sentinels and the worker pool, and are
+/// the inputs to the graceful-degradation policy (see `sa-core`'s
+/// `HealthPolicy`). The remaining variants belong to the serving layer:
+/// `Cancelled` / `DeadlineExceeded` report cooperative cancellation with
+/// partial-progress stats, and `Overloaded` / `BudgetExceeded` are
+/// admission-control rejections. None of the serving variants is a
+/// health error — a cancelled request must surface as cancelled, never
+/// be absorbed into a dense fallback.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SaError {
     /// Two operands had incompatible shapes for the requested operation.
@@ -74,6 +80,44 @@ pub enum SaError {
         /// The panic payload rendered as a string.
         message: String,
     },
+    /// The caller cancelled the operation through a
+    /// [`CancelToken`](crate::cancel::CancelToken); the work stopped
+    /// cooperatively at the next chunk boundary.
+    Cancelled {
+        /// The call site that observed the cancellation.
+        site: &'static str,
+        /// Chunks fully processed before the cancellation was observed.
+        completed: usize,
+        /// Total chunks the operation was split into.
+        total: usize,
+    },
+    /// A [`CancelToken`](crate::cancel::CancelToken) deadline (measured
+    /// on the `sa_trace` clock) expired; the work stopped cooperatively
+    /// at the next chunk boundary.
+    DeadlineExceeded {
+        /// The call site that observed the expiry.
+        site: &'static str,
+        /// Chunks fully processed before the expiry was observed.
+        completed: usize,
+        /// Total chunks the operation was split into.
+        total: usize,
+    },
+    /// A serving admission check rejected the request because too many
+    /// requests were already in flight or queued.
+    Overloaded {
+        /// Requests in flight or queued at rejection time.
+        inflight: usize,
+        /// The configured admission limit.
+        max_inflight: usize,
+    },
+    /// A serving admission check rejected the request because its
+    /// projected memory footprint exceeds the configured budget.
+    BudgetExceeded {
+        /// Projected bytes the request would need.
+        required_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
 }
 
 /// Historical name for [`SaError`]; kept so every pre-existing
@@ -91,6 +135,27 @@ impl SaError {
                 | SaError::DegenerateMask { .. }
                 | SaError::AlphaUnsatisfied { .. }
                 | SaError::WorkerPanic { .. }
+        )
+    }
+
+    /// True for the cooperative-cancellation variants (`Cancelled`,
+    /// `DeadlineExceeded`). These always propagate — the degradation
+    /// policy must never convert a cancellation into a fallback, and the
+    /// serving retry loop must never retry one.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            SaError::Cancelled { .. } | SaError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// True for admission-control rejections (`Overloaded`,
+    /// `BudgetExceeded`): the request never started, so there is no
+    /// partial state to clean up.
+    pub fn is_rejection(&self) -> bool {
+        matches!(
+            self,
+            SaError::Overloaded { .. } | SaError::BudgetExceeded { .. }
         )
     }
 
@@ -143,6 +208,21 @@ impl fmt::Display for SaError {
             },
             SaError::WorkerPanic { site, message } => {
                 write!(f, "worker panicked in {site}: {message}")
+            }
+            SaError::Cancelled { site, completed, total } => {
+                write!(f, "cancelled at {site} after {completed}/{total} chunks")
+            }
+            SaError::DeadlineExceeded { site, completed, total } => {
+                write!(f, "deadline exceeded at {site} after {completed}/{total} chunks")
+            }
+            SaError::Overloaded { inflight, max_inflight } => {
+                write!(f, "overloaded: {inflight} requests in flight (limit {max_inflight})")
+            }
+            SaError::BudgetExceeded { required_bytes, budget_bytes } => {
+                write!(
+                    f,
+                    "memory budget exceeded: {required_bytes} bytes required, {budget_bytes} budgeted"
+                )
             }
         }
     }
@@ -263,6 +343,73 @@ mod tests {
             bound: 2,
         };
         assert_eq!(e.clone().with_head(9), e);
+    }
+
+    #[test]
+    fn display_serving_variants() {
+        let e = SaError::Cancelled {
+            site: "prefill_chunked",
+            completed: 3,
+            total: 8,
+        };
+        assert_eq!(e.to_string(), "cancelled at prefill_chunked after 3/8 chunks");
+        let e = SaError::DeadlineExceeded {
+            site: "layer_heads",
+            completed: 0,
+            total: 4,
+        };
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(e.to_string().contains("0/4"));
+        let e = SaError::Overloaded {
+            inflight: 9,
+            max_inflight: 8,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("limit 8"));
+        let e = SaError::BudgetExceeded {
+            required_bytes: 1024,
+            budget_bytes: 512,
+        };
+        assert!(e.to_string().contains("1024"));
+        assert!(e.to_string().contains("512"));
+    }
+
+    #[test]
+    fn serving_variants_are_not_health_errors() {
+        // A cancellation or rejection must propagate — the dense-fallback
+        // policy only applies to numerical-health failures.
+        let cancelled = SaError::Cancelled {
+            site: "s",
+            completed: 1,
+            total: 2,
+        };
+        let deadline = SaError::DeadlineExceeded {
+            site: "s",
+            completed: 1,
+            total: 2,
+        };
+        let overloaded = SaError::Overloaded {
+            inflight: 1,
+            max_inflight: 1,
+        };
+        let budget = SaError::BudgetExceeded {
+            required_bytes: 2,
+            budget_bytes: 1,
+        };
+        for e in [&cancelled, &deadline, &overloaded, &budget] {
+            assert!(!e.is_health_error(), "{e}");
+        }
+        assert!(cancelled.is_cancellation());
+        assert!(deadline.is_cancellation());
+        assert!(!overloaded.is_cancellation());
+        assert!(overloaded.is_rejection());
+        assert!(budget.is_rejection());
+        assert!(!cancelled.is_rejection());
+        assert!(!SaError::WorkerPanic {
+            site: "s",
+            message: String::new()
+        }
+        .is_cancellation());
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   ([`tamper_scores`]: zero-mass score tampering). The returned
 //!   [`ScopedFault`] guard also holds a global lock so concurrent tests
 //!   cannot observe each other's plans; dropping it deactivates the plan.
+//! - **Thread-local faults** — [`install_local`] binds a plan to the
+//!   *current thread only*, without the global lock. This is how the
+//!   serving layer injects per-request transient faults: each request
+//!   executor installs its own plan on its worker thread, so concurrent
+//!   requests never observe each other's faults. Local plans take
+//!   precedence over the global plan on the installing thread.
 //!
 //! The `SA_FAULT` environment variable selects a plan by name for CI
 //! (`FaultPlan::from_env`): `smoke` is the canonical all-faults plan used
@@ -275,10 +281,57 @@ pub fn install(plan: FaultPlan) -> ScopedFault {
     ScopedFault { _serial: serial }
 }
 
-/// True when the installed plan forces panics at `site`. Consulted by
-/// the pool's `try_*` primitives inside their catch region, on the
-/// serial path as well, so the outcome is thread-count independent.
+thread_local! {
+    /// The thread-scoped plan stack; the innermost installed plan wins.
+    static LOCAL: std::cell::RefCell<Vec<FaultPlan>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`install_local`]; pops the plan on drop.
+pub struct LocalFault {
+    popped: bool,
+}
+
+impl Drop for LocalFault {
+    fn drop(&mut self) {
+        if !self.popped {
+            self.popped = true;
+            LOCAL.with(|l| {
+                l.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Installs `plan` for the *current thread only* until the returned
+/// guard is dropped. Unlike [`install`], this takes no process-wide
+/// lock: concurrent threads (the serving layer's per-request executors)
+/// can each carry their own plan without serializing or observing each
+/// other. Nested installs shadow outer ones.
+///
+/// The pool primitives evaluate the forced-panic decision once at entry
+/// on the calling thread, so a local plan installed on a request's
+/// executor thread governs every (nested, serial) pool call that request
+/// makes — and nothing else.
+pub fn install_local(plan: FaultPlan) -> LocalFault {
+    LOCAL.with(|l| l.borrow_mut().push(plan));
+    LocalFault { popped: false }
+}
+
+/// Runs `f` on the innermost thread-local plan, if one is installed.
+fn with_local_plan<R>(f: impl FnOnce(&FaultPlan) -> R) -> Option<R> {
+    LOCAL.with(|l| l.borrow().last().map(f))
+}
+
+/// True when the installed plan forces panics at `site`. The pool's
+/// `try_*` primitives evaluate this once at entry (on the calling
+/// thread, where the thread-local plan is visible) and raise the panic
+/// inside their catch region, on the serial path as well, so the outcome
+/// is thread-count independent. A thread-local plan takes precedence
+/// over the global one.
 pub fn should_panic(site: &str) -> bool {
+    if let Some(hit) = with_local_plan(|p| p.panic_sites.iter().any(|s| s == site)) {
+        return hit;
+    }
     if !ACTIVE_FLAG.load(Ordering::Relaxed) {
         return false;
     }
@@ -288,14 +341,18 @@ pub fn should_panic(site: &str) -> bool {
 }
 
 /// Applies installed score tampering at `site` (currently: zero-mass at
-/// `"stage1_scores"`). Returns `true` if the slice was tampered.
+/// `"stage1_scores"`). Returns `true` if the slice was tampered. A
+/// thread-local plan takes precedence over the global one.
 pub fn tamper_scores(site: &str, scores: &mut [f32]) -> bool {
-    if !ACTIVE_FLAG.load(Ordering::Relaxed) {
-        return false;
-    }
-    let tamper = lock_ignoring_poison(&ACTIVE)
-        .as_ref()
-        .is_some_and(|p| p.zero_mass && site == "stage1_scores");
+    let tamper = match with_local_plan(|p| p.zero_mass && site == "stage1_scores") {
+        Some(local) => local,
+        None => {
+            ACTIVE_FLAG.load(Ordering::Relaxed)
+                && lock_ignoring_poison(&ACTIVE)
+                    .as_ref()
+                    .is_some_and(|p| p.zero_mass && site == "stage1_scores")
+        }
+    };
     if tamper {
         scores.fill(0.0);
     }
@@ -399,6 +456,63 @@ mod tests {
             assert!(!should_panic("site_b"));
         }
         assert!(!should_panic("site_a"));
+    }
+
+    #[test]
+    fn local_plan_is_thread_scoped_and_lock_free() {
+        // Two threads install different local plans concurrently (no
+        // global INSTALL_LOCK involved) and neither observes the other's.
+        let t1 = std::thread::spawn(|| {
+            let _g = install_local(FaultPlan::new(1).worker_panic("site_one"));
+            assert!(should_panic("site_one"));
+            assert!(!should_panic("site_two"));
+        });
+        let t2 = std::thread::spawn(|| {
+            let _g = install_local(FaultPlan::new(2).worker_panic("site_two"));
+            assert!(should_panic("site_two"));
+            assert!(!should_panic("site_one"));
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        // This thread never installed anything.
+        assert!(!should_panic("site_one"));
+        assert!(!should_panic("site_two"));
+    }
+
+    #[test]
+    fn local_plan_shadows_global_and_nests() {
+        let _global = install(FaultPlan::new(0).worker_panic("global_site"));
+        assert!(should_panic("global_site"));
+        {
+            // An inert local plan shadows the global plan entirely.
+            let _local = install_local(FaultPlan::new(0));
+            assert!(!should_panic("global_site"));
+            {
+                let _inner = install_local(FaultPlan::new(0).worker_panic("local_site"));
+                assert!(should_panic("local_site"));
+                assert!(!should_panic("global_site"));
+            }
+            assert!(!should_panic("local_site"));
+        }
+        assert!(should_panic("global_site"));
+    }
+
+    #[test]
+    fn local_plan_drop_restores_on_unwind() {
+        let caught = std::panic::catch_unwind(|| {
+            let _g = install_local(FaultPlan::new(0).worker_panic("unwind_site"));
+            panic!("unwind");
+        });
+        assert!(caught.is_err());
+        assert!(!should_panic("unwind_site"));
+    }
+
+    #[test]
+    fn local_zero_mass_tampers_scores() {
+        let _g = install_local(FaultPlan::new(0).zero_mass());
+        let mut scores = vec![1.0f32, 2.0];
+        assert!(tamper_scores("stage1_scores", &mut scores));
+        assert!(scores.iter().all(|&x| x == 0.0));
     }
 
     #[test]

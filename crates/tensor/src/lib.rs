@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod cancel;
 pub mod check;
 mod error;
 pub mod fault;
@@ -46,6 +47,7 @@ mod softmax;
 mod stats;
 pub mod xoshiro;
 
+pub use cancel::CancelToken;
 pub use error::{SaError, TensorError};
 pub use matrix::Matrix;
 pub use matmul::{matmul, matmul_transb, matvec, GEMM_BLOCK};

@@ -36,7 +36,21 @@
 //! remaining chunks are skipped. Because the fault hook and the catch
 //! run on the serial shortcut too, the *outcome* (error vs. success) is
 //! thread-count independent. The non-`try` wrappers keep the historical
-//! contract by re-raising the panic.
+//! contract by re-raising the panic — with the typed `SaError` itself as
+//! the payload for non-`WorkerPanic` errors, so an enclosing `try_*`
+//! catch region recovers it intact.
+//!
+//! ## Cooperative cancellation
+//!
+//! Every `try_*` primitive reads the [`crate::cancel`] token installed
+//! on the *calling* thread once at entry and checks it at every chunk
+//! boundary: once before any work starts (so a pre-tripped token returns
+//! a deterministic `completed == 0` error at every thread count) and
+//! before each chunk claim thereafter. A tripped token surfaces as
+//! [`SaError::Cancelled`] / [`SaError::DeadlineExceeded`] carrying the
+//! chunk-progress counters; in-flight chunks finish (nothing is torn
+//! down mid-chunk), so a cancelled call stops within one chunk of the
+//! trip. When no token is installed the check is a single `None` test.
 //!
 //! ## Thread-count resolution
 //!
@@ -169,20 +183,27 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(e) = payload.downcast_ref::<SaError>() {
+        e.to_string()
     } else {
         "non-string panic payload".to_string()
     }
 }
 
-/// First-panic slot shared by the workers of one pool call.
-struct FailureSlot(Mutex<Option<String>>);
+/// First-failure slot shared by the workers of one pool call.
+///
+/// Stores the full typed [`SaError`], so a typed error re-raised through
+/// a nested infallible wrapper (see [`repanic`]) survives intact —
+/// a `Cancelled` raised three pool levels down still surfaces as
+/// `Cancelled`, not as a stringified `WorkerPanic`.
+struct FailureSlot(Mutex<Option<SaError>>);
 
 impl FailureSlot {
     fn new() -> Self {
         FailureSlot(Mutex::new(None))
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Option<String>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<SaError>> {
         match self.0.lock() {
             Ok(g) => g,
             // Panics are caught before they can poison this mutex, but a
@@ -191,11 +212,27 @@ impl FailureSlot {
         }
     }
 
-    fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+    /// Records a caught panic: a `Box<SaError>` payload (from a nested
+    /// [`repanic`]) is preserved as-is; anything else becomes a
+    /// [`SaError::WorkerPanic`] tagged with `site`.
+    fn record(&self, site: &'static str, payload: Box<dyn std::any::Any + Send>) {
         sa_trace::counter_add!("pool.panics_caught", 1);
+        let err = match payload.downcast::<SaError>() {
+            Ok(e) => *e,
+            Err(payload) => SaError::WorkerPanic {
+                site,
+                message: payload_message(payload),
+            },
+        };
+        self.record_error(err);
+    }
+
+    /// Records a typed failure that is not a panic (cancellation observed
+    /// at a chunk boundary). First failure wins, like panics.
+    fn record_error(&self, err: SaError) {
         let mut slot = self.lock();
         if slot.is_none() {
-            *slot = Some(payload_message(payload));
+            *slot = Some(err);
         }
     }
 
@@ -203,14 +240,56 @@ impl FailureSlot {
         self.lock().is_some()
     }
 
-    fn finish(self, site: &'static str) -> Result<(), SaError> {
-        let message = match self.0.into_inner() {
+    fn finish(self) -> Result<(), SaError> {
+        let err = match self.0.into_inner() {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         };
-        match message {
-            Some(message) => Err(SaError::WorkerPanic { site, message }),
+        match err {
+            Some(err) => Err(err),
             None => Ok(()),
+        }
+    }
+}
+
+/// Per-call cancellation state: the token installed on the calling
+/// thread (if any), read once at pool entry and shared with the scoped
+/// workers, plus the chunk-progress counter the error variants report.
+struct CancelCheck {
+    token: Option<crate::cancel::CancelToken>,
+    completed: AtomicUsize,
+    total: usize,
+}
+
+impl CancelCheck {
+    fn new(total: usize) -> Self {
+        CancelCheck {
+            token: crate::cancel::current(),
+            completed: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    /// True when the token tripped; records the typed error (first
+    /// failure wins) so the workers drain. Called before every chunk
+    /// claim, and once at entry so a pre-tripped token yields a
+    /// deterministic `completed == 0` at every thread count.
+    fn tripped(&self, site: &'static str, failure: &FailureSlot) -> bool {
+        let Some(token) = &self.token else {
+            return false;
+        };
+        match token.check(site, self.completed.load(Ordering::Relaxed), self.total) {
+            Ok(()) => false,
+            Err(e) => {
+                failure.record_error(e);
+                true
+            }
+        }
+    }
+
+    fn chunk_done(&self) {
+        if self.token.is_some() {
+            self.completed.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -261,19 +340,25 @@ impl Drop for WorkerMeter {
     }
 }
 
-/// Raises the injected-fault panic for `site` when a [`crate::fault`]
-/// plan targets it. Must run *inside* the catch region.
-fn maybe_injected_panic(site: &'static str) {
-    if fault::should_panic(site) {
-        std::panic::panic_any(format!("injected fault: forced worker panic at {site}"));
-    }
+/// Raises the injected-fault panic for `site`. The *decision* is made
+/// once at pool entry on the calling thread (`fault::should_panic` reads
+/// the thread-local plan, which workers would not see); the panic itself
+/// must run *inside* the catch region, so the decision is passed in.
+fn injected_panic(site: &'static str) -> ! {
+    std::panic::panic_any(format!("injected fault: forced worker panic at {site}"));
 }
 
 /// Re-raises a pool error from an infallible legacy wrapper.
+///
+/// `WorkerPanic` resumes with the original message (the historical
+/// contract); any other typed error — notably `Cancelled` /
+/// `DeadlineExceeded` from a cooperative checkpoint — panics with the
+/// `SaError` itself as payload, so an enclosing `try_*` catch region
+/// recovers the typed error intact instead of re-wrapping a string.
 fn repanic(e: SaError) -> ! {
     match e {
         SaError::WorkerPanic { message, .. } => std::panic::resume_unwind(Box::new(message)),
-        other => std::panic::panic_any(other.to_string()),
+        other => std::panic::panic_any(other),
     }
 }
 
@@ -302,25 +387,34 @@ where
     let _call = sa_trace::span_in("pool", site);
     let grain = grain.max(1);
     let threads = current_threads();
+    let chunks = n.div_ceil(grain);
     let failure = FailureSlot::new();
+    let cancel = CancelCheck::new(chunks);
+    let inject = fault::should_panic(site);
     let guarded = |range: Range<usize>| {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-            maybe_injected_panic(site);
+            if inject {
+                injected_panic(site);
+            }
             body(range);
         })) {
-            failure.record(payload);
+            failure.record(site, payload);
+        } else {
+            cancel.chunk_done();
         }
     };
+    if cancel.tripped(site, &failure) {
+        return failure.finish();
+    }
     if threads == 1 || n <= grain {
         WorkerMeter::new().chunk(|| guarded(0..n));
-        return failure.finish(site);
+        return failure.finish();
     }
-    let chunks = n.div_ceil(grain);
     let next = AtomicUsize::new(0);
     let run = || {
         let mut meter = WorkerMeter::new();
         loop {
-            if failure.failed() {
+            if failure.failed() || cancel.tripped(site, &failure) {
                 break;
             }
             let c = next.fetch_add(1, Ordering::Relaxed);
@@ -344,7 +438,7 @@ where
         let _worker = mark_in_worker();
         run();
     });
-    failure.finish(site)
+    failure.finish()
 }
 
 /// Maps `f` over `0..n` in index order, containing panics.
@@ -368,26 +462,38 @@ where
     let _call = sa_trace::span_in("pool", site);
     let grain = grain.max(1);
     let threads = current_threads();
+    let chunks = n.div_ceil(grain);
     let failure = FailureSlot::new();
+    let cancel = CancelCheck::new(chunks);
+    let inject = fault::should_panic(site);
     let guarded_chunk = |c: usize| -> Option<(usize, Vec<T>)> {
         let range = c * grain..((c + 1) * grain).min(n);
         match catch_unwind(AssertUnwindSafe(|| {
-            maybe_injected_panic(site);
+            if inject {
+                injected_panic(site);
+            }
             range.map(&f).collect::<Vec<T>>()
         })) {
-            Ok(part) => Some((c, part)),
+            Ok(part) => {
+                cancel.chunk_done();
+                Some((c, part))
+            }
             Err(payload) => {
-                failure.record(payload);
+                failure.record(site, payload);
                 None
             }
         }
     };
-    let chunks = n.div_ceil(grain);
-    let mut parts: Vec<(usize, Vec<T>)>;
-    if threads == 1 || chunks == 1 {
+    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+    if cancel.tripped(site, &failure) {
+        // Fall through to finish() with the recorded cancellation.
+    } else if threads == 1 || chunks == 1 {
         let mut meter = WorkerMeter::new();
-        parts = Vec::with_capacity(chunks);
+        parts.reserve(chunks);
         for c in 0..chunks {
+            if c > 0 && cancel.tripped(site, &failure) {
+                break;
+            }
             match meter.chunk(|| guarded_chunk(c)) {
                 Some(part) => parts.push(part),
                 // First panic wins; skip the remaining chunks.
@@ -400,7 +506,7 @@ where
             let mut meter = WorkerMeter::new();
             let mut mine: Vec<(usize, Vec<T>)> = Vec::new();
             loop {
-                if failure.failed() {
+                if failure.failed() || cancel.tripped(site, &failure) {
                     break;
                 }
                 let c = next.fetch_add(1, Ordering::Relaxed);
@@ -434,13 +540,13 @@ where
             for h in helpers {
                 match h.join() {
                     Ok(part) => all.extend(part),
-                    Err(payload) => failure.record(payload),
+                    Err(payload) => failure.record(site, payload),
                 }
             }
             all
         });
     }
-    failure.finish(site)?;
+    failure.finish()?;
     parts.sort_unstable_by_key(|&(c, _)| c);
     let mut out = Vec::with_capacity(n);
     for (_, mut part) in parts {
@@ -490,17 +596,26 @@ where
     let grain = grain_rows.max(1);
     let threads = current_threads();
     let failure = FailureSlot::new();
+    let cancel = CancelCheck::new(rows.div_ceil(grain));
+    let inject = fault::should_panic(site);
     let guarded = |row0: usize, chunk: &mut [T]| {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
-            maybe_injected_panic(site);
+            if inject {
+                injected_panic(site);
+            }
             body(row0, chunk);
         })) {
-            failure.record(payload);
+            failure.record(site, payload);
+        } else {
+            cancel.chunk_done();
         }
     };
+    if cancel.tripped(site, &failure) {
+        return failure.finish();
+    }
     if threads == 1 || rows <= grain {
         WorkerMeter::new().chunk(|| guarded(0, data));
-        return failure.finish(site);
+        return failure.finish();
     }
     let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(rows.div_ceil(grain));
     let mut rest = data;
@@ -521,7 +636,7 @@ where
     let run = || {
         let mut meter = WorkerMeter::new();
         loop {
-            if failure.failed() {
+            if failure.failed() || cancel.tripped(site, &failure) {
                 break;
             }
             match pop() {
@@ -543,7 +658,7 @@ where
         let _worker = mark_in_worker();
         run();
     });
-    failure.finish(site)
+    failure.finish()
 }
 
 /// Applies `body` to every sub-range of `0..n`, partitioned into chunks
@@ -839,6 +954,134 @@ mod tests {
         });
         assert!(matches!(err, Err(SaError::WorkerPanic { .. })));
         assert_eq!(sa_trace::metrics::counter("pool.panics_caught").get(), 1);
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_with_zero_progress_at_every_thread_count() {
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        for threads in [1, 2, 4] {
+            let _scope = crate::cancel::install(&token);
+            let err = with_threads(threads, || {
+                try_parallel_for("cancel_site", 64, 4, |_range| {
+                    panic!("body must never run on a pre-tripped token");
+                })
+            })
+            .expect_err("tripped token must cancel");
+            match err {
+                SaError::Cancelled {
+                    site,
+                    completed,
+                    total,
+                } => {
+                    assert_eq!(site, "cancel_site");
+                    assert_eq!(completed, 0, "threads {threads}");
+                    assert_eq!(total, 16);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_map_and_rows() {
+        let now = sa_trace::clock::now_ns();
+        let token = crate::cancel::CancelToken::with_deadline_ns(now.saturating_sub(1));
+        let _scope = crate::cancel::install(&token);
+        let err = try_parallel_map("map_site", 32, 4, |i| i);
+        assert!(
+            matches!(err, Err(SaError::DeadlineExceeded { completed: 0, .. })),
+            "{err:?}"
+        );
+        let mut data = vec![0.0f32; 32];
+        let err = try_parallel_for_rows("rows_site", &mut data, 4, 1, |_, _| {});
+        assert!(
+            matches!(err, Err(SaError::DeadlineExceeded { completed: 0, .. })),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mid_flight_cancel_stops_within_remaining_chunks() {
+        // Trip the token from inside the first executing chunk: the
+        // already-claimed chunks may finish, but completed progress never
+        // reaches the full chunk count.
+        for threads in [1, 2, 4] {
+            let token = crate::cancel::CancelToken::new();
+            let _scope = crate::cancel::install(&token);
+            let executed = AtomicUsize::new(0);
+            let chunks = 64usize;
+            let err = with_threads(threads, || {
+                try_parallel_map("trip_site", chunks, 1, |_i| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    token.cancel();
+                })
+            })
+            .expect_err("must cancel");
+            let ran = executed.load(Ordering::Relaxed);
+            match err {
+                SaError::Cancelled {
+                    completed, total, ..
+                } => {
+                    assert_eq!(total, chunks);
+                    assert!(completed < total, "completed {completed} of {total}");
+                    // No more chunks execute than threads could have
+                    // claimed before observing the trip.
+                    assert!(ran <= threads + 1, "{ran} chunks ran on {threads} threads");
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_token_means_no_cancellation() {
+        assert!(crate::cancel::current().is_none());
+        let out = try_parallel_map("free_site", 16, 4, |i| i * 2).expect("no token installed");
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn typed_error_survives_nested_repanic() {
+        // A typed cancellation raised inside an infallible legacy wrapper
+        // (repanic) must be recovered intact by an enclosing try_* catch
+        // region, not re-wrapped as a stringified WorkerPanic.
+        let err = try_parallel_map("outer_site", 1, 1, |_| {
+            let inner = SaError::Cancelled {
+                site: "inner_site",
+                completed: 2,
+                total: 5,
+            };
+            repanic(inner);
+        })
+        .expect_err("inner error must surface");
+        assert_eq!(
+            err,
+            SaError::Cancelled {
+                site: "inner_site",
+                completed: 2,
+                total: 5
+            }
+        );
+    }
+
+    #[test]
+    fn worker_panic_repanic_keeps_message_contract() {
+        let err = try_parallel_for("outer", 1, 1, |_| {
+            repanic(SaError::WorkerPanic {
+                site: "inner",
+                message: "original boom".to_string(),
+            });
+        })
+        .expect_err("panic must surface");
+        match err {
+            SaError::WorkerPanic { site, message } => {
+                // Re-caught at the outer site with the original message.
+                assert_eq!(site, "outer");
+                assert!(message.contains("original boom"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ echo "==> lint: no unwrap()/panic! in non-test pipeline sources"
 # comments, doctest lines, and everything at/after a #[cfg(test)]
 # module are exempt; awk strips those before grepping.
 lint_fail=0
-for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs; do
+for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs; do
     hits="$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
@@ -83,6 +83,19 @@ test -s "$smoke_out/trace_chrome.json" || {
 }
 test -s "$smoke_out/trace_summary.json" || {
     echo "trace_report did not emit trace_summary.json" >&2
+    exit 1
+}
+
+echo "==> smoke: chaos_soak --quick (SA_THREADS=1, then default)"
+# The soak binary itself asserts zero lost requests, a thread-invariant
+# ledger, and the no-silent-degradation invariant; it exits non-zero on
+# any violation. Run it pinned serial and at the session default.
+SA_THREADS=1 cargo run -q --release --offline -p sa-bench --bin chaos_soak -- \
+    --quick --out "$smoke_out"
+cargo run -q --release --offline -p sa-bench --bin chaos_soak -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/chaos_soak.json" || {
+    echo "chaos_soak did not emit JSON" >&2
     exit 1
 }
 

@@ -22,6 +22,8 @@
 //! - [`workloads`] — NIAH / LongBench-proxy / BABILong-proxy generators and
 //!   scorers ([`sa_workloads`])
 //! - [`perf`] — analytical A100 roofline performance model ([`sa_perf`])
+//! - [`serve`] — deadline-aware request scheduler with cooperative
+//!   cancellation and the degradation ladder ([`sa_serve`])
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use sa_core as core;
 pub use sa_kernels as kernels;
 pub use sa_model as model;
 pub use sa_perf as perf;
+pub use sa_serve as serve;
 pub use sa_tensor as tensor;
 pub use sa_trace as trace;
 pub use sa_workloads as workloads;

@@ -214,6 +214,60 @@ fn layer_head_panics_surface_as_typed_prefill_errors() {
     assert_eq!(result.heads_alpha_unsatisfied(), 0);
 }
 
+/// The decode path: a worker panic in the per-head fan-out during a
+/// decode step surfaces as a typed error from `DecodeSession::step`,
+/// never a process abort, and the *same session* keeps working once the
+/// plan is dropped — a contained step must not corrupt session state.
+#[test]
+fn decode_steps_surface_worker_panics_as_typed_errors() {
+    let model = SyntheticTransformer::new(ModelConfig::tiny(33)).unwrap();
+    let tokens = model.tokenize_filler(48);
+    // Healthy prefill; the fault is installed only for the decode steps.
+    let mut session = model.begin_decode(&tokens, &FullAttention::new()).unwrap();
+    let healthy_len = session.tokens().len();
+    {
+        let _guard = fault::install(FaultPlan::new(0xF1).worker_panic("layer_heads"));
+        let err = session.step().unwrap_err();
+        match err {
+            SaError::WorkerPanic { site, ref message } => {
+                assert_eq!(site, "layer_heads");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected layer_heads WorkerPanic from step, got {other:?}"),
+        }
+        let err = session.generate_in(3, 0..64).unwrap_err();
+        assert!(
+            matches!(err, SaError::WorkerPanic { .. }),
+            "generate_in must surface the same typed error, got {err:?}"
+        );
+    }
+    // Plan dropped: the session recovers and generates normally.
+    session.step().unwrap();
+    let generated = session.generate_in(2, 0..128).unwrap();
+    assert_eq!(generated.len(), 2);
+    assert!(session.tokens().len() > healthy_len);
+}
+
+/// Decode under an `SA_FAULT`-style worker-panic plan installed *before*
+/// the session exists: prefill itself fails typed; once the plan is
+/// gone, a fresh session on the same model works end to end.
+#[test]
+fn decode_after_failed_prefill_recovers_on_a_fresh_session() {
+    let model = SyntheticTransformer::new(ModelConfig::tiny(34)).unwrap();
+    let tokens = model.tokenize_filler(40);
+    {
+        let _guard = fault::install(FaultPlan::new(0xF2).worker_panic("layer_heads"));
+        let err = model
+            .begin_decode(&tokens, &FullAttention::new())
+            .err()
+            .expect("prefill under a live panic plan must fail");
+        assert!(matches!(err, SaError::WorkerPanic { .. }), "{err:?}");
+    }
+    let mut session = model.begin_decode(&tokens, &FullAttention::new()).unwrap();
+    let (_, confidence) = session.step().unwrap();
+    assert!(confidence.is_finite());
+}
+
 /// Truncated JSON (what a killed run leaves in `results/`) produces a
 /// located parse error — byte offset plus line/column — instead of an
 /// unwrap panic, for both raw values and typed config payloads.

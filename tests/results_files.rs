@@ -132,6 +132,59 @@ fn checked_in_trace_summary_validates() {
     assert!(seq_len >= 2048, "committed summary must come from a >=2048-token prefill");
 }
 
+/// The checked-in `results/chaos_soak.json` must carry the soak's
+/// verdicts: the declared schema tag, a thread-invariant ledger with one
+/// record per request, and no record that certifies the CRA α target
+/// from the window-only rung (the ladder's honesty invariant).
+#[test]
+fn checked_in_chaos_soak_ledger_validates() {
+    let path = results_dir().join("chaos_soak.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("sa.chaos_soak.v1")
+    );
+    assert_eq!(
+        doc.get("identical_across_threads").and_then(Json::as_bool),
+        Some(true),
+        "committed soak must have a thread-invariant ledger"
+    );
+    let requests = doc.get("requests").and_then(Json::as_i64).unwrap();
+    assert!(requests > 0);
+
+    let ledger = doc.get("ledger").expect("soak embeds the full ledger");
+    assert_eq!(
+        ledger.get("schema").and_then(Json::as_str),
+        Some(sample_attention::serve::LEDGER_SCHEMA)
+    );
+    let records = match ledger.get("records") {
+        Some(Json::Array(items)) => items,
+        other => panic!("ledger.records must be an array, got {other:?}"),
+    };
+    assert_eq!(
+        records.len() as i64,
+        requests,
+        "ledger must account for every request exactly once"
+    );
+    let mut served = 0;
+    for rec in records {
+        let rung = rec.get("rung").and_then(Json::as_str).unwrap();
+        let alpha = rec.get("alpha_satisfied").and_then(Json::as_bool).unwrap();
+        assert!(
+            !(rung == "window_only" && alpha),
+            "record {:?} certified alpha from the window-only rung",
+            rec.get("id")
+        );
+        if rec.get("outcome").and_then(Json::as_str) == Some("Served") {
+            served += 1;
+        }
+    }
+    assert!(served > 0, "committed soak served nothing");
+    assert!(served < records.len(), "committed soak hit no adversity");
+}
+
 #[test]
 fn results_round_trip_through_sa_json() {
     for path in json_files() {

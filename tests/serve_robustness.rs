@@ -1,0 +1,177 @@
+//! Robustness contract of the `sa-serve` scheduler, exercised through
+//! the public crate facade.
+//!
+//! These tests pin the four guarantees the serving layer makes:
+//!
+//! 1. **Deterministic ledger** — the serialized outcome ledger is
+//!    byte-identical at every `SA_THREADS` setting;
+//! 2. **Cooperative cancellation** — a deadline that cannot be met
+//!    stops the request within one chunk and records partial progress;
+//! 3. **Typed admission control** — overload and memory-budget
+//!    rejections surface as typed [`SaError`] displays in the ledger,
+//!    never panics or silent drops;
+//! 4. **Honest degradation** — the ladder never certifies the CRA α
+//!    target from the window-only rung, and the `degraded` flag always
+//!    agrees with the rung-by-rung report.
+
+use sample_attention::json::ToJson;
+use sample_attention::serve::{mixed_workload, Outcome, Request, Scheduler, ServeConfig};
+use sample_attention::tensor::pool;
+
+fn run_under_threads(cfg: &ServeConfig, requests: &[Request], threads: usize) -> String {
+    let scheduler = Scheduler::new(cfg.clone()).unwrap();
+    let ledger = pool::with_threads(threads, || scheduler.run(requests)).unwrap();
+    ledger.validate(requests).unwrap();
+    sample_attention::json::to_string(&ledger.to_json())
+}
+
+#[test]
+fn ledger_is_byte_identical_across_thread_counts() {
+    let cfg = ServeConfig {
+        seed: 0xC0DE,
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
+    let requests = mixed_workload(cfg.seed, 16);
+    let canonical = run_under_threads(&cfg, &requests, 1);
+    for threads in [2, 4] {
+        let other = run_under_threads(&cfg, &requests, threads);
+        assert_eq!(
+            canonical, other,
+            "serialized ledger differs between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn impossible_deadline_cancels_cooperatively_with_partial_progress() {
+    let cfg = ServeConfig::default();
+    // Window-only costs 224²/64 × 8 % ≈ 62 virtual ms: a 1 ms deadline
+    // fits no rung, so the scheduler runs the bottom rung under a
+    // deadline token that trips before the first chunk completes.
+    let requests = vec![Request::prefill(0, 224, 0, 1)];
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let ledger = scheduler.run(&requests).unwrap();
+    ledger.validate(&requests).unwrap();
+
+    let rec = &ledger.records[0];
+    assert_eq!(rec.outcome, Outcome::DeadlineExceeded);
+    assert_eq!(rec.rung, "window_only", "nothing above the floor fits");
+    assert!(!rec.alpha_satisfied);
+    assert!(
+        rec.chunks_completed < rec.chunks_total.max(1),
+        "cancellation must stop before the run completes: {}/{}",
+        rec.chunks_completed,
+        rec.chunks_total
+    );
+    assert!(
+        rec.error.contains("deadline exceeded"),
+        "typed error display expected, got {:?}",
+        rec.error
+    );
+}
+
+#[test]
+fn caller_cancellation_is_a_typed_outcome() {
+    let cfg = ServeConfig::default();
+    let mut req = Request::prefill(0, 128, 0, 10_000);
+    // Caller walks away long before the 128²/64 = 256 ms service ends.
+    req.cancel_after_ms = 5;
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let ledger = scheduler.run(&[req.clone()]).unwrap();
+    ledger.validate(std::slice::from_ref(&req)).unwrap();
+
+    let rec = &ledger.records[0];
+    assert_eq!(rec.outcome, Outcome::Cancelled);
+    assert!(!rec.alpha_satisfied);
+    assert!(
+        rec.error.contains("cancelled at"),
+        "typed error display expected, got {:?}",
+        rec.error
+    );
+}
+
+#[test]
+fn overload_rejections_are_typed_and_total() {
+    let cfg = ServeConfig {
+        max_inflight: 1,
+        max_queue: 1,
+        ..ServeConfig::default()
+    };
+    // Three simultaneous arrivals against one slot and one queue seat:
+    // the third must bounce with the typed overload error.
+    let requests: Vec<Request> = (0..3)
+        .map(|id| Request::prefill(id, 128, 0, 10_000))
+        .collect();
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let ledger = scheduler.run(&requests).unwrap();
+    ledger.validate(&requests).unwrap();
+
+    assert_eq!(ledger.count(Outcome::Served), 2);
+    assert_eq!(ledger.count(Outcome::RejectedOverloaded), 1);
+    let rejected = ledger
+        .records
+        .iter()
+        .find(|r| r.outcome == Outcome::RejectedOverloaded)
+        .unwrap();
+    assert!(
+        rejected.error.contains("overloaded"),
+        "typed error display expected, got {:?}",
+        rejected.error
+    );
+    assert!(rejected.rung.is_empty(), "rejected requests never run");
+}
+
+#[test]
+fn memory_budget_rejections_are_typed() {
+    // Three paper-scale prompts (512 synthetic ≈ 1M real tokens each)
+    // against one A100: two fit, the third exceeds the budget.
+    let cfg = ServeConfig::default();
+    let requests: Vec<Request> = (0..3)
+        .map(|id| Request::prefill(id, 512, 0, 100_000))
+        .collect();
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let ledger = scheduler.run(&requests).unwrap();
+    ledger.validate(&requests).unwrap();
+
+    assert_eq!(ledger.count(Outcome::RejectedBudget), 1);
+    let rejected = ledger
+        .records
+        .iter()
+        .find(|r| r.outcome == Outcome::RejectedBudget)
+        .unwrap();
+    assert!(
+        rejected.error.contains("memory budget exceeded"),
+        "typed error display expected, got {:?}",
+        rejected.error
+    );
+}
+
+#[test]
+fn ladder_never_certifies_alpha_from_the_window_rung() {
+    let cfg = ServeConfig {
+        seed: 0xA1FA,
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
+    let requests = mixed_workload(cfg.seed, 24);
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let ledger = scheduler.run(&requests).unwrap();
+    ledger.validate(&requests).unwrap();
+
+    assert!(ledger.count(Outcome::Served) > 0, "workload too adversarial");
+    let mut saw_degraded = false;
+    for rec in &ledger.records {
+        assert!(
+            !(rec.rung == "window_only" && rec.alpha_satisfied),
+            "request {} certified alpha from the window-only rung",
+            rec.id
+        );
+        if rec.alpha_satisfied {
+            assert_eq!(rec.outcome, Outcome::Served);
+        }
+        assert_eq!(rec.degraded, rec.report.degraded());
+        saw_degraded |= rec.degraded;
+    }
+    assert!(saw_degraded, "deadline tiers must force some degradation");
+}
