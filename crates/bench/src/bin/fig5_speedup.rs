@@ -7,8 +7,10 @@
 //! at 96K, attention speedups 2.20× (α=0.95) and 5.12× (α=0.80) over
 //! FlashAttention2; TTFT reductions 1.62× and 2.28×.
 
-use sa_bench::{f, render_table, write_json, Args};
+use sa_bench::{f, load_json, render_table, write_json, Args};
 use sa_perf::ttft::{AttentionKind, TtftModel};
+use std::path::Path;
+
 struct Row {
     seq_len: usize,
     sdpa_ms: f64,
@@ -21,6 +23,13 @@ struct Row {
     ttft_flash_ms: f64,
     ttft95_ms: f64,
     ttft80_ms: f64,
+    /// SampleAttention(α=0.95) with the measured tiled-kernel speedup
+    /// applied to the sparse-compute share (sampling is unaffected by
+    /// the kernel layout). Equals `sample95_ms` when no
+    /// `results/tile_kernel.json` A/B report is available.
+    sample95_tiled_ms: f64,
+    /// `flash_ms / sample95_tiled_ms`.
+    speedup95_tiled: f64,
 }
 
 sa_json::impl_json_struct!(Row {
@@ -34,8 +43,22 @@ sa_json::impl_json_struct!(Row {
     sampling_share95,
     ttft_flash_ms,
     ttft95_ms,
-    ttft80_ms
+    ttft80_ms,
+    sample95_tiled_ms: default,
+    speedup95_tiled: default
 });
+
+/// Median single-thread speedup of the tiled kernel over the row-major
+/// kernel, measured by the `tile_kernel` binary. Falls back to 1.0 (no
+/// adjustment) when the A/B report has not been generated.
+fn measured_tile_speedup(out_dir: &Path) -> f64 {
+    let path = out_dir.join("tile_kernel.json");
+    load_json::<sa_json::Json>(&path)
+        .ok()
+        .and_then(|doc| doc.get("median_serial_speedup").and_then(|v| v.as_f64()))
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0)
+}
 
 fn main() {
     let args = Args::parse();
@@ -54,6 +77,8 @@ fn main() {
         sample_ratio: 0.05,
     };
 
+    let tile_speedup = measured_tile_speedup(&args.out_dir);
+
     let rows: Vec<Row> = lengths
         .iter()
         .map(|&s| {
@@ -63,6 +88,10 @@ fn main() {
             let s80 = model.attention_latency(s, sa80) * 1e3;
             let b95 = model.ttft(s, sa95);
             let ttft_flash = model.ttft(s, AttentionKind::Flash).total_s() * 1e3;
+            let share = b95.sampling_s / b95.attention_s;
+            // Only the sparse-compute share is accelerated by the tiled
+            // layout; sampling/filter time is kernel-agnostic.
+            let s95_tiled = s95 * (share + (1.0 - share) / tile_speedup);
             Row {
                 seq_len: s,
                 sdpa_ms: sdpa,
@@ -71,15 +100,21 @@ fn main() {
                 sample80_ms: s80,
                 speedup95: flash / s95,
                 speedup80: flash / s80,
-                sampling_share95: b95.sampling_s / b95.attention_s,
+                sampling_share95: share,
                 ttft_flash_ms: ttft_flash,
                 ttft95_ms: b95.total_s() * 1e3,
                 ttft80_ms: model.ttft(s, sa80).total_s() * 1e3,
+                sample95_tiled_ms: s95_tiled,
+                speedup95_tiled: flash / s95_tiled,
             }
         })
         .collect();
 
-    println!("Figure 5(a): self-attention latency per full forward (ms), 28 layers x 32 heads, d=128\n");
+    println!("Figure 5(a): self-attention latency per full forward (ms), 28 layers x 32 heads, d=128");
+    println!(
+        "(tiled column applies the measured {}x single-thread tiled-kernel speedup to the sparse share)\n",
+        f(tile_speedup, 2)
+    );
     let table_a: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -88,8 +123,10 @@ fn main() {
                 f(r.sdpa_ms, 1),
                 f(r.flash_ms, 1),
                 f(r.sample95_ms, 1),
+                f(r.sample95_tiled_ms, 1),
                 f(r.sample80_ms, 1),
                 format!("{}x", f(r.speedup95, 2)),
+                format!("{}x", f(r.speedup95_tiled, 2)),
                 format!("{}x", f(r.speedup80, 2)),
             ]
         })
@@ -97,7 +134,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["S", "SDPA", "FlashAttn2", "SA(a=.95)", "SA(a=.80)", "speedup.95", "speedup.80"],
+            &[
+                "S",
+                "SDPA",
+                "FlashAttn2",
+                "SA(a=.95)",
+                "SA.95 tiled",
+                "SA(a=.80)",
+                "speedup.95",
+                "tiled.95",
+                "speedup.80"
+            ],
             &table_a
         )
     );
@@ -174,6 +221,8 @@ mod tests {
             ttft_flash_ms: 5000.0,
             ttft95_ms: 2400.0,
             ttft80_ms: 2100.0,
+            sample95_tiled_ms: 120.0,
+            speedup95_tiled: 2.5,
         };
         let text = sa_json::to_string(&vec![p]);
         let back: Vec<Row> = sa_json::from_str(&text).unwrap();

@@ -18,15 +18,17 @@
 //! `core.fallback.<reason>`, plus the `core.mask_nnz` histogram.
 
 use sa_kernels::{
-    flash_attention, sparse_flash_attention, CostReport, FlashParams, StructuredMask,
+    flash_attention, sparse_flash_attention, sparse_flash_attention_tiled, CostReport,
+    FlashParams, StructuredMask, TiledMask,
 };
 use sa_tensor::{Matrix, SaError};
 
+use crate::autotune::{select_tile_size, TilePolicy};
 use crate::filtering::{filter_kv_indices, KvRatioSchedule};
 use crate::merge::merge_mask_with_diagonals;
 use crate::sampling::sample_attention_scores;
 use crate::sparsity::causal_width;
-use crate::{HealthPolicy, SampleAttentionConfig, SampleAttentionError};
+use crate::{HealthPolicy, SampleAttentionConfig, SampleAttentionError, SparseKernel};
 
 /// Why a head's forward pass degraded to dense attention
 /// ([`FallbackReason::None`] = the sparse pipeline ran healthily).
@@ -155,6 +157,9 @@ pub struct SampleAttentionStats {
     /// Cost of the sparse attention kernel (the dense kernel's cost when
     /// the head fell back).
     pub sparse_cost: CostReport,
+    /// Tile edge the tiled sparse kernel ran with (`0` when the
+    /// row-major kernel or the dense fallback executed instead).
+    pub tile_size: usize,
 }
 
 sa_json::impl_json_struct!(SampleAttentionStats {
@@ -165,7 +170,8 @@ sa_json::impl_json_struct!(SampleAttentionStats {
     fallback_reason: default,
     sampling_cost,
     filtering_cost,
-    sparse_cost
+    sparse_cost,
+    tile_size: default
 });
 
 impl SampleAttentionStats {
@@ -372,6 +378,7 @@ impl SampleAttention {
             sampling_cost: CostReport::new(),
             filtering_cost: CostReport::new(),
             sparse_cost: dense.cost,
+            tile_size: 0,
         };
         Ok(SampleAttentionOutput {
             output,
@@ -499,12 +506,26 @@ impl SampleAttention {
             sampling_cost: sampled.cost,
             filtering_cost: filtered.cost,
             sparse_cost: CostReport::new(),
+            tile_size: 0,
         };
         Ok(DiscoveredMask {
             mask,
             kv_indices: filtered.indices,
             stats,
         })
+    }
+
+    /// Tiles `mask` for the tiled kernel: a pinned `tile_size` wins,
+    /// otherwise the seeded autotuner picks per `(S, sparsity)`.
+    /// Returns `None` when tiling is degenerate (selection or layout
+    /// construction fails), signalling the row-major fallback.
+    fn build_tiled(&self, mask: &StructuredMask) -> Option<TiledMask> {
+        let tile = if self.config.tile_size > 0 {
+            self.config.tile_size
+        } else {
+            select_tile_size(&TilePolicy::default(), mask).ok()?.tile
+        };
+        TiledMask::build(mask.clone(), tile).ok()
     }
 
     fn forward_with_mask(
@@ -517,7 +538,29 @@ impl SampleAttention {
         mut stats: SampleAttentionStats,
     ) -> Result<SampleAttentionOutput, SampleAttentionError> {
         let _span = sa_trace::span_in("core", "sparse_kernel");
-        let sparse = sparse_flash_attention(q, k, v, &mask)?;
+        let sparse = match self.config.sparse_kernel {
+            SparseKernel::RowMajor => sparse_flash_attention(q, k, v, &mask)?,
+            SparseKernel::Tiled => match self.build_tiled(&mask) {
+                Some(tiled) => {
+                    stats.tile_size = tiled.tile();
+                    if sa_trace::enabled() {
+                        let (full, window, bitmap) = tiled.class_counts();
+                        sa_trace::histogram_record!("core.tile_size", tiled.tile() as u64);
+                        sa_trace::counter_add!("core.tile_full", full as u64);
+                        sa_trace::counter_add!("core.tile_window", window as u64);
+                        sa_trace::counter_add!("core.tile_bitmap", bitmap as u64);
+                    }
+                    sparse_flash_attention_tiled(q, k, v, &tiled)?
+                }
+                // Degenerate tiling (e.g. an empty merged mask the
+                // sentinels let through): run the row-major kernel
+                // rather than failing the head over a layout choice.
+                None => {
+                    sa_trace::counter_add!("core.tile_fallback_rowmajor", 1);
+                    sparse_flash_attention(q, k, v, &mask)?
+                }
+            },
+        };
         // Sentinel D: no non-finite value may escape the kernel.
         let bad = count_nonfinite(sparse.output.as_slice());
         if bad > 0 {

@@ -12,7 +12,8 @@
 //! [`AdaptiveSampleAttention`] wraps the base operator with the
 //! controller in the loop.
 
-use sa_tensor::{Matrix, TensorError};
+use sa_kernels::{StructuredMask, TiledMask, MAX_TILE};
+use sa_tensor::{splitmix64, Matrix, TensorError};
 
 use crate::{
     SampleAttention, SampleAttentionConfig, SampleAttentionError, SampleAttentionOutput,
@@ -230,6 +231,125 @@ impl AdaptiveSampleAttention {
     }
 }
 
+/// Seeded deterministic tile-size selection policy for the tiled
+/// block-sparse kernel.
+///
+/// Selection is a pure function of `(policy, mask shape, sparsity)`:
+/// candidates are ranked by the analytic load predictor
+/// ([`TiledMask::predict_row_loads`]), and near-ties (within 1 % of the
+/// best score) are broken by a hash seeded from `seed` and the problem
+/// signature — never by timing, thread count, or ambient state — so the
+/// same inputs pick the same tile size on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePolicy {
+    /// Candidate tile edges, each in `1..=MAX_TILE`.
+    pub candidates: Vec<usize>,
+    /// Seed for the deterministic near-tie break.
+    pub seed: u64,
+}
+
+impl Default for TilePolicy {
+    fn default() -> Self {
+        TilePolicy {
+            candidates: vec![8, 16, 32, 64],
+            seed: 0x5a17_317e,
+        }
+    }
+}
+
+/// Outcome of a tile-size selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileChoice {
+    /// The selected tile edge, always in `1..=MAX_TILE`.
+    pub tile: usize,
+    /// The predictor's load score for the selection (`u64::MAX` when
+    /// the fallback path skipped prediction).
+    pub predicted_loads: u64,
+    /// `true` when a degenerate input (empty mask, or a problem smaller
+    /// than every candidate) forced the clamped fallback tile.
+    pub fallback: bool,
+}
+
+/// Selects a tile size for `mask` under `policy`.
+///
+/// Degenerate inputs — an empty mask, or a problem smaller than every
+/// candidate — resolve to a valid clamped fallback tile instead of an
+/// error, so mask discovery can always proceed.
+///
+/// # Errors
+///
+/// Returns [`SampleAttentionError::InvalidConfig`] when the candidate
+/// list is empty or contains a tile outside `1..=MAX_TILE`, and a typed
+/// dimension error when the mask has a zero dimension.
+pub fn select_tile_size(
+    policy: &TilePolicy,
+    mask: &StructuredMask,
+) -> Result<TileChoice, SampleAttentionError> {
+    if policy.candidates.is_empty() {
+        return Err(SampleAttentionError::InvalidConfig {
+            field: "tile candidates",
+            why: "candidate list is empty".to_string(),
+        });
+    }
+    if let Some(&bad) = policy.candidates.iter().find(|&&c| c == 0 || c > MAX_TILE) {
+        return Err(SampleAttentionError::InvalidConfig {
+            field: "tile candidates",
+            why: format!("tile {bad} outside 1..={MAX_TILE}"),
+        });
+    }
+    if mask.s_q() == 0 || mask.s_k() == 0 {
+        return Err(SampleAttentionError::Tensor(TensorError::InvalidDimension {
+            op: "select_tile_size",
+            what: format!("degenerate mask shape {}x{}", mask.s_q(), mask.s_k()),
+        }));
+    }
+    let s = mask.s_q().min(mask.s_k());
+    let fallback_tile = s.clamp(1, MAX_TILE);
+    if mask.nnz() == 0 {
+        return Ok(TileChoice {
+            tile: fallback_tile,
+            predicted_loads: u64::MAX,
+            fallback: true,
+        });
+    }
+    // Tiles wider than the problem only add padding; drop them. If that
+    // empties the list the problem is smaller than every candidate —
+    // fall back to the clamped problem size.
+    let usable: Vec<usize> = policy
+        .candidates
+        .iter()
+        .copied()
+        .filter(|&c| c <= s)
+        .collect();
+    if usable.is_empty() {
+        return Ok(TileChoice {
+            tile: fallback_tile,
+            predicted_loads: TiledMask::predict_row_loads(mask, fallback_tile),
+            fallback: true,
+        });
+    }
+    let scored: Vec<(usize, u64)> = usable
+        .iter()
+        .map(|&c| (c, TiledMask::predict_row_loads(mask, c)))
+        .collect();
+    let best = scored.iter().map(|&(_, s)| s).min().unwrap_or(u64::MAX);
+    let slack = best / 100;
+    let ties: Vec<(usize, u64)> = scored
+        .into_iter()
+        .filter(|&(_, s)| s <= best.saturating_add(slack))
+        .collect();
+    let sparsity_bucket = (mask.sparsity().clamp(0.0, 1.0) * 16.0) as u64;
+    let mut state =
+        policy.seed ^ (mask.s_q() as u64) ^ ((mask.s_k() as u64) << 20) ^ (sparsity_bucket << 56);
+    let key = splitmix64(&mut state);
+    let (tile, predicted_loads) = ties[(key % ties.len() as u64) as usize];
+    Ok(TileChoice {
+        tile,
+        predicted_loads,
+        fallback: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +441,82 @@ mod tests {
         };
         assert!(RuntimeAutotuner::new(0.9, bad_budget).is_err());
         assert!(RuntimeAutotuner::new(0.5, AutotuneConfig::default()).is_err());
+    }
+
+    #[test]
+    fn tile_selection_deterministic_across_runs_and_threads() {
+        let mask = StructuredMask::builder(512, 512)
+            .window(24)
+            .sinks(4)
+            .columns(vec![100, 333])
+            .build()
+            .unwrap();
+        let policy = TilePolicy::default();
+        let first = select_tile_size(&policy, &mask).unwrap();
+        for _ in 0..5 {
+            assert_eq!(select_tile_size(&policy, &mask).unwrap(), first);
+        }
+        for threads in [1, 2, 3] {
+            let under_threads =
+                sa_tensor::pool::with_threads(threads, || select_tile_size(&policy, &mask))
+                    .unwrap();
+            assert_eq!(under_threads, first, "selection drifted at threads={threads}");
+        }
+        assert!(!first.fallback);
+        assert!(policy.candidates.contains(&first.tile));
+    }
+
+    #[test]
+    fn tile_selection_varies_with_seed_only_on_near_ties() {
+        // A mask where all candidates score within the tie window would
+        // let the seed pick; different (S, sparsity) signatures must
+        // still be internally deterministic for each seed.
+        let mask = StructuredMask::builder(256, 256).window(16).build().unwrap();
+        for seed in [0u64, 1, 99] {
+            let policy = TilePolicy {
+                seed,
+                ..TilePolicy::default()
+            };
+            let a = select_tile_size(&policy, &mask).unwrap();
+            let b = select_tile_size(&policy, &mask).unwrap();
+            assert_eq!(a, b, "seed {seed} not reproducible");
+        }
+    }
+
+    #[test]
+    fn tile_selection_degenerate_inputs_fall_back() {
+        // Problem smaller than every candidate: clamped fallback, no panic.
+        let tiny = StructuredMask::dense_causal(3, 3);
+        let choice = select_tile_size(&TilePolicy::default(), &tiny).unwrap();
+        assert!(choice.fallback);
+        assert_eq!(choice.tile, 3);
+        // Empty mask (window 0, nothing else): valid fallback tile.
+        let empty = StructuredMask::builder(32, 32).window(0).build().unwrap();
+        assert_eq!(empty.nnz(), 0);
+        let choice = select_tile_size(&TilePolicy::default(), &empty).unwrap();
+        assert!(choice.fallback);
+        assert!(choice.tile >= 1 && choice.tile <= MAX_TILE);
+    }
+
+    #[test]
+    fn tile_selection_invalid_policy_is_typed_error() {
+        let mask = StructuredMask::dense_causal(16, 16);
+        let empty = TilePolicy {
+            candidates: vec![],
+            ..TilePolicy::default()
+        };
+        assert!(matches!(
+            select_tile_size(&empty, &mask),
+            Err(SampleAttentionError::InvalidConfig { .. })
+        ));
+        let oversized = TilePolicy {
+            candidates: vec![16, MAX_TILE + 1],
+            ..TilePolicy::default()
+        };
+        assert!(matches!(
+            select_tile_size(&oversized, &mask),
+            Err(SampleAttentionError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

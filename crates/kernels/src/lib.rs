@@ -31,8 +31,10 @@ pub mod gqa;
 mod mask;
 pub mod rope;
 mod sparse_flash;
+mod sparse_tiled;
+mod tile;
 
-pub use cost::CostReport;
+pub use cost::{tiled_kernel_cost, CostReport};
 pub use flash::{flash_attention, FlashParams};
 pub use full::{
     attention_probs, attention_scores_raw, causal_pairs, full_attention, masked_attention_dense,
@@ -40,6 +42,8 @@ pub use full::{
 };
 pub use mask::{DenseMask, StructuredMask, StructuredMaskBuilder};
 pub use sparse_flash::sparse_flash_attention;
+pub use sparse_tiled::sparse_flash_attention_tiled;
+pub use tile::{TileClass, TileEntry, TileTraffic, TiledMask, MAX_TILE};
 
 /// Scale factor `1 / sqrt(d)` applied to raw scores, as in Eq. (1).
 #[inline]

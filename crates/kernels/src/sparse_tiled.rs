@@ -1,0 +1,504 @@
+//! Tiled block-sparse FlashAttention over a [`TiledMask`].
+//!
+//! Same contract as [`sparse_flash_attention`](crate::sparse_flash_attention),
+//! different loop order: instead of walking each query row's live
+//! columns end to end, the kernel walks the block-CSR tile list. Each
+//! `tile × tile` block loads its K rows once and scores them against
+//! every query row of the tile while they are cache-hot — full tiles
+//! through a maskless fused-multiply-add fast path, window tiles
+//! through per-row contiguous spans, bitmap tiles bit by bit. Scattered
+//! sink/stripe K and V rows are gathered once into contiguous
+//! [`TilePack`] buffers shared by all workers.
+//!
+//! # Bitwise identity with the row-major kernel
+//!
+//! Online softmax is only split-invariant in exact arithmetic; in f32
+//! the result depends on how the key set is partitioned into update
+//! blocks. The row-major kernel folds each row in exactly two blocks:
+//! the below-window columns (extras then diagonal keys), then the
+//! contiguous window. This kernel therefore never feeds tiles to the
+//! softmax directly. Tiles only *stage* scores into the same two
+//! per-row segments, at the same positions; each score is the same
+//! `dot(q_row, k_row) * scale` expression over bitwise-equal operands
+//! (packing copies rows verbatim). Once all tiles of a query tile have
+//! landed, the two [`online_softmax_update`] calls are replayed
+//! verbatim per row. Per-row arithmetic is self-contained, so results
+//! are identical at every `SA_THREADS` — a stronger form of the
+//! row-major kernel's determinism argument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sa_tensor::{online_softmax_update, pool, Matrix, OnlineSoftmaxState, TensorError, TilePack};
+
+use crate::cost::tiled_kernel_cost;
+use crate::tile::{TileClass, TiledMask};
+use crate::{score_scale, AttentionOutput};
+
+/// Tiled structured-sparse causal attention.
+///
+/// Computes exactly `softmax(masked scores) V` for the mask underlying
+/// `tiled`, bit-for-bit equal to
+/// [`sparse_flash_attention`](crate::sparse_flash_attention) on the
+/// same mask. Rows with no live entry produce zeros.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the Q/K/V shapes disagree
+/// with each other or with the mask dimensions.
+///
+/// # Example
+///
+/// ```
+/// use sa_tensor::DeterministicRng;
+/// use sa_kernels::{
+///     sparse_flash_attention, sparse_flash_attention_tiled, StructuredMask, TiledMask,
+/// };
+///
+/// # fn main() -> Result<(), sa_kernels::KernelError> {
+/// let mut rng = DeterministicRng::new(0);
+/// let (q, k, v) = (
+///     rng.normal_matrix(64, 8, 1.0),
+///     rng.normal_matrix(64, 8, 1.0),
+///     rng.normal_matrix(64, 8, 1.0),
+/// );
+/// let mask = StructuredMask::builder(64, 64)
+///     .window(8)
+///     .sinks(2)
+///     .columns(vec![20, 33])
+///     .build()?;
+/// let tiled = TiledMask::build(mask.clone(), 16)?;
+/// let a = sparse_flash_attention_tiled(&q, &k, &v, &tiled)?;
+/// let b = sparse_flash_attention(&q, &k, &v, &mask)?;
+/// assert_eq!(a.output.as_slice(), b.output.as_slice());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sparse_flash_attention_tiled(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    tiled: &TiledMask,
+) -> Result<AttentionOutput, TensorError> {
+    let mask = tiled.mask();
+    if q.cols() != k.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention_tiled(q,k)",
+            lhs: q.shape(),
+            rhs: k.shape(),
+        });
+    }
+    if k.rows() != v.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention_tiled(k,v)",
+            lhs: k.shape(),
+            rhs: v.shape(),
+        });
+    }
+    if mask.s_q() != q.rows() || mask.s_k() != k.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "sparse_flash_attention_tiled(mask)",
+            lhs: (mask.s_q(), mask.s_k()),
+            rhs: (q.rows(), k.rows()),
+        });
+    }
+
+    let (s_q, d) = q.shape();
+    let s_k = k.rows();
+    let dv = v.cols();
+    let tile = tiled.tile();
+    let scale = score_scale(d);
+    let extras = mask.extra_columns();
+
+    // Scattered sink/stripe rows, gathered once into contiguous packs
+    // shared read-only by every worker. Packed rows are byte copies, so
+    // dot products over them match dots over the source rows exactly.
+    let mut packed_k = TilePack::new();
+    let mut packed_v = TilePack::new();
+    packed_k.pack_rows(k, extras)?;
+    packed_v.pack_rows(v, extras)?;
+
+    let mut output = Matrix::zeros(s_q, dv);
+    let live_pairs = AtomicU64::new(0);
+
+    if s_q > 0 && dv > 0 {
+        let avg_live = (mask.nnz() / s_q).max(1);
+        // Same work-proportional grain as the row-major kernel, rounded
+        // up to a whole number of query tiles so chunk boundaries (which
+        // depend only on the workload, never the thread count) always
+        // fall on tile edges.
+        let grain_rows = pool::row_grain(avg_live * (d + dv)).div_ceil(tile) * tile;
+        pool::try_parallel_for_rows(
+            "sparse_flash_attention",
+            output.as_mut_slice(),
+            dv,
+            grain_rows,
+            |row0, chunk| {
+                let mut scratch = QTileScratch::default();
+                let mut chunk_pairs: u64 = 0;
+                let chunk_rows = chunk.len() / dv;
+                let qt0 = row0 / tile;
+                let qt1 = (row0 + chunk_rows).div_ceil(tile);
+                for qt in qt0..qt1 {
+                    let r0 = qt * tile;
+                    let r1 = (r0 + tile).min(row0 + chunk_rows);
+                    scratch.stage(mask, r0, r1);
+
+                    // Score every live tile into the staged segments.
+                    for entry in tiled.entries_for(qt) {
+                        let c0 = entry.key_tile * tile;
+                        let c_end = (c0 + tile).min(s_k);
+                        match &entry.class {
+                            TileClass::Full => {
+                                // Maskless fast path: every row scores the
+                                // whole tile width, no occupancy checks.
+                                for ri in 0..r1 - r0 {
+                                    let q_row = q.row(r0 + ri);
+                                    let base = scratch.b_off[ri] + (c0 - scratch.ws[ri]);
+                                    let dst = &mut scratch.seg_b[base..base + (c_end - c0)];
+                                    score_run(q_row, k, c0, dst, scale);
+                                }
+                            }
+                            TileClass::Window { spans } => {
+                                for (ri, &(lo, hi)) in spans.iter().enumerate() {
+                                    if lo == hi {
+                                        continue;
+                                    }
+                                    let q_row = q.row(r0 + ri);
+                                    let j0 = c0 + lo as usize;
+                                    let base = scratch.b_off[ri] + (j0 - scratch.ws[ri]);
+                                    let dst = &mut scratch.seg_b[base..base + (hi - lo) as usize];
+                                    score_run(q_row, k, j0, dst, scale);
+                                }
+                            }
+                            TileClass::Bitmap { bits } => {
+                                for (ri, &word) in bits.iter().enumerate() {
+                                    if word == 0 {
+                                        continue;
+                                    }
+                                    let q_row = q.row(r0 + ri);
+                                    let ws = scratch.ws[ri];
+                                    let mut bset = word;
+                                    while bset != 0 {
+                                        let t = bset.trailing_zeros() as usize;
+                                        bset &= bset - 1;
+                                        let j = c0 + t;
+                                        if j >= ws {
+                                            scratch.seg_b[scratch.b_off[ri] + (j - ws)] =
+                                                dot(q_row, k.row(j)) * scale;
+                                        } else if let Ok(rank) = extras.binary_search(&j) {
+                                            scratch.seg_a[scratch.a_off[ri] + rank] =
+                                                dot(q_row, packed_k.row(rank)) * scale;
+                                        } else if let Some(pos) = scratch
+                                            .diag_cols_for(ri)
+                                            .iter()
+                                            .position(|&c| c == j)
+                                        {
+                                            scratch.seg_a
+                                                [scratch.a_off[ri] + scratch.p[ri] + pos] =
+                                                dot(q_row, k.row(j)) * scale;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+
+                    // Replay the row-major kernel's exact two-block
+                    // online softmax per row over the staged scores.
+                    for ri in 0..r1 - r0 {
+                        let r = r0 + ri;
+                        let Some(end) = scratch.end[ri] else {
+                            continue;
+                        };
+                        let ws = scratch.ws[ri];
+                        let p = scratch.p[ri];
+                        let seg_a = &scratch.seg_a[scratch.a_off[ri]..scratch.a_off[ri + 1]];
+                        let seg_b = &scratch.seg_b[scratch.b_off[ri]..scratch.b_off[ri + 1]];
+                        let mut state = OnlineSoftmaxState::new(dv);
+                        if !seg_a.is_empty() {
+                            let diag_cols = scratch.diag_cols_for(ri);
+                            online_softmax_update(&mut state, seg_a, |t| {
+                                if t < p {
+                                    packed_v.row(t)
+                                } else {
+                                    v.row(diag_cols[t - p])
+                                }
+                            });
+                        }
+                        if ws <= end {
+                            online_softmax_update(&mut state, seg_b, |t| v.row(ws + t));
+                        }
+                        chunk_pairs += (seg_a.len() + seg_b.len()) as u64;
+                        let o0 = (r - row0) * dv;
+                        chunk[o0..o0 + dv].copy_from_slice(&state.finish());
+                    }
+                }
+                live_pairs.fetch_add(chunk_pairs, Ordering::Relaxed);
+            },
+        )?;
+    }
+    let live_pairs = live_pairs.into_inner();
+
+    let cost = tiled_kernel_cost(
+        s_q,
+        d,
+        dv,
+        live_pairs,
+        extras.len() as u64,
+        &tiled.traffic(),
+    );
+    Ok(AttentionOutput { output, cost })
+}
+
+/// Per-query-tile staging state: for each row of the tile, the two
+/// score segments the row-major kernel would build (`seg_a` = extras
+/// then diagonal keys, `seg_b` = the contiguous window), stored flat
+/// with per-row offsets, plus the row geometry needed to place tile
+/// scores into them. Reused across the query tiles of a chunk.
+#[derive(Default)]
+struct QTileScratch {
+    end: Vec<Option<usize>>,
+    ws: Vec<usize>,
+    /// Extras rank boundary: extras `0..p[ri]` lie below row `ri`'s window.
+    p: Vec<usize>,
+    a_off: Vec<usize>,
+    b_off: Vec<usize>,
+    diag_off: Vec<usize>,
+    diag_cols: Vec<usize>,
+    seg_a: Vec<f32>,
+    seg_b: Vec<f32>,
+}
+
+impl QTileScratch {
+    /// Computes row geometry and segment offsets for rows `r0..r1` and
+    /// ensures the segment buffers are large enough. Every staged slot
+    /// corresponds to exactly one live mask entry, so every slot is
+    /// overwritten by exactly one tile before the softmax replay reads
+    /// it.
+    fn stage(&mut self, mask: &crate::StructuredMask, r0: usize, r1: usize) {
+        let extras = mask.extra_columns();
+        self.end.clear();
+        self.ws.clear();
+        self.p.clear();
+        self.a_off.clear();
+        self.b_off.clear();
+        self.diag_off.clear();
+        self.diag_cols.clear();
+        self.a_off.push(0);
+        self.b_off.push(0);
+        self.diag_off.push(0);
+        let (mut a_total, mut b_total) = (0usize, 0usize);
+        for r in r0..r1 {
+            match mask.causal_end(r) {
+                None => {
+                    self.end.push(None);
+                    self.ws.push(0);
+                    self.p.push(0);
+                }
+                Some(end) => {
+                    let ws = mask.window_start(r);
+                    let p = extras.partition_point(|&c| c < ws);
+                    let diags = mask.diagonal_keys(r);
+                    a_total += p + diags.len();
+                    self.diag_cols.extend(diags);
+                    if ws <= end {
+                        b_total += end + 1 - ws;
+                    }
+                    self.end.push(Some(end));
+                    self.ws.push(ws);
+                    self.p.push(p);
+                }
+            }
+            self.a_off.push(a_total);
+            self.b_off.push(b_total);
+            self.diag_off.push(self.diag_cols.len());
+        }
+        // Grow-only, never zeroed: every staged slot maps to exactly one
+        // live mask entry, so exactly one tile writes it before the
+        // replay reads it — stale values from earlier query tiles are
+        // unreachable. Zero-filling here would add an O(nnz) memset per
+        // forward pass for nothing.
+        if self.seg_a.len() < a_total {
+            self.seg_a.resize(a_total, 0.0);
+        }
+        if self.seg_b.len() < b_total {
+            self.seg_b.resize(b_total, 0.0);
+        }
+    }
+
+    /// Row `ri`'s diagonal key columns, delta-ascending.
+    #[inline]
+    fn diag_cols_for(&self, ri: usize) -> &[usize] {
+        &self.diag_cols[self.diag_off[ri]..self.diag_off[ri + 1]]
+    }
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Scores a contiguous run of key rows `j0..j0 + dst.len()` against one
+/// query row, eight columns at a time.
+///
+/// Each column's dot product is still the strict index-order sum
+/// `((q0*k0) + q1*k1) + …` — bitwise-identical to [`dot`] — but the
+/// eight accumulator chains are independent, so the CPU overlaps them
+/// instead of serialising on f32 add latency. This is the tiled
+/// kernel's branch-free fast path: contiguous runs (full tiles, window
+/// spans) are known maskless up front, which is what makes batching
+/// columns possible at all — the row-major kernel discovers its columns
+/// one at a time.
+#[inline]
+fn score_run(q_row: &[f32], k: &Matrix, j0: usize, dst: &mut [f32], scale: f32) {
+    let mut t = 0;
+    while t + 8 <= dst.len() {
+        let r = |i: usize| k.row(j0 + t + i);
+        let (k0, k1, k2, k3) = (r(0), r(1), r(2), r(3));
+        let (k4, k5, k6, k7) = (r(4), r(5), r(6), r(7));
+        let mut acc = [0.0f32; 8];
+        for (i, &x) in q_row.iter().enumerate() {
+            acc[0] += x * k0[i];
+            acc[1] += x * k1[i];
+            acc[2] += x * k2[i];
+            acc[3] += x * k3[i];
+            acc[4] += x * k4[i];
+            acc[5] += x * k5[i];
+            acc[6] += x * k6[i];
+            acc[7] += x * k7[i];
+        }
+        for (i, &s) in acc.iter().enumerate() {
+            dst[t + i] = s * scale;
+        }
+        t += 8;
+    }
+    for slot in &mut dst[t..] {
+        *slot = dot(q_row, k.row(j0 + t)) * scale;
+        t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sparse_flash_attention, StructuredMask};
+    use sa_tensor::DeterministicRng;
+
+    fn random_qkv(s_q: usize, s_k: usize, d: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        let mut rng = DeterministicRng::new(seed);
+        (
+            rng.normal_matrix(s_q, d, 1.0),
+            rng.normal_matrix(s_k, d, 1.0),
+            rng.normal_matrix(s_k, d, 1.0),
+        )
+    }
+
+    fn assert_bitwise(mask: &StructuredMask, tile: usize, seed: u64) {
+        let (q, k, v) = random_qkv(mask.s_q(), mask.s_k(), 8, seed);
+        let tiled = TiledMask::build(mask.clone(), tile).unwrap();
+        let a = sparse_flash_attention_tiled(&q, &k, &v, &tiled).unwrap();
+        let b = sparse_flash_attention(&q, &k, &v, mask).unwrap();
+        let ab: Vec<u32> = a.output.as_slice().iter().map(|x| x.to_bits()).collect();
+        let bb: Vec<u32> = b.output.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(ab, bb, "tile={tile} not bitwise identical");
+        assert_eq!(a.cost.flops, b.cost.flops, "live-pair tallies diverged");
+    }
+
+    #[test]
+    fn bitwise_identical_on_mixed_mask() {
+        let mask = StructuredMask::builder(70, 70)
+            .window(9)
+            .sinks(3)
+            .columns(vec![17, 31, 44])
+            .dense_tail_rows(5)
+            .diagonals(vec![13])
+            .build()
+            .unwrap();
+        for tile in [1, 7, 16, 64] {
+            assert_bitwise(&mask, tile, 42);
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_dense_causal() {
+        assert_bitwise(&StructuredMask::dense_causal(65, 65), 16, 1);
+    }
+
+    #[test]
+    fn bitwise_identical_rectangular() {
+        let mask = StructuredMask::builder(24, 50)
+            .window(6)
+            .sinks(2)
+            .columns(vec![11])
+            .build()
+            .unwrap();
+        assert_bitwise(&mask, 8, 2);
+        let tall = StructuredMask::builder(40, 12).window(4).build().unwrap();
+        assert_bitwise(&tall, 8, 3);
+    }
+
+    #[test]
+    fn bitwise_identical_under_thread_overrides() {
+        let mask = StructuredMask::builder(96, 96)
+            .window(11)
+            .sinks(2)
+            .columns(vec![23, 59])
+            .diagonals(vec![7])
+            .build()
+            .unwrap();
+        let (q, k, v) = random_qkv(96, 96, 8, 9);
+        let tiled = TiledMask::build(mask.clone(), 16).unwrap();
+        let baseline = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        for threads in [1, 2, 3, 5] {
+            let out = pool::with_threads(threads, || {
+                sparse_flash_attention_tiled(&q, &k, &v, &tiled)
+            })
+            .unwrap();
+            assert_eq!(
+                out.output.as_slice(),
+                baseline.output.as_slice(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rows_stay_zero() {
+        let mask = StructuredMask::builder(12, 4).window(2).build().unwrap();
+        let (q, k, v) = random_qkv(12, 4, 4, 11);
+        let tiled = TiledMask::build(mask.clone(), 4).unwrap();
+        let out = sparse_flash_attention_tiled(&q, &k, &v, &tiled).unwrap();
+        for i in 0..8 {
+            assert!(out.output.row(i).iter().all(|&x| x == 0.0), "row {i}");
+        }
+        assert_bitwise(&mask, 4, 11);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (q, k, v) = random_qkv(8, 8, 4, 12);
+        let tiled9 = TiledMask::build(StructuredMask::dense_causal(9, 9), 4).unwrap();
+        assert!(sparse_flash_attention_tiled(&q, &k, &v, &tiled9).is_err());
+        let tiled8 = TiledMask::build(StructuredMask::dense_causal(8, 8), 4).unwrap();
+        let k_bad = Matrix::zeros(8, 5);
+        assert!(sparse_flash_attention_tiled(&q, &k_bad, &v, &tiled8).is_err());
+        let v_bad = Matrix::zeros(7, 4);
+        assert!(sparse_flash_attention_tiled(&q, &k, &v_bad, &tiled8).is_err());
+    }
+
+    #[test]
+    fn cost_counts_tile_metadata() {
+        let mask = StructuredMask::builder(64, 64)
+            .window(8)
+            .sinks(2)
+            .build()
+            .unwrap();
+        let (q, k, v) = random_qkv(64, 64, 8, 13);
+        let tiled = TiledMask::build(mask.clone(), 16).unwrap();
+        let t = sparse_flash_attention_tiled(&q, &k, &v, &tiled).unwrap();
+        let r = sparse_flash_attention(&q, &k, &v, &mask).unwrap();
+        assert_eq!(t.cost.flops, r.cost.flops);
+        assert_eq!(t.cost.kernel_launches, 1);
+        assert!(t.cost.bytes_read > 0 && t.cost.bytes_written > 0);
+    }
+}

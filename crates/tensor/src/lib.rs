@@ -45,6 +45,7 @@ mod sample;
 mod select;
 mod softmax;
 mod stats;
+mod tilepack;
 pub mod xoshiro;
 
 pub use cancel::CancelToken;
@@ -66,3 +67,4 @@ pub use softmax::{
     OnlineSoftmaxState,
 };
 pub use stats::{cosine_similarity, l1_distance, l1_norm, max_abs_diff, mean, mse, variance};
+pub use tilepack::TilePack;

@@ -1,0 +1,213 @@
+//! Contiguous gather scratch for scattered K/V rows ("tile packing").
+//!
+//! The tiled block-sparse kernel reads two kinds of key/value rows: the
+//! contiguous local-window band (already adjacent in the row-major
+//! [`Matrix`]) and the scattered sink/stripe columns, whose rows are
+//! strewn across the whole tensor. A [`TilePack`] gathers the scattered
+//! rows once into one contiguous, cache-sized buffer so the per-tile
+//! inner loops stream packed memory instead of chasing indices.
+//!
+//! The buffer is reusable: repacking with the same or a smaller shape
+//! reuses the existing allocation, so a kernel can hold one `TilePack`
+//! per operand across many calls. Packed rows are bitwise copies of the
+//! source rows — packing never changes a dot product's result.
+
+use crate::{Matrix, TensorError};
+
+/// A reusable, contiguous gather buffer of matrix rows.
+///
+/// # Example
+///
+/// ```
+/// use sa_tensor::{Matrix, TilePack};
+///
+/// # fn main() -> Result<(), sa_tensor::TensorError> {
+/// let m = Matrix::from_fn(8, 4, |i, _| i as f32);
+/// let mut pack = TilePack::new();
+/// pack.pack_rows(&m, &[6, 0, 3])?;
+/// assert_eq!(pack.rows(), 3);
+/// assert_eq!(pack.row(0), m.row(6));
+/// assert_eq!(pack.row(2), m.row(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TilePack {
+    data: Vec<f32>,
+    rows: usize,
+    width: usize,
+}
+
+impl TilePack {
+    /// An empty pack holding no rows.
+    pub fn new() -> Self {
+        TilePack::default()
+    }
+
+    /// Gathers `indices` rows of `src` into the pack, in order, reusing
+    /// the existing allocation when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index is
+    /// `>= src.rows()`; the pack is left empty in that case.
+    pub fn pack_rows(&mut self, src: &Matrix, indices: &[usize]) -> Result<(), TensorError> {
+        self.data.clear();
+        self.rows = 0;
+        self.width = src.cols();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= src.rows()) {
+            return Err(TensorError::IndexOutOfBounds {
+                op: "TilePack::pack_rows",
+                index: bad,
+                bound: src.rows(),
+            });
+        }
+        self.data.reserve(indices.len() * self.width);
+        for &i in indices {
+            self.data.extend_from_slice(src.row(i));
+        }
+        self.rows = indices.len();
+        Ok(())
+    }
+
+    /// Packs the contiguous row range `[start, end)` of `src` (a plain
+    /// block copy; provided so window tiles can use the same scratch
+    /// type as scattered stripes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if `start > end` or
+    /// `end > src.rows()`; the pack is left empty in that case.
+    pub fn pack_row_range(
+        &mut self,
+        src: &Matrix,
+        start: usize,
+        end: usize,
+    ) -> Result<(), TensorError> {
+        self.data.clear();
+        self.rows = 0;
+        self.width = src.cols();
+        if start > end || end > src.rows() {
+            return Err(TensorError::InvalidDimension {
+                op: "TilePack::pack_row_range",
+                what: format!("range {start}..{end} invalid for {} rows", src.rows()),
+            });
+        }
+        self.data
+            .extend_from_slice(&src.as_slice()[start * self.width..end * self.width]);
+        self.rows = end - start;
+        Ok(())
+    }
+
+    /// Number of packed rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width (columns) of each packed row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` when no rows are packed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrowed view of packed row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "packed row {i} out of bounds (< {})", self.rows);
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The packed rows as one contiguous slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Drops all rows but keeps the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_rows_in_order_bitwise() {
+        let m = Matrix::from_fn(6, 3, |i, j| (i * 10 + j) as f32);
+        let mut p = TilePack::new();
+        p.pack_rows(&m, &[5, 1, 1]).unwrap();
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.row(0), m.row(5));
+        assert_eq!(p.row(1), m.row(1));
+        assert_eq!(p.row(2), m.row(1));
+        assert_eq!(p.as_slice().len(), 9);
+    }
+
+    #[test]
+    fn out_of_bounds_index_is_typed_error() {
+        let m = Matrix::zeros(4, 2);
+        let mut p = TilePack::new();
+        let err = p.pack_rows(&m, &[0, 4]).unwrap_err();
+        assert!(matches!(err, TensorError::IndexOutOfBounds { index: 4, .. }));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn pack_range_copies_block() {
+        let m = Matrix::from_fn(5, 2, |i, _| i as f32);
+        let mut p = TilePack::new();
+        p.pack_row_range(&m, 1, 4).unwrap();
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.row(0), m.row(1));
+        assert_eq!(p.row(2), m.row(3));
+        assert!(p.pack_row_range(&m, 3, 2).is_err());
+        assert!(p.pack_row_range(&m, 0, 6).is_err());
+    }
+
+    #[test]
+    fn reuse_keeps_allocation_and_resets_shape() {
+        let m = Matrix::from_fn(8, 4, |i, j| (i + j) as f32);
+        let mut p = TilePack::new();
+        p.pack_rows(&m, &[0, 1, 2, 3, 4]).unwrap();
+        let cap = p.data.capacity();
+        p.pack_rows(&m, &[7]).unwrap();
+        assert_eq!(p.rows(), 1);
+        assert_eq!(p.row(0), m.row(7));
+        assert!(p.data.capacity() >= cap.min(4));
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.as_slice().len(), 0);
+    }
+
+    #[test]
+    fn empty_pack_and_empty_indices() {
+        let m = Matrix::zeros(3, 2);
+        let mut p = TilePack::new();
+        assert!(p.is_empty());
+        p.pack_rows(&m, &[]).unwrap();
+        assert_eq!(p.rows(), 0);
+        assert_eq!(p.width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_access_out_of_bounds_panics() {
+        let p = TilePack::new();
+        let _ = p.row(0);
+    }
+}

@@ -25,17 +25,26 @@ echo "==> fault injection: SA_FAULT=smoke (SA_THREADS=1, then default)"
 SA_FAULT=smoke SA_THREADS=1 cargo test -q --offline --test fault_injection
 SA_FAULT=smoke cargo test -q --offline --test fault_injection
 
-echo "==> lint: no unwrap()/panic! in non-test pipeline sources"
-# The panic-free contract (DESIGN.md 5d) bans unwrap()/expect-free
-# panics from the production sources of the pipeline crates. Doc
-# comments, doctest lines, and everything at/after a #[cfg(test)]
-# module are exempt; awk strips those before grepping.
+echo "==> differential kernel suite: tiled vs row-major (SA_THREADS=1, then default)"
+# The tiled block-sparse kernel must be bitwise-identical to the
+# row-major kernel at every thread count; run the property suite pinned
+# serial and at the session default explicitly (in addition to the
+# workspace passes above) so a regression names this suite directly.
+SA_THREADS=1 cargo test -q --offline --test kernel_equivalence
+cargo test -q --offline --test kernel_equivalence
+
+echo "==> lint: no unwrap()/panic-family macros in non-test pipeline sources"
+# The panic-free contract (DESIGN.md 5d) bans unwrap() and the panic
+# macro family (panic!/unreachable!/todo!/unimplemented!) from the
+# production sources of the pipeline crates. Doc comments, doctest
+# lines, and everything at/after a #[cfg(test)] module are exempt; awk
+# strips those before grepping.
 lint_fail=0
 for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs; do
     hits="$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
-        /\.unwrap\(\)|panic!\(/ { print FILENAME ":" FNR ": " $0 }
+        /\.unwrap\(\)|panic!\(|unreachable!\(|todo!\(|unimplemented!\(/ { print FILENAME ":" FNR ": " $0 }
     ' "$f")"
     if [ -n "$hits" ]; then
         echo "$hits"
@@ -96,6 +105,16 @@ cargo run -q --release --offline -p sa-bench --bin chaos_soak -- \
     --quick --out "$smoke_out"
 test -s "$smoke_out/chaos_soak.json" || {
     echo "chaos_soak did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: tile_kernel --quick (tiled vs row-major A/B)"
+# The binary re-asserts bitwise identity on every case before timing it
+# and exits non-zero on divergence; here we only check the report lands.
+cargo run -q --release --offline -p sa-bench --bin tile_kernel -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/tile_kernel.json" || {
+    echo "tile_kernel did not emit JSON" >&2
     exit 1
 }
 

@@ -16,8 +16,10 @@
 
 use sample_attention::baselines::FullAttention;
 use sample_attention::core::{
-    FallbackReason, HealthPolicy, SampleAttention, SampleAttentionConfig, SampleAttentionError,
+    select_tile_size, FallbackReason, HealthPolicy, SampleAttention, SampleAttentionConfig,
+    SampleAttentionError, SparseKernel, TilePolicy,
 };
+use sample_attention::kernels::{StructuredMask, MAX_TILE};
 use sample_attention::json;
 use sample_attention::kernels::{flash_attention, FlashParams};
 use sample_attention::model::{ModelConfig, SyntheticTransformer};
@@ -191,6 +193,93 @@ fn worker_panics_are_contained_at_every_operator_site() {
             .unwrap();
         assert_eq!(out.stats.fallback_reason, FallbackReason::WorkerPanic);
         assert_all_finite(target, &out.output);
+    }
+}
+
+/// The tile autotuner's failure surface is typed, never a panic: an
+/// invalid policy (empty candidate list, candidate above `MAX_TILE`)
+/// returns `InvalidConfig`, while degenerate masks (nnz == 0, problems
+/// smaller than every candidate) take the clamped fallback tile.
+#[test]
+fn tile_autotuner_degenerate_inputs_are_typed_errors() {
+    let mask = StructuredMask::dense_causal(8, 8);
+
+    let empty_policy = TilePolicy {
+        candidates: vec![],
+        ..TilePolicy::default()
+    };
+    assert!(
+        matches!(
+            select_tile_size(&empty_policy, &mask),
+            Err(SampleAttentionError::InvalidConfig { .. })
+        ),
+        "empty candidate list must be a typed config error"
+    );
+
+    let oversized_policy = TilePolicy {
+        candidates: vec![MAX_TILE + 1],
+        ..TilePolicy::default()
+    };
+    assert!(
+        matches!(
+            select_tile_size(&oversized_policy, &mask),
+            Err(SampleAttentionError::InvalidConfig { .. })
+        ),
+        "candidate above MAX_TILE must be a typed config error"
+    );
+
+    // Fully-masked problem (nnz == 0): valid fallback tile, flagged.
+    let dead = StructuredMask::builder(16, 16).window(0).build().unwrap();
+    let choice = select_tile_size(&TilePolicy::default(), &dead).unwrap();
+    assert!(choice.fallback, "nnz == 0 must take the fallback path");
+    assert!(choice.tile >= 1 && choice.tile <= MAX_TILE);
+
+    // Problem smaller than every candidate: clamped, still valid.
+    let tiny = StructuredMask::dense_causal(3, 3);
+    let choice = select_tile_size(&TilePolicy::default(), &tiny).unwrap();
+    assert!(choice.fallback);
+    assert_eq!(choice.tile, 3, "fallback clamps to the problem size");
+}
+
+/// Worker panics at the sparse-kernel pool site are contained for *both*
+/// kernel implementations — the tiled rewrite reuses the row-major
+/// kernel's `"sparse_flash_attention"` site so existing fault plans keep
+/// their coverage.
+#[test]
+fn worker_panics_contained_for_both_sparse_kernels() {
+    let (q, k, v) = qkv(192, 16, 7);
+    for kernel in [SparseKernel::RowMajor, SparseKernel::Tiled] {
+        let _guard = fault::install(FaultPlan::new(0xE1).worker_panic("sparse_flash_attention"));
+
+        let propagate = SampleAttention::new(
+            SampleAttentionConfig::builder()
+                .sparse_kernel(kernel)
+                .health_policy(HealthPolicy::Propagate)
+                .build()
+                .unwrap(),
+        );
+        let err = propagate.forward(&q, &k, &v).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SampleAttentionError::Tensor(SaError::WorkerPanic {
+                    site: "sparse_flash_attention",
+                    ..
+                })
+            ),
+            "{kernel:?}: expected WorkerPanic, got {err:?}"
+        );
+
+        let fallback = SampleAttention::new(
+            SampleAttentionConfig::builder()
+                .sparse_kernel(kernel)
+                .health_policy(HealthPolicy::FallbackDense)
+                .build()
+                .unwrap(),
+        );
+        let out = fallback.forward(&q, &k, &v).unwrap();
+        assert_eq!(out.stats.fallback_reason, FallbackReason::WorkerPanic);
+        assert_all_finite(&format!("{kernel:?} fallback"), &out.output);
     }
 }
 

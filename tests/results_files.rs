@@ -185,6 +185,49 @@ fn checked_in_chaos_soak_ledger_validates() {
     assert!(served < records.len(), "committed soak hit no adversity");
 }
 
+/// The checked-in `results/tile_kernel.json` A/B report must carry its
+/// schema tag, at least one measured case, and a bitwise-identity
+/// verdict on every case — a report certifying a divergent kernel must
+/// never land.
+#[test]
+fn checked_in_tile_kernel_report_validates() {
+    let path = results_dir().join("tile_kernel.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("sa.tile_kernel.v1"));
+    for key in ["median_serial_speedup", "median_parallel_speedup"] {
+        let v = doc.get(key).and_then(Json::as_f64).unwrap();
+        assert!(v.is_finite() && v > 0.0, "{key} = {v}");
+    }
+    let rows = match doc.get("rows") {
+        Some(Json::Array(items)) => items,
+        other => panic!("rows must be an array, got {other:?}"),
+    };
+    assert!(!rows.is_empty(), "report has no measured cases");
+    let mut prev_s = 0;
+    for row in rows {
+        let s = row.get("seq_len").and_then(Json::as_i64).unwrap();
+        assert!(s > prev_s, "seq_len not strictly ascending at {s}");
+        prev_s = s;
+        let tile = row.get("tile").and_then(Json::as_i64).unwrap();
+        assert!((1..=64).contains(&tile), "tile {tile} outside 1..=MAX_TILE");
+        assert_eq!(
+            row.get("bitwise_identical").and_then(Json::as_bool),
+            Some(true),
+            "case at S={s} was not bitwise-identical"
+        );
+        for key in ["serial_speedup", "parallel_speedup", "density"] {
+            let v = row.get(key).and_then(Json::as_f64).unwrap();
+            assert!(v.is_finite() && v > 0.0, "S={s}: {key} = {v}");
+        }
+        // The tentpole's acceptance bar: single-thread sparse-stage
+        // latency must improve measurably under the tiled layout.
+        let serial = row.get("serial_speedup").and_then(Json::as_f64).unwrap();
+        assert!(serial > 0.9, "S={s}: tiled serial leg regressed badly ({serial}x)");
+    }
+}
+
 #[test]
 fn results_round_trip_through_sa_json() {
     for path in json_files() {
