@@ -16,17 +16,23 @@
 //! caller cancellations, transient worker faults (retried with seeded
 //! backoff), and permanent faults (retry budget exhausted).
 //!
+//! The soak runs **two legs** with the same contract: the one-shot
+//! batch scheduler over `mixed_workload`, and the continuous-batching
+//! scheduler ([`Scheduler::run_continuous`]) over a seeded open-loop
+//! flash-crowd arrival stream ([`sa_serve::open_loop_workload`]).
+//!
 //! Outputs:
 //! - stdout: outcome tally per thread count and the `serve.*` counters;
-//! - `results/chaos_soak.json`: the full ledger plus soak verdicts.
+//! - `results/chaos_soak.json`: the full ledgers plus soak verdicts.
 //!
-//! Flags: `--seed <u64>`, `--quick` (12 requests instead of 48),
-//! `--out <dir>`.
+//! Flags: `--seed <u64>`, `--quick` (12 requests instead of 48, shorter
+//! open-loop stream), `--out <dir>`.
 
 use sa_bench::{render_table, write_json, Args};
-use sa_serve::{mixed_workload, Ledger, Outcome, Scheduler, ServeConfig};
+use sa_serve::{mixed_workload, open_loop_workload, Ledger, Outcome, Scheduler, ServeConfig};
 use sa_tensor::pool;
 use sa_trace::metrics;
+use sa_workloads::{ArrivalProcess, ArrivalShape};
 
 /// The soak's results-file payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +57,15 @@ struct ChaosSoakReport {
     retries: u64,
     /// The canonical ledger (from the single-threaded replay).
     ledger: Ledger,
+    /// Requests in the open-loop stream of the continuous leg.
+    continuous_requests: u64,
+    /// Whether the continuous ledger was bit-identical at every
+    /// replayed thread count.
+    continuous_identical_across_threads: bool,
+    /// Continuous-leg outcome tally, name → count (sorted by name).
+    continuous_outcome_counts: Vec<(String, u64)>,
+    /// The canonical continuous ledger (single-threaded replay).
+    continuous_ledger: Ledger,
 }
 
 sa_json::impl_json_struct!(ChaosSoakReport {
@@ -63,11 +78,16 @@ sa_json::impl_json_struct!(ChaosSoakReport {
     degraded,
     alpha_certified,
     retries,
-    ledger
+    ledger,
+    continuous_requests,
+    continuous_identical_across_threads,
+    continuous_outcome_counts,
+    continuous_ledger
 });
 
-/// Schema tag of `results/chaos_soak.json`.
-const SCHEMA: &str = "sa.chaos_soak.v1";
+/// Schema tag of `results/chaos_soak.json`. `v2` added the
+/// continuous-batching leg (`continuous_*` fields).
+const SCHEMA: &str = "sa.chaos_soak.v2";
 
 fn outcome_name(o: Outcome) -> &'static str {
     match o {
@@ -193,6 +213,79 @@ fn main() {
         );
     }
 
+    // --- Continuous leg: the same contract over an open-loop stream. ---
+    // A flash-crowd arrival process stresses admission, shedding, and
+    // tenant fairness harder than the closed-loop trickle above; the
+    // deep default queue lets the continuous planner own its shedding.
+    let cont_cfg = ServeConfig {
+        seed: args.seed,
+        ..ServeConfig::default()
+    }
+    .from_env();
+    let cont_scheduler = Scheduler::new(cont_cfg).expect("tiny model config is valid");
+    let process = ArrivalProcess {
+        seed: args.seed ^ 0x0511,
+        rate_per_sec: 3.0,
+        // The quiet/burst cycle is short enough that even the quick
+        // stream crosses a burst crest — the leg must shed something,
+        // or it proves nothing.
+        shape: ArrivalShape::FlashCrowd {
+            quiet_ms: 3_000,
+            burst_ms: 1_500,
+            multiplier: 6.0,
+        },
+    };
+    let cont_duration_ms = if args.quick { 8_000 } else { 20_000 };
+    let stream = open_loop_workload(args.seed, &process, cont_duration_ms, 3);
+
+    let mut cont_ledgers: Vec<Ledger> = Vec::new();
+    for &t in &thread_counts {
+        let ledger = pool::with_threads(t, || cont_scheduler.run_continuous(&stream))
+            .expect("continuous replay never fails");
+        ledger
+            .validate(&stream)
+            .expect("continuous ledger accounts for every request");
+        cont_ledgers.push(ledger);
+    }
+    let cont_canonical = &cont_ledgers[0];
+    let cont_identical = cont_ledgers.iter().all(|l| l == cont_canonical);
+
+    let mut cont_rows = Vec::new();
+    for (t, ledger) in thread_counts.iter().zip(&cont_ledgers) {
+        let mut row = vec![t.to_string()];
+        for o in ALL_OUTCOMES {
+            row.push(ledger.count(o).to_string());
+        }
+        row.push(if ledger == cont_canonical { "yes" } else { "NO" }.to_string());
+        cont_rows.push(row);
+    }
+    println!(
+        "continuous soak: {} open-loop requests over {} ms\n",
+        stream.len(),
+        cont_duration_ms
+    );
+    println!("{}", render_table(&headers, &cont_rows));
+
+    assert!(
+        cont_identical,
+        "continuous ledger differs across thread counts"
+    );
+    assert!(
+        cont_canonical.count(Outcome::Served) > 0,
+        "continuous leg served nothing"
+    );
+    assert!(
+        cont_canonical.count(Outcome::Served) < stream.len(),
+        "continuous leg exercised no adversity"
+    );
+    for rec in &cont_canonical.records {
+        assert!(
+            !(rec.rung == "window_only" && rec.alpha_satisfied),
+            "continuous request {} dropped below alpha silently",
+            rec.id
+        );
+    }
+
     let report = ChaosSoakReport {
         schema: SCHEMA.to_string(),
         seed: args.seed,
@@ -207,12 +300,21 @@ fn main() {
         alpha_certified,
         retries,
         ledger: canonical.clone(),
+        continuous_requests: stream.len() as u64,
+        continuous_identical_across_threads: cont_identical,
+        continuous_outcome_counts: ALL_OUTCOMES
+            .iter()
+            .map(|&o| (outcome_name(o).to_string(), cont_canonical.count(o) as u64))
+            .collect(),
+        continuous_ledger: cont_canonical.clone(),
     };
     if let Some(path) = write_json(&args, "chaos_soak", &report) {
         println!("wrote {}", path.display());
     }
     println!(
-        "verdict: {} requests, 0 lost, 0 panics, ledger identical at threads {:?}",
-        n, thread_counts
+        "verdict: {} batch + {} continuous requests, 0 lost, 0 panics, both ledgers identical at threads {:?}",
+        n,
+        stream.len(),
+        thread_counts
     );
 }

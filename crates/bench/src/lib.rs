@@ -28,6 +28,10 @@
 //! | `table4_breakdown` | Table 4 TTFT breakdown |
 //! | `table5_sd_scaling` | Table 5 + Appendix A.4 sparsity scaling |
 //! | `table6_sampling` | Table 6 / Appendix A.5 sampling effectiveness |
+//! | `tile_kernel` | tiled vs row-major sparse-kernel A/B (beyond-paper) |
+//! | `trace_report` | traced prefill + Chrome-trace export (beyond-paper) |
+//! | `chaos_soak` | serving robustness soak, batch + continuous legs (beyond-paper) |
+//! | `slo_sweep` | continuous vs one-shot serving SLOs over open-loop arrivals (beyond-paper) |
 
 pub mod analysis;
 pub mod timing;

@@ -47,6 +47,19 @@ pub struct ServeConfig {
     /// memory model (the synthetic transformer runs tiny sequences; the
     /// admission footprint scales them up to paper-sized contexts).
     pub tokens_per_synthetic: u64,
+    /// Continuous batching: bound on the admission queue of the
+    /// open-loop scheduler. Arrivals beyond it are rejected with
+    /// [`Overloaded`](sa_tensor::SaError::Overloaded). Deeper than
+    /// `max_queue` because continuous batching drains at chunk
+    /// granularity instead of holding slots for whole requests.
+    pub max_pending: usize,
+    /// Continuous batching: per-tenant token-bucket sustained refill
+    /// rate, synthetic tokens per virtual second (clamped ≥ 1 token/s).
+    /// Prefill chunks debit `chunk_size` tokens, decode steps 1 token.
+    pub tenant_rate_tokens_per_sec: u64,
+    /// Continuous batching: per-tenant token-bucket capacity (burst
+    /// allowance), synthetic tokens.
+    pub tenant_burst_tokens: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +76,9 @@ impl Default for ServeConfig {
             backoff_cap_ms: 64,
             alpha_target: 0.95,
             tokens_per_synthetic: 2048,
+            max_pending: 64,
+            tenant_rate_tokens_per_sec: 2048,
+            tenant_burst_tokens: 8192,
         }
     }
 }

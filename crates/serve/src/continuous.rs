@@ -1,0 +1,1092 @@
+//! Continuous batching over an open-loop arrival stream.
+//!
+//! The one-shot planner ([`sim::plan_batch`]) holds an execution slot
+//! for a request's **whole** service time — a 512-token prefill
+//! monopolizes a slot for thousands of virtual milliseconds while
+//! short requests queue behind it, and decode steps of in-flight
+//! sessions cannot overlap newly arriving prefills at all. This module
+//! replaces that with the TensorRT-LLM-style continuous-batching rule:
+//! the engine schedules **micro-tasks** — one prefill chunk or one
+//! decode step at a time — so every iteration interleaves prefill
+//! chunks of newly admitted requests with decode steps of in-flight
+//! sessions on the same worker pool.
+//!
+//! Like the one-shot planner, everything here runs on a deterministic
+//! virtual clock **before** any model work: the continuous timeline is
+//! a serial discrete-event simulation, so the resulting ledger stays
+//! bit-identical at every `SA_THREADS` setting (the chaos soak asserts
+//! this on the continuous timeline too). The parallel execution phase
+//! afterwards only realizes the planned work and fills in measured CRA
+//! α flags.
+//!
+//! ## Scheduling rules
+//!
+//! - **Admission**: arrivals join a bounded pending queue
+//!   ([`max_pending`](crate::ServeConfig::max_pending); overflow is
+//!   [`Overloaded`](sa_tensor::SaError::Overloaded)); the queue head is
+//!   admitted as soon as its projected memory fits the budget —
+//!   memory is *backpressure* here, not a hard rejection, except for a
+//!   request that could never fit alone
+//!   ([`BudgetExceeded`](sa_tensor::SaError::BudgetExceeded)).
+//! - **Interleaving**: a free worker serves, in priority order, (1) a
+//!   ready decode step — decode-first keeps time-per-output-token flat
+//!   while prefills stream in — then (2) a prefill chunk, rotating over
+//!   tenants and picking shortest-remaining-work-first within a tenant
+//!   (short requests preempt long prefills at chunk boundaries;
+//!   homogeneous streams run to completion, so overload does not
+//!   round-robin-thrash every deadline at once).
+//! - **Fairness**: each tenant holds a token bucket
+//!   ([`tenant_rate_tokens_per_sec`](crate::ServeConfig::tenant_rate_tokens_per_sec),
+//!   [`tenant_burst_tokens`](crate::ServeConfig::tenant_burst_tokens));
+//!   a prefill chunk debits `chunk_size` synthetic tokens and a decode
+//!   step debits one, so a flooding tenant throttles to its quota while
+//!   others keep their share of the pool.
+//! - **Deadlines & cancels** are honoured at micro-task boundaries —
+//!   the same one-chunk cooperative-cancellation granularity the real
+//!   execution phase provides via `CancelToken`.
+//! - **Faults** follow the one-shot model: the first `fault_fails`
+//!   attempts burn an eighth of the service time each, separated by
+//!   seeded-jitter exponential backoff ([`sim::backoff_ms`]).
+//!
+//! The degradation-ladder walk ([`sim::choose_rung`]), the memory model
+//! ([`sim::request_bytes`]), and the per-rung cost model
+//! ([`sim::service_ms`]) are shared with the one-shot planner, so the
+//! two schedulers are comparable at the same trace and budget — the
+//! `slo_sweep` bench sweeps arrival rate and reports both.
+
+use crate::sim::{self, Plan, Planned};
+use crate::{Request, ServeConfig};
+use sa_core::DegradationRung;
+use std::collections::VecDeque;
+
+/// One request's schedule on the continuous timeline: the familiar
+/// [`Plan`] plus first-token timing and micro-task tallies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousPlan {
+    /// Outcome, rung, start/finish, queue wait, retries, backoff.
+    pub plan: Plan,
+    /// Tenant the request billed against.
+    pub tenant: u64,
+    /// Virtual time the first output token completed (prefill-only:
+    /// the final prefill chunk; decode: the first decode step). Zero
+    /// when no token was produced.
+    pub first_token_ms: u64,
+    /// Prefill chunks completed on the virtual timeline.
+    pub prefill_chunks: u64,
+    /// Decode steps completed on the virtual timeline.
+    pub decode_steps: u64,
+}
+
+/// Per-tenant fairness quota: a token bucket in milli-tokens so the
+/// refill arithmetic stays exact on the integer virtual clock.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    level_milli: u64,
+    capacity_milli: u64,
+    rate_milli_per_ms: u64,
+    last_refill_ms: u64,
+}
+
+impl TokenBucket {
+    fn new(cfg: &ServeConfig) -> Self {
+        let capacity_milli = cfg.tenant_burst_tokens.saturating_mul(1000).max(1);
+        TokenBucket {
+            level_milli: capacity_milli,
+            capacity_milli,
+            // tokens/second == milli-tokens/millisecond, conveniently.
+            // Clamped ≥ 1 so a bucket always refills eventually (a zero
+            // rate would starve its tenant forever).
+            rate_milli_per_ms: cfg.tenant_rate_tokens_per_sec.max(1),
+            last_refill_ms: 0,
+        }
+    }
+
+    fn refill_to(&mut self, now_ms: u64) {
+        if now_ms > self.last_refill_ms {
+            let gained = (now_ms - self.last_refill_ms).saturating_mul(self.rate_milli_per_ms);
+            self.level_milli = self.level_milli.saturating_add(gained).min(self.capacity_milli);
+            self.last_refill_ms = now_ms;
+        }
+    }
+
+    fn try_take(&mut self, now_ms: u64, cost_milli: u64) -> bool {
+        self.refill_to(now_ms);
+        if self.level_milli >= cost_milli {
+            self.level_milli -= cost_milli;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest virtual time the bucket could cover `cost_milli`,
+    /// assuming nobody else drains it first (an optimistic bound — the
+    /// event loop re-checks on wake-up).
+    fn ready_time(&self, now_ms: u64, cost_milli: u64) -> u64 {
+        let level = self
+            .level_milli
+            .saturating_add(now_ms.saturating_sub(self.last_refill_ms) * self.rate_milli_per_ms)
+            .min(self.capacity_milli);
+        if level >= cost_milli {
+            return now_ms;
+        }
+        let deficit = cost_milli - level;
+        now_ms.saturating_add(deficit.div_ceil(self.rate_milli_per_ms)).max(now_ms + 1)
+    }
+}
+
+/// Where one request stands on the continuous timeline.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Waiting in the bounded pending queue for memory admission.
+    Pending,
+    /// Admitted (memory reserved) but no worker has picked it up yet;
+    /// the degradation-ladder walk is deferred to first dispatch so the
+    /// rung reflects the deadline budget actually left after queueing —
+    /// exactly when the one-shot planner walks it.
+    Admitted,
+    /// Burning injected failed attempts (each costs an eighth of the
+    /// service time, separated by backoff).
+    FailAttempts { remaining: u64 },
+    /// Streaming prefill chunks.
+    Prefill,
+    /// Streaming decode steps.
+    Decode,
+    /// Resolved; `finish` recorded.
+    Done,
+}
+
+/// Mutable per-request simulation state.
+struct RState {
+    phase: Phase,
+    /// Earliest time the next micro-task may start (task-serial per
+    /// request: one worker at a time; also carries backoff gaps).
+    next_ready: u64,
+    /// Completion time of the last finished micro-task (admission time
+    /// before any task ran).
+    last_event: u64,
+    /// First micro-task dispatch time.
+    start: Option<u64>,
+    rung: DegradationRung,
+    skipped: Vec<(DegradationRung, String)>,
+    /// Planned failing attempts (capped at the attempt budget).
+    fails: u64,
+    /// Fail attempts already burned (indexes the backoff schedule).
+    fails_done: u64,
+    backoff_total: u64,
+    /// Per-chunk virtual cost, exact-sum distribution of the scaled
+    /// prefill time: the first `chunk_rem` chunks cost `chunk_cost+1`.
+    chunk_cost: u64,
+    chunk_rem: u64,
+    n_chunks: u64,
+    chunks_done: u64,
+    per_token: u64,
+    steps_done: u64,
+    first_token: Option<u64>,
+    fail_ms: u64,
+    permanent: bool,
+    bytes: u64,
+    terminal: Option<(Planned, u64)>,
+}
+
+impl RState {
+    fn new() -> Self {
+        RState {
+            phase: Phase::Pending,
+            next_ready: 0,
+            last_event: 0,
+            start: None,
+            rung: DegradationRung::Full,
+            skipped: Vec::new(),
+            fails: 0,
+            fails_done: 0,
+            backoff_total: 0,
+            chunk_cost: 0,
+            chunk_rem: 0,
+            n_chunks: 0,
+            chunks_done: 0,
+            per_token: 0,
+            steps_done: 0,
+            first_token: None,
+            fail_ms: 0,
+            permanent: false,
+            bytes: 0,
+            terminal: None,
+        }
+    }
+
+    fn resolve(&mut self, planned: Planned, finish: u64) {
+        self.phase = Phase::Done;
+        self.terminal = Some((planned, finish));
+    }
+
+    /// Cost of this request's next micro-task, and whether it debits
+    /// the tenant bucket (milli-tokens).
+    fn next_task(&self, cfg: &ServeConfig) -> (u64, u64) {
+        match self.phase {
+            Phase::FailAttempts { .. } => (self.fail_ms, 0),
+            Phase::Prefill => {
+                let cost = if self.chunks_done < self.chunk_rem {
+                    self.chunk_cost + 1
+                } else {
+                    self.chunk_cost
+                };
+                (cost.max(1), (cfg.chunk_size.max(1) as u64) * 1000)
+            }
+            Phase::Decode => (self.per_token.max(1), 1000),
+            Phase::Pending | Phase::Admitted | Phase::Done => (0, 0),
+        }
+    }
+}
+
+/// The deadline budget a request gets for its deferred ladder walk: its
+/// remaining wall time scaled by the worker share it can expect under
+/// the current backlog (`slots / contenders`). With free capacity the
+/// request keeps its whole remaining deadline (full rung when it fits);
+/// under backlog the budget shrinks and the walk lands on cheaper
+/// rungs — the continuous analogue of the one-shot planner's late
+/// starts, which eat the deadline in queue and force the same
+/// degradation at `choose_rung` time. Degrading under load is what lets
+/// the scheduler trade per-request fidelity for deadline goodput
+/// instead of serving a few full-rung requests while the rest expire.
+fn dispatch_budget_ms(remaining_ms: u64, slots: usize, contenders: usize) -> u64 {
+    let share = contenders.max(slots).max(1) as u128;
+    ((remaining_ms as u128 * slots.max(1) as u128) / share) as u64
+}
+
+/// Minimal virtual compute left on a request's schedule, excluding
+/// backoff gaps. Excluding them makes this a strict under-estimate, so
+/// feasibility shedding on it only ever abandons requests that provably
+/// cannot finish by their deadline — never one that still had a chance.
+/// Also the shortest-remaining-first dispatch key. For a request whose
+/// ladder walk has not run yet, `budget_ms` picks the rung to project:
+/// the shed check passes 0 (bottom rung — the true minimum), dispatch
+/// ordering passes the load-scaled budget the walk would actually get.
+fn est_remaining_ms(req: &Request, s: &RState, budget_ms: u64) -> u64 {
+    match s.phase {
+        Phase::Pending | Phase::Admitted => {
+            // The ladder walk the request would get if dispatched now.
+            let (rung, _) = sim::choose_rung(req, budget_ms);
+            let service = sim::service_ms(req, rung);
+            s.fails * (service / 8).max(1) + if s.permanent { 0 } else { service }
+        }
+        Phase::FailAttempts { remaining } => {
+            let mut rem = remaining * s.fail_ms;
+            if !s.permanent {
+                rem += s.n_chunks * s.chunk_cost
+                    + s.chunk_rem
+                    + req.new_tokens as u64 * s.per_token;
+            }
+            rem
+        }
+        Phase::Prefill => {
+            let chunks_left = s.n_chunks - s.chunks_done;
+            let plus_one = s.chunk_rem.saturating_sub(s.chunks_done);
+            chunks_left * s.chunk_cost + plus_one + req.new_tokens as u64 * s.per_token
+        }
+        Phase::Decode => {
+            (req.new_tokens as u64).saturating_sub(s.steps_done) * s.per_token
+        }
+        Phase::Done => 0,
+    }
+}
+
+/// The deferred ladder walk: runs when a worker first picks the request
+/// up, fixing the rung against the load-scaled deadline budget
+/// ([`dispatch_budget_ms`]) and deriving every rung-dependent cost
+/// (failed-attempt time and the exact-sum distribution of the scaled
+/// prefill over its chunks).
+fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
+    let (rung, skipped) = sim::choose_rung(req, budget_ms);
+    let service = sim::service_ms(req, rung);
+    let scaled_prefill = service
+        .saturating_sub(req.base_service_ms().saturating_sub(req.prefill_service_ms()))
+        .max(1);
+    s.rung = rung;
+    s.skipped = skipped;
+    s.fail_ms = (service / 8).max(1);
+    s.chunk_cost = scaled_prefill / s.n_chunks;
+    s.chunk_rem = scaled_prefill % s.n_chunks;
+    s.phase = if s.fails > 0 {
+        Phase::FailAttempts { remaining: s.fails }
+    } else {
+        Phase::Prefill
+    };
+}
+
+/// Simulates the continuous open-loop timeline and returns one
+/// [`ContinuousPlan`] per request, aligned with the input order.
+pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<ContinuousPlan> {
+    let weights = sim::weight_bytes();
+    let budget = cfg.mem_budget_bytes;
+    let slots = cfg.slots();
+    let n = requests.len();
+
+    // Dense tenant index, deterministic order.
+    let mut tenant_ids: Vec<u64> = requests.iter().map(|r| r.tenant).collect();
+    tenant_ids.sort_unstable();
+    tenant_ids.dedup();
+    let tenant_of = |req: &Request| -> usize {
+        tenant_ids
+            .binary_search(&req.tenant)
+            .unwrap_or(0 /* unreachable: built from the same set */)
+    };
+    let mut buckets: Vec<TokenBucket> = tenant_ids.iter().map(|_| TokenBucket::new(cfg)).collect();
+
+    // Arrival order (stable by id for simultaneous arrivals).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (requests[i].arrival_ms, requests[i].id));
+
+    let mut st: Vec<RState> = (0..n).map(|_| RState::new()).collect();
+    for (i, req) in requests.iter().enumerate() {
+        st[i].bytes = sim::request_bytes(cfg, req);
+    }
+
+    let deadline_t = |i: usize| requests[i].arrival_ms + requests[i].deadline_ms;
+    let cancel_t = |i: usize| {
+        if requests[i].cancel_after_ms > 0 {
+            requests[i].arrival_ms + requests[i].cancel_after_ms
+        } else {
+            u64::MAX
+        }
+    };
+    // The instant a request stops being worth any compute: whichever of
+    // its deadline and its caller's cancellation comes first. Urgency
+    // ordering, dispatch budgets, and feasibility shedding all use this
+    // — a request that provably cannot finish before its caller hangs
+    // up is exactly as worthless to schedule as one that cannot make
+    // its deadline.
+    let due_t = |i: usize| deadline_t(i).min(cancel_t(i));
+
+    let mut worker_free: Vec<u64> = vec![0; slots];
+    let mut next_arrival = 0usize; // index into `order`
+    // The admission queue, kept in earliest-deadline-first order
+    // (ties by arrival then id, so the order is total and
+    // deterministic). EDF decides *who is the head* that memory
+    // backpressure defers on: the most urgent request — never bypassed,
+    // so it cannot be starved — rather than the oldest, so a
+    // long-deadline giant waiting for memory does not pin down a string
+    // of short-deadline requests behind it until they all expire.
+    let mut pending: Vec<usize> = Vec::new();
+    let mut inflight: Vec<usize> = Vec::new(); // admitted, not Done; sorted by admission
+    let mut mem_in_use: u64 = weights;
+    // (release_time, bytes) of completed requests, applied once the
+    // clock passes the release point (sorted ascending; drained front).
+    let mut releases: VecDeque<(u64, u64)> = VecDeque::new();
+    let mut rr_cursor: usize = 0;
+    let mut done = 0usize;
+
+    // Admits from the pending queue head while memory allows, resolving
+    // requests whose cancel/deadline already passed. `now` is the
+    // virtual instant the admission opportunity exists.
+    macro_rules! admit {
+        ($now:expr) => {{
+            let now: u64 = $now;
+            while let Some((t, bytes)) = releases.front().copied() {
+                if t <= now {
+                    mem_in_use -= bytes;
+                    releases.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(&i) = pending.first() {
+                let req = &requests[i];
+                if cancel_t(i) <= now {
+                    let at = cancel_t(i).max(req.arrival_ms);
+                    st[i].start = Some(at);
+                    st[i].resolve(Planned::CancelCaller, at);
+                    done += 1;
+                    pending.remove(0);
+                    continue;
+                }
+                if deadline_t(i) <= now {
+                    let at = deadline_t(i);
+                    st[i].start = Some(at);
+                    st[i].resolve(Planned::ExpireInQueue, at);
+                    done += 1;
+                    pending.remove(0);
+                    continue;
+                }
+                if weights + st[i].bytes > budget {
+                    // Could never fit, even alone next to the weights.
+                    let required_bytes = weights + st[i].bytes;
+                    st[i].start = Some(now);
+                    st[i].resolve(Planned::RejectBudget { required_bytes }, now);
+                    done += 1;
+                    pending.remove(0);
+                    continue;
+                }
+                if mem_in_use + st[i].bytes > budget {
+                    break; // head-of-line memory backpressure
+                }
+                // Lazy admission for slack-rich requests: admission
+                // commits this request's memory until it finishes, so a
+                // long-deadline giant admitted during a lull can pin
+                // half the pool across a later crest and starve the
+                // crest's short-deadline arrivals out of admission
+                // entirely. While the head could still wait and keep
+                // its full-rung service, admitting it early is a luxury
+                // allowed to consume at most half of the free memory —
+                // successive early admissions leave geometrically
+                // shrinking headroom, so small requests always slip in
+                // while a second giant must wait. Once waiting longer
+                // would force a degraded rung the request is urgent and
+                // may fill the pool to the brim.
+                let must_start_by =
+                    due_t(i).saturating_sub(sim::service_ms(req, DegradationRung::Full));
+                if now < must_start_by && st[i].bytes > budget.saturating_sub(mem_in_use) / 2 {
+                    break;
+                }
+                pending.remove(0);
+                mem_in_use += st[i].bytes;
+                // Only the rung-independent shape is fixed here; the
+                // ladder walk waits for first dispatch (init_schedule).
+                let attempts_budget = cfg.max_retries as u64 + 1;
+                let s = &mut st[i];
+                s.fails = req.fault_fails.min(attempts_budget);
+                s.permanent = req.fault_fails >= attempts_budget;
+                s.n_chunks = (req.seq_len as u64)
+                    .div_ceil(cfg.chunk_size.max(1) as u64)
+                    .max(1);
+                s.per_token = ((req.seq_len as u64) / 16).max(1);
+                s.phase = Phase::Admitted;
+                s.next_ready = now;
+                s.last_event = now;
+                inflight.push(i);
+            }
+        }};
+    }
+
+    while done < n {
+        // The worker that frees earliest decides the next dispatch
+        // instant (lowest index wins ties, deterministically).
+        let w = (0..slots)
+            .min_by_key(|&w| (worker_free[w], w))
+            .unwrap_or(0);
+        let now = worker_free[w];
+
+        // Ingest arrivals up to `now`, bounding the pending queue.
+        while next_arrival < n {
+            let i = order[next_arrival];
+            let at = requests[i].arrival_ms;
+            if at > now {
+                break;
+            }
+            next_arrival += 1;
+            admit!(at);
+            if pending.len() >= cfg.max_pending.max(1) {
+                let running = inflight.iter().filter(|&&j| st[j].terminal.is_none()).count();
+                st[i].start = Some(at);
+                st[i].resolve(
+                    Planned::RejectOverloaded {
+                        inflight: running + pending.len(),
+                    },
+                    at,
+                );
+                done += 1;
+            } else {
+                let key = |j: usize| (due_t(j), requests[j].arrival_ms, requests[j].id);
+                let pos = pending.partition_point(|&j| key(j) <= key(i));
+                pending.insert(pos, i);
+            }
+        }
+        admit!(now);
+        inflight.retain(|&i| st[i].terminal.is_none());
+
+        // Resolve in-flight requests whose cancel/deadline passed
+        // (cooperative semantics: the stop lands at the later of the
+        // signal and the last completed micro-task), and shed the
+        // provably doomed: when even the backoff-free minimum of a
+        // request's remaining compute cannot fit its deadline, finishing
+        // is impossible — abandoning it *now* frees capacity for
+        // requests that can still make their deadlines, instead of
+        // burning workers on work that expires anyway.
+        let mut freed: Vec<usize> = Vec::new();
+        for &i in &inflight {
+            if st[i].next_ready > now {
+                continue; // mid-task or in backoff; checked on wake-up
+            }
+            // Admitted but never dispatched counts as a queue expiry
+            // (matching the one-shot convention); once any micro-task
+            // ran it is a mid-run deadline cancel.
+            let expiry = if st[i].start.is_none() {
+                Planned::ExpireInQueue
+            } else {
+                Planned::CancelDeadline
+            };
+            let doomed = !st[i].permanent
+                && now.saturating_add(est_remaining_ms(&requests[i], &st[i], 0)) > due_t(i);
+            let (stop, planned, release_at) = if cancel_t(i) <= now {
+                (cancel_t(i), Planned::CancelCaller, now)
+            } else if deadline_t(i) <= now {
+                (deadline_t(i), expiry, now)
+            } else if doomed {
+                // Shed early; the record still shows the due instant as
+                // the terminal one, but the memory frees now.
+                if cancel_t(i) < deadline_t(i) {
+                    (cancel_t(i), Planned::CancelCaller, now)
+                } else {
+                    (deadline_t(i), expiry, now)
+                }
+            } else {
+                continue;
+            };
+            let finish = stop.max(st[i].last_event);
+            st[i].resolve(planned, finish);
+            releases.push_back((release_at.max(st[i].last_event), st[i].bytes));
+            done += 1;
+            freed.push(i);
+        }
+        if !freed.is_empty() {
+            releases.make_contiguous().sort_unstable();
+            inflight.retain(|i| !freed.contains(i));
+            admit!(now);
+            inflight.retain(|&i| st[i].terminal.is_none());
+        }
+
+        // The same sweep over the whole EDF queue: expired, cancelled,
+        // and provably-doomed entries leave immediately instead of
+        // lingering until they reach the head (they hold no memory, but
+        // they inflate the contention estimate and hide the backlog's
+        // true shape from the dispatch budget).
+        pending.retain(|&i| {
+            let (planned, at) = if cancel_t(i) <= now {
+                (Planned::CancelCaller, cancel_t(i).max(requests[i].arrival_ms))
+            } else if deadline_t(i) <= now {
+                (Planned::ExpireInQueue, deadline_t(i))
+            } else if now.saturating_add(est_remaining_ms(&requests[i], &st[i], 0)) > due_t(i) {
+                // Even the bottom rung, started this instant, misses
+                // the due point (deadline or the caller hanging up).
+                if cancel_t(i) < deadline_t(i) {
+                    (Planned::CancelCaller, cancel_t(i))
+                } else {
+                    (Planned::ExpireInQueue, deadline_t(i))
+                }
+            } else {
+                return true;
+            };
+            st[i].start = Some(at);
+            st[i].resolve(planned, at);
+            done += 1;
+            false
+        });
+
+        // Pick a micro-task: decode-first, then prefill/fail-attempt by
+        // tenant round-robin under the token buckets.
+        let mut chosen: Option<usize> = None;
+        let mut decode_best: Option<(u64, u64)> = None; // (ready, id)
+        for &i in &inflight {
+            if st[i].phase == Phase::Decode && st[i].next_ready <= now {
+                let key = (st[i].next_ready, requests[i].id);
+                if decode_best.is_none_or(|b| key < b) {
+                    decode_best = Some(key);
+                    chosen = Some(i);
+                }
+            }
+        }
+        // Earliest future instant anything becomes dispatchable, used
+        // when this iteration cannot dispatch.
+        let mut wake: u64 = u64::MAX;
+        if chosen.is_none() {
+            let n_tenants = tenant_ids.len().max(1);
+            // Everyone contending for worker time right now: admitted
+            // requests plus the memory-deferred pending queue.
+            let contenders = inflight.len() + pending.len();
+            let budget_of =
+                |i: usize| dispatch_budget_ms(due_t(i).saturating_sub(now), slots, contenders);
+            'tenants: for step in 0..n_tenants {
+                let t_idx = (rr_cursor + step) % n_tenants;
+                // Within a tenant, shortest-remaining-work-first at
+                // chunk granularity: a short request preempts a long
+                // prefill at its next chunk boundary, while homogeneous
+                // streams degrade gracefully to run-to-completion (the
+                // in-progress head always has the least remaining), so
+                // overload never thrashes every request past its
+                // deadline the way round-robin time-slicing does.
+                let pick = inflight
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        matches!(
+                            st[i].phase,
+                            Phase::Admitted | Phase::FailAttempts { .. } | Phase::Prefill
+                        ) && st[i].next_ready <= now
+                            && tenant_of(&requests[i]) == t_idx
+                    })
+                    .min_by_key(|&i| {
+                        (est_remaining_ms(&requests[i], &st[i], budget_of(i)), requests[i].id)
+                    });
+                let Some(i) = pick else { continue 'tenants };
+                if st[i].phase == Phase::Admitted {
+                    // First time a worker reaches this request: walk the
+                    // ladder against the load-scaled deadline budget.
+                    let budget = budget_of(i);
+                    init_schedule(&requests[i], &mut st[i], budget);
+                }
+                let (_, bucket_cost) = st[i].next_task(cfg);
+                if bucket_cost == 0 || buckets[t_idx].try_take(now, bucket_cost) {
+                    chosen = Some(i);
+                    rr_cursor = (t_idx + 1) % n_tenants;
+                    break 'tenants;
+                }
+                // Bucket-limited: note the optimistic refill time and
+                // make the whole tenant wait (no cheap-task bypass, so
+                // quota starvation cannot reorder a tenant's stream).
+                wake = wake.min(buckets[t_idx].ready_time(now, bucket_cost));
+            }
+        }
+
+        let Some(i) = chosen else {
+            // Nothing dispatchable at `now`: advance this worker to the
+            // earliest of (next arrival, a request waking from backoff
+            // or another worker's completion, a bucket refill).
+            if next_arrival < n {
+                wake = wake.min(requests[order[next_arrival]].arrival_ms);
+            }
+            for &j in &inflight {
+                let candidate = st[j]
+                    .next_ready
+                    .max(cancel_t(j).min(deadline_t(j)).min(u64::MAX));
+                // A request sitting mid-task or in backoff becomes
+                // actionable at next_ready; one already past its
+                // deadline/cancel but mid-task resolves then too.
+                let _ = candidate;
+                wake = wake.min(st[j].next_ready.max(now + 1));
+            }
+            if let Some(&(t, _)) = releases.front() {
+                wake = wake.min(t.max(now + 1));
+            }
+            if let Some(&h) = pending.first() {
+                // A lazily-deferred head becomes an urgent admission
+                // (allowed to fill the reserve) at its last full-rung
+                // start instant.
+                let must_start_by =
+                    due_t(h).saturating_sub(sim::service_ms(&requests[h], DegradationRung::Full));
+                wake = wake.min(must_start_by.max(now + 1));
+            }
+            if wake == u64::MAX {
+                // No future event can occur. Everything left pending
+                // expires at its own deadline (or cancel).
+                for i in pending.drain(..) {
+                    let (planned, at) = if cancel_t(i) < deadline_t(i) {
+                        (Planned::CancelCaller, cancel_t(i))
+                    } else {
+                        (Planned::ExpireInQueue, deadline_t(i))
+                    };
+                    let at = at.max(requests[i].arrival_ms);
+                    st[i].start = Some(at);
+                    st[i].resolve(planned, at);
+                    done += 1;
+                }
+                continue;
+            }
+            worker_free[w] = wake.max(now + 1);
+            continue;
+        };
+
+        // Dispatch request `i`'s next micro-task on worker `w`.
+        let (cost, _) = st[i].next_task(cfg);
+        let cost = cost.max(1);
+        let end = now + cost;
+        worker_free[w] = end;
+        if st[i].start.is_none() {
+            st[i].start = Some(now);
+        }
+        st[i].last_event = end;
+        st[i].next_ready = end;
+        match st[i].phase.clone() {
+            Phase::FailAttempts { remaining } => {
+                let attempt = st[i].fails_done;
+                st[i].fails_done += 1;
+                if remaining > 1 {
+                    let gap = sim::backoff_ms(cfg, requests[i].id, attempt);
+                    st[i].backoff_total = st[i].backoff_total.saturating_add(gap);
+                    st[i].next_ready = end.saturating_add(gap);
+                    st[i].phase = Phase::FailAttempts {
+                        remaining: remaining - 1,
+                    };
+                } else if st[i].permanent {
+                    let fails = st[i].fails;
+                    st[i].resolve(Planned::FailPermanent { fails }, end);
+                    releases.push_back((end, st[i].bytes));
+                    releases.make_contiguous().sort_unstable();
+                    done += 1;
+                } else {
+                    // Last injected failure: back off, then run clean.
+                    let gap = sim::backoff_ms(cfg, requests[i].id, attempt);
+                    st[i].backoff_total = st[i].backoff_total.saturating_add(gap);
+                    st[i].next_ready = end.saturating_add(gap);
+                    st[i].phase = Phase::Prefill;
+                }
+            }
+            Phase::Prefill => {
+                st[i].chunks_done += 1;
+                if st[i].chunks_done == st[i].n_chunks {
+                    if requests[i].new_tokens == 0 {
+                        let fails = st[i].fails;
+                        st[i].first_token = Some(end);
+                        st[i].resolve(Planned::Serve { fails }, end);
+                        releases.push_back((end, st[i].bytes));
+                        releases.make_contiguous().sort_unstable();
+                        done += 1;
+                    } else {
+                        st[i].phase = Phase::Decode;
+                    }
+                }
+            }
+            Phase::Decode => {
+                st[i].steps_done += 1;
+                if st[i].steps_done == 1 {
+                    st[i].first_token = Some(end);
+                }
+                if st[i].steps_done == requests[i].new_tokens as u64 {
+                    let fails = st[i].fails;
+                    st[i].resolve(Planned::Serve { fails }, end);
+                    releases.push_back((end, st[i].bytes));
+                    releases.make_contiguous().sort_unstable();
+                    done += 1;
+                }
+            }
+            Phase::Pending | Phase::Admitted | Phase::Done => {
+                // Unreachable: dispatch schedules Admitted requests
+                // before picking them, and only compute phases run.
+            }
+        }
+    }
+
+    // Assemble plans in input order.
+    (0..n)
+        .map(|i| {
+            let req = &requests[i];
+            let s = &st[i];
+            let (planned, finish) = s
+                .terminal
+                .clone()
+                // Unreachable by construction — every request resolves
+                // before the loop exits. Resolve defensively.
+                .unwrap_or((Planned::ExpireInQueue, deadline_t(i)));
+            let started_model = !matches!(
+                planned,
+                Planned::RejectOverloaded { .. }
+                    | Planned::RejectBudget { .. }
+                    | Planned::ExpireInQueue
+            );
+            let start = s.start.unwrap_or(finish).min(finish);
+            let (retries, backoff_ms) = match planned {
+                Planned::Serve { fails } => (fails, s.backoff_total),
+                Planned::FailPermanent { fails } => (fails.saturating_sub(1), s.backoff_total),
+                _ => (0, 0),
+            };
+            ContinuousPlan {
+                plan: Plan {
+                    planned,
+                    rung: if started_model { s.rung } else { DegradationRung::Full },
+                    skipped: if started_model { s.skipped.clone() } else { Vec::new() },
+                    start_ms: start,
+                    finish_ms: finish,
+                    queue_wait_ms: start.saturating_sub(req.arrival_ms),
+                    retries,
+                    backoff_ms,
+                },
+                tenant: req.tenant,
+                first_token_ms: s.first_token.unwrap_or(0),
+                prefill_chunks: s.chunks_done,
+                decode_steps: s.steps_done,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mixed_workload, open_loop_workload};
+    use sa_workloads::{ArrivalProcess, ArrivalShape};
+
+    fn cfg() -> ServeConfig {
+        ServeConfig::default()
+    }
+
+    #[test]
+    fn healthy_stream_serves_everything_in_arrival_order_capacity() {
+        let c = cfg();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request::prefill(id, 64, id * 10, 1_000_000))
+            .collect();
+        let plans = plan_continuous(&c, &reqs);
+        for p in &plans {
+            assert!(matches!(p.plan.planned, Planned::Serve { fails: 0 }), "{p:?}");
+            assert_eq!(p.plan.rung, DegradationRung::Full);
+            assert!(p.first_token_ms > 0);
+            assert_eq!(p.first_token_ms, p.plan.finish_ms, "prefill-only TTFT = finish");
+            assert_eq!(p.prefill_chunks, 2, "64 tokens / 32-chunk = 2 chunks");
+        }
+    }
+
+    #[test]
+    fn long_prefill_no_longer_blocks_short_requests() {
+        // One huge prefill arrives first; a short one right behind it.
+        // Under one-shot planning with one slot the short request waits
+        // the whole 512² service; under continuous batching it
+        // interleaves at chunk granularity and finishes far earlier.
+        let c = ServeConfig {
+            max_inflight: 1,
+            ..cfg()
+        };
+        let long = Request::prefill(0, 512, 0, 1_000_000);
+        let short = Request::prefill(1, 48, 1, 1_000_000);
+        let oneshot = sim::plan_batch(&c, &[long.clone(), short.clone()]);
+        let cont = plan_continuous(&c, &[long, short]);
+        assert!(matches!(cont[1].plan.planned, Planned::Serve { .. }));
+        assert!(
+            cont[1].plan.finish_ms < oneshot[1].finish_ms / 4,
+            "continuous {} ms vs one-shot {} ms",
+            cont[1].plan.finish_ms,
+            oneshot[1].finish_ms
+        );
+    }
+
+    #[test]
+    fn decode_steps_interleave_with_prefill_chunks() {
+        // A decode session in flight and a prefill arriving later: the
+        // decode's tokens must not all wait for the prefill to finish.
+        let c = ServeConfig {
+            max_inflight: 1,
+            ..cfg()
+        };
+        let mut decode = Request::prefill(0, 64, 0, 1_000_000);
+        decode.kind = crate::RequestKind::Decode;
+        decode.new_tokens = 8;
+        let prefill = Request::prefill(1, 512, 1, 1_000_000);
+        let plans = plan_continuous(&c, &[decode, prefill]);
+        assert!(matches!(plans[0].plan.planned, Planned::Serve { .. }));
+        assert!(matches!(plans[1].plan.planned, Planned::Serve { .. }));
+        // Decode-first priority: the decode session finishes its 8
+        // tokens long before the 4096 ms prefill completes.
+        assert!(
+            plans[0].plan.finish_ms < plans[1].plan.finish_ms,
+            "decode {} vs prefill {}",
+            plans[0].plan.finish_ms,
+            plans[1].plan.finish_ms
+        );
+        assert_eq!(plans[0].decode_steps, 8);
+        assert!(plans[0].first_token_ms < plans[0].plan.finish_ms);
+    }
+
+    #[test]
+    fn pending_overflow_rejects_with_inflight_count() {
+        let c = ServeConfig {
+            max_inflight: 1,
+            max_pending: 2,
+            ..cfg()
+        };
+        // Slow head + queue bound 2: the fourth simultaneous arrival
+        // bounces.
+        let reqs: Vec<Request> = (0..5)
+            .map(|id| Request::prefill(id, 512, 0, 1_000_000))
+            .collect();
+        let plans = plan_continuous(&c, &reqs);
+        let rejected = plans
+            .iter()
+            .filter(|p| matches!(p.plan.planned, Planned::RejectOverloaded { .. }))
+            .count();
+        assert!(rejected >= 1, "bounded pending queue must reject overflow");
+        for p in &plans {
+            if let Planned::RejectOverloaded { inflight } = p.plan.planned {
+                assert!(inflight >= 2, "rejection carries the load snapshot");
+                assert_eq!(p.plan.start_ms, p.plan.finish_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_request_is_budget_rejected_not_stuck() {
+        let c = ServeConfig {
+            mem_budget_bytes: sim::weight_bytes() + 1,
+            ..cfg()
+        };
+        let reqs = vec![Request::prefill(0, 512, 0, 1_000_000)];
+        let plans = plan_continuous(&c, &reqs);
+        assert!(
+            matches!(plans[0].plan.planned, Planned::RejectBudget { required_bytes }
+                if required_bytes > c.mem_budget_bytes)
+        );
+    }
+
+    #[test]
+    fn memory_backpressure_defers_instead_of_rejecting() {
+        // Two 512-prefills fit concurrently, a third waits for a
+        // release instead of bouncing (unlike the one-shot planner).
+        let c = cfg();
+        let reqs: Vec<Request> = (0..3)
+            .map(|id| Request::prefill(id, 512, 0, 10_000_000))
+            .collect();
+        let plans = plan_continuous(&c, &reqs);
+        for p in &plans {
+            assert!(matches!(p.plan.planned, Planned::Serve { .. }), "{p:?}");
+        }
+        // The third request waited for memory: it starts only after an
+        // earlier one finished.
+        let first_finish = plans.iter().map(|p| p.plan.finish_ms).min().unwrap();
+        let last_start = plans.iter().map(|p| p.plan.start_ms).max().unwrap();
+        assert!(
+            last_start >= first_finish,
+            "start {last_start} should wait for release at {first_finish}"
+        );
+    }
+
+    #[test]
+    fn deadline_expires_in_queue_and_mid_run() {
+        let c = ServeConfig {
+            max_inflight: 1,
+            ..cfg()
+        };
+        // Feasible-but-tight: the full rung (4096 ms) fits the 4500 ms
+        // deadline, so the long prefill starts at t=0 undegraded.
+        let long = Request::prefill(0, 512, 0, 4500);
+        // Deadline shorter than one chunk of anything: expires queued.
+        let hopeless = Request::prefill(1, 512, 1, 2);
+        // Less remaining work: preempts the long prefill at every chunk
+        // boundary until the long one can no longer make its deadline.
+        let short = Request::prefill(2, 256, 1, 1_000_000);
+        let plans = plan_continuous(&c, &[long, hopeless, short]);
+        assert!(matches!(plans[1].plan.planned, Planned::ExpireInQueue));
+        assert!(matches!(plans[2].plan.planned, Planned::Serve { fails: 0 }));
+        // The long request ran at least one chunk, then was shed the
+        // moment its backoff-free remaining work provably could not fit
+        // the deadline — charged as a mid-run deadline cancellation at
+        // the deadline itself, exactly like the one-shot planner.
+        assert!(matches!(plans[0].plan.planned, Planned::CancelDeadline));
+        assert_eq!(plans[0].plan.finish_ms, 4500);
+        assert_eq!(plans[0].plan.start_ms, 0, "it started before the shed");
+        assert!(plans[0].prefill_chunks >= 1, "it ran before the shed");
+    }
+
+    #[test]
+    fn caller_cancellation_wins_over_completion() {
+        let c = cfg();
+        let mut req = Request::prefill(0, 512, 0, 1_000_000);
+        req.cancel_after_ms = 10;
+        let plans = plan_continuous(&c, &[req]);
+        assert!(matches!(plans[0].plan.planned, Planned::CancelCaller));
+        assert!(plans[0].plan.finish_ms >= 10);
+        assert!(plans[0].plan.finish_ms < 4096, "stopped within ~a chunk");
+    }
+
+    #[test]
+    fn transient_and_permanent_faults_follow_the_oneshot_model() {
+        let c = cfg();
+        let mut transient = Request::prefill(0, 64, 0, 1_000_000);
+        transient.fault_fails = 2;
+        let mut permanent = Request::prefill(1, 64, 50_000, 1_000_000);
+        permanent.fault_fails = 99;
+        let plans = plan_continuous(&c, &[transient, permanent]);
+        assert!(matches!(plans[0].plan.planned, Planned::Serve { fails: 2 }));
+        assert_eq!(plans[0].plan.retries, 2);
+        assert!(plans[0].plan.backoff_ms >= 2 * c.backoff_base_ms);
+        assert!(
+            matches!(plans[1].plan.planned, Planned::FailPermanent { fails }
+                if fails == c.max_retries as u64 + 1)
+        );
+        assert_eq!(plans[1].plan.retries, c.max_retries as u64);
+    }
+
+    #[test]
+    fn token_bucket_throttles_a_flooding_tenant() {
+        // Tenant 0 floods with big prefills; tenant 1 sends one small
+        // request slightly later. With a tight bucket, tenant 1 must
+        // not wait for the entire flood.
+        let c = ServeConfig {
+            max_inflight: 2,
+            tenant_rate_tokens_per_sec: 64,
+            tenant_burst_tokens: 64,
+            ..cfg()
+        };
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|id| Request::prefill(id, 224, 0, 10_000_000))
+            .collect();
+        let mut small = Request::prefill(4, 48, 10, 10_000_000);
+        small.tenant = 1;
+        reqs.push(small);
+        let plans = plan_continuous(&c, &reqs);
+        assert!(matches!(plans[4].plan.planned, Planned::Serve { .. }));
+        let flood_last = plans[..4].iter().map(|p| p.plan.finish_ms).max().unwrap();
+        assert!(
+            plans[4].plan.finish_ms < flood_last,
+            "tenant 1 ({} ms) should not trail the whole flood ({} ms)",
+            plans[4].plan.finish_ms,
+            flood_last
+        );
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_total_on_adversarial_mixes() {
+        let c = ServeConfig {
+            max_pending: 8,
+            ..cfg()
+        };
+        let reqs = mixed_workload(11, 48);
+        let a = plan_continuous(&c, &reqs);
+        let b = plan_continuous(&c, &reqs);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), reqs.len());
+        assert!(a.iter().any(|p| matches!(p.plan.planned, Planned::Serve { fails: 0 })));
+        for (p, r) in a.iter().zip(&reqs) {
+            assert!(p.plan.finish_ms >= p.plan.start_ms, "{p:?}");
+            assert!(p.plan.start_ms >= r.arrival_ms, "{p:?}");
+            if p.first_token_ms > 0 {
+                assert!(p.first_token_ms >= p.plan.start_ms);
+                assert!(p.first_token_ms <= p.plan.finish_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_flash_crowd_is_planned_totally() {
+        let c = cfg();
+        let process = ArrivalProcess {
+            seed: 13,
+            rate_per_sec: 6.0,
+            shape: ArrivalShape::FlashCrowd {
+                quiet_ms: 6_000,
+                burst_ms: 1_500,
+                multiplier: 6.0,
+            },
+        };
+        let reqs = open_loop_workload(13, &process, 25_000, 3);
+        assert!(reqs.len() > 50, "flash crowd should draw a real stream");
+        let plans = plan_continuous(&c, &reqs);
+        assert_eq!(plans.len(), reqs.len());
+        let served = plans
+            .iter()
+            .filter(|p| matches!(p.plan.planned, Planned::Serve { .. }))
+            .count();
+        assert!(served > 0);
+    }
+
+    #[test]
+    fn lazy_admission_keeps_memory_reserve_for_urgent_arrivals() {
+        // A slack-rich giant (deadline far beyond its full-rung
+        // service) may be admitted early only while it takes at most
+        // half the free memory; a second giant must wait even though it
+        // would fit, keeping headroom for urgent arrivals. An urgent
+        // small request then slips straight in past the deferred giant.
+        let c = cfg();
+        let g1 = Request::prefill(0, 512, 0, 1_000_000);
+        let g2 = Request::prefill(1, 512, 1, 1_000_000);
+        let urgent = Request::prefill(2, 96, 2, 338);
+        let plans = plan_continuous(&c, &[g1, g2, urgent]);
+        for p in &plans {
+            assert!(matches!(p.plan.planned, Planned::Serve { .. }), "{p:?}");
+        }
+        assert!(
+            plans[2].plan.finish_ms <= 2 + 338,
+            "urgent request served within its deadline, not behind the giants"
+        );
+        assert!(
+            plans[1].plan.start_ms >= plans[0].plan.finish_ms.min(plans[2].plan.finish_ms),
+            "second giant was deferred, not admitted alongside the first"
+        );
+    }
+}

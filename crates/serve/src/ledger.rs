@@ -64,6 +64,16 @@ pub struct RequestRecord {
     pub finish_ms: u64,
     /// Virtual time spent waiting for a slot.
     pub queue_wait_ms: u64,
+    /// Tenant the request billed against (continuous batching charges
+    /// its token-bucket quotas per tenant; one-shot batches carry the
+    /// request's tenant through unchanged).
+    pub tenant: u64,
+    /// Decode steps requested after prefill (0 for pure prefill).
+    pub new_tokens: u64,
+    /// Virtual time from arrival to the first output token (TTFT).
+    /// Zero when no token was produced (rejections, queue expiries,
+    /// cancellations before the first token).
+    pub ttft_ms: u64,
     /// Terminal state.
     pub outcome: Outcome,
     /// Final degradation rung (`""` when no model work ran).
@@ -97,6 +107,9 @@ sa_json::impl_json_struct!(RequestRecord {
     start_ms,
     finish_ms,
     queue_wait_ms,
+    tenant,
+    new_tokens,
+    ttft_ms,
     outcome,
     rung,
     alpha_satisfied,
@@ -127,7 +140,9 @@ sa_json::impl_json_struct!(Ledger {
 });
 
 /// Schema tag written by [`Scheduler::run`](crate::Scheduler::run).
-pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v1";
+/// `v2` added the tenant, `new_tokens`, and TTFT fields for the
+/// continuous-batching SLO accounting.
+pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v2";
 
 impl Ledger {
     /// Counts records with the given outcome.
@@ -209,6 +224,21 @@ impl Ledger {
             if rec.finish_ms < rec.start_ms || rec.start_ms < rec.arrival_ms {
                 return Err(format!("request {}: time went backwards", rec.id));
             }
+            if rec.ttft_ms > 0 {
+                let first_token = rec.arrival_ms + rec.ttft_ms;
+                if first_token < rec.start_ms || first_token > rec.finish_ms {
+                    return Err(format!(
+                        "request {}: first token at {first_token} outside [{}, {}]",
+                        rec.id, rec.start_ms, rec.finish_ms
+                    ));
+                }
+                if !ran_model {
+                    return Err(format!(
+                        "request {}: TTFT recorded without model work",
+                        rec.id
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -228,6 +258,9 @@ mod tests {
             start_ms: 0,
             finish_ms: 64,
             queue_wait_ms: 0,
+            tenant: 0,
+            new_tokens: 0,
+            ttft_ms: 64,
             outcome: Outcome::Served,
             rung: "full".to_string(),
             alpha_satisfied: true,
@@ -284,5 +317,12 @@ mod tests {
         let mut bad_err = good.clone();
         bad_err.records[1].error = "boom".to_string();
         assert!(bad_err.validate(&reqs).unwrap_err().contains("carries error"));
+
+        let mut bad_ttft = good.clone();
+        bad_ttft.records[0].ttft_ms = 10_000;
+        assert!(bad_ttft
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("first token"));
     }
 }

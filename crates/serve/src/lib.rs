@@ -23,6 +23,12 @@
 //! - [`Ledger`] ([`ledger`]) — one audit record per request; validated
 //!   for totality (no request ever lost) and honesty (no silent drop
 //!   below the CRA α target).
+//! - [`continuous`] — the continuous-batching planner for open-loop
+//!   arrival streams: prefill chunks of new requests interleave with
+//!   decode steps of in-flight sessions at micro-task granularity,
+//!   under per-tenant token-bucket fairness quotas.
+//! - [`slo`] — SLO accounting over a ledger: TTFT/TPOT percentiles and
+//!   goodput under deadline, exported as the `sa.slo.v1` artifact.
 //!
 //! ## Failure taxonomy
 //!
@@ -58,13 +64,17 @@
 //! ```
 
 pub mod config;
+pub mod continuous;
 pub mod ledger;
 pub mod request;
 pub mod scheduler;
 pub mod sim;
+pub mod slo;
 
 pub use config::ServeConfig;
+pub use continuous::{plan_continuous, ContinuousPlan};
 pub use ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
-pub use request::{mixed_workload, Request, RequestKind, FAULT_SITE};
+pub use request::{mixed_workload, open_loop_workload, Request, RequestKind, FAULT_SITE};
 pub use scheduler::Scheduler;
 pub use sim::{plan_batch, Plan, Planned};
+pub use slo::{SloSummary, SLO_SCHEMA};

@@ -50,6 +50,10 @@ pub struct Request {
     pub fault_fails: u64,
     /// Pool site of the injected fault (empty when `fault_fails == 0`).
     pub fault_site: String,
+    /// Tenant the request bills against: the continuous scheduler's
+    /// fairness quota (token bucket) is per-tenant. Single-tenant
+    /// batches use 0.
+    pub tenant: u64,
 }
 
 impl Request {
@@ -65,6 +69,7 @@ impl Request {
             cancel_after_ms: 0,
             fault_fails: 0,
             fault_site: String::new(),
+            tenant: 0,
         }
     }
 
@@ -126,6 +131,9 @@ pub fn mixed_workload(seed: u64, n: usize) -> Vec<Request> {
             cancel_after_ms: 0,
             fault_fails: 0,
             fault_site: String::new(),
+            // Derived from the id, not the rng, so the rest of the draw
+            // stream (and every seeded test pinned to it) is unchanged.
+            tenant: id % 3,
         };
         let base = req.base_service_ms();
         let tier = rng.uniform();
@@ -143,6 +151,76 @@ pub fn mixed_workload(seed: u64, n: usize) -> Vec<Request> {
         }
         if rng.chance(0.20) {
             req.fault_fails = if rng.chance(0.15) {
+                8 // permanent: exceeds any sane retry budget
+            } else {
+                1 + rng.index(2) as u64
+            };
+            req.fault_site = FAULT_SITE.to_string();
+        }
+        out.push(req);
+    }
+    out
+}
+
+/// Draws an **open-loop** workload: arrival timestamps come from a
+/// seeded [`ArrivalProcess`](sa_workloads::ArrivalProcess) (Poisson
+/// with optional diurnal / flash-crowd rate shapes) instead of the
+/// closed-loop trickle of [`mixed_workload`], and every request is
+/// billed to one of `tenants` tenants for the continuous scheduler's
+/// fairness quotas.
+///
+/// The per-request mix mirrors `mixed_workload` (prefills 48–512
+/// synthetic tokens, ~1/4 decodes, deadline tiers from generous to
+/// brutal) with slightly milder adversity (~8 % caller cancels, ~10 %
+/// transient faults) so the SLO sweep measures mostly-healthy traffic
+/// under load rather than fault handling.
+pub fn open_loop_workload(
+    seed: u64,
+    process: &sa_workloads::ArrivalProcess,
+    duration_ms: u64,
+    tenants: u64,
+) -> Vec<Request> {
+    let arrivals = process.generate(duration_ms);
+    let mut rng = DeterministicRng::new(seed ^ 0x6f70_656e_5f6c_6f6f);
+    let tenants = tenants.max(1);
+    let mut out = Vec::with_capacity(arrivals.len());
+    for (id, &arrival_ms) in arrivals.iter().enumerate() {
+        let decode = rng.chance(0.25);
+        let (kind, seq_len, new_tokens) = if decode {
+            let s = [32usize, 48, 64][rng.index(3)];
+            (RequestKind::Decode, s, 3 + rng.index(6))
+        } else {
+            let s = [48usize, 64, 96, 128, 160, 224, 512][rng.index(7)];
+            (RequestKind::Prefill, s, 0)
+        };
+        let mut req = Request {
+            id: id as u64,
+            kind,
+            seq_len,
+            new_tokens,
+            arrival_ms,
+            deadline_ms: 0,
+            cancel_after_ms: 0,
+            fault_fails: 0,
+            fault_site: String::new(),
+            tenant: rng.index(tenants as usize) as u64,
+        };
+        let base = req.base_service_ms();
+        let tier = rng.uniform();
+        req.deadline_ms = if tier < 0.45 {
+            2 * base + 50
+        } else if tier < 0.75 {
+            base / 3 + 20
+        } else if tier < 0.92 {
+            base / 8 + 10
+        } else {
+            base / 40 + 5
+        };
+        if rng.chance(0.08) {
+            req.cancel_after_ms = (req.deadline_ms / 2).max(1);
+        }
+        if rng.chance(0.10) {
+            req.fault_fails = if rng.chance(0.10) {
                 8 // permanent: exceeds any sane retry budget
             } else {
                 1 + rng.index(2) as u64
@@ -186,5 +264,32 @@ mod tests {
         d.kind = RequestKind::Decode;
         d.new_tokens = 5;
         assert!(d.base_service_ms() > d.prefill_service_ms());
+    }
+
+    #[test]
+    fn open_loop_workload_spreads_tenants_and_follows_arrivals() {
+        let process = sa_workloads::ArrivalProcess::constant(9, 4.0);
+        let a = open_loop_workload(9, &process, 30_000, 3);
+        let b = open_loop_workload(9, &process, 30_000, 3);
+        assert_eq!(a, b, "open-loop workload must be reproducible");
+        assert!(!a.is_empty());
+        // Arrivals sorted, ids sequential, all tenants present.
+        assert!(a.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        assert!(a.windows(2).all(|w| w[0].id + 1 == w[1].id));
+        for t in 0..3 {
+            assert!(
+                a.iter().any(|r| r.tenant == t),
+                "tenant {t} drew no requests"
+            );
+        }
+        assert!(a.iter().all(|r| r.tenant < 3));
+        assert!(a.iter().any(|r| r.kind == RequestKind::Decode));
+        // Arrival times match the process draw exactly.
+        let direct = process.generate(30_000);
+        let times: Vec<u64> = a.iter().map(|r| r.arrival_ms).collect();
+        assert_eq!(times, direct);
+        // Zero tenants is clamped to one, not a modulo-by-zero.
+        let single = open_loop_workload(9, &process, 5_000, 0);
+        assert!(single.iter().all(|r| r.tenant == 0));
     }
 }

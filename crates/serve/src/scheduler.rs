@@ -22,6 +22,7 @@
 //! its workers, nested pool calls inside a request run serially on the
 //! same worker thread, and the plan is dropped when the attempt ends.
 
+use crate::continuous::{self, ContinuousPlan};
 use crate::ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
 use crate::sim::{self, Plan, Planned};
 use crate::{Request, RequestKind, ServeConfig};
@@ -67,7 +68,57 @@ impl Scheduler {
         let _span = sa_trace::span_in("serve", "batch");
         let plans = sim::plan_batch(&self.cfg, requests);
         let mut records = pool::try_parallel_map("serve_batch", requests.len(), 1, |i| {
-            self.execute(&requests[i], &plans[i])
+            let mut rec = self.execute(&requests[i], &plans[i]);
+            // The one-shot planner holds a slot for the whole request,
+            // so first-token timing is analytic: the final prefill
+            // chunk lands one decode tail before the finish.
+            if rec.outcome == Outcome::Served {
+                let req = &requests[i];
+                let per_token = (req.seq_len as u64 / 16).max(1);
+                let tail = (req.new_tokens as u64).saturating_sub(1) * per_token;
+                rec.ttft_ms = rec
+                    .finish_ms
+                    .saturating_sub(tail)
+                    .saturating_sub(rec.arrival_ms)
+                    .max(1);
+            }
+            rec
+        })?;
+        records.sort_by_key(|r| r.id);
+        record_metrics(&records);
+        Ok(Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: self.cfg.seed,
+            records,
+        })
+    }
+
+    /// Plans an open-loop stream on the continuous-batching timeline
+    /// (prefill chunks of new requests interleaved with decode steps of
+    /// in-flight sessions, under per-tenant token-bucket quotas) without
+    /// running any model work. Useful for SLO sweeps.
+    pub fn plan_continuous(&self, requests: &[Request]) -> Vec<ContinuousPlan> {
+        continuous::plan_continuous(&self.cfg, requests)
+    }
+
+    /// Runs an open-loop stream under continuous batching: plans the
+    /// interleaved timeline on the virtual clock, executes the admitted
+    /// requests' model work in parallel, and returns the sorted ledger
+    /// with first-token (TTFT) timing filled in from the plan.
+    ///
+    /// # Errors
+    ///
+    /// Only scheduler-level pool failures propagate; per-request faults,
+    /// cancellations, and rejections are ledger outcomes.
+    pub fn run_continuous(&self, requests: &[Request]) -> Result<Ledger, TensorError> {
+        let _span = sa_trace::span_in("serve", "continuous");
+        let plans = continuous::plan_continuous(&self.cfg, requests);
+        let mut records = pool::try_parallel_map("serve_continuous", requests.len(), 1, |i| {
+            let mut rec = self.execute(&requests[i], &plans[i].plan);
+            rec.ttft_ms = plans[i]
+                .first_token_ms
+                .saturating_sub(requests[i].arrival_ms);
+            rec
         })?;
         records.sort_by_key(|r| r.id);
         record_metrics(&records);
@@ -93,6 +144,9 @@ impl Scheduler {
             start_ms: plan.start_ms,
             finish_ms: plan.finish_ms,
             queue_wait_ms: plan.queue_wait_ms,
+            tenant: req.tenant,
+            new_tokens: req.new_tokens as u64,
+            ttft_ms: 0,
             outcome: Outcome::Served,
             rung: String::new(),
             alpha_satisfied: false,
@@ -298,6 +352,13 @@ fn record_metrics(records: &[RequestRecord]) {
         if rec.retries > 0 {
             metrics::counter("serve.retried").add(rec.retries);
             metrics::histogram("serve.backoff_ms").record(rec.backoff_ms);
+        }
+        if rec.ttft_ms > 0 {
+            metrics::histogram("serve.ttft_ms").record(rec.ttft_ms);
+            if rec.outcome == Outcome::Served && rec.new_tokens > 1 {
+                let decode_span = rec.finish_ms.saturating_sub(rec.arrival_ms + rec.ttft_ms);
+                metrics::histogram("serve.tpot_ms").record(decode_span / (rec.new_tokens - 1));
+            }
         }
         if rec.degraded {
             metrics::counter("serve.degraded").add(1);

@@ -84,13 +84,25 @@ impl Plan {
     }
 }
 
+/// A rung's cost factor as an integer per-mille, rounded to nearest.
+/// Truncation here would under-project every rung whose factor is not
+/// exactly representable in thousandths (e.g. a 0.2999… factor flooring
+/// to 299‰), so the ladder's projected costs would silently disagree
+/// with the documented factors.
+pub fn cost_permille(factor: f64) -> u64 {
+    (factor.max(0.0) * 1000.0).round() as u64
+}
+
 /// Per-rung projected service time: the prefill part scales with the
 /// rung's cost factor, the decode tail does not (decode always runs
-/// full attention over the caches).
+/// full attention over the caches). The tail is computed with
+/// `saturating_sub`: a request whose prefill estimate meets or exceeds
+/// its base estimate must yield a zero tail, not a wrapped ~`u64::MAX`
+/// service time that poisons every downstream admission decision.
 pub fn service_ms(req: &Request, rung: DegradationRung) -> u64 {
-    let permille = (rung.cost_factor() * 1000.0) as u64;
+    let permille = cost_permille(rung.cost_factor());
     let prefill = (req.prefill_service_ms() * permille / 1000).max(1);
-    prefill + (req.base_service_ms() - req.prefill_service_ms())
+    prefill + req.base_service_ms().saturating_sub(req.prefill_service_ms())
 }
 
 /// Exponential backoff with deterministic jitter for attempt `attempt`
@@ -107,7 +119,9 @@ pub fn backoff_ms(cfg: &ServeConfig, id: u64, attempt: u64) -> u64 {
         let mut state = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt;
         splitmix64(&mut state) % cfg.backoff_base_ms
     };
-    exp + jitter
+    // A cap near u64::MAX plus jitter must saturate, not wrap to a tiny
+    // (or zero) backoff that would defeat the exponential schedule.
+    exp.saturating_add(jitter)
 }
 
 /// The per-request device bytes of the admission memory model: KV cache
@@ -388,6 +402,52 @@ mod tests {
 
     fn cfg() -> ServeConfig {
         ServeConfig::default()
+    }
+
+    #[test]
+    fn cost_permille_rounds_to_nearest() {
+        // 0.3 is not exactly representable: 0.3 * 1000.0 lands a hair
+        // below 300 and truncation used to floor it to 299‰.
+        assert_eq!(cost_permille(0.3), 300);
+        assert_eq!(cost_permille(0.2999999999), 300);
+        assert_eq!(cost_permille(0.0004), 0);
+        assert_eq!(cost_permille(0.0006), 1);
+        assert_eq!(cost_permille(-1.0), 0, "negative factors clamp to zero");
+        for rung in DegradationRung::ALL {
+            let exact = (rung.cost_factor() * 1000.0).round() as u64;
+            assert_eq!(cost_permille(rung.cost_factor()), exact, "{rung}");
+        }
+    }
+
+    #[test]
+    fn service_ms_never_underflows_when_prefill_meets_base() {
+        // Prefill-only requests have prefill_service_ms == base_service_ms;
+        // the decode tail must be exactly zero, never a wrapped u64.
+        let req = Request::prefill(0, 128, 0, 100);
+        assert_eq!(req.prefill_service_ms(), req.base_service_ms());
+        for rung in DegradationRung::ALL {
+            let s = service_ms(&req, rung);
+            assert!(
+                s <= req.base_service_ms(),
+                "{rung}: service {s} exceeds base {} — tail underflowed",
+                req.base_service_ms()
+            );
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let c = ServeConfig {
+            backoff_base_ms: u64::MAX / 2,
+            backoff_cap_ms: u64::MAX,
+            ..cfg()
+        };
+        // cap + jitter would wrap without saturating_add.
+        for attempt in 0..4 {
+            let b = backoff_ms(&c, 1, attempt);
+            assert!(b >= c.backoff_base_ms, "attempt {attempt} wrapped to {b}");
+        }
     }
 
     #[test]

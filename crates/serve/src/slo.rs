@@ -1,0 +1,416 @@
+//! SLO accounting over an outcome ledger.
+//!
+//! Distills a [`Ledger`] into the serving-side numbers the paper's
+//! evaluation cares about:
+//!
+//! - **TTFT** (time to first token): arrival → first output token, the
+//!   latency a user perceives before streaming starts;
+//! - **TPOT** (time per output token): the steady-state decode pace of
+//!   served multi-token requests;
+//! - **goodput**: requests served *within their deadline* per virtual
+//!   second — throughput that counts only useful work, the metric the
+//!   continuous scheduler must not lose against the one-shot baseline.
+//!
+//! Percentiles use the nearest-rank rule on the virtual-clock values,
+//! so a summary is bit-deterministic whenever its ledger is.
+
+use crate::ledger::{Ledger, Outcome};
+use crate::Request;
+
+/// Schema tag of the `results/slo_report.json` artifact.
+pub const SLO_SCHEMA: &str = "sa.slo.v1";
+
+/// Nearest-rank percentile summary of one latency population
+/// (virtual milliseconds). All zeros when the population is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Median (nearest rank).
+    pub p50_ms: u64,
+    /// 90th percentile.
+    pub p90_ms: u64,
+    /// 95th percentile.
+    pub p95_ms: u64,
+    /// 99th percentile.
+    pub p99_ms: u64,
+    /// Population maximum.
+    pub max_ms: u64,
+}
+
+sa_json::impl_json_struct!(LatencyStats {
+    count,
+    p50_ms,
+    p90_ms,
+    p95_ms,
+    p99_ms,
+    max_ms
+});
+
+impl LatencyStats {
+    /// Summarizes a sample population by nearest-rank percentiles.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                p50_ms: 0,
+                p90_ms: 0,
+                p95_ms: 0,
+                p99_ms: 0,
+                max_ms: 0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let pick = |p: u64| -> u64 {
+            // Nearest-rank: ceil(p/100 * n), 1-indexed.
+            let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+            sorted[rank.min(sorted.len()) - 1]
+        };
+        LatencyStats {
+            count: sorted.len() as u64,
+            p50_ms: pick(50),
+            p90_ms: pick(90),
+            p95_ms: pick(95),
+            p99_ms: pick(99),
+            max_ms: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// The SLO summary of one scheduler run over one request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSummary {
+    /// Schema tag ([`SLO_SCHEMA`]).
+    pub schema: String,
+    /// Which scheduler produced the ledger (`oneshot` / `continuous`).
+    pub scheduler: String,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Served **and** finished at or before the deadline — the goodput
+    /// numerator.
+    pub served_within_deadline: u64,
+    /// Rejected at arrival (queue bound) or by the memory model.
+    pub rejected: u64,
+    /// Expired in queue or cancelled by the deadline mid-run.
+    pub deadline_missed: u64,
+    /// Caller cancellations.
+    pub cancelled: u64,
+    /// Permanent failures.
+    pub failed: u64,
+    /// The accounting window: first arrival → the last deadline in the
+    /// stream, ms. Fixed by the workload alone (never by outcomes), so
+    /// two schedulers on the same trace always divide by the same span —
+    /// a scheduler is never penalized for *completing* late-deadline
+    /// work a baseline rejected, and every request served within its
+    /// deadline finishes inside the window by construction.
+    pub span_ms: u64,
+    /// `served_within_deadline` per virtual second over `span_ms`.
+    pub goodput_per_sec: f64,
+    /// Time-to-first-token of every request that produced a token.
+    pub ttft: LatencyStats,
+    /// Time-per-output-token of served multi-token (decode) requests.
+    pub tpot: LatencyStats,
+}
+
+sa_json::impl_json_struct!(SloSummary {
+    schema,
+    scheduler,
+    requests,
+    served,
+    served_within_deadline,
+    rejected,
+    deadline_missed,
+    cancelled,
+    failed,
+    span_ms,
+    goodput_per_sec,
+    ttft,
+    tpot
+});
+
+/// The accounting window of a request stream: first arrival → last
+/// deadline, in virtual ms (0 for an empty stream). See
+/// [`SloSummary::span_ms`].
+fn stream_span_ms(requests: &[Request]) -> u64 {
+    let first_arrival = requests.iter().map(|r| r.arrival_ms).min();
+    let last_deadline = requests
+        .iter()
+        .map(|r| r.arrival_ms.saturating_add(r.deadline_ms))
+        .max();
+    match (first_arrival, last_deadline) {
+        (Some(a), Some(d)) => d.saturating_sub(a).max(1),
+        _ => 0,
+    }
+}
+
+impl SloSummary {
+    /// Builds the summary from a ledger and the request stream it came
+    /// from (needed for the per-request deadlines, which the ledger does
+    /// not carry).
+    pub fn from_ledger(scheduler: &str, ledger: &Ledger, requests: &[Request]) -> Self {
+        let deadline_of = |id: u64| -> u64 {
+            requests
+                .iter()
+                .find(|r| r.id == id)
+                .map_or(u64::MAX, |r| r.arrival_ms + r.deadline_ms)
+        };
+        let mut served = 0u64;
+        let mut within = 0u64;
+        let mut rejected = 0u64;
+        let mut deadline_missed = 0u64;
+        let mut cancelled = 0u64;
+        let mut failed = 0u64;
+        let mut ttft_samples = Vec::new();
+        let mut tpot_samples = Vec::new();
+        for rec in &ledger.records {
+            match rec.outcome {
+                Outcome::Served => {
+                    served += 1;
+                    if rec.finish_ms <= deadline_of(rec.id) {
+                        within += 1;
+                    }
+                }
+                Outcome::RejectedOverloaded | Outcome::RejectedBudget => rejected += 1,
+                Outcome::ExpiredInQueue | Outcome::DeadlineExceeded => deadline_missed += 1,
+                Outcome::Cancelled => cancelled += 1,
+                Outcome::Failed => failed += 1,
+            }
+            if rec.ttft_ms > 0 {
+                ttft_samples.push(rec.ttft_ms);
+                if rec.outcome == Outcome::Served && rec.new_tokens > 1 {
+                    let decode_span = rec.finish_ms.saturating_sub(rec.arrival_ms + rec.ttft_ms);
+                    tpot_samples.push(decode_span / (rec.new_tokens - 1));
+                }
+            }
+        }
+        let span_ms = stream_span_ms(requests);
+        let goodput_per_sec = if span_ms == 0 {
+            0.0
+        } else {
+            within as f64 * 1000.0 / span_ms as f64
+        };
+        SloSummary {
+            schema: SLO_SCHEMA.to_string(),
+            scheduler: scheduler.to_string(),
+            requests: ledger.records.len() as u64,
+            served,
+            served_within_deadline: within,
+            rejected,
+            deadline_missed,
+            cancelled,
+            failed,
+            span_ms,
+            goodput_per_sec,
+            ttft: LatencyStats::from_samples(&ttft_samples),
+            tpot: LatencyStats::from_samples(&tpot_samples),
+        }
+    }
+
+    /// Builds the summary directly from continuous plans, without
+    /// executing any model work — the planner already fixes every
+    /// outcome and timing on the virtual clock, so plan-level SLO
+    /// numbers equal ledger-level ones. This is what the `slo_sweep`
+    /// bench uses to sweep many arrival rates cheaply.
+    pub fn from_continuous_plans(
+        scheduler: &str,
+        plans: &[crate::ContinuousPlan],
+        requests: &[Request],
+    ) -> Self {
+        use crate::sim::Planned;
+        let mut served = 0u64;
+        let mut within = 0u64;
+        let mut rejected = 0u64;
+        let mut deadline_missed = 0u64;
+        let mut cancelled = 0u64;
+        let mut failed = 0u64;
+        let mut ttft_samples = Vec::new();
+        let mut tpot_samples = Vec::new();
+        for (cp, req) in plans.iter().zip(requests) {
+            match cp.plan.planned {
+                Planned::Serve { .. } => {
+                    served += 1;
+                    if cp.plan.finish_ms <= req.arrival_ms + req.deadline_ms {
+                        within += 1;
+                    }
+                }
+                Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } => rejected += 1,
+                Planned::ExpireInQueue | Planned::CancelDeadline => deadline_missed += 1,
+                Planned::CancelCaller => cancelled += 1,
+                Planned::FailPermanent { .. } => failed += 1,
+            }
+            if cp.first_token_ms > 0 {
+                let ttft = cp.first_token_ms.saturating_sub(req.arrival_ms);
+                ttft_samples.push(ttft);
+                if matches!(cp.plan.planned, Planned::Serve { .. }) && cp.decode_steps > 1 {
+                    let decode_span = cp.plan.finish_ms.saturating_sub(cp.first_token_ms);
+                    tpot_samples.push(decode_span / (cp.decode_steps - 1));
+                }
+            }
+        }
+        let span_ms = stream_span_ms(requests);
+        let goodput_per_sec = if span_ms == 0 {
+            0.0
+        } else {
+            within as f64 * 1000.0 / span_ms as f64
+        };
+        SloSummary {
+            schema: SLO_SCHEMA.to_string(),
+            scheduler: scheduler.to_string(),
+            requests: plans.len() as u64,
+            served,
+            served_within_deadline: within,
+            rejected,
+            deadline_missed,
+            cancelled,
+            failed,
+            span_ms,
+            goodput_per_sec,
+            ttft: LatencyStats::from_samples(&ttft_samples),
+            tpot: LatencyStats::from_samples(&tpot_samples),
+        }
+    }
+
+    /// Builds the one-shot counterpart from [`Plan`](crate::Plan)s, with
+    /// the one-shot analytic TTFT (final prefill chunk lands one decode
+    /// tail before the finish).
+    pub fn from_oneshot_plans(
+        scheduler: &str,
+        plans: &[crate::Plan],
+        requests: &[Request],
+    ) -> Self {
+        use crate::sim::Planned;
+        let mut served = 0u64;
+        let mut within = 0u64;
+        let mut rejected = 0u64;
+        let mut deadline_missed = 0u64;
+        let mut cancelled = 0u64;
+        let mut failed = 0u64;
+        let mut ttft_samples = Vec::new();
+        let mut tpot_samples = Vec::new();
+        for (plan, req) in plans.iter().zip(requests) {
+            match plan.planned {
+                Planned::Serve { .. } => {
+                    served += 1;
+                    if plan.finish_ms <= req.arrival_ms + req.deadline_ms {
+                        within += 1;
+                    }
+                    let per_token = (req.seq_len as u64 / 16).max(1);
+                    let tail = (req.new_tokens as u64).saturating_sub(1) * per_token;
+                    let ttft = plan
+                        .finish_ms
+                        .saturating_sub(tail)
+                        .saturating_sub(req.arrival_ms)
+                        .max(1);
+                    ttft_samples.push(ttft);
+                    if req.new_tokens > 1 {
+                        tpot_samples.push(per_token);
+                    }
+                }
+                Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } => rejected += 1,
+                Planned::ExpireInQueue | Planned::CancelDeadline => deadline_missed += 1,
+                Planned::CancelCaller => cancelled += 1,
+                Planned::FailPermanent { .. } => failed += 1,
+            }
+        }
+        let span_ms = stream_span_ms(requests);
+        let goodput_per_sec = if span_ms == 0 {
+            0.0
+        } else {
+            within as f64 * 1000.0 / span_ms as f64
+        };
+        SloSummary {
+            schema: SLO_SCHEMA.to_string(),
+            scheduler: scheduler.to_string(),
+            requests: plans.len() as u64,
+            served,
+            served_within_deadline: within,
+            rejected,
+            deadline_missed,
+            cancelled,
+            failed,
+            span_ms,
+            goodput_per_sec,
+            ttft: LatencyStats::from_samples(&ttft_samples),
+            tpot: LatencyStats::from_samples(&tpot_samples),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_json::{FromJson, ToJson};
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let s = LatencyStats::from_samples(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50_ms, 50);
+        assert_eq!(s.p90_ms, 90);
+        assert_eq!(s.p95_ms, 100, "ceil(0.95*10)=10th value");
+        assert_eq!(s.p99_ms, 100);
+        assert_eq!(s.max_ms, 100);
+        let single = LatencyStats::from_samples(&[7]);
+        assert_eq!(single.p50_ms, 7);
+        assert_eq!(single.p99_ms, 7);
+        let empty = LatencyStats::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_ms, 0);
+    }
+
+    #[test]
+    fn summary_counts_and_goodput_from_plans() {
+        use crate::{plan_continuous, Request, ServeConfig};
+        let cfg = ServeConfig::default();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request::prefill(id, 64, id * 100, 1_000_000))
+            .collect();
+        let plans = plan_continuous(&cfg, &reqs);
+        let s = SloSummary::from_continuous_plans("continuous", &plans, &reqs);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.served, 4);
+        assert_eq!(s.served_within_deadline, 4);
+        assert!(s.goodput_per_sec > 0.0);
+        assert_eq!(s.ttft.count, 4);
+        assert!(s.span_ms >= 300, "span covers the arrival spread");
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        use crate::{plan_continuous, Request, ServeConfig};
+        let cfg = ServeConfig::default();
+        let reqs = vec![Request::prefill(0, 64, 0, 1_000_000)];
+        let plans = plan_continuous(&cfg, &reqs);
+        let s = SloSummary::from_continuous_plans("continuous", &plans, &reqs);
+        let text = sa_json::to_string(&s.to_json());
+        let back =
+            SloSummary::from_json(&sa_json::from_str::<sa_json::Json>(&text).unwrap()).unwrap();
+        assert_eq!(back.schema, SLO_SCHEMA);
+        assert_eq!(back.requests, s.requests);
+        assert_eq!(back.ttft, s.ttft);
+    }
+
+    #[test]
+    fn plan_level_summary_matches_ledger_level_summary() {
+        use crate::{open_loop_workload, Scheduler, ServeConfig};
+        use sa_workloads::ArrivalProcess;
+        let cfg = ServeConfig::default();
+        let process = ArrivalProcess::constant(3, 2.0);
+        let reqs = open_loop_workload(3, &process, 8_000, 2);
+        let sched = Scheduler::new(cfg.clone()).unwrap();
+        let plans = sched.plan_continuous(&reqs);
+        let from_plans = SloSummary::from_continuous_plans("continuous", &plans, &reqs);
+        let ledger = sched.run_continuous(&reqs).unwrap();
+        let from_ledger = SloSummary::from_ledger("continuous", &ledger, &reqs);
+        assert_eq!(from_plans.served, from_ledger.served);
+        assert_eq!(
+            from_plans.served_within_deadline,
+            from_ledger.served_within_deadline
+        );
+        assert_eq!(from_plans.ttft, from_ledger.ttft);
+        assert_eq!(from_plans.span_ms, from_ledger.span_ms);
+    }
+}

@@ -25,13 +25,17 @@
 //! - [`needle`]: the depth × length stress grid of the
 //!   Needle-in-a-Haystack test;
 //! - [`dataset`]: the small profiling set (22 requests of mixed lengths)
-//!   the paper uses for offline hyper-parameter tuning.
+//!   the paper uses for offline hyper-parameter tuning;
+//! - [`arrivals`]: seeded open-loop arrival processes (Poisson with
+//!   diurnal and flash-crowd rate shapes) for the serving experiments —
+//!   the traffic side of the task mix above.
 //!
 //! Scores are 0–100 per task (fraction of questions answered correctly),
 //! with [`scoring`] aggregating per-family and computing the
 //! "% of full attention" normalisation used for the near-lossless
 //! criterion.
 
+pub mod arrivals;
 pub mod babilong;
 pub mod dataset;
 mod haystack;
@@ -41,6 +45,7 @@ pub mod scoring;
 mod task;
 mod vocab;
 
+pub use arrivals::{ArrivalProcess, ArrivalShape};
 pub use babilong::babilong_suite;
 pub use longbench::{longbench_suite, LongBenchFamily};
 pub use needle::{needle_grid, NeedleCell, NeedleConfig};

@@ -40,7 +40,7 @@ echo "==> lint: no unwrap()/panic-family macros in non-test pipeline sources"
 # lines, and everything at/after a #[cfg(test)] module are exempt; awk
 # strips those before grepping.
 lint_fail=0
-for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs; do
+for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs crates/workloads/src/arrivals.rs; do
     hits="$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
@@ -105,6 +105,17 @@ cargo run -q --release --offline -p sa-bench --bin chaos_soak -- \
     --quick --out "$smoke_out"
 test -s "$smoke_out/chaos_soak.json" || {
     echo "chaos_soak did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: slo_sweep --quick (continuous vs one-shot goodput)"
+# The sweep binary asserts the tentpole bar itself — continuous goodput
+# at least one-shot goodput at every (shape x rate) point — and exits
+# non-zero when continuous batching loses a point.
+cargo run -q --release --offline -p sa-bench --bin slo_sweep -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/slo_report.json" || {
+    echo "slo_sweep did not emit JSON" >&2
     exit 1
 }
 

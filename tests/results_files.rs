@@ -144,45 +144,118 @@ fn checked_in_chaos_soak_ledger_validates() {
     let doc = json::parse(&text).unwrap();
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("sa.chaos_soak.v1")
+        Some("sa.chaos_soak.v2")
     );
-    assert_eq!(
-        doc.get("identical_across_threads").and_then(Json::as_bool),
-        Some(true),
-        "committed soak must have a thread-invariant ledger"
-    );
-    let requests = doc.get("requests").and_then(Json::as_i64).unwrap();
-    assert!(requests > 0);
 
-    let ledger = doc.get("ledger").expect("soak embeds the full ledger");
-    assert_eq!(
-        ledger.get("schema").and_then(Json::as_str),
-        Some(sample_attention::serve::LEDGER_SCHEMA)
-    );
-    let records = match ledger.get("records") {
-        Some(Json::Array(items)) => items,
-        other => panic!("ledger.records must be an array, got {other:?}"),
-    };
-    assert_eq!(
-        records.len() as i64,
-        requests,
-        "ledger must account for every request exactly once"
-    );
-    let mut served = 0;
-    for rec in records {
-        let rung = rec.get("rung").and_then(Json::as_str).unwrap();
-        let alpha = rec.get("alpha_satisfied").and_then(Json::as_bool).unwrap();
-        assert!(
-            !(rung == "window_only" && alpha),
-            "record {:?} certified alpha from the window-only rung",
-            rec.get("id")
+    // Both legs — the one-shot batch and the continuous-batching
+    // replay — must have thread-invariant ledgers with one record per
+    // request and honest degradation.
+    let legs = [
+        ("requests", "identical_across_threads", "ledger"),
+        (
+            "continuous_requests",
+            "continuous_identical_across_threads",
+            "continuous_ledger",
+        ),
+    ];
+    for (requests_key, identical_key, ledger_key) in legs {
+        assert_eq!(
+            doc.get(identical_key).and_then(Json::as_bool),
+            Some(true),
+            "committed soak must have a thread-invariant {ledger_key}"
         );
-        if rec.get("outcome").and_then(Json::as_str) == Some("Served") {
-            served += 1;
+        let requests = doc.get(requests_key).and_then(Json::as_i64).unwrap();
+        assert!(requests > 0);
+
+        let ledger = doc.get(ledger_key).expect("soak embeds the full ledger");
+        assert_eq!(
+            ledger.get("schema").and_then(Json::as_str),
+            Some(sample_attention::serve::LEDGER_SCHEMA)
+        );
+        let records = match ledger.get("records") {
+            Some(Json::Array(items)) => items,
+            other => panic!("{ledger_key}.records must be an array, got {other:?}"),
+        };
+        assert_eq!(
+            records.len() as i64,
+            requests,
+            "{ledger_key} must account for every request exactly once"
+        );
+        let mut served = 0;
+        for rec in records {
+            let rung = rec.get("rung").and_then(Json::as_str).unwrap();
+            let alpha = rec.get("alpha_satisfied").and_then(Json::as_bool).unwrap();
+            assert!(
+                !(rung == "window_only" && alpha),
+                "record {:?} certified alpha from the window-only rung",
+                rec.get("id")
+            );
+            if rec.get("outcome").and_then(Json::as_str) == Some("Served") {
+                served += 1;
+            }
+        }
+        assert!(served > 0, "committed soak served nothing ({ledger_key})");
+        assert!(
+            served < records.len(),
+            "committed soak hit no adversity ({ledger_key})"
+        );
+    }
+}
+
+/// The checked-in `results/slo_report.json` must carry the SLO sweep's
+/// verdicts: the `sa.slo.v1` schema, a non-empty sweep, finite
+/// latency percentiles in ascending order, and — the tentpole's
+/// acceptance bar — continuous goodput at least the one-shot goodput
+/// at every (shape × rate) point.
+#[test]
+fn checked_in_slo_report_validates() {
+    let path = results_dir().join("slo_report.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(sample_attention::serve::SLO_SCHEMA)
+    );
+    assert_eq!(
+        doc.get("continuous_never_worse").and_then(Json::as_bool),
+        Some(true),
+        "committed sweep must certify the goodput bar"
+    );
+    let points = match doc.get("points") {
+        Some(Json::Array(items)) => items,
+        other => panic!("points must be an array, got {other:?}"),
+    };
+    assert!(!points.is_empty(), "sweep has no points");
+    let mut shapes = std::collections::BTreeSet::new();
+    for point in points {
+        let shape = point.get("shape").and_then(Json::as_str).unwrap();
+        shapes.insert(shape.to_string());
+        let cont = point.get("continuous").expect("continuous summary");
+        let oneshot = point.get("oneshot").expect("oneshot summary");
+        let cg = cont.get("goodput_per_sec").and_then(Json::as_f64).unwrap();
+        let og = oneshot.get("goodput_per_sec").and_then(Json::as_f64).unwrap();
+        assert!(cg.is_finite() && og.is_finite());
+        assert!(
+            cg >= og,
+            "{shape}: continuous goodput {cg} below one-shot {og}"
+        );
+        for summary in [cont, oneshot] {
+            for hist in ["ttft", "tpot"] {
+                let stats = summary.get(hist).unwrap_or_else(|| panic!("{hist} stats"));
+                let mut prev = 0i64;
+                for pct in ["p50_ms", "p90_ms", "p95_ms", "p99_ms"] {
+                    let v = stats.get(pct).and_then(Json::as_i64).unwrap();
+                    assert!(v >= prev, "{shape}: {hist}.{pct} = {v} below p-predecessor");
+                    prev = v;
+                }
+            }
         }
     }
-    assert!(served > 0, "committed soak served nothing");
-    assert!(served < records.len(), "committed soak hit no adversity");
+    assert!(
+        shapes.len() >= 3,
+        "sweep must cover the constant/diurnal/flash-crowd shapes, got {shapes:?}"
+    );
 }
 
 /// The checked-in `results/tile_kernel.json` A/B report must carry its

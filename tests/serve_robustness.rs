@@ -14,9 +14,13 @@
 //!    target from the window-only rung, and the `degraded` flag always
 //!    agrees with the rung-by-rung report.
 
+use sample_attention::core::DegradationRung;
 use sample_attention::json::ToJson;
-use sample_attention::serve::{mixed_workload, Outcome, Request, Scheduler, ServeConfig};
-use sample_attention::tensor::pool;
+use sample_attention::serve::{
+    mixed_workload, open_loop_workload, sim, Outcome, Request, RequestKind, Scheduler, ServeConfig,
+};
+use sample_attention::tensor::{pool, DeterministicRng};
+use sample_attention::workloads::{ArrivalProcess, ArrivalShape};
 
 fn run_under_threads(cfg: &ServeConfig, requests: &[Request], threads: usize) -> String {
     let scheduler = Scheduler::new(cfg.clone()).unwrap();
@@ -174,4 +178,154 @@ fn ladder_never_certifies_alpha_from_the_window_rung() {
         saw_degraded |= rec.degraded;
     }
     assert!(saw_degraded, "deadline tiers must force some degradation");
+}
+
+/// Draws a seeded request shape for the virtual-time arithmetic
+/// property tests, deliberately over-weighting the edge shapes the
+/// arithmetic bugfixes target: pure prefills (prefill == base, so the
+/// decode tail must be exactly zero), decode requests with a
+/// zero-length tail, and single-token prompts.
+fn arbitrary_shape(rng: &mut DeterministicRng, id: u64) -> Request {
+    let mut req = Request::prefill(
+        id,
+        [1usize, 2, 16, 48, 64, 224, 512, 1024][rng.index(8)],
+        rng.index(10_000) as u64,
+        1 + rng.index(20_000) as u64,
+    );
+    if rng.chance(0.4) {
+        req.kind = RequestKind::Decode;
+        // Includes 0: a decode request whose tail has already drained.
+        req.new_tokens = rng.index(9);
+    }
+    req
+}
+
+#[test]
+fn service_ms_never_wraps_and_is_bounded_by_full_attention() {
+    let mut rng = DeterministicRng::new(0x5EED_5157);
+    for id in 0..500 {
+        let req = arbitrary_shape(&mut rng, id);
+        let full = sim::service_ms(&req, DegradationRung::Full);
+        assert_eq!(
+            full,
+            req.base_service_ms(),
+            "full attention must cost exactly the base estimate ({req:?})"
+        );
+        for rung in DegradationRung::ALL {
+            let s = sim::service_ms(&req, rung);
+            assert!(s >= 1, "service must be at least one virtual ms ({req:?})");
+            assert!(
+                s <= full,
+                "a cheaper rung must never cost more than full attention: \
+                 {s} > {full} at {rung:?} ({req:?})"
+            );
+            // The wrap this pins: a prefill-dominated request whose
+            // scaled prefill meets its base estimate must yield a zero
+            // decode tail, not a ~u64::MAX underflow.
+            assert!(s < 1 << 40, "service time wrapped ({req:?})");
+        }
+    }
+}
+
+#[test]
+fn backoff_is_monotone_in_attempt_up_to_the_cap() {
+    let cfg = ServeConfig::default();
+    let mut rng = DeterministicRng::new(0xBACC_0FF5);
+    for _ in 0..200 {
+        let id = rng.index(1 << 20) as u64;
+        let mut prev = 0u64;
+        for attempt in 0..20 {
+            let b = sim::backoff_ms(&cfg, id, attempt);
+            assert!(
+                b < cfg.backoff_cap_ms + cfg.backoff_base_ms,
+                "backoff {b} exceeds cap {} plus jitter bound {}",
+                cfg.backoff_cap_ms,
+                cfg.backoff_base_ms
+            );
+            // Strictly below the cap each doubling outgrows the jitter,
+            // so the schedule is non-decreasing attempt over attempt.
+            if b < cfg.backoff_cap_ms {
+                assert!(
+                    b >= prev,
+                    "backoff shrank below the cap: attempt {attempt} gave {b} after {prev}"
+                );
+            }
+            prev = b;
+        }
+    }
+}
+
+#[test]
+fn backoff_saturates_at_extreme_bases_instead_of_wrapping() {
+    // A pathological operator config: base and cap near the top of u64.
+    // Every attempt must saturate near the cap, never wrap to a tiny
+    // backoff that would defeat the exponential schedule.
+    let cfg = ServeConfig {
+        backoff_base_ms: u64::MAX / 2,
+        backoff_cap_ms: u64::MAX,
+        ..ServeConfig::default()
+    };
+    for attempt in 0..20 {
+        let b = sim::backoff_ms(&cfg, 3, attempt);
+        assert!(
+            b >= u64::MAX / 2,
+            "extreme backoff wrapped to {b} at attempt {attempt}"
+        );
+    }
+}
+
+#[test]
+fn request_bytes_is_monotone_in_prompt_length_at_scale_extremes() {
+    for tokens_per_synthetic in [1u64, 2048, 1 << 20] {
+        let cfg = ServeConfig {
+            tokens_per_synthetic,
+            ..ServeConfig::default()
+        };
+        let mut prev = 0u64;
+        for seq_len in [1usize, 16, 64, 224, 512, 1024] {
+            let req = Request::prefill(0, seq_len, 0, 1_000);
+            let bytes = sim::request_bytes(&cfg, &req);
+            assert!(bytes > 0, "a request always occupies memory");
+            assert!(
+                bytes >= prev,
+                "memory model not monotone at scale {tokens_per_synthetic}: \
+                 seq {seq_len} needs {bytes} < {prev}"
+            );
+            prev = bytes;
+        }
+    }
+}
+
+#[test]
+fn continuous_ledger_is_byte_identical_across_thread_counts() {
+    let cfg = ServeConfig {
+        seed: 0xC0DE,
+        ..ServeConfig::default()
+    };
+    let process = ArrivalProcess {
+        seed: 0xC0DE ^ 0x51,
+        rate_per_sec: 3.0,
+        shape: ArrivalShape::FlashCrowd {
+            quiet_ms: 3_000,
+            burst_ms: 1_000,
+            multiplier: 5.0,
+        },
+    };
+    let requests = open_loop_workload(cfg.seed, &process, 8_000, 3);
+    assert!(!requests.is_empty(), "stream drew no arrivals");
+
+    let run = |threads: usize| {
+        let scheduler = Scheduler::new(cfg.clone()).unwrap();
+        let ledger = pool::with_threads(threads, || scheduler.run_continuous(&requests)).unwrap();
+        ledger.validate(&requests).unwrap();
+        sample_attention::json::to_string(&ledger.to_json())
+    };
+    let canonical = run(1);
+    for threads in [2, 4] {
+        let other = run(threads);
+        assert_eq!(
+            canonical, other,
+            "serialized continuous ledger differs between 1 and {threads} worker threads"
+        );
+    }
 }
