@@ -16,20 +16,29 @@
 //! caller cancellations, transient worker faults (retried with seeded
 //! backoff), and permanent faults (retry budget exhausted).
 //!
-//! The soak runs **two legs** with the same contract: the one-shot
-//! batch scheduler over `mixed_workload`, and the continuous-batching
+//! The soak runs **three legs** with the same contract: the one-shot
+//! batch scheduler over `mixed_workload`, the continuous-batching
 //! scheduler ([`Scheduler::run_continuous`]) over a seeded open-loop
-//! flash-crowd arrival stream ([`sa_serve::open_loop_workload`]).
+//! flash-crowd arrival stream ([`sa_serve::open_loop_workload`]), and a
+//! **fault storm** ([`sa_serve::fault_storm_workload`]) replayed under
+//! a globally installed [`FaultPlan`] that layers serving-loop crashes,
+//! failed restore allocations, and checkpoint bit-flips on top of the
+//! workload's own planned crashes — crash recovery must keep the whole
+//! contract: nothing lost, every fault typed, ledgers bit-identical.
 //!
 //! Outputs:
 //! - stdout: outcome tally per thread count and the `serve.*` counters;
 //! - `results/chaos_soak.json`: the full ledgers plus soak verdicts.
 //!
 //! Flags: `--seed <u64>`, `--quick` (12 requests instead of 48, shorter
-//! open-loop stream), `--out <dir>`.
+//! open-loop stream, smaller storm), `--out <dir>`.
 
 use sa_bench::{render_table, write_json, Args};
-use sa_serve::{mixed_workload, open_loop_workload, Ledger, Outcome, Scheduler, ServeConfig};
+use sa_serve::{
+    fault_storm_workload, mixed_workload, open_loop_workload, Ledger, Outcome, Scheduler,
+    ServeConfig,
+};
+use sa_tensor::fault::{self, FaultPlan};
 use sa_tensor::pool;
 use sa_trace::metrics;
 use sa_workloads::{ArrivalProcess, ArrivalShape};
@@ -66,6 +75,26 @@ struct ChaosSoakReport {
     continuous_outcome_counts: Vec<(String, u64)>,
     /// The canonical continuous ledger (single-threaded replay).
     continuous_ledger: Ledger,
+    /// Requests in the fault-storm leg.
+    storm_requests: u64,
+    /// Whether the storm ledger was bit-identical at every replayed
+    /// thread count.
+    storm_identical_across_threads: bool,
+    /// Storm-leg outcome tally, name → count (sorted by name).
+    storm_outcome_counts: Vec<(String, u64)>,
+    /// Attempts across the storm that resumed from a checkpoint.
+    storm_recovered_attempts: u64,
+    /// Prefill tokens the storm recomputed after crashes.
+    storm_recomputed_tokens: u64,
+    /// Checkpoints captured during the storm replays.
+    storm_checkpoint_snapshots: u64,
+    /// Restores the storm's bit-flip faults corrupted (all fell back
+    /// to scratch with a typed counter, never a wrong answer).
+    storm_checkpoint_corruptions: u64,
+    /// Restore stagings the storm's alloc faults failed (ditto).
+    storm_alloc_faults: u64,
+    /// The canonical storm ledger (single-threaded replay).
+    storm_ledger: Ledger,
 }
 
 sa_json::impl_json_struct!(ChaosSoakReport {
@@ -82,12 +111,22 @@ sa_json::impl_json_struct!(ChaosSoakReport {
     continuous_requests,
     continuous_identical_across_threads,
     continuous_outcome_counts,
-    continuous_ledger
+    continuous_ledger,
+    storm_requests,
+    storm_identical_across_threads,
+    storm_outcome_counts,
+    storm_recovered_attempts,
+    storm_recomputed_tokens,
+    storm_checkpoint_snapshots,
+    storm_checkpoint_corruptions,
+    storm_alloc_faults,
+    storm_ledger
 });
 
 /// Schema tag of `results/chaos_soak.json`. `v2` added the
-/// continuous-batching leg (`continuous_*` fields).
-const SCHEMA: &str = "sa.chaos_soak.v2";
+/// continuous-batching leg (`continuous_*` fields); `v3` the
+/// fault-storm crash-recovery leg (`storm_*` fields).
+const SCHEMA: &str = "sa.chaos_soak.v3";
 
 fn outcome_name(o: Outcome) -> &'static str {
     match o {
@@ -286,6 +325,94 @@ fn main() {
         );
     }
 
+    // --- Fault-storm leg: crash recovery under a full fault plan. ---
+    // The storm workload's planned crashes (dense `fault_fails`) meet a
+    // globally installed plan that also crashes one in four attempt
+    // salts outright, fails one in three restore stagings, and flips a
+    // bit in every staged checkpoint (caught by the checksum, falling
+    // back to scratch). The contract does not bend: zero lost requests,
+    // every fault surfaces typed, and the ledger stays bit-identical at
+    // every thread count.
+    let storm_n = if args.quick { 16 } else { 40 };
+    let storm = fault_storm_workload(args.seed, storm_n);
+    let storm_cfg = ServeConfig {
+        seed: args.seed,
+        ..ServeConfig::default()
+    }
+    .from_env();
+    let storm_scheduler = Scheduler::new(storm_cfg).expect("tiny model config is valid");
+    let counter_now = |name: &str| {
+        metrics::snapshot()
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let base_snapshots = counter_now("serve.checkpoint.snapshots");
+    let base_corruptions = counter_now("serve.checkpoint.corruptions");
+    let base_alloc = counter_now("serve.pressure.alloc_faults");
+
+    let mut storm_ledgers: Vec<Ledger> = Vec::new();
+    {
+        let _storm_faults = fault::install(
+            FaultPlan::new(args.seed)
+                .serve_crash("serve_attempt", 4)
+                .alloc_failures(3)
+                .kv_bit_flips(1),
+        );
+        for &t in &thread_counts {
+            let ledger = pool::with_threads(t, || storm_scheduler.run_continuous(&storm))
+                .expect("storm replay never fails");
+            ledger
+                .validate(&storm)
+                .expect("storm ledger accounts for every request");
+            storm_ledgers.push(ledger);
+        }
+    }
+    let storm_canonical = &storm_ledgers[0];
+    let storm_identical = storm_ledgers.iter().all(|l| l == storm_canonical);
+
+    let mut storm_rows = Vec::new();
+    for (t, ledger) in thread_counts.iter().zip(&storm_ledgers) {
+        let mut row = vec![t.to_string()];
+        for o in ALL_OUTCOMES {
+            row.push(ledger.count(o).to_string());
+        }
+        row.push(if ledger == storm_canonical { "yes" } else { "NO" }.to_string());
+        storm_rows.push(row);
+    }
+    println!("fault storm: {storm_n} requests under crash/alloc/bit-flip faults\n");
+    println!("{}", render_table(&headers, &storm_rows));
+
+    assert!(storm_identical, "storm ledger differs across thread counts");
+    assert!(
+        storm_canonical.count(Outcome::Served) > 0,
+        "storm leg served nothing"
+    );
+    let storm_recovered: u64 = storm_canonical
+        .records
+        .iter()
+        .map(|r| r.recovered_attempts)
+        .sum();
+    let storm_recomputed: u64 = storm_canonical
+        .records
+        .iter()
+        .map(|r| r.recomputed_tokens)
+        .sum();
+    assert!(storm_recovered > 0, "storm leg never resumed a checkpoint");
+    let storm_snapshots = counter_now("serve.checkpoint.snapshots") - base_snapshots;
+    let storm_corruptions = counter_now("serve.checkpoint.corruptions") - base_corruptions;
+    let storm_alloc = counter_now("serve.pressure.alloc_faults") - base_alloc;
+    assert!(storm_snapshots > 0, "storm leg captured no checkpoints");
+    assert!(
+        storm_corruptions > 0,
+        "storm bit-flips never tripped the restore checksum"
+    );
+    assert!(
+        storm_alloc > 0,
+        "storm alloc faults never hit a restore staging"
+    );
+
     let report = ChaosSoakReport {
         schema: SCHEMA.to_string(),
         seed: args.seed,
@@ -307,14 +434,27 @@ fn main() {
             .map(|&o| (outcome_name(o).to_string(), cont_canonical.count(o) as u64))
             .collect(),
         continuous_ledger: cont_canonical.clone(),
+        storm_requests: storm_n as u64,
+        storm_identical_across_threads: storm_identical,
+        storm_outcome_counts: ALL_OUTCOMES
+            .iter()
+            .map(|&o| (outcome_name(o).to_string(), storm_canonical.count(o) as u64))
+            .collect(),
+        storm_recovered_attempts: storm_recovered,
+        storm_recomputed_tokens: storm_recomputed,
+        storm_checkpoint_snapshots: storm_snapshots,
+        storm_checkpoint_corruptions: storm_corruptions,
+        storm_alloc_faults: storm_alloc,
+        storm_ledger: storm_canonical.clone(),
     };
     if let Some(path) = write_json(&args, "chaos_soak", &report) {
         println!("wrote {}", path.display());
     }
     println!(
-        "verdict: {} batch + {} continuous requests, 0 lost, 0 panics, both ledgers identical at threads {:?}",
+        "verdict: {} batch + {} continuous + {} storm requests, 0 lost, 0 panics, all ledgers identical at threads {:?}",
         n,
         stream.len(),
+        storm_n,
         thread_counts
     );
 }

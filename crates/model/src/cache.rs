@@ -72,6 +72,23 @@ impl LayerKvCache {
         (k, v)
     }
 
+    /// Rebuilds a cache from checkpointed parts (see
+    /// `checkpoint::SessionCheckpoint`). The caller is responsible for
+    /// shape consistency; `seen` is restored verbatim so RoPE offsets
+    /// survive the round trip even after eviction shrank the heads.
+    pub(crate) fn from_parts(entries: Vec<(Matrix, Matrix)>, head_dim: usize, seen: usize) -> Self {
+        LayerKvCache {
+            entries,
+            head_dim,
+            seen,
+        }
+    }
+
+    /// The cache's per-head row width (for checkpoint capture).
+    pub(crate) fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
     /// Replaces a head's cached `(K, V)` wholesale (used by eviction).
     ///
     /// # Panics

@@ -60,79 +60,65 @@ impl SyntheticTransformer {
         method: &dyn AttentionMethod,
         cancel: &CancelToken,
     ) -> Result<(PrefillResult, Vec<LayerKvCache>), TensorError> {
+        // Make the token visible to the worker pool for the duration of
+        // this prefill, so pool-level chunk boundaries check it too.
+        let _cancel_scope = cancel::install(cancel);
+        let mut run = self.start_prefill(tokens, chunk_size)?;
+        while !run.is_done() {
+            cancel.check("prefill_chunked", run.chunks_done(), run.total_chunks())?;
+            run.advance_chunk(method)?;
+        }
+        run.finish()
+    }
+
+    /// Starts a resumable chunked prefill (see [`ChunkedPrefill`]): the
+    /// caller advances it one chunk at a time, which lets the serving
+    /// layer checkpoint progress at chunk boundaries and resume after a
+    /// crash without replaying completed chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for a zero chunk size.
+    pub fn start_prefill(
+        &self,
+        tokens: &[u32],
+        chunk_size: usize,
+    ) -> Result<ChunkedPrefill<'_>, TensorError> {
         if chunk_size == 0 {
             return Err(TensorError::InvalidDimension {
                 op: "prefill_chunked",
                 what: "chunk_size must be >= 1".to_string(),
             });
         }
-        // Make the token visible to the worker pool for the duration of
-        // this prefill, so pool-level chunk boundaries check it too.
-        let _cancel_scope = cancel::install(cancel);
-        let s = tokens.len();
-        let total_chunks = s.div_ceil(chunk_size);
-        let mut chunks_done = 0usize;
         let num_layers = self.config().num_layers;
         let num_heads = self.config().num_heads;
         let hidden_full = self.embedder().embed(tokens);
-
-        let mut caches: Vec<LayerKvCache> = self
+        let caches: Vec<LayerKvCache> = self
             .layers()
             .iter()
             .map(|l| l.new_cache(self.config().head_dim))
             .collect();
-        let mut layer_inputs: Vec<Matrix> =
-            (0..num_layers).map(|_| Matrix::zeros(0, hidden_full.cols())).collect();
-        let mut head_contents: Vec<Matrix> = (0..num_layers * num_heads)
+        let layer_inputs: Vec<Matrix> = (0..num_layers)
+            .map(|_| Matrix::zeros(0, hidden_full.cols()))
+            .collect();
+        let head_contents: Vec<Matrix> = (0..num_layers * num_heads)
             .map(|_| Matrix::zeros(0, self.config().content_dim))
             .collect();
-        let mut head_reports: Vec<Option<HeadReport>> = vec![None; num_layers * num_heads];
-        let mut total_cost = CostReport::new();
-        let mut final_hidden = Matrix::zeros(0, hidden_full.cols());
-
-        let mut start = 0;
-        while start < s {
-            cancel.check("prefill_chunked", chunks_done, total_chunks)?;
-            let end = (start + chunk_size).min(s);
-            let mut rows = hidden_full.slice_rows(start, end)?;
-            for (l, layer) in self.layers().iter().enumerate() {
-                append_rows(&mut layer_inputs[l], &rows)?;
-                let out = layer.forward_incremental(&rows, &mut caches[l], method)?;
-                for (h, content) in out.head_contents.iter().enumerate() {
-                    append_rows(&mut head_contents[l * num_heads + h], content)?;
-                }
-                for r in out.head_reports {
-                    let slot = &mut head_reports[r.layer * num_heads + r.head];
-                    match slot {
-                        Some(existing) => {
-                            existing.cost.merge(&r.cost);
-                            existing.density = (existing.density + r.density) / 2.0;
-                        }
-                        None => *slot = Some(r),
-                    }
-                }
-                total_cost.merge(&out.cost);
-                rows = out.hidden;
-            }
-            append_rows(&mut final_hidden, &rows)?;
-            start = end;
-            chunks_done += 1;
-        }
-
-        let head_reports: Vec<HeadReport> = head_reports
-            .into_iter()
-            .map(|r| r.expect("every head ran at least once"))
-            .collect();
-        Ok((
-            PrefillResult {
-                hidden: final_hidden,
-                layer_inputs,
-                head_contents,
-                head_reports,
-                total_cost,
-            },
+        let final_hidden = Matrix::zeros(0, hidden_full.cols());
+        Ok(ChunkedPrefill {
+            model: self,
+            tokens: tokens.to_vec(),
+            chunk_size,
+            hidden_full,
             caches,
-        ))
+            layer_inputs,
+            head_contents,
+            head_reports: vec![None; num_layers * num_heads],
+            total_cost: CostReport::new(),
+            final_hidden,
+            start: 0,
+            chunks_done: 0,
+        })
     }
 
     /// Starts a decode session: chunked prefill with `method`, then
@@ -198,23 +184,149 @@ fn append_rows(dst: &mut Matrix, src: &Matrix) -> Result<(), TensorError> {
     Ok(())
 }
 
+/// The accumulator state of a chunked prefill, reified as a value so
+/// callers can advance one chunk at a time instead of running the whole
+/// prompt in one call. Between chunks the state is quiescent: the serving
+/// layer checkpoints it there (`checkpoint::PrefillCheckpoint`) and a
+/// crashed attempt resumes from the last checkpoint, recomputing at most
+/// the one chunk that was in flight.
+///
+/// Driving `advance_chunk` to completion and calling [`finish`]
+/// is exactly equivalent to
+/// [`SyntheticTransformer::prefill_chunked`] (which is now implemented
+/// on top of this type).
+///
+/// [`finish`]: ChunkedPrefill::finish
+#[derive(Debug)]
+pub struct ChunkedPrefill<'m> {
+    pub(crate) model: &'m SyntheticTransformer,
+    pub(crate) tokens: Vec<u32>,
+    pub(crate) chunk_size: usize,
+    /// The full embedded prompt. Deterministic in `tokens`, so restore
+    /// recomputes it instead of storing it in the checkpoint.
+    pub(crate) hidden_full: Matrix,
+    pub(crate) caches: Vec<LayerKvCache>,
+    pub(crate) layer_inputs: Vec<Matrix>,
+    pub(crate) head_contents: Vec<Matrix>,
+    pub(crate) head_reports: Vec<Option<HeadReport>>,
+    pub(crate) total_cost: CostReport,
+    pub(crate) final_hidden: Matrix,
+    /// First prompt row the next chunk will process.
+    pub(crate) start: usize,
+    pub(crate) chunks_done: usize,
+}
+
+impl<'m> ChunkedPrefill<'m> {
+    /// Chunks completed so far.
+    pub fn chunks_done(&self) -> usize {
+        self.chunks_done
+    }
+
+    /// Total chunks the prompt divides into.
+    pub fn total_chunks(&self) -> usize {
+        self.tokens.len().div_ceil(self.chunk_size)
+    }
+
+    /// `true` once every prompt row has been processed.
+    pub fn is_done(&self) -> bool {
+        self.start >= self.tokens.len()
+    }
+
+    /// Runs the next chunk through every layer, growing the caches and
+    /// accumulators. A no-op once [`is_done`](Self::is_done).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; on error the accumulators may be
+    /// partially advanced and the run must be discarded (or restored
+    /// from a checkpoint).
+    pub fn advance_chunk(&mut self, method: &dyn AttentionMethod) -> Result<(), TensorError> {
+        let s = self.tokens.len();
+        if self.start >= s {
+            return Ok(());
+        }
+        let num_heads = self.model.config().num_heads;
+        let end = (self.start + self.chunk_size).min(s);
+        let mut rows = self.hidden_full.slice_rows(self.start, end)?;
+        for (l, layer) in self.model.layers().iter().enumerate() {
+            append_rows(&mut self.layer_inputs[l], &rows)?;
+            let out = layer.forward_incremental(&rows, &mut self.caches[l], method)?;
+            for (h, content) in out.head_contents.iter().enumerate() {
+                append_rows(&mut self.head_contents[l * num_heads + h], content)?;
+            }
+            for r in out.head_reports {
+                let slot = &mut self.head_reports[r.layer * num_heads + r.head];
+                match slot {
+                    Some(existing) => {
+                        existing.cost.merge(&r.cost);
+                        existing.density = (existing.density + r.density) / 2.0;
+                    }
+                    None => *slot = Some(r),
+                }
+            }
+            self.total_cost.merge(&out.cost);
+            rows = out.hidden;
+        }
+        append_rows(&mut self.final_hidden, &rows)?;
+        self.start = end;
+        self.chunks_done += 1;
+        Ok(())
+    }
+
+    /// Consumes the finished run into the same `(PrefillResult, caches)`
+    /// pair [`SyntheticTransformer::prefill_chunked`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if chunks remain.
+    pub fn finish(self) -> Result<(PrefillResult, Vec<LayerKvCache>), TensorError> {
+        if !self.is_done() {
+            return Err(TensorError::InvalidDimension {
+                op: "ChunkedPrefill::finish",
+                what: format!(
+                    "{} of {} chunks done",
+                    self.chunks_done,
+                    self.total_chunks()
+                ),
+            });
+        }
+        let head_reports: Vec<HeadReport> = self
+            .head_reports
+            .into_iter()
+            .map(|r| r.expect("every head ran at least once"))
+            .collect();
+        Ok((
+            PrefillResult {
+                hidden: self.final_hidden,
+                layer_inputs: self.layer_inputs,
+                head_contents: self.head_contents,
+                head_reports,
+                total_cost: self.total_cost,
+            },
+            self.caches,
+        ))
+    }
+}
+
 /// An autoregressive decoding session over uncompressed KV caches.
 #[derive(Debug)]
 pub struct DecodeSession<'m> {
-    model: &'m SyntheticTransformer,
-    tokens: Vec<u32>,
-    caches: Vec<LayerKvCache>,
-    readout: Readout,
+    pub(crate) model: &'m SyntheticTransformer,
+    pub(crate) tokens: Vec<u32>,
+    pub(crate) caches: Vec<LayerKvCache>,
+    pub(crate) readout: Readout,
     /// One `(1, content_dim)` matrix per head: the newest position's
     /// retrieval output.
-    last_contents: Vec<Matrix>,
-    prefill: PrefillResult,
-    eviction: EvictionConfig,
+    pub(crate) last_contents: Vec<Matrix>,
+    pub(crate) prefill: PrefillResult,
+    pub(crate) eviction: EvictionConfig,
     /// Accumulated attention mass per (layer, kv-head, cache entry) —
     /// the H2O heavy-hitter statistic, observed during decoding.
-    scores: Vec<Vec<Vec<f64>>>,
+    pub(crate) scores: Vec<Vec<Vec<f64>>>,
     /// Cooperative cancellation token checked before every decode step.
-    cancel: Option<CancelToken>,
+    /// Deliberately *not* checkpointed: a restored session starts with no
+    /// token, and the restoring caller installs its own.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl<'m> DecodeSession<'m> {

@@ -33,6 +33,7 @@
 
 mod archetype;
 mod cache;
+mod checkpoint;
 mod config;
 mod decode;
 mod eviction;
@@ -46,7 +47,8 @@ mod vocab;
 
 pub use archetype::{GroupProjections, HeadArchetype, HeadProjections};
 pub use cache::LayerKvCache;
-pub use decode::DecodeSession;
+pub use checkpoint::{PrefillCheckpoint, SessionCheckpoint, CHECKPOINT_VERSION};
+pub use decode::{ChunkedPrefill, DecodeSession};
 pub use eviction::{EvictionConfig, EvictionPolicy};
 pub use config::{ModelConfig, ModelPreset};
 pub use embedding::{TokenEmbedder, BOS_TOKEN};

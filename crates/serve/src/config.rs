@@ -1,6 +1,6 @@
 //! Scheduler configuration and its environment overrides.
 //!
-//! Three knobs are operator-facing and overridable from the
+//! These knobs are operator-facing and overridable from the
 //! environment (mirroring `SA_THREADS` / `SA_FAULT` / `SA_TRACE`):
 //!
 //! | variable | meaning | accepted values |
@@ -8,6 +8,9 @@
 //! | `SA_DEADLINE_MS` | default per-request deadline | integer milliseconds |
 //! | `SA_MEM_BUDGET` | device memory budget for admission | bytes, with optional `K`/`M`/`G` suffix |
 //! | `SA_MAX_INFLIGHT` | concurrent-request slots | integer ≥ 1 |
+//! | `SA_RECOVERY` | resume faulted attempts from checkpoints | `1`/`on` (default), `0`/`off`/`false` |
+//! | `SA_MEM_LOW` | memory-pressure low watermark | permille of the budget (default 600) |
+//! | `SA_MEM_HIGH` | memory-pressure high watermark | permille of the budget (default 850) |
 //!
 //! Everything else (retry policy, backoff shape, chunk size, the virtual
 //! token scale) is code-level configuration on [`ServeConfig`].
@@ -60,6 +63,20 @@ pub struct ServeConfig {
     /// Continuous batching: per-tenant token-bucket capacity (burst
     /// allowance), synthetic tokens.
     pub tenant_burst_tokens: u64,
+    /// Crash recovery (`SA_RECOVERY`): when `true`, a faulted attempt
+    /// resumes from its last chunk-boundary checkpoint (bounded
+    /// recompute of at most one chunk); when `false`, it retries from
+    /// scratch — PR-7 behavior, kept as the `recovery_bench` baseline.
+    pub recovery_enabled: bool,
+    /// Memory-pressure low watermark (`SA_MEM_LOW`), permille of
+    /// `mem_budget_bytes`. Occupancy at or above it is `Elevated`:
+    /// non-urgent admissions defer and in-flight sessions start
+    /// shedding low-mass KV.
+    pub mem_low_permille: u64,
+    /// Memory-pressure high watermark (`SA_MEM_HIGH`), permille of
+    /// `mem_budget_bytes`. Occupancy at or above it is `Critical`:
+    /// new admissions are forced onto lower degradation rungs.
+    pub mem_high_permille: u64,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +96,9 @@ impl Default for ServeConfig {
             max_pending: 64,
             tenant_rate_tokens_per_sec: 2048,
             tenant_burst_tokens: 8192,
+            recovery_enabled: true,
+            mem_low_permille: 600,
+            mem_high_permille: 850,
         }
     }
 }
@@ -97,6 +117,18 @@ impl ServeConfig {
         }
         if let Some(n) = env_u64("SA_MAX_INFLIGHT") {
             self.max_inflight = (n as usize).max(1);
+        }
+        if let Ok(raw) = std::env::var("SA_RECOVERY") {
+            let raw = raw.trim();
+            if !raw.is_empty() {
+                self.recovery_enabled = raw != "0" && raw != "off" && raw != "false";
+            }
+        }
+        if let Some(p) = env_u64("SA_MEM_LOW") {
+            self.mem_low_permille = p.min(1000);
+        }
+        if let Some(p) = env_u64("SA_MEM_HIGH") {
+            self.mem_high_permille = p.min(1000);
         }
         self
     }
@@ -166,5 +198,22 @@ mod tests {
         assert_eq!(c.default_deadline_ms, 123);
         assert_eq!(c.mem_budget_bytes, 2 << 30);
         assert_eq!(c.max_inflight, 1, "inflight is clamped to >= 1");
+    }
+
+    #[test]
+    fn recovery_and_watermark_overrides_apply() {
+        let c = ServeConfig::default();
+        assert!(c.recovery_enabled, "recovery is on by default");
+        assert!(c.mem_low_permille < c.mem_high_permille);
+        std::env::set_var("SA_RECOVERY", "off");
+        std::env::set_var("SA_MEM_LOW", "500");
+        std::env::set_var("SA_MEM_HIGH", "2000");
+        let c = ServeConfig::default().from_env();
+        std::env::remove_var("SA_RECOVERY");
+        std::env::remove_var("SA_MEM_LOW");
+        std::env::remove_var("SA_MEM_HIGH");
+        assert!(!c.recovery_enabled);
+        assert_eq!(c.mem_low_permille, 500);
+        assert_eq!(c.mem_high_permille, 1000, "permille clamps to 1000");
     }
 }

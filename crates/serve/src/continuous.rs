@@ -47,6 +47,25 @@
 //! - **Faults** follow the one-shot model: the first `fault_fails`
 //!   attempts burn an eighth of the service time each, separated by
 //!   seeded-jitter exponential backoff ([`sim::backoff_ms`]).
+//! - **Crash recovery** ([`recovery_enabled`](crate::ServeConfig::recovery_enabled)):
+//!   each crashed attempt leaves a chunk-boundary checkpoint behind
+//!   ([`planned_checkpoint_chunks`]), so the attempt after it resumes
+//!   with a prefill head start instead of re-running from scratch —
+//!   bounded recompute of at most the one in-flight chunk per crash.
+//!   The plan tallies `recovered_attempts` and `recomputed_tokens`;
+//!   with recovery off the timeline is exactly the retry-from-scratch
+//!   model above (the `recovery_bench` baseline).
+//! - **Memory-pressure governor**: watermark-classified occupancy
+//!   ([`MemoryLedger::level_of`]) drives a ladder of actions — defer
+//!   non-urgent admissions (`serve.pressure.deferrals`), evict the
+//!   low-mass KV share of in-flight decode sessions
+//!   (`serve.pressure.evictions`), force newly dispatched work onto
+//!   lower degradation rungs (`serve.pressure.forced_rungs`), and shed
+//!   urgent requests that still cannot be placed with a typed
+//!   [`BudgetExceeded`](sa_tensor::SaError::BudgetExceeded)
+//!   (`serve.pressure.sheds`). Every decision reads the serial
+//!   planner's own virtual occupancy, never the runtime ledger, so
+//!   plans stay bit-identical at every `SA_THREADS`.
 //!
 //! The degradation-ladder walk ([`sim::choose_rung`]), the memory model
 //! ([`sim::request_bytes`]), and the per-rung cost model
@@ -54,9 +73,12 @@
 //! two schedulers are comparable at the same trace and budget — the
 //! `slo_sweep` bench sweeps arrival rate and reports both.
 
+use crate::memory::{MemoryLedger, PressureLevel};
 use crate::sim::{self, Plan, Planned};
 use crate::{Request, ServeConfig};
 use sa_core::DegradationRung;
+use sa_tensor::splitmix64;
+use sa_trace::metrics;
 use std::collections::VecDeque;
 
 /// One request's schedule on the continuous timeline: the familiar
@@ -75,6 +97,49 @@ pub struct ContinuousPlan {
     pub prefill_chunks: u64,
     /// Decode steps completed on the virtual timeline.
     pub decode_steps: u64,
+    /// Attempts that resumed from a non-empty chunk-boundary checkpoint
+    /// instead of re-running prefill from scratch. Zero when recovery
+    /// is disabled or the request never crashed.
+    pub recovered_attempts: u64,
+    /// Prefill tokens recomputed because of crashes: with recovery on,
+    /// at most the one in-flight chunk per crash (the part no
+    /// chunk-boundary checkpoint can cover); with recovery off,
+    /// everything the crashed attempt had already completed.
+    pub recomputed_tokens: u64,
+}
+
+/// Chunks of prefill progress the `attempt`-th crashed attempt of
+/// request `id` completed (and checkpointed) before crashing —
+/// deterministic in `(cfg.seed, id, attempt)`, between one chunk and an
+/// eighth of the prefill: crashes land early in an attempt far more
+/// often than late, and a single attempt that survived most of its
+/// prefill would usually have survived all of it.
+pub(crate) fn checkpoint_advance(cfg: &ServeConfig, id: u64, attempt: u64, n_chunks: u64) -> u64 {
+    let cap = (n_chunks / 8).max(1);
+    let mut state = cfg.seed
+        ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    1 + splitmix64(&mut state) % cap
+}
+
+/// Cumulative chunk-boundary checkpoint position after the first
+/// `fails` crashed attempts of request `id`: each crash extends the
+/// checkpoint by its [`checkpoint_advance`], clamped so a checkpoint
+/// never covers the whole prefill (the final chunk always runs on the
+/// attempt that completes). The execution phase replays the same draws,
+/// so restored sessions resume from exactly the chunk the planner
+/// credited.
+pub(crate) fn planned_checkpoint_chunks(
+    cfg: &ServeConfig,
+    id: u64,
+    fails: u64,
+    n_chunks: u64,
+) -> u64 {
+    let mut h = 0u64;
+    for attempt in 0..fails {
+        h = (h + checkpoint_advance(cfg, id, attempt, n_chunks)).min(n_chunks.saturating_sub(1));
+    }
+    h
 }
 
 /// Per-tenant fairness quota: a token bucket in milli-tokens so the
@@ -186,6 +251,14 @@ struct RState {
     fail_ms: u64,
     permanent: bool,
     bytes: u64,
+    /// Attempts that resumed from a non-empty checkpoint.
+    recovered_attempts: u64,
+    /// Prefill tokens recomputed across all crashes (see
+    /// [`ContinuousPlan::recomputed_tokens`]).
+    recomputed_tokens: u64,
+    /// The governor already evicted this session's low-mass KV share;
+    /// a session is evicted at most once.
+    evicted: bool,
     terminal: Option<(Planned, u64)>,
 }
 
@@ -211,6 +284,9 @@ impl RState {
             fail_ms: 0,
             permanent: false,
             bytes: 0,
+            recovered_attempts: 0,
+            recomputed_tokens: 0,
+            evicted: false,
             terminal: None,
         }
     }
@@ -262,19 +338,47 @@ fn dispatch_budget_ms(remaining_ms: u64, slots: usize, contenders: usize) -> u64
 /// ladder walk has not run yet, `budget_ms` picks the rung to project:
 /// the shed check passes 0 (bottom rung — the true minimum), dispatch
 /// ordering passes the load-scaled budget the walk would actually get.
-fn est_remaining_ms(req: &Request, s: &RState, budget_ms: u64) -> u64 {
+fn est_remaining_ms(cfg: &ServeConfig, req: &Request, s: &RState, budget_ms: u64) -> u64 {
     match s.phase {
         Phase::Pending | Phase::Admitted => {
             // The ladder walk the request would get if dispatched now.
             let (rung, _) = sim::choose_rung(req, budget_ms);
             let service = sim::service_ms(req, rung);
-            s.fails * (service / 8).max(1) + if s.permanent { 0 } else { service }
+            let fail_part = s.fails * (service / 8).max(1);
+            if s.permanent {
+                return fail_part;
+            }
+            if cfg.recovery_enabled && s.fails > 0 && s.n_chunks > 0 {
+                // The clean attempt will resume from the cumulative
+                // checkpoint, so the estimate must subtract the planned
+                // head start to stay a strict under-estimate (the shed
+                // check must never abandon a recoverable request).
+                let h = planned_checkpoint_chunks(cfg, req.id, s.fails, s.n_chunks);
+                let scaled = service
+                    .saturating_sub(
+                        req.base_service_ms().saturating_sub(req.prefill_service_ms()),
+                    )
+                    .max(1);
+                let chunk_cost = scaled / s.n_chunks;
+                let chunk_rem = scaled % s.n_chunks;
+                let decode_tail = req.new_tokens as u64 * ((req.seq_len as u64) / 16).max(1);
+                return fail_part
+                    + (s.n_chunks - h) * chunk_cost
+                    + chunk_rem.saturating_sub(h)
+                    + decode_tail;
+            }
+            fail_part + service
         }
         Phase::FailAttempts { remaining } => {
             let mut rem = remaining * s.fail_ms;
             if !s.permanent {
-                rem += s.n_chunks * s.chunk_cost
-                    + s.chunk_rem
+                let h = if cfg.recovery_enabled {
+                    planned_checkpoint_chunks(cfg, req.id, s.fails, s.n_chunks)
+                } else {
+                    0
+                };
+                rem += (s.n_chunks - h) * s.chunk_cost
+                    + s.chunk_rem.saturating_sub(h)
                     + req.new_tokens as u64 * s.per_token;
             }
             rem
@@ -319,6 +423,11 @@ fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
 pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<ContinuousPlan> {
     let weights = sim::weight_bytes();
     let budget = cfg.mem_budget_bytes;
+    // Watermark classifier for the governor ladder. Only `level_of`
+    // is used — a pure function of the configured watermarks — fed
+    // with the planner's own serial `mem_in_use` projection, so the
+    // governor is deterministic by construction.
+    let pressure = MemoryLedger::from_config(cfg);
     let slots = cfg.slots();
     let n = requests.len();
 
@@ -417,9 +526,15 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     pending.remove(0);
                     continue;
                 }
-                if mem_in_use + st[i].bytes > budget {
-                    break; // head-of-line memory backpressure
-                }
+                // ── Memory-pressure governor ───────────────────────
+                // Watermark-classified occupancy drives the ladder:
+                // defer non-urgent admissions → evict low-mass KV from
+                // in-flight decode sessions → (at dispatch) force lower
+                // rungs → shed what still cannot be placed.
+                let level = pressure.level_of(mem_in_use);
+                let must_start_by =
+                    due_t(i).saturating_sub(sim::service_ms(req, DegradationRung::Full));
+                let urgent = now >= must_start_by;
                 // Lazy admission for slack-rich requests: admission
                 // commits this request's memory until it finishes, so a
                 // long-deadline giant admitted during a lull can pin
@@ -432,11 +547,58 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 // shrinking headroom, so small requests always slip in
                 // while a second giant must wait. Once waiting longer
                 // would force a degraded rung the request is urgent and
-                // may fill the pool to the brim.
-                let must_start_by =
-                    due_t(i).saturating_sub(sim::service_ms(req, DegradationRung::Full));
-                if now < must_start_by && st[i].bytes > budget.saturating_sub(mem_in_use) / 2 {
+                // may fill the pool to the brim. Under Critical
+                // pressure the luxury disappears entirely: every
+                // non-urgent head defers until occupancy drains.
+                if !urgent
+                    && (st[i].bytes > budget.saturating_sub(mem_in_use) / 2
+                        || level == PressureLevel::Critical)
+                {
+                    if level >= PressureLevel::Elevated {
+                        metrics::counter("serve.pressure.deferrals").add(1);
+                    }
                     break;
+                }
+                if mem_in_use + st[i].bytes > budget {
+                    // Evict the low-mass KV share (a quarter — the
+                    // I_KV tail outside the attention-mass head set,
+                    // recomputable from the prompt) of in-flight
+                    // decode sessions, oldest admission first, until
+                    // the head fits. Each session is evicted at most
+                    // once: the abstraction is dropping resident
+                    // low-mass rows, not repeatedly shrinking KV.
+                    if level >= PressureLevel::Elevated {
+                        for idx in 0..inflight.len() {
+                            if mem_in_use + st[i].bytes <= budget {
+                                break;
+                            }
+                            let j = inflight[idx];
+                            if st[j].phase == Phase::Decode && !st[j].evicted {
+                                let freed = st[j].bytes / 4;
+                                st[j].bytes -= freed;
+                                st[j].evicted = true;
+                                mem_in_use -= freed;
+                                metrics::counter("serve.pressure.evictions").add(1);
+                            }
+                        }
+                    }
+                    if mem_in_use + st[i].bytes > budget {
+                        if urgent && level == PressureLevel::Critical {
+                            // The ladder's last rung: an urgent head
+                            // that still cannot be placed under
+                            // Critical pressure is shed with a typed
+                            // budget rejection instead of blocking the
+                            // EDF head while its deadline bleeds out.
+                            let required_bytes = mem_in_use + st[i].bytes;
+                            st[i].start = Some(now);
+                            st[i].resolve(Planned::RejectBudget { required_bytes }, now);
+                            metrics::counter("serve.pressure.sheds").add(1);
+                            done += 1;
+                            pending.remove(0);
+                            continue;
+                        }
+                        break; // head-of-line memory backpressure
+                    }
                 }
                 pending.remove(0);
                 mem_in_use += st[i].bytes;
@@ -516,7 +678,7 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 Planned::CancelDeadline
             };
             let doomed = !st[i].permanent
-                && now.saturating_add(est_remaining_ms(&requests[i], &st[i], 0)) > due_t(i);
+                && now.saturating_add(est_remaining_ms(cfg, &requests[i], &st[i], 0)) > due_t(i);
             let (stop, planned, release_at) = if cancel_t(i) <= now {
                 (cancel_t(i), Planned::CancelCaller, now)
             } else if deadline_t(i) <= now {
@@ -555,7 +717,7 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 (Planned::CancelCaller, cancel_t(i).max(requests[i].arrival_ms))
             } else if deadline_t(i) <= now {
                 (Planned::ExpireInQueue, deadline_t(i))
-            } else if now.saturating_add(est_remaining_ms(&requests[i], &st[i], 0)) > due_t(i) {
+            } else if now.saturating_add(est_remaining_ms(cfg, &requests[i], &st[i], 0)) > due_t(i) {
                 // Even the bottom rung, started this instant, misses
                 // the due point (deadline or the caller hanging up).
                 if cancel_t(i) < deadline_t(i) {
@@ -615,13 +777,24 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                             && tenant_of(&requests[i]) == t_idx
                     })
                     .min_by_key(|&i| {
-                        (est_remaining_ms(&requests[i], &st[i], budget_of(i)), requests[i].id)
+                        (est_remaining_ms(cfg, &requests[i], &st[i], budget_of(i)), requests[i].id)
                     });
                 let Some(i) = pick else { continue 'tenants };
                 if st[i].phase == Phase::Admitted {
                     // First time a worker reaches this request: walk the
-                    // ladder against the load-scaled deadline budget.
-                    let budget = budget_of(i);
+                    // ladder against the load-scaled deadline budget —
+                    // halved under Critical memory pressure, so freshly
+                    // dispatched work lands on cheaper rungs while
+                    // occupancy drains (the governor's forced-rung
+                    // action).
+                    let mut budget = budget_of(i);
+                    if pressure.level_of(mem_in_use) == PressureLevel::Critical {
+                        let uncapped = sim::choose_rung(&requests[i], budget).0;
+                        budget /= 2;
+                        if sim::choose_rung(&requests[i], budget).0 != uncapped {
+                            metrics::counter("serve.pressure.forced_rungs").add(1);
+                        }
+                    }
                     init_schedule(&requests[i], &mut st[i], budget);
                 }
                 let (_, bucket_cost) = st[i].next_task(cfg);
@@ -699,6 +872,39 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
             Phase::FailAttempts { remaining } => {
                 let attempt = st[i].fails_done;
                 st[i].fails_done += 1;
+                // Crash-recovery accounting for the attempt that
+                // follows this crash (the last crash of a permanent
+                // failure has no successor). With recovery on, the
+                // successor restores the chunk-boundary checkpoint and
+                // recomputes only the one in-flight chunk the crash
+                // destroyed; with recovery off it re-runs everything
+                // this attempt had already completed.
+                let has_successor = remaining > 1 || !st[i].permanent;
+                if has_successor {
+                    let seq = requests[i].seq_len as u64;
+                    let chunk = cfg.chunk_size.max(1) as u64;
+                    if cfg.recovery_enabled {
+                        let h = planned_checkpoint_chunks(
+                            cfg,
+                            requests[i].id,
+                            attempt + 1,
+                            st[i].n_chunks,
+                        );
+                        if h > 0 {
+                            st[i].recovered_attempts += 1;
+                        }
+                        st[i].recomputed_tokens += chunk.min(seq);
+                    } else {
+                        let progressed = checkpoint_advance(
+                            cfg,
+                            requests[i].id,
+                            attempt,
+                            st[i].n_chunks,
+                        )
+                        .min(st[i].n_chunks.saturating_sub(1));
+                        st[i].recomputed_tokens += ((progressed + 1) * chunk).min(seq);
+                    }
+                }
                 if remaining > 1 {
                     let gap = sim::backoff_ms(cfg, requests[i].id, attempt);
                     st[i].backoff_total = st[i].backoff_total.saturating_add(gap);
@@ -713,11 +919,23 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     releases.make_contiguous().sort_unstable();
                     done += 1;
                 } else {
-                    // Last injected failure: back off, then run clean.
+                    // Last injected failure: back off, then run clean —
+                    // resuming from the cumulative chunk-boundary
+                    // checkpoint when recovery is on (the prefill head
+                    // start that makes resume cheaper than re-running),
+                    // from scratch when it is off.
                     let gap = sim::backoff_ms(cfg, requests[i].id, attempt);
                     st[i].backoff_total = st[i].backoff_total.saturating_add(gap);
                     st[i].next_ready = end.saturating_add(gap);
                     st[i].phase = Phase::Prefill;
+                    if cfg.recovery_enabled {
+                        st[i].chunks_done = planned_checkpoint_chunks(
+                            cfg,
+                            requests[i].id,
+                            st[i].fails,
+                            st[i].n_chunks,
+                        );
+                    }
                 }
             }
             Phase::Prefill => {
@@ -773,10 +991,21 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     | Planned::ExpireInQueue
             );
             let start = s.start.unwrap_or(finish).min(finish);
-            let (retries, backoff_ms) = match planned {
-                Planned::Serve { fails } => (fails, s.backoff_total),
-                Planned::FailPermanent { fails } => (fails.saturating_sub(1), s.backoff_total),
-                _ => (0, 0),
+            // Recovery tallies follow the retries convention: only
+            // outcomes that ran their full fault schedule report them
+            // (a cancelled request's partial tallies describe attempts
+            // whose retries are likewise not reported).
+            let (retries, backoff_ms, recovered_attempts, recomputed_tokens) = match planned {
+                Planned::Serve { fails } => {
+                    (fails, s.backoff_total, s.recovered_attempts, s.recomputed_tokens)
+                }
+                Planned::FailPermanent { fails } => (
+                    fails.saturating_sub(1),
+                    s.backoff_total,
+                    s.recovered_attempts,
+                    s.recomputed_tokens,
+                ),
+                _ => (0, 0, 0, 0),
             };
             ContinuousPlan {
                 plan: Plan {
@@ -793,6 +1022,8 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 first_token_ms: s.first_token.unwrap_or(0),
                 prefill_chunks: s.chunks_done,
                 decode_steps: s.steps_done,
+                recovered_attempts,
+                recomputed_tokens,
             }
         })
         .collect()
@@ -1063,6 +1294,168 @@ mod tests {
             .filter(|p| matches!(p.plan.planned, Planned::Serve { .. }))
             .count();
         assert!(served > 0);
+    }
+
+    #[test]
+    fn recovery_resumes_from_checkpoints_instead_of_rerunning_prefill() {
+        // The same crashing request planned twice: resume-from-
+        // checkpoint must finish no later than retry-from-scratch and
+        // recompute strictly fewer prefill tokens.
+        let recovery = cfg();
+        let scratch = ServeConfig {
+            recovery_enabled: false,
+            ..cfg()
+        };
+        let mut req = Request::prefill(0, 512, 0, 1_000_000);
+        req.fault_fails = 2;
+        let with = plan_continuous(&recovery, &[req.clone()]);
+        let without = plan_continuous(&scratch, &[req]);
+        assert!(matches!(with[0].plan.planned, Planned::Serve { fails: 2 }));
+        assert!(matches!(without[0].plan.planned, Planned::Serve { fails: 2 }));
+        // Every crash left a non-empty checkpoint behind (512 tokens =
+        // 16 chunks; the first crash already advances at least one).
+        assert_eq!(with[0].recovered_attempts, 2);
+        assert_eq!(without[0].recovered_attempts, 0);
+        // Bounded recompute: one in-flight chunk per crash vs the whole
+        // completed progress of each crashed attempt.
+        assert_eq!(with[0].recomputed_tokens, 2 * 32);
+        assert!(
+            without[0].recomputed_tokens > with[0].recomputed_tokens,
+            "scratch recomputed {} must exceed recovery {}",
+            without[0].recomputed_tokens,
+            with[0].recomputed_tokens
+        );
+        // The head start makes the clean attempt strictly shorter.
+        assert!(
+            with[0].plan.finish_ms < without[0].plan.finish_ms,
+            "recovery {} ms vs scratch {} ms",
+            with[0].plan.finish_ms,
+            without[0].plan.finish_ms
+        );
+        // Both still complete the full prefill on the virtual timeline.
+        assert_eq!(with[0].prefill_chunks, 16);
+        assert_eq!(without[0].prefill_chunks, 16);
+    }
+
+    #[test]
+    fn recovery_accounting_skips_fault_free_and_permanent_edges() {
+        let c = cfg();
+        let clean = Request::prefill(0, 64, 0, 1_000_000);
+        let mut permanent = Request::prefill(1, 64, 50_000, 1_000_000);
+        permanent.fault_fails = 99;
+        let plans = plan_continuous(&c, &[clean, permanent]);
+        assert_eq!(plans[0].recovered_attempts, 0);
+        assert_eq!(plans[0].recomputed_tokens, 0);
+        // A permanent failure's last crash has no successor: resumes
+        // happen only between the `fails` attempts.
+        let fails = c.max_retries as u64 + 1;
+        assert!(matches!(plans[1].plan.planned, Planned::FailPermanent { fails: f } if f == fails));
+        assert!(plans[1].recovered_attempts <= fails - 1);
+        assert!(plans[1].recomputed_tokens > 0);
+    }
+
+    #[test]
+    fn governor_evicts_low_mass_kv_to_admit_an_urgent_giant() {
+        // A decode session holds ~5.7 GiB of KV; the budget leaves one
+        // byte less than an urgent 512-giant needs beside it. With the
+        // watermarks armed, the governor evicts the session's low-mass
+        // quarter and the giant starts while the decode is still in
+        // flight; with the watermarks parked at the budget (pressure
+        // never classifies above Normal) the giant must wait for the
+        // decode to finish and release.
+        let decode_bytes = sim::request_bytes(&cfg(), &Request::prefill(0, 64, 0, 0));
+        let giant_bytes = sim::request_bytes(&cfg(), &Request::prefill(0, 512, 0, 0));
+        let base = ServeConfig {
+            mem_budget_bytes: sim::weight_bytes() + decode_bytes + giant_bytes - 1,
+            mem_low_permille: 300,
+            mem_high_permille: 990,
+            ..cfg()
+        };
+        let mut decode = Request::prefill(0, 64, 0, 1_000_000);
+        decode.kind = crate::RequestKind::Decode;
+        decode.new_tokens = 64;
+        // Urgent on arrival: the deadline is shorter than the full-rung
+        // service, so the giant may fill the pool to the brim at once.
+        let giant = Request::prefill(1, 512, 100, 2_000);
+        let governed = plan_continuous(&base, &[decode.clone(), giant.clone()]);
+        assert!(matches!(governed[0].plan.planned, Planned::Serve { .. }));
+        assert!(matches!(governed[1].plan.planned, Planned::Serve { .. }), "{:?}", governed[1]);
+        assert!(
+            governed[1].plan.start_ms < governed[0].plan.finish_ms,
+            "eviction admitted the giant (start {}) while the decode ran (finish {})",
+            governed[1].plan.start_ms,
+            governed[0].plan.finish_ms
+        );
+        let parked = ServeConfig {
+            mem_low_permille: 1000,
+            mem_high_permille: 1000,
+            ..base
+        };
+        let ungoverned = plan_continuous(&parked, &[decode, giant]);
+        assert!(
+            ungoverned[1].plan.start_ms >= ungoverned[0].plan.finish_ms,
+            "without the governor the giant (start {}) waits for the release ({})",
+            ungoverned[1].plan.start_ms,
+            ungoverned[0].plan.finish_ms
+        );
+    }
+
+    #[test]
+    fn governor_sheds_urgent_unplaceable_head_at_critical_pressure() {
+        // One giant prefill occupies ~71% of a shrunken budget; with
+        // the high watermark at 700‰ that is Critical. A second urgent
+        // giant fits the budget alone (so it is not a could-never-fit
+        // rejection) but cannot be placed beside the first, and there
+        // is no decode KV to evict: the governor sheds it with a typed
+        // budget rejection instead of letting it rot at the EDF head.
+        let giant_bytes = sim::request_bytes(&cfg(), &Request::prefill(0, 512, 0, 0));
+        let c = ServeConfig {
+            mem_budget_bytes: sim::weight_bytes() + giant_bytes + giant_bytes / 2,
+            mem_high_permille: 700,
+            ..cfg()
+        };
+        // Urgent on arrival (deadline == full-rung service), so the
+        // lazy-admission reserve rule does not defer it: it is admitted
+        // at t=0 and pins occupancy at Critical while it runs.
+        let g1 = Request::prefill(0, 512, 0, 4_096);
+        let g2 = Request::prefill(1, 512, 50, 4_146);
+        let plans = plan_continuous(&c, &[g1, g2]);
+        assert!(matches!(plans[0].plan.planned, Planned::Serve { .. }), "{:?}", plans[0]);
+        assert!(
+            matches!(plans[1].plan.planned, Planned::RejectBudget { required_bytes }
+                if required_bytes > c.mem_budget_bytes),
+            "{:?}",
+            plans[1]
+        );
+    }
+
+    #[test]
+    fn governor_forces_lower_rungs_at_critical_pressure() {
+        // Two urgent giants (deadline == full-rung service, so the
+        // lazy-admission reserve cannot defer them) push occupancy past
+        // the default 850‰ mark. An urgent small request dispatched
+        // under that pressure gets its ladder budget halved:
+        // PaperDefault instead of the Full rung its deadline would
+        // normally buy.
+        let c = cfg();
+        let g1 = Request::prefill(0, 512, 0, 4_096);
+        let g2 = Request::prefill(1, 512, 0, 4_096);
+        let small = Request::prefill(2, 64, 5, 100);
+        let governed = plan_continuous(&c, &[g1.clone(), g2.clone(), small.clone()]);
+        assert!(matches!(governed[2].plan.planned, Planned::Serve { .. }), "{:?}", governed[2]);
+        assert_eq!(
+            governed[2].plan.rung,
+            DegradationRung::PaperDefault,
+            "critical pressure halves the dispatch budget"
+        );
+        let parked = ServeConfig {
+            mem_low_permille: 1000,
+            mem_high_permille: 1000,
+            ..cfg()
+        };
+        let ungoverned = plan_continuous(&parked, &[g1, g2, small]);
+        assert!(matches!(ungoverned[2].plan.planned, Planned::Serve { .. }));
+        assert_eq!(ungoverned[2].plan.rung, DegradationRung::Full);
     }
 
     #[test]

@@ -88,6 +88,15 @@ pub struct RequestRecord {
     pub retries: u64,
     /// Total virtual backoff between attempts.
     pub backoff_ms: u64,
+    /// Retries that resumed from a non-empty chunk-boundary checkpoint
+    /// instead of re-running prefill from scratch (continuous batching
+    /// with [`recovery_enabled`](crate::ServeConfig::recovery_enabled);
+    /// always 0 on the one-shot path, which has no checkpoints).
+    pub recovered_attempts: u64,
+    /// Prefill tokens recomputed because of crashes: at most one chunk
+    /// per recovered attempt, or everything a crashed attempt had
+    /// completed when retrying from scratch.
+    pub recomputed_tokens: u64,
     /// Chunk progress reported by a cooperative cancellation (0/0 when
     /// not cancelled).
     pub chunks_completed: u64,
@@ -116,6 +125,8 @@ sa_json::impl_json_struct!(RequestRecord {
     degraded,
     retries,
     backoff_ms,
+    recovered_attempts,
+    recomputed_tokens,
     chunks_completed,
     chunks_total,
     error,
@@ -141,8 +152,9 @@ sa_json::impl_json_struct!(Ledger {
 
 /// Schema tag written by [`Scheduler::run`](crate::Scheduler::run).
 /// `v2` added the tenant, `new_tokens`, and TTFT fields for the
-/// continuous-batching SLO accounting.
-pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v2";
+/// continuous-batching SLO accounting; `v3` added the crash-recovery
+/// tallies (`recovered_attempts`, `recomputed_tokens`).
+pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v3";
 
 impl Ledger {
     /// Counts records with the given outcome.
@@ -221,6 +233,18 @@ impl Ledger {
                     ));
                 }
             }
+            if rec.recovered_attempts > rec.retries {
+                return Err(format!(
+                    "request {}: {} recovered attempts exceed {} retries",
+                    rec.id, rec.recovered_attempts, rec.retries
+                ));
+            }
+            if rec.recovered_attempts > 0 && rec.recomputed_tokens == 0 {
+                return Err(format!(
+                    "request {}: a checkpoint resume always recomputes its in-flight chunk",
+                    rec.id
+                ));
+            }
             if rec.finish_ms < rec.start_ms || rec.start_ms < rec.arrival_ms {
                 return Err(format!("request {}: time went backwards", rec.id));
             }
@@ -267,6 +291,8 @@ mod tests {
             degraded: false,
             retries: 0,
             backoff_ms: 0,
+            recovered_attempts: 0,
+            recomputed_tokens: 0,
             chunks_completed: 0,
             chunks_total: 0,
             error: String::new(),
@@ -317,6 +343,22 @@ mod tests {
         let mut bad_err = good.clone();
         bad_err.records[1].error = "boom".to_string();
         assert!(bad_err.validate(&reqs).unwrap_err().contains("carries error"));
+
+        let mut bad_recovery = good.clone();
+        bad_recovery.records[0].recovered_attempts = 1;
+        assert!(bad_recovery
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("recovered attempts exceed"));
+
+        let mut bad_recompute = good.clone();
+        bad_recompute.records[0].retries = 2;
+        bad_recompute.records[0].recovered_attempts = 2;
+        bad_recompute.records[0].recomputed_tokens = 0;
+        assert!(bad_recompute
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("in-flight chunk"));
 
         let mut bad_ttft = good.clone();
         bad_ttft.records[0].ttft_ms = 10_000;

@@ -29,6 +29,10 @@
 //!   under per-tenant token-bucket fairness quotas.
 //! - [`slo`] — SLO accounting over a ledger: TTFT/TPOT percentiles and
 //!   goodput under deadline, exported as the `sa.slo.v1` artifact.
+//! - [`memory`] — the byte-accurate [`MemoryLedger`] with pressure
+//!   watermarks; its [`PressureLevel`]s drive the continuous planner's
+//!   governor ladder (defer → evict → force lower rungs → shed) and the
+//!   execution side's checkpoint-restore reservations.
 //!
 //! ## Failure taxonomy
 //!
@@ -66,6 +70,7 @@
 pub mod config;
 pub mod continuous;
 pub mod ledger;
+pub mod memory;
 pub mod request;
 pub mod scheduler;
 pub mod sim;
@@ -74,7 +79,10 @@ pub mod slo;
 pub use config::ServeConfig;
 pub use continuous::{plan_continuous, ContinuousPlan};
 pub use ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
-pub use request::{mixed_workload, open_loop_workload, Request, RequestKind, FAULT_SITE};
+pub use memory::{MemoryLedger, PressureLevel};
+pub use request::{
+    fault_storm_workload, mixed_workload, open_loop_workload, Request, RequestKind, FAULT_SITE,
+};
 pub use scheduler::Scheduler;
 pub use sim::{plan_batch, Plan, Planned};
 pub use slo::{SloSummary, SLO_SCHEMA};

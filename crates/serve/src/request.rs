@@ -232,6 +232,50 @@ pub fn open_loop_workload(
     out
 }
 
+/// Draws a **fault-storm** workload: the recovery harness's stress mix.
+/// Compared to [`mixed_workload`], deadlines are uniformly generous (a
+/// crashed request must still be *feasible* after recovery — a storm
+/// over brutal deadlines only measures shedding) and faults are dense:
+/// ~60 % of requests crash 1–3 attempts before succeeding. Prompts skew
+/// long so each crash has real prefill progress worth preserving.
+pub fn fault_storm_workload(seed: u64, n: usize) -> Vec<Request> {
+    let mut rng = DeterministicRng::new(seed ^ 0x5f73_746f_726d_5f77);
+    let mut arrival = 0u64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as u64 {
+        arrival += rng.index(60) as u64;
+        let decode = rng.chance(0.3);
+        let (kind, seq_len, new_tokens) = if decode {
+            let s = [48usize, 64, 96][rng.index(3)];
+            (RequestKind::Decode, s, 4 + rng.index(8))
+        } else {
+            let s = [96usize, 128, 160, 224, 320, 512][rng.index(6)];
+            (RequestKind::Prefill, s, 0)
+        };
+        let mut req = Request {
+            id,
+            kind,
+            seq_len,
+            new_tokens,
+            arrival_ms: arrival,
+            deadline_ms: 0,
+            cancel_after_ms: 0,
+            fault_fails: 0,
+            fault_site: String::new(),
+            tenant: id % 3,
+        };
+        // Generous with headroom for backoff gaps between crashed
+        // attempts: the storm's contract is zero *lost* requests.
+        req.deadline_ms = 4 * req.base_service_ms() + 500;
+        if rng.chance(0.60) {
+            req.fault_fails = 1 + rng.index(3) as u64;
+            req.fault_site = FAULT_SITE.to_string();
+        }
+        out.push(req);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +308,24 @@ mod tests {
         d.kind = RequestKind::Decode;
         d.new_tokens = 5;
         assert!(d.base_service_ms() > d.prefill_service_ms());
+    }
+
+    #[test]
+    fn fault_storm_is_dense_and_feasible() {
+        let a = fault_storm_workload(7, 32);
+        assert_eq!(a, fault_storm_workload(7, 32));
+        let faulted = a.iter().filter(|r| r.fault_fails > 0).count();
+        assert!(faulted > a.len() / 3, "storm must be fault-dense: {faulted}/32");
+        assert!(a.iter().any(|r| r.fault_fails == 0), "some healthy traffic");
+        assert!(
+            a.iter().all(|r| r.fault_fails <= 3),
+            "storm faults are transient (retry budget must cover them)"
+        );
+        assert!(
+            a.iter().all(|r| r.deadline_ms >= 4 * r.base_service_ms()),
+            "storm deadlines leave room for recovery"
+        );
+        assert!(a.iter().all(|r| r.cancel_after_ms == 0));
     }
 
     #[test]

@@ -21,23 +21,59 @@
 //! see each other's injected faults: the top-level pool fan-out marks
 //! its workers, nested pool calls inside a request run serially on the
 //! same worker thread, and the plan is dropped when the attempt ends.
+//!
+//! ## Crash recovery
+//!
+//! With [`ServeConfig::recovery_enabled`] (the default), a crashed
+//! attempt leaves behind a chunk-boundary checkpoint
+//! ([`PrefillCheckpoint`] for chunked prefills, [`SessionCheckpoint`]
+//! for decode sessions) and the next attempt *resumes* from it instead
+//! of re-running prefill from scratch, recomputing at most the one
+//! chunk that was in flight. Every restore runs the integrity
+//! protocol: the cancel token is checked first (a cancel racing a
+//! restore must not resurrect the session), the KV staging bytes are
+//! reserved in the scheduler's [`MemoryLedger`] (an injected
+//! allocation failure falls the attempt back to scratch), and the
+//! checksum is recomputed over the staged bytes so KV corruption
+//! surfaces as a typed
+//! [`CorruptCheckpoint`](sa_tensor::SaError::CorruptCheckpoint) —
+//! counted, then contained by retrying from scratch. The
+//! `serve.checkpoint.*` counters audit every snapshot, restore, and
+//! corruption; `serve.pressure.alloc_faults` counts staging
+//! allocations the fault harness failed.
 
 use crate::continuous::{self, ContinuousPlan};
 use crate::ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
+use crate::memory::MemoryLedger;
 use crate::sim::{self, Plan, Planned};
 use crate::{Request, RequestKind, ServeConfig};
 use sa_baselines::{AttentionMethod, FullAttention, SampleAttentionMethod, WindowOnly};
 use sa_core::{DegradationReport, DegradationRung};
-use sa_model::{ModelConfig, SyntheticTransformer};
+use sa_model::{
+    ChunkedPrefill, DecodeSession, ModelConfig, PrefillCheckpoint, SessionCheckpoint,
+    SyntheticTransformer,
+};
 use sa_tensor::fault::FaultPlan;
-use sa_tensor::{fault, pool, CancelToken, SaError, TensorError};
+use sa_tensor::{cancel, fault, pool, CancelToken, SaError, TensorError};
 use sa_trace::metrics;
 
 /// The scheduler: a synthetic-transformer serving stack with admission
-/// control, cooperative cancellation, retry, and the degradation ladder.
+/// control, cooperative cancellation, retry, checkpoint-based crash
+/// recovery, and the degradation ladder.
 pub struct Scheduler {
     cfg: ServeConfig,
     model: SyntheticTransformer,
+    /// Byte-accurate ledger for checkpoint staging reservations. The
+    /// *planner* does its own serial occupancy projection; this ledger
+    /// accounts the execution side's transient restore buffers so leak
+    /// tests can assert it returns to baseline.
+    mem: MemoryLedger,
+}
+
+/// The checkpoint a crashed attempt leaves for its successor.
+enum Snapshot {
+    Prefill(PrefillCheckpoint),
+    Session(SessionCheckpoint),
 }
 
 impl Scheduler {
@@ -48,12 +84,23 @@ impl Scheduler {
     /// Propagates model-construction errors.
     pub fn new(cfg: ServeConfig) -> Result<Self, TensorError> {
         let model = SyntheticTransformer::new(ModelConfig::tiny(cfg.seed))?;
-        Ok(Scheduler { cfg, model })
+        let mem = MemoryLedger::from_config(&cfg);
+        Ok(Scheduler { cfg, model, mem })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The synthetic model this scheduler serves.
+    pub fn model(&self) -> &SyntheticTransformer {
+        &self.model
+    }
+
+    /// The execution-side memory ledger (checkpoint staging bytes).
+    pub fn memory(&self) -> &MemoryLedger {
+        &self.mem
     }
 
     /// Runs a batch: plans every request on the virtual clock, executes
@@ -118,6 +165,8 @@ impl Scheduler {
             rec.ttft_ms = plans[i]
                 .first_token_ms
                 .saturating_sub(requests[i].arrival_ms);
+            rec.recovered_attempts = plans[i].recovered_attempts;
+            rec.recomputed_tokens = plans[i].recomputed_tokens;
             rec
         })?;
         records.sort_by_key(|r| r.id);
@@ -153,6 +202,8 @@ impl Scheduler {
             degraded: false,
             retries: plan.retries,
             backoff_ms: plan.backoff_ms,
+            recovered_attempts: 0,
+            recomputed_tokens: 0,
             chunks_completed: 0,
             chunks_total: 0,
             error: String::new(),
@@ -228,46 +279,16 @@ impl Scheduler {
                 rec.rung = plan.rung.as_str().to_string();
             }
             Planned::Serve { fails } | Planned::FailPermanent { fails } => {
-                let attempts = match plan.planned {
-                    Planned::FailPermanent { .. } => fails,
-                    _ => fails + 1,
-                };
-                let mut outcome = None;
-                for attempt in 0..attempts {
-                    let _fault_guard = (attempt < fails).then(|| {
-                        fault::install_local(
-                            FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
-                        )
-                    });
-                    let token = CancelToken::new();
-                    match self.run_model(req, plan.rung, &token) {
-                        Ok(alpha_ok) => {
-                            outcome = Some(Ok(alpha_ok));
-                            break;
-                        }
-                        Err(e) => {
-                            let transient = matches!(e, SaError::WorkerPanic { .. });
-                            outcome = Some(Err(e));
-                            if !transient {
-                                break;
-                            }
-                        }
-                    }
-                }
-                match outcome {
-                    Some(Ok(alpha_ok)) => {
+                let clean_final = matches!(plan.planned, Planned::Serve { .. });
+                match self.run_attempts(req, plan.rung, fails, clean_final) {
+                    Ok(alpha_ok) => {
                         rec.outcome = Outcome::Served;
                         report.record(plan.rung, alpha_ok, "served");
                     }
-                    Some(Err(e)) => {
+                    Err(e) => {
                         rec.outcome = Outcome::Failed;
                         rec.error = e.to_string();
                         report.record(plan.rung, false, "retry_exhausted");
-                    }
-                    None => {
-                        rec.outcome = Outcome::Failed;
-                        rec.error = "no attempt ran".to_string();
-                        report.record(plan.rung, false, "no attempt ran");
                     }
                 }
                 rec.rung = plan.rung.as_str().to_string();
@@ -278,6 +299,335 @@ impl Scheduler {
         rec.degraded = report.degraded();
         rec.report = report;
         rec
+    }
+
+    /// Runs the planned attempt script for one request: `fails` crashing
+    /// attempts, then (for [`Planned::Serve`]) one clean attempt. With
+    /// recovery enabled each crash snapshots its chunk-boundary progress
+    /// and the successor resumes from it; without, every attempt starts
+    /// from scratch (the pre-recovery behavior). A globally installed
+    /// `serve_crash` fault plan (the chaos storm) injects *unplanned*
+    /// crashes on top, bounded by one extra retry budget so the loop
+    /// always terminates.
+    fn run_attempts(
+        &self,
+        req: &Request,
+        rung: DegradationRung,
+        fails: u64,
+        clean_final: bool,
+    ) -> Result<bool, SaError> {
+        let mut snap: Option<Snapshot> = None;
+        let mut planned_done = 0u64;
+        let mut storm_budget = self.cfg.max_retries as u64 + 1;
+        let mut attempt = 0u64;
+        let mut last_err: Option<SaError> = None;
+        loop {
+            if planned_done >= fails && !clean_final {
+                return Err(last_err.unwrap_or(SaError::WorkerPanic {
+                    site: "serve_attempt",
+                    message: "planned permanent failure".to_string(),
+                }));
+            }
+            let salt = self.cfg.seed ^ req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ attempt;
+            let storm = storm_budget > 0 && fault::should_crash("serve_attempt", salt);
+            let crashing = storm || planned_done < fails;
+            let token = CancelToken::new();
+            let (mut result, new_snap) = if self.cfg.recovery_enabled {
+                match req.kind {
+                    RequestKind::Prefill => {
+                        let resume = match &snap {
+                            Some(Snapshot::Prefill(p)) => Some(p),
+                            _ => None,
+                        };
+                        self.prefill_attempt(req, rung, &token, resume, crashing, attempt, salt)
+                    }
+                    RequestKind::Decode => {
+                        let resume = match &snap {
+                            Some(Snapshot::Session(s)) => Some(s),
+                            _ => None,
+                        };
+                        self.decode_attempt(req, rung, &token, resume, crashing, salt)
+                    }
+                }
+            } else {
+                // Scratch mode: the injected fault aborts the attempt
+                // wherever it strikes; nothing is checkpointed and the
+                // retry replays the request from the beginning.
+                let _guard = crashing.then(|| {
+                    fault::install_local(
+                        FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
+                    )
+                });
+                (self.run_model(req, rung, &token), None)
+            };
+            if crashing && result.is_ok() {
+                // The fault site never fired (e.g. a storm crash on a
+                // request without a scripted site): honor the crash
+                // script with a synthesized contained panic.
+                result = Err(SaError::WorkerPanic {
+                    site: "serve_attempt",
+                    message: "injected serving-loop crash".to_string(),
+                });
+            }
+            if let Some(s) = new_snap {
+                snap = Some(s);
+            }
+            attempt += 1;
+            match result {
+                Ok(alpha_ok) => return Ok(alpha_ok),
+                Err(e) if matches!(e, SaError::WorkerPanic { .. }) => {
+                    if storm {
+                        storm_budget -= 1;
+                    } else if planned_done < fails {
+                        planned_done += 1;
+                    } else {
+                        // A clean attempt crashed outside the script
+                        // (global fault plan at a model site): charge
+                        // the storm budget so the loop stays bounded.
+                        if storm_budget == 0 {
+                            return Err(e);
+                        }
+                        storm_budget -= 1;
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One chunked-prefill attempt under the recovery protocol: restore
+    /// the checkpoint (or start fresh), and either crash after the
+    /// planner's drawn number of chunks — leaving a new snapshot — or
+    /// drive the prefill to completion.
+    #[allow(clippy::too_many_arguments)]
+    fn prefill_attempt(
+        &self,
+        req: &Request,
+        rung: DegradationRung,
+        token: &CancelToken,
+        resume: Option<&PrefillCheckpoint>,
+        crashing: bool,
+        attempt: u64,
+        salt: u64,
+    ) -> (Result<bool, SaError>, Option<Snapshot>) {
+        let method = match method_for(rung) {
+            Ok(m) => m,
+            Err(what) => {
+                return (
+                    Err(SaError::InvalidDimension {
+                        op: "Scheduler::prefill_attempt",
+                        what,
+                    }),
+                    None,
+                )
+            }
+        };
+        let mut run: Option<ChunkedPrefill<'_>> = None;
+        if let Some(snapshot) = resume {
+            match self.restore_prefill(snapshot, salt, token) {
+                Ok(restored) => run = restored,
+                Err(e) => return (Err(e), None),
+            }
+        }
+        let mut run = match run {
+            Some(r) => r,
+            None => {
+                let tokens = self.model.tokenize_filler(req.seq_len);
+                match self.model.start_prefill(&tokens, self.cfg.chunk_size.max(1)) {
+                    Ok(r) => r,
+                    Err(e) => return (Err(e), None),
+                }
+            }
+        };
+        if crashing {
+            // Mirror the planner's draw: complete the same number of
+            // chunks it assumed this attempt reached, snapshot at the
+            // quiescent boundary, then crash the in-flight chunk under
+            // the installed fault plan.
+            let adv = continuous::checkpoint_advance(
+                &self.cfg,
+                req.id,
+                attempt,
+                run.total_chunks() as u64,
+            ) as usize;
+            let target = (run.chunks_done() + adv).min(run.total_chunks().saturating_sub(1));
+            while run.chunks_done() < target {
+                if let Err(e) = run.advance_chunk(method.as_ref()) {
+                    return (Err(e), None);
+                }
+            }
+            let snapshot = Snapshot::Prefill(PrefillCheckpoint::capture(&run));
+            metrics::counter("serve.checkpoint.snapshots").add(1);
+            let _guard = (!req.fault_site.is_empty()).then(|| {
+                fault::install_local(
+                    FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
+                )
+            });
+            return match run.advance_chunk(method.as_ref()) {
+                Err(e) => (Err(e), Some(snapshot)),
+                // Caller synthesizes the crash when the site never fired.
+                Ok(()) => (Ok(false), Some(snapshot)),
+            };
+        }
+        // Clean attempt: advance the remaining chunks under cooperative
+        // cancellation (the scoped install makes the token visible to
+        // pool-level chunk boundaries too, like `prefill_chunked_with`).
+        let _cancel_scope = cancel::install(token);
+        while !run.is_done() {
+            if let Err(e) = token.check("prefill_chunked", run.chunks_done(), run.total_chunks()) {
+                return (Err(e), None);
+            }
+            if let Err(e) = run.advance_chunk(method.as_ref()) {
+                return (Err(e), None);
+            }
+        }
+        match run.finish() {
+            Ok((result, _caches)) => (Ok(result.heads_alpha_unsatisfied() == 0), None),
+            Err(e) => (Err(e), None),
+        }
+    }
+
+    /// One decode attempt under the recovery protocol: restore the
+    /// session checkpoint (or prefill fresh), and either snapshot and
+    /// crash the next decode step, or generate the remaining tokens.
+    fn decode_attempt(
+        &self,
+        req: &Request,
+        rung: DegradationRung,
+        token: &CancelToken,
+        resume: Option<&SessionCheckpoint>,
+        crashing: bool,
+        salt: u64,
+    ) -> (Result<bool, SaError>, Option<Snapshot>) {
+        let method = match method_for(rung) {
+            Ok(m) => m,
+            Err(what) => {
+                return (
+                    Err(SaError::InvalidDimension {
+                        op: "Scheduler::decode_attempt",
+                        what,
+                    }),
+                    None,
+                )
+            }
+        };
+        let tokens = self.model.tokenize_filler(req.seq_len);
+        let mut session: Option<DecodeSession<'_>> = None;
+        if let Some(snapshot) = resume {
+            match self.restore_session(snapshot, salt, token) {
+                Ok(restored) => session = restored,
+                Err(e) => return (Err(e), None),
+            }
+        }
+        let mut session = match session {
+            Some(s) => s,
+            None => match self.model.begin_decode(&tokens, method.as_ref()) {
+                Ok(s) => s,
+                Err(e) => return (Err(e), None),
+            },
+        };
+        session.install_cancel(token);
+        let vocab = self.model.config().vocab_size as u32;
+        if crashing {
+            // The prefill's KV state is the valuable thing: snapshot it,
+            // then crash the in-flight decode step under the fault plan.
+            let snapshot = Snapshot::Session(SessionCheckpoint::capture(&session));
+            metrics::counter("serve.checkpoint.snapshots").add(1);
+            let _guard = (!req.fault_site.is_empty()).then(|| {
+                fault::install_local(
+                    FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
+                )
+            });
+            return match session.step_in(0..vocab) {
+                Err(e) => (Err(e), Some(snapshot)),
+                // Caller synthesizes the crash when the site never fired.
+                Ok(_) => (Ok(false), Some(snapshot)),
+            };
+        }
+        let produced = session.tokens().len().saturating_sub(tokens.len());
+        let remaining = req.new_tokens.saturating_sub(produced);
+        match session.generate_in(remaining, 0..vocab) {
+            Ok(_) => (
+                Ok(session.prefill_result().heads_alpha_unsatisfied() == 0),
+                None,
+            ),
+            Err(e) => (Err(e), None),
+        }
+    }
+
+    /// Restores a prefill checkpoint under the serving-layer protocol
+    /// (see [`restore_session`](Self::restore_session)).
+    ///
+    /// # Errors
+    ///
+    /// Cancellation (and other non-containable errors) propagate;
+    /// containable restore failures return `Ok(None)`.
+    pub fn restore_prefill(
+        &self,
+        snapshot: &PrefillCheckpoint,
+        salt: u64,
+        token: &CancelToken,
+    ) -> Result<Option<ChunkedPrefill<'_>>, SaError> {
+        self.restore_guarded(snapshot.kv_bytes(), salt, token, |c| {
+            snapshot.restore(&self.model, salt, c)
+        })
+    }
+
+    /// Restores a decode-session checkpoint under the serving-layer
+    /// protocol: reserve the KV staging bytes in the memory ledger
+    /// (consulting the fault harness), run the checksum-validated
+    /// restore with the cancel token checked *first*, release the
+    /// staging reservation, and count the outcome in
+    /// `serve.checkpoint.*`. Returns `Ok(None)` when the restore is
+    /// unusable — injected allocation failure or detected KV
+    /// corruption — and the attempt must fall back to scratch.
+    ///
+    /// # Errors
+    ///
+    /// Cancellation (and other non-containable errors) propagate; the
+    /// reservation is released on every path, so a cancel racing a
+    /// restore never resurrects the session and never leaks bytes.
+    pub fn restore_session(
+        &self,
+        snapshot: &SessionCheckpoint,
+        salt: u64,
+        token: &CancelToken,
+    ) -> Result<Option<DecodeSession<'_>>, SaError> {
+        self.restore_guarded(snapshot.kv_bytes(), salt, token, |c| {
+            snapshot.restore(&self.model, salt, c)
+        })
+    }
+
+    /// The shared restore protocol (reserve → restore → release →
+    /// count), generic over the checkpoint kind.
+    fn restore_guarded<T>(
+        &self,
+        kv_bytes: u64,
+        salt: u64,
+        token: &CancelToken,
+        restore: impl FnOnce(Option<&CancelToken>) -> Result<T, SaError>,
+    ) -> Result<Option<T>, SaError> {
+        if self.mem.reserve(kv_bytes, salt).is_err() {
+            // Staging allocation failed (injected or genuine budget
+            // exhaustion): contained — the attempt restarts from
+            // scratch instead of dying.
+            metrics::counter("serve.pressure.alloc_faults").add(1);
+            return Ok(None);
+        }
+        let result = restore(Some(token));
+        self.mem.release(kv_bytes);
+        match result {
+            Ok(v) => {
+                metrics::counter("serve.checkpoint.restores").add(1);
+                Ok(Some(v))
+            }
+            Err(SaError::CorruptCheckpoint { .. }) => {
+                metrics::counter("serve.checkpoint.corruptions").add(1);
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Runs the real model work for one attempt. Returns whether every
@@ -352,6 +702,10 @@ fn record_metrics(records: &[RequestRecord]) {
         if rec.retries > 0 {
             metrics::counter("serve.retried").add(rec.retries);
             metrics::histogram("serve.backoff_ms").record(rec.backoff_ms);
+        }
+        if rec.recovered_attempts > 0 {
+            metrics::counter("serve.recovered").add(rec.recovered_attempts);
+            metrics::histogram("serve.recomputed_tokens").record(rec.recomputed_tokens);
         }
         if rec.ttft_ms > 0 {
             metrics::histogram("serve.ttft_ms").record(rec.ttft_ms);
@@ -446,6 +800,122 @@ mod tests {
         assert_eq!(ledger.records[0].outcome, Outcome::Served);
         assert_eq!(ledger.records[1].outcome, Outcome::Cancelled);
         assert!(ledger.records[1].error.contains("cancelled"));
+    }
+
+    #[test]
+    fn crashed_attempts_snapshot_and_resume_from_checkpoints() {
+        sa_trace::set_enabled(true);
+        let snapshots = metrics::counter("serve.checkpoint.snapshots").get();
+        let restores = metrics::counter("serve.checkpoint.restores").get();
+        let s = scheduler();
+        let mut req = Request::prefill(11, 96, 0, 1_000_000);
+        req.fault_fails = 2;
+        req.fault_site = crate::request::FAULT_SITE.to_string();
+        let ledger = s.run(std::slice::from_ref(&req)).unwrap();
+        let rec = &ledger.records[0];
+        assert_eq!(rec.outcome, Outcome::Served);
+        assert_eq!(rec.retries, 2);
+        assert!(
+            metrics::counter("serve.checkpoint.snapshots").get() >= snapshots + 2,
+            "each crashed attempt snapshots its progress"
+        );
+        assert!(
+            metrics::counter("serve.checkpoint.restores").get() >= restores + 1,
+            "the successor resumes from the checkpoint"
+        );
+    }
+
+    #[test]
+    fn faulted_decode_served_identically_with_and_without_recovery() {
+        // The recovery path must change *work*, not *answers*: a decode
+        // request that crashes twice produces the same ledger record
+        // whether retries resume from checkpoints or start from scratch.
+        let mut req = Request::prefill(3, 48, 0, 1_000_000);
+        req.kind = RequestKind::Decode;
+        req.new_tokens = 4;
+        req.fault_fails = 2;
+        req.fault_site = crate::request::FAULT_SITE.to_string();
+        let with = scheduler().run(std::slice::from_ref(&req)).unwrap();
+        let mut cfg = ServeConfig::default();
+        cfg.recovery_enabled = false;
+        let without = Scheduler::new(cfg)
+            .unwrap()
+            .run(std::slice::from_ref(&req))
+            .unwrap();
+        assert_eq!(with.records[0].outcome, Outcome::Served);
+        assert_eq!(with, without, "recovery must be invisible in the ledger");
+    }
+
+    #[test]
+    fn cancel_racing_a_restore_leaks_nothing_and_resurrects_nothing() {
+        let s = scheduler();
+        let tokens = s.model().tokenize_filler(48);
+        let session = s
+            .model()
+            .begin_decode(&tokens, &FullAttention::new())
+            .unwrap();
+        let snap = sa_model::SessionCheckpoint::capture(&session);
+        drop(session);
+        let baseline = s.memory().in_use();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = s.restore_session(&snap, 0x51, &token).unwrap_err();
+        assert!(
+            matches!(err, SaError::Cancelled { site: "checkpoint_restore", .. }),
+            "{err:?}"
+        );
+        assert_eq!(
+            s.memory().in_use(),
+            baseline,
+            "the staging reservation must be released on the cancel path"
+        );
+    }
+
+    #[test]
+    fn corrupt_and_alloc_faulted_restores_fall_back_to_scratch() {
+        sa_trace::set_enabled(true);
+        let s = scheduler();
+        let tokens = s.model().tokenize_filler(48);
+        let session = s
+            .model()
+            .begin_decode(&tokens, &FullAttention::new())
+            .unwrap();
+        let snap = sa_model::SessionCheckpoint::capture(&session);
+        drop(session);
+        let token = CancelToken::new();
+
+        let corruptions = metrics::counter("serve.checkpoint.corruptions").get();
+        {
+            let _g = fault::install_local(FaultPlan::new(9).kv_bit_flips(1));
+            let restored = s.restore_session(&snap, 0x52, &token).unwrap();
+            assert!(restored.is_none(), "corrupt restore is contained");
+        }
+        assert!(metrics::counter("serve.checkpoint.corruptions").get() > corruptions);
+
+        let alloc_faults = metrics::counter("serve.pressure.alloc_faults").get();
+        {
+            let _g = fault::install_local(FaultPlan::new(9).alloc_failures(1));
+            let restored = s.restore_session(&snap, 0x53, &token).unwrap();
+            assert!(restored.is_none(), "failed staging alloc is contained");
+        }
+        assert!(metrics::counter("serve.pressure.alloc_faults").get() > alloc_faults);
+        assert_eq!(s.memory().in_use(), 0, "no path leaks staging bytes");
+    }
+
+    #[test]
+    fn serve_crash_storm_is_contained_and_deterministic() {
+        let s = scheduler();
+        let reqs: Vec<Request> = (0..4)
+            .map(|id| Request::prefill(id, 64, id * 300, 1_000_000))
+            .collect();
+        let run_under_storm = || {
+            let _g = fault::install(FaultPlan::new(0xBAD).serve_crash("serve_attempt", 3));
+            s.run(&reqs).unwrap()
+        };
+        let a = run_under_storm();
+        a.validate(&reqs).unwrap();
+        let b = pool::with_threads(2, run_under_storm);
+        assert_eq!(a, b, "storm crashes key off (site, salt), not threads");
     }
 
     #[test]

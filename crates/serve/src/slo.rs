@@ -146,6 +146,21 @@ fn stream_span_ms(requests: &[Request]) -> u64 {
     }
 }
 
+/// Served-within-deadline per virtual second over the accounting window.
+/// Total: `0.0` (never `NaN`/`inf`) for empty streams, so zero-decode
+/// and zero-request workloads serialize to valid JSON artifacts.
+fn goodput_per_sec(within: u64, span_ms: u64) -> f64 {
+    if span_ms == 0 {
+        return 0.0;
+    }
+    let rate = within as f64 * 1000.0 / span_ms as f64;
+    if rate.is_finite() {
+        rate
+    } else {
+        0.0
+    }
+}
+
 impl SloSummary {
     /// Builds the summary from a ledger and the request stream it came
     /// from (needed for the per-request deadlines, which the ledger does
@@ -187,11 +202,7 @@ impl SloSummary {
             }
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = if span_ms == 0 {
-            0.0
-        } else {
-            within as f64 * 1000.0 / span_ms as f64
-        };
+        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -251,11 +262,7 @@ impl SloSummary {
             }
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = if span_ms == 0 {
-            0.0
-        } else {
-            within as f64 * 1000.0 / span_ms as f64
-        };
+        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -316,11 +323,7 @@ impl SloSummary {
             }
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = if span_ms == 0 {
-            0.0
-        } else {
-            within as f64 * 1000.0 / span_ms as f64
-        };
+        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -376,6 +379,62 @@ mod tests {
         assert!(s.goodput_per_sec > 0.0);
         assert_eq!(s.ttft.count, 4);
         assert!(s.span_ms >= 300, "span covers the arrival spread");
+    }
+
+    #[test]
+    fn degenerate_workloads_never_produce_nan() {
+        use crate::{plan_continuous, Ledger, Request, ServeConfig, LEDGER_SCHEMA};
+        let cfg = ServeConfig::default();
+
+        // Empty stream: zero requests, zero span — every rate is 0.0.
+        let empty_reqs: Vec<Request> = Vec::new();
+        let empty_ledger = Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: 0,
+            records: Vec::new(),
+        };
+        let plans = plan_continuous(&cfg, &empty_reqs);
+        for s in [
+            SloSummary::from_ledger("continuous", &empty_ledger, &empty_reqs),
+            SloSummary::from_continuous_plans("continuous", &plans, &empty_reqs),
+            SloSummary::from_oneshot_plans("oneshot", &[], &empty_reqs),
+        ] {
+            assert_eq!(s.requests, 0);
+            assert_eq!(s.span_ms, 0);
+            assert!(s.goodput_per_sec.is_finite());
+            assert_eq!(s.goodput_per_sec, 0.0);
+            assert_eq!(s.tpot.count, 0);
+            let text = sa_json::to_string(&s.to_json());
+            assert!(
+                !text.contains("NaN") && !text.contains("inf"),
+                "artifact must stay valid JSON: {text}"
+            );
+        }
+
+        // Single pure-prefill request and a zero-decode stream: TTFT
+        // exists, but no request qualifies for TPOT — the population is
+        // empty, not a division by zero.
+        for n in [1usize, 5] {
+            let reqs: Vec<Request> = (0..n as u64)
+                .map(|id| Request::prefill(id, 64, id * 50, 1_000_000))
+                .collect();
+            let plans = plan_continuous(&cfg, &reqs);
+            let s = SloSummary::from_continuous_plans("continuous", &plans, &reqs);
+            assert_eq!(s.served, n as u64);
+            assert!(s.goodput_per_sec.is_finite() && s.goodput_per_sec > 0.0);
+            assert_eq!(s.tpot.count, 0, "zero-decode workloads have no TPOT");
+            assert!(s.ttft.count > 0);
+            let text = sa_json::to_string(&s.to_json());
+            assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        }
+
+        // Degenerate zero-duration window: a single request whose
+        // deadline is 0 still yields a >= 1ms span by construction.
+        let reqs = vec![Request::prefill(0, 64, 0, 0)];
+        let plans = plan_continuous(&cfg, &reqs);
+        let s = SloSummary::from_continuous_plans("continuous", &plans, &reqs);
+        assert_eq!(s.span_ms, 1);
+        assert!(s.goodput_per_sec.is_finite());
     }
 
     #[test]

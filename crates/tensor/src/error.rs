@@ -118,6 +118,17 @@ pub enum SaError {
         /// The configured budget in bytes.
         budget_bytes: u64,
     },
+    /// A checkpoint's restore-time checksum disagreed with the one
+    /// recorded at snapshot time: the KV bytes were corrupted between
+    /// snapshot and restore (bit flips, truncation, version skew). The
+    /// session must be rebuilt from scratch — restoring corrupted KV
+    /// state would propagate silently wrong attention outputs.
+    CorruptCheckpoint {
+        /// Checksum recorded when the snapshot was taken.
+        expected: u64,
+        /// Checksum recomputed over the staged bytes at restore time.
+        actual: u64,
+    },
 }
 
 /// Historical name for [`SaError`]; kept so every pre-existing
@@ -222,6 +233,12 @@ impl fmt::Display for SaError {
                 write!(
                     f,
                     "memory budget exceeded: {required_bytes} bytes required, {budget_bytes} budgeted"
+                )
+            }
+            SaError::CorruptCheckpoint { expected, actual } => {
+                write!(
+                    f,
+                    "corrupt checkpoint: checksum {actual:#018x} != recorded {expected:#018x}"
                 )
             }
         }
@@ -410,6 +427,23 @@ mod tests {
             message: String::new()
         }
         .is_cancellation());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_typed_and_never_degraded_away() {
+        let e = SaError::CorruptCheckpoint {
+            expected: 0xAB,
+            actual: 0xCD,
+        };
+        assert!(e.to_string().contains("corrupt checkpoint"), "{e}");
+        assert!(e.to_string().contains("0x00000000000000cd"), "{e}");
+        // Corruption is neither a health error (no dense fallback may
+        // absorb it), nor a cancellation, nor an admission rejection:
+        // it always propagates to the restore caller, which falls back
+        // to rebuilding the session from scratch.
+        assert!(!e.is_health_error());
+        assert!(!e.is_cancellation());
+        assert!(!e.is_rejection());
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub struct FaultPlan {
     pub zero_mass: bool,
     /// Truncate serialized JSON to this many bytes.
     pub truncate_json: Option<usize>,
+    /// Simulated allocation failure: one in `alloc_fail` reservation
+    /// salts fails (0 = never). Consulted by the serving layer's memory
+    /// ledger through [`should_fail_alloc`].
+    pub alloc_fail: usize,
+    /// Number of single-bit flips applied to staged checkpoint KV bytes
+    /// at restore time ([`tamper_kv`]); the restore-side checksum must
+    /// catch every flip as a typed `CorruptCheckpoint`.
+    pub kv_flips: usize,
+    /// Named serving-loop sites whose attempts crash with a typed
+    /// worker-panic error (no real unwinding — the serving layer raises
+    /// the error itself when [`should_crash`] trips).
+    pub crash_sites: Vec<String>,
+    /// One in `crash_period` salts crashes at a matching site (0 =
+    /// never).
+    pub crash_period: usize,
 }
 
 impl Default for FaultPlan {
@@ -77,6 +92,10 @@ impl FaultPlan {
             panic_sites: Vec::new(),
             zero_mass: false,
             truncate_json: None,
+            alloc_fail: 0,
+            kv_flips: 0,
+            crash_sites: Vec::new(),
+            crash_period: 0,
         }
     }
 
@@ -127,6 +146,26 @@ impl FaultPlan {
         self
     }
 
+    /// Fail one in `period` simulated allocations (0 disables).
+    pub fn alloc_failures(mut self, period: usize) -> Self {
+        self.alloc_fail = period;
+        self
+    }
+
+    /// Flip `n` single bits in staged checkpoint KV bytes at restore.
+    pub fn kv_bit_flips(mut self, n: usize) -> Self {
+        self.kv_flips = n;
+        self
+    }
+
+    /// Crash one in `period` attempts at the named serving-loop site
+    /// with a typed worker-panic error.
+    pub fn serve_crash(mut self, site: &str, period: usize) -> Self {
+        self.crash_sites.push(site.to_string());
+        self.crash_period = period.max(1);
+        self
+    }
+
     /// True if the plan injects at least one fault class.
     pub fn is_active(&self) -> bool {
         self.nan_stripes > 0
@@ -135,13 +174,17 @@ impl FaultPlan {
             || !self.panic_sites.is_empty()
             || self.zero_mass
             || self.truncate_json.is_some()
+            || self.alloc_fail > 0
+            || self.kv_flips > 0
+            || !self.crash_sites.is_empty()
     }
 
     /// Parses `SA_FAULT`. Returns `None` when unset, empty, or `off`.
     ///
     /// Accepted values: `smoke`, or a comma-separated spec of
     /// `seed=N`, `nan=N`, `inf=N`, `zero_rows=N`, `zero_mass`,
-    /// `panic=SITE`, `truncate=N`. Unknown tokens are reported on
+    /// `panic=SITE`, `truncate=N`, `alloc=N`, `kv_flips=N`,
+    /// `crash=SITE`, `crash_period=N`. Unknown tokens are reported on
     /// stderr and skipped.
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var("SA_FAULT").ok()?;
@@ -179,6 +222,13 @@ impl FaultPlan {
                 ("zero_mass", _) => plan.zero_mass = true,
                 ("panic", Some(site)) => plan.panic_sites.push(site.to_string()),
                 ("truncate", v) => plan.truncate_json = Some(num(v).unwrap_or(16) as usize),
+                ("alloc", v) => plan.alloc_fail = num(v).unwrap_or(4) as usize,
+                ("kv_flips", v) => plan.kv_flips = num(v).unwrap_or(1) as usize,
+                ("crash", Some(site)) => {
+                    plan.crash_sites.push(site.to_string());
+                    plan.crash_period = plan.crash_period.max(1);
+                }
+                ("crash_period", v) => plan.crash_period = num(v).unwrap_or(4) as usize,
                 _ => eprintln!("warning: SA_FAULT: ignoring unknown token {token:?}"),
             }
         }
@@ -222,6 +272,40 @@ impl FaultPlan {
         }
     }
 
+    /// True when this plan fails the simulated allocation identified by
+    /// `salt` (one in [`alloc_fail`](Self::alloc_fail) salts trips).
+    /// Deterministic in `(plan, salt)` and independent of call order, so
+    /// a serial planner consulting it stays thread-count invariant.
+    pub fn fail_alloc(&self, salt: u64) -> bool {
+        self.alloc_fail > 0 && self.rng(salt ^ ALLOC_SALT).next_below(self.alloc_fail as u64) == 0
+    }
+
+    /// True when this plan crashes the serving-loop attempt identified
+    /// by `(site, salt)` — one in [`crash_period`](Self::crash_period)
+    /// salts at a listed site. Deterministic in `(plan, site, salt)`.
+    pub fn crashes_at(&self, site: &str, salt: u64) -> bool {
+        self.crash_period > 0
+            && self.crash_sites.iter().any(|s| s == site)
+            && self.rng(salt ^ CRASH_SALT).next_below(self.crash_period as u64) == 0
+    }
+
+    /// Flips [`kv_flips`](Self::kv_flips) single bits in `data` (staged
+    /// checkpoint KV values), deterministic in `(plan, salt, len)`.
+    /// Returns `true` if anything changed; empty slices and plans
+    /// without the fault class are untouched.
+    pub fn flip_kv_bits(&self, data: &mut [f32], salt: u64) -> bool {
+        if self.kv_flips == 0 || data.is_empty() {
+            return false;
+        }
+        let mut rng = self.rng(salt ^ KV_SALT);
+        for _ in 0..self.kv_flips {
+            let i = rng.next_below(data.len() as u64) as usize;
+            let bit = rng.next_below(32) as u32;
+            data[i] = f32::from_bits(data[i].to_bits() ^ (1u32 << bit));
+        }
+        true
+    }
+
     /// Applies [`FaultPlan::truncate_json`] to a serialized document.
     /// Truncation lands on a UTF-8 boundary at or below the requested
     /// byte count; plans without the fault return the input unchanged.
@@ -238,6 +322,12 @@ impl FaultPlan {
         }
     }
 }
+
+/// Salt domain separators, so the same `(plan, salt)` pair never reuses
+/// a random stream across fault classes.
+const ALLOC_SALT: u64 = 0xA110_C8ED_0000_0001;
+const CRASH_SALT: u64 = 0xC4A5_88ED_0000_0002;
+const KV_SALT: u64 = 0x1CB1_7F11_0000_0003;
 
 /// The installed plan, if any. `ACTIVE_FLAG` is the lock-free fast path
 /// consulted by the pool on every chunk; the mutex is only taken when a
@@ -357,6 +447,50 @@ pub fn tamper_scores(site: &str, scores: &mut [f32]) -> bool {
         scores.fill(0.0);
     }
     tamper
+}
+
+/// True when the installed plan fails the simulated allocation `salt`
+/// (see [`FaultPlan::fail_alloc`]). A thread-local plan takes precedence
+/// over — and fully shadows — the global one, matching [`should_panic`].
+pub fn should_fail_alloc(salt: u64) -> bool {
+    if let Some(hit) = with_local_plan(|p| p.fail_alloc(salt)) {
+        return hit;
+    }
+    if !ACTIVE_FLAG.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock_ignoring_poison(&ACTIVE)
+        .as_ref()
+        .is_some_and(|p| p.fail_alloc(salt))
+}
+
+/// True when the installed plan crashes the serving-loop attempt
+/// `(site, salt)` (see [`FaultPlan::crashes_at`]). A thread-local plan
+/// takes precedence over — and fully shadows — the global one.
+pub fn should_crash(site: &str, salt: u64) -> bool {
+    if let Some(hit) = with_local_plan(|p| p.crashes_at(site, salt)) {
+        return hit;
+    }
+    if !ACTIVE_FLAG.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock_ignoring_poison(&ACTIVE)
+        .as_ref()
+        .is_some_and(|p| p.crashes_at(site, salt))
+}
+
+/// Applies the installed plan's KV bit flips to staged checkpoint bytes
+/// (see [`FaultPlan::flip_kv_bits`]). Returns `true` if anything was
+/// flipped. A thread-local plan takes precedence over the global one.
+pub fn tamper_kv(data: &mut [f32], salt: u64) -> bool {
+    if let Some(hit) = with_local_plan(|p| p.clone()) {
+        return hit.flip_kv_bits(data, salt);
+    }
+    if !ACTIVE_FLAG.load(Ordering::Relaxed) {
+        return false;
+    }
+    let plan = lock_ignoring_poison(&ACTIVE).as_ref().cloned();
+    plan.is_some_and(|p| p.flip_kv_bits(data, salt))
 }
 
 #[cfg(test)]
@@ -523,5 +657,93 @@ mod tests {
         assert_eq!(scores, vec![1.0, 2.0, 3.0]);
         assert!(tamper_scores("stage1_scores", &mut scores));
         assert!(scores.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn new_fault_classes_are_inert_by_default() {
+        let plan = FaultPlan::default();
+        assert!(!plan.fail_alloc(0));
+        assert!(!plan.crashes_at("serve_attempt", 0));
+        let mut data = vec![1.0f32, 2.0, 3.0];
+        assert!(!plan.flip_kv_bits(&mut data, 0));
+        assert_eq!(data, vec![1.0, 2.0, 3.0]);
+        // Nothing installed: the module-level probes are inert too.
+        assert!(!should_fail_alloc(0));
+        assert!(!should_crash("serve_attempt", 0));
+        assert!(!tamper_kv(&mut data, 0));
+        assert_eq!(data, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parse_recovery_fault_tokens() {
+        let plan = FaultPlan::parse("alloc=8,kv_flips=3,crash=serve_attempt,crash_period=5")
+            .expect("recovery spec");
+        assert_eq!(plan.alloc_fail, 8);
+        assert_eq!(plan.kv_flips, 3);
+        assert_eq!(plan.crash_sites, vec!["serve_attempt".to_string()]);
+        assert_eq!(plan.crash_period, 5);
+        assert!(plan.is_active());
+        // `crash=` alone defaults the period to 1 (always crash).
+        let always = FaultPlan::parse("crash=serve_attempt").expect("crash spec");
+        assert_eq!(always.crash_period, 1);
+        assert!(always.crashes_at("serve_attempt", 0));
+        assert!(always.crashes_at("serve_attempt", 99));
+        assert!(!always.crashes_at("other_site", 0));
+    }
+
+    #[test]
+    fn fail_alloc_is_deterministic_and_salt_keyed() {
+        let plan = FaultPlan::new(11).alloc_failures(4);
+        // Pure function of (plan, salt): repeated probes agree.
+        for salt in 0..64u64 {
+            assert_eq!(plan.fail_alloc(salt), plan.fail_alloc(salt));
+        }
+        // Roughly one in four salts trips — require at least one hit and
+        // at least one miss over 64 salts (overwhelming for this seed).
+        let hits = (0..64u64).filter(|&s| plan.fail_alloc(s)).count();
+        assert!(hits > 0, "alloc_failures(4) never tripped in 64 salts");
+        assert!(hits < 64, "alloc_failures(4) tripped on every salt");
+    }
+
+    #[test]
+    fn flip_kv_bits_corrupts_and_is_deterministic() {
+        let plan = FaultPlan::new(5).kv_bit_flips(2);
+        let base = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mut a = base.clone();
+        let mut b = base.clone();
+        assert!(plan.flip_kv_bits(&mut a, 9));
+        assert!(plan.flip_kv_bits(&mut b, 9));
+        // Same salt: bit-identical corruption.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A single-bit XOR never leaves the value unchanged.
+        assert!(a
+            .iter()
+            .zip(&base)
+            .any(|(x, y)| x.to_bits() != y.to_bits()));
+        let mut empty: Vec<f32> = Vec::new();
+        assert!(!plan.flip_kv_bits(&mut empty, 9));
+    }
+
+    #[test]
+    fn recovery_probes_respect_local_over_global() {
+        let _global = install(FaultPlan::new(0).serve_crash("serve_attempt", 1));
+        let salt = 3;
+        assert!(should_crash("serve_attempt", salt));
+        {
+            // An inert local plan shadows the global crash plan entirely.
+            let _local = install_local(FaultPlan::new(0));
+            assert!(!should_crash("serve_attempt", salt));
+            assert!(!should_fail_alloc(salt));
+            let mut data = vec![1.0f32; 8];
+            assert!(!tamper_kv(&mut data, salt));
+            {
+                let _inner = install_local(FaultPlan::new(7).alloc_failures(1).kv_bit_flips(1));
+                assert!(should_fail_alloc(salt));
+                assert!(tamper_kv(&mut data, salt));
+            }
+        }
+        assert!(should_crash("serve_attempt", salt));
     }
 }

@@ -40,7 +40,7 @@ echo "==> lint: no unwrap()/panic-family macros in non-test pipeline sources"
 # lines, and everything at/after a #[cfg(test)] module are exempt; awk
 # strips those before grepping.
 lint_fail=0
-for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs crates/workloads/src/arrivals.rs; do
+for f in crates/tensor/src/*.rs crates/kernels/src/*.rs crates/core/src/*.rs crates/trace/src/*.rs crates/serve/src/*.rs crates/workloads/src/arrivals.rs crates/model/src/checkpoint.rs; do
     hits="$(awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
@@ -105,6 +105,20 @@ cargo run -q --release --offline -p sa-bench --bin chaos_soak -- \
     --quick --out "$smoke_out"
 test -s "$smoke_out/chaos_soak.json" || {
     echo "chaos_soak did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: recovery_bench --quick (SA_THREADS=1, then default)"
+# The bench asserts the crash-recovery bar itself — checkpoint resume
+# strictly reduces recomputed tokens with no worse goodput on every
+# storm point, and the executed recovered ledger is thread-invariant;
+# it exits non-zero on any violation.
+SA_THREADS=1 cargo run -q --release --offline -p sa-bench --bin recovery_bench -- \
+    --quick --out "$smoke_out"
+cargo run -q --release --offline -p sa-bench --bin recovery_bench -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/recovery.json" || {
+    echo "recovery_bench did not emit JSON" >&2
     exit 1
 }
 

@@ -1,0 +1,180 @@
+//! Checkpoint round-trip contract, exercised through the public crate
+//! facade at several `SA_THREADS` settings.
+//!
+//! The in-crate `sa-model` tests prove a single-threaded round trip is
+//! bitwise lossless; these tests pin the claims the serving layer's
+//! crash recovery actually leans on:
+//!
+//! 1. **Thread-invariant snapshots** — capturing at the same logical
+//!    point produces the same checksum at 1, 2, and the default worker
+//!    count, so a checkpoint written under one pool size restores under
+//!    any other;
+//! 2. **Thread-invariant resume** — a restore-and-continue produces the
+//!    token stream of the uninterrupted run, bit for bit, at every
+//!    thread count — including mid-eviction snapshots;
+//! 3. **Typed integrity failures everywhere** — KV corruption surfaces
+//!    as [`SaError::CorruptCheckpoint`] and a tripped cancel token wins
+//!    over corruption (nothing staged, nothing leaked) regardless of
+//!    the pool size.
+
+use sample_attention::baselines::FullAttention;
+use sample_attention::model::{
+    EvictionConfig, ModelConfig, PrefillCheckpoint, SessionCheckpoint, SyntheticTransformer,
+};
+use sample_attention::tensor::{fault, pool, CancelToken, SaError};
+
+fn model() -> SyntheticTransformer {
+    SyntheticTransformer::new(ModelConfig::tiny(77)).expect("tiny config is valid")
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2];
+    let default = pool::current_threads();
+    if !counts.contains(&default) {
+        counts.push(default);
+    }
+    counts
+}
+
+#[test]
+fn session_resume_is_bitwise_identical_at_every_thread_count() {
+    let m = model();
+    let tokens = m.tokenize_filler(64);
+    let vocab = m.config().vocab_size as u32;
+
+    let mut straight = m
+        .begin_decode(&tokens, &FullAttention::new())
+        .expect("prefill");
+    let expected = straight.generate_in(6, 0..vocab).expect("generate");
+
+    let mut checksums = Vec::new();
+    for t in thread_counts() {
+        let (resumed_tokens, checksum) = pool::with_threads(t, || {
+            let mut first = m
+                .begin_decode(&tokens, &FullAttention::new())
+                .expect("prefill");
+            let mut out = first.generate_in(2, 0..vocab).expect("generate");
+            let snap = SessionCheckpoint::capture(&first);
+            drop(first);
+            let mut resumed = snap.restore(&m, 0xA, None).expect("restore");
+            out.extend(resumed.generate_in(4, 0..vocab).expect("generate"));
+            (out, snap.checksum())
+        });
+        assert_eq!(
+            expected, resumed_tokens,
+            "resume at {t} threads diverged from the uninterrupted run"
+        );
+        checksums.push(checksum);
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "snapshot checksums differ across thread counts: {checksums:?}"
+    );
+}
+
+#[test]
+fn prefill_resume_is_bitwise_identical_at_every_thread_count() {
+    let m = model();
+    let tokens = m.tokenize_filler(96);
+    let method = FullAttention::new();
+    let (reference, _) = m.prefill_chunked(&tokens, 16, &method).expect("prefill");
+    let expected_bits: Vec<u32> = reference
+        .hidden
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+
+    let mut checksums = Vec::new();
+    for t in thread_counts() {
+        let (bits, chunks_done, checksum) = pool::with_threads(t, || {
+            let mut run = m.start_prefill(&tokens, 16).expect("start");
+            for _ in 0..3 {
+                run.advance_chunk(&method).expect("chunk");
+            }
+            let snap = PrefillCheckpoint::capture(&run);
+            drop(run);
+            let mut resumed = snap.restore(&m, 0xB, None).expect("restore");
+            while !resumed.is_done() {
+                resumed.advance_chunk(&method).expect("chunk");
+            }
+            let (result, _) = resumed.finish().expect("finish");
+            let bits: Vec<u32> = result.hidden.as_slice().iter().map(|v| v.to_bits()).collect();
+            (bits, snap.chunks_done(), snap.checksum())
+        });
+        assert_eq!(chunks_done, 3);
+        assert_eq!(
+            expected_bits, bits,
+            "prefill resume at {t} threads diverged from the uninterrupted run"
+        );
+        checksums.push(checksum);
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "prefill checksums differ across thread counts: {checksums:?}"
+    );
+}
+
+#[test]
+fn evicted_session_roundtrip_survives_every_thread_count() {
+    let m = model();
+    let tokens = m.tokenize_filler(120);
+    let vocab = m.config().vocab_size as u32;
+    let evict = EvictionConfig::h2o(80);
+
+    let mut straight = m
+        .begin_decode_with(&tokens, &FullAttention::new(), evict)
+        .expect("prefill");
+    let expected = straight.generate_in(8, 0..vocab).expect("generate");
+
+    for t in thread_counts() {
+        let resumed_tokens = pool::with_threads(t, || {
+            let mut first = m
+                .begin_decode_with(&tokens, &FullAttention::new(), evict)
+                .expect("prefill");
+            let mut out = first.generate_in(5, 0..vocab).expect("generate");
+            assert!(first.cache_len() <= 80, "eviction must have run");
+            let snap = SessionCheckpoint::capture(&first);
+            drop(first);
+            let mut resumed = snap.restore(&m, 0xF, None).expect("restore");
+            out.extend(resumed.generate_in(3, 0..vocab).expect("generate"));
+            out
+        });
+        assert_eq!(
+            expected, resumed_tokens,
+            "mid-eviction resume at {t} threads diverged"
+        );
+    }
+}
+
+#[test]
+fn corruption_and_cancellation_stay_typed_at_every_thread_count() {
+    let m = model();
+    let tokens = m.tokenize_filler(48);
+    let session = m
+        .begin_decode(&tokens, &FullAttention::new())
+        .expect("prefill");
+    let snap = SessionCheckpoint::capture(&session);
+    drop(session);
+
+    for t in thread_counts() {
+        pool::with_threads(t, || {
+            let _g = fault::install_local(fault::FaultPlan::new(3).kv_bit_flips(1));
+            // A flipped KV bit trips the checksum with a typed error.
+            let err = snap.restore(&m, 0xC, None).expect_err("corruption");
+            assert!(
+                matches!(err, SaError::CorruptCheckpoint { .. }),
+                "expected CorruptCheckpoint at {t} threads, got {err:?}"
+            );
+            // A tripped cancel wins over the corruption plan: the
+            // restore checks it before staging any KV bytes.
+            let token = CancelToken::new();
+            token.cancel();
+            let err = snap.restore(&m, 0xD, Some(&token)).expect_err("cancel");
+            assert!(
+                matches!(err, SaError::Cancelled { site: "checkpoint_restore", .. }),
+                "expected Cancelled at {t} threads, got {err:?}"
+            );
+        });
+    }
+}

@@ -144,18 +144,23 @@ fn checked_in_chaos_soak_ledger_validates() {
     let doc = json::parse(&text).unwrap();
     assert_eq!(
         doc.get("schema").and_then(Json::as_str),
-        Some("sa.chaos_soak.v2")
+        Some("sa.chaos_soak.v3")
     );
 
-    // Both legs — the one-shot batch and the continuous-batching
-    // replay — must have thread-invariant ledgers with one record per
-    // request and honest degradation.
+    // All three legs — the one-shot batch, the continuous-batching
+    // replay, and the fault storm — must have thread-invariant ledgers
+    // with one record per request and honest degradation.
     let legs = [
         ("requests", "identical_across_threads", "ledger"),
         (
             "continuous_requests",
             "continuous_identical_across_threads",
             "continuous_ledger",
+        ),
+        (
+            "storm_requests",
+            "storm_identical_across_threads",
+            "storm_ledger",
         ),
     ];
     for (requests_key, identical_key, ledger_key) in legs {
@@ -200,6 +205,106 @@ fn checked_in_chaos_soak_ledger_validates() {
             "committed soak hit no adversity ({ledger_key})"
         );
     }
+
+    // The storm leg's crash-recovery verdicts: checkpoints were
+    // captured, resumes happened, and every injected integrity fault
+    // (bit-flip corruption, failed restore allocation) was caught and
+    // counted instead of surfacing as a wrong answer or a panic.
+    for key in [
+        "storm_recovered_attempts",
+        "storm_recomputed_tokens",
+        "storm_checkpoint_snapshots",
+        "storm_checkpoint_corruptions",
+        "storm_alloc_faults",
+    ] {
+        let v = doc.get(key).and_then(Json::as_i64).unwrap();
+        assert!(v > 0, "committed soak has {key} = {v}");
+    }
+}
+
+/// The checked-in `results/recovery.json` must carry the recovery
+/// bench's acceptance verdicts: the `sa.recovery.v1` schema, a
+/// thread-invariant executed ledger, and — on every bench point —
+/// checkpoint resume strictly reducing recomputed tokens with goodput
+/// no worse than retry-from-scratch.
+#[test]
+fn checked_in_recovery_report_validates() {
+    let path = results_dir().join("recovery.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("sa.recovery.v1")
+    );
+    assert_eq!(
+        doc.get("identical_across_threads").and_then(Json::as_bool),
+        Some(true),
+        "committed recovery bench must have a thread-invariant ledger"
+    );
+    for key in ["checkpoint_snapshots", "checkpoint_restores"] {
+        let v = doc.get(key).and_then(Json::as_i64).unwrap();
+        assert!(v > 0, "committed bench has {key} = {v}");
+    }
+
+    let points = match doc.get("points") {
+        Some(Json::Array(items)) => items,
+        other => panic!("points must be an array, got {other:?}"),
+    };
+    assert!(!points.is_empty(), "bench has no points");
+    for point in points {
+        let n = point.get("requests").and_then(Json::as_i64).unwrap();
+        let recovered = point
+            .get("recovered_attempts")
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert!(recovered > 0, "point n={n} never resumed a checkpoint");
+        let resume = point
+            .get("recomputed_tokens_resume")
+            .and_then(Json::as_i64)
+            .unwrap();
+        let scratch = point
+            .get("recomputed_tokens_scratch")
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert!(
+            resume < scratch,
+            "point n={n}: resume recomputed {resume} tokens, scratch {scratch}"
+        );
+        let wr = point
+            .get("wasted_ratio_resume")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let ws = point
+            .get("wasted_ratio_scratch")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(wr.is_finite() && ws.is_finite() && wr < ws);
+        let gr = point.get("goodput_resume").and_then(Json::as_f64).unwrap();
+        let gs = point.get("goodput_scratch").and_then(Json::as_f64).unwrap();
+        assert!(gr.is_finite() && gs.is_finite());
+        assert!(
+            gr >= gs,
+            "point n={n}: recovery goodput {gr} below scratch {gs}"
+        );
+    }
+
+    // The executed leg's ledger accounts for the first point's stream.
+    let ledger = doc.get("ledger").expect("bench embeds the executed ledger");
+    assert_eq!(
+        ledger.get("schema").and_then(Json::as_str),
+        Some(sample_attention::serve::LEDGER_SCHEMA)
+    );
+    let records = match ledger.get("records") {
+        Some(Json::Array(items)) => items,
+        other => panic!("ledger.records must be an array, got {other:?}"),
+    };
+    let first_point_n = points[0].get("requests").and_then(Json::as_i64).unwrap();
+    assert_eq!(
+        records.len() as i64,
+        first_point_n,
+        "executed ledger must account for every storm request"
+    );
 }
 
 /// The checked-in `results/slo_report.json` must carry the SLO sweep's

@@ -12,14 +12,21 @@
 //!    never panics or silent drops;
 //! 4. **Honest degradation** — the ladder never certifies the CRA α
 //!    target from the window-only rung, and the `degraded` flag always
-//!    agrees with the rung-by-rung report.
+//!    agrees with the rung-by-rung report;
+//! 5. **Crash recovery without new failure modes** — checkpoint resume
+//!    keeps the ledger bit-identical across thread counts, and a
+//!    cancellation racing a restore neither resurrects the request nor
+//!    leaks staged memory.
 
+use sample_attention::baselines::FullAttention;
 use sample_attention::core::DegradationRung;
 use sample_attention::json::ToJson;
+use sample_attention::model::SessionCheckpoint;
 use sample_attention::serve::{
-    mixed_workload, open_loop_workload, sim, Outcome, Request, RequestKind, Scheduler, ServeConfig,
+    fault_storm_workload, mixed_workload, open_loop_workload, sim, Outcome, Request, RequestKind,
+    Scheduler, ServeConfig,
 };
-use sample_attention::tensor::{pool, DeterministicRng};
+use sample_attention::tensor::{pool, CancelToken, DeterministicRng, SaError};
 use sample_attention::workloads::{ArrivalProcess, ArrivalShape};
 
 fn run_under_threads(cfg: &ServeConfig, requests: &[Request], threads: usize) -> String {
@@ -328,4 +335,67 @@ fn continuous_ledger_is_byte_identical_across_thread_counts() {
             "serialized continuous ledger differs between 1 and {threads} worker threads"
         );
     }
+}
+
+#[test]
+fn recovered_storm_ledger_is_byte_identical_across_thread_counts() {
+    // Dense planned crashes with recovery on: resumed attempts restore
+    // real checkpoints during execution, and the ledger must not notice
+    // the pool size — recovery buys back work, never determinism.
+    let cfg = ServeConfig {
+        seed: 0x57F0,
+        recovery_enabled: true,
+        ..ServeConfig::default()
+    };
+    let requests = fault_storm_workload(cfg.seed, 16);
+    let run = |threads: usize| {
+        let scheduler = Scheduler::new(cfg.clone()).unwrap();
+        let ledger = pool::with_threads(threads, || scheduler.run_continuous(&requests)).unwrap();
+        ledger.validate(&requests).unwrap();
+        ledger
+    };
+    let canonical = run(1);
+    let recovered: u64 = canonical.records.iter().map(|r| r.recovered_attempts).sum();
+    assert!(recovered > 0, "storm must exercise checkpoint resume");
+    let canonical_json = sample_attention::json::to_string(&canonical.to_json());
+    for threads in [2, 4] {
+        let other = sample_attention::json::to_string(&run(threads).to_json());
+        assert_eq!(
+            canonical_json, other,
+            "recovered ledger differs between 1 and {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn cancel_racing_a_restore_resurrects_nothing_and_leaks_nothing() {
+    // The adversarial interleaving crash recovery must survive: the
+    // caller cancels while a checkpoint restore is staging. The restore
+    // must observe the cancel before any KV is rebuilt — a typed
+    // `Cancelled` at the restore site, no resurrected session, and the
+    // memory ledger back at its pre-restore occupancy.
+    let scheduler = Scheduler::new(ServeConfig::default()).unwrap();
+    let model = scheduler.model();
+    let tokens = model.tokenize_filler(48);
+    let session = model
+        .begin_decode(&tokens, &FullAttention::new())
+        .expect("prefill");
+    let snap = SessionCheckpoint::capture(&session);
+    drop(session);
+
+    let baseline = scheduler.memory().in_use();
+    let token = CancelToken::new();
+    token.cancel();
+    let err = scheduler
+        .restore_session(&snap, 0x5A17, &token)
+        .expect_err("a tripped cancel must abort the restore");
+    assert!(
+        matches!(err, SaError::Cancelled { site: "checkpoint_restore", .. }),
+        "expected a typed cancel at the restore site, got {err:?}"
+    );
+    assert_eq!(
+        scheduler.memory().in_use(),
+        baseline,
+        "aborted restore leaked staged bytes"
+    );
 }
