@@ -32,6 +32,7 @@
 //! | `trace_report` | traced prefill + Chrome-trace export (beyond-paper) |
 //! | `chaos_soak` | serving robustness soak, batch + continuous legs (beyond-paper) |
 //! | `slo_sweep` | continuous vs one-shot serving SLOs over open-loop arrivals (beyond-paper) |
+//! | `serve_timeline` | per-tenant serving timelines + flight-recorder postmortems from the event log (beyond-paper) |
 
 pub mod analysis;
 pub mod timing;

@@ -73,6 +73,9 @@
 //! two schedulers are comparable at the same trace and budget — the
 //! `slo_sweep` bench sweeps arrival rate and reports both.
 
+use crate::events::{
+    EventKind, EventLog, FlightRecorder, PlannerDecision, FLIGHT_RECORDER_CAPACITY,
+};
 use crate::memory::{MemoryLedger, PressureLevel};
 use crate::sim::{self, Plan, Planned};
 use crate::{Request, ServeConfig};
@@ -418,9 +421,43 @@ fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
     };
 }
 
+/// The terminal-event rung string, following the ledger convention: a
+/// rung is meaningful exactly when model work started.
+fn terminal_rung(planned: &Planned, rung: DegradationRung) -> String {
+    if matches!(
+        planned,
+        Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } | Planned::ExpireInQueue
+    ) {
+        String::new()
+    } else {
+        rung.to_string()
+    }
+}
+
+/// The typed reason string of a served terminal event.
+fn served_reason(fails: u64) -> String {
+    if fails > 0 {
+        format!("served after {fails} failed attempts")
+    } else {
+        String::new()
+    }
+}
+
 /// Simulates the continuous open-loop timeline and returns one
 /// [`ContinuousPlan`] per request, aligned with the input order.
 pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<ContinuousPlan> {
+    plan_continuous_with_events(cfg, requests).0
+}
+
+/// [`plan_continuous`] plus the `sa.events.v1` lifecycle event log and
+/// any flight-recorder postmortems the governor tripped (see
+/// [`crate::events`]). Everything is emitted by this serial
+/// discrete-event simulation, so the serialized log is byte-identical
+/// at every `SA_THREADS` setting.
+pub fn plan_continuous_with_events(
+    cfg: &ServeConfig,
+    requests: &[Request],
+) -> (Vec<ContinuousPlan>, EventLog) {
     let weights = sim::weight_bytes();
     let budget = cfg.mem_budget_bytes;
     // Watermark classifier for the governor ladder. Only `level_of`
@@ -479,11 +516,19 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
     let mut pending: Vec<usize> = Vec::new();
     let mut inflight: Vec<usize> = Vec::new(); // admitted, not Done; sorted by admission
     let mut mem_in_use: u64 = weights;
-    // (release_time, bytes) of completed requests, applied once the
-    // clock passes the release point (sorted ascending; drained front).
-    let mut releases: VecDeque<(u64, u64)> = VecDeque::new();
+    // (release_time, bytes, request index) of completed requests,
+    // applied once the clock passes the release point (sorted
+    // ascending; drained front).
+    let mut releases: VecDeque<(u64, u64, usize)> = VecDeque::new();
     let mut rr_cursor: usize = 0;
     let mut done = 0usize;
+
+    // Telemetry plane: the lifecycle event log, the flight recorder,
+    // and the last pressure level seen (for the Critical-transition
+    // trigger). All written by this serial simulation only.
+    let mut log = EventLog::new(cfg.seed);
+    let mut recorder = FlightRecorder::new(FLIGHT_RECORDER_CAPACITY);
+    let mut prev_level = PressureLevel::Normal;
 
     // Admits from the pending queue head while memory allows, resolving
     // requests whose cancel/deadline already passed. `now` is the
@@ -491,20 +536,45 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
     macro_rules! admit {
         ($now:expr) => {{
             let now: u64 = $now;
-            while let Some((t, bytes)) = releases.front().copied() {
+            while let Some((t, bytes, ridx)) = releases.front().copied() {
                 if t <= now {
                     mem_in_use -= bytes;
                     releases.pop_front();
+                    log.push(
+                        t,
+                        requests[ridx].id,
+                        requests[ridx].tenant,
+                        EventKind::Released,
+                        "",
+                        bytes,
+                        mem_in_use,
+                        String::new(),
+                    );
                 } else {
                     break;
                 }
             }
+            // Released memory can drop the pressure level; track the
+            // drop so a later climb back to Critical re-triggers the
+            // flight recorder.
+            prev_level = prev_level.min(pressure.level_of(mem_in_use));
             while let Some(&i) = pending.first() {
                 let req = &requests[i];
                 if cancel_t(i) <= now {
                     let at = cancel_t(i).max(req.arrival_ms);
                     st[i].start = Some(at);
+                    let rung = terminal_rung(&Planned::CancelCaller, st[i].rung);
                     st[i].resolve(Planned::CancelCaller, at);
+                    log.push(
+                        at,
+                        req.id,
+                        req.tenant,
+                        EventKind::Cancelled,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        "caller cancelled while queued".to_string(),
+                    );
                     done += 1;
                     pending.remove(0);
                     continue;
@@ -513,6 +583,16 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     let at = deadline_t(i);
                     st[i].start = Some(at);
                     st[i].resolve(Planned::ExpireInQueue, at);
+                    log.push(
+                        at,
+                        req.id,
+                        req.tenant,
+                        EventKind::Expired,
+                        "",
+                        0,
+                        mem_in_use,
+                        "deadline expired in queue".to_string(),
+                    );
                     done += 1;
                     pending.remove(0);
                     continue;
@@ -522,6 +602,16 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     let required_bytes = weights + st[i].bytes;
                     st[i].start = Some(now);
                     st[i].resolve(Planned::RejectBudget { required_bytes }, now);
+                    log.push(
+                        now,
+                        req.id,
+                        req.tenant,
+                        EventKind::Rejected,
+                        "",
+                        0,
+                        mem_in_use,
+                        format!("required {required_bytes} bytes exceeds budget {budget}"),
+                    );
                     done += 1;
                     pending.remove(0);
                     continue;
@@ -556,6 +646,28 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 {
                     if level >= PressureLevel::Elevated {
                         metrics::counter("serve.pressure.deferrals").add(1);
+                        log.push(
+                            now,
+                            req.id,
+                            req.tenant,
+                            EventKind::Deferred,
+                            "",
+                            0,
+                            mem_in_use,
+                            format!("pressure {}", level.as_str()),
+                        );
+                        recorder.record(PlannerDecision {
+                            t_ms: now,
+                            request_id: req.id,
+                            action: "defer".to_string(),
+                            queue_depth: pending.len() as u64,
+                            inflight: inflight.len() as u64,
+                            free_bytes: budget.saturating_sub(mem_in_use),
+                            contenders: 0,
+                            budget_ms: 0,
+                            rung: String::new(),
+                            pressure: level.as_str().to_string(),
+                        });
                     }
                     break;
                 }
@@ -579,6 +691,33 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                                 st[j].evicted = true;
                                 mem_in_use -= freed;
                                 metrics::counter("serve.pressure.evictions").add(1);
+                                let rung = st[j].rung.to_string();
+                                log.push(
+                                    now,
+                                    requests[j].id,
+                                    requests[j].tenant,
+                                    EventKind::PressureEvicted,
+                                    &rung,
+                                    freed,
+                                    mem_in_use,
+                                    format!(
+                                        "pressure {}: low-mass KV freed for request {}",
+                                        level.as_str(),
+                                        req.id
+                                    ),
+                                );
+                                recorder.record(PlannerDecision {
+                                    t_ms: now,
+                                    request_id: requests[j].id,
+                                    action: "evict".to_string(),
+                                    queue_depth: pending.len() as u64,
+                                    inflight: inflight.len() as u64,
+                                    free_bytes: budget.saturating_sub(mem_in_use),
+                                    contenders: 0,
+                                    budget_ms: 0,
+                                    rung,
+                                    pressure: level.as_str().to_string(),
+                                });
                             }
                         }
                     }
@@ -593,6 +732,40 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                             st[i].start = Some(now);
                             st[i].resolve(Planned::RejectBudget { required_bytes }, now);
                             metrics::counter("serve.pressure.sheds").add(1);
+                            log.push(
+                                now,
+                                req.id,
+                                req.tenant,
+                                EventKind::Shed,
+                                "",
+                                0,
+                                mem_in_use,
+                                format!(
+                                    "unplaceable under critical pressure: required \
+                                     {required_bytes} bytes of budget {budget}"
+                                ),
+                            );
+                            recorder.record(PlannerDecision {
+                                t_ms: now,
+                                request_id: req.id,
+                                action: "shed".to_string(),
+                                queue_depth: pending.len() as u64,
+                                inflight: inflight.len() as u64,
+                                free_bytes: budget.saturating_sub(mem_in_use),
+                                contenders: 0,
+                                budget_ms: 0,
+                                rung: String::new(),
+                                pressure: level.as_str().to_string(),
+                            });
+                            recorder.trigger(
+                                "shed",
+                                now,
+                                req.id,
+                                format!(
+                                    "urgent head shed: required {required_bytes} bytes \
+                                     against budget {budget} at critical pressure"
+                                ),
+                            );
                             done += 1;
                             pending.remove(0);
                             continue;
@@ -602,6 +775,42 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 }
                 pending.remove(0);
                 mem_in_use += st[i].bytes;
+                log.push(
+                    now,
+                    req.id,
+                    req.tenant,
+                    EventKind::Admitted,
+                    "",
+                    st[i].bytes,
+                    mem_in_use,
+                    String::new(),
+                );
+                recorder.record(PlannerDecision {
+                    t_ms: now,
+                    request_id: req.id,
+                    action: "admit".to_string(),
+                    queue_depth: pending.len() as u64,
+                    inflight: inflight.len() as u64,
+                    free_bytes: budget.saturating_sub(mem_in_use),
+                    contenders: 0,
+                    budget_ms: 0,
+                    rung: String::new(),
+                    pressure: pressure.level_of(mem_in_use).as_str().to_string(),
+                });
+                if pressure.level_of(mem_in_use) == PressureLevel::Critical
+                    && prev_level != PressureLevel::Critical
+                {
+                    recorder.trigger(
+                        "critical_transition",
+                        now,
+                        req.id,
+                        format!(
+                            "occupancy {mem_in_use} of budget {budget} crossed the \
+                             high watermark on admission"
+                        ),
+                    );
+                }
+                prev_level = pressure.level_of(mem_in_use);
                 // Only the rung-independent shape is fixed here; the
                 // ladder walk waits for first dispatch (init_schedule).
                 let attempts_budget = cfg.max_retries as u64 + 1;
@@ -646,11 +855,34 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     },
                     at,
                 );
+                log.push(
+                    at,
+                    requests[i].id,
+                    requests[i].tenant,
+                    EventKind::Rejected,
+                    "",
+                    0,
+                    mem_in_use,
+                    format!(
+                        "overloaded: {} in flight or queued",
+                        running + pending.len()
+                    ),
+                );
                 done += 1;
             } else {
                 let key = |j: usize| (due_t(j), requests[j].arrival_ms, requests[j].id);
                 let pos = pending.partition_point(|&j| key(j) <= key(i));
                 pending.insert(pos, i);
+                log.push(
+                    at,
+                    requests[i].id,
+                    requests[i].tenant,
+                    EventKind::Enqueued,
+                    "",
+                    0,
+                    mem_in_use,
+                    format!("edf position {} of {}", pos + 1, pending.len()),
+                );
             }
         }
         admit!(now);
@@ -679,24 +911,46 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
             };
             let doomed = !st[i].permanent
                 && now.saturating_add(est_remaining_ms(cfg, &requests[i], &st[i], 0)) > due_t(i);
-            let (stop, planned, release_at) = if cancel_t(i) <= now {
-                (cancel_t(i), Planned::CancelCaller, now)
+            let (stop, planned, release_at, reason) = if cancel_t(i) <= now {
+                (cancel_t(i), Planned::CancelCaller, now, "caller cancelled")
             } else if deadline_t(i) <= now {
-                (deadline_t(i), expiry, now)
+                (deadline_t(i), expiry, now, "due time passed mid-flight")
             } else if doomed {
                 // Shed early; the record still shows the due instant as
                 // the terminal one, but the memory frees now.
                 if cancel_t(i) < deadline_t(i) {
-                    (cancel_t(i), Planned::CancelCaller, now)
+                    (
+                        cancel_t(i),
+                        Planned::CancelCaller,
+                        now,
+                        "doomed: remaining work cannot finish before the caller hangs up",
+                    )
                 } else {
-                    (deadline_t(i), expiry, now)
+                    (
+                        deadline_t(i),
+                        expiry,
+                        now,
+                        "doomed: remaining work cannot meet the deadline",
+                    )
                 }
             } else {
                 continue;
             };
             let finish = stop.max(st[i].last_event);
+            let kind = EventKind::terminal_for(&planned);
+            let rung = terminal_rung(&planned, st[i].rung);
             st[i].resolve(planned, finish);
-            releases.push_back((release_at.max(st[i].last_event), st[i].bytes));
+            log.push(
+                finish,
+                requests[i].id,
+                requests[i].tenant,
+                kind,
+                &rung,
+                0,
+                mem_in_use,
+                reason.to_string(),
+            );
+            releases.push_back((release_at.max(st[i].last_event), st[i].bytes, i));
             done += 1;
             freed.push(i);
         }
@@ -713,23 +967,51 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
         // they inflate the contention estimate and hide the backlog's
         // true shape from the dispatch budget).
         pending.retain(|&i| {
-            let (planned, at) = if cancel_t(i) <= now {
-                (Planned::CancelCaller, cancel_t(i).max(requests[i].arrival_ms))
+            let (planned, at, reason) = if cancel_t(i) <= now {
+                (
+                    Planned::CancelCaller,
+                    cancel_t(i).max(requests[i].arrival_ms),
+                    "caller cancelled while queued",
+                )
             } else if deadline_t(i) <= now {
-                (Planned::ExpireInQueue, deadline_t(i))
+                (
+                    Planned::ExpireInQueue,
+                    deadline_t(i),
+                    "deadline expired in queue",
+                )
             } else if now.saturating_add(est_remaining_ms(cfg, &requests[i], &st[i], 0)) > due_t(i) {
                 // Even the bottom rung, started this instant, misses
                 // the due point (deadline or the caller hanging up).
                 if cancel_t(i) < deadline_t(i) {
-                    (Planned::CancelCaller, cancel_t(i))
+                    (
+                        Planned::CancelCaller,
+                        cancel_t(i),
+                        "doomed in queue: cannot finish before the caller hangs up",
+                    )
                 } else {
-                    (Planned::ExpireInQueue, deadline_t(i))
+                    (
+                        Planned::ExpireInQueue,
+                        deadline_t(i),
+                        "doomed in queue: cannot meet the deadline",
+                    )
                 }
             } else {
                 return true;
             };
+            let kind = EventKind::terminal_for(&planned);
+            let rung = terminal_rung(&planned, st[i].rung);
             st[i].start = Some(at);
             st[i].resolve(planned, at);
+            log.push(
+                at,
+                requests[i].id,
+                requests[i].tenant,
+                kind,
+                &rung,
+                0,
+                mem_in_use,
+                reason.to_string(),
+            );
             done += 1;
             false
         });
@@ -787,15 +1069,57 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     // dispatched work lands on cheaper rungs while
                     // occupancy drains (the governor's forced-rung
                     // action).
+                    let level = pressure.level_of(mem_in_use);
                     let mut budget = budget_of(i);
-                    if pressure.level_of(mem_in_use) == PressureLevel::Critical {
+                    let mut forced = false;
+                    if level == PressureLevel::Critical {
                         let uncapped = sim::choose_rung(&requests[i], budget).0;
                         budget /= 2;
                         if sim::choose_rung(&requests[i], budget).0 != uncapped {
                             metrics::counter("serve.pressure.forced_rungs").add(1);
+                            forced = true;
                         }
                     }
                     init_schedule(&requests[i], &mut st[i], budget);
+                    let rung = st[i].rung.to_string();
+                    log.push(
+                        now,
+                        requests[i].id,
+                        requests[i].tenant,
+                        EventKind::Dispatched,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        format!("budget {budget} ms, {contenders} contenders"),
+                    );
+                    if st[i].rung != DegradationRung::Full {
+                        log.push(
+                            now,
+                            requests[i].id,
+                            requests[i].tenant,
+                            EventKind::RungDegraded,
+                            &rung,
+                            0,
+                            mem_in_use,
+                            if forced {
+                                format!("pressure-forced under {} occupancy", level.as_str())
+                            } else {
+                                format!("deadline budget {budget} ms too tight for higher rungs")
+                            },
+                        );
+                    }
+                    recorder.record(PlannerDecision {
+                        t_ms: now,
+                        request_id: requests[i].id,
+                        action: "dispatch".to_string(),
+                        queue_depth: pending.len() as u64,
+                        inflight: inflight.len() as u64,
+                        free_bytes: cfg.mem_budget_bytes.saturating_sub(mem_in_use),
+                        contenders: contenders as u64,
+                        budget_ms: budget,
+                        rung,
+                        pressure: level.as_str().to_string(),
+                    });
                 }
                 let (_, bucket_cost) = st[i].next_task(cfg);
                 if bucket_cost == 0 || buckets[t_idx].try_take(now, bucket_cost) {
@@ -827,7 +1151,7 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 let _ = candidate;
                 wake = wake.min(st[j].next_ready.max(now + 1));
             }
-            if let Some(&(t, _)) = releases.front() {
+            if let Some(&(t, _, _)) = releases.front() {
                 wake = wake.min(t.max(now + 1));
             }
             if let Some(&h) = pending.first() {
@@ -842,14 +1166,34 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 // No future event can occur. Everything left pending
                 // expires at its own deadline (or cancel).
                 for i in pending.drain(..) {
-                    let (planned, at) = if cancel_t(i) < deadline_t(i) {
-                        (Planned::CancelCaller, cancel_t(i))
+                    let (planned, at, reason) = if cancel_t(i) < deadline_t(i) {
+                        (
+                            Planned::CancelCaller,
+                            cancel_t(i),
+                            "caller cancelled while queued",
+                        )
                     } else {
-                        (Planned::ExpireInQueue, deadline_t(i))
+                        (
+                            Planned::ExpireInQueue,
+                            deadline_t(i),
+                            "deadline expired in queue",
+                        )
                     };
                     let at = at.max(requests[i].arrival_ms);
+                    let kind = EventKind::terminal_for(&planned);
+                    let rung = terminal_rung(&planned, st[i].rung);
                     st[i].start = Some(at);
                     st[i].resolve(planned, at);
+                    log.push(
+                        at,
+                        requests[i].id,
+                        requests[i].tenant,
+                        kind,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        reason.to_string(),
+                    );
                     done += 1;
                 }
                 continue;
@@ -883,6 +1227,17 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 if has_successor {
                     let seq = requests[i].seq_len as u64;
                     let chunk = cfg.chunk_size.max(1) as u64;
+                    let rung = st[i].rung.to_string();
+                    log.push(
+                        end,
+                        requests[i].id,
+                        requests[i].tenant,
+                        EventKind::Retried,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        format!("attempt {} crashed", attempt + 1),
+                    );
                     if cfg.recovery_enabled {
                         let h = planned_checkpoint_chunks(
                             cfg,
@@ -894,6 +1249,28 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                             st[i].recovered_attempts += 1;
                         }
                         st[i].recomputed_tokens += chunk.min(seq);
+                        log.push(
+                            end,
+                            requests[i].id,
+                            requests[i].tenant,
+                            EventKind::CheckpointCaptured,
+                            &rung,
+                            0,
+                            mem_in_use,
+                            format!("chunk-boundary checkpoint at chunk {h} of {}", st[i].n_chunks),
+                        );
+                        if h > 0 {
+                            log.push(
+                                end,
+                                requests[i].id,
+                                requests[i].tenant,
+                                EventKind::Recovered,
+                                &rung,
+                                0,
+                                mem_in_use,
+                                format!("next attempt resumes from chunk {h}"),
+                            );
+                        }
                     } else {
                         let progressed = checkpoint_advance(
                             cfg,
@@ -914,8 +1291,25 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                     };
                 } else if st[i].permanent {
                     let fails = st[i].fails;
+                    let rung = st[i].rung.to_string();
                     st[i].resolve(Planned::FailPermanent { fails }, end);
-                    releases.push_back((end, st[i].bytes));
+                    log.push(
+                        end,
+                        requests[i].id,
+                        requests[i].tenant,
+                        EventKind::Failed,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        format!("attempt budget exhausted after {fails} failed attempts"),
+                    );
+                    recorder.trigger(
+                        "storm_budget_exhausted",
+                        end,
+                        requests[i].id,
+                        format!("request {} burned all {fails} attempts", requests[i].id),
+                    );
+                    releases.push_back((end, st[i].bytes, i));
                     releases.make_contiguous().sort_unstable();
                     done += 1;
                 } else {
@@ -935,6 +1329,23 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                             st[i].fails,
                             st[i].n_chunks,
                         );
+                        if st[i].chunks_done > 0 {
+                            let rung = st[i].rung.to_string();
+                            log.push(
+                                end,
+                                requests[i].id,
+                                requests[i].tenant,
+                                EventKind::CheckpointRestored,
+                                &rung,
+                                0,
+                                mem_in_use,
+                                format!(
+                                    "clean attempt resumes prefill from chunk {} of {}",
+                                    st[i].chunks_done,
+                                    st[i].n_chunks
+                                ),
+                            );
+                        }
                     }
                 }
             }
@@ -943,9 +1354,30 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 if st[i].chunks_done == st[i].n_chunks {
                     if requests[i].new_tokens == 0 {
                         let fails = st[i].fails;
+                        let rung = st[i].rung.to_string();
                         st[i].first_token = Some(end);
                         st[i].resolve(Planned::Serve { fails }, end);
-                        releases.push_back((end, st[i].bytes));
+                        log.push(
+                            end,
+                            requests[i].id,
+                            requests[i].tenant,
+                            EventKind::FirstToken,
+                            &rung,
+                            0,
+                            mem_in_use,
+                            "final prefill chunk".to_string(),
+                        );
+                        log.push(
+                            end,
+                            requests[i].id,
+                            requests[i].tenant,
+                            EventKind::Completed,
+                            &rung,
+                            0,
+                            mem_in_use,
+                            served_reason(fails),
+                        );
+                        releases.push_back((end, st[i].bytes, i));
                         releases.make_contiguous().sort_unstable();
                         done += 1;
                     } else {
@@ -957,11 +1389,33 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 st[i].steps_done += 1;
                 if st[i].steps_done == 1 {
                     st[i].first_token = Some(end);
+                    let rung = st[i].rung.to_string();
+                    log.push(
+                        end,
+                        requests[i].id,
+                        requests[i].tenant,
+                        EventKind::FirstToken,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        "first decode step".to_string(),
+                    );
                 }
                 if st[i].steps_done == requests[i].new_tokens as u64 {
                     let fails = st[i].fails;
+                    let rung = st[i].rung.to_string();
                     st[i].resolve(Planned::Serve { fails }, end);
-                    releases.push_back((end, st[i].bytes));
+                    log.push(
+                        end,
+                        requests[i].id,
+                        requests[i].tenant,
+                        EventKind::Completed,
+                        &rung,
+                        0,
+                        mem_in_use,
+                        served_reason(fails),
+                    );
+                    releases.push_back((end, st[i].bytes, i));
                     releases.make_contiguous().sort_unstable();
                     done += 1;
                 }
@@ -973,8 +1427,27 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
         }
     }
 
+    // Apply the releases the loop never reached (the clock stops at the
+    // last micro-task, which can precede queued release points), so the
+    // event log's memory balance returns to the weights baseline — the
+    // conservation invariant [`EventLog::check_conservation`] asserts.
+    while let Some((t, bytes, ridx)) = releases.pop_front() {
+        mem_in_use -= bytes;
+        log.push(
+            t,
+            requests[ridx].id,
+            requests[ridx].tenant,
+            EventKind::Released,
+            "",
+            bytes,
+            mem_in_use,
+            String::new(),
+        );
+    }
+    log.postmortems = recorder.into_postmortems();
+
     // Assemble plans in input order.
-    (0..n)
+    let plans = (0..n)
         .map(|i| {
             let req = &requests[i];
             let s = &st[i];
@@ -1026,7 +1499,8 @@ pub fn plan_continuous(cfg: &ServeConfig, requests: &[Request]) -> Vec<Continuou
                 recomputed_tokens,
             }
         })
-        .collect()
+        .collect();
+    (plans, log)
 }
 
 #[cfg(test)]

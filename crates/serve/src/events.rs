@@ -1,0 +1,648 @@
+//! The serving telemetry plane: a structured per-request event log and
+//! the scheduler flight recorder.
+//!
+//! Every lifecycle transition a planner decides — enqueue, admission,
+//! governor deferral, dispatch, rung degradation, pressure eviction,
+//! checkpoint capture/restore, retry, recovery, shed, cancellation,
+//! completion — is recorded as one [`Event`] carrying the virtual-time
+//! stamp, tenant, degradation rung, the planner's memory-ledger balance
+//! *after* the transition, and a typed reason. The log is emitted by
+//! the **serial** planners ([`plan_batch`](crate::plan_batch) and
+//! [`plan_continuous`](crate::plan_continuous)) before any parallel
+//! model work runs, so its serialized bytes are identical at every
+//! `SA_THREADS` setting — the same bit-determinism contract the ledger
+//! carries (DESIGN.md §5j).
+//!
+//! Two audit surfaces hang off the log:
+//!
+//! - [`EventLog::validate`] is the events↔ledger **conservation
+//!   validator**: every request in the [`Ledger`] reaches exactly one
+//!   terminal event whose kind, tenant, and finish time agree with its
+//!   record, and replaying the `bytes` deltas of admission / eviction /
+//!   release events reproduces the `mem_in_use` balance stamped on
+//!   every event, returning to the weights baseline at the end (no
+//!   leaked reservations).
+//! - [`FlightRecorder`] keeps a bounded ring of the planner's last
+//!   dispatch/admission decisions (queue depth, free memory, contention
+//!   estimate, rung budget) and dumps it into a [`Postmortem`] whenever
+//!   a shed, a governor transition to `critical` pressure, or a
+//!   crash-storm attempt-budget exhaustion occurs.
+
+use crate::ledger::{Ledger, Outcome, RequestRecord};
+use crate::sim::{weight_bytes, Planned};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Schema tag for a serialized [`EventLog`].
+pub const EVENTS_SCHEMA: &str = "sa.events.v1";
+
+/// Decisions kept in the flight-recorder ring before the oldest is
+/// dropped.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 32;
+
+/// Postmortems retained per planner run; later triggers only count.
+const MAX_POSTMORTEMS: usize = 8;
+
+/// One lifecycle transition kind (`sa.events.v1` taxonomy).
+///
+/// Terminal kinds (see [`EventKind::is_terminal`]) map 1:1 onto ledger
+/// [`Outcome`]s, except that [`RejectedBudget`](Outcome::RejectedBudget)
+/// splits into [`Rejected`](EventKind::Rejected) (could never fit the
+/// memory budget) and [`Shed`](EventKind::Shed) (governor load shed
+/// under critical pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Entered the pending queue at arrival.
+    Enqueued,
+    /// Reserved memory and joined the running set (`bytes` carries the
+    /// reservation, `mem_in_use` the balance after it).
+    Admitted,
+    /// Admission of the queue head was deferred by the pressure
+    /// governor (mirrors the `serve.pressure.deferrals` counter).
+    Deferred,
+    /// First scheduled onto a worker; the degradation rung is final
+    /// from here on.
+    Dispatched,
+    /// Dispatched below the full-attention rung (deadline budget or
+    /// pressure-forced).
+    RungDegraded,
+    /// A decode-phase session's KV bytes were evicted to make room
+    /// (`bytes` carries the freed amount).
+    PressureEvicted,
+    /// A chunk-boundary prefill checkpoint survived a crash and will
+    /// seed the retry.
+    CheckpointCaptured,
+    /// A retry resumed prefill from a non-empty checkpoint.
+    CheckpointRestored,
+    /// An attempt crashed and a retry was scheduled.
+    Retried,
+    /// The scheduled retry will resume from checkpointed progress
+    /// instead of re-running prefill from scratch.
+    Recovered,
+    /// First output token produced (TTFT reference point).
+    FirstToken,
+    /// A terminal request's memory reservation was returned to the
+    /// ledger (`bytes` carries the release; emitted when the planner
+    /// applies it, which may lag the terminal event).
+    Released,
+    /// Terminal: governor load shed under critical pressure
+    /// (outcome [`RejectedBudget`](Outcome::RejectedBudget)).
+    Shed,
+    /// Terminal: rejected at arrival (overloaded) or at admission
+    /// (could never fit the memory budget).
+    Rejected,
+    /// Terminal: caller cancelled.
+    Cancelled,
+    /// Terminal: deadline expired while queued; never ran.
+    Expired,
+    /// Terminal: deadline expired mid-run.
+    DeadlineExceeded,
+    /// Terminal: transient faults outlasted the attempt budget.
+    Failed,
+    /// Terminal: served.
+    Completed,
+}
+
+sa_json::impl_json_enum!(EventKind {
+    Enqueued,
+    Admitted,
+    Deferred,
+    Dispatched,
+    RungDegraded,
+    PressureEvicted,
+    CheckpointCaptured,
+    CheckpointRestored,
+    Retried,
+    Recovered,
+    FirstToken,
+    Released,
+    Shed,
+    Rejected,
+    Cancelled,
+    Expired,
+    DeadlineExceeded,
+    Failed,
+    Completed
+});
+
+impl EventKind {
+    /// Whether this kind ends a request's lifecycle. Every request
+    /// reaches exactly one terminal event.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            EventKind::Shed
+                | EventKind::Rejected
+                | EventKind::Cancelled
+                | EventKind::Expired
+                | EventKind::DeadlineExceeded
+                | EventKind::Failed
+                | EventKind::Completed
+        )
+    }
+
+    /// The terminal event kind a planned resolution maps to. The
+    /// governor shed special case is handled at its emission site
+    /// (it also resolves to `RejectBudget`, but as [`EventKind::Shed`]).
+    pub fn terminal_for(planned: &Planned) -> EventKind {
+        match planned {
+            Planned::Serve { .. } => EventKind::Completed,
+            Planned::FailPermanent { .. } => EventKind::Failed,
+            Planned::CancelCaller => EventKind::Cancelled,
+            Planned::CancelDeadline => EventKind::DeadlineExceeded,
+            Planned::ExpireInQueue => EventKind::Expired,
+            Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } => EventKind::Rejected,
+        }
+    }
+
+    /// Whether this terminal kind is consistent with a ledger outcome.
+    fn matches_outcome(self, outcome: Outcome) -> bool {
+        match outcome {
+            Outcome::Served => self == EventKind::Completed,
+            Outcome::Failed => self == EventKind::Failed,
+            Outcome::Cancelled => self == EventKind::Cancelled,
+            Outcome::ExpiredInQueue => self == EventKind::Expired,
+            Outcome::DeadlineExceeded => self == EventKind::DeadlineExceeded,
+            Outcome::RejectedOverloaded => self == EventKind::Rejected,
+            Outcome::RejectedBudget => matches!(self, EventKind::Rejected | EventKind::Shed),
+        }
+    }
+}
+
+/// One lifecycle transition of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual-time stamp of the transition, ms.
+    pub t_ms: u64,
+    /// Request id.
+    pub request_id: u64,
+    /// Tenant the request bills against.
+    pub tenant: u64,
+    /// Transition kind.
+    pub kind: EventKind,
+    /// Degradation rung in force (`""` before dispatch / when none).
+    pub rung: String,
+    /// Memory delta magnitude for admission / eviction / release
+    /// events; 0 for every other kind.
+    pub bytes: u64,
+    /// Planner memory-ledger balance *after* this transition.
+    pub mem_in_use: u64,
+    /// Typed human-readable reason.
+    pub reason: String,
+}
+
+sa_json::impl_json_struct!(Event {
+    t_ms,
+    request_id,
+    tenant,
+    kind,
+    rung,
+    bytes,
+    mem_in_use,
+    reason
+});
+
+/// One planner decision captured by the [`FlightRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerDecision {
+    /// Virtual time of the decision, ms.
+    pub t_ms: u64,
+    /// Request the decision concerned.
+    pub request_id: u64,
+    /// Decision kind: `admit` / `dispatch` / `defer` / `evict` / `shed`.
+    pub action: String,
+    /// Pending-queue depth at decision time.
+    pub queue_depth: u64,
+    /// Requests in flight at decision time.
+    pub inflight: u64,
+    /// Free memory under the budget, bytes.
+    pub free_bytes: u64,
+    /// Contention estimate the rung budget divided by (in-flight plus
+    /// pending requests; 0 when not a dispatch decision).
+    pub contenders: u64,
+    /// Per-request rung budget, ms (0 when not a dispatch decision).
+    pub budget_ms: u64,
+    /// Rung chosen (`""` when not a dispatch decision).
+    pub rung: String,
+    /// Governor pressure level at decision time.
+    pub pressure: String,
+}
+
+sa_json::impl_json_struct!(PlannerDecision {
+    t_ms,
+    request_id,
+    action,
+    queue_depth,
+    inflight,
+    free_bytes,
+    contenders,
+    budget_ms,
+    rung,
+    pressure
+});
+
+/// A dumped flight-recorder ring: the planner's recent decisions
+/// leading up to a trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Postmortem {
+    /// What tripped the dump: `shed` / `critical_transition` /
+    /// `storm_budget_exhausted`.
+    pub trigger: String,
+    /// Virtual time of the trigger, ms.
+    pub t_ms: u64,
+    /// Request at the center of the trigger.
+    pub request_id: u64,
+    /// Trigger detail.
+    pub reason: String,
+    /// Ring contents at trigger time, oldest first.
+    pub decisions: Vec<PlannerDecision>,
+}
+
+sa_json::impl_json_struct!(Postmortem {
+    trigger,
+    t_ms,
+    request_id,
+    reason,
+    decisions
+});
+
+/// Bounded ring buffer of planner decisions, dumped on anomalies.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<PlannerDecision>,
+    postmortems: Vec<Postmortem>,
+    /// Triggers seen, including those past the retention cap.
+    triggers: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` decisions (clamped ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: VecDeque::new(),
+            postmortems: Vec::new(),
+            triggers: 0,
+        }
+    }
+
+    /// Records one decision, dropping the oldest past capacity.
+    pub fn record(&mut self, decision: PlannerDecision) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(decision);
+    }
+
+    /// Dumps the ring into a postmortem. Only the first
+    /// [`MAX_POSTMORTEMS`] dumps are retained; later triggers are
+    /// counted but dropped to bound the artifact.
+    pub fn trigger(&mut self, trigger: &str, t_ms: u64, request_id: u64, reason: String) {
+        self.triggers += 1;
+        if self.postmortems.len() < MAX_POSTMORTEMS {
+            self.postmortems.push(Postmortem {
+                trigger: trigger.to_string(),
+                t_ms,
+                request_id,
+                reason,
+                decisions: self.ring.iter().cloned().collect(),
+            });
+        }
+    }
+
+    /// Total triggers seen (may exceed retained postmortems).
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// Consumes the recorder, yielding the retained postmortems.
+    pub fn into_postmortems(self) -> Vec<Postmortem> {
+        self.postmortems
+    }
+}
+
+/// The per-request serving event log (`sa.events.v1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// Schema tag ([`EVENTS_SCHEMA`]).
+    pub schema: String,
+    /// Workload / scheduler seed.
+    pub seed: u64,
+    /// Events in planner emission order (the order memory-ledger
+    /// mutations actually happened; per-request time stamps are
+    /// monotone but the global interleaving is not time-sorted).
+    pub events: Vec<Event>,
+    /// Flight-recorder dumps captured during planning.
+    pub postmortems: Vec<Postmortem>,
+}
+
+sa_json::impl_json_struct!(EventLog {
+    schema,
+    seed,
+    events,
+    postmortems
+});
+
+impl EventLog {
+    /// An empty log for the given seed.
+    pub fn new(seed: u64) -> Self {
+        EventLog {
+            schema: EVENTS_SCHEMA.to_string(),
+            seed,
+            events: Vec::new(),
+            postmortems: Vec::new(),
+        }
+    }
+
+    /// Appends one event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        t_ms: u64,
+        request_id: u64,
+        tenant: u64,
+        kind: EventKind,
+        rung: &str,
+        bytes: u64,
+        mem_in_use: u64,
+        reason: String,
+    ) {
+        self.events.push(Event {
+            t_ms,
+            request_id,
+            tenant,
+            kind,
+            rung: rung.to_string(),
+            bytes,
+            mem_in_use,
+            reason,
+        });
+    }
+
+    /// The terminal event of each request, keyed by id.
+    pub fn terminals(&self) -> BTreeMap<u64, &Event> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            if ev.kind.is_terminal() {
+                out.insert(ev.request_id, ev);
+            }
+        }
+        out
+    }
+
+    /// Events of one request in emission order.
+    pub fn for_request(&self, id: u64) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.request_id == id).collect()
+    }
+
+    /// Reconciles planner-emitted terminal events with the executed
+    /// ledger records. Execution can diverge from the plan in exactly
+    /// one deterministic way: a globally installed crash storm (the
+    /// chaos `serve_crash` plan) exhausts the storm retry budget and a
+    /// planned `Serve` resolves as [`Outcome::Failed`]. The terminal
+    /// event's kind is flipped to match the outcome and the divergence
+    /// is noted in the reason, so [`EventLog::validate`] stays strict.
+    pub fn reconcile(&mut self, records: &[RequestRecord]) {
+        let by_id: BTreeMap<u64, &RequestRecord> = records.iter().map(|r| (r.id, r)).collect();
+        for ev in &mut self.events {
+            if !ev.kind.is_terminal() {
+                continue;
+            }
+            let Some(rec) = by_id.get(&ev.request_id) else {
+                continue;
+            };
+            if ev.kind.matches_outcome(rec.outcome) {
+                continue;
+            }
+            let planned = ev.kind;
+            ev.kind = match rec.outcome {
+                Outcome::Served => EventKind::Completed,
+                Outcome::Failed => EventKind::Failed,
+                Outcome::Cancelled => EventKind::Cancelled,
+                Outcome::ExpiredInQueue => EventKind::Expired,
+                Outcome::DeadlineExceeded => EventKind::DeadlineExceeded,
+                Outcome::RejectedOverloaded | Outcome::RejectedBudget => EventKind::Rejected,
+            };
+            ev.reason = format!(
+                "execution diverged from planned {planned:?}: {}",
+                if rec.error.is_empty() { "unexplained" } else { &rec.error }
+            );
+        }
+    }
+
+    /// Memory-conservation half of the validator: replays the `bytes`
+    /// deltas of admission / eviction / release events from the weights
+    /// baseline and checks every stamped `mem_in_use` balance, terminal
+    /// uniqueness, and that the balance returns to the baseline (every
+    /// reservation released exactly once). Usable on plan-only logs.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, human-readable.
+    pub fn check_conservation(&self) -> Result<(), String> {
+        let baseline = weight_bytes();
+        let mut bal = baseline;
+        let mut terminal_seen: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev.kind {
+                EventKind::Admitted => bal = bal.saturating_add(ev.bytes),
+                EventKind::PressureEvicted | EventKind::Released => {
+                    if ev.bytes > bal {
+                        return Err(format!(
+                            "event {i}: request {} releases {} bytes with only {bal} in use",
+                            ev.request_id, ev.bytes
+                        ));
+                    }
+                    bal -= ev.bytes;
+                }
+                _ => {
+                    if ev.bytes != 0 {
+                        return Err(format!(
+                            "event {i}: request {} kind {:?} carries a {}-byte delta",
+                            ev.request_id, ev.kind, ev.bytes
+                        ));
+                    }
+                }
+            }
+            if ev.mem_in_use != bal {
+                return Err(format!(
+                    "event {i}: request {} stamped balance {} but replay says {bal}",
+                    ev.request_id, ev.mem_in_use
+                ));
+            }
+            if ev.kind.is_terminal() {
+                if let Some(prev) = terminal_seen.insert(ev.request_id, i) {
+                    return Err(format!(
+                        "request {}: two terminal events (indices {prev} and {i})",
+                        ev.request_id
+                    ));
+                }
+            } else if ev.kind != EventKind::Released {
+                if let Some(prev) = terminal_seen.get(&ev.request_id) {
+                    return Err(format!(
+                        "request {}: lifecycle event {i} ({:?}) after terminal event {prev}",
+                        ev.request_id, ev.kind
+                    ));
+                }
+            }
+        }
+        if bal != baseline {
+            return Err(format!(
+                "memory not conserved: final balance {bal} != weights baseline {baseline}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// The events↔ledger conservation validator. On top of
+    /// [`check_conservation`](Self::check_conservation), checks that
+    /// every ledger record has exactly one terminal event agreeing on
+    /// kind, tenant, and finish time, and that no terminal event lacks
+    /// a record.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, human-readable.
+    pub fn validate(&self, ledger: &Ledger) -> Result<(), String> {
+        self.check_conservation()?;
+        let terminals = self.terminals();
+        for rec in &ledger.records {
+            let ev = terminals.get(&rec.id).ok_or_else(|| {
+                format!("request {}: ledger record without a terminal event", rec.id)
+            })?;
+            if !ev.kind.matches_outcome(rec.outcome) {
+                return Err(format!(
+                    "request {}: terminal event {:?} disagrees with outcome {:?}",
+                    rec.id, ev.kind, rec.outcome
+                ));
+            }
+            if ev.tenant != rec.tenant {
+                return Err(format!(
+                    "request {}: event tenant {} != ledger tenant {}",
+                    rec.id, ev.tenant, rec.tenant
+                ));
+            }
+            if ev.t_ms != rec.finish_ms {
+                return Err(format!(
+                    "request {}: terminal event at {} but ledger finish at {}",
+                    rec.id, ev.t_ms, rec.finish_ms
+                ));
+            }
+        }
+        if terminals.len() != ledger.records.len() {
+            return Err(format!(
+                "{} terminal events for {} ledger records",
+                terminals.len(),
+                ledger.records.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_json::{FromJson, ToJson};
+
+    fn event(id: u64, kind: EventKind, bytes: u64, mem_in_use: u64) -> Event {
+        Event {
+            t_ms: 10,
+            request_id: id,
+            tenant: 0,
+            kind,
+            rung: String::new(),
+            bytes,
+            mem_in_use,
+            reason: String::new(),
+        }
+    }
+
+    #[test]
+    fn event_log_round_trips_through_json() {
+        let mut log = EventLog::new(7);
+        log.push(0, 1, 2, EventKind::Enqueued, "", 0, weight_bytes(), "edf".to_string());
+        log.push(5, 1, 2, EventKind::Completed, "full", 0, weight_bytes(), String::new());
+        log.postmortems.push(Postmortem {
+            trigger: "shed".to_string(),
+            t_ms: 5,
+            request_id: 1,
+            reason: "unplaceable".to_string(),
+            decisions: vec![PlannerDecision {
+                t_ms: 4,
+                request_id: 1,
+                action: "dispatch".to_string(),
+                queue_depth: 3,
+                inflight: 2,
+                free_bytes: 1024,
+                contenders: 5,
+                budget_ms: 200,
+                rung: "full".to_string(),
+                pressure: "critical".to_string(),
+            }],
+        });
+        let s = sa_json::to_string(&log.to_json());
+        let back = EventLog::from_json(&sa_json::from_str::<sa_json::Json>(&s).unwrap()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn conservation_rejects_leaked_and_double_counted_memory() {
+        let base = weight_bytes();
+        let mut leak = EventLog::new(0);
+        leak.events.push(event(0, EventKind::Admitted, 100, base + 100));
+        assert!(leak.check_conservation().unwrap_err().contains("not conserved"));
+
+        let mut balanced = EventLog::new(0);
+        balanced.events.push(event(0, EventKind::Admitted, 100, base + 100));
+        balanced.events.push(event(0, EventKind::Completed, 0, base + 100));
+        balanced.events.push(event(0, EventKind::Released, 100, base));
+        assert!(balanced.check_conservation().is_ok());
+
+        let mut wrong_stamp = balanced.clone();
+        wrong_stamp.events[1].mem_in_use = base;
+        assert!(wrong_stamp
+            .check_conservation()
+            .unwrap_err()
+            .contains("replay says"));
+
+        let mut double_terminal = balanced.clone();
+        double_terminal.events.push(event(0, EventKind::Failed, 0, base));
+        assert!(double_terminal
+            .check_conservation()
+            .unwrap_err()
+            .contains("two terminal"));
+
+        let mut after_terminal = balanced.clone();
+        after_terminal.events.push(event(0, EventKind::Dispatched, 0, base));
+        assert!(after_terminal
+            .check_conservation()
+            .unwrap_err()
+            .contains("after terminal"));
+    }
+
+    #[test]
+    fn flight_recorder_ring_is_bounded_and_dumps_on_trigger() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record(PlannerDecision {
+                t_ms: i,
+                request_id: i,
+                action: "dispatch".to_string(),
+                queue_depth: 0,
+                inflight: 0,
+                free_bytes: 0,
+                contenders: 0,
+                budget_ms: 0,
+                rung: String::new(),
+                pressure: "normal".to_string(),
+            });
+        }
+        rec.trigger("shed", 10, 9, "test".to_string());
+        let pm = rec.into_postmortems();
+        assert_eq!(pm.len(), 1);
+        assert_eq!(pm[0].decisions.len(), 4);
+        assert_eq!(pm[0].decisions[0].t_ms, 6, "ring keeps the newest 4");
+        assert_eq!(pm[0].decisions[3].t_ms, 9);
+    }
+}

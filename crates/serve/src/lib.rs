@@ -33,6 +33,11 @@
 //!   watermarks; its [`PressureLevel`]s drive the continuous planner's
 //!   governor ladder (defer → evict → force lower rungs → shed) and the
 //!   execution side's checkpoint-restore reservations.
+//! - [`events`] — the telemetry plane: the `sa.events.v1` per-request
+//!   lifecycle [`EventLog`] both planners emit, the events↔ledger
+//!   conservation validator, and the scheduler [`FlightRecorder`] whose
+//!   [`Postmortem`]s capture the decisions leading up to a shed, a
+//!   Critical-pressure transition, or an attempt-budget exhaustion.
 //!
 //! ## Failure taxonomy
 //!
@@ -69,6 +74,7 @@
 
 pub mod config;
 pub mod continuous;
+pub mod events;
 pub mod ledger;
 pub mod memory;
 pub mod request;
@@ -77,12 +83,15 @@ pub mod sim;
 pub mod slo;
 
 pub use config::ServeConfig;
-pub use continuous::{plan_continuous, ContinuousPlan};
+pub use continuous::{plan_continuous, plan_continuous_with_events, ContinuousPlan};
+pub use events::{
+    Event, EventKind, EventLog, FlightRecorder, PlannerDecision, Postmortem, EVENTS_SCHEMA,
+};
 pub use ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
 pub use memory::{MemoryLedger, PressureLevel};
 pub use request::{
     fault_storm_workload, mixed_workload, open_loop_workload, Request, RequestKind, FAULT_SITE,
 };
 pub use scheduler::Scheduler;
-pub use sim::{plan_batch, Plan, Planned};
-pub use slo::{SloSummary, SLO_SCHEMA};
+pub use sim::{plan_batch, plan_batch_with_events, Plan, Planned};
+pub use slo::{LatencyStats, SloSummary, SLO_SCHEMA};

@@ -43,6 +43,7 @@
 //! allocations the fault harness failed.
 
 use crate::continuous::{self, ContinuousPlan};
+use crate::events::EventLog;
 use crate::ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
 use crate::memory::MemoryLedger;
 use crate::sim::{self, Plan, Planned};
@@ -112,8 +113,23 @@ impl Scheduler {
     /// cancellations, and rejections are *outcomes* in the ledger, never
     /// errors of `run` itself.
     pub fn run(&self, requests: &[Request]) -> Result<Ledger, TensorError> {
+        self.run_with_events(requests).map(|(ledger, _)| ledger)
+    }
+
+    /// [`Scheduler::run`] plus the telemetry plane: returns the ledger
+    /// together with the planner's [`EventLog`], reconciled against the
+    /// executed outcomes (see [`EventLog::reconcile`]) so
+    /// [`EventLog::validate`] holds on the pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run`].
+    pub fn run_with_events(
+        &self,
+        requests: &[Request],
+    ) -> Result<(Ledger, EventLog), TensorError> {
         let _span = sa_trace::span_in("serve", "batch");
-        let plans = sim::plan_batch(&self.cfg, requests);
+        let (plans, mut log) = sim::plan_batch_with_events(&self.cfg, requests);
         let mut records = pool::try_parallel_map("serve_batch", requests.len(), 1, |i| {
             let mut rec = self.execute(&requests[i], &plans[i]);
             // The one-shot planner holds a slot for the whole request,
@@ -133,11 +149,15 @@ impl Scheduler {
         })?;
         records.sort_by_key(|r| r.id);
         record_metrics(&records);
-        Ok(Ledger {
-            schema: LEDGER_SCHEMA.to_string(),
-            seed: self.cfg.seed,
-            records,
-        })
+        log.reconcile(&records);
+        Ok((
+            Ledger {
+                schema: LEDGER_SCHEMA.to_string(),
+                seed: self.cfg.seed,
+                records,
+            },
+            log,
+        ))
     }
 
     /// Plans an open-loop stream on the continuous-batching timeline
@@ -158,8 +178,24 @@ impl Scheduler {
     /// Only scheduler-level pool failures propagate; per-request faults,
     /// cancellations, and rejections are ledger outcomes.
     pub fn run_continuous(&self, requests: &[Request]) -> Result<Ledger, TensorError> {
+        self.run_continuous_with_events(requests)
+            .map(|(ledger, _)| ledger)
+    }
+
+    /// [`Scheduler::run_continuous`] plus the telemetry plane: returns
+    /// the ledger together with the continuous planner's [`EventLog`]
+    /// (including the flight-recorder [`Postmortem`](crate::Postmortem)s),
+    /// reconciled against the executed outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run_continuous`].
+    pub fn run_continuous_with_events(
+        &self,
+        requests: &[Request],
+    ) -> Result<(Ledger, EventLog), TensorError> {
         let _span = sa_trace::span_in("serve", "continuous");
-        let plans = continuous::plan_continuous(&self.cfg, requests);
+        let (plans, mut log) = continuous::plan_continuous_with_events(&self.cfg, requests);
         let mut records = pool::try_parallel_map("serve_continuous", requests.len(), 1, |i| {
             let mut rec = self.execute(&requests[i], &plans[i].plan);
             rec.ttft_ms = plans[i]
@@ -171,11 +207,15 @@ impl Scheduler {
         })?;
         records.sort_by_key(|r| r.id);
         record_metrics(&records);
-        Ok(Ledger {
-            schema: LEDGER_SCHEMA.to_string(),
-            seed: self.cfg.seed,
-            records,
-        })
+        log.reconcile(&records);
+        Ok((
+            Ledger {
+                schema: LEDGER_SCHEMA.to_string(),
+                seed: self.cfg.seed,
+                records,
+            },
+            log,
+        ))
     }
 
     /// Executes one planned request. Never panics and never fails: every

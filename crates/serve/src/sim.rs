@@ -25,6 +25,7 @@
 //!    exponential backoff; the earliest of caller-cancel, deadline,
 //!    and completion decides the planned outcome.
 
+use crate::events::{EventKind, EventLog};
 use crate::{Request, ServeConfig};
 use sa_core::DegradationRung;
 use sa_perf::memory::{prefill_footprint, PrefillStyle};
@@ -179,6 +180,9 @@ struct Active {
     finish_ms: u64,
     id: u64,
     bytes: u64,
+    /// Index into the request slice, for terminal-event emission at
+    /// slot-free time.
+    idx: usize,
 }
 
 enum StartResult {
@@ -188,10 +192,99 @@ enum StartResult {
     Resolved(Plan),
 }
 
+/// The typed reason string for a terminal event of `plan`.
+fn terminal_reason(plan: &Plan, budget: u64) -> String {
+    match &plan.planned {
+        Planned::Serve { fails: 0 } => String::new(),
+        Planned::Serve { fails } => format!("served after {fails} failed attempts"),
+        Planned::FailPermanent { fails } => {
+            format!("attempt budget exhausted after {fails} failed attempts")
+        }
+        Planned::CancelCaller => "caller cancelled".to_string(),
+        Planned::CancelDeadline => "deadline expired mid-run".to_string(),
+        Planned::ExpireInQueue => "deadline expired in queue".to_string(),
+        Planned::RejectOverloaded { inflight } => {
+            format!("overloaded: {inflight} in flight or queued")
+        }
+        Planned::RejectBudget { required_bytes } => {
+            format!("required {required_bytes} bytes exceeds budget {budget}")
+        }
+    }
+}
+
+/// Emits the admission-side events of a freshly started plan:
+/// `Admitted` (with the reservation delta), `Dispatched`, and — when the
+/// ladder degraded or retries are planned — `RungDegraded` / `Retried`.
+fn push_start_events(
+    log: &mut EventLog,
+    req: &Request,
+    plan: &Plan,
+    bytes: u64,
+    mem_in_use: u64,
+) {
+    let rung = plan.rung.to_string();
+    log.push(
+        plan.start_ms,
+        req.id,
+        req.tenant,
+        EventKind::Admitted,
+        "",
+        bytes,
+        mem_in_use,
+        String::new(),
+    );
+    log.push(
+        plan.start_ms,
+        req.id,
+        req.tenant,
+        EventKind::Dispatched,
+        &rung,
+        0,
+        mem_in_use,
+        format!("queue wait {} ms", plan.queue_wait_ms),
+    );
+    if !plan.skipped.is_empty() {
+        log.push(
+            plan.start_ms,
+            req.id,
+            req.tenant,
+            EventKind::RungDegraded,
+            &rung,
+            0,
+            mem_in_use,
+            format!("{} rungs skipped under deadline budget", plan.skipped.len()),
+        );
+    }
+    if plan.retries > 0 {
+        log.push(
+            plan.start_ms,
+            req.id,
+            req.tenant,
+            EventKind::Retried,
+            &rung,
+            0,
+            mem_in_use,
+            format!(
+                "{} retries planned, {} ms backoff",
+                plan.retries, plan.backoff_ms
+            ),
+        );
+    }
+}
+
 /// Simulates the whole batch and returns one [`Plan`] per request,
 /// aligned with the input order.
 pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
+    plan_batch_with_events(cfg, requests).0
+}
+
+/// [`plan_batch`] plus the `sa.events.v1` lifecycle event log the
+/// simulation emitted (see [`crate::events`]). The log is produced by
+/// this serial planner, so its serialized bytes are identical at every
+/// `SA_THREADS` setting.
+pub fn plan_batch_with_events(cfg: &ServeConfig, requests: &[Request]) -> (Vec<Plan>, EventLog) {
     let weights = weight_bytes();
+    let mut log = EventLog::new(cfg.seed);
     let mut order: Vec<usize> = (0..requests.len()).collect();
     order.sort_by_key(|&i| (requests[i].arrival_ms, requests[i].id));
 
@@ -202,7 +295,8 @@ pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
     let drain_to = |upto: u64,
                     active: &mut Vec<Active>,
                     queue: &mut VecDeque<usize>,
-                    plans: &mut Vec<Option<Plan>>| {
+                    plans: &mut Vec<Option<Plan>>,
+                    log: &mut EventLog| {
         loop {
             let Some(pos) = active
                 .iter()
@@ -213,23 +307,66 @@ pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
             else {
                 break;
             };
-            let freed_at = active.swap_remove(pos).finish_ms;
+            let freed = active.swap_remove(pos);
+            let freed_at = freed.finish_ms;
+            let after: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
+            if let Some(plan) = &plans[freed.idx] {
+                let req = &requests[freed.idx];
+                let rung = if plan.runs_model() {
+                    plan.rung.to_string()
+                } else {
+                    String::new()
+                };
+                log.push(
+                    freed_at,
+                    req.id,
+                    req.tenant,
+                    EventKind::terminal_for(&plan.planned),
+                    &rung,
+                    0,
+                    after + freed.bytes,
+                    terminal_reason(plan, cfg.mem_budget_bytes),
+                );
+            }
+            log.push(
+                freed_at,
+                freed.id,
+                requests[freed.idx].tenant,
+                EventKind::Released,
+                "",
+                freed.bytes,
+                after,
+                String::new(),
+            );
             // The freed slot serves the queue head; requests that
             // resolve without running (expired, budget-rejected) keep
             // the slot free for the next in line.
             while let Some(qi) = queue.pop_front() {
                 let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
-                match try_start(cfg, &requests[qi], freed_at, in_use, cfg.mem_budget_bytes) {
+                let req = &requests[qi];
+                match try_start(cfg, req, freed_at, in_use, cfg.mem_budget_bytes) {
                     StartResult::Started(plan, bytes) => {
+                        push_start_events(log, req, &plan, bytes, in_use + bytes);
                         active.push(Active {
                             finish_ms: plan.finish_ms,
-                            id: requests[qi].id,
+                            id: req.id,
                             bytes,
+                            idx: qi,
                         });
                         plans[qi] = Some(plan);
                         break;
                     }
                     StartResult::Resolved(plan) => {
+                        log.push(
+                            plan.finish_ms,
+                            req.id,
+                            req.tenant,
+                            EventKind::terminal_for(&plan.planned),
+                            "",
+                            0,
+                            in_use,
+                            terminal_reason(&plan, cfg.mem_budget_bytes),
+                        );
                         plans[qi] = Some(plan);
                     }
                 }
@@ -240,24 +377,49 @@ pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
     for &i in &order {
         let req = &requests[i];
         let now = req.arrival_ms;
-        drain_to(now, &mut active, &mut queue, &mut plans);
+        drain_to(now, &mut active, &mut queue, &mut plans, &mut log);
         if active.len() < cfg.slots() {
             let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
             match try_start(cfg, req, now, in_use, cfg.mem_budget_bytes) {
                 StartResult::Started(plan, bytes) => {
+                    push_start_events(&mut log, req, &plan, bytes, in_use + bytes);
                     active.push(Active {
                         finish_ms: plan.finish_ms,
                         id: req.id,
                         bytes,
+                        idx: i,
                     });
                     plans[i] = Some(plan);
                 }
-                StartResult::Resolved(plan) => plans[i] = Some(plan),
+                StartResult::Resolved(plan) => {
+                    log.push(
+                        plan.finish_ms,
+                        req.id,
+                        req.tenant,
+                        EventKind::terminal_for(&plan.planned),
+                        "",
+                        0,
+                        in_use,
+                        terminal_reason(&plan, cfg.mem_budget_bytes),
+                    );
+                    plans[i] = Some(plan);
+                }
             }
         } else if queue.len() < cfg.max_queue {
             queue.push_back(i);
+            let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
+            log.push(
+                now,
+                req.id,
+                req.tenant,
+                EventKind::Enqueued,
+                "",
+                0,
+                in_use,
+                format!("queue depth {}", queue.len()),
+            );
         } else {
-            plans[i] = Some(Plan {
+            let plan = Plan {
                 planned: Planned::RejectOverloaded {
                     inflight: active.len() + queue.len(),
                 },
@@ -268,12 +430,24 @@ pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
                 queue_wait_ms: 0,
                 retries: 0,
                 backoff_ms: 0,
-            });
+            };
+            let in_use: u64 = weights + active.iter().map(|a| a.bytes).sum::<u64>();
+            log.push(
+                now,
+                req.id,
+                req.tenant,
+                EventKind::Rejected,
+                "",
+                0,
+                in_use,
+                terminal_reason(&plan, cfg.mem_budget_bytes),
+            );
+            plans[i] = Some(plan);
         }
     }
-    drain_to(u64::MAX, &mut active, &mut queue, &mut plans);
+    drain_to(u64::MAX, &mut active, &mut queue, &mut plans, &mut log);
 
-    plans
+    let plans = plans
         .into_iter()
         .enumerate()
         .map(|(i, p)| match p {
@@ -292,7 +466,8 @@ pub fn plan_batch(cfg: &ServeConfig, requests: &[Request]) -> Vec<Plan> {
                 backoff_ms: 0,
             },
         })
-        .collect()
+        .collect();
+    (plans, log)
 }
 
 fn try_start(

@@ -68,11 +68,15 @@ pub mod clock;
 pub mod metrics;
 pub mod span;
 pub mod summary;
+pub mod timeseries;
 
 pub use chrome::{chrome_trace, validate_chrome_trace, write_chrome_trace};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use span::{drain, flush_thread, span, span_in, span_labeled, SpanEvent, SpanGuard};
 pub use summary::{summarize, StageSummary, TraceSummary};
+pub use timeseries::{
+    prometheus_text, MetricsExport, Timeline, TimelineBin, TimelineSeries, TimelineSnapshot,
+};
 
 /// Global on/off switch. Off by default; every probe checks this first.
 static ENABLED: AtomicBool = AtomicBool::new(false);

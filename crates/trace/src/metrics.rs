@@ -8,10 +8,25 @@
 //! [`crate::enabled`], so a disabled build pays one relaxed atomic load
 //! per probe and the registry stays at its zero state.
 //!
-//! Histograms use 64 power-of-two buckets (bucket *i* holds values in
-//! `[2^(i-1), 2^i)`), which spans nanoseconds to hours with ≤ 2×
-//! resolution — the right trade for latency percentile readouts
-//! (p50/p95/p99) that must cost O(1) per record on the hot path.
+//! ## Histogram bucket scheme
+//!
+//! Histograms use [`HISTOGRAM_BUCKETS`] = 64 power-of-two buckets:
+//!
+//! - bucket 0 holds exactly the value 0,
+//! - bucket `i` for `1 ≤ i ≤ 62` holds values in `[2^(i-1), 2^i)`,
+//! - bucket 63 is the **overflow bucket**: it holds every value
+//!   `≥ 2^62` and its upper bound is reported as `u64::MAX`. Records
+//!   landing there are additionally counted in
+//!   [`Histogram::overflow`], so a saturating histogram is visible in
+//!   snapshots instead of silently folding into the top bucket.
+//!
+//! This spans nanoseconds to hours with ≤ 2× resolution — the right
+//! trade for latency percentile readouts (p50/p95/p99) that must cost
+//! O(1) per record on the hot path. Quantiles are nearest-rank over
+//! bucket upper bounds, clamped to the true recorded maximum: a
+//! single-sample histogram reports that sample exactly, and an
+//! all-overflow histogram reports its true maximum rather than
+//! `u64::MAX` (both pinned by unit tests below).
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -91,6 +106,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    overflow: AtomicU64,
 }
 
 /// Bucket index for a value: 0 holds 0, bucket `i ≥ 1` holds
@@ -118,7 +134,11 @@ impl Histogram {
         if !crate::enabled() {
             return;
         }
-        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        let b = bucket_of(v);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        if b == HISTOGRAM_BUCKETS - 1 {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
@@ -128,6 +148,12 @@ impl Histogram {
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded values that landed in the overflow bucket
+    /// (values `≥ 2^62` — see the module docs on the bucket scheme).
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     /// Sum of recorded values.
@@ -178,6 +204,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            overflow: self.overflow(),
         }
     }
 
@@ -189,6 +216,7 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
     }
 }
 
@@ -265,6 +293,7 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
         }));
         reg.push(Metric::Histogram(h));
         h
@@ -333,6 +362,8 @@ pub struct HistogramSnapshot {
     pub p95: u64,
     /// 99th percentile (bucket upper-bound estimate).
     pub p99: u64,
+    /// Records that landed in the overflow bucket (values `≥ 2^62`).
+    pub overflow: u64,
 }
 
 impl_json_struct!(HistogramSnapshot {
@@ -344,7 +375,8 @@ impl_json_struct!(HistogramSnapshot {
     max,
     p50,
     p95,
-    p99
+    p99,
+    overflow: default
 });
 
 /// A full registry snapshot, name-sorted (deterministic output order
@@ -471,6 +503,61 @@ mod tests {
         assert!((990..=1000).contains(&p99), "p99 {p99}");
         assert!(h.quantile(1.0) == 1000);
         assert_eq!(histogram("test.hist_empty").quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_quantile_is_exact() {
+        let _session = scoped();
+        // The nearest-rank readout clamps to the recorded max, so a
+        // single sample is reported exactly at every quantile — not as
+        // its bucket's power-of-two upper bound.
+        for v in [0u64, 1, 3, 700, 1_000_003] {
+            let h = histogram(match v {
+                0 => "test.hist_single_0",
+                1 => "test.hist_single_1",
+                3 => "test.hist_single_3",
+                700 => "test.hist_single_700",
+                _ => "test.hist_single_big",
+            });
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "q={q} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_overflow_histogram_reports_true_max() {
+        let _session = scoped();
+        let h = histogram("test.hist_all_overflow");
+        let lo = 1u64 << 62;
+        let hi = (1u64 << 62) + 12_345;
+        h.record(lo);
+        h.record(hi);
+        // Both land in the overflow bucket (upper bound u64::MAX); the
+        // clamp keeps the readout at the true maximum.
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.quantile(0.5), hi);
+        assert_eq!(h.quantile(0.99), hi);
+        let snap = h.snapshot();
+        assert_eq!(snap.overflow, 2);
+        assert_eq!(snap.p99, hi);
+        h.reset();
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_counter_tracks_only_the_top_bucket() {
+        let _session = scoped();
+        let h = histogram("test.hist_overflow_edges");
+        h.record((1u64 << 62) - 1); // top in-range bucket
+        assert_eq!(h.overflow(), 0);
+        h.record(1u64 << 62); // first overflow value
+        assert_eq!(h.overflow(), 1);
+        h.record(u64::MAX);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
     }
 
     #[test]

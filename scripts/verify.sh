@@ -56,13 +56,40 @@ if [ "$lint_fail" -ne 0 ]; then
     exit 1
 fi
 
+echo "==> lint: metric names registered in docs/METRICS.md"
+# Every production metric name (counter/gauge/histogram registration or
+# the counter_add!/histogram_record! macros with a literal name) must be
+# listed in docs/METRICS.md so new metrics land with a documented
+# meaning. Doc comments and #[cfg(test)] tails are exempt, same as the
+# unwrap lint above.
+registry_fail=0
+while IFS= read -r f; do
+    names="$(awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        { print }
+    ' "$f" | { grep -oE '\b(counter|gauge|histogram)\("[^"]+"\)|\b(counter_add|histogram_record)!\("[^"]+"' \
+        || true; } | sed -E 's/^[a-z_]+!?\("([^"]+)".*/\1/' | sort -u)"
+    for n in $names; do
+        if ! grep -q "\`$n\`" docs/METRICS.md; then
+            echo "$f: metric \"$n\" not listed in docs/METRICS.md"
+            registry_fail=1
+        fi
+    done
+done < <(find crates -path '*/src/*.rs')
+if [ "$registry_fail" -ne 0 ]; then
+    echo "lint: unregistered metric name — add it to docs/METRICS.md" >&2
+    exit 1
+fi
+
 echo "==> lint: single timing authority (no Instant::now outside sa-trace/sa-bench)"
 # All pipeline wall-clock reads go through sa_trace::clock::now_ns
-# (DESIGN.md 5e); sa-bench keeps its own closure-timing harness.
+# (DESIGN.md 5e); sa-serve plans on the virtual clock and must never
+# read real time; sa-bench keeps its own closure-timing harness.
 instant_hits="$(grep -rn 'Instant::now' \
     crates/tensor/src crates/kernels/src crates/core/src \
     crates/baselines/src crates/model/src crates/workloads/src \
-    crates/perf/src src/ 2>/dev/null || true)"
+    crates/perf/src crates/serve/src src/ 2>/dev/null || true)"
 if [ -n "$instant_hits" ]; then
     echo "$instant_hits"
     echo "lint: Instant::now in a pipeline crate — use sa_trace::clock::now_ns" >&2
@@ -130,6 +157,26 @@ cargo run -q --release --offline -p sa-bench --bin slo_sweep -- \
     --quick --out "$smoke_out"
 test -s "$smoke_out/slo_report.json" || {
     echo "slo_sweep did not emit JSON" >&2
+    exit 1
+}
+
+echo "==> smoke: serve_timeline --quick (SA_THREADS=1, then default)"
+# Runs after slo_sweep so slo_report.json is present in $smoke_out: the
+# binary then asserts that the event log alone reconstructs the sweep's
+# aggregate goodput bit-exactly, that events<->ledger conservation
+# holds, that the storm-leg event log is byte-identical across thread
+# counts, and that a forced governor shed leaves a flight-recorder
+# postmortem; it exits non-zero on any violation.
+SA_THREADS=1 cargo run -q --release --offline -p sa-bench --bin serve_timeline -- \
+    --quick --out "$smoke_out"
+cargo run -q --release --offline -p sa-bench --bin serve_timeline -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/serve_timeline.json" || {
+    echo "serve_timeline did not emit JSON" >&2
+    exit 1
+}
+test -s "$smoke_out/serve_timeline.txt" || {
+    echo "serve_timeline did not emit its text digest" >&2
     exit 1
 }
 

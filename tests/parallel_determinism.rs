@@ -187,6 +187,34 @@ fn tracing_does_not_perturb_pipeline_outputs() {
     }
 }
 
+/// The serving telemetry plane is emitted by the serial virtual-time
+/// planners (and only reconciled against the executed ledger), so both
+/// the `sa.events.v1` log and any timeline aggregation derived from it
+/// must serialize byte-identically at every thread count.
+#[test]
+fn serving_telemetry_is_thread_invariant() {
+    use sample_attention::json::{to_string, ToJson};
+    use sample_attention::serve::{mixed_workload, Scheduler, ServeConfig};
+    use sa_trace::Timeline;
+
+    let cfg = ServeConfig {
+        seed: 0x7E1E,
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
+    let requests = mixed_workload(cfg.seed, 12);
+    assert_thread_invariant("serve event log + timeline", || {
+        let scheduler = Scheduler::new(cfg.clone()).unwrap();
+        let (ledger, log) = scheduler.run_with_events(&requests).unwrap();
+        log.validate(&ledger).unwrap();
+        let mut tl = Timeline::new(500);
+        for ev in &log.events {
+            tl.observe(&format!("{:?}", ev.kind), ev.t_ms, ev.mem_in_use);
+        }
+        (to_string(&log.to_json()), to_string(&tl.flush().to_json()))
+    });
+}
+
 #[test]
 fn end_to_end_pipeline_is_thread_invariant() {
     let (q, k, v) = qkv(256, 32, 0xE2E);

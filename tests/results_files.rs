@@ -26,7 +26,7 @@ fn json_files() -> Vec<PathBuf> {
 fn every_checked_in_result_parses() {
     let files = json_files();
     assert!(
-        files.len() >= 11,
+        files.len() >= 12,
         "expected the full figure/table set, found {} json files",
         files.len()
     );
@@ -404,6 +404,88 @@ fn checked_in_tile_kernel_report_validates() {
         let serial = row.get("serial_speedup").and_then(Json::as_f64).unwrap();
         assert!(serial > 0.9, "S={s}: tiled serial leg regressed badly ({serial}x)");
     }
+}
+
+/// The checked-in `results/serve_timeline.json` must carry the telemetry
+/// plane's verdicts: the `sa.serve_timeline.v1` schema, a bit-exact
+/// event-log reconstruction of every sweep point (and of the committed
+/// `slo_report.json`), a thread-invariant storm event log, conservation
+/// against the memory ledger, and a flight-recorder postmortem from the
+/// forced governor shed.
+#[test]
+fn checked_in_serve_timeline_validates() {
+    let path = results_dir().join("serve_timeline.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("sa.serve_timeline.v1")
+    );
+    for key in [
+        "all_points_exact",
+        "matches_slo_report",
+        "identical_across_threads",
+        "conservation_ok",
+    ] {
+        assert_eq!(
+            doc.get(key).and_then(Json::as_bool),
+            Some(true),
+            "committed timeline report must certify {key}"
+        );
+    }
+
+    let points = match doc.get("points") {
+        Some(Json::Array(items)) => items,
+        other => panic!("points must be an array, got {other:?}"),
+    };
+    assert!(!points.is_empty(), "report has no sweep points");
+    for point in points {
+        let shape = point.get("shape").and_then(Json::as_str).unwrap();
+        assert_eq!(
+            point.get("exact_match").and_then(Json::as_bool),
+            Some(true),
+            "{shape}: event-log reconstruction not bit-exact"
+        );
+        assert_eq!(
+            point.get("conservation_ok").and_then(Json::as_bool),
+            Some(true),
+            "{shape}: event log failed memory conservation"
+        );
+        let events = point.get("events").and_then(Json::as_i64).unwrap();
+        let requests = point.get("requests").and_then(Json::as_i64).unwrap();
+        assert!(
+            events >= requests,
+            "{shape}: {events} events cannot cover {requests} requests"
+        );
+    }
+
+    // The per-tenant timeline of the richest point is non-trivial.
+    let timeline = doc.get("timeline").expect("report embeds the timeline");
+    let series = match timeline.get("series") {
+        Some(Json::Array(items)) => items,
+        other => panic!("timeline.series must be an array, got {other:?}"),
+    };
+    assert!(!series.is_empty(), "timeline has no series");
+
+    // The forced governor shed left a flight-recorder postmortem whose
+    // ring buffer actually captured planner decisions.
+    let postmortems = match doc.get("postmortems") {
+        Some(Json::Array(items)) => items,
+        other => panic!("postmortems must be an array, got {other:?}"),
+    };
+    let shed = postmortems
+        .iter()
+        .find(|p| p.get("trigger").and_then(Json::as_str) == Some("shed"))
+        .expect("committed report must carry a shed postmortem");
+    let decisions = match shed.get("decisions") {
+        Some(Json::Array(items)) => items,
+        other => panic!("postmortem.decisions must be an array, got {other:?}"),
+    };
+    assert!(!decisions.is_empty(), "shed postmortem recorded no decisions");
+
+    let storm_events = doc.get("storm_events").and_then(Json::as_i64).unwrap();
+    assert!(storm_events > 0, "storm leg recorded no events");
 }
 
 #[test]

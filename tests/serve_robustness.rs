@@ -26,6 +26,7 @@ use sample_attention::serve::{
     fault_storm_workload, mixed_workload, open_loop_workload, sim, Outcome, Request, RequestKind,
     Scheduler, ServeConfig,
 };
+use sample_attention::tensor::fault::{self, FaultPlan};
 use sample_attention::tensor::{pool, CancelToken, DeterministicRng, SaError};
 use sample_attention::workloads::{ArrivalProcess, ArrivalShape};
 
@@ -365,6 +366,75 @@ fn recovered_storm_ledger_is_byte_identical_across_thread_counts() {
             "recovered ledger differs between 1 and {threads} worker threads"
         );
     }
+}
+
+#[test]
+fn storm_event_log_is_byte_identical_across_thread_counts() {
+    // The full chaos-soak fault storm installed globally: planned
+    // crashes, allocation failures, and KV bit flips during execution.
+    // The `sa.events.v1` log is emitted by the serial virtual-time
+    // planner and then reconciled against the executed ledger, so its
+    // serialized bytes must not depend on the worker-pool size — run
+    // pinned at 1 and 2 threads and at the session default.
+    let cfg = ServeConfig {
+        seed: 0x57F0,
+        recovery_enabled: true,
+        ..ServeConfig::default()
+    };
+    let requests = fault_storm_workload(cfg.seed, 16);
+    let scheduler = Scheduler::new(cfg.clone()).unwrap();
+    let _storm = fault::install(
+        FaultPlan::new(cfg.seed)
+            .serve_crash("serve_attempt", 4)
+            .alloc_failures(3)
+            .kv_bit_flips(1),
+    );
+    let run = |threads: Option<usize>| {
+        let exec = || scheduler.run_continuous_with_events(&requests);
+        let (ledger, log) = match threads {
+            Some(n) => pool::with_threads(n, exec),
+            None => exec(),
+        }
+        .unwrap();
+        ledger.validate(&requests).unwrap();
+        // Conservation + terminal agreement against the executed
+        // ledger: this also exercises `EventLog::reconcile`, since the
+        // storm's attempt-budget exhaustion flips planned serves to
+        // `Failed` during execution.
+        log.validate(&ledger).unwrap();
+        sample_attention::json::to_string(&log.to_json())
+    };
+    let canonical = run(Some(1));
+    for threads in [Some(2), None] {
+        assert_eq!(
+            canonical,
+            run(threads),
+            "storm event log differs between 1 and {threads:?} worker threads"
+        );
+    }
+}
+
+#[test]
+fn batch_event_log_conserves_memory_and_is_terminal_total() {
+    // The one-shot planner's event log must balance the memory ledger
+    // event-by-event and give every request exactly one terminal
+    // lifecycle event that agrees with its ledger record.
+    let cfg = ServeConfig {
+        seed: 0xC0DE,
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
+    let requests = mixed_workload(cfg.seed, 16);
+    let scheduler = Scheduler::new(cfg).unwrap();
+    let (ledger, log) = scheduler.run_with_events(&requests).unwrap();
+    ledger.validate(&requests).unwrap();
+    log.validate(&ledger).unwrap();
+    let terminals = log.terminals();
+    assert_eq!(
+        terminals.len(),
+        requests.len(),
+        "every request must reach exactly one terminal event"
+    );
 }
 
 #[test]
