@@ -55,6 +55,31 @@ pub trait AttentionMethod: Send + Sync {
     /// Returns a [`TensorError`] on shape mismatches between `q`, `k`,
     /// and `v`.
     fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError>;
+
+    /// Computes attention for the head identified by `(layer, head)`.
+    ///
+    /// The model layers call this entry point so wrappers that route
+    /// individual heads differently — the serving layer's per-head
+    /// quality quarantine — can override it. The default implementation
+    /// ignores the identity and delegates to
+    /// [`forward`](Self::forward), so plain methods behave identically
+    /// on both entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] on shape mismatches between `q`, `k`,
+    /// and `v`.
+    fn forward_head(
+        &self,
+        layer: usize,
+        head: usize,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<MethodOutput, TensorError> {
+        let _ = (layer, head);
+        self.forward(q, k, v)
+    }
 }
 
 #[cfg(test)]

@@ -137,10 +137,11 @@ fn outcome_name(o: Outcome) -> &'static str {
         Outcome::DeadlineExceeded => "deadline_exceeded",
         Outcome::Cancelled => "cancelled",
         Outcome::Failed => "failed",
+        Outcome::ShedQualityFloor => "shed_quality_floor",
     }
 }
 
-const ALL_OUTCOMES: [Outcome; 7] = [
+const ALL_OUTCOMES: [Outcome; 8] = [
     Outcome::Served,
     Outcome::RejectedOverloaded,
     Outcome::RejectedBudget,
@@ -148,6 +149,7 @@ const ALL_OUTCOMES: [Outcome; 7] = [
     Outcome::DeadlineExceeded,
     Outcome::Cancelled,
     Outcome::Failed,
+    Outcome::ShedQualityFloor,
 ];
 
 fn main() {

@@ -209,8 +209,9 @@ fn main() {
     let sampled = sa_core::sampling::sample_attention_scores(&q, &k, 0.05).expect("sampling");
     let ratios = [0.025f32, 0.05, 0.1, 0.2, 0.4, 0.8];
     let win = (0.02 * len_long as f32) as usize;
-    let exact_curve = stripe_coverage_curve(&p, &exact_scores, win, &ratios);
-    let sampled_curve = stripe_coverage_curve(&p, &sampled.column_scores, win, &ratios);
+    let exact_curve = stripe_coverage_curve(&p, &exact_scores, win, &ratios).expect("coverage curve");
+    let sampled_curve =
+        stripe_coverage_curve(&p, &sampled.column_scores, win, &ratios).expect("coverage curve");
     let rows_e: Vec<Vec<String>> = ratios
         .iter()
         .zip(exact_curve.iter().zip(&sampled_curve))

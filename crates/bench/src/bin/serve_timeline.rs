@@ -40,8 +40,8 @@
 use sa_bench::{f, render_table, write_json, Args};
 use sa_serve::{
     fault_storm_workload, open_loop_workload, plan_batch_with_events,
-    plan_continuous_with_events, EventKind, EventLog, LatencyStats, Postmortem, Request,
-    Scheduler, ServeConfig, SloSummary, SLO_SCHEMA,
+    plan_continuous_with_events, Event, EventKind, EventLog, LatencyStats, Postmortem, Request,
+    Scheduler, ServeConfig, SloSummary, TenantQuality, SLO_SCHEMA,
 };
 use sa_tensor::fault::{self, FaultPlan};
 use sa_tensor::pool;
@@ -193,8 +193,64 @@ fn goodput_per_sec(within: u64, span_ms: u64) -> f64 {
     }
 }
 
+/// One request's contribution to the per-tenant quality rows,
+/// replicating `sa_serve::slo`'s private accounting from event-borne
+/// facts alone.
+struct Contribution {
+    tenant: u64,
+    served: bool,
+    certified: bool,
+    uncertified_rung: bool,
+    tokens: u64,
+    shed_floor: bool,
+}
+
+/// Folds contributions into sorted per-tenant [`TenantQuality`] rows,
+/// mirroring the library's fold bit for bit.
+fn tenant_rows(contribs: &[Contribution]) -> Vec<TenantQuality> {
+    let mut tenants: Vec<u64> = contribs.iter().map(|c| c.tenant).collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .into_iter()
+        .map(|tenant| {
+            let mut row = TenantQuality {
+                tenant,
+                served: 0,
+                served_certified: 0,
+                served_tokens: 0,
+                uncertified_tokens: 0,
+                uncertified_permille: 0,
+                shed_quality_floor: 0,
+            };
+            for c in contribs.iter().filter(|c| c.tenant == tenant) {
+                if c.served {
+                    row.served += 1;
+                    row.served_tokens += c.tokens;
+                    if c.certified {
+                        row.served_certified += 1;
+                    }
+                    if c.uncertified_rung {
+                        row.uncertified_tokens += c.tokens;
+                    }
+                }
+                if c.shed_floor {
+                    row.shed_quality_floor += 1;
+                }
+            }
+            if row.served_tokens > 0 {
+                row.uncertified_permille = row.uncertified_tokens * 1000 / row.served_tokens;
+            }
+            row
+        })
+        .collect()
+}
+
 /// Shared tail of both reconstructions: outcome tallies from terminal
-/// event kinds.
+/// event kinds. Quality columns come from event-borne facts too: the
+/// terminal rung string (`window_only` is the uncertifiable rung) and
+/// the shed reason prefix (`"quality floor"` distinguishes a
+/// quality-floor shed from a governor load shed).
 #[derive(Default)]
 struct Tally {
     served: u64,
@@ -203,6 +259,9 @@ struct Tally {
     deadline_missed: u64,
     cancelled: u64,
     failed: u64,
+    shed_floor: u64,
+    certified: u64,
+    contribs: Vec<Contribution>,
     ttft: Vec<u64>,
     tpot: Vec<u64>,
 }
@@ -220,27 +279,54 @@ impl Tally {
             deadline_missed: self.deadline_missed,
             cancelled: self.cancelled,
             failed: self.failed,
+            shed_quality_floor: self.shed_floor,
+            served_certified: self.certified,
             span_ms,
             goodput_per_sec: goodput_per_sec(self.within, span_ms),
+            certified_goodput_per_sec: goodput_per_sec(self.certified, span_ms),
             ttft: LatencyStats::from_samples(&self.ttft),
             tpot: LatencyStats::from_samples(&self.tpot),
+            tenants: tenant_rows(&self.contribs),
         }
     }
 
-    fn count_terminal(&mut self, kind: EventKind, finish_ms: u64, req: &Request) {
-        match kind {
+    fn count_terminal(&mut self, term: &Event, req: &Request) {
+        let served = term.kind == EventKind::Completed;
+        let in_deadline = served && term.t_ms <= req.arrival_ms + req.deadline_ms;
+        let can_certify = term.rung != "window_only";
+        let is_floor_shed =
+            term.kind == EventKind::Shed && term.reason.starts_with("quality floor");
+        match term.kind {
             EventKind::Completed => {
                 self.served += 1;
-                if finish_ms <= req.arrival_ms + req.deadline_ms {
+                if in_deadline {
                     self.within += 1;
+                    if can_certify {
+                        self.certified += 1;
+                    }
                 }
             }
-            EventKind::Rejected | EventKind::Shed => self.rejected += 1,
+            EventKind::Rejected => self.rejected += 1,
+            EventKind::Shed => {
+                if is_floor_shed {
+                    self.shed_floor += 1;
+                } else {
+                    self.rejected += 1;
+                }
+            }
             EventKind::Expired | EventKind::DeadlineExceeded => self.deadline_missed += 1,
             EventKind::Cancelled => self.cancelled += 1,
             EventKind::Failed => self.failed += 1,
             _ => {}
         }
+        self.contribs.push(Contribution {
+            tenant: req.tenant,
+            served,
+            certified: in_deadline && can_certify,
+            uncertified_rung: served && !can_certify,
+            tokens: req.seq_len as u64 + req.new_tokens as u64,
+            shed_floor: is_floor_shed,
+        });
     }
 }
 
@@ -260,7 +346,7 @@ fn continuous_summary_from_events(log: &EventLog, requests: &[Request]) -> SloSu
         let Some(term) = terminals.get(&req.id) else {
             continue;
         };
-        tally.count_terminal(term.kind, term.t_ms, req);
+        tally.count_terminal(term, req);
         if let Some(&ft) = first_token.get(&req.id) {
             tally.ttft.push(ft.saturating_sub(req.arrival_ms));
             if term.kind == EventKind::Completed && req.new_tokens > 1 {
@@ -283,7 +369,7 @@ fn oneshot_summary_from_events(log: &EventLog, requests: &[Request]) -> SloSumma
         let Some(term) = terminals.get(&req.id) else {
             continue;
         };
-        tally.count_terminal(term.kind, term.t_ms, req);
+        tally.count_terminal(term, req);
         if term.kind == EventKind::Completed {
             let per_token = (req.seq_len as u64 / 16).max(1);
             let tail = (req.new_tokens as u64).saturating_sub(1) * per_token;

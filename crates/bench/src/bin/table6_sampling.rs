@@ -65,8 +65,9 @@ fn main() {
         let p = attention_probs(&q, &k, true).expect("probs");
         let exact_scores = col_sum(&p);
         let sampled = sample_attention_scores(&q, &k, 0.05).expect("sample");
-        let exact = stripe_coverage_curve(&p, &exact_scores, window, &ratios);
-        let sampled_curve = stripe_coverage_curve(&p, &sampled.column_scores, window, &ratios);
+        let exact = stripe_coverage_curve(&p, &exact_scores, window, &ratios).expect("coverage curve");
+        let sampled_curve = stripe_coverage_curve(&p, &sampled.column_scores, window, &ratios)
+            .expect("coverage curve");
         for (i, &r) in ratios.iter().enumerate() {
             rows.push(vec![
                 label.to_string(),

@@ -54,6 +54,11 @@ pub enum FallbackReason {
     WorkerPanic,
     /// The sparse kernel produced non-finite output values (sentinel D).
     NonFiniteOutput,
+    /// The serving layer's quality guard routed this head to dense:
+    /// canary drift detection quarantined it until it clears probation.
+    /// Unlike the sentinels above, this reason is decided upstream of
+    /// the pipeline, before the sparse path runs.
+    QualityQuarantine,
 }
 
 sa_json::impl_json_enum!(FallbackReason {
@@ -64,7 +69,8 @@ sa_json::impl_json_enum!(FallbackReason {
     DegenerateMask,
     AlphaUnsatisfied,
     WorkerPanic,
-    NonFiniteOutput
+    NonFiniteOutput,
+    QualityQuarantine
 });
 
 impl FallbackReason {
@@ -80,13 +86,14 @@ impl FallbackReason {
             FallbackReason::AlphaUnsatisfied => "AlphaUnsatisfied",
             FallbackReason::WorkerPanic => "WorkerPanic",
             FallbackReason::NonFiniteOutput => "NonFiniteOutput",
+            FallbackReason::QualityQuarantine => "QualityQuarantine",
         }
     }
 
     /// All variants that name an actual degradation (everything but
     /// [`FallbackReason::None`]), in declaration order — the stable key
     /// set for fallback tallies.
-    pub const DEGRADATIONS: [FallbackReason; 7] = [
+    pub const DEGRADATIONS: [FallbackReason; 8] = [
         FallbackReason::NonFiniteInputs,
         FallbackReason::NonFiniteScores,
         FallbackReason::ZeroSampledMass,
@@ -94,11 +101,14 @@ impl FallbackReason {
         FallbackReason::AlphaUnsatisfied,
         FallbackReason::WorkerPanic,
         FallbackReason::NonFiniteOutput,
+        FallbackReason::QualityQuarantine,
     ];
 
     /// Registry counter name for this fallback reason (static so hot
-    /// paths can record without formatting).
-    fn counter_name(self) -> &'static str {
+    /// paths can record without formatting). Public so upstream routers
+    /// (the serving layer's quality guard) record their dense fallbacks
+    /// under the same tally.
+    pub fn counter_name(self) -> &'static str {
         match self {
             FallbackReason::None => "core.fallback.None",
             FallbackReason::NonFiniteInputs => "core.fallback.NonFiniteInputs",
@@ -108,6 +118,7 @@ impl FallbackReason {
             FallbackReason::AlphaUnsatisfied => "core.fallback.AlphaUnsatisfied",
             FallbackReason::WorkerPanic => "core.fallback.WorkerPanic",
             FallbackReason::NonFiniteOutput => "core.fallback.NonFiniteOutput",
+            FallbackReason::QualityQuarantine => "core.fallback.QualityQuarantine",
         }
     }
 

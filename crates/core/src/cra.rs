@@ -9,7 +9,7 @@
 //! even the worst-recovered row stays near-lossless.
 
 use sa_kernels::{DenseMask, StructuredMask};
-use sa_tensor::Matrix;
+use sa_tensor::{Matrix, SaError};
 
 /// CRA of a dense `{0,1}` mask against a probability matrix `p`.
 ///
@@ -17,36 +17,43 @@ use sa_tensor::Matrix;
 /// causal softmax). Rows of `p` that carry no mass (fully masked rows in
 /// rectangular problems) are skipped — they constrain nothing.
 ///
+/// Row totals and kept sums accumulate in f64 so the result stays exact
+/// at paper-scale contexts (64K+ keys per row), mirroring the long-context
+/// accumulator fixes elsewhere in the pipeline.
+///
 /// Returns 1.0 for an empty problem (no constraining rows).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the mask shape differs from `p`'s shape.
-pub fn cra_of_dense_mask(p: &Matrix, mask: &DenseMask) -> f32 {
-    assert_eq!(
-        (mask.s_q(), mask.s_k()),
-        p.shape(),
-        "cra_of_dense_mask shape mismatch"
-    );
-    let mut min = f32::INFINITY;
+/// Returns [`SaError::ShapeMismatch`] if the mask shape differs from
+/// `p`'s shape.
+pub fn cra_of_dense_mask(p: &Matrix, mask: &DenseMask) -> Result<f32, SaError> {
+    if (mask.s_q(), mask.s_k()) != p.shape() {
+        return Err(SaError::ShapeMismatch {
+            op: "cra_of_dense_mask",
+            lhs: (mask.s_q(), mask.s_k()),
+            rhs: p.shape(),
+        });
+    }
+    let mut min = f64::INFINITY;
     for i in 0..p.rows() {
         let row = p.row(i);
-        let total: f32 = row.iter().sum();
+        let total: f64 = row.iter().map(|&v| v as f64).sum();
         if total <= 0.0 {
             continue;
         }
-        let kept: f32 = row
+        let kept: f64 = row
             .iter()
             .enumerate()
             .filter(|&(j, _)| mask.get(i, j))
-            .map(|(_, &v)| v)
+            .map(|(_, &v)| v as f64)
             .sum();
         min = min.min(kept / total);
     }
-    if min == f32::INFINITY {
-        1.0
+    if min == f64::INFINITY {
+        Ok(1.0)
     } else {
-        min
+        Ok(min as f32)
     }
 }
 
@@ -54,22 +61,25 @@ pub fn cra_of_dense_mask(p: &Matrix, mask: &DenseMask) -> f32 {
 ///
 /// Semantics match [`cra_of_dense_mask`] on the materialised mask, but the
 /// structured form is evaluated directly (window + extras per row) without
-/// allocating the dense mask.
+/// allocating the dense mask. Accumulation is f64, as above.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the mask shape differs from `p`'s shape.
-pub fn cra_of_structured_mask(p: &Matrix, mask: &StructuredMask) -> f32 {
-    assert_eq!(
-        (mask.s_q(), mask.s_k()),
-        p.shape(),
-        "cra_of_structured_mask shape mismatch"
-    );
+/// Returns [`SaError::ShapeMismatch`] if the mask shape differs from
+/// `p`'s shape.
+pub fn cra_of_structured_mask(p: &Matrix, mask: &StructuredMask) -> Result<f32, SaError> {
+    if (mask.s_q(), mask.s_k()) != p.shape() {
+        return Err(SaError::ShapeMismatch {
+            op: "cra_of_structured_mask",
+            lhs: (mask.s_q(), mask.s_k()),
+            rhs: p.shape(),
+        });
+    }
     let extras = mask.extra_columns();
-    let mut min = f32::INFINITY;
+    let mut min = f64::INFINITY;
     for i in 0..p.rows() {
         let row = p.row(i);
-        let total: f32 = row.iter().sum();
+        let total: f64 = row.iter().map(|&v| v as f64).sum();
         if total <= 0.0 {
             continue;
         }
@@ -77,16 +87,16 @@ pub fn cra_of_structured_mask(p: &Matrix, mask: &StructuredMask) -> f32 {
             continue;
         };
         let win_start = mask.window_start(i);
-        let mut kept: f32 = row[win_start..=end].iter().sum();
+        let mut kept: f64 = row[win_start..=end].iter().map(|&v| v as f64).sum();
         for &c in extras.iter().take_while(|&&c| c < win_start) {
-            kept += row[c];
+            kept += row[c] as f64;
         }
         min = min.min(kept / total);
     }
-    if min == f32::INFINITY {
-        1.0
+    if min == f64::INFINITY {
+        Ok(1.0)
     } else {
-        min
+        Ok(min as f32)
     }
 }
 
@@ -108,20 +118,24 @@ pub struct StripeCoverage {
 /// signal — pass exact column sums for the "100 % sampling" curve and
 /// stage-1 sampled sums for the "5 % sampling" curve.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `column_scores.len() != p.cols()`.
+/// Returns [`SaError::ShapeMismatch`] if
+/// `column_scores.len() != p.cols()`, and propagates mask-construction
+/// errors.
 pub fn stripe_coverage_curve(
     p: &Matrix,
     column_scores: &[f32],
     window: usize,
     ratios: &[f32],
-) -> Vec<StripeCoverage> {
-    assert_eq!(
-        column_scores.len(),
-        p.cols(),
-        "stripe_coverage_curve column count mismatch"
-    );
+) -> Result<Vec<StripeCoverage>, SaError> {
+    if column_scores.len() != p.cols() {
+        return Err(SaError::ShapeMismatch {
+            op: "stripe_coverage_curve",
+            lhs: (1, column_scores.len()),
+            rhs: p.shape(),
+        });
+    }
     let s_k = p.cols();
     let order = sa_tensor::argsort_desc(column_scores);
     ratios
@@ -132,12 +146,11 @@ pub fn stripe_coverage_curve(
             let mask = StructuredMask::builder(p.rows(), s_k)
                 .window(window)
                 .columns(cols)
-                .build()
-                .expect("columns from argsort are in range");
-            StripeCoverage {
+                .build()?;
+            Ok(StripeCoverage {
                 stripe_ratio: ratio,
-                cra: cra_of_structured_mask(p, &mask),
-            }
+                cra: cra_of_structured_mask(p, &mask)?,
+            })
         })
         .collect()
 }
@@ -159,18 +172,18 @@ mod tests {
     fn full_mask_has_cra_one() {
         let p = probs(20, 8, 1);
         let dense = DenseMask::causal(20, 20);
-        assert!((cra_of_dense_mask(&p, &dense) - 1.0).abs() < 1e-5);
+        assert!((cra_of_dense_mask(&p, &dense).unwrap() - 1.0).abs() < 1e-5);
         let structured = StructuredMask::dense_causal(20, 20);
-        assert!((cra_of_structured_mask(&p, &structured) - 1.0).abs() < 1e-5);
+        assert!((cra_of_structured_mask(&p, &structured).unwrap() - 1.0).abs() < 1e-5);
     }
 
     #[test]
     fn empty_mask_has_cra_zero() {
         let p = probs(10, 4, 2);
         let dense = DenseMask::zeros(10, 10);
-        assert_eq!(cra_of_dense_mask(&p, &dense), 0.0);
+        assert_eq!(cra_of_dense_mask(&p, &dense).unwrap(), 0.0);
         let structured = StructuredMask::builder(10, 10).window(0).build().unwrap();
-        assert_eq!(cra_of_structured_mask(&p, &structured), 0.0);
+        assert_eq!(cra_of_structured_mask(&p, &structured).unwrap(), 0.0);
     }
 
     #[test]
@@ -187,8 +200,8 @@ mod tests {
                 .columns(cols)
                 .build()
                 .unwrap();
-            let a = cra_of_structured_mask(&p, &m);
-            let b = cra_of_dense_mask(&p, &m.to_dense());
+            let a = cra_of_structured_mask(&p, &m).unwrap();
+            let b = cra_of_dense_mask(&p, &m.to_dense()).unwrap();
             assert!((a - b).abs() < 1e-6, "w={w}: {a} vs {b}");
         }
     }
@@ -198,7 +211,7 @@ mod tests {
         let p = probs(24, 8, 4);
         let small = StructuredMask::builder(24, 24).window(2).build().unwrap();
         let big = StructuredMask::builder(24, 24).window(12).build().unwrap();
-        assert!(cra_of_structured_mask(&p, &big) >= cra_of_structured_mask(&p, &small));
+        assert!(cra_of_structured_mask(&p, &big).unwrap() >= cra_of_structured_mask(&p, &small).unwrap());
     }
 
     #[test]
@@ -208,7 +221,7 @@ mod tests {
         let mut mask = DenseMask::zeros(2, 2);
         mask.set(0, 0, true);
         mask.set(1, 0, true); // keeps only the 0.1 entry of row 1
-        let cra = cra_of_dense_mask(&p, &mask);
+        let cra = cra_of_dense_mask(&p, &mask).unwrap();
         assert!((cra - 0.1).abs() < 1e-6);
     }
 
@@ -218,14 +231,14 @@ mod tests {
         let p = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 0.0]]).unwrap();
         let mut mask = DenseMask::zeros(2, 2);
         mask.set(0, 0, true);
-        assert!((cra_of_dense_mask(&p, &mask) - 1.0).abs() < 1e-6);
+        assert!((cra_of_dense_mask(&p, &mask).unwrap() - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn coverage_curve_monotone_and_saturating() {
         let p = probs(64, 8, 5);
         let scores = col_sum(&p);
-        let curve = stripe_coverage_curve(&p, &scores, 4, &[0.0, 0.1, 0.25, 0.5, 1.0]);
+        let curve = stripe_coverage_curve(&p, &scores, 4, &[0.0, 0.1, 0.25, 0.5, 1.0]).unwrap();
         assert_eq!(curve.len(), 5);
         for w in curve.windows(2) {
             assert!(w[1].cra >= w[0].cra - 1e-6, "{curve:?}");
@@ -234,10 +247,97 @@ mod tests {
     }
 
     #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let p = probs(8, 4, 7);
+        let dense = DenseMask::zeros(9, 8);
+        assert!(matches!(
+            cra_of_dense_mask(&p, &dense),
+            Err(SaError::ShapeMismatch {
+                op: "cra_of_dense_mask",
+                ..
+            })
+        ));
+        let structured = StructuredMask::builder(8, 9).window(2).build().unwrap();
+        assert!(matches!(
+            cra_of_structured_mask(&p, &structured),
+            Err(SaError::ShapeMismatch {
+                op: "cra_of_structured_mask",
+                ..
+            })
+        ));
+        let scores = vec![1.0f32; 7];
+        assert!(matches!(
+            stripe_coverage_curve(&p, &scores, 2, &[0.5]),
+            Err(SaError::ShapeMismatch {
+                op: "stripe_coverage_curve",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn long_context_row_sums_use_f64_accumulators() {
+        // 64K keys per row with magnitudes chosen so a running f32
+        // accumulator drifts by ~1e-3 while f64 stays exact: the kept/total
+        // ratio must agree with an f64 reference to well below that drift.
+        let s_k = 64 * 1024;
+        let p = Matrix::from_fn(2, s_k, |i, j| 1e-4 * (1 + (i + j) % 7) as f32);
+        let mut mask = DenseMask::zeros(2, s_k);
+        for i in 0..2 {
+            for j in (0..s_k).step_by(2) {
+                mask.set(i, j, true);
+            }
+        }
+        let mut expected = f64::INFINITY;
+        for i in 0..2 {
+            let mut total = 0.0f64;
+            let mut kept = 0.0f64;
+            for (j, &v) in p.row(i).iter().enumerate() {
+                total += v as f64;
+                if mask.get(i, j) {
+                    kept += v as f64;
+                }
+            }
+            expected = expected.min(kept / total);
+        }
+        let cra = cra_of_dense_mask(&p, &mask).unwrap();
+        assert!(
+            (cra as f64 - expected).abs() < 1e-6,
+            "dense: {cra} vs f64 reference {expected}"
+        );
+
+        // Structured path over the same context length: window + sinks,
+        // checked against the same f64 reference on the materialised mask.
+        let m = StructuredMask::builder(2, s_k)
+            .window(s_k / 2)
+            .sinks(3)
+            .build()
+            .unwrap();
+        let dense_m = m.to_dense();
+        let mut expected_s = f64::INFINITY;
+        for i in 0..2 {
+            let mut total = 0.0f64;
+            let mut kept = 0.0f64;
+            for (j, &v) in p.row(i).iter().enumerate() {
+                total += v as f64;
+                if dense_m.get(i, j) {
+                    kept += v as f64;
+                }
+            }
+            expected_s = expected_s.min(kept / total);
+        }
+        let cra_s = cra_of_structured_mask(&p, &m).unwrap();
+        assert!(
+            (cra_s as f64 - expected_s).abs() < 1e-6,
+            "structured: {cra_s} vs f64 reference {expected_s}"
+        );
+    }
+
+    #[test]
     fn coverage_curve_window_only_floor() {
         let p = probs(32, 8, 6);
         let scores = col_sum(&p);
-        let curve = stripe_coverage_curve(&p, &scores, 8, &[0.0]);
+        let curve = stripe_coverage_curve(&p, &scores, 8, &[0.0]).unwrap();
         // Window alone retains some mass on every row.
         assert!(curve[0].cra > 0.0);
         assert!(curve[0].cra < 1.0);

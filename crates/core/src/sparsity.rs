@@ -281,7 +281,7 @@ mod tests {
         let p = probs(40, 8, 1);
         for alpha in [0.5, 0.9, 0.95, 0.99] {
             let (sd, mask) = optimal_sparsity_degree(&p, alpha);
-            assert!(cra_of_dense_mask(&p, &mask) >= alpha - 1e-5, "alpha={alpha}");
+            assert!(cra_of_dense_mask(&p, &mask).unwrap() >= alpha - 1e-5, "alpha={alpha}");
             assert!((0.0..=1.0).contains(&sd));
         }
     }
@@ -361,7 +361,7 @@ mod tests {
             .columns(cols)
             .build()
             .unwrap();
-        let cra = crate::cra::cra_of_structured_mask(&p, &mask);
+        let cra = crate::cra::cra_of_structured_mask(&p, &mask).unwrap();
         assert!(cra >= alpha - 1e-4, "cra {cra}");
     }
 

@@ -16,7 +16,7 @@
 //! difference, `R = max_k ‖V row k‖₁`.
 
 use sa_kernels::{DenseMask, StructuredMask};
-use sa_tensor::{matmul, Matrix};
+use sa_tensor::{matmul, Matrix, SaError};
 
 /// The measured quantities of a Theorem-1 check.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,12 +99,12 @@ pub fn check_theorem1(p: &Matrix, mask: &DenseMask, v: &Matrix) -> TheoremCheck 
 /// The two values agree exactly for row-stochastic `p` (each row of
 /// `P̃ − P` is the dropped probability mass).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on shape mismatch between `p` and `mask`.
-pub fn check_lemma1(p: &Matrix, mask: &StructuredMask) -> (f32, f32) {
-    assert_eq!((mask.s_q(), mask.s_k()), p.shape(), "mask/p shape mismatch");
-    let cra = crate::cra::cra_of_structured_mask(p, mask);
+/// Returns [`SaError::ShapeMismatch`] on shape mismatch between `p` and
+/// `mask`.
+pub fn check_lemma1(p: &Matrix, mask: &StructuredMask) -> Result<(f32, f32), SaError> {
+    let cra = crate::cra::cra_of_structured_mask(p, mask)?;
     let mut max_dropped = 0.0f32;
     for i in 0..p.rows() {
         let total: f32 = p.row(i).iter().sum();
@@ -120,7 +120,7 @@ pub fn check_lemma1(p: &Matrix, mask: &StructuredMask) -> (f32, f32) {
             .sum();
         max_dropped = max_dropped.max(dropped / total);
     }
-    (cra, 1.0 - max_dropped)
+    Ok((cra, 1.0 - max_dropped))
 }
 
 #[cfg(test)]
@@ -202,7 +202,7 @@ mod tests {
                 .sinks(1)
                 .build()
                 .unwrap();
-            let (cra, one_minus_err) = check_lemma1(&p, &mask);
+            let (cra, one_minus_err) = check_lemma1(&p, &mask).unwrap();
             assert!((cra - one_minus_err).abs() < 1e-5, "w={window}: {cra} vs {one_minus_err}");
         }
     }
@@ -213,7 +213,7 @@ mod tests {
         // so any mask keeping everything trivially has CRA = 1.
         let (p, _) = setup(16, 4, 6);
         let full = StructuredMask::dense_causal(16, 16);
-        let (cra, om) = check_lemma1(&p, &full);
+        let (cra, om) = check_lemma1(&p, &full).unwrap();
         assert!((cra - 1.0).abs() < 1e-5);
         assert!((om - 1.0).abs() < 1e-5);
     }

@@ -405,4 +405,113 @@ mod tests {
         c.retain_head(0, &[]).unwrap();
         assert_eq!(c.head_len(0), 0);
     }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn policy_keep_sets_hold_their_invariants_under_a_seeded_sweep() {
+        // Property sweep over seeded (len, budget, recent, sinks, scores)
+        // cases: a keep-set never exceeds the budget, is always a valid
+        // retain_head argument, and each policy retains what it promises
+        // (H2O its recency window and top heavy hitter, StreamingSinks
+        // its sinks and newest remainder).
+        let mut s = 0x5EED_CAFE_u64;
+        for _ in 0..300 {
+            let len = 1 + (splitmix(&mut s) % 96) as usize;
+            let budget = 1 + (splitmix(&mut s) % 64) as usize;
+            let recent = 1 + (splitmix(&mut s) % 16) as usize;
+            let sinks = (splitmix(&mut s) % 8) as usize;
+            let scores: Vec<f64> = (0..len)
+                .map(|_| (splitmix(&mut s) % 1000) as f64 / 10.0)
+                .collect();
+            for policy in [
+                EvictionPolicy::H2o { recent },
+                EvictionPolicy::StreamingSinks { sinks },
+            ] {
+                let cfg = EvictionConfig { policy, budget };
+                let Some(keep) = cfg.keep_indices(len, &scores).unwrap() else {
+                    assert!(len <= budget, "{cfg:?} skipped eviction at len {len}");
+                    continue;
+                };
+                assert!(len > budget, "{cfg:?} evicted below budget at len {len}");
+                assert!(
+                    keep.len() <= budget,
+                    "{cfg:?} kept {} of budget {budget}",
+                    keep.len()
+                );
+                assert!(
+                    keep.windows(2).all(|w| w[0] < w[1]),
+                    "{cfg:?} emitted a non-increasing keep-set {keep:?}"
+                );
+                assert!(keep.iter().all(|&i| i < len), "{cfg:?} kept out-of-range");
+                match policy {
+                    EvictionPolicy::H2o { recent } => {
+                        let r = recent.min(budget);
+                        assert!(
+                            (len - r..len).all(|i| keep.binary_search(&i).is_ok()),
+                            "{cfg:?} dropped a recent entry: {keep:?}"
+                        );
+                        if budget > r && len > r {
+                            let heaviest = (0..len - r)
+                                .max_by(|&a, &b| {
+                                    scores[a].partial_cmp(&scores[b]).expect("finite scores")
+                                })
+                                .expect("non-empty older range");
+                            assert!(
+                                keep.binary_search(&heaviest).is_ok(),
+                                "{cfg:?} dropped the heaviest hitter {heaviest}: {keep:?}"
+                            );
+                        }
+                    }
+                    EvictionPolicy::StreamingSinks { sinks } => {
+                        let sk = sinks.min(budget);
+                        assert!(
+                            (0..sk.min(len)).all(|i| keep.binary_search(&i).is_ok()),
+                            "{cfg:?} dropped a sink: {keep:?}"
+                        );
+                        let rec = (budget - sk).min(len);
+                        assert!(
+                            (len - rec..len).all(|i| keep.binary_search(&i).is_ok()),
+                            "{cfg:?} dropped a recent entry: {keep:?}"
+                        );
+                    }
+                    EvictionPolicy::None => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keep_sets_are_thread_count_invariant() {
+        // Eviction ranking must be a pure function of (scores, config) —
+        // heavy score ties included — never of the worker-pool width, or
+        // decode sessions would diverge across SA_THREADS.
+        use sa_tensor::pool;
+        let scores: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let cfgs = [
+            EvictionConfig::h2o(16),
+            EvictionConfig::h2o(61),
+            EvictionConfig::streaming(12),
+        ];
+        let compute = || -> Vec<Option<Vec<usize>>> {
+            cfgs.iter()
+                .map(|c| c.keep_indices(64, &scores).expect("valid score track"))
+                .collect()
+        };
+        let base = pool::with_threads(1, compute);
+        assert!(base.iter().all(|k| k.is_some()));
+        for t in [2, 4] {
+            assert_eq!(
+                pool::with_threads(t, compute),
+                base,
+                "keep-sets diverged at {t} threads"
+            );
+        }
+    }
 }

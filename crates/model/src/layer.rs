@@ -194,7 +194,7 @@ impl AttentionLayer {
                     let mut q_new = matmul(hidden_rows, &group.wqs[local])?;
                     apply_rope_partial(&mut q_new, self.rotary_dims, offset, self.rope)?;
                     let proj = projection_cost(n, hidden_rows.cols(), q_new.cols(), 1);
-                    let out = method.forward(&q_new, k_all, v_all)?;
+                    let out = method.forward_head(self.layer_index, head, &q_new, k_all, v_all)?;
                     let content = Matrix::from_fn(n, dc, |i, j| out.output.get(i, j));
                     Ok::<_, TensorError>((proj, out, content))
                 })?;
@@ -320,7 +320,7 @@ impl AttentionLayer {
                     let mut q = matmul(hidden, &group.wqs[local])?;
                     apply_rope_partial(&mut q, self.rotary_dims, 0, self.rope)?;
                     let proj = projection_cost(s, hidden.cols(), q.cols(), 1);
-                    let out = method.forward(&q, &k, &v)?;
+                    let out = method.forward_head(self.layer_index, head, &q, &k, &v)?;
                     // Content lives in the first dc output dims.
                     let content = Matrix::from_fn(s, dc, |i, j| out.output.get(i, j));
                     Ok::<_, TensorError>((proj, out, content))

@@ -11,11 +11,49 @@
 //! | `SA_RECOVERY` | resume faulted attempts from checkpoints | `1`/`on` (default), `0`/`off`/`false` |
 //! | `SA_MEM_LOW` | memory-pressure low watermark | permille of the budget (default 600) |
 //! | `SA_MEM_HIGH` | memory-pressure high watermark | permille of the budget (default 850) |
+//! | `SA_CANARY` | shadow-canary denominator: 1 in N served requests runs a dense reference prefill | integer N (default 32, `0` disables) |
 //!
 //! Everything else (retry policy, backoff shape, chunk size, the virtual
 //! token scale) is code-level configuration on [`ServeConfig`].
 
+use sa_core::DegradationRung;
 use sa_perf::memory::A100_BYTES;
+
+/// A per-tenant quality floor: the lowest degradation rung the serving
+/// stack may assign to the tenant's requests, plus a cap on how much of
+/// the tenant's traffic may land on uncertified rungs at all.
+///
+/// A request that cannot be served at or above the floor is shed with a
+/// typed [`QualityFloor`](sa_tensor::SaError::QualityFloor) error — the
+/// ladder and the memory governor never trade a floored tenant's quality
+/// below its contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantFloor {
+    /// The tenant this floor applies to.
+    pub tenant: u64,
+    /// Deepest permitted ladder rung (inclusive), as an index into
+    /// [`DegradationRung::ALL`] — e.g. `Tight.index()` forbids
+    /// `WindowOnly`.
+    pub max_rung_index: usize,
+    /// Cap on the tenant's uncertified-rung tokens
+    /// (rungs where [`DegradationRung::can_certify_alpha`] is false), as
+    /// a permille of the tenant's total dispatched tokens over a
+    /// planning run. `0` forbids uncertified rungs outright; `1000`
+    /// disables the cap.
+    pub max_uncertified_permille: u64,
+}
+
+impl TenantFloor {
+    /// True when `rung` is at or above this floor.
+    pub fn permits(&self, rung: DegradationRung) -> bool {
+        rung.index() <= self.max_rung_index
+    }
+
+    /// The deepest rung this floor permits.
+    pub fn min_rung(&self) -> DegradationRung {
+        DegradationRung::ALL[self.max_rung_index.min(DegradationRung::ALL.len() - 1)]
+    }
+}
 
 /// All tunables of the [`Scheduler`](crate::Scheduler).
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +115,16 @@ pub struct ServeConfig {
     /// `mem_budget_bytes`. Occupancy at or above it is `Critical`:
     /// new admissions are forced onto lower degradation rungs.
     pub mem_high_permille: u64,
+    /// Shadow-canary denominator (`SA_CANARY`): one in this many served
+    /// requests additionally runs a dense reference prefill and compares
+    /// true CRA / output error against the sparse path. Selection is a
+    /// pure function of `(seed, request id)`, so canaries never change
+    /// scheduling decisions and the set is identical at any `SA_THREADS`.
+    /// `0` disables canaries.
+    pub canary_denominator: u64,
+    /// Per-tenant quality floors. Tenants not listed have no floor:
+    /// the ladder may degrade them all the way to `WindowOnly`.
+    pub quality_floors: Vec<TenantFloor>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +147,8 @@ impl Default for ServeConfig {
             recovery_enabled: true,
             mem_low_permille: 600,
             mem_high_permille: 850,
+            canary_denominator: 32,
+            quality_floors: Vec::new(),
         }
     }
 }
@@ -130,12 +180,29 @@ impl ServeConfig {
         if let Some(p) = env_u64("SA_MEM_HIGH") {
             self.mem_high_permille = p.min(1000);
         }
+        if let Some(n) = env_u64("SA_CANARY") {
+            self.canary_denominator = n;
+        }
         self
     }
 
     /// `max_inflight` with the ≥ 1 clamp applied.
     pub fn slots(&self) -> usize {
         self.max_inflight.max(1)
+    }
+
+    /// The quality floor configured for `tenant`, if any.
+    pub fn floor_for(&self, tenant: u64) -> Option<&TenantFloor> {
+        self.quality_floors.iter().find(|f| f.tenant == tenant)
+    }
+
+    /// The deepest ladder-rung index `tenant` may be degraded to
+    /// (`DegradationRung::ALL.len() - 1`, i.e. no floor, for tenants
+    /// without one).
+    pub fn max_rung_index_for(&self, tenant: u64) -> usize {
+        self.floor_for(tenant)
+            .map(|f| f.max_rung_index.min(DegradationRung::ALL.len() - 1))
+            .unwrap_or(DegradationRung::ALL.len() - 1)
     }
 }
 
@@ -215,5 +282,46 @@ mod tests {
         assert!(!c.recovery_enabled);
         assert_eq!(c.mem_low_permille, 500);
         assert_eq!(c.mem_high_permille, 1000, "permille clamps to 1000");
+    }
+
+    #[test]
+    fn canary_override_applies() {
+        assert_eq!(ServeConfig::default().canary_denominator, 32);
+        std::env::set_var("SA_CANARY", "8");
+        let c = ServeConfig::default().from_env();
+        std::env::remove_var("SA_CANARY");
+        assert_eq!(c.canary_denominator, 8);
+    }
+
+    #[test]
+    fn quality_floors_look_up_by_tenant() {
+        let mut c = ServeConfig::default();
+        assert!(c.floor_for(0).is_none(), "no floors by default");
+        assert_eq!(c.max_rung_index_for(0), DegradationRung::ALL.len() - 1);
+        c.quality_floors.push(TenantFloor {
+            tenant: 1,
+            max_rung_index: DegradationRung::Tight.index(),
+            max_uncertified_permille: 0,
+        });
+        assert!(c.floor_for(1).is_some());
+        assert!(c.floor_for(2).is_none());
+        assert_eq!(c.max_rung_index_for(1), DegradationRung::Tight.index());
+
+        let floor = c.floor_for(1).unwrap();
+        assert!(floor.permits(DegradationRung::Full));
+        assert!(floor.permits(DegradationRung::Tight));
+        assert!(!floor.permits(DegradationRung::WindowOnly));
+        assert_eq!(floor.min_rung(), DegradationRung::Tight);
+    }
+
+    #[test]
+    fn out_of_range_floor_index_clamps() {
+        let f = TenantFloor {
+            tenant: 0,
+            max_rung_index: 99,
+            max_uncertified_permille: 1000,
+        };
+        assert_eq!(f.min_rung(), DegradationRung::WindowOnly);
+        assert!(f.permits(DegradationRung::WindowOnly));
     }
 }

@@ -66,6 +66,12 @@
 //!   (`serve.pressure.sheds`). Every decision reads the serial
 //!   planner's own virtual occupancy, never the runtime ledger, so
 //!   plans stay bit-identical at every `SA_THREADS`.
+//! - **Quality floors** ([`ServeConfig::quality_floors`]): a tenant's
+//!   floor caps how far the ladder walk (including the governor's
+//!   pressure-halved budgets) may degrade its requests and bounds its
+//!   uncertified-rung token share. Work that cannot be placed on a
+//!   permitted rung sheds with [`Planned::ShedQualityFloor`] — the
+//!   planner refuses loudly instead of quietly serving below contract.
 //!
 //! The degradation-ladder walk ([`sim::choose_rung`]), the memory model
 //! ([`sim::request_bytes`]), and the per-rung cost model
@@ -402,9 +408,14 @@ fn est_remaining_ms(cfg: &ServeConfig, req: &Request, s: &RState, budget_ms: u64
 /// up, fixing the rung against the load-scaled deadline budget
 /// ([`dispatch_budget_ms`]) and deriving every rung-dependent cost
 /// (failed-attempt time and the exact-sum distribution of the scaled
-/// prefill over its chunks).
-fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
-    let (rung, skipped) = sim::choose_rung(req, budget_ms);
+/// prefill over its chunks). The walk honours the tenant's quality
+/// floor (`max_rung_index`): when no permitted rung fits the budget it
+/// returns `false` and the caller sheds the request with
+/// [`Planned::ShedQualityFloor`] instead of forcing a forbidden rung.
+fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64, max_rung_index: usize) -> bool {
+    let Some((rung, skipped)) = sim::choose_rung_floored(req, budget_ms, max_rung_index) else {
+        return false;
+    };
     let service = sim::service_ms(req, rung);
     let scaled_prefill = service
         .saturating_sub(req.base_service_ms().saturating_sub(req.prefill_service_ms()))
@@ -419,6 +430,7 @@ fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
     } else {
         Phase::Prefill
     };
+    true
 }
 
 /// The terminal-event rung string, following the ledger convention: a
@@ -426,7 +438,10 @@ fn init_schedule(req: &Request, s: &mut RState, budget_ms: u64) {
 fn terminal_rung(planned: &Planned, rung: DegradationRung) -> String {
     if matches!(
         planned,
-        Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } | Planned::ExpireInQueue
+        Planned::RejectOverloaded { .. }
+            | Planned::RejectBudget { .. }
+            | Planned::ExpireInQueue
+            | Planned::ShedQualityFloor
     ) {
         String::new()
     } else {
@@ -478,6 +493,14 @@ pub fn plan_continuous_with_events(
             .unwrap_or(0 /* unreachable: built from the same set */)
     };
     let mut buckets: Vec<TokenBucket> = tenant_ids.iter().map(|_| TokenBucket::new(cfg)).collect();
+    // Per-tenant quality-floor accounting: synthetic tokens the planner
+    // has committed to dispatch, split by whether the assigned rung can
+    // certify the CRA α contract. A tenant floor's
+    // `max_uncertified_permille` bounds the uncertified share; a
+    // dispatch that would breach it sheds instead (the count is over
+    // *dispatched* work, a conservative superset of what gets served).
+    let mut dispatched_tokens: Vec<u64> = vec![0; tenant_ids.len()];
+    let mut uncertified_tokens: Vec<u64> = vec![0; tenant_ids.len()];
 
     // Arrival order (stable by id for simultaneous arrivals).
     let mut order: Vec<usize> = (0..n).collect();
@@ -1068,19 +1091,81 @@ pub fn plan_continuous_with_events(
                     // halved under Critical memory pressure, so freshly
                     // dispatched work lands on cheaper rungs while
                     // occupancy drains (the governor's forced-rung
-                    // action).
+                    // action). The walk never drops below the tenant's
+                    // quality floor: when no permitted rung fits (even
+                    // pressure-halved), or an uncertifiable rung would
+                    // breach the tenant's uncertified-token cap, the
+                    // request sheds with a typed quality-floor refusal.
                     let level = pressure.level_of(mem_in_use);
                     let mut budget = budget_of(i);
                     let mut forced = false;
+                    let max_idx = cfg.max_rung_index_for(requests[i].tenant);
                     if level == PressureLevel::Critical {
-                        let uncapped = sim::choose_rung(&requests[i], budget).0;
+                        let uncapped =
+                            sim::choose_rung_floored(&requests[i], budget, max_idx).map(|c| c.0);
                         budget /= 2;
-                        if sim::choose_rung(&requests[i], budget).0 != uncapped {
+                        let capped =
+                            sim::choose_rung_floored(&requests[i], budget, max_idx).map(|c| c.0);
+                        if capped != uncapped {
                             metrics::counter("serve.pressure.forced_rungs").add(1);
                             forced = true;
                         }
                     }
-                    init_schedule(&requests[i], &mut st[i], budget);
+                    let tokens =
+                        requests[i].seq_len as u64 + requests[i].new_tokens as u64;
+                    let mut floor_refusal: Option<String> = None;
+                    if !init_schedule(&requests[i], &mut st[i], budget, max_idx) {
+                        floor_refusal = Some(format!(
+                            "quality floor: no permitted rung fits the {budget} ms \
+                             dispatch budget"
+                        ));
+                    } else if let Some(floor) = cfg.floor_for(requests[i].tenant) {
+                        if !st[i].rung.can_certify_alpha() {
+                            let unc = uncertified_tokens[t_idx] + tokens;
+                            let total = dispatched_tokens[t_idx] + tokens;
+                            if unc * 1000 > floor.max_uncertified_permille * total {
+                                floor_refusal = Some(format!(
+                                    "quality floor: uncertified rung would put tenant {} \
+                                     at {unc} of {total} tokens (cap {}‰)",
+                                    requests[i].tenant, floor.max_uncertified_permille
+                                ));
+                            }
+                        }
+                    }
+                    if let Some(reason) = floor_refusal {
+                        st[i].resolve(Planned::ShedQualityFloor, now);
+                        log.push(
+                            now,
+                            requests[i].id,
+                            requests[i].tenant,
+                            EventKind::Shed,
+                            "",
+                            0,
+                            mem_in_use,
+                            reason.clone(),
+                        );
+                        recorder.record(PlannerDecision {
+                            t_ms: now,
+                            request_id: requests[i].id,
+                            action: "shed_quality_floor".to_string(),
+                            queue_depth: pending.len() as u64,
+                            inflight: inflight.len() as u64,
+                            free_bytes: cfg.mem_budget_bytes.saturating_sub(mem_in_use),
+                            contenders: contenders as u64,
+                            budget_ms: budget,
+                            rung: String::new(),
+                            pressure: level.as_str().to_string(),
+                        });
+                        recorder.trigger("shed", now, requests[i].id, reason);
+                        releases.push_back((now, st[i].bytes, i));
+                        releases.make_contiguous().sort_unstable();
+                        done += 1;
+                        continue 'tenants;
+                    }
+                    dispatched_tokens[t_idx] += tokens;
+                    if !st[i].rung.can_certify_alpha() {
+                        uncertified_tokens[t_idx] += tokens;
+                    }
                     let rung = st[i].rung.to_string();
                     log.push(
                         now,
@@ -1462,6 +1547,7 @@ pub fn plan_continuous_with_events(
                 Planned::RejectOverloaded { .. }
                     | Planned::RejectBudget { .. }
                     | Planned::ExpireInQueue
+                    | Planned::ShedQualityFloor
             );
             let start = s.start.unwrap_or(finish).min(finish);
             // Recovery tallies follow the retries convention: only

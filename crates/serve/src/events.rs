@@ -84,8 +84,10 @@ pub enum EventKind {
     /// ledger (`bytes` carries the release; emitted when the planner
     /// applies it, which may lag the terminal event).
     Released,
-    /// Terminal: governor load shed under critical pressure
-    /// (outcome [`RejectedBudget`](Outcome::RejectedBudget)).
+    /// Terminal: governor load shed under critical pressure (outcome
+    /// [`RejectedBudget`](Outcome::RejectedBudget)) or refused by a
+    /// tenant quality floor (outcome
+    /// [`ShedQualityFloor`](Outcome::ShedQualityFloor)).
     Shed,
     /// Terminal: rejected at arrival (overloaded) or at admission
     /// (could never fit the memory budget).
@@ -151,6 +153,7 @@ impl EventKind {
             Planned::CancelDeadline => EventKind::DeadlineExceeded,
             Planned::ExpireInQueue => EventKind::Expired,
             Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } => EventKind::Rejected,
+            Planned::ShedQualityFloor => EventKind::Shed,
         }
     }
 
@@ -164,6 +167,7 @@ impl EventKind {
             Outcome::DeadlineExceeded => self == EventKind::DeadlineExceeded,
             Outcome::RejectedOverloaded => self == EventKind::Rejected,
             Outcome::RejectedBudget => matches!(self, EventKind::Rejected | EventKind::Shed),
+            Outcome::ShedQualityFloor => self == EventKind::Shed,
         }
     }
 }
@@ -422,6 +426,7 @@ impl EventLog {
                 Outcome::ExpiredInQueue => EventKind::Expired,
                 Outcome::DeadlineExceeded => EventKind::DeadlineExceeded,
                 Outcome::RejectedOverloaded | Outcome::RejectedBudget => EventKind::Rejected,
+                Outcome::ShedQualityFloor => EventKind::Shed,
             };
             ev.reason = format!(
                 "execution diverged from planned {planned:?}: {}",

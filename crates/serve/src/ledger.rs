@@ -35,6 +35,9 @@ pub enum Outcome {
     Cancelled,
     /// Transient faults outlasted the retry budget.
     Failed,
+    /// Shed at start: the deadline demanded a rung below the tenant's
+    /// quality floor, and the floor won; never ran.
+    ShedQualityFloor,
 }
 
 sa_json::impl_json_enum!(Outcome {
@@ -44,7 +47,8 @@ sa_json::impl_json_enum!(Outcome {
     ExpiredInQueue,
     DeadlineExceeded,
     Cancelled,
-    Failed
+    Failed,
+    ShedQualityFloor
 });
 
 /// One request's full audit record.
@@ -104,6 +108,20 @@ pub struct RequestRecord {
     pub chunks_total: u64,
     /// Display of the final error (`""` when served).
     pub error: String,
+    /// Whether this request was a shadow canary (ran an additional
+    /// dense reference prefill for ground-truth quality measurement).
+    pub canary: bool,
+    /// The canary's worst-head *true* CRA against the exact softmax
+    /// rows (0 when not a canary).
+    pub canary_true_cra: f64,
+    /// The canary's max-abs final-residual error, sparse vs dense
+    /// (0 when not a canary).
+    pub canary_max_abs_err: f64,
+    /// The canary's worst estimated−true coverage gap in permille
+    /// (0 when not a canary).
+    pub canary_gap_permille: i64,
+    /// Heads quarantined to dense fallback while this request ran.
+    pub quarantined_heads: u64,
     /// The rung-by-rung degradation audit trail.
     pub report: DegradationReport,
 }
@@ -130,6 +148,11 @@ sa_json::impl_json_struct!(RequestRecord {
     chunks_completed,
     chunks_total,
     error,
+    canary: default,
+    canary_true_cra: default,
+    canary_max_abs_err: default,
+    canary_gap_permille: default,
+    quarantined_heads: default,
     report
 });
 
@@ -153,8 +176,10 @@ sa_json::impl_json_struct!(Ledger {
 /// Schema tag written by [`Scheduler::run`](crate::Scheduler::run).
 /// `v2` added the tenant, `new_tokens`, and TTFT fields for the
 /// continuous-batching SLO accounting; `v3` added the crash-recovery
-/// tallies (`recovered_attempts`, `recomputed_tokens`).
-pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v3";
+/// tallies (`recovered_attempts`, `recomputed_tokens`); `v4` added the
+/// quality-guardrail plane (the shadow-canary measurements, the
+/// quarantined-head count, and the `ShedQualityFloor` outcome).
+pub const LEDGER_SCHEMA: &str = "sa.serve.ledger.v4";
 
 impl Ledger {
     /// Counts records with the given outcome.
@@ -187,7 +212,10 @@ impl Ledger {
         for rec in &self.records {
             let ran_model = !matches!(
                 rec.outcome,
-                Outcome::RejectedOverloaded | Outcome::RejectedBudget | Outcome::ExpiredInQueue
+                Outcome::RejectedOverloaded
+                    | Outcome::RejectedBudget
+                    | Outcome::ExpiredInQueue
+                    | Outcome::ShedQualityFloor
             );
             if ran_model == rec.rung.is_empty() {
                 return Err(format!(
@@ -245,6 +273,28 @@ impl Ledger {
                     rec.id
                 ));
             }
+            if rec.outcome == Outcome::ShedQualityFloor && rec.error.is_empty() {
+                return Err(format!(
+                    "request {}: a quality-floor shed must carry its refusal error",
+                    rec.id
+                ));
+            }
+            if rec.canary && !ran_model {
+                return Err(format!(
+                    "request {}: canary measurement without model work",
+                    rec.id
+                ));
+            }
+            if !rec.canary
+                && (rec.canary_true_cra != 0.0
+                    || rec.canary_max_abs_err != 0.0
+                    || rec.canary_gap_permille != 0)
+            {
+                return Err(format!(
+                    "request {}: canary fields set on a non-canary record",
+                    rec.id
+                ));
+            }
             if rec.finish_ms < rec.start_ms || rec.start_ms < rec.arrival_ms {
                 return Err(format!("request {}: time went backwards", rec.id));
             }
@@ -296,6 +346,11 @@ mod tests {
             chunks_completed: 0,
             chunks_total: 0,
             error: String::new(),
+            canary: false,
+            canary_true_cra: 0.0,
+            canary_max_abs_err: 0.0,
+            canary_gap_permille: 0,
+            quarantined_heads: 0,
             report: {
                 let mut r = DegradationReport::new(0.95);
                 r.record(sa_core::DegradationRung::Full, true, "served");
@@ -366,5 +421,61 @@ mod tests {
             .validate(&reqs)
             .unwrap_err()
             .contains("first token"));
+
+        let mut bad_canary = good.clone();
+        bad_canary.records[0].canary_gap_permille = 5;
+        assert!(bad_canary
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("non-canary"));
+
+        let mut shed = good.clone();
+        shed.records[0].outcome = Outcome::ShedQualityFloor;
+        shed.records[0].rung = String::new();
+        shed.records[0].ttft_ms = 0;
+        shed.records[0].alpha_satisfied = false;
+        shed.records[0].report = DegradationReport::new(0.95);
+        assert!(shed
+            .validate(&reqs)
+            .unwrap_err()
+            .contains("quality-floor shed"));
+    }
+
+    #[test]
+    fn canary_fields_round_trip_and_sheds_validate() {
+        let mut rec = record(0);
+        rec.canary = true;
+        rec.canary_true_cra = 0.97;
+        rec.canary_max_abs_err = 1.5e-4;
+        rec.canary_gap_permille = -3;
+        rec.quarantined_heads = 2;
+        let reqs = vec![crate::Request::prefill(0, 64, 0, 100)];
+        let ledger = Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: 0,
+            records: vec![rec],
+        };
+        ledger.validate(&reqs).unwrap();
+        let s = sa_json::to_string(&ledger.to_json());
+        let back = Ledger::from_json(&sa_json::from_str::<sa_json::Json>(&s).unwrap()).unwrap();
+        assert_eq!(back, ledger);
+
+        // A well-formed floor shed validates.
+        let mut shed = record(1);
+        shed.outcome = Outcome::ShedQualityFloor;
+        shed.rung = String::new();
+        shed.ttft_ms = 0;
+        shed.alpha_satisfied = false;
+        shed.error = "quality floor for tenant 1: no permitted rung fits".to_string();
+        shed.report = DegradationReport::new(0.95);
+        shed.degraded = false;
+        let reqs = vec![crate::Request::prefill(1, 64, 0, 100)];
+        Ledger {
+            schema: LEDGER_SCHEMA.to_string(),
+            seed: 0,
+            records: vec![shed],
+        }
+        .validate(&reqs)
+        .unwrap();
     }
 }

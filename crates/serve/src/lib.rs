@@ -27,8 +27,17 @@
 //!   arrival streams: prefill chunks of new requests interleave with
 //!   decode steps of in-flight sessions at micro-task granularity,
 //!   under per-tenant token-bucket fairness quotas.
-//! - [`slo`] — SLO accounting over a ledger: TTFT/TPOT percentiles and
-//!   goodput under deadline, exported as the `sa.slo.v1` artifact.
+//! - [`quality`] — the quality guardrail plane: a seeded fraction of
+//!   served requests re-runs as a **shadow canary** against a dense
+//!   reference ([`canary_probe`]), a per-head EWMA/CUSUM drift detector
+//!   ([`QualityGuard`]) quarantines heads whose coverage estimates go
+//!   optimistic (routing them dense via [`GuardedMethod`] until
+//!   probation clears), and per-tenant [`TenantFloor`]s keep the
+//!   degradation ladder from dropping a tenant below its contracted
+//!   quality — the planner sheds instead, typed.
+//! - [`slo`] — SLO accounting over a ledger: TTFT/TPOT percentiles,
+//!   goodput under deadline, and per-tenant certified-goodput quality
+//!   columns, exported as the `sa.slo.v2` artifact.
 //! - [`memory`] — the byte-accurate [`MemoryLedger`] with pressure
 //!   watermarks; its [`PressureLevel`]s drive the continuous planner's
 //!   governor ladder (defer → evict → force lower rungs → shed) and the
@@ -50,12 +59,14 @@
 //! | caller cancels | [`SaError::Cancelled`] | `Cancelled` |
 //! | transient worker fault | [`SaError::WorkerPanic`], retried | `Served` (after retries) |
 //! | fault outlasts retries | [`SaError::WorkerPanic`] | `Failed` |
+//! | quality floor unmeetable | [`SaError::QualityFloor`] | `ShedQualityFloor` |
 //!
 //! [`SaError::Overloaded`]: sa_tensor::SaError::Overloaded
 //! [`SaError::BudgetExceeded`]: sa_tensor::SaError::BudgetExceeded
 //! [`SaError::DeadlineExceeded`]: sa_tensor::SaError::DeadlineExceeded
 //! [`SaError::Cancelled`]: sa_tensor::SaError::Cancelled
 //! [`SaError::WorkerPanic`]: sa_tensor::SaError::WorkerPanic
+//! [`SaError::QualityFloor`]: sa_tensor::SaError::QualityFloor
 //!
 //! ## Example
 //!
@@ -77,21 +88,26 @@ pub mod continuous;
 pub mod events;
 pub mod ledger;
 pub mod memory;
+pub mod quality;
 pub mod request;
 pub mod scheduler;
 pub mod sim;
 pub mod slo;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, TenantFloor};
 pub use continuous::{plan_continuous, plan_continuous_with_events, ContinuousPlan};
 pub use events::{
     Event, EventKind, EventLog, FlightRecorder, PlannerDecision, Postmortem, EVENTS_SCHEMA,
 };
 pub use ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
 pub use memory::{MemoryLedger, PressureLevel};
+pub use quality::{
+    canary_probe, is_canary, CanaryObservation, GuardedMethod, HeadCanary, QualityGuard,
+    QualityTransition,
+};
 pub use request::{
     fault_storm_workload, mixed_workload, open_loop_workload, Request, RequestKind, FAULT_SITE,
 };
 pub use scheduler::Scheduler;
 pub use sim::{plan_batch, plan_batch_with_events, Plan, Planned};
-pub use slo::{LatencyStats, SloSummary, SLO_SCHEMA};
+pub use slo::{LatencyStats, SloSummary, TenantQuality, SLO_SCHEMA};

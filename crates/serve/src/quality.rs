@@ -1,0 +1,625 @@
+//! The quality guardrail plane: shadow canaries, per-head drift
+//! detection, and the quarantine state machine that enforces the
+//! near-lossless contract at runtime.
+//!
+//! ## Shadow canaries
+//!
+//! A seeded, deterministic fraction of served requests (one in
+//! [`ServeConfig::canary_denominator`](crate::ServeConfig::canary_denominator),
+//! selected by [`is_canary`]) additionally runs a **dense reference
+//! prefill** after the sparse one and measures ground truth:
+//!
+//! - the *true* CRA of every head's discovered mask against the exact
+//!   softmax rows ([`sa_core::cra_of_structured_mask`]), versus the
+//!   stage-2 sampled estimate (`covered_mass`) the head certified with;
+//! - the max-abs error of the final residual stream between the sparse
+//!   and dense prefills.
+//!
+//! Canary selection is a pure function of `(seed, request id)` — it
+//! never consults scheduler state, so the canary set is identical at
+//! every `SA_THREADS` and canaries never perturb scheduling decisions.
+//!
+//! ## Drift detection and quarantine
+//!
+//! [`QualityGuard`] folds canary observations (serially, in request-id
+//! order) into a per-head tracker:
+//!
+//! - **hard trip**: the shadow sparse run fell back or missed α — the
+//!   head's sparse pipeline is unhealthy *right now*;
+//! - **drift trip**: a CUSUM accumulator over the estimated−true
+//!   coverage gap (less a slack allowance) crosses its threshold — the
+//!   estimator is systematically optimistic even though each single
+//!   reading looks plausible.
+//!
+//! A tripped head is **quarantined**: [`GuardedMethod`] routes it to
+//! dense attention (surfacing as
+//! [`FallbackReason::QualityQuarantine`]) while all other heads keep
+//! their sparse path. Canaries keep *shadow-probing* quarantined heads
+//! with the sparse operator; after
+//! [`QualityGuard::probation_clean`] consecutive clean probes the head
+//! is re-admitted.
+//!
+//! [`FallbackReason::QualityQuarantine`]: sa_core::FallbackReason::QualityQuarantine
+
+use sa_baselines::{AttentionMethod, FullAttention, MethodOutput};
+use sa_core::{cra_of_structured_mask, DegradationRung, FallbackReason, SampleAttention};
+use sa_kernels::attention_probs;
+use sa_model::SyntheticTransformer;
+use sa_tensor::{Matrix, SaError, TensorError};
+use sa_trace::metrics;
+
+/// Whether request `id` is a shadow canary under `seed` with one canary
+/// per `denominator` requests (`0` disables canaries entirely).
+///
+/// Pure function of its arguments — the splitmix64 finalizer over the
+/// same `(seed, id)` salt the retry ladder uses — so the canary set is
+/// reproducible and independent of thread count and arrival order.
+pub fn is_canary(seed: u64, id: u64, denominator: u64) -> bool {
+    if denominator == 0 {
+        return false;
+    }
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z % denominator == 0
+}
+
+/// One head's ground-truth measurement from a shadow canary.
+#[derive(Debug, Clone)]
+pub struct HeadCanary {
+    /// Layer index.
+    pub layer: usize,
+    /// Query-head index within the layer.
+    pub head: usize,
+    /// Stage-2's sampled coverage estimate for the shadow mask.
+    pub est_covered_mass: f64,
+    /// The mask's true CRA against the exact softmax rows.
+    pub true_cra: f64,
+    /// `round((est_covered_mass - true_cra) * 1000)`: how optimistic
+    /// the estimator was, in permille (negative = conservative).
+    pub gap_permille: i64,
+    /// Whether the shadow sparse run certified α on this head.
+    pub alpha_satisfied: bool,
+    /// Whether the shadow sparse run degraded to dense.
+    pub fell_back: bool,
+}
+
+/// The full measurement from one shadow-canary request.
+#[derive(Debug, Clone)]
+pub struct CanaryObservation {
+    /// The canary request's id (observations are folded in id order).
+    pub request_id: u64,
+    /// Worst (minimum) true CRA across probed heads (`1.0` when the
+    /// rung has no sparse heads to probe).
+    pub true_cra: f64,
+    /// Max-abs error of the final residual stream, sparse vs dense.
+    pub max_abs_err: f64,
+    /// Worst (maximum) estimated−true coverage gap across probed
+    /// heads, permille.
+    pub gap_permille: i64,
+    /// Per-head measurements (empty for rungs without a sparse config).
+    pub heads: Vec<HeadCanary>,
+}
+
+/// An attention method wrapper that routes quarantined heads to dense
+/// attention while delegating healthy heads to the wrapped method.
+///
+/// The quarantine mask is layer-major (`layer * heads_per_layer +
+/// head`), frozen at construction: within one batch every request sees
+/// the same mask, so execution stays bit-deterministic regardless of
+/// which worker thread runs which head.
+pub struct GuardedMethod {
+    inner: Box<dyn AttentionMethod>,
+    dense: FullAttention,
+    quarantined: Vec<bool>,
+    heads_per_layer: usize,
+    name: String,
+}
+
+impl GuardedMethod {
+    /// Wraps `inner` with the quarantine mask. An empty mask (or one
+    /// with no set bits) makes the wrapper a transparent delegate.
+    pub fn new(inner: Box<dyn AttentionMethod>, quarantined: Vec<bool>, heads_per_layer: usize) -> Self {
+        let name = format!("guarded({})", inner.name());
+        GuardedMethod {
+            inner,
+            dense: FullAttention::new(),
+            quarantined,
+            heads_per_layer,
+            name,
+        }
+    }
+
+    fn is_quarantined(&self, layer: usize, head: usize) -> bool {
+        self.quarantined
+            .get(layer * self.heads_per_layer.max(1) + head)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+impl AttentionMethod for GuardedMethod {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, q: &Matrix, k: &Matrix, v: &Matrix) -> Result<MethodOutput, TensorError> {
+        self.inner.forward(q, k, v)
+    }
+
+    fn forward_head(
+        &self,
+        layer: usize,
+        head: usize,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+    ) -> Result<MethodOutput, TensorError> {
+        if self.is_quarantined(layer, head) {
+            let mut out = self.dense.forward(q, k, v)?;
+            out.fell_back = true;
+            out.fallback_reason = FallbackReason::QualityQuarantine;
+            out.alpha_satisfied = true;
+            metrics::counter(FallbackReason::QualityQuarantine.counter_name()).add(1);
+            Ok(out)
+        } else {
+            self.inner.forward_head(layer, head, q, k, v)
+        }
+    }
+}
+
+/// Runs the shadow-canary measurement for one served request.
+///
+/// The production-shaped sparse prefill re-runs under `quarantined`
+/// (mirroring exactly what the serving path executed), then a dense
+/// reference prefill provides ground truth. For each head — including
+/// quarantined ones, whose shadow probe is the probation signal — the
+/// rung's sparse operator re-discovers its mask on the sparse run's
+/// actual layer inputs and its true CRA is computed against the exact
+/// softmax rows.
+///
+/// Rungs without a sparse config ([`DegradationRung::Full`],
+/// [`DegradationRung::WindowOnly`]) probe no heads; the observation
+/// still carries the dense-vs-production max-abs output error.
+///
+/// # Errors
+///
+/// Propagates tensor/kernel errors; callers contain them (a canary
+/// probe failure must never fail the request it shadows).
+pub fn canary_probe(
+    model: &SyntheticTransformer,
+    rung: DegradationRung,
+    production: &dyn AttentionMethod,
+    seq_len: usize,
+    request_id: u64,
+) -> Result<CanaryObservation, SaError> {
+    let _span = sa_trace::span_in("serve", "canary_probe");
+    let tokens = model.tokenize_filler(seq_len);
+    let sparse = model.prefill(&tokens, production)?;
+    let dense = model.prefill(&tokens, &FullAttention::new())?;
+
+    let mut max_abs_err = 0.0f64;
+    let (rows, cols) = sparse.hidden.shape();
+    for i in 0..rows {
+        for j in 0..cols {
+            let d = (sparse.hidden.get(i, j) - dense.hidden.get(i, j)).abs() as f64;
+            if d > max_abs_err {
+                max_abs_err = d;
+            }
+        }
+    }
+
+    let mut heads = Vec::new();
+    let sample_config = rung.sample_config().map_err(|e| SaError::InvalidDimension {
+        op: "canary_probe",
+        what: e.to_string(),
+    })?;
+    if let Some(cfg) = sample_config {
+        let shadow_op = SampleAttention::new(cfg);
+        for (l, layer) in model.layers().iter().enumerate() {
+            for h in 0..layer.num_heads() {
+                let (q, k, v) = layer.project_head(&sparse.layer_inputs[l], h)?;
+                let shadow = shadow_op.forward(&q, &k, &v).map_err(|e| match e {
+                    sa_core::SampleAttentionError::Tensor(t) => t,
+                    other => SaError::InvalidDimension {
+                        op: "canary_probe",
+                        what: other.to_string(),
+                    },
+                })?;
+                let p = attention_probs(&q, &k, true)?;
+                let true_cra = cra_of_structured_mask(&p, &shadow.mask)? as f64;
+                let est = shadow.stats.covered_mass as f64;
+                heads.push(HeadCanary {
+                    layer: l,
+                    head: h,
+                    est_covered_mass: est,
+                    true_cra,
+                    gap_permille: ((est - true_cra) * 1000.0).round() as i64,
+                    alpha_satisfied: shadow.stats.alpha_satisfied,
+                    fell_back: shadow.stats.fell_back(),
+                });
+            }
+        }
+    }
+
+    let true_cra = heads
+        .iter()
+        .map(|h| h.true_cra)
+        .fold(1.0f64, f64::min);
+    let gap_permille = heads.iter().map(|h| h.gap_permille).max().unwrap_or(0);
+    Ok(CanaryObservation {
+        request_id,
+        true_cra,
+        max_abs_err,
+        gap_permille,
+        heads,
+    })
+}
+
+/// A head-quarantine state transition, for the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityTransition {
+    /// The canary request whose observation tripped the transition.
+    pub request_id: u64,
+    /// Layer index of the head.
+    pub layer: u64,
+    /// Head index within the layer.
+    pub head: u64,
+    /// `"quarantine"` or `"readmit"`.
+    pub action: String,
+    /// Human-readable trigger (hard trip, drift, probation).
+    pub reason: String,
+}
+
+sa_json::impl_json_struct!(QualityTransition {
+    request_id,
+    layer,
+    head,
+    action,
+    reason
+});
+
+/// Per-head drift state.
+#[derive(Debug, Clone)]
+enum HeadState {
+    /// Serving sparse; tracking the coverage-gap drift statistics.
+    Healthy {
+        /// EWMA of the canary gap (permille), for reporting.
+        ewma_gap_permille: i64,
+        /// One-sided CUSUM of `gap - slack` (permille), clamped at 0.
+        cusum_permille: i64,
+    },
+    /// Routed to dense; counting consecutive clean shadow probes.
+    Quarantined {
+        /// Clean probes so far this probation.
+        clean: u32,
+    },
+}
+
+/// The per-head drift detector and quarantine state machine.
+///
+/// All state transitions happen in [`absorb`](Self::absorb), a serial
+/// fold over canary observations in request-id order — never from the
+/// parallel execution path — so the quarantine trajectory is
+/// bit-identical at every `SA_THREADS`.
+#[derive(Debug, Clone)]
+pub struct QualityGuard {
+    heads: Vec<HeadState>,
+    heads_per_layer: usize,
+    /// Gap allowance (permille) before the CUSUM accumulates: the
+    /// coarse stage-2 schedule's sampling estimate legitimately
+    /// disagrees with the true CRA by a few permille.
+    pub gap_slack_permille: i64,
+    /// CUSUM level (permille) at which a head is quarantined for
+    /// drift.
+    pub cusum_threshold_permille: i64,
+    /// Consecutive clean shadow probes required to re-admit a
+    /// quarantined head.
+    pub probation_clean: u32,
+    transitions: Vec<QualityTransition>,
+}
+
+impl QualityGuard {
+    /// A guard for a model with `num_layers` layers of
+    /// `heads_per_layer` heads, all healthy, with default thresholds.
+    pub fn new(num_layers: usize, heads_per_layer: usize) -> Self {
+        QualityGuard {
+            heads: vec![
+                HeadState::Healthy {
+                    ewma_gap_permille: 0,
+                    cusum_permille: 0,
+                };
+                num_layers * heads_per_layer
+            ],
+            heads_per_layer,
+            gap_slack_permille: 25,
+            cusum_threshold_permille: 75,
+            probation_clean: 2,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// A guard sized for `model`.
+    pub fn for_model(model: &SyntheticTransformer) -> Self {
+        let heads_per_layer = model.layers().first().map_or(0, |l| l.num_heads());
+        Self::new(model.layers().len(), heads_per_layer)
+    }
+
+    /// Heads per layer this guard was sized for.
+    pub fn heads_per_layer(&self) -> usize {
+        self.heads_per_layer
+    }
+
+    /// The current quarantine mask, layer-major — feed it to
+    /// [`GuardedMethod`] (the scheduler snapshots it per batch).
+    pub fn quarantine_mask(&self) -> Vec<bool> {
+        self.heads
+            .iter()
+            .map(|s| matches!(s, HeadState::Quarantined { .. }))
+            .collect()
+    }
+
+    /// Number of currently quarantined heads.
+    pub fn quarantined_count(&self) -> usize {
+        self.heads
+            .iter()
+            .filter(|s| matches!(s, HeadState::Quarantined { .. }))
+            .count()
+    }
+
+    /// Every quarantine/readmit transition so far, in the order they
+    /// tripped.
+    pub fn transitions(&self) -> &[QualityTransition] {
+        &self.transitions
+    }
+
+    /// Folds a batch's canary observations into the per-head state.
+    ///
+    /// Callers must pass observations sorted by `request_id` (the
+    /// scheduler does); within one observation heads are visited in
+    /// layer-major order. Both orders are data-determined, so the
+    /// resulting state machine trajectory is thread-count independent.
+    pub fn absorb(&mut self, observations: &[CanaryObservation]) {
+        for obs in observations {
+            for hc in &obs.heads {
+                let idx = hc.layer * self.heads_per_layer.max(1) + hc.head;
+                if idx >= self.heads.len() {
+                    continue;
+                }
+                let clean_probe = !hc.fell_back
+                    && hc.alpha_satisfied
+                    && hc.gap_permille <= self.gap_slack_permille;
+                match &mut self.heads[idx] {
+                    HeadState::Healthy {
+                        ewma_gap_permille,
+                        cusum_permille,
+                    } => {
+                        if hc.fell_back || !hc.alpha_satisfied {
+                            let reason = if hc.fell_back {
+                                "shadow sparse run fell back to dense"
+                            } else {
+                                "shadow sparse run missed the alpha target"
+                            };
+                            self.heads[idx] = HeadState::Quarantined { clean: 0 };
+                            self.trip(obs.request_id, hc, "quarantine", reason);
+                        } else {
+                            *ewma_gap_permille = (*ewma_gap_permille * 3 + hc.gap_permille) / 4;
+                            *cusum_permille = (*cusum_permille + hc.gap_permille
+                                - self.gap_slack_permille)
+                                .max(0);
+                            if *cusum_permille > self.cusum_threshold_permille {
+                                self.heads[idx] = HeadState::Quarantined { clean: 0 };
+                                self.trip(
+                                    obs.request_id,
+                                    hc,
+                                    "quarantine",
+                                    "coverage-gap CUSUM crossed the drift threshold",
+                                );
+                            }
+                        }
+                    }
+                    HeadState::Quarantined { clean } => {
+                        if clean_probe {
+                            *clean += 1;
+                            if *clean >= self.probation_clean {
+                                self.heads[idx] = HeadState::Healthy {
+                                    ewma_gap_permille: hc.gap_permille,
+                                    cusum_permille: 0,
+                                };
+                                self.trip(
+                                    obs.request_id,
+                                    hc,
+                                    "readmit",
+                                    "probation passed: consecutive clean shadow probes",
+                                );
+                            }
+                        } else {
+                            *clean = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, request_id: u64, hc: &HeadCanary, action: &str, reason: &str) {
+        let counter = if action == "quarantine" {
+            "quality.quarantine.trips"
+        } else {
+            "quality.quarantine.readmits"
+        };
+        metrics::counter(counter).add(1);
+        self.transitions.push(QualityTransition {
+            request_id,
+            layer: hc.layer as u64,
+            head: hc.head as u64,
+            action: action.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_model::ModelConfig;
+
+    #[test]
+    fn canary_selection_is_a_pure_seeded_fraction() {
+        assert!(!is_canary(7, 0, 0), "denominator 0 disables canaries");
+        let hits: Vec<u64> = (0..4096).filter(|&id| is_canary(7, id, 32)).collect();
+        let again: Vec<u64> = (0..4096).filter(|&id| is_canary(7, id, 32)).collect();
+        assert_eq!(hits, again, "pure function of (seed, id)");
+        // Roughly 1/32 of ids, and not degenerate.
+        assert!(hits.len() > 4096 / 64 && hits.len() < 4096 / 16, "{}", hits.len());
+        // Denominator 1 marks everything.
+        assert!((0..64).all(|id| is_canary(7, id, 1)));
+        // Different seeds pick different sets.
+        let other: Vec<u64> = (0..4096).filter(|&id| is_canary(8, id, 32)).collect();
+        assert_ne!(hits, other);
+    }
+
+    #[test]
+    fn guarded_method_routes_quarantined_heads_dense() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(3)).unwrap();
+        let heads = model.layers()[0].num_heads();
+        let total = model.layers().len() * heads;
+        let mut mask = vec![false; total];
+        mask[0] = true; // quarantine L0.H0
+        let cfg = DegradationRung::PaperDefault.sample_config().unwrap().unwrap();
+        let inner: Box<dyn AttentionMethod> =
+            Box::new(sa_baselines::SampleAttentionMethod::new(cfg));
+        let guarded = GuardedMethod::new(inner, mask, heads);
+        let tokens = model.tokenize_filler(64);
+        let result = model.prefill(&tokens, &guarded).unwrap();
+        let r0 = &result.head_reports[0];
+        assert!(r0.fell_back);
+        assert_eq!(r0.fallback_reason, FallbackReason::QualityQuarantine);
+        assert!(r0.alpha_satisfied, "dense routing still certifies alpha");
+        assert!((r0.density - 1.0).abs() < 1e-9, "quarantined head runs dense");
+        // The other heads keep the sparse path.
+        assert!(result.head_reports[1..]
+            .iter()
+            .all(|r| r.fallback_reason != FallbackReason::QualityQuarantine));
+    }
+
+    #[test]
+    fn canary_probe_measures_true_coverage_on_healthy_heads() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(3)).unwrap();
+        let cfg = DegradationRung::PaperDefault.sample_config().unwrap().unwrap();
+        let method: Box<dyn AttentionMethod> =
+            Box::new(sa_baselines::SampleAttentionMethod::new(cfg));
+        let obs = canary_probe(&model, DegradationRung::PaperDefault, method.as_ref(), 96, 42)
+            .unwrap();
+        assert_eq!(obs.request_id, 42);
+        assert_eq!(
+            obs.heads.len(),
+            model.layers().len() * model.layers()[0].num_heads()
+        );
+        assert!(obs.true_cra > 0.0 && obs.true_cra <= 1.0);
+        assert!(obs.max_abs_err.is_finite());
+        for h in &obs.heads {
+            assert!(!h.fell_back, "healthy model: no fallback in the shadow run");
+            assert!(h.true_cra > 0.5, "L{}.H{} true CRA {}", h.layer, h.head, h.true_cra);
+        }
+    }
+
+    #[test]
+    fn full_rung_probe_has_no_heads_and_zero_error() {
+        let model = SyntheticTransformer::new(ModelConfig::tiny(3)).unwrap();
+        let obs = canary_probe(
+            &model,
+            DegradationRung::Full,
+            &FullAttention::new(),
+            48,
+            0,
+        )
+        .unwrap();
+        assert!(obs.heads.is_empty());
+        assert_eq!(obs.true_cra, 1.0);
+        assert_eq!(obs.gap_permille, 0);
+        assert_eq!(obs.max_abs_err, 0.0, "dense vs dense is exact");
+    }
+
+    fn head_obs(id: u64, gap: i64, alpha: bool, fell_back: bool) -> CanaryObservation {
+        CanaryObservation {
+            request_id: id,
+            true_cra: 0.9,
+            max_abs_err: 0.0,
+            gap_permille: gap,
+            heads: vec![HeadCanary {
+                layer: 0,
+                head: 0,
+                est_covered_mass: 0.95,
+                true_cra: 0.95 - gap as f64 / 1000.0,
+                gap_permille: gap,
+                alpha_satisfied: alpha,
+                fell_back,
+            }],
+        }
+    }
+
+    #[test]
+    fn hard_trip_quarantines_and_probation_readmits() {
+        let mut guard = QualityGuard::new(1, 1);
+        assert_eq!(guard.quarantined_count(), 0);
+        guard.absorb(&[head_obs(1, 0, false, false)]); // missed alpha
+        assert_eq!(guard.quarantined_count(), 1);
+        assert_eq!(guard.transitions().len(), 1);
+        assert_eq!(guard.transitions()[0].action, "quarantine");
+        // One clean probe is not enough (probation_clean = 2)...
+        guard.absorb(&[head_obs(2, 0, true, true)]); // still dirty: resets
+        guard.absorb(&[head_obs(3, 0, true, false)]);
+        assert_eq!(guard.quarantined_count(), 1);
+        // ...two consecutive clean probes re-admit.
+        guard.absorb(&[head_obs(4, 0, true, false)]);
+        assert_eq!(guard.quarantined_count(), 0);
+        let last = guard.transitions().last().unwrap();
+        assert_eq!(last.action, "readmit");
+        assert_eq!(last.request_id, 4);
+    }
+
+    #[test]
+    fn sustained_drift_trips_cusum_but_slack_absorbs_noise() {
+        let mut guard = QualityGuard::new(1, 1);
+        // Gaps at the slack level never accumulate.
+        for id in 0..50 {
+            guard.absorb(&[head_obs(id, guard.gap_slack_permille, true, false)]);
+        }
+        assert_eq!(guard.quarantined_count(), 0, "slack absorbs benign gaps");
+        // Sustained optimism above slack accumulates and trips.
+        let mut guard = QualityGuard::new(1, 1);
+        let gap = guard.gap_slack_permille + 30;
+        let mut trips = 0;
+        for id in 0..10 {
+            guard.absorb(&[head_obs(id, gap, true, false)]);
+            if guard.quarantined_count() == 1 {
+                trips = id + 1;
+                break;
+            }
+        }
+        assert!(trips >= 2 && trips <= 5, "CUSUM trips after a few readings, got {trips}");
+        assert!(guard
+            .transitions()
+            .last()
+            .unwrap()
+            .reason
+            .contains("CUSUM"));
+    }
+
+    #[test]
+    fn absorb_is_order_deterministic() {
+        let obs: Vec<CanaryObservation> = (0..20)
+            .map(|id| head_obs(id, if id % 3 == 0 { 60 } else { 10 }, id % 7 != 0, false))
+            .collect();
+        let mut a = QualityGuard::new(1, 1);
+        a.absorb(&obs);
+        let mut b = QualityGuard::new(1, 1);
+        for o in &obs {
+            b.absorb(std::slice::from_ref(o));
+        }
+        assert_eq!(a.transitions(), b.transitions());
+        assert_eq!(a.quarantine_mask(), b.quarantine_mask());
+    }
+}

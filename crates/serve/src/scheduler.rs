@@ -46,6 +46,7 @@ use crate::continuous::{self, ContinuousPlan};
 use crate::events::EventLog;
 use crate::ledger::{Ledger, Outcome, RequestRecord, LEDGER_SCHEMA};
 use crate::memory::MemoryLedger;
+use crate::quality::{canary_probe, is_canary, CanaryObservation, GuardedMethod, QualityGuard};
 use crate::sim::{self, Plan, Planned};
 use crate::{Request, RequestKind, ServeConfig};
 use sa_baselines::{AttentionMethod, FullAttention, SampleAttentionMethod, WindowOnly};
@@ -128,10 +129,60 @@ impl Scheduler {
         &self,
         requests: &[Request],
     ) -> Result<(Ledger, EventLog), TensorError> {
+        let (ledger, log, _) = self.run_batch_masked(requests, &[])?;
+        Ok((ledger, log))
+    }
+
+    /// [`Scheduler::run`] under a [`QualityGuard`]: the guard's current
+    /// quarantine mask is frozen for the whole batch (quarantined heads
+    /// execute dense, flagged
+    /// [`QualityQuarantine`](sa_core::FallbackReason::QualityQuarantine)),
+    /// the batch runs, and afterwards the guard absorbs this batch's
+    /// canary observations **serially in request-id order** — so
+    /// quarantine and probation transitions are bit-identical at every
+    /// `SA_THREADS` setting, exactly like the ledger itself.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run`].
+    pub fn run_guarded(
+        &self,
+        requests: &[Request],
+        guard: &mut QualityGuard,
+    ) -> Result<Ledger, TensorError> {
+        self.run_guarded_with_events(requests, guard)
+            .map(|(ledger, _)| ledger)
+    }
+
+    /// [`Scheduler::run_guarded`] plus the reconciled [`EventLog`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::run`].
+    pub fn run_guarded_with_events(
+        &self,
+        requests: &[Request],
+        guard: &mut QualityGuard,
+    ) -> Result<(Ledger, EventLog), TensorError> {
+        let mask = guard.quarantine_mask();
+        let (ledger, log, observations) = self.run_batch_masked(requests, &mask)?;
+        guard.absorb(&observations);
+        Ok((ledger, log))
+    }
+
+    /// The shared one-shot execution phase: plan serially, execute in
+    /// parallel under the frozen quarantine `mask`, and collect the
+    /// batch's canary observations (sorted by request id alongside the
+    /// records, so the caller's serial absorb is deterministic).
+    fn run_batch_masked(
+        &self,
+        requests: &[Request],
+        mask: &[bool],
+    ) -> Result<(Ledger, EventLog, Vec<CanaryObservation>), TensorError> {
         let _span = sa_trace::span_in("serve", "batch");
         let (plans, mut log) = sim::plan_batch_with_events(&self.cfg, requests);
-        let mut records = pool::try_parallel_map("serve_batch", requests.len(), 1, |i| {
-            let mut rec = self.execute(&requests[i], &plans[i]);
+        let mut pairs = pool::try_parallel_map("serve_batch", requests.len(), 1, |i| {
+            let (mut rec, obs) = self.execute(&requests[i], &plans[i], mask);
             // The one-shot planner holds a slot for the whole request,
             // so first-token timing is analytic: the final prefill
             // chunk lands one decode tail before the finish.
@@ -145,9 +196,17 @@ impl Scheduler {
                     .saturating_sub(rec.arrival_ms)
                     .max(1);
             }
-            rec
+            (rec, obs)
         })?;
-        records.sort_by_key(|r| r.id);
+        pairs.sort_by_key(|(rec, _)| rec.id);
+        let mut records = Vec::with_capacity(pairs.len());
+        let mut observations = Vec::new();
+        for (rec, obs) in pairs {
+            if let Some(o) = obs {
+                observations.push(o);
+            }
+            records.push(rec);
+        }
         record_metrics(&records);
         log.reconcile(&records);
         Ok((
@@ -157,6 +216,7 @@ impl Scheduler {
                 records,
             },
             log,
+            observations,
         ))
     }
 
@@ -197,7 +257,7 @@ impl Scheduler {
         let _span = sa_trace::span_in("serve", "continuous");
         let (plans, mut log) = continuous::plan_continuous_with_events(&self.cfg, requests);
         let mut records = pool::try_parallel_map("serve_continuous", requests.len(), 1, |i| {
-            let mut rec = self.execute(&requests[i], &plans[i].plan);
+            let (mut rec, _) = self.execute(&requests[i], &plans[i].plan, &[]);
             rec.ttft_ms = plans[i]
                 .first_token_ms
                 .saturating_sub(requests[i].arrival_ms);
@@ -218,9 +278,16 @@ impl Scheduler {
         ))
     }
 
-    /// Executes one planned request. Never panics and never fails: every
-    /// error becomes a ledger outcome.
-    fn execute(&self, req: &Request, plan: &Plan) -> RequestRecord {
+    /// Executes one planned request under the frozen quarantine `mask`
+    /// (empty = no quarantine). Never panics and never fails: every
+    /// error becomes a ledger outcome. Returns the record plus the
+    /// shadow-canary observation when this request drew canary duty.
+    fn execute(
+        &self,
+        req: &Request,
+        plan: &Plan,
+        mask: &[bool],
+    ) -> (RequestRecord, Option<CanaryObservation>) {
         let mut report = DegradationReport::new(self.cfg.alpha_target);
         for (rung, why) in &plan.skipped {
             report.record(*rung, false, why);
@@ -247,6 +314,11 @@ impl Scheduler {
             chunks_completed: 0,
             chunks_total: 0,
             error: String::new(),
+            canary: false,
+            canary_true_cra: 0.0,
+            canary_max_abs_err: 0.0,
+            canary_gap_permille: 0,
+            quarantined_heads: 0,
             report: DegradationReport::new(self.cfg.alpha_target),
         };
 
@@ -276,6 +348,14 @@ impl Scheduler {
                 }
                 .to_string();
             }
+            Planned::ShedQualityFloor => {
+                rec.outcome = Outcome::ShedQualityFloor;
+                rec.error = SaError::QualityFloor {
+                    tenant: req.tenant,
+                    what: "no permitted rung fits the remaining deadline".to_string(),
+                }
+                .to_string();
+            }
             Planned::CancelCaller | Planned::CancelDeadline => {
                 let token = CancelToken::new();
                 let expect_deadline = matches!(plan.planned, Planned::CancelDeadline);
@@ -287,7 +367,7 @@ impl Scheduler {
                     token.cancel();
                     token
                 };
-                match self.run_model(req, plan.rung, &token) {
+                match self.run_model(req, plan.rung, &token, mask) {
                     Err(e) if e.is_cancellation() => {
                         rec.outcome = if matches!(e, SaError::DeadlineExceeded { .. }) {
                             Outcome::DeadlineExceeded
@@ -320,7 +400,7 @@ impl Scheduler {
             }
             Planned::Serve { fails } | Planned::FailPermanent { fails } => {
                 let clean_final = matches!(plan.planned, Planned::Serve { .. });
-                match self.run_attempts(req, plan.rung, fails, clean_final) {
+                match self.run_attempts(req, plan.rung, fails, clean_final, mask) {
                     Ok(alpha_ok) => {
                         rec.outcome = Outcome::Served;
                         report.record(plan.rung, alpha_ok, "served");
@@ -338,7 +418,42 @@ impl Scheduler {
         rec.alpha_satisfied = rec.outcome == Outcome::Served && report.final_alpha_satisfied();
         rec.degraded = report.degraded();
         rec.report = report;
-        rec
+        if !rec.rung.is_empty() {
+            rec.quarantined_heads = mask.iter().filter(|&&q| q).count() as u64;
+        }
+
+        // Shadow canary: a seeded deterministic fraction of served
+        // requests additionally runs a dense reference prefill and
+        // per-head exact-softmax CRA, measuring the true quality the
+        // sparse path delivered. The probe is pure measurement — it
+        // never changes the outcome; a probe error is contained and
+        // counted, not escalated.
+        let mut observation = None;
+        if rec.outcome == Outcome::Served
+            && is_canary(self.cfg.seed, req.id, self.cfg.canary_denominator)
+        {
+            let production = self.guarded_method(plan.rung, mask);
+            match production {
+                Ok(method) => match canary_probe(
+                    &self.model,
+                    plan.rung,
+                    method.as_ref(),
+                    req.seq_len,
+                    req.id,
+                ) {
+                    Ok(obs) => {
+                        rec.canary = true;
+                        rec.canary_true_cra = obs.true_cra;
+                        rec.canary_max_abs_err = obs.max_abs_err;
+                        rec.canary_gap_permille = obs.gap_permille;
+                        observation = Some(obs);
+                    }
+                    Err(_) => metrics::counter("quality.canary.probe_errors").add(1),
+                },
+                Err(_) => metrics::counter("quality.canary.probe_errors").add(1),
+            }
+        }
+        (rec, observation)
     }
 
     /// Runs the planned attempt script for one request: `fails` crashing
@@ -355,6 +470,7 @@ impl Scheduler {
         rung: DegradationRung,
         fails: u64,
         clean_final: bool,
+        mask: &[bool],
     ) -> Result<bool, SaError> {
         let mut snap: Option<Snapshot> = None;
         let mut planned_done = 0u64;
@@ -379,14 +495,16 @@ impl Scheduler {
                             Some(Snapshot::Prefill(p)) => Some(p),
                             _ => None,
                         };
-                        self.prefill_attempt(req, rung, &token, resume, crashing, attempt, salt)
+                        self.prefill_attempt(
+                            req, rung, &token, resume, crashing, attempt, salt, mask,
+                        )
                     }
                     RequestKind::Decode => {
                         let resume = match &snap {
                             Some(Snapshot::Session(s)) => Some(s),
                             _ => None,
                         };
-                        self.decode_attempt(req, rung, &token, resume, crashing, salt)
+                        self.decode_attempt(req, rung, &token, resume, crashing, salt, mask)
                     }
                 }
             } else {
@@ -398,7 +516,7 @@ impl Scheduler {
                         FaultPlan::new(self.cfg.seed ^ req.id).worker_panic(&req.fault_site),
                     )
                 });
-                (self.run_model(req, rung, &token), None)
+                (self.run_model(req, rung, &token, mask), None)
             };
             if crashing && result.is_ok() {
                 // The fault site never fired (e.g. a storm crash on a
@@ -450,8 +568,9 @@ impl Scheduler {
         crashing: bool,
         attempt: u64,
         salt: u64,
+        mask: &[bool],
     ) -> (Result<bool, SaError>, Option<Snapshot>) {
-        let method = match method_for(rung) {
+        let method = match self.guarded_method(rung, mask) {
             Ok(m) => m,
             Err(what) => {
                 return (
@@ -531,6 +650,7 @@ impl Scheduler {
     /// One decode attempt under the recovery protocol: restore the
     /// session checkpoint (or prefill fresh), and either snapshot and
     /// crash the next decode step, or generate the remaining tokens.
+    #[allow(clippy::too_many_arguments)]
     fn decode_attempt(
         &self,
         req: &Request,
@@ -539,8 +659,9 @@ impl Scheduler {
         resume: Option<&SessionCheckpoint>,
         crashing: bool,
         salt: u64,
+        mask: &[bool],
     ) -> (Result<bool, SaError>, Option<Snapshot>) {
-        let method = match method_for(rung) {
+        let method = match self.guarded_method(rung, mask) {
             Ok(m) => m,
             Err(what) => {
                 return (
@@ -677,11 +798,14 @@ impl Scheduler {
         req: &Request,
         rung: DegradationRung,
         token: &CancelToken,
+        mask: &[bool],
     ) -> Result<bool, TensorError> {
-        let method = method_for(rung).map_err(|what| TensorError::InvalidDimension {
-            op: "Scheduler::run_model",
-            what,
-        })?;
+        let method = self
+            .guarded_method(rung, mask)
+            .map_err(|what| TensorError::InvalidDimension {
+                op: "Scheduler::run_model",
+                what,
+            })?;
         let tokens = self.model.tokenize_filler(req.seq_len);
         match req.kind {
             RequestKind::Prefill => {
@@ -700,6 +824,28 @@ impl Scheduler {
                 session.generate_in(req.new_tokens, 0..vocab)?;
                 Ok(session.prefill_result().heads_alpha_unsatisfied() == 0)
             }
+        }
+    }
+
+    /// The rung's attention method, wrapped in a [`GuardedMethod`] when
+    /// any head is quarantined (an empty or all-clear mask adds no
+    /// wrapper, so the unguarded paths are byte-for-byte unchanged).
+    fn guarded_method(
+        &self,
+        rung: DegradationRung,
+        mask: &[bool],
+    ) -> Result<Box<dyn AttentionMethod>, String> {
+        let inner = method_for(rung)?;
+        if mask.iter().any(|&q| q) {
+            let heads_per_layer = self
+                .model
+                .layers()
+                .first()
+                .map(|l| l.num_heads())
+                .unwrap_or(1);
+            Ok(Box::new(GuardedMethod::new(inner, mask.to_vec(), heads_per_layer)))
+        } else {
+            Ok(inner)
         }
     }
 }
@@ -731,8 +877,14 @@ fn record_metrics(records: &[RequestRecord]) {
             Outcome::DeadlineExceeded => "serve.deadline_exceeded",
             Outcome::Cancelled => "serve.cancelled",
             Outcome::Failed => "serve.failed",
+            Outcome::ShedQualityFloor => "quality.floor.sheds",
         };
         metrics::counter(c).add(1);
+        if rec.canary {
+            metrics::counter("quality.canary.requests").add(1);
+            metrics::histogram("quality.canary.gap_permille")
+                .record(rec.canary_gap_permille.max(0) as u64);
+        }
         if !rec.rung.is_empty() {
             metrics::histogram("serve.queue_wait_ms").record(rec.queue_wait_ms);
             if let Some(rung) = rec.report.final_rung() {

@@ -50,6 +50,10 @@ pub enum Planned {
     RejectOverloaded { inflight: usize },
     /// Rejected at start: projected memory exceeds the budget.
     RejectBudget { required_bytes: u64 },
+    /// Shed at start: the deadline demands a rung below the tenant's
+    /// quality floor, and the floor wins — the request is refused
+    /// rather than served with uncertifiable quality.
+    ShedQualityFloor,
 }
 
 /// One request's simulated schedule.
@@ -81,6 +85,7 @@ impl Plan {
             Planned::RejectOverloaded { .. }
                 | Planned::RejectBudget { .. }
                 | Planned::ExpireInQueue
+                | Planned::ShedQualityFloor
         )
     }
 }
@@ -160,20 +165,45 @@ pub fn choose_rung(
     req: &Request,
     remaining_ms: u64,
 ) -> (DegradationRung, Vec<(DegradationRung, String)>) {
+    match choose_rung_floored(req, remaining_ms, DegradationRung::ALL.len() - 1) {
+        Some(choice) => choice,
+        // Unreachable: with the full ladder available the floored walk
+        // always resolves (the bottom rung runs anyway). Resolve
+        // defensively rather than panicking.
+        None => (DegradationRung::WindowOnly, Vec::new()),
+    }
+}
+
+/// [`choose_rung`] restricted to rungs `0..=max_rung_index` — the
+/// tenant's quality floor. Returns `None` when no permitted rung fits
+/// `remaining_ms` and the floor forbids the run-anyway bottom rung:
+/// the floor wins and the request must be shed
+/// ([`Planned::ShedQualityFloor`]). A floor admitting the whole ladder
+/// (`max_rung_index == ALL.len() - 1`) reproduces [`choose_rung`]'s
+/// behavior exactly, including running the bottom rung over-deadline.
+pub fn choose_rung_floored(
+    req: &Request,
+    remaining_ms: u64,
+    max_rung_index: usize,
+) -> Option<(DegradationRung, Vec<(DegradationRung, String)>)> {
+    let max_rung_index = max_rung_index.min(DegradationRung::ALL.len() - 1);
     let mut skipped = Vec::new();
-    for rung in DegradationRung::ALL {
-        let cost = service_ms(req, rung);
+    for rung in &DegradationRung::ALL[..=max_rung_index] {
+        let cost = service_ms(req, *rung);
         if cost <= remaining_ms {
-            return (rung, skipped);
+            return Some((*rung, skipped));
         }
         skipped.push((
-            rung,
+            *rung,
             format!("projected {cost} ms exceeds remaining {remaining_ms} ms"),
         ));
     }
-    // Bottom rung still runs; drop its "skipped" entry.
-    skipped.pop();
-    (DegradationRung::WindowOnly, skipped)
+    if max_rung_index == DegradationRung::ALL.len() - 1 {
+        // Unfloored bottom rung still runs; drop its "skipped" entry.
+        skipped.pop();
+        return Some((DegradationRung::WindowOnly, skipped));
+    }
+    None
 }
 
 struct Active {
@@ -208,6 +238,9 @@ fn terminal_reason(plan: &Plan, budget: u64) -> String {
         }
         Planned::RejectBudget { required_bytes } => {
             format!("required {required_bytes} bytes exceeds budget {budget}")
+        }
+        Planned::ShedQualityFloor => {
+            "quality floor: no permitted rung fits the remaining deadline".to_string()
         }
     }
 }
@@ -506,7 +539,11 @@ fn try_start(
     }
 
     let remaining = deadline_t - start_ms;
-    let (rung, skipped) = choose_rung(req, remaining);
+    let Some((rung, skipped)) =
+        choose_rung_floored(req, remaining, cfg.max_rung_index_for(req.tenant))
+    else {
+        return resolved(Planned::ShedQualityFloor, start_ms);
+    };
 
     let bytes = request_bytes(cfg, req);
     if in_use_bytes + bytes > budget {
@@ -640,6 +677,64 @@ mod tests {
         let (r, skipped) = choose_rung(&req, 1);
         assert_eq!(r, DegradationRung::WindowOnly, "bottom rung always runs");
         assert_eq!(skipped.len(), 3);
+    }
+
+    #[test]
+    fn floored_ladder_sheds_instead_of_dropping_below_the_floor() {
+        let req = Request::prefill(0, 128, 0, 0);
+        let base = req.base_service_ms();
+        let tight = DegradationRung::Tight.index();
+        // Plenty of budget: the floor is invisible.
+        let (r, _) = choose_rung_floored(&req, 2 * base, tight).unwrap();
+        assert_eq!(r, DegradationRung::Full);
+        // Moderate pressure lands on a permitted rung.
+        let (r, _) = choose_rung_floored(&req, base / 8, tight).unwrap();
+        assert_eq!(r, DegradationRung::Tight);
+        // Brutal pressure: only WindowOnly would fit, the floor forbids
+        // it, and the walk refuses instead of running anyway.
+        assert!(choose_rung_floored(&req, 1, tight).is_none());
+        // The unfloored walk keeps the run-anyway bottom behavior.
+        let (r, skipped) = choose_rung_floored(&req, 1, DegradationRung::ALL.len() - 1).unwrap();
+        assert_eq!(r, DegradationRung::WindowOnly);
+        assert_eq!(skipped.len(), 3);
+        // Out-of-range indices clamp to the full ladder.
+        assert!(choose_rung_floored(&req, 1, 99).is_some());
+    }
+
+    #[test]
+    fn plan_batch_sheds_floored_tenants_under_deadline_pressure() {
+        let mut c = cfg();
+        c.quality_floors.push(crate::TenantFloor {
+            tenant: 0,
+            max_rung_index: DegradationRung::Tight.index(),
+            max_uncertified_permille: 0,
+        });
+        // tenant = id % 3: ids 0 and 3 are floored, 1/2/4 are not.
+        // Deadline of 2 ms forces the unfloored ladder to WindowOnly.
+        let reqs: Vec<Request> = (0..5)
+            .map(|id| {
+                let mut r = Request::prefill(id, 224, id * 10_000, 2);
+                r.tenant = id % 3;
+                r
+            })
+            .collect();
+        let plans = plan_batch(&c, &reqs);
+        for p in plans.iter().step_by(3) {
+            assert!(
+                matches!(p.planned, Planned::ShedQualityFloor),
+                "floored tenant must shed, got {:?}",
+                p.planned
+            );
+            assert!(!p.runs_model());
+        }
+        assert!(
+            plans
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 != 0)
+                .all(|(_, p)| p.rung == DegradationRung::WindowOnly),
+            "unfloored tenants still bottom the ladder"
+        );
     }
 
     #[test]

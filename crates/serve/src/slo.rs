@@ -9,16 +9,28 @@
 //!   served multi-token requests;
 //! - **goodput**: requests served *within their deadline* per virtual
 //!   second — throughput that counts only useful work, the metric the
-//!   continuous scheduler must not lose against the one-shot baseline.
+//!   continuous scheduler must not lose against the one-shot baseline;
+//! - **certified goodput**: the stricter quality-guardrail numerator —
+//!   served within deadline *and* quality-certified (measured CRA α at
+//!   ledger level; a rung that can certify α at plan level). A
+//!   scheduler can inflate plain goodput by bottoming every request on
+//!   the `window_only` rung; certified goodput is what the
+//!   near-lossless contract actually pays for.
+//!
+//! The v2 schema adds per-tenant [`TenantQuality`] rows so the
+//! quality-floored degradation plane is auditable: each tenant's
+//! uncertified-rung token fraction is exactly the quantity its
+//! [`TenantFloor`](crate::TenantFloor) bounds.
 //!
 //! Percentiles use the nearest-rank rule on the virtual-clock values,
 //! so a summary is bit-deterministic whenever its ledger is.
 
 use crate::ledger::{Ledger, Outcome};
 use crate::Request;
+use sa_core::DegradationRung;
 
 /// Schema tag of the `results/slo_report.json` artifact.
-pub const SLO_SCHEMA: &str = "sa.slo.v1";
+pub const SLO_SCHEMA: &str = "sa.slo.v2";
 
 /// Nearest-rank percentile summary of one latency population
 /// (virtual milliseconds). All zeros when the population is empty.
@@ -78,6 +90,92 @@ impl LatencyStats {
     }
 }
 
+/// One tenant's quality accounting: how much of its served work ran on
+/// a rung that cannot certify the CRA α contract. The fraction is what
+/// a [`TenantFloor`](crate::TenantFloor)'s `max_uncertified_permille`
+/// bounds, so committed artifacts are directly checkable against the
+/// configured floors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantQuality {
+    /// Tenant id.
+    pub tenant: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Served within deadline **and** quality-certified (measured α at
+    /// ledger level, a certifiable rung at plan level).
+    pub served_certified: u64,
+    /// Synthetic tokens (prompt + generated) across served requests.
+    pub served_tokens: u64,
+    /// Served tokens that ran on an uncertifiable rung (`window_only`).
+    pub uncertified_tokens: u64,
+    /// `uncertified_tokens` as a permille share of `served_tokens`
+    /// (0 when nothing was served).
+    pub uncertified_permille: u64,
+    /// Requests shed by the quality floor instead of being forced onto
+    /// a forbidden rung.
+    pub shed_quality_floor: u64,
+}
+
+sa_json::impl_json_struct!(TenantQuality {
+    tenant,
+    served,
+    served_certified,
+    served_tokens,
+    uncertified_tokens,
+    uncertified_permille,
+    shed_quality_floor
+});
+
+/// One request's contribution to the per-tenant quality rows.
+struct QualityContribution {
+    tenant: u64,
+    served: bool,
+    certified: bool,
+    uncertified_rung: bool,
+    tokens: u64,
+    shed_floor: bool,
+}
+
+/// Folds per-request contributions into sorted per-tenant rows.
+fn tenant_rows(contribs: &[QualityContribution]) -> Vec<TenantQuality> {
+    let mut tenants: Vec<u64> = contribs.iter().map(|c| c.tenant).collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .into_iter()
+        .map(|tenant| {
+            let mut row = TenantQuality {
+                tenant,
+                served: 0,
+                served_certified: 0,
+                served_tokens: 0,
+                uncertified_tokens: 0,
+                uncertified_permille: 0,
+                shed_quality_floor: 0,
+            };
+            for c in contribs.iter().filter(|c| c.tenant == tenant) {
+                if c.served {
+                    row.served += 1;
+                    row.served_tokens += c.tokens;
+                    if c.certified {
+                        row.served_certified += 1;
+                    }
+                    if c.uncertified_rung {
+                        row.uncertified_tokens += c.tokens;
+                    }
+                }
+                if c.shed_floor {
+                    row.shed_quality_floor += 1;
+                }
+            }
+            if row.served_tokens > 0 {
+                row.uncertified_permille = row.uncertified_tokens * 1000 / row.served_tokens;
+            }
+            row
+        })
+        .collect()
+}
+
 /// The SLO summary of one scheduler run over one request stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SloSummary {
@@ -100,6 +198,12 @@ pub struct SloSummary {
     pub cancelled: u64,
     /// Permanent failures.
     pub failed: u64,
+    /// Requests shed by a tenant quality floor (no permitted rung fit).
+    pub shed_quality_floor: u64,
+    /// Served within deadline **and** quality-certified — the certified
+    /// goodput numerator (measured CRA α at ledger level; a rung with
+    /// [`DegradationRung::can_certify_alpha`] at plan level).
+    pub served_certified: u64,
     /// The accounting window: first arrival → the last deadline in the
     /// stream, ms. Fixed by the workload alone (never by outcomes), so
     /// two schedulers on the same trace always divide by the same span —
@@ -109,10 +213,14 @@ pub struct SloSummary {
     pub span_ms: u64,
     /// `served_within_deadline` per virtual second over `span_ms`.
     pub goodput_per_sec: f64,
+    /// `served_certified` per virtual second over `span_ms`.
+    pub certified_goodput_per_sec: f64,
     /// Time-to-first-token of every request that produced a token.
     pub ttft: LatencyStats,
     /// Time-per-output-token of served multi-token (decode) requests.
     pub tpot: LatencyStats,
+    /// Per-tenant quality rows, sorted by tenant id.
+    pub tenants: Vec<TenantQuality>,
 }
 
 sa_json::impl_json_struct!(SloSummary {
@@ -125,10 +233,14 @@ sa_json::impl_json_struct!(SloSummary {
     deadline_missed,
     cancelled,
     failed,
+    shed_quality_floor,
+    served_certified,
     span_ms,
     goodput_per_sec,
+    certified_goodput_per_sec,
     ttft,
-    tpot
+    tpot,
+    tenants
 });
 
 /// The accounting window of a request stream: first arrival → last
@@ -178,21 +290,38 @@ impl SloSummary {
         let mut deadline_missed = 0u64;
         let mut cancelled = 0u64;
         let mut failed = 0u64;
+        let mut shed_floor = 0u64;
+        let mut certified = 0u64;
         let mut ttft_samples = Vec::new();
         let mut tpot_samples = Vec::new();
+        let mut contribs = Vec::new();
         for rec in &ledger.records {
+            let is_served = rec.outcome == Outcome::Served;
+            let in_deadline = is_served && rec.finish_ms <= deadline_of(rec.id);
             match rec.outcome {
                 Outcome::Served => {
                     served += 1;
-                    if rec.finish_ms <= deadline_of(rec.id) {
+                    if in_deadline {
                         within += 1;
+                        if rec.alpha_satisfied {
+                            certified += 1;
+                        }
                     }
                 }
                 Outcome::RejectedOverloaded | Outcome::RejectedBudget => rejected += 1,
                 Outcome::ExpiredInQueue | Outcome::DeadlineExceeded => deadline_missed += 1,
                 Outcome::Cancelled => cancelled += 1,
                 Outcome::Failed => failed += 1,
+                Outcome::ShedQualityFloor => shed_floor += 1,
             }
+            contribs.push(QualityContribution {
+                tenant: rec.tenant,
+                served: is_served,
+                certified: in_deadline && rec.alpha_satisfied,
+                uncertified_rung: rec.rung == DegradationRung::WindowOnly.as_str(),
+                tokens: rec.seq_len + rec.new_tokens,
+                shed_floor: rec.outcome == Outcome::ShedQualityFloor,
+            });
             if rec.ttft_ms > 0 {
                 ttft_samples.push(rec.ttft_ms);
                 if rec.outcome == Outcome::Served && rec.new_tokens > 1 {
@@ -202,7 +331,6 @@ impl SloSummary {
             }
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -213,10 +341,14 @@ impl SloSummary {
             deadline_missed,
             cancelled,
             failed,
+            shed_quality_floor: shed_floor,
+            served_certified: certified,
             span_ms,
-            goodput_per_sec,
+            goodput_per_sec: goodput_per_sec(within, span_ms),
+            certified_goodput_per_sec: goodput_per_sec(certified, span_ms),
             ttft: LatencyStats::from_samples(&ttft_samples),
             tpot: LatencyStats::from_samples(&tpot_samples),
+            tenants: tenant_rows(&contribs),
         }
     }
 
@@ -237,21 +369,39 @@ impl SloSummary {
         let mut deadline_missed = 0u64;
         let mut cancelled = 0u64;
         let mut failed = 0u64;
+        let mut shed_floor = 0u64;
+        let mut certified = 0u64;
         let mut ttft_samples = Vec::new();
         let mut tpot_samples = Vec::new();
+        let mut contribs = Vec::new();
         for (cp, req) in plans.iter().zip(requests) {
+            let is_served = matches!(cp.plan.planned, Planned::Serve { .. });
+            let in_deadline =
+                is_served && cp.plan.finish_ms <= req.arrival_ms + req.deadline_ms;
             match cp.plan.planned {
                 Planned::Serve { .. } => {
                     served += 1;
-                    if cp.plan.finish_ms <= req.arrival_ms + req.deadline_ms {
+                    if in_deadline {
                         within += 1;
+                        if cp.plan.rung.can_certify_alpha() {
+                            certified += 1;
+                        }
                     }
                 }
                 Planned::RejectOverloaded { .. } | Planned::RejectBudget { .. } => rejected += 1,
                 Planned::ExpireInQueue | Planned::CancelDeadline => deadline_missed += 1,
                 Planned::CancelCaller => cancelled += 1,
                 Planned::FailPermanent { .. } => failed += 1,
+                Planned::ShedQualityFloor => shed_floor += 1,
             }
+            contribs.push(QualityContribution {
+                tenant: req.tenant,
+                served: is_served,
+                certified: in_deadline && cp.plan.rung.can_certify_alpha(),
+                uncertified_rung: is_served && !cp.plan.rung.can_certify_alpha(),
+                tokens: req.seq_len as u64 + req.new_tokens as u64,
+                shed_floor: matches!(cp.plan.planned, Planned::ShedQualityFloor),
+            });
             if cp.first_token_ms > 0 {
                 let ttft = cp.first_token_ms.saturating_sub(req.arrival_ms);
                 ttft_samples.push(ttft);
@@ -262,7 +412,6 @@ impl SloSummary {
             }
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -273,10 +422,14 @@ impl SloSummary {
             deadline_missed,
             cancelled,
             failed,
+            shed_quality_floor: shed_floor,
+            served_certified: certified,
             span_ms,
-            goodput_per_sec,
+            goodput_per_sec: goodput_per_sec(within, span_ms),
+            certified_goodput_per_sec: goodput_per_sec(certified, span_ms),
             ttft: LatencyStats::from_samples(&ttft_samples),
             tpot: LatencyStats::from_samples(&tpot_samples),
+            tenants: tenant_rows(&contribs),
         }
     }
 
@@ -295,14 +448,22 @@ impl SloSummary {
         let mut deadline_missed = 0u64;
         let mut cancelled = 0u64;
         let mut failed = 0u64;
+        let mut shed_floor = 0u64;
+        let mut certified = 0u64;
         let mut ttft_samples = Vec::new();
         let mut tpot_samples = Vec::new();
+        let mut contribs = Vec::new();
         for (plan, req) in plans.iter().zip(requests) {
+            let is_served = matches!(plan.planned, Planned::Serve { .. });
+            let in_deadline = is_served && plan.finish_ms <= req.arrival_ms + req.deadline_ms;
             match plan.planned {
                 Planned::Serve { .. } => {
                     served += 1;
-                    if plan.finish_ms <= req.arrival_ms + req.deadline_ms {
+                    if in_deadline {
                         within += 1;
+                        if plan.rung.can_certify_alpha() {
+                            certified += 1;
+                        }
                     }
                     let per_token = (req.seq_len as u64 / 16).max(1);
                     let tail = (req.new_tokens as u64).saturating_sub(1) * per_token;
@@ -320,10 +481,18 @@ impl SloSummary {
                 Planned::ExpireInQueue | Planned::CancelDeadline => deadline_missed += 1,
                 Planned::CancelCaller => cancelled += 1,
                 Planned::FailPermanent { .. } => failed += 1,
+                Planned::ShedQualityFloor => shed_floor += 1,
             }
+            contribs.push(QualityContribution {
+                tenant: req.tenant,
+                served: is_served,
+                certified: in_deadline && plan.rung.can_certify_alpha(),
+                uncertified_rung: is_served && !plan.rung.can_certify_alpha(),
+                tokens: req.seq_len as u64 + req.new_tokens as u64,
+                shed_floor: matches!(plan.planned, Planned::ShedQualityFloor),
+            });
         }
         let span_ms = stream_span_ms(requests);
-        let goodput_per_sec = goodput_per_sec(within, span_ms);
         SloSummary {
             schema: SLO_SCHEMA.to_string(),
             scheduler: scheduler.to_string(),
@@ -334,10 +503,14 @@ impl SloSummary {
             deadline_missed,
             cancelled,
             failed,
+            shed_quality_floor: shed_floor,
+            served_certified: certified,
             span_ms,
-            goodput_per_sec,
+            goodput_per_sec: goodput_per_sec(within, span_ms),
+            certified_goodput_per_sec: goodput_per_sec(certified, span_ms),
             ttft: LatencyStats::from_samples(&ttft_samples),
             tpot: LatencyStats::from_samples(&tpot_samples),
+            tenants: tenant_rows(&contribs),
         }
     }
 }

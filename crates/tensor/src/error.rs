@@ -129,6 +129,18 @@ pub enum SaError {
         /// Checksum recomputed over the staged bytes at restore time.
         actual: u64,
     },
+    /// A per-tenant quality floor shed the request: serving it would
+    /// require degrading below the tenant's minimum ladder rung (or
+    /// would overflow the tenant's budget of uncertified-rung tokens),
+    /// and the near-lossless contract forbids trading quality below the
+    /// configured floor. Like the admission rejections, the request
+    /// never ran the model.
+    QualityFloor {
+        /// The tenant whose floor blocked the request.
+        tenant: u64,
+        /// What the floor refused to trade away.
+        what: String,
+    },
 }
 
 /// Historical name for [`SaError`]; kept so every pre-existing
@@ -161,12 +173,14 @@ impl SaError {
     }
 
     /// True for admission-control rejections (`Overloaded`,
-    /// `BudgetExceeded`): the request never started, so there is no
-    /// partial state to clean up.
+    /// `BudgetExceeded`, `QualityFloor`): the request never started, so
+    /// there is no partial state to clean up.
     pub fn is_rejection(&self) -> bool {
         matches!(
             self,
-            SaError::Overloaded { .. } | SaError::BudgetExceeded { .. }
+            SaError::Overloaded { .. }
+                | SaError::BudgetExceeded { .. }
+                | SaError::QualityFloor { .. }
         )
     }
 
@@ -240,6 +254,9 @@ impl fmt::Display for SaError {
                     f,
                     "corrupt checkpoint: checksum {actual:#018x} != recorded {expected:#018x}"
                 )
+            }
+            SaError::QualityFloor { tenant, what } => {
+                write!(f, "quality floor for tenant {tenant}: {what}")
             }
         }
     }
@@ -444,6 +461,22 @@ mod tests {
         assert!(!e.is_health_error());
         assert!(!e.is_cancellation());
         assert!(!e.is_rejection());
+    }
+
+    #[test]
+    fn quality_floor_is_a_rejection() {
+        let e = SaError::QualityFloor {
+            tenant: 2,
+            what: "WindowOnly below floor Tight".to_string(),
+        };
+        assert!(e.to_string().contains("quality floor"), "{e}");
+        assert!(e.to_string().contains("tenant 2"), "{e}");
+        // A floor shed is an admission-style rejection: the request
+        // never ran, and it must not be absorbed into a dense fallback
+        // or mistaken for a cancellation.
+        assert!(e.is_rejection());
+        assert!(!e.is_health_error());
+        assert!(!e.is_cancellation());
     }
 
     #[test]

@@ -149,6 +149,22 @@ test -s "$smoke_out/recovery.json" || {
     exit 1
 }
 
+echo "==> smoke: quality_guard --quick (SA_THREADS=1, then default)"
+# The bench asserts the quality-guardrail bar itself — clean traffic
+# trips zero quarantines, the floored tenant never exceeds its
+# uncertified budget, canary rate never changes scheduling outcomes,
+# the fault storm quarantines every poisoned head and probation
+# re-admits all of them, and ledgers plus quarantine transitions are
+# thread-invariant; it exits non-zero on any violation.
+SA_THREADS=1 cargo run -q --release --offline -p sa-bench --bin quality_guard -- \
+    --quick --out "$smoke_out"
+cargo run -q --release --offline -p sa-bench --bin quality_guard -- \
+    --quick --out "$smoke_out"
+test -s "$smoke_out/quality_guard.json" || {
+    echo "quality_guard did not emit JSON" >&2
+    exit 1
+}
+
 echo "==> smoke: slo_sweep --quick (continuous vs one-shot goodput)"
 # The sweep binary asserts the tentpole bar itself — continuous goodput
 # at least one-shot goodput at every (shape x rate) point — and exits

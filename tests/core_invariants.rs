@@ -30,7 +30,7 @@ fn optimal_sd_meets_alpha() {
         let alpha = g.f32_in(0.5, 0.99);
         let p = probs(s, d, seed);
         let (sd, mask) = optimal_sparsity_degree(&p, alpha);
-        assert!(cra_of_dense_mask(&p, &mask) >= alpha - 1e-4);
+        assert!(cra_of_dense_mask(&p, &mask).unwrap() >= alpha - 1e-4);
         assert!((0.0..=1.0).contains(&sd));
         // Monotonicity in alpha.
         let (sd_hi, _) = optimal_sparsity_degree(&p, (alpha + 0.01).min(1.0));
@@ -77,10 +77,10 @@ fn lemma1_equality() {
             .sinks(sinks)
             .build()
             .unwrap();
-        let (cra, one_minus_err) = check_lemma1(&p, &mask);
+        let (cra, one_minus_err) = check_lemma1(&p, &mask).unwrap();
         assert!((cra - one_minus_err).abs() < 1e-4);
         // And the structured CRA matches the dense-oracle CRA.
-        let dense_cra = cra_of_dense_mask(&p, &mask.to_dense());
+        let dense_cra = cra_of_dense_mask(&p, &mask.to_dense()).unwrap();
         assert!((cra - dense_cra).abs() < 1e-5);
     });
 }
@@ -124,7 +124,7 @@ fn pipeline_discovers_high_cra_masks() {
         let attn = SampleAttention::new(config);
         let discovered = attn.discover_mask(&q, &k).unwrap();
         let p = attention_probs(&q, &k, true).unwrap();
-        let cra = cra_of_structured_mask(&p, &discovered.mask);
+        let cra = cra_of_structured_mask(&p, &discovered.mask).unwrap();
         // Column accumulation guarantees *average* coverage >= alpha; the
         // row minimum can be lower, but the window + bottom area keep it
         // from collapsing.

@@ -488,6 +488,101 @@ fn checked_in_serve_timeline_validates() {
     assert!(storm_events > 0, "storm leg recorded no events");
 }
 
+/// The checked-in `results/quality_guard.json` must carry the quality
+/// guardrail plane's acceptance verdicts: zero false quarantines on the
+/// clean leg, a floored tenant that never exceeded its uncertified
+/// budget, canary rate invariant to scheduling outcomes, every injected
+/// storm corruption caught and later re-admitted, and ledgers plus
+/// quarantine transitions byte-identical across thread counts.
+#[test]
+fn checked_in_quality_guard_validates() {
+    let path = results_dir().join("quality_guard.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} missing: {e}", path.display()));
+    let doc = json::parse(&text).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("sa.quality_guard.v1")
+    );
+
+    // Clean leg: canaries ran, no head was quarantined, and the floored
+    // tenant stayed within its (zero-permille) uncertified-token budget.
+    let clean_canaries = doc.get("clean_canaries").and_then(Json::as_i64).unwrap();
+    assert!(clean_canaries > 0, "clean leg observed no canaries");
+    assert_eq!(
+        doc.get("clean_transitions").and_then(Json::as_i64),
+        Some(0),
+        "clean traffic must cause zero false quarantines"
+    );
+    assert_eq!(
+        doc.get("clean_floored_tenant_uncertified_permille")
+            .and_then(Json::as_i64),
+        Some(0),
+        "floored tenant exceeded its uncertified-token budget"
+    );
+    let clean_slo = doc.get("clean_slo").expect("report embeds the clean SLO");
+    assert_eq!(
+        clean_slo.get("schema").and_then(Json::as_str),
+        Some(sample_attention::serve::SLO_SCHEMA)
+    );
+
+    // Canary-rate sweep: shadow probes never change scheduling outcomes.
+    assert_eq!(
+        doc.get("sweep_scheduling_invariant").and_then(Json::as_bool),
+        Some(true),
+        "canary rate must not perturb served counts or certified goodput"
+    );
+
+    // Storm leg: the detector caught the corruption on every head, and
+    // probation re-admitted all of them — nothing left quarantined.
+    let total_heads = doc.get("storm_total_heads").and_then(Json::as_i64).unwrap();
+    assert!(total_heads > 0);
+    assert_eq!(
+        doc.get("storm_quarantined_heads").and_then(Json::as_i64),
+        Some(total_heads),
+        "storm must quarantine every poisoned head"
+    );
+    assert_eq!(
+        doc.get("storm_residual_quarantined").and_then(Json::as_i64),
+        Some(0),
+        "all quarantined heads must re-admit after clean probation"
+    );
+    let readmits = doc.get("storm_readmits").and_then(Json::as_i64).unwrap();
+    assert!(readmits >= total_heads);
+    assert_eq!(
+        doc.get("identical_across_threads").and_then(Json::as_bool),
+        Some(true),
+        "ledgers and quarantine transitions must be thread-invariant"
+    );
+
+    // The transition log records both directions of the state machine.
+    let transitions = match doc.get("transitions") {
+        Some(Json::Array(items)) => items,
+        other => panic!("transitions must be an array, got {other:?}"),
+    };
+    let count = |action: &str| {
+        transitions
+            .iter()
+            .filter(|t| t.get("action").and_then(Json::as_str) == Some(action))
+            .count() as i64
+    };
+    assert_eq!(count("quarantine"), total_heads);
+    assert_eq!(count("readmit"), readmits);
+
+    // The embedded storm ledger accounts for every request once.
+    let ledger = doc.get("storm_ledger").expect("report embeds the ledger");
+    assert_eq!(
+        ledger.get("schema").and_then(Json::as_str),
+        Some(sample_attention::serve::LEDGER_SCHEMA)
+    );
+    let requests = doc.get("storm_requests").and_then(Json::as_i64).unwrap();
+    let records = match ledger.get("records") {
+        Some(Json::Array(items)) => items,
+        other => panic!("storm_ledger.records must be an array, got {other:?}"),
+    };
+    assert_eq!(records.len() as i64, requests);
+}
+
 #[test]
 fn results_round_trip_through_sa_json() {
     for path in json_files() {
